@@ -1,0 +1,371 @@
+// Ablations for the design choices DESIGN.md calls out:
+//   1. the global random-access schedule (the "G" of SR/G): optimized vs
+//      identity vs deliberately reversed, on a workload with heterogeneous
+//      probe costs and selectivities;
+//   2. simulation-based estimation: plan quality as the sample size, the
+//      replica count, and the sample mode (real draws vs the paper's dummy
+//      uniform fallback) vary;
+//   3. cost-based selection itself: the planner's plan vs the default
+//      SR/G configuration vs random-but-valid scheduling over the same
+//      necessary-choice sets.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/random_policy.h"
+#include "core/schedule.h"
+#include "core/tg.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+
+namespace nc::bench {
+namespace {
+
+// Workload for the schedule ablation: p0 cheap+selective (probe first!),
+// p1 cheap but unselective, p2 selective but expensive, p3 mediocre.
+Dataset ScheduleWorkload(size_t n) {
+  GeneratorOptions base;
+  base.num_objects = n;
+  base.num_predicates = 4;
+  base.seed = 404;
+  Dataset data = GenerateDataset(base);
+  Rng rng(405);
+  for (ObjectId u = 0; u < n; ++u) {
+    data.SetScore(u, 0, std::pow(rng.Uniform01(), 3.0));  // E ~ 0.25
+    data.SetScore(u, 1, ClampScore(0.8 + 0.2 * rng.Uniform01()));  // E ~ 0.9
+    data.SetScore(u, 2, std::pow(rng.Uniform01(), 3.0));
+    data.SetScore(u, 3, rng.Uniform01());
+  }
+  return data;
+}
+
+void ScheduleAblation() {
+  PrintHeader(
+      "Ablation 1 - global probe schedule (m=4, probe-only scenario, "
+      "F=min, k=10, n=5000)");
+  const Dataset data = ScheduleWorkload(5000);
+  // Probe-only, so the schedule is the entire plan. Costs: p2's probes
+  // are 10x pricier.
+  const CostModel cost({kImpossibleCost, kImpossibleCost, kImpossibleCost,
+                        kImpossibleCost},
+                       {1.0, 1.0, 10.0, 2.0});
+  MinFunction fmin(4);
+
+  const Dataset sample = SampleDataset(data, 300, /*seed=*/406);
+  const std::vector<PredicateId> optimized = OptimizeSchedule(sample, cost);
+  std::vector<PredicateId> identity{0, 1, 2, 3};
+  std::vector<PredicateId> reversed = optimized;
+  std::reverse(reversed.begin(), reversed.end());
+
+  const auto run = [&](const char* label,
+                       const std::vector<PredicateId>& schedule) {
+    SRGConfig config;
+    config.depths.assign(4, 1.0);
+    config.schedule = schedule;
+    const RunStats stats = RunFixedNC(data, cost, fmin, 10, config);
+    NC_CHECK(stats.correct);
+    std::printf("  %-10s sched=(%u,%u,%u,%u)  cost=%10.0f\n", label,
+                schedule[0], schedule[1], schedule[2], schedule[3],
+                stats.cost);
+    return stats.cost;
+  };
+  const double opt = run("optimized", optimized);
+  const double ident = run("identity", identity);
+  const double rev = run("reversed", reversed);
+  std::printf("  optimized saves %.0f%% vs identity, %.0f%% vs reversed\n",
+              100.0 * (ident - opt) / ident, 100.0 * (rev - opt) / rev);
+}
+
+void SamplingAblation() {
+  PrintHeader(
+      "Ablation 2 - estimation sampling (min, cs=cr=1, n=10000, k=10; "
+      "actual cost of the chosen plan)");
+  GeneratorOptions g;
+  g.num_objects = 10000;
+  g.num_predicates = 2;
+  g.seed = 500;
+  const Dataset data = GenerateDataset(g);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  MinFunction fmin(2);
+
+  std::printf("%8s %9s %8s %14s   %s\n", "samples", "replicas", "mode",
+              "actual cost", "plan");
+  PrintRule(72);
+  for (const SampleMode mode :
+       {SampleMode::kFromData, SampleMode::kDummyUniform}) {
+    for (const size_t sample_size : {50ul, 100ul, 200ul, 400ul}) {
+      for (const size_t replicas : {1ul, 3ul}) {
+        SourceSet sources(&data, cost);
+        PlannerOptions options;
+        options.sample_size = sample_size;
+        options.sample_replicas = replicas;
+        options.sample_mode = mode;
+        TopKResult result;
+        OptimizerResult plan;
+        NC_CHECK(RunOptimizedNC(&sources, fmin, 10, options, &result, &plan)
+                     .ok());
+        std::printf("%8zu %9zu %8s %14.0f   %s\n", sample_size, replicas,
+                    mode == SampleMode::kFromData ? "data" : "dummy",
+                    sources.accrued_cost(), plan.config.ToString().c_str());
+      }
+    }
+  }
+}
+
+void PolicyAblation() {
+  PrintHeader(
+      "Ablation 3 - what cost-based selection buys (min, cr=10cs, "
+      "n=10000, k=10)");
+  GeneratorOptions g;
+  g.num_objects = 10000;
+  g.num_predicates = 2;
+  g.seed = 600;
+  const Dataset data = GenerateDataset(g);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 10.0);
+  MinFunction fmin(2);
+
+  const RunStats optimized = RunOptimized(data, cost, fmin, 10);
+  std::printf("  %-24s cost=%10.0f  %s\n", "planner (HClimb)",
+              optimized.cost, optimized.plan.c_str());
+
+  const RunStats fallback =
+      RunFixedNC(data, cost, fmin, 10, SRGConfig::Default(2));
+  std::printf("  %-24s cost=%10.0f\n", "default SR/G (H=0.5)",
+              fallback.cost);
+
+  double random_total = 0.0;
+  constexpr int kTrials = 5;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SourceSet sources(&data, cost);
+    RandomSelectPolicy policy(static_cast<uint64_t>(trial));
+    EngineOptions options;
+    options.k = 10;
+    TopKResult result;
+    NC_CHECK(RunNC(&sources, &fmin, &policy, options, &result).ok());
+    random_total += sources.accrued_cost();
+  }
+  std::printf("  %-24s cost=%10.0f  (mean of %d seeds)\n",
+              "random valid scheduling", random_total / kTrials, kTrials);
+  std::printf(
+      "  -> the plan space matters: even inside Framework NC's necessary\n"
+      "     choices, arbitrary scheduling pays %.1fx the optimized plan.\n",
+      random_total / kTrials / optimized.cost);
+}
+
+// A TG policy that drains streams before probing: the reading-heavy shape
+// under which TG's legal pool balloons with every seen-but-unprobed
+// object.
+class SortedFirstTG final : public TGSelectPolicy {
+ public:
+  Access Select(std::span<const Access> pool_accesses,
+                const TGView& view) override {
+    (void)view;
+    for (const Access& a : pool_accesses) {
+      if (a.type == AccessType::kSorted) return a;
+    }
+    return pool_accesses[0];
+  }
+};
+
+void FrameworkAblation() {
+  PrintHeader(
+      "Ablation 4 - Framework TG vs Framework NC (Section 6.2's "
+      "specificity contrast; avg, k=10)");
+  // Width: how large a choice set must a TG optimizer reason about per
+  // step (reading-heavy execution, cs=cr=1)? NC's necessary choices stay
+  // <= 2m regardless.
+  std::printf("%8s %18s %18s\n", "n", "TG choice width", "NC choice width");
+  PrintRule(48);
+  for (const size_t n : {500ul, 2000ul, 8000ul}) {
+    GeneratorOptions g;
+    g.num_objects = n;
+    g.num_predicates = 2;
+    g.seed = 700;
+    const Dataset data = GenerateDataset(g);
+    const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+    AverageFunction avg(2);
+
+    SourceSet tg_sources(&data, cost);
+    SortedFirstTG tg_policy;
+    TGOptions tg_options;
+    tg_options.k = 10;
+    TopKResult tg_result;
+    TGReport report;
+    NC_CHECK(RunTG(&tg_sources, avg, &tg_policy, tg_options, &tg_result,
+                   &report)
+                 .ok());
+
+    SourceSet nc_sources(&data, cost);
+    SRGPolicy nc_policy(SRGConfig::Default(2));
+    EngineOptions nc_options;
+    nc_options.k = 10;
+    NCEngine engine(&nc_sources, &avg, &nc_policy, nc_options);
+    TopKResult nc_result;
+    NC_CHECK(engine.Run(&nc_result).ok());
+
+    std::printf("%8zu %18.1f %18.1f\n", n, report.mean_choice_width,
+                engine.mean_choice_width());
+  }
+
+  // Cost: what does an arbitrary walk over TG's pool pay once costs are
+  // asymmetric (cr = 10cs)?
+  std::printf("\n%8s %16s %16s %10s\n", "n", "TG random cost",
+              "NC plan cost", "ratio");
+  PrintRule(54);
+  for (const size_t n : {500ul, 2000ul, 8000ul}) {
+    GeneratorOptions g;
+    g.num_objects = n;
+    g.num_predicates = 2;
+    g.seed = 700;
+    const Dataset data = GenerateDataset(g);
+    const CostModel cost = CostModel::Uniform(2, 1.0, 10.0);
+    AverageFunction avg(2);
+
+    double tg_total = 0.0;
+    constexpr int kTrials = 3;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      SourceSet tg_sources(&data, cost);
+      TGRandomPolicy tg_policy(static_cast<uint64_t>(trial));
+      TGOptions tg_options;
+      tg_options.k = 10;
+      TopKResult tg_result;
+      NC_CHECK(
+          RunTG(&tg_sources, avg, &tg_policy, tg_options, &tg_result).ok());
+      tg_total += tg_sources.accrued_cost();
+    }
+    const double tg_mean = tg_total / kTrials;
+
+    const RunStats nc_stats = RunOptimized(data, cost, avg, 10);
+    std::printf("%8zu %16.0f %16.0f %9.1fx\n", n, tg_mean, nc_stats.cost,
+                tg_mean / nc_stats.cost);
+  }
+  std::printf(
+      "  -> TG is complete but unfocused: its per-step choice pool scales\n"
+      "     with the seen objects (NC's stays <= 2m), and arbitrary\n"
+      "     scheduling over it pays multiples of the cost-based plan.\n");
+}
+
+void ApproximationAblation() {
+  // Anti-correlated data is where exactness is expensive: upper bounds
+  // stay loose the longest, so confirming the exact boundary costs a
+  // near-full scan - and where a small theta buys the most.
+  PrintHeader(
+      "Ablation 5 - the theta-approximation dial (avg, anti-correlated "
+      "rho=-0.8, cs=cr=1, n=10000, k=10; exact cost = theta 1.0)");
+  GeneratorOptions g;
+  g.num_objects = 10000;
+  g.num_predicates = 2;
+  g.correlation = -0.8;
+  g.seed = 800;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction fmin(2);
+  const TopKResult oracle = BruteForceTopK(data, fmin, 10);
+
+  std::printf("%8s %12s %10s %10s\n", "theta", "cost", "vs exact",
+              "recall");
+  PrintRule(44);
+  double exact_cost = 0.0;
+  for (const double theta : {1.0, 1.02, 1.05, 1.1, 1.25, 1.5, 2.0}) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 10;
+    options.approximation_theta = theta;
+    NCEngine engine(&sources, &fmin, &policy, options);
+    TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    if (theta == 1.0) exact_cost = sources.accrued_cost();
+    size_t hits = 0;
+    for (const TopKEntry& e : result.entries) {
+      for (const TopKEntry& o : oracle.entries) {
+        if (o.object == e.object) ++hits;
+      }
+    }
+    std::printf("%8.2f %12.0f %9.0f%% %9.1f%%\n", theta,
+                sources.accrued_cost(),
+                100.0 * sources.accrued_cost() / exact_cost,
+                100.0 * static_cast<double>(hits) / 10.0);
+  }
+}
+
+void PageSizeAblation() {
+  PrintHeader(
+      "Ablation 6 - paged sorted access (one request fetches b entries; "
+      "min, cs=cr=1, n=10000, k=10)");
+  GeneratorOptions g;
+  g.num_objects = 10000;
+  g.num_predicates = 2;
+  g.seed = 900;
+  const Dataset data = GenerateDataset(g);
+  MinFunction fmin(2);
+
+  std::printf("%8s %14s %14s   %s\n", "b", "planned cost", "sa entries",
+              "plan");
+  PrintRule(70);
+  for (const size_t b : {1ul, 2ul, 5ul, 10ul, 50ul}) {
+    CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+    cost.sorted_page_size = {b, b};
+    SourceSet sources(&data, cost);
+    PlannerOptions options;
+    options.sample_size = 200;
+    TopKResult result;
+    OptimizerResult plan;
+    NC_CHECK(RunOptimizedNC(&sources, fmin, 10, options, &result, &plan)
+                 .ok());
+    std::printf("%8zu %14.0f %14zu   %s\n", b, sources.accrued_cost(),
+                sources.stats().TotalSorted(),
+                plan.config.ToString().c_str());
+  }
+  std::printf(
+      "  -> pages shift the plan toward stream reading: the same query\n"
+      "     gets cheaper as each request carries more entries.\n");
+}
+
+void JointSearchAblation() {
+  PrintHeader(
+      "Ablation 7 - two-step (H then schedule) vs joint (H x m! "
+      "schedules) optimization (min, m=3, heterogeneous probe costs, "
+      "n=5000, k=10)");
+  const Dataset data = ScheduleWorkload(5000);
+  // Mixed capabilities so both depths and schedule matter.
+  const CostModel cost({1.0, 1.0, 1.0, 1.0}, {1.0, 1.0, 10.0, 2.0});
+  MinFunction fmin(4);
+
+  std::printf("%-10s %12s %12s %14s   %s\n", "mode", "simulations",
+              "est. cost", "actual cost", "plan");
+  PrintRule(90);
+  for (const bool joint : {false, true}) {
+    SourceSet sources(&data, cost);
+    PlannerOptions options;
+    options.sample_size = 200;
+    options.joint_schedule_search = joint;
+    TopKResult result;
+    OptimizerResult plan;
+    NC_CHECK(RunOptimizedNC(&sources, fmin, 10, options, &result, &plan)
+                 .ok());
+    std::printf("%-10s %12zu %12.1f %14.0f   %s\n",
+                joint ? "joint" : "two-step", plan.simulations,
+                plan.estimated_cost, sources.accrued_cost(),
+                plan.config.ToString().c_str());
+  }
+  std::printf(
+      "  -> the two-step approximation (Section 7.2) holds up: the joint\n"
+      "     search pays m! times the overhead for little actual gain.\n");
+}
+
+}  // namespace
+}  // namespace nc::bench
+
+int main() {
+  nc::bench::ScheduleAblation();
+  nc::bench::SamplingAblation();
+  nc::bench::PolicyAblation();
+  nc::bench::FrameworkAblation();
+  nc::bench::ApproximationAblation();
+  nc::bench::PageSizeAblation();
+  nc::bench::JointSearchAblation();
+  return 0;
+}

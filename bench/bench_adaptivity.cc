@@ -1,0 +1,67 @@
+// Adaptivity sweep (Section 9): total access cost as the random/sorted
+// cost ratio cr/cs moves across four orders of magnitude. Each fixed
+// algorithm is tuned to one region - TA to cr ~ cs, CA to cr >> cs, NRA to
+// cr = infinity (plotted at the right edge), MPro-style probing to
+// cr << cs - while the cost-based NC plan re-optimizes per point and
+// should track the lower envelope of all of them.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace nc;
+  using namespace nc::bench;
+
+  constexpr size_t kObjects = 10000;
+  constexpr size_t kK = 10;
+  const double kRatios[] = {0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1000.0};
+  const char* kBaselines[] = {"TA", "CA", "NRA-exact", "MPro", "Upper"};
+
+  for (const ScoringKind kind : {ScoringKind::kAverage, ScoringKind::kMin}) {
+    const auto scoring = MakeScoringFunction(kind, 2);
+    GeneratorOptions g;
+    g.num_objects = kObjects;
+    g.num_predicates = 2;
+    g.seed = 7;
+    const Dataset data = GenerateDataset(g);
+
+    PrintHeader("Adaptivity sweep, F=" + scoring->name() +
+                ", uniform, n=10000, k=10, cs=1 (costs per cr/cs ratio)");
+    std::printf("%8s %12s", "cr/cs", "NC");
+    for (const char* name : kBaselines) std::printf(" %12s", name);
+    std::printf("\n");
+    PrintRule(8 + 13 * (1 + 5));
+
+    for (const double ratio : kRatios) {
+      const CostModel cost = CostModel::Uniform(2, 1.0, ratio);
+      std::printf("%8.2f", ratio);
+      const RunStats nc_stats = RunOptimized(data, cost, *scoring, kK);
+      NC_CHECK(nc_stats.correct);
+      std::printf(" %12.0f", nc_stats.cost);
+      for (const char* name : kBaselines) {
+        const AlgorithmInfo* info = FindBaseline(name);
+        bool ran = false;
+        const RunStats stats =
+            RunBaseline(*info, data, cost, *scoring, kK, &ran);
+        if (ran) {
+          std::printf(" %12.0f", stats.cost);
+        } else {
+          std::printf(" %12s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+
+    // NRA's own cell: random access impossible.
+    const CostModel nra_cost = CostModel::Uniform(2, 1.0, kImpossibleCost);
+    const RunStats nc_stats = RunOptimized(data, nra_cost, *scoring, kK);
+    const AlgorithmInfo* nra = FindBaseline("NRA-exact");
+    const RunStats nra_stats =
+        RunBaseline(*nra, data, nra_cost, *scoring, kK);
+    std::printf("%8s %12.0f %12s %12s %12.0f %12s %12s\n", "inf",
+                nc_stats.cost, "-", "-", nra_stats.cost, "-", "-");
+  }
+  return 0;
+}

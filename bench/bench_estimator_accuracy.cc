@@ -1,0 +1,105 @@
+// Quantitative validation of Section 7.3's simulation-based estimation:
+// how well do sampled costs predict full-database costs?
+//
+// For a mesh of SR/G configurations we report the Pearson correlation
+// between estimate and actual, the mean absolute relative error of the
+// scaled estimate (estimate * n / s), and the regret of trusting the
+// estimator (actual cost of its argmin vs the true best config) - per
+// sample size, replica count, and sample mode.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "core/estimator.h"
+#include "core/schedule.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+
+int main() {
+  using namespace nc;
+  using namespace nc::bench;
+
+  constexpr size_t kObjects = 10000;
+  constexpr size_t kK = 10;
+
+  for (const ScoringKind kind : {ScoringKind::kAverage, ScoringKind::kMin}) {
+    const auto scoring = MakeScoringFunction(kind, 2);
+    GeneratorOptions g;
+    g.num_objects = kObjects;
+    g.num_predicates = 2;
+    g.seed = 4242;
+    const Dataset data = GenerateDataset(g);
+    const CostModel cost = CostModel::Uniform(2, 1.0, 3.0);
+
+    // The configuration mesh under evaluation.
+    std::vector<SRGConfig> configs;
+    for (const double h0 : {0.0, 0.5, 0.9, 0.95, 1.0}) {
+      for (const double h1 : {0.0, 0.5, 0.9, 0.95, 1.0}) {
+        SRGConfig config;
+        config.depths = {h0, h1};
+        config.schedule = {0, 1};
+        configs.push_back(config);
+      }
+    }
+
+    // Ground truth.
+    std::vector<double> actual;
+    double best_actual = -1.0;
+    for (const SRGConfig& config : configs) {
+      const RunStats stats = RunFixedNC(data, cost, *scoring, kK, config);
+      NC_CHECK(stats.correct);
+      actual.push_back(stats.cost);
+      if (best_actual < 0.0 || stats.cost < best_actual) {
+        best_actual = stats.cost;
+      }
+    }
+
+    PrintHeader("Estimator accuracy, F=" + scoring->name() +
+                ", uniform, n=10000, k=10, cr=3cs (25-config mesh)");
+    std::printf("%8s %9s %8s %12s %10s %10s\n", "samples", "replicas",
+                "mode", "correlation", "MARE", "regret");
+    PrintRule(64);
+
+    for (const bool dummy : {false, true}) {
+      for (const size_t sample_size : {50ul, 200ul, 800ul}) {
+        for (const size_t replicas : {1ul, 3ul}) {
+          // Build the estimator exactly the way the planner does.
+          std::vector<Dataset> samples;
+          for (size_t r = 0; r < replicas; ++r) {
+            samples.push_back(
+                dummy ? DummyUniformSample(2, sample_size, 900 + r)
+                      : SampleDataset(data, sample_size, 900 + r));
+          }
+          const size_t k_prime = ScaledSampleK(kK, kObjects, sample_size);
+          SimulationCostEstimator estimator(samples, cost, scoring.get(),
+                                            k_prime);
+
+          std::vector<double> estimates;
+          size_t argmin = 0;
+          for (size_t c = 0; c < configs.size(); ++c) {
+            estimates.push_back(estimator.EstimateCost(configs[c]));
+            if (estimates[c] < estimates[argmin]) argmin = c;
+          }
+
+          // Scale estimates to database units for the error metric. The
+          // scale factor mixes k'-quantization with s/n, so use the
+          // best-fit single factor (relative shape is what argmin needs).
+          const double scale = Mean(actual) / Mean(estimates);
+          std::vector<double> errors;
+          for (size_t c = 0; c < configs.size(); ++c) {
+            errors.push_back(
+                std::abs(estimates[c] * scale - actual[c]) / actual[c]);
+          }
+
+          std::printf("%8zu %9zu %8s %12.3f %9.1f%% %9.1f%%\n", sample_size,
+                      replicas, dummy ? "dummy" : "data",
+                      PearsonCorrelation(estimates, actual),
+                      100.0 * Mean(errors),
+                      100.0 * (actual[argmin] - best_actual) / best_actual);
+        }
+      }
+    }
+  }
+  return 0;
+}

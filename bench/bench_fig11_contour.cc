@@ -1,0 +1,88 @@
+// Figure 11: contour plots of plan cost over the depth space (H1, H2).
+//
+// Scenario w1: F = avg, uniform scores, cs = cr = 1 - the symmetric case
+// where the optimum sits on the equal-depth diagonal and NC's plan
+// coincides with TA's behavior (Figure 11(a)).
+// Scenario w2: F = min, otherwise identical - the asymmetric case where
+// the optimum is a *focused* plan and NC saves ~30% over TA
+// (Figure 11(b)).
+//
+// For each scenario we print the cost matrix over a depth mesh (the
+// paper's contour plot as numbers), the argmin cell, the cost-based
+// plan the optimizer actually finds, and TA's cost for reference.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/generator.h"
+
+namespace nc::bench {
+namespace {
+
+constexpr size_t kObjects = 1000;
+constexpr size_t kK = 50;
+
+void Contour(const char* label, const ScoringFunction& scoring) {
+  GeneratorOptions g;
+  g.num_objects = kObjects;
+  g.num_predicates = 2;
+  g.seed = 2005;
+  const Dataset data = GenerateDataset(g);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+
+  PrintHeader(std::string("Figure 11 - cost contour, scenario ") + label +
+              " (F=" + scoring.name() + ", uniform, cs=cr=1, n=" +
+              std::to_string(kObjects) + ", k=" + std::to_string(kK) + ")");
+
+  const std::vector<double> axis{0.0, 0.5, 0.6, 0.7, 0.75,
+                                 0.8, 0.85, 0.9, 0.95, 1.0};
+  std::printf("%8s", "H1\\H2");
+  for (const double h2 : axis) std::printf("%8.2f", h2);
+  std::printf("\n");
+
+  double best_cost = -1.0;
+  double best_h1 = 0.0;
+  double best_h2 = 0.0;
+  for (const double h1 : axis) {
+    std::printf("%8.2f", h1);
+    for (const double h2 : axis) {
+      SRGConfig config;
+      config.depths = {h1, h2};
+      config.schedule = {0, 1};
+      const RunStats stats = RunFixedNC(data, cost, scoring, kK, config);
+      NC_CHECK(stats.correct);
+      std::printf("%8.0f", stats.cost);
+      if (best_cost < 0.0 || stats.cost < best_cost) {
+        best_cost = stats.cost;
+        best_h1 = h1;
+        best_h2 = h2;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("grid minimum: H=(%.2f,%.2f) cost=%.0f\n", best_h1, best_h2,
+              best_cost);
+
+  const RunStats optimized =
+      RunOptimized(data, cost, scoring, kK, SearchScheme::kHClimb,
+                   /*sample_size=*/300);
+  std::printf("cost-based plan: %s cost=%.0f (correct=%d)\n",
+              optimized.plan.c_str(), optimized.cost, optimized.correct);
+
+  const AlgorithmInfo* ta = FindBaseline("TA");
+  const RunStats ta_stats = RunBaseline(*ta, data, cost, scoring, kK);
+  std::printf("TA reference: cost=%.0f -> NC/TA = %.2f\n", ta_stats.cost,
+              optimized.cost / ta_stats.cost);
+}
+
+}  // namespace
+}  // namespace nc::bench
+
+int main() {
+  const nc::AverageFunction avg(2);
+  const nc::MinFunction fmin(2);
+  nc::bench::Contour("w1", avg);
+  nc::bench::Contour("w2", fmin);
+  return 0;
+}

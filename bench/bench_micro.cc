@@ -1,0 +1,123 @@
+// Engine-internal microbenchmarks (google-benchmark): the hot paths the
+// experiment harnesses lean on - bound evaluation, lazy-heap maintenance,
+// full NC runs, and plan simulation throughput (the optimizer's unit of
+// overhead).
+
+#include <benchmark/benchmark.h>
+
+#include "core/bound_heap.h"
+#include "core/candidate.h"
+#include "core/engine.h"
+#include "core/estimator.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+
+namespace nc {
+namespace {
+
+Dataset BenchData(size_t n, size_t m) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = 4242;
+  return GenerateDataset(g);
+}
+
+void BM_BoundUpper(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  AverageFunction avg(m);
+  BoundEvaluator bounds(&avg);
+  CandidatePool pool(m);
+  Candidate& c = pool.GetOrCreate(0);
+  for (PredicateId i = 0; i < m / 2; ++i) c.SetScore(i, 0.5);
+  const std::vector<Score> ceilings(m, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bounds.Upper(c, ceilings));
+  }
+}
+BENCHMARK(BM_BoundUpper)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_LazyHeapPopReinsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  LazyBoundHeap heap;
+  std::vector<double> bounds(n);
+  for (ObjectId u = 0; u < n; ++u) {
+    bounds[u] = 1.0 - static_cast<double>(u) / static_cast<double>(n);
+    heap.Push(u, bounds[u]);
+  }
+  const auto fn = [&](ObjectId u) -> std::optional<Score> {
+    return bounds[u];
+  };
+  std::vector<LazyBoundHeap::Entry> top;
+  for (auto _ : state) {
+    heap.PopTopK(10, fn, &top);
+    heap.Reinsert(top);
+  }
+}
+BENCHMARK(BM_LazyHeapPopReinsert)->Arg(1000)->Arg(100000);
+
+void BM_NCQueryUniformCosts(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchData(n, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  for (auto _ : state) {
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 10;
+    TopKResult result;
+    const Status status = RunNC(&sources, &avg, &policy, options, &result);
+    benchmark::DoNotOptimize(status.ok());
+  }
+}
+BENCHMARK(BM_NCQueryUniformCosts)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PlanSimulation(benchmark::State& state) {
+  // One optimizer plan evaluation: NC over a 200-object sample.
+  const Dataset data = BenchData(10000, 2);
+  const Dataset sample = SampleDataset(data, 200, /*seed=*/5);
+  AverageFunction avg(2);
+  SimulationCostEstimator estimator(sample, CostModel::Uniform(2, 1.0, 1.0),
+                                    &avg, /*k_prime=*/1);
+  SRGConfig config = SRGConfig::Default(2);
+  double wobble = 0.0;
+  for (auto _ : state) {
+    // Vary depths slightly so memoization does not short-circuit.
+    config.depths[0] = 0.5 + wobble;
+    wobble = wobble < 0.4 ? wobble + 1e-6 : 0.0;
+    benchmark::DoNotOptimize(estimator.EstimateCost(config));
+  }
+}
+BENCHMARK(BM_PlanSimulation);
+
+void BM_BruteForceOracle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchData(n, 2);
+  AverageFunction avg(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceTopK(data, avg, 10));
+  }
+}
+BENCHMARK(BM_BruteForceOracle)->Arg(10000)->Arg(100000);
+
+void BM_SortedAccessThroughput(benchmark::State& state) {
+  const Dataset data = BenchData(100000, 2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  for (auto _ : state) {
+    if (sources.exhausted(0)) {
+      state.PauseTiming();
+      sources.Reset();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(sources.SortedAccess(0));
+  }
+}
+BENCHMARK(BM_SortedAccessThroughput);
+
+}  // namespace
+}  // namespace nc
+
+BENCHMARK_MAIN();

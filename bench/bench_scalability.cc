@@ -1,0 +1,72 @@
+// Scalability sweeps (reconstructed from Section 9's setup): access cost
+// of the cost-based NC plan and the TA reference as the database size n,
+// the retrieval size k, and the predicate count m grow. Expected shape:
+// cost grows sublinearly with n (only the top region of each stream is
+// touched), roughly linearly with k, and with m via both deeper scans and
+// wider probes; NC tracks or beats TA throughout.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/generator.h"
+
+namespace nc::bench {
+namespace {
+
+void Measure(size_t n, size_t m, size_t k, ScoringKind kind) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = 31337;
+  const Dataset data = GenerateDataset(g);
+  const CostModel cost = CostModel::Uniform(m, 1.0, 1.0);
+  const auto scoring = MakeScoringFunction(kind, m);
+
+  const RunStats nc_stats = RunOptimized(data, cost, *scoring, k);
+  const AlgorithmInfo* ta = FindBaseline("TA");
+  const RunStats ta_stats = RunBaseline(*ta, data, cost, *scoring, k);
+  NC_CHECK(nc_stats.correct);
+  NC_CHECK(ta_stats.correct);
+  std::printf("%8zu %4zu %5zu %8s %12.0f %12.0f %8.2f\n", n, m, k,
+              scoring->name().c_str(), nc_stats.cost, ta_stats.cost,
+              nc_stats.cost / ta_stats.cost);
+}
+
+}  // namespace
+}  // namespace nc::bench
+
+int main() {
+  using namespace nc;
+  using namespace nc::bench;
+
+  PrintHeader("Scalability: varying n (m=2, k=10, uniform, cs=cr=1)");
+  std::printf("%8s %4s %5s %8s %12s %12s %8s\n", "n", "m", "k", "F", "NC",
+              "TA", "NC/TA");
+  PrintRule(64);
+  for (const size_t n : {1000ul, 5000ul, 10000ul, 50000ul, 100000ul}) {
+    Measure(n, 2, 10, ScoringKind::kAverage);
+  }
+  for (const size_t n : {1000ul, 5000ul, 10000ul, 50000ul, 100000ul}) {
+    Measure(n, 2, 10, ScoringKind::kMin);
+  }
+
+  PrintHeader("Scalability: varying k (n=10000, m=2)");
+  std::printf("%8s %4s %5s %8s %12s %12s %8s\n", "n", "m", "k", "F", "NC",
+              "TA", "NC/TA");
+  PrintRule(64);
+  for (const size_t k : {1ul, 5ul, 10ul, 25ul, 50ul, 100ul}) {
+    Measure(10000, 2, k, ScoringKind::kAverage);
+  }
+
+  PrintHeader("Scalability: varying m (n=10000, k=10)");
+  std::printf("%8s %4s %5s %8s %12s %12s %8s\n", "n", "m", "k", "F", "NC",
+              "TA", "NC/TA");
+  PrintRule(64);
+  for (const size_t m : {2ul, 3ul, 4ul, 5ul}) {
+    Measure(10000, m, 10, ScoringKind::kAverage);
+  }
+  for (const size_t m : {2ul, 3ul, 4ul, 5ul}) {
+    Measure(10000, m, 10, ScoringKind::kMin);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The Appendix's search-scheme comparison: Naive grid vs Strategies vs
+// HClimb. For each scheme: optimization overhead (plan simulations
+// executed on the sample), the estimated cost of the chosen plan, and -
+// the number that matters - the *actual* cost of running that plan on the
+// full database. The paper's conclusion: HClimb is the most effective
+// overhead/quality trade-off; Strategies is nearly as good when F fits
+// one of its families; Naive pays an order of magnitude more overhead for
+// marginal gains.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/estimator.h"
+#include "core/schedule.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+
+int main() {
+  using namespace nc;
+  using namespace nc::bench;
+
+  constexpr size_t kObjects = 10000;
+  constexpr size_t kK = 10;
+  constexpr size_t kSample = 200;
+
+  struct Setting {
+    const char* label;
+    ScoringKind kind;
+    double cr;
+  };
+  const Setting kSettings[] = {
+      {"avg, cs=cr=1", ScoringKind::kAverage, 1.0},
+      {"min, cs=cr=1", ScoringKind::kMin, 1.0},
+      {"avg, cr=20cs", ScoringKind::kAverage, 20.0},
+      {"min, cr=20cs", ScoringKind::kMin, 20.0},
+  };
+
+  for (const Setting& setting : kSettings) {
+    const auto scoring = MakeScoringFunction(setting.kind, 2);
+    GeneratorOptions g;
+    g.num_objects = kObjects;
+    g.num_predicates = 2;
+    g.seed = 555;
+    const Dataset data = GenerateDataset(g);
+    const CostModel cost = CostModel::Uniform(2, 1.0, setting.cr);
+    const Dataset sample = SampleDataset(data, kSample, /*seed=*/556);
+    const std::vector<PredicateId> schedule = OptimizeSchedule(sample, cost);
+
+    PrintHeader(std::string("Search schemes, ") + setting.label +
+                ", uniform, n=10000, k=10, sample=200");
+    std::printf("%-12s %12s %12s %12s   %s\n", "scheme", "simulations",
+                "est. cost", "actual cost", "plan");
+    PrintRule(84);
+
+    struct SchemeRun {
+      const char* name;
+      std::unique_ptr<DepthOptimizer> optimizer;
+    };
+    std::vector<SchemeRun> schemes;
+    schemes.push_back({"Naive", std::make_unique<NaiveGridOptimizer>(0.05)});
+    schemes.push_back(
+        {"Strategies", std::make_unique<StrategiesOptimizer>(0.05)});
+    schemes.push_back(
+        {"HClimb", std::make_unique<HClimbOptimizer>(4, 0.05, 557)});
+
+    for (const SchemeRun& scheme : schemes) {
+      SimulationCostEstimator estimator(
+          sample, cost, scoring.get(), ScaledSampleK(kK, kObjects, kSample));
+      OptimizerResult plan;
+      NC_CHECK(scheme.optimizer->Optimize(&estimator, schedule, &plan).ok());
+      const RunStats actual =
+          RunFixedNC(data, cost, *scoring, kK, plan.config);
+      NC_CHECK(actual.correct);
+      std::printf("%-12s %12zu %12.1f %12.1f   %s\n", scheme.name,
+                  plan.simulations, plan.estimated_cost, actual.cost,
+                  plan.config.ToString().c_str());
+    }
+  }
+  return 0;
+}

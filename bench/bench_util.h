@@ -1,0 +1,128 @@
+// Shared plumbing for the experiment harnesses: one-line runners for NC
+// (fixed-config, cost-optimized, adaptive) and the baselines, plus simple
+// fixed-width table printing so every binary reports rows the way the
+// paper's figures/tables do.
+
+#ifndef NC_BENCH_BENCH_UTIL_H_
+#define NC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/check.h"
+#include "core/planner.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+
+namespace nc::bench {
+
+// Outcome of one measured execution.
+struct RunStats {
+  double cost = 0.0;
+  size_t sorted = 0;
+  size_t random = 0;
+  bool correct = false;  // Exact match against the brute-force oracle.
+  std::string plan;      // SR/G config for NC runs; empty for baselines.
+};
+
+// Runs NC with a fixed SR/G configuration.
+inline RunStats RunFixedNC(const Dataset& data, const CostModel& cost,
+                           const ScoringFunction& scoring, size_t k,
+                           const SRGConfig& config) {
+  SourceSet sources(&data, cost);
+  SRGPolicy policy(config);
+  EngineOptions options;
+  options.k = k;
+  TopKResult result;
+  const Status status = RunNC(&sources, &scoring, &policy, options, &result);
+  NC_CHECK(status.ok());
+  RunStats stats;
+  stats.cost = sources.accrued_cost();
+  stats.sorted = sources.stats().TotalSorted();
+  stats.random = sources.stats().TotalRandom();
+  stats.correct = result == BruteForceTopK(data, scoring, k);
+  stats.plan = config.ToString();
+  return stats;
+}
+
+// Runs the full cost-based pipeline (plan with the given scheme, then
+// execute). Optimization overhead is not part of the reported access cost,
+// matching the paper's accounting (estimation runs on samples, not on the
+// priced sources).
+inline RunStats RunOptimized(const Dataset& data, const CostModel& cost,
+                             const ScoringFunction& scoring, size_t k,
+                             SearchScheme scheme = SearchScheme::kHClimb,
+                             size_t sample_size = 200) {
+  SourceSet sources(&data, cost);
+  PlannerOptions options;
+  options.scheme = scheme;
+  options.sample_size = sample_size;
+  TopKResult result;
+  OptimizerResult plan;
+  const Status status =
+      RunOptimizedNC(&sources, scoring, k, options, &result, &plan);
+  NC_CHECK(status.ok());
+  RunStats stats;
+  stats.cost = sources.accrued_cost();
+  stats.sorted = sources.stats().TotalSorted();
+  stats.random = sources.stats().TotalRandom();
+  stats.correct = result == BruteForceTopK(data, scoring, k);
+  stats.plan = plan.config.ToString();
+  return stats;
+}
+
+// Runs a registered baseline. Returns false in `*ran` when the baseline's
+// scenario does not cover `cost`.
+inline RunStats RunBaseline(const AlgorithmInfo& info, const Dataset& data,
+                            const CostModel& cost,
+                            const ScoringFunction& scoring, size_t k,
+                            bool* ran = nullptr) {
+  RunStats stats;
+  if (!info.applicable(cost)) {
+    if (ran != nullptr) *ran = false;
+    return stats;
+  }
+  SourceSet sources(&data, cost);
+  TopKResult result;
+  const Status status = info.run(&sources, scoring, k, &result);
+  NC_CHECK(status.ok());
+  stats.cost = sources.accrued_cost();
+  stats.sorted = sources.stats().TotalSorted();
+  stats.random = sources.stats().TotalRandom();
+  if (info.exact_scores) {
+    stats.correct = result == BruteForceTopK(data, scoring, k);
+  } else {
+    // Set-only semantics: compare object sets.
+    const TopKResult oracle = BruteForceTopK(data, scoring, k);
+    stats.correct = result.entries.size() == oracle.entries.size();
+    for (const TopKEntry& e : result.entries) {
+      bool found = false;
+      for (const TopKEntry& o : oracle.entries) {
+        if (o.object == e.object) found = true;
+      }
+      stats.correct = stats.correct && found;
+    }
+  }
+  if (ran != nullptr) *ran = true;
+  return stats;
+}
+
+// --- Table printing ---------------------------------------------------
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule(72);
+  std::printf("%s\n", title.c_str());
+  PrintRule(72);
+}
+
+}  // namespace nc::bench
+
+#endif  // NC_BENCH_BENCH_UTIL_H_

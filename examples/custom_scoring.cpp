@@ -1,0 +1,89 @@
+// Extending the library with a user-defined scoring function.
+//
+//   $ ./build/examples/custom_scoring
+//
+// Framework NC requires only that F be monotone; anything satisfying that
+// contract plugs into the engine, the planner, and the baselines. This
+// example ranks apartments by a *quota* aggregate: the second-smallest of
+// three predicate scores - "good on at least two of three criteria" - a
+// shape none of the shipped aggregates cover (and whose partial
+// derivatives are useless to indicator-based heuristics, while the
+// simulation-based optimizer handles it unchanged).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/planner.h"
+#include "core/reference.h"
+#include "data/generator.h"
+
+namespace {
+
+// F(x) = 2nd-smallest of x_1..x_m ("all but one criterion must hold").
+// Monotone: raising any coordinate never lowers an order statistic.
+class SecondSmallest final : public nc::ScoringFunction {
+ public:
+  explicit SecondSmallest(size_t arity) : arity_(arity) {
+    NC_CHECK(arity >= 2);
+  }
+
+  nc::Score Evaluate(std::span<const nc::Score> x) const override {
+    nc::Score smallest = 1.0;
+    nc::Score second = 1.0;
+    for (const nc::Score v : x) {
+      if (v < smallest) {
+        second = smallest;
+        smallest = v;
+      } else if (v < second) {
+        second = v;
+      }
+    }
+    return second;
+  }
+
+  size_t arity() const override { return arity_; }
+  std::string name() const override { return "second-smallest"; }
+
+ private:
+  size_t arity_;
+};
+
+}  // namespace
+
+int main() {
+  // Apartments scored by price fit, commute, and size.
+  nc::GeneratorOptions gen;
+  gen.num_objects = 4000;
+  gen.num_predicates = 3;
+  gen.seed = 23;
+  nc::Dataset data = nc::GenerateDataset(gen);
+  data.SetPredicateName(0, "price-fit");
+  data.SetPredicateName(1, "commute");
+  data.SetPredicateName(2, "size");
+
+  const SecondSmallest scoring(3);
+  nc::SourceSet sources(&data, nc::CostModel::Uniform(3, 1.0, 4.0));
+
+  nc::PlannerOptions options;
+  options.sample_size = 200;
+  nc::TopKResult result;
+  nc::OptimizerResult plan;
+  const nc::Status status =
+      nc::RunOptimizedNC(&sources, scoring, /*k=*/5, options, &result, &plan);
+  NC_CHECK(status.ok());
+
+  std::printf("top-5 apartments by %s(price-fit, commute, size):\n",
+              scoring.name().c_str());
+  for (const nc::TopKEntry& e : result.entries) {
+    std::printf("  %-10s score %.4f\n", data.object_name(e.object).c_str(),
+                e.score);
+  }
+  std::printf("plan %s, cost %.1f\n", plan.config.ToString().c_str(),
+              sources.accrued_cost());
+
+  // Sanity: the engine's answer matches a full scan.
+  const nc::TopKResult oracle = nc::BruteForceTopK(data, scoring, 5);
+  std::printf("matches brute force: %s\n",
+              result == oracle ? "yes" : "NO (bug!)");
+  return 0;
+}

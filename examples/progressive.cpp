@@ -1,0 +1,83 @@
+// Progressive and anytime answers: the interactive-middleware features.
+//
+//   $ ./build/examples/progressive
+//
+// Three ways to trade completeness for cost, all on one query:
+//   1. progressive widening - answer top-5 now, widen to top-10/top-20 on
+//      demand without repeating any access (NCEngine::Extend);
+//   2. anytime answers - cap the access budget and take the current best
+//      guess with honest upper bounds (EngineOptions::best_effort);
+//   3. theta-approximation - accept answers within a factor theta of
+//      optimal and stop early (EngineOptions::approximation_theta).
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+int main() {
+  nc::GeneratorOptions gen;
+  gen.num_objects = 8000;
+  gen.num_predicates = 2;
+  gen.seed = 29;
+  const nc::Dataset data = nc::GenerateDataset(gen);
+  const nc::MinFunction scoring(2);
+  const nc::CostModel cost = nc::CostModel::Uniform(2, 1.0, 1.0);
+
+  // 1. Progressive widening.
+  {
+    nc::SourceSet sources(&data, cost);
+    nc::SRGPolicy policy(nc::SRGConfig::Default(2));
+    nc::EngineOptions options;
+    options.k = 5;
+    nc::NCEngine engine(&sources, &scoring, &policy, options);
+    nc::TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    std::printf("progressive widening:\n");
+    std::printf("  top-5  cost %7.0f  (leader %s at %.4f)\n",
+                sources.accrued_cost(),
+                data.object_name(result.entries[0].object).c_str(),
+                result.entries[0].score);
+    for (const size_t k : {10ul, 20ul}) {
+      NC_CHECK(engine.Extend(k, &result).ok());
+      std::printf("  top-%-2zu cost %7.0f  (+%zu answers, no repeated "
+                  "accesses)\n",
+                  k, sources.accrued_cost(), k - result.entries.size() + k);
+    }
+  }
+
+  // 2. Anytime answers under a budget.
+  std::printf("\nanytime answers (budgets on the same top-10 query):\n");
+  for (const size_t budget : {50ul, 200ul, 1000ul}) {
+    nc::SourceSet sources(&data, cost);
+    nc::SRGPolicy policy(nc::SRGConfig::Default(2));
+    nc::EngineOptions options;
+    options.k = 10;
+    options.max_accesses = budget;
+    options.best_effort = true;
+    nc::NCEngine engine(&sources, &scoring, &policy, options);
+    nc::TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    std::printf("  budget %5zu -> %zu answers, %s\n", budget,
+                result.entries.size(),
+                engine.last_run_exact() ? "exact" : "upper-bound estimates");
+  }
+
+  // 3. Theta-approximation.
+  std::printf("\ntheta-approximation (top-10):\n");
+  for (const double theta : {1.0, 1.1, 1.5}) {
+    nc::SourceSet sources(&data, cost);
+    nc::SRGPolicy policy(nc::SRGConfig::Default(2));
+    nc::EngineOptions options;
+    options.k = 10;
+    options.approximation_theta = theta;
+    nc::NCEngine engine(&sources, &scoring, &policy, options);
+    nc::TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    std::printf("  theta %.1f -> cost %7.0f (%s)\n", theta,
+                sources.accrued_cost(),
+                engine.last_run_exact() ? "exact" : "within guarantee");
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Scenario explorer: run every algorithm on a workload you describe.
+//
+//   $ ./build/examples/scenario_explorer [options]
+//     --n <objects>        database size          (default 5000)
+//     --m <predicates>     predicate count        (default 2)
+//     --k <k>              retrieval size         (default 10)
+//     --f <min|avg|max|product|geomean>           (default min)
+//     --cs <cost>          sorted unit cost, "inf" = impossible  (1.0)
+//     --cr <cost>          random unit cost, "inf" = impossible  (1.0)
+//     --dist <uniform|gaussian|zipf>              (default uniform)
+//     --csv <path>         load scores from CSV instead of generating
+//     --seed <seed>        generator seed         (default 42)
+//
+// Prints the cost-based NC plan and every applicable baseline with their
+// access bills - the quickest way to explore Figure 2's matrix on your
+// own data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/planner.h"
+#include "core/explain.h"
+#include "core/reference.h"
+#include "data/csv.h"
+#include "data/generator.h"
+
+namespace {
+
+double ParseCost(const char* arg) {
+  if (std::strcmp(arg, "inf") == 0) return nc::kImpossibleCost;
+  return std::atof(arg);
+}
+
+nc::ScoringKind ParseFunction(const char* arg) {
+  const std::string name = arg;
+  if (name == "min") return nc::ScoringKind::kMin;
+  if (name == "avg") return nc::ScoringKind::kAverage;
+  if (name == "max") return nc::ScoringKind::kMax;
+  if (name == "product") return nc::ScoringKind::kProduct;
+  if (name == "geomean") return nc::ScoringKind::kGeometricMean;
+  std::fprintf(stderr, "unknown scoring function '%s'\n", arg);
+  std::exit(2);
+}
+
+nc::ScoreDistribution ParseDistribution(const char* arg) {
+  const std::string name = arg;
+  if (name == "uniform") return nc::ScoreDistribution::kUniform;
+  if (name == "gaussian") return nc::ScoreDistribution::kGaussian;
+  if (name == "zipf") return nc::ScoreDistribution::kZipf;
+  std::fprintf(stderr, "unknown distribution '%s'\n", arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 5000;
+  size_t m = 2;
+  size_t k = 10;
+  nc::ScoringKind kind = nc::ScoringKind::kMin;
+  double cs = 1.0;
+  double cr = 1.0;
+  nc::ScoreDistribution dist = nc::ScoreDistribution::kUniform;
+  std::string csv_path;
+  uint64_t seed = 42;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--n") {
+      n = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--m") {
+      m = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--k") {
+      k = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--f") {
+      kind = ParseFunction(value);
+    } else if (flag == "--cs") {
+      cs = ParseCost(value);
+    } else if (flag == "--cr") {
+      cr = ParseCost(value);
+    } else if (flag == "--dist") {
+      dist = ParseDistribution(value);
+    } else if (flag == "--csv") {
+      csv_path = value;
+    } else if (flag == "--seed") {
+      seed = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  nc::Dataset data;
+  if (!csv_path.empty()) {
+    const nc::Status status = nc::LoadDatasetCsv(csv_path, &data);
+    if (!status.ok()) {
+      std::fprintf(stderr, "loading %s: %s\n", csv_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    m = data.num_predicates();
+    n = data.num_objects();
+  } else {
+    nc::GeneratorOptions gen;
+    gen.num_objects = n;
+    gen.num_predicates = m;
+    gen.distribution = dist;
+    gen.seed = seed;
+    data = nc::GenerateDataset(gen);
+  }
+
+  const nc::CostModel cost = nc::CostModel::Uniform(m, cs, cr);
+  if (const nc::Status status = cost.Validate(); !status.ok()) {
+    std::fprintf(stderr, "bad scenario: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto scoring = nc::MakeScoringFunction(kind, m);
+  const nc::TopKResult oracle = nc::BruteForceTopK(data, *scoring, k);
+
+  std::printf("scenario: n=%zu m=%zu k=%zu F=%s costs=%s\n", n, m, k,
+              scoring->name().c_str(), cost.ToString().c_str());
+  std::printf("%-18s %12s %10s %10s %8s\n", "algorithm", "cost", "sorted",
+              "random", "exact?");
+
+  {
+    nc::SourceSet sources(&data, cost);
+    nc::PlannerOptions options;
+    options.sample_size = 200;
+    nc::TopKResult result;
+    nc::OptimizerResult plan;
+    const nc::Status status =
+        nc::RunOptimizedNC(&sources, *scoring, k, options, &result, &plan);
+    if (status.ok()) {
+      std::printf("%-18s %12.1f %10zu %10zu %8s  plan %s\n",
+                  "NC (cost-based)", sources.accrued_cost(),
+                  sources.stats().TotalSorted(),
+                  sources.stats().TotalRandom(),
+                  result == oracle ? "yes" : "NO", plan.config.ToString().c_str());
+      std::printf("\n%s\n",
+                  nc::ExplainPlan(plan, sources, *scoring, k).c_str());
+    } else {
+      std::printf("%-18s %s\n", "NC (cost-based)", status.ToString().c_str());
+    }
+  }
+
+  for (const nc::AlgorithmInfo& info : nc::AllBaselines()) {
+    if (!info.applicable(cost)) continue;
+    nc::SourceSet sources(&data, cost);
+    nc::TopKResult result;
+    const nc::Status status = info.run(&sources, *scoring, k, &result);
+    if (!status.ok()) {
+      std::printf("%-18s %s\n", info.name.c_str(),
+                  status.ToString().c_str());
+      continue;
+    }
+    const char* exact = "n/a";
+    if (info.exact_scores) exact = result == oracle ? "yes" : "NO";
+    std::printf("%-18s %12.1f %10zu %10zu %8s\n", info.name.c_str(),
+                sources.accrued_cost(), sources.stats().TotalSorted(),
+                sources.stats().TotalRandom(), exact);
+  }
+  return 0;
+}

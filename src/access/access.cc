@@ -1,0 +1,13 @@
+#include "access/access.h"
+
+namespace nc {
+
+std::string Access::ToString() const {
+  if (type == AccessType::kSorted) {
+    return "sa_" + std::to_string(predicate);
+  }
+  return "ra_" + std::to_string(predicate) + "(u" + std::to_string(object) +
+         ")";
+}
+
+}  // namespace nc

@@ -1,0 +1,43 @@
+// A single physical source access: sorted access sa_i or random access
+// ra_i(u). These are the atoms every algorithm schedules; the NC engine's
+// "necessary choices" (Definition 2) are sets of them.
+
+#ifndef NC_ACCESS_ACCESS_H_
+#define NC_ACCESS_ACCESS_H_
+
+#include <string>
+
+#include "common/score.h"
+
+namespace nc {
+
+enum class AccessType {
+  kSorted,
+  kRandom,
+};
+
+struct Access {
+  AccessType type = AccessType::kSorted;
+  PredicateId predicate = 0;
+  // Target object for random access; unused (0) for sorted access.
+  ObjectId object = 0;
+
+  static Access Sorted(PredicateId i) {
+    return Access{AccessType::kSorted, i, 0};
+  }
+  static Access Random(PredicateId i, ObjectId u) {
+    return Access{AccessType::kRandom, i, u};
+  }
+
+  friend bool operator==(const Access& a, const Access& b) {
+    if (a.type != b.type || a.predicate != b.predicate) return false;
+    return a.type == AccessType::kSorted || a.object == b.object;
+  }
+
+  // "sa_1" or "ra_0(u42)".
+  std::string ToString() const;
+};
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_ACCESS_H_

@@ -1,0 +1,82 @@
+// The access cost model of Section 3.2.
+//
+// Each predicate p_i has a unit sorted-access cost cs_i and a unit
+// random-access cost cr_i; either may be kImpossibleCost to mark the
+// access type unsupported (Figure 2's capability matrix). The total cost
+// of an execution is sum_i (ns_i * cs_i + nr_i * cr_i)  (Eq. 1).
+
+#ifndef NC_ACCESS_COST_MODEL_H_
+#define NC_ACCESS_COST_MODEL_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/score.h"
+#include "common/status.h"
+
+namespace nc {
+
+struct CostModel {
+  // cs_i: unit cost of one sorted access on predicate i.
+  std::vector<double> sorted_cost;
+  // cr_i: unit cost of one random access on predicate i.
+  std::vector<double> random_cost;
+  // Optional page sizes b_i >= 1: Web sources return result *pages*, so
+  // one sorted-access charge of cs_i buys b_i consecutive stream entries
+  // (the charge lands on the first entry of each page). Empty means
+  // b_i = 1 everywhere (the paper's per-entry model).
+  std::vector<size_t> sorted_page_size;
+  // Optional source groups: predicates served by the same multi-attribute
+  // source share a group id, and a sorted hit on any of them carries the
+  // object's scores for the *whole* group (Example 2: one hotels.com row
+  // holds closeness, stars, and price). Empty means every predicate is
+  // its own source. Group ids are arbitrary but equal-means-bundled.
+  std::vector<int> attribute_groups;
+
+  CostModel() = default;
+  CostModel(std::vector<double> sorted, std::vector<double> random)
+      : sorted_cost(std::move(sorted)), random_cost(std::move(random)) {}
+
+  // A scenario where every predicate has sorted cost `cs` and random cost
+  // `cr` (the classic symmetric settings, e.g. TA's cs = cr).
+  static CostModel Uniform(size_t num_predicates, double cs, double cr);
+
+  size_t num_predicates() const { return sorted_cost.size(); }
+
+  bool has_sorted(PredicateId i) const {
+    return std::isfinite(sorted_cost[i]);
+  }
+  bool has_random(PredicateId i) const {
+    return std::isfinite(random_cost[i]);
+  }
+  bool any_sorted() const;
+  bool any_random() const;
+
+  // Page size for predicate i (1 when unset).
+  size_t page_size(PredicateId i) const {
+    return sorted_page_size.empty() ? 1 : sorted_page_size[i];
+  }
+
+  // Amortized per-entry sorted cost: cs_i / b_i.
+  double sorted_entry_cost(PredicateId i) const {
+    return sorted_cost[i] / static_cast<double>(page_size(i));
+  }
+
+  // True when predicates i and j are served by the same source row.
+  bool same_group(PredicateId i, PredicateId j) const {
+    if (attribute_groups.empty()) return i == j;
+    return attribute_groups[i] == attribute_groups[j];
+  }
+
+  // OK iff the two vectors agree in size, are nonempty, and every finite
+  // cost is nonnegative.
+  Status Validate() const;
+
+  // e.g. "[cs=(1,1) cr=(10,inf)]".
+  std::string ToString() const;
+};
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_COST_MODEL_H_

@@ -1,0 +1,69 @@
+// The boundary between the middleware and the actual sources.
+//
+// Everything above SourceSet (engines, baselines, the optimizer) sees
+// scores only through the sorted/random access primitives; ScoreProvider
+// is where those primitives get their answers. The library ships a
+// Dataset-backed provider (the simulation substrate every experiment
+// uses); adopters wrap live services by implementing the three virtual
+// calls - SourceSet layers capability checks, paging, bundling, cost
+// accounting, and tracing on top, identically for either backing.
+
+#ifndef NC_ACCESS_SCORE_PROVIDER_H_
+#define NC_ACCESS_SCORE_PROVIDER_H_
+
+#include "common/score.h"
+#include "data/dataset.h"
+
+namespace nc {
+
+// One entry of a descending-sorted stream.
+struct SortedEntry {
+  ObjectId object = 0;
+  Score score = 0.0;
+};
+
+// Supplies ranked streams and exact scores. Implementations must be
+// consistent: SortedEntryAt(i, r) enumerates all objects exactly once in
+// non-increasing score order, and ScoreOf agrees with those entries.
+class ScoreProvider {
+ public:
+  virtual ~ScoreProvider() = default;
+
+  virtual size_t num_objects() const = 0;
+  virtual size_t num_predicates() const = 0;
+
+  // The rank-th (0-based) entry of predicate i's descending stream;
+  // rank < num_objects().
+  virtual SortedEntry SortedEntryAt(PredicateId i, size_t rank) = 0;
+
+  // The exact score p_i[u].
+  virtual Score ScoreOf(PredicateId i, ObjectId u) = 0;
+};
+
+// The simulation substrate: serves a Dataset.
+class DatasetScoreProvider final : public ScoreProvider {
+ public:
+  // `data` must outlive the provider.
+  explicit DatasetScoreProvider(const Dataset* data) : data_(data) {}
+
+  size_t num_objects() const override { return data_->num_objects(); }
+  size_t num_predicates() const override { return data_->num_predicates(); }
+
+  SortedEntry SortedEntryAt(PredicateId i, size_t rank) override {
+    const ObjectId u = data_->SortedOrder(i)[rank];
+    return SortedEntry{u, data_->score(u, i)};
+  }
+
+  Score ScoreOf(PredicateId i, ObjectId u) override {
+    return data_->score(u, i);
+  }
+
+  const Dataset* dataset() const { return data_; }
+
+ private:
+  const Dataset* data_;
+};
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_SCORE_PROVIDER_H_

@@ -1,0 +1,155 @@
+#include "access/source.h"
+
+#include "common/check.h"
+
+namespace nc {
+
+size_t AccessStats::TotalSorted() const {
+  size_t total = 0;
+  for (size_t c : sorted_count) total += c;
+  return total;
+}
+
+size_t AccessStats::TotalRandom() const {
+  size_t total = 0;
+  for (size_t c : random_count) total += c;
+  return total;
+}
+
+double AccessStats::TotalCost(const CostModel& model) const {
+  NC_CHECK(model.num_predicates() == sorted_count.size());
+  double total = 0.0;
+  for (size_t i = 0; i < sorted_count.size(); ++i) {
+    if (sorted_count[i] > 0) {
+      // Pages: ns entries consume ceil(ns / b) charged requests.
+      const size_t pages =
+          (sorted_count[i] + model.page_size(static_cast<PredicateId>(i)) -
+           1) /
+          model.page_size(static_cast<PredicateId>(i));
+      total += static_cast<double>(pages) * model.sorted_cost[i];
+    }
+    if (random_count[i] > 0) {
+      total += static_cast<double>(random_count[i]) * model.random_cost[i];
+    }
+  }
+  return total;
+}
+
+SourceSet::SourceSet(const Dataset* data, CostModel cost)
+    : SourceSet(nullptr, std::make_unique<DatasetScoreProvider>(data), data,
+                std::move(cost)) {}
+
+SourceSet::SourceSet(ScoreProvider* provider, CostModel cost)
+    : SourceSet(provider, nullptr, nullptr, std::move(cost)) {}
+
+SourceSet::SourceSet(ScoreProvider* provider,
+                     std::unique_ptr<DatasetScoreProvider> owned,
+                     const Dataset* data, CostModel cost)
+    : provider_(provider != nullptr ? provider : owned.get()),
+      owned_provider_(std::move(owned)),
+      data_(data),
+      cost_(std::move(cost)),
+      latency_rng_(0) {
+  NC_CHECK(provider_ != nullptr);
+  NC_CHECK(cost_.Validate().ok());
+  NC_CHECK(cost_.num_predicates() == provider_->num_predicates());
+  NC_CHECK(provider_->num_predicates() <= 64);
+  const size_t m = provider_->num_predicates();
+  stats_.sorted_count.assign(m, 0);
+  stats_.random_count.assign(m, 0);
+  positions_.assign(m, 0);
+  last_seen_.assign(m, kMaxScore);
+}
+
+std::optional<SortedHit> SourceSet::SortedAccess(PredicateId i) {
+  NC_CHECK(i < num_predicates());
+  NC_CHECK(has_sorted(i));
+  if (exhausted(i)) return std::nullopt;
+  ++stats_.sorted_count[i];
+  // With a page model, the charge lands on the first entry of each page
+  // (one request fetches the whole page).
+  if (positions_[i] % cost_.page_size(i) == 0) {
+    accrued_cost_ += cost_.sorted_cost[i];
+  }
+  if (trace_enabled_) trace_.push_back(Access::Sorted(i));
+  const SortedEntry entry = provider_->SortedEntryAt(i, positions_[i]);
+  ++positions_[i];
+  SortedHit hit;
+  hit.object = entry.object;
+  hit.score = entry.score;
+  // A multi-attribute source row carries the whole group.
+  if (!cost_.attribute_groups.empty()) {
+    for (PredicateId j = 0; j < num_predicates(); ++j) {
+      if (j != i && cost_.same_group(i, j)) {
+        hit.bundled.emplace_back(j, provider_->ScoreOf(j, hit.object));
+      }
+    }
+  }
+  // Side effect: every unseen object on this list is now bounded by the
+  // returned score; an exhausted list leaves no unseen objects, so the
+  // bound collapses to 0.
+  last_seen_[i] = exhausted(i) ? kMinScore : hit.score;
+  return hit;
+}
+
+Score SourceSet::RandomAccess(PredicateId i, ObjectId u) {
+  NC_CHECK(i < num_predicates());
+  NC_CHECK(has_random(i));
+  NC_CHECK(u < num_objects());
+  ++stats_.random_count[i];
+  accrued_cost_ += cost_.random_cost[i];
+  if (trace_enabled_) trace_.push_back(Access::Random(i, u));
+  uint64_t& mask = probed_[u];
+  const uint64_t bit = uint64_t{1} << i;
+  if ((mask & bit) != 0) ++stats_.duplicate_random_count;
+  mask |= bit;
+  return provider_->ScoreOf(i, u);
+}
+
+Status SourceSet::set_cost_model(CostModel cost) {
+  NC_RETURN_IF_ERROR(cost.Validate());
+  if (cost.num_predicates() != cost_.num_predicates()) {
+    return Status::InvalidArgument("cost model predicate count changed");
+  }
+  for (PredicateId i = 0; i < cost_.num_predicates(); ++i) {
+    if (cost.has_sorted(i) != cost_.has_sorted(i) ||
+        cost.has_random(i) != cost_.has_random(i)) {
+      return Status::InvalidArgument(
+          "capability pattern must not change mid-run");
+    }
+  }
+  cost_ = std::move(cost);
+  return Status::OK();
+}
+
+void SourceSet::Reset() {
+  const size_t m = num_predicates();
+  stats_.sorted_count.assign(m, 0);
+  stats_.random_count.assign(m, 0);
+  stats_.duplicate_random_count = 0;
+  accrued_cost_ = 0.0;
+  positions_.assign(m, 0);
+  last_seen_.assign(m, kMaxScore);
+  probed_.clear();
+  trace_.clear();
+}
+
+void SourceSet::set_latency_jitter(double jitter, uint64_t seed) {
+  NC_CHECK(jitter >= 0.0);
+  latency_jitter_ = jitter;
+  latency_rng_ = Rng(seed);
+}
+
+double SourceSet::DrawLatency(AccessType type, PredicateId i) {
+  NC_CHECK(i < num_predicates());
+  // Sorted latency is amortized per entry under the page model (a page
+  // arrives in one round trip; its entries stream out together).
+  const double unit = type == AccessType::kSorted
+                          ? cost_.sorted_entry_cost(i)
+                          : cost_.random_cost[i];
+  NC_CHECK(std::isfinite(unit));
+  if (latency_jitter_ == 0.0) return unit;
+  return unit * (1.0 + latency_jitter_ * latency_rng_.Uniform01());
+}
+
+}  // namespace nc

@@ -1,0 +1,171 @@
+// Web sources: the single gateway through which every algorithm (the NC
+// engine and all baselines) touches scores.
+//
+// A SourceSet wraps a ScoreProvider (by default the Dataset-backed
+// simulation substrate) with the capability/cost matrix of a scenario. It
+// implements the two access primitives of Section 3.2 with their defining
+// behaviors:
+//   * SortedAccess(i) is progressive - each call returns the next object
+//     in descending p_i order - and has the side effect of lowering the
+//     last-seen score l_i, which bounds every still-unseen object.
+//   * RandomAccess(i, u) returns p_i[u] exactly and should never be
+//     repeated (repeats are tolerated but counted separately so tests can
+//     assert algorithms do not waste them).
+//
+// All accounting (access counts, accrued cost per Eq. 1) happens here, so
+// benchmark numbers cannot drift from what algorithms actually did. The
+// unit-cost vector may be swapped mid-run (set_cost_model) to model the
+// dynamic Web; cost accrues at the rate in force when the access happens.
+
+#ifndef NC_ACCESS_SOURCE_H_
+#define NC_ACCESS_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "access/access.h"
+#include "access/cost_model.h"
+#include "access/score_provider.h"
+#include "common/rng.h"
+#include "common/score.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace nc {
+
+// Result of one sorted access: the next-ranked object and its exact score
+// on the accessed predicate, plus - for multi-attribute sources
+// (CostModel::attribute_groups) - the object's scores on every other
+// predicate the same source row carries.
+struct SortedHit {
+  ObjectId object = 0;
+  Score score = 0.0;
+  std::vector<std::pair<PredicateId, Score>> bundled;
+};
+
+// Per-scenario access counters.
+struct AccessStats {
+  std::vector<size_t> sorted_count;
+  std::vector<size_t> random_count;
+  // Random accesses that repeated an earlier (predicate, object) probe.
+  size_t duplicate_random_count = 0;
+
+  size_t TotalSorted() const;
+  size_t TotalRandom() const;
+
+  // Prices the counters against `model` (Eq. 1). Only meaningful for
+  // static cost scenarios; dynamic runs should use
+  // SourceSet::accrued_cost().
+  double TotalCost(const CostModel& model) const;
+};
+
+class SourceSet {
+ public:
+  // Simulation substrate: `data` must outlive the SourceSet. `cost` must
+  // validate and match data->num_predicates().
+  SourceSet(const Dataset* data, CostModel cost);
+
+  // Custom backing: `provider` must outlive the SourceSet. Use this to
+  // serve live sources; the planner falls back to dummy-uniform samples
+  // (no Dataset to draw from).
+  SourceSet(ScoreProvider* provider, CostModel cost);
+
+  size_t num_predicates() const { return provider_->num_predicates(); }
+  size_t num_objects() const { return provider_->num_objects(); }
+
+  // True when backed by an in-memory Dataset (dataset() is then legal).
+  bool has_dataset() const { return data_ != nullptr; }
+  const Dataset& dataset() const {
+    NC_CHECK(data_ != nullptr);
+    return *data_;
+  }
+
+  bool has_sorted(PredicateId i) const { return cost_.has_sorted(i); }
+  bool has_random(PredicateId i) const { return cost_.has_random(i); }
+
+  // Performs one sorted access on predicate i. Returns nullopt when the
+  // source is exhausted. Must not be called on a predicate without sorted
+  // support.
+  std::optional<SortedHit> SortedAccess(PredicateId i);
+
+  // Performs one random access for p_i[u]. Must not be called on a
+  // predicate without random support.
+  Score RandomAccess(PredicateId i, ObjectId u);
+
+  // The last-seen score l_i from sorted accesses on predicate i: the upper
+  // bound for any object not yet returned by sa_i. 1.0 before the first
+  // access; 0.0 once the source is exhausted (no unseen object remains, so
+  // the bound is vacuous).
+  Score last_seen(PredicateId i) const { return last_seen_[i]; }
+
+  // True once every object has been returned by sa_i.
+  bool exhausted(PredicateId i) const {
+    return positions_[i] >= provider_->num_objects();
+  }
+
+  // Number of sorted accesses performed so far on predicate i.
+  size_t sorted_position(PredicateId i) const { return positions_[i]; }
+
+  ScoreProvider& provider() const { return *provider_; }
+
+  const CostModel& cost_model() const { return cost_; }
+
+  // Swaps the unit costs mid-run (dynamic Web scenario). The capability
+  // pattern (which accesses are impossible) must not change.
+  Status set_cost_model(CostModel cost);
+
+  const AccessStats& stats() const { return stats_; }
+
+  // Cost accrued so far, priced access-by-access (robust to cost swaps).
+  double accrued_cost() const { return accrued_cost_; }
+
+  // Restores the SourceSet to its initial state: cursors rewound,
+  // counters, accrued cost, and any trace cleared.
+  void Reset();
+
+  // --- Access tracing --------------------------------------------------
+  // When enabled, every performed access is appended to trace() in order.
+  // Used by diagnostics and by the plan-property tests (e.g. verifying
+  // the SR shape of SR/G executions).
+  void EnableTrace() { trace_enabled_ = true; }
+  const std::vector<Access>& trace() const { return trace_; }
+
+  // --- Latency model (used by the parallel executor) ------------------
+  // Each access's simulated latency is unit_cost * (1 + jitter * U) with
+  // U uniform in [0, 1). jitter = 0 (the default) makes latency equal the
+  // unit cost, matching the paper's elapsed-time reading of Eq. 1.
+  void set_latency_jitter(double jitter, uint64_t seed);
+
+  // Draws the latency for one access of the given shape.
+  double DrawLatency(AccessType type, PredicateId i);
+
+ private:
+  // Shared initialization for both constructors.
+  SourceSet(ScoreProvider* provider,
+            std::unique_ptr<DatasetScoreProvider> owned,
+            const Dataset* data, CostModel cost);
+
+  ScoreProvider* provider_;
+  std::unique_ptr<DatasetScoreProvider> owned_provider_;
+  // Non-null only for Dataset-backed sources.
+  const Dataset* data_;
+  CostModel cost_;
+  AccessStats stats_;
+  double accrued_cost_ = 0.0;
+  // Cursor into Dataset::SortedOrder per predicate.
+  std::vector<size_t> positions_;
+  std::vector<Score> last_seen_;
+  // Per-object bitmask of predicates already random-probed (m <= 64).
+  std::unordered_map<ObjectId, uint64_t> probed_;
+  double latency_jitter_ = 0.0;
+  Rng latency_rng_;
+  bool trace_enabled_ = false;
+  std::vector<Access> trace_;
+};
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_SOURCE_H_

@@ -1,0 +1,88 @@
+#include "access/trace_format.h"
+
+#include <sstream>
+
+namespace nc {
+
+namespace {
+
+// True when consecutive accesses a and b belong to one rendered run.
+bool SameRun(const Access& a, const Access& b, bool targets) {
+  if (a.type != b.type || a.predicate != b.predicate) return false;
+  // With targets shown, random accesses never collapse (each names its
+  // object); without, runs collapse by predicate.
+  return a.type == AccessType::kSorted || !targets;
+}
+
+void AppendRun(std::ostringstream* os, const Access& head, size_t length,
+               bool targets) {
+  if (length > 1) (*os) << length << "x";
+  if (head.type == AccessType::kSorted || !targets) {
+    (*os) << (head.type == AccessType::kSorted ? "sa_" : "ra_")
+          << head.predicate;
+  } else {
+    (*os) << head.ToString();
+  }
+}
+
+}  // namespace
+
+std::string FormatTrace(const std::vector<Access>& trace,
+                        const TraceFormatOptions& options) {
+  std::ostringstream os;
+  size_t segments = 0;
+  size_t i = 0;
+  while (i < trace.size()) {
+    size_t j = i + 1;
+    while (j < trace.size() &&
+           SameRun(trace[i], trace[j], options.targets)) {
+      ++j;
+    }
+    if (options.max_segments != 0 && segments >= options.max_segments) {
+      if (segments > 0) os << ", ";
+      size_t remaining = 0;
+      for (size_t r = i; r < trace.size();) {
+        size_t s = r + 1;
+        while (s < trace.size() &&
+               SameRun(trace[r], trace[s], options.targets)) {
+          ++s;
+        }
+        ++remaining;
+        r = s;
+      }
+      os << "... (+" << remaining << " more)";
+      return os.str();
+    }
+    if (segments > 0) os << ", ";
+    AppendRun(&os, trace[i], j - i, options.targets);
+    ++segments;
+    i = j;
+  }
+  return os.str();
+}
+
+std::string SummarizeTrace(const std::vector<Access>& trace,
+                           size_t num_predicates) {
+  std::vector<size_t> sorted(num_predicates, 0);
+  std::vector<size_t> random(num_predicates, 0);
+  for (const Access& a : trace) {
+    if (a.predicate < num_predicates) {
+      (a.type == AccessType::kSorted ? sorted : random)[a.predicate] += 1;
+    }
+  }
+  std::ostringstream os;
+  os << "sa=(";
+  for (size_t i = 0; i < num_predicates; ++i) {
+    if (i > 0) os << ",";
+    os << sorted[i];
+  }
+  os << ") ra=(";
+  for (size_t i = 0; i < num_predicates; ++i) {
+    if (i > 0) os << ",";
+    os << random[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace nc

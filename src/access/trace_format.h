@@ -1,0 +1,40 @@
+// Compact rendering of access traces for logs and diagnostics.
+//
+// A raw trace of ten thousand accesses is unreadable; FormatTrace
+// run-length-encodes it into the pattern a person actually wants to see:
+//
+//     3xsa_0, sa_1, ra_1(u42), 2xsa_0, ...
+//
+// Consecutive sorted accesses on the same predicate collapse; random
+// accesses keep their targets (or collapse by predicate with
+// `targets=false`).
+
+#ifndef NC_ACCESS_TRACE_FORMAT_H_
+#define NC_ACCESS_TRACE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "access/access.h"
+
+namespace nc {
+
+struct TraceFormatOptions {
+  // Include ra targets ("ra_1(u42)") or collapse runs by predicate
+  // ("5xra_1").
+  bool targets = true;
+  // Truncate after this many rendered segments (0 = no limit); a
+  // "... (+N more)" suffix reports the cut.
+  size_t max_segments = 0;
+};
+
+std::string FormatTrace(const std::vector<Access>& trace,
+                        const TraceFormatOptions& options = {});
+
+// Per-predicate access-count summary: "sa=(12,3) ra=(0,7)".
+std::string SummarizeTrace(const std::vector<Access>& trace,
+                           size_t num_predicates);
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_TRACE_FORMAT_H_

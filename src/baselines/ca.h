@@ -1,0 +1,29 @@
+// Combined Algorithm (CA, [9]): the reference algorithm when random
+// access is much more expensive than sorted access (cr >> cs).
+//
+// CA amortizes each random-access burst over h = cr/cs rounds of sorted
+// access: run h round-robin sorted rounds, then completely evaluate the
+// most promising incomplete candidate (highest upper bound), and halt
+// once k complete candidates dominate every upper bound and the unseen
+// ceiling. We implement Fagin et al.'s published skeleton with the
+// standard simplification of completing one candidate per phase.
+
+#ifndef NC_BASELINES_CA_H_
+#define NC_BASELINES_CA_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Runs CA for the top-k. Requires sorted and random access on every
+// predicate. `h` overrides the sorted-rounds-per-probe-phase ratio; 0
+// derives it from the cost model (mean cr / mean cs, at least 1).
+Status RunCA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
+             size_t h, TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_CA_H_

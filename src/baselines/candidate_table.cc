@@ -1,0 +1,43 @@
+#include "baselines/candidate_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nc {
+
+std::vector<PredicateId> SortedCapable(const CostModel& model) {
+  std::vector<PredicateId> out;
+  for (PredicateId i = 0; i < model.num_predicates(); ++i) {
+    if (model.has_sorted(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<PredicateId> RandomCapable(const CostModel& model) {
+  std::vector<PredicateId> out;
+  for (PredicateId i = 0; i < model.num_predicates(); ++i) {
+    if (model.has_random(i)) out.push_back(i);
+  }
+  return out;
+}
+
+Status RequireUniformCapabilities(const SourceSet& sources, bool need_sorted,
+                                  bool need_random, const char* algorithm) {
+  const CostModel& model = sources.cost_model();
+  for (PredicateId i = 0; i < model.num_predicates(); ++i) {
+    if (need_sorted && !model.has_sorted(i)) {
+      return Status::Unsupported(std::string(algorithm) +
+                                 " requires sorted access on predicate " +
+                                 std::to_string(i));
+    }
+    if (need_random && !model.has_random(i)) {
+      return Status::Unsupported(std::string(algorithm) +
+                                 " requires random access on predicate " +
+                                 std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace nc

@@ -1,0 +1,35 @@
+// Shared plumbing for the baseline algorithms (Figure 2's matrix).
+//
+// Every baseline works off the same primitives as the NC engine - the
+// access layer, the candidate pool, and bound evaluation - but implements
+// its published control loop independently, so cost comparisons between
+// NC and a baseline compare genuinely different schedulers rather than
+// two spellings of one engine.
+
+#ifndef NC_BASELINES_CANDIDATE_TABLE_H_
+#define NC_BASELINES_CANDIDATE_TABLE_H_
+
+#include <vector>
+
+#include "access/source.h"
+#include "common/score.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "core/topk_collector.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// The predicates of `model` that support the given access type, ascending.
+std::vector<PredicateId> SortedCapable(const CostModel& model);
+std::vector<PredicateId> RandomCapable(const CostModel& model);
+
+// Returns Unsupported unless every predicate supports sorted access
+// (and random access, when `need_random` is set). Baselines use this to
+// declare their scenario requirements up front.
+Status RequireUniformCapabilities(const SourceSet& sources, bool need_sorted,
+                                  bool need_random, const char* algorithm);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_CANDIDATE_TABLE_H_

@@ -1,0 +1,26 @@
+// Fagin's Algorithm (FA, [8, 16] in the paper), the original middleware
+// top-k algorithm for uniform access costs.
+//
+// Phase 1: round-robin sorted access until at least k objects have been
+// seen on *every* list. Phase 2: random-complete every seen object and
+// return the best k. FA predates the threshold test, so it reads deeper
+// and probes more than TA - the benchmarks show exactly that.
+
+#ifndef NC_BASELINES_FA_H_
+#define NC_BASELINES_FA_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Runs FA for the top-k. Requires sorted and random access on every
+// predicate (returns Unsupported otherwise).
+Status RunFA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
+             TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_FA_H_

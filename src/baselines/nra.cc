@@ -1,0 +1,151 @@
+#include "baselines/nra.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/candidate_table.h"
+#include "common/check.h"
+#include "core/candidate.h"
+
+namespace nc {
+
+namespace {
+
+// One full round of sorted accesses; returns false when every stream is
+// exhausted.
+bool SortedRound(SourceSet* sources, CandidatePool* pool) {
+  bool any = false;
+  const size_t m = sources->num_predicates();
+  for (PredicateId i = 0; i < m; ++i) {
+    if (sources->exhausted(i)) continue;
+    const std::optional<SortedHit> hit = sources->SortedAccess(i);
+    if (!hit.has_value()) continue;
+    any = true;
+    Candidate& c = pool->GetOrCreate(hit->object);
+    if (!c.IsEvaluated(i)) c.SetScore(i, hit->score);
+  }
+  return any;
+}
+
+// The classic halting test: true when the k-th best lower bound dominates
+// every other candidate's upper bound and the unseen ceiling. On success
+// fills `out` with the winners (scores = lower bounds at halt).
+bool SetOnlyHalted(const SourceSet& sources, CandidatePool& pool,
+                   BoundEvaluator& bounds, size_t k, TopKResult* out) {
+  const size_t m = sources.num_predicates();
+  std::vector<Score> ceilings(m);
+  for (PredicateId i = 0; i < m; ++i) ceilings[i] = sources.last_seen(i);
+
+  struct State {
+    ObjectId object;
+    Score lower;
+    Score upper;
+  };
+  std::vector<State> states;
+  states.reserve(pool.size());
+  for (Candidate& c : pool) {
+    states.push_back(
+        State{c.id, bounds.Lower(c), bounds.Upper(c, ceilings)});
+  }
+  if (states.size() < k) return false;
+
+  // Top-k by lower bound (ties by ObjectId, descending).
+  std::partial_sort(states.begin(), states.begin() + k, states.end(),
+                    [](const State& a, const State& b) {
+                      if (a.lower != b.lower) return a.lower > b.lower;
+                      return a.object > b.object;
+                    });
+  const Score kth_lower = states[k - 1].lower;
+
+  // Unseen objects are capped by F(l).
+  const bool unseen_possible = pool.size() < sources.num_objects();
+  if (unseen_possible) {
+    const Score unseen_cap = bounds.scoring().Evaluate(ceilings);
+    if (unseen_cap > kth_lower) return false;
+  }
+  for (size_t idx = k; idx < states.size(); ++idx) {
+    if (states[idx].upper > kth_lower) return false;
+  }
+  out->entries.clear();
+  for (size_t idx = 0; idx < k; ++idx) {
+    out->entries.push_back(TopKEntry{states[idx].object, states[idx].lower});
+  }
+  return true;
+}
+
+// Exact-score halting (Theorem 1 shape): true when the k best candidates
+// by upper bound are all complete; fills `out` with their exact scores.
+bool ExactHalted(const SourceSet& sources, CandidatePool& pool,
+                 BoundEvaluator& bounds, size_t k, TopKResult* out) {
+  const size_t m = sources.num_predicates();
+  std::vector<Score> ceilings(m);
+  for (PredicateId i = 0; i < m; ++i) ceilings[i] = sources.last_seen(i);
+
+  struct State {
+    ObjectId object;
+    Score upper;
+    bool complete;
+  };
+  std::vector<State> states;
+  states.reserve(pool.size());
+  for (Candidate& c : pool) {
+    states.push_back(
+        State{c.id, bounds.Upper(c, ceilings), c.IsComplete(m)});
+  }
+  const size_t take = std::min(k, states.size());
+  if (take == 0) return false;
+  std::partial_sort(states.begin(), states.begin() + take, states.end(),
+                    [](const State& a, const State& b) {
+                      if (a.upper != b.upper) return a.upper > b.upper;
+                      return a.object > b.object;
+                    });
+  const bool unseen_possible = pool.size() < sources.num_objects();
+  if (unseen_possible) {
+    // An unseen object could still outrank the k-th candidate.
+    const Score unseen_cap = bounds.scoring().Evaluate(ceilings);
+    if (states.size() < k || unseen_cap > states[take - 1].upper) {
+      return false;
+    }
+  }
+  for (size_t idx = 0; idx < take; ++idx) {
+    if (!states[idx].complete) return false;
+  }
+  out->entries.clear();
+  for (size_t idx = 0; idx < take; ++idx) {
+    out->entries.push_back(TopKEntry{states[idx].object, states[idx].upper});
+  }
+  return true;
+}
+
+}  // namespace
+
+Status RunNRA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
+              NRAMode mode, TopKResult* out) {
+  NC_CHECK(out != nullptr);
+  NC_RETURN_IF_ERROR(RequireUniformCapabilities(*sources, /*need_sorted=*/true,
+                                                /*need_random=*/false, "NRA"));
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  const size_t m = sources->num_predicates();
+  CandidatePool pool(m);
+  BoundEvaluator bounds(&scoring);
+
+  while (true) {
+    const bool live = SortedRound(sources, &pool);
+    const bool halted =
+        mode == NRAMode::kSetOnly
+            ? SetOnlyHalted(*sources, pool, bounds, k, out)
+            : ExactHalted(*sources, pool, bounds, k, out);
+    if (halted) return Status::OK();
+    if (!live) {
+      // Streams drained: every candidate is complete; rank them directly.
+      TopKCollector collector(k);
+      for (Candidate& c : pool) {
+        collector.Offer(c.id, bounds.Exact(c));
+      }
+      *out = collector.Take();
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace nc

@@ -1,0 +1,41 @@
+// No-Random-Access algorithm (NRA, [9]): the reference algorithm when
+// random access is impossible (cr_i = infinity).
+//
+// Round-robin sorted access on every list, maintaining per-candidate lower
+// bounds (unknown -> 0) and upper bounds (unknown -> l_i). Two halting
+// semantics are provided:
+//
+//   kSetOnly     - the classic NRA contract: halt once the k-th best lower
+//                  bound dominates every other candidate's upper bound and
+//                  the unseen ceiling F(l). The returned objects are the
+//                  top-k, but reported scores are lower bounds, not
+//                  necessarily exact.
+//   kExactScores - the paper's query semantics (Definition 1 requires
+//                  exact scores for answers): keep reading until the top-k
+//                  by upper bound are completely evaluated. Costs more;
+//                  this is the apples-to-apples mode for comparing against
+//                  NC.
+
+#ifndef NC_BASELINES_NRA_H_
+#define NC_BASELINES_NRA_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+enum class NRAMode {
+  kSetOnly,
+  kExactScores,
+};
+
+// Runs NRA for the top-k. Requires sorted access on every predicate
+// (returns Unsupported otherwise); never performs random access.
+Status RunNRA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
+              NRAMode mode, TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_NRA_H_

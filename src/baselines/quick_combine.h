@@ -1,0 +1,32 @@
+// Quick-Combine (Guentzer, Balke & Kiessling, VLDB 2000; [10] in the
+// paper): TA enhanced with a runtime indicator for choosing which list to
+// read next.
+//
+// Instead of TA's strict round-robin, the next sorted access goes to the
+// list with the largest indicator
+//     delta_i = dF/dx_i (at the current ceiling vector)
+//               * (l_i d-steps-ago - l_i now),
+// i.e., the list whose stream is dropping fastest weighted by how much the
+// scoring function cares. Newly seen objects are random-completed
+// immediately and the TA threshold test halts the run. The paper points
+// out the indicator's limit: for F = min the partial derivative carries
+// almost no signal - visible in the benchmarks.
+
+#ifndef NC_BASELINES_QUICK_COMBINE_H_
+#define NC_BASELINES_QUICK_COMBINE_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Runs Quick-Combine for the top-k. Requires sorted and random access on
+// every predicate. `lookback` is the indicator window d (>= 1).
+Status RunQuickCombine(SourceSet* sources, const ScoringFunction& scoring,
+                       size_t k, size_t lookback, TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_QUICK_COMBINE_H_

@@ -1,0 +1,30 @@
+// Stream-Combine (Guentzer, Balke & Kiessling, 2001; [11] in the paper):
+// the sorted-access-only sibling of Quick-Combine.
+//
+// Like NRA it never performs random access; like Quick-Combine it replaces
+// round-robin with an indicator,
+//     delta_i = (#current top-k candidates missing p_i)
+//               * dF/dx_i (at the ceilings) * recent drop of l_i,
+// reading the list expected to tighten the top candidates fastest. Halting
+// and output semantics follow classic NRA (a correct top-k set whose
+// reported scores are lower bounds).
+
+#ifndef NC_BASELINES_STREAM_COMBINE_H_
+#define NC_BASELINES_STREAM_COMBINE_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Runs Stream-Combine for the top-k. Requires sorted access on every
+// predicate; never performs random access. `lookback` is the indicator
+// window d (>= 1).
+Status RunStreamCombine(SourceSet* sources, const ScoringFunction& scoring,
+                        size_t k, size_t lookback, TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_STREAM_COMBINE_H_

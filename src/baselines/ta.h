@@ -1,0 +1,29 @@
+// The Threshold Algorithm (Fagin/Nepal/Guentzer; [14, 9] in the paper),
+// the reference algorithm for the uniform-cost scenario cs_i ~ cr_i.
+//
+// Round-robin sorted access on every list; each newly seen object is
+// immediately random-completed on its remaining predicates and its exact
+// score enters the top-k buffer. Halt as soon as the k-th buffered score
+// reaches the threshold T = F(l_1..l_m).
+//
+// Characteristic behaviors the paper contrasts NC against (Section 8.1):
+// equal-depth sorted access, exhaustive random access, early stop.
+
+#ifndef NC_BASELINES_TA_H_
+#define NC_BASELINES_TA_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Runs TA for the top-k. Requires sorted and random access on every
+// predicate (returns Unsupported otherwise).
+Status RunTA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
+             TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_TA_H_

@@ -1,0 +1,29 @@
+// TAz (Fagin, Lotem & Naor's TA variant for sources without sorted
+// access, "Optimal aggregation algorithms for middleware" Section 8):
+// the reference algorithm when only a subset z of the predicates exposes
+// sorted streams but every predicate can be probed.
+//
+// Round-robin sorted access over the streams in z; each newly seen object
+// is immediately random-completed on all remaining predicates; the
+// threshold reads the last-seen score on streams in z and the trivial
+// ceiling 1 elsewhere. Halts when k collected exact scores reach the
+// threshold.
+
+#ifndef NC_BASELINES_TAZ_H_
+#define NC_BASELINES_TAZ_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Runs TAz for the top-k. Requires random access on every predicate and
+// sorted access on at least one (returns Unsupported otherwise).
+Status RunTAz(SourceSet* sources, const ScoringFunction& scoring, size_t k,
+              TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_BASELINES_TAZ_H_

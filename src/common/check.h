@@ -1,0 +1,32 @@
+// Lightweight assertion macros for internal invariants.
+//
+// The library does not use exceptions (fallible public operations return
+// nc::Status); NC_CHECK/NC_DCHECK guard invariants that indicate programmer
+// error, aborting with a source location and message when violated.
+
+#ifndef NC_COMMON_CHECK_H_
+#define NC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant check. `cond` is evaluated exactly once.
+#define NC_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "NC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define NC_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define NC_DCHECK(cond) NC_CHECK(cond)
+#endif
+
+#endif  // NC_COMMON_CHECK_H_

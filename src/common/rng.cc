@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace nc {
+
+double Rng::Uniform01() {
+  // Uses the top 53 bits for a uniform double in [0, 1).
+  return (engine_() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  NC_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform01();
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  NC_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t value = engine_();
+  while (value >= limit) value = engine_();
+  return value % bound;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; uses one draw per call (discards the sibling for stream
+  // simplicity and determinism of interleaved draw shapes).
+  double u1 = Uniform01();
+  double u2 = Uniform01();
+  if (u1 <= 0.0) u1 = 1e-300;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::ZipfRank(uint64_t n, double skew) {
+  NC_CHECK(n > 0);
+  NC_CHECK(skew > 0.0);
+  // Inverse-CDF via the standard rejection-inversion approximation for the
+  // continuous envelope, clamped to [0, n).
+  //
+  // For the moderate n used in experiments a simple inversion against the
+  // harmonic normalizer is exact and fast enough once the normalizer is
+  // cached per (n, skew).
+  if (n != zipf_cache_n_ || skew != zipf_cache_skew_) {
+    zipf_cdf_.resize(n);
+    double total = 0.0;
+    for (uint64_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+      zipf_cdf_[r] = total;
+    }
+    for (uint64_t r = 0; r < n; ++r) zipf_cdf_[r] /= total;
+    zipf_cache_n_ = n;
+    zipf_cache_skew_ = skew;
+  }
+  const double u = Uniform01();
+  // Binary search for the first rank whose CDF covers u.
+  uint64_t lo = 0;
+  uint64_t hi = n - 1;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n,
+                                                    uint64_t count) {
+  NC_CHECK(count <= n);
+  std::vector<uint64_t> picked;
+  picked.reserve(count);
+  // Selection sampling (Knuth 3.4.2 Algorithm S).
+  uint64_t remaining = count;
+  for (uint64_t i = 0; i < n && remaining > 0; ++i) {
+    const double threshold = static_cast<double>(remaining) /
+                             static_cast<double>(n - i);
+    if (Uniform01() < threshold) {
+      picked.push_back(i);
+      --remaining;
+    }
+  }
+  return picked;
+}
+
+}  // namespace nc

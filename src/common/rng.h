@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// All randomness in the library (data generation, sampling, hill-climbing
+// restarts, latency jitter) flows through nc::Rng so that every experiment
+// is reproducible from a seed.
+
+#ifndef NC_COMMON_RNG_H_
+#define NC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nc {
+
+// A seeded pseudo-random generator with the handful of draw shapes the
+// library needs. Copyable; copies continue the same stream independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform01();
+
+  // Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  // Standard normal draw scaled to mean/stddev.
+  double Gaussian(double mean, double stddev);
+
+  // Zipf-distributed rank in [0, n) with exponent `skew` > 0: rank r is
+  // drawn with probability proportional to 1 / (r + 1)^skew.
+  uint64_t ZipfRank(uint64_t n, double skew);
+
+  // Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    NC_CHECK(values != nullptr);
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  // Draws `count` distinct indices from [0, n) (count <= n), in increasing
+  // order (reservoir-free selection sampling; deterministic given the seed).
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+ private:
+  std::mt19937_64 engine_;
+
+  // Cached CDF for ZipfRank, keyed by (n, skew) of the last call.
+  uint64_t zipf_cache_n_ = 0;
+  double zipf_cache_skew_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace nc
+
+#endif  // NC_COMMON_RNG_H_

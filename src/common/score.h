@@ -1,0 +1,49 @@
+// Core scalar types shared across the library.
+//
+// Predicate scores and aggregate query scores live in [0, 1] (Section 3.1
+// of the paper). Access costs are nonnegative doubles; an impossible access
+// has cost kImpossibleCost (+infinity).
+
+#ifndef NC_COMMON_SCORE_H_
+#define NC_COMMON_SCORE_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nc {
+
+// A predicate or aggregate score in [0, 1].
+using Score = double;
+
+// Identifies an object in a database; dense in [0, n).
+using ObjectId = uint32_t;
+
+// Identifies a ranking predicate p_i; dense in [0, m).
+using PredicateId = uint32_t;
+
+inline constexpr Score kMinScore = 0.0;
+inline constexpr Score kMaxScore = 1.0;
+
+// Unit cost marking an unsupported access type (Figure 2's "impossible").
+inline constexpr double kImpossibleCost =
+    std::numeric_limits<double>::infinity();
+
+// Sentinel ObjectId for the virtual "unseen" object used under the
+// no-wild-guesses model (Section 8): it stands for every object not yet
+// returned by any sorted access.
+inline constexpr ObjectId kUnseenObject =
+    std::numeric_limits<ObjectId>::max();
+
+// Returns true iff `s` is a valid predicate/aggregate score.
+inline bool IsValidScore(Score s) { return s >= kMinScore && s <= kMaxScore; }
+
+// Clamps `s` into the valid score range.
+inline Score ClampScore(Score s) {
+  if (s < kMinScore) return kMinScore;
+  if (s > kMaxScore) return kMaxScore;
+  return s;
+}
+
+}  // namespace nc
+
+#endif  // NC_COMMON_SCORE_H_

@@ -1,0 +1,49 @@
+// Small descriptive-statistics helpers used by the optimizer (predicate
+// selectivity estimation from samples), the benchmarks (series summaries),
+// and the tests (distribution checks on generated data).
+
+#ifndef NC_COMMON_STATS_H_
+#define NC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nc {
+
+// Arithmetic mean; 0.0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+// Population variance / standard deviation; 0.0 for fewer than 2 values.
+double Variance(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+// Linear-interpolated percentile, q in [0, 1]. Sorts a copy.
+double Percentile(std::vector<double> values, double q);
+
+// Pearson correlation coefficient; 0.0 if either side is constant.
+// Requires xs.size() == ys.size().
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+// Running aggregate for streaming series (Welford).
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace nc
+
+#endif  // NC_COMMON_STATS_H_

@@ -1,0 +1,79 @@
+// Error propagation without exceptions.
+//
+// Fallible public operations return nc::Status. The set of codes is small
+// and mirrors the situations the middleware can actually hit: malformed
+// queries, scenarios that cannot answer the query (e.g., a predicate with
+// neither access type), and internal errors.
+
+#ifndef NC_COMMON_STATUS_H_
+#define NC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace nc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnsupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result. Cheap to copy on the success path (no
+// allocation); error paths carry a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates a non-OK status to the caller.
+#define NC_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::nc::Status _nc_status = (expr);         \
+    if (!_nc_status.ok()) return _nc_status;  \
+  } while (false)
+
+}  // namespace nc
+
+#endif  // NC_COMMON_STATUS_H_

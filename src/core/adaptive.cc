@@ -1,0 +1,50 @@
+#include "core/adaptive.h"
+
+#include "common/check.h"
+#include "core/engine.h"
+#include "core/srg_policy.h"
+
+namespace nc {
+
+Status RunAdaptiveNC(SourceSet* sources, const ScoringFunction& scoring,
+                     const AdaptiveOptions& options, TopKResult* out,
+                     AdaptiveReport* report) {
+  NC_CHECK(sources != nullptr);
+  NC_CHECK(out != nullptr);
+
+  CostBasedPlanner planner(&scoring, options.planner);
+  OptimizerResult plan;
+  NC_RETURN_IF_ERROR(planner.Plan(*sources, options.k, &plan));
+
+  SRGPolicy policy(plan.config);
+  size_t replans = 0;
+  Status replan_status;  // First re-planning failure, surfaced at the end.
+
+  EngineOptions engine_options;
+  engine_options.k = options.k;
+  engine_options.access_callback = [&](size_t access_index) {
+    if (options.drift) options.drift(*sources, access_index);
+    if (options.reoptimize_every != 0 &&
+        access_index % options.reoptimize_every == 0) {
+      OptimizerResult refreshed;
+      const Status status = planner.Plan(*sources, options.k, &refreshed);
+      if (!status.ok()) {
+        if (replan_status.ok()) replan_status = status;
+        return;  // Keep the current plan.
+      }
+      policy.set_config(refreshed.config);
+      plan = std::move(refreshed);
+      ++replans;
+    }
+  };
+
+  NC_RETURN_IF_ERROR(RunNC(sources, &scoring, &policy, engine_options, out));
+  NC_RETURN_IF_ERROR(replan_status);
+  if (report != nullptr) {
+    report->replans = replans;
+    report->final_plan = plan;
+  }
+  return Status::OK();
+}
+
+}  // namespace nc

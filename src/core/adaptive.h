@@ -1,0 +1,48 @@
+// Mid-query re-optimization for dynamic cost scenarios.
+//
+// The Web's costs drift with load and availability - the core motivation
+// for cost-*based* (rather than scenario-hardwired) optimization. This
+// executor re-plans periodically during execution: every
+// `reoptimize_every` accesses it re-runs the planner against the sources'
+// *current* cost model and swaps the SR/G parameters in place. Because
+// depths are score thresholds (not positions), a new depth vector applies
+// cleanly to a half-executed query: streams already past their new
+// threshold simply stop being attractive, streams short of it resume.
+
+#ifndef NC_CORE_ADAPTIVE_H_
+#define NC_CORE_ADAPTIVE_H_
+
+#include <functional>
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/planner.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+struct AdaptiveOptions {
+  size_t k = 1;
+  // Accesses between re-plans; 0 disables re-planning (plan once).
+  size_t reoptimize_every = 500;
+  PlannerOptions planner;
+  // Scenario hook invoked after every access; benchmarks use it to drift
+  // the sources' unit costs mid-run.
+  std::function<void(SourceSet&, size_t)> drift;
+};
+
+struct AdaptiveReport {
+  size_t replans = 0;
+  // The plan in force when the query finished.
+  OptimizerResult final_plan;
+};
+
+// Plans, executes, and re-plans per `options`. `report` is optional.
+Status RunAdaptiveNC(SourceSet* sources, const ScoringFunction& scoring,
+                     const AdaptiveOptions& options, TopKResult* out,
+                     AdaptiveReport* report = nullptr);
+
+}  // namespace nc
+
+#endif  // NC_CORE_ADAPTIVE_H_

@@ -1,0 +1,55 @@
+#include "core/bound_heap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nc {
+
+bool LazyBoundHeap::Before(const Entry& a, const Entry& b) {
+  // "Less" for a max-heap: true when a ranks strictly below b. On ties,
+  // seen objects outrank the virtual unseen sentinel (the paper's Figure
+  // 10: hit objects surface above `unseen` at equal bounds); among seen
+  // objects, higher ObjectId ranks first.
+  if (a.bound != b.bound) return a.bound < b.bound;
+  if (a.object == kUnseenObject) return b.object != kUnseenObject;
+  if (b.object == kUnseenObject) return false;
+  return a.object < b.object;
+}
+
+void LazyBoundHeap::Push(ObjectId object, Score bound) {
+  heap_.push_back(Entry{bound, object});
+  std::push_heap(heap_.begin(), heap_.end(), Before);
+}
+
+size_t LazyBoundHeap::PopTopK(size_t k, const BoundFn& bound_fn,
+                              std::vector<Entry>* out) {
+  NC_CHECK(out != nullptr);
+  out->clear();
+  while (out->size() < k && !heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Before);
+    Entry top = heap_.back();
+    heap_.pop_back();
+    const std::optional<Score> current = bound_fn(top.object);
+    if (!current.has_value()) continue;  // Entry retired.
+    NC_DCHECK(*current <= top.bound);
+    if (*current < top.bound) {
+      // Stale: refresh and keep searching.
+      top.bound = *current;
+      heap_.push_back(top);
+      std::push_heap(heap_.begin(), heap_.end(), Before);
+      continue;
+    }
+    out->push_back(top);
+  }
+  return out->size();
+}
+
+void LazyBoundHeap::Reinsert(std::span<const Entry> entries) {
+  for (const Entry& e : entries) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Before);
+  }
+}
+
+}  // namespace nc

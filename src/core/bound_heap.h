@@ -1,0 +1,66 @@
+// Lazy max-heap over maximal-possible scores.
+//
+// Upper bounds in top-k processing only ever decrease (F is monotone, the
+// last-seen scores l_i fall, and an exact score never exceeds the bound it
+// replaces). The heap exploits this: cached priorities are stale-high, so
+// the entry at the root is the true maximum iff its recomputed bound
+// matches its cached one; otherwise it is reinserted with the fresh bound
+// and the search continues. This is MPro's queue trick and gives
+// O(log n) amortized top-k maintenance without global rescans.
+//
+// Each live object has exactly one entry; ties order by descending
+// ObjectId (the library-wide deterministic tie-breaker), except that the
+// virtual unseen object (id = kUnseenObject) ranks below any seen object
+// with an equal bound - a hit object immediately surfaces above `unseen`
+// (the paper's Figure 10).
+
+#ifndef NC_CORE_BOUND_HEAP_H_
+#define NC_CORE_BOUND_HEAP_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/score.h"
+
+namespace nc {
+
+class LazyBoundHeap {
+ public:
+  struct Entry {
+    Score bound = 0.0;
+    ObjectId object = 0;
+  };
+
+  // Recomputes the current bound of an object; nullopt retires the entry
+  // (used for the unseen sentinel once every object has been seen).
+  // Must never return a value above the entry's cached bound.
+  using BoundFn = std::function<std::optional<Score>(ObjectId)>;
+
+  // Adds an entry. The caller guarantees the object is not already in the
+  // heap.
+  void Push(ObjectId object, Score bound);
+
+  // Pops up to `k` entries in verified rank order (highest current bound
+  // first) into `out` (cleared first). Popped entries leave the heap; put
+  // them back with Reinsert. Returns the number of entries produced
+  // (fewer than k only when the heap ran out).
+  size_t PopTopK(size_t k, const BoundFn& bound_fn, std::vector<Entry>* out);
+
+  // Returns previously popped entries to the heap.
+  void Reinsert(std::span<const Entry> entries);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  // std::push_heap/pop_heap over this comparator keep the max on top.
+  static bool Before(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_BOUND_HEAP_H_

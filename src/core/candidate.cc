@@ -1,0 +1,54 @@
+#include "core/candidate.h"
+
+namespace nc {
+
+Candidate& CandidatePool::GetOrCreate(ObjectId u, bool* created) {
+  auto [it, inserted] = index_.try_emplace(u, candidates_.size());
+  if (inserted) {
+    candidates_.emplace_back();
+    Candidate& c = candidates_.back();
+    c.id = u;
+    c.scores.resize(num_predicates_, 0.0);
+  }
+  if (created != nullptr) *created = inserted;
+  return candidates_[it->second];
+}
+
+Candidate* CandidatePool::Find(ObjectId u) {
+  auto it = index_.find(u);
+  if (it == index_.end()) return nullptr;
+  return &candidates_[it->second];
+}
+
+const Candidate* CandidatePool::Find(ObjectId u) const {
+  auto it = index_.find(u);
+  if (it == index_.end()) return nullptr;
+  return &candidates_[it->second];
+}
+
+Score BoundEvaluator::Upper(const Candidate& c,
+                            std::span<const Score> ceilings) {
+  NC_DCHECK(ceilings.size() == scratch_.size());
+  NC_DCHECK(c.scores.size() == scratch_.size());
+  for (size_t i = 0; i < scratch_.size(); ++i) {
+    scratch_[i] = c.IsEvaluated(static_cast<PredicateId>(i)) ? c.scores[i]
+                                                             : ceilings[i];
+  }
+  return scoring_->Evaluate(scratch_);
+}
+
+Score BoundEvaluator::Lower(const Candidate& c) {
+  NC_DCHECK(c.scores.size() == scratch_.size());
+  for (size_t i = 0; i < scratch_.size(); ++i) {
+    scratch_[i] =
+        c.IsEvaluated(static_cast<PredicateId>(i)) ? c.scores[i] : kMinScore;
+  }
+  return scoring_->Evaluate(scratch_);
+}
+
+Score BoundEvaluator::Exact(const Candidate& c) {
+  NC_DCHECK(c.IsComplete(scratch_.size()));
+  return scoring_->Evaluate(c.scores);
+}
+
+}  // namespace nc

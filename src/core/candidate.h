@@ -1,0 +1,115 @@
+// Per-object score state gathered during query processing.
+//
+// A Candidate records which predicates of an object have been determined
+// (by a sorted hit or a random probe) and their exact scores. The
+// maximal-possible score F-bar (Eq. 3) substitutes every undetermined
+// predicate with its ceiling - the last-seen score l_i of the predicate's
+// sorted stream (1.0 if the stream was never read).
+
+#ifndef NC_CORE_CANDIDATE_H_
+#define NC_CORE_CANDIDATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/score.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Score state of one seen object. Predicates with an unset bit in
+// `evaluated_mask` have undefined entries in `scores`.
+struct Candidate {
+  ObjectId id = 0;
+  uint64_t evaluated_mask = 0;
+  std::vector<Score> scores;
+
+  bool IsEvaluated(PredicateId i) const {
+    return (evaluated_mask & (uint64_t{1} << i)) != 0;
+  }
+
+  void SetScore(PredicateId i, Score s) {
+    NC_DCHECK(i < scores.size());
+    scores[i] = s;
+    evaluated_mask |= uint64_t{1} << i;
+  }
+
+  // True once every one of the m predicates is determined.
+  bool IsComplete(size_t num_predicates) const {
+    const uint64_t full = num_predicates == 64
+                              ? ~uint64_t{0}
+                              : (uint64_t{1} << num_predicates) - 1;
+    return (evaluated_mask & full) == full;
+  }
+
+  size_t NumEvaluated() const {
+    return static_cast<size_t>(__builtin_popcountll(evaluated_mask));
+  }
+};
+
+// Owns candidates with stable references; keyed by ObjectId.
+class CandidatePool {
+ public:
+  explicit CandidatePool(size_t num_predicates)
+      : num_predicates_(num_predicates) {
+    NC_CHECK(num_predicates_ > 0 && num_predicates_ <= 64);
+  }
+
+  // Returns the candidate for `u`, creating it (with no evaluated
+  // predicates) on first sight. Sets *created accordingly when non-null.
+  Candidate& GetOrCreate(ObjectId u, bool* created = nullptr);
+
+  // Returns the candidate for `u`, or nullptr if it was never seen.
+  Candidate* Find(ObjectId u);
+  const Candidate* Find(ObjectId u) const;
+
+  size_t size() const { return candidates_.size(); }
+  size_t num_predicates() const { return num_predicates_; }
+
+  // Iteration in creation order.
+  auto begin() { return candidates_.begin(); }
+  auto end() { return candidates_.end(); }
+  auto begin() const { return candidates_.begin(); }
+  auto end() const { return candidates_.end(); }
+
+ private:
+  size_t num_predicates_;
+  // deque: stable element addresses across growth.
+  std::deque<Candidate> candidates_;
+  std::unordered_map<ObjectId, size_t> index_;
+};
+
+// Evaluates F-bounds for candidates; owns the scratch buffer so hot loops
+// do not allocate.
+class BoundEvaluator {
+ public:
+  explicit BoundEvaluator(const ScoringFunction* scoring)
+      : scoring_(scoring), scratch_(scoring->arity()) {
+    NC_CHECK(scoring_ != nullptr);
+  }
+
+  // Maximal-possible score: undetermined predicate i is read as
+  // ceilings[i] (Eq. 3). ceilings.size() must equal the arity.
+  Score Upper(const Candidate& c, std::span<const Score> ceilings);
+
+  // Minimal-possible score: undetermined predicates read as 0 (used by
+  // the NRA-style baselines).
+  Score Lower(const Candidate& c);
+
+  // Exact score of a complete candidate.
+  Score Exact(const Candidate& c);
+
+  const ScoringFunction& scoring() const { return *scoring_; }
+
+ private:
+  const ScoringFunction* scoring_;
+  std::vector<Score> scratch_;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_CANDIDATE_H_

@@ -1,0 +1,301 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nc {
+
+NCEngine::NCEngine(SourceSet* sources, const ScoringFunction* scoring,
+                   SelectPolicy* policy, EngineOptions options)
+    : sources_(sources),
+      scoring_(scoring),
+      policy_(policy),
+      options_(std::move(options)),
+      pool_(sources->num_predicates()),
+      bounds_(scoring),
+      ceilings_(sources->num_predicates(), kMaxScore) {
+  NC_CHECK(sources_ != nullptr);
+  NC_CHECK(scoring_ != nullptr);
+  NC_CHECK(policy_ != nullptr);
+}
+
+std::optional<Score> NCEngine::CurrentBound(ObjectId u) {
+  const size_t m = sources_->num_predicates();
+  if (u == kUnseenObject) {
+    // The sentinel dies once every object has been seen.
+    if (pool_.size() >= sources_->num_objects()) return std::nullopt;
+    for (PredicateId i = 0; i < m; ++i) ceilings_[i] = sources_->last_seen(i);
+    return scoring_->Evaluate(ceilings_);
+  }
+  const Candidate* c = pool_.Find(u);
+  NC_CHECK(c != nullptr);
+  if (c->IsComplete(m)) return bounds_.Exact(*c);
+  for (PredicateId i = 0; i < m; ++i) ceilings_[i] = sources_->last_seen(i);
+  return bounds_.Upper(*c, ceilings_);
+}
+
+void NCEngine::BuildAlternatives(ObjectId target) {
+  alternatives_.clear();
+  const size_t m = sources_->num_predicates();
+  if (target == kUnseenObject) {
+    // No-wild-guesses: an unseen object admits only sorted accesses.
+    for (PredicateId i = 0; i < m; ++i) {
+      if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+        alternatives_.push_back(Access::Sorted(i));
+      }
+    }
+    return;
+  }
+  const Candidate* c = pool_.Find(target);
+  NC_CHECK(c != nullptr);
+  for (PredicateId i = 0; i < m; ++i) {
+    if (c->IsEvaluated(i)) continue;
+    if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+      alternatives_.push_back(Access::Sorted(i));
+    }
+  }
+  for (PredicateId i = 0; i < m; ++i) {
+    if (c->IsEvaluated(i)) continue;
+    if (sources_->has_random(i)) {
+      alternatives_.push_back(Access::Random(i, target));
+    }
+  }
+}
+
+void NCEngine::Perform(const Access& access) {
+  if (access.type == AccessType::kSorted) {
+    const std::optional<SortedHit> hit =
+        sources_->SortedAccess(access.predicate);
+    NC_CHECK(hit.has_value());  // Alternatives exclude exhausted streams.
+    bool created = false;
+    Candidate& c = pool_.GetOrCreate(hit->object, &created);
+    const bool was_complete = c.IsComplete(sources_->num_predicates());
+    if (!c.IsEvaluated(access.predicate)) {
+      c.SetScore(access.predicate, hit->score);
+    }
+    // Multi-attribute sources deliver the whole row.
+    for (const auto& [predicate, score] : hit->bundled) {
+      if (!c.IsEvaluated(predicate)) c.SetScore(predicate, score);
+    }
+    if (complete_topk_.has_value() && !was_complete &&
+        c.IsComplete(sources_->num_predicates())) {
+      complete_topk_->Offer(c.id, bounds_.Exact(c));
+    }
+    if (created) {
+      const size_t m = sources_->num_predicates();
+      for (PredicateId i = 0; i < m; ++i) {
+        ceilings_[i] = sources_->last_seen(i);
+      }
+      heap_.Push(c.id, bounds_.Upper(c, ceilings_));
+    }
+    return;
+  }
+  Candidate* c = pool_.Find(access.object);
+  NC_CHECK(c != nullptr);  // No wild guesses: the target was seen.
+  NC_CHECK(!c->IsEvaluated(access.predicate));
+  c->SetScore(access.predicate,
+              sources_->RandomAccess(access.predicate, access.object));
+  if (complete_topk_.has_value() &&
+      c->IsComplete(sources_->num_predicates())) {
+    complete_topk_->Offer(c->id, bounds_.Exact(*c));
+  }
+}
+
+Status NCEngine::Run(TopKResult* out) {
+  NC_CHECK(out != nullptr);
+  out->entries.clear();
+  const size_t m = sources_->num_predicates();
+  const size_t n = sources_->num_objects();
+  NC_RETURN_IF_ERROR(sources_->cost_model().Validate());
+  if (scoring_->arity() != m) {
+    return Status::InvalidArgument(
+        "scoring function arity does not match predicate count");
+  }
+  if (options_.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (!(options_.approximation_theta >= 1.0)) {
+    return Status::InvalidArgument("approximation_theta must be >= 1");
+  }
+  for (PredicateId i = 0; i < m; ++i) {
+    if (sources_->sorted_position(i) != 0) {
+      return Status::FailedPrecondition(
+          "sources must be rewound (SourceSet::Reset) before Run");
+    }
+  }
+
+  // Fresh per-run state.
+  pool_ = CandidatePool(m);
+  heap_ = LazyBoundHeap();
+  accesses_ = 0;
+  choice_width_total_ = 0.0;
+  complete_topk_.reset();
+  if (options_.approximation_theta > 1.0) {
+    complete_topk_.emplace(options_.k);
+  }
+  policy_->Reset(*sources_);
+
+  // Seed candidates. Without sorted access anywhere, no-wild-guesses is
+  // unsatisfiable, so the object universe is taken as known (the
+  // probe-only model of MPro).
+  universe_seeded_ =
+      !options_.no_wild_guesses || !sources_->cost_model().any_sorted();
+  const std::vector<Score> all_ones(m, kMaxScore);
+  const Score initial_bound = scoring_->Evaluate(all_ones);
+  if (universe_seeded_) {
+    for (ObjectId u = 0; u < n; ++u) {
+      pool_.GetOrCreate(u);
+      heap_.Push(u, initial_bound);
+    }
+  } else if (n > 0) {
+    heap_.Push(kUnseenObject, initial_bound);
+  }
+
+  has_run_ = true;
+  return Loop(out);
+}
+
+Status NCEngine::Extend(size_t new_k, TopKResult* out) {
+  NC_CHECK(out != nullptr);
+  out->entries.clear();
+  if (!has_run_) {
+    return Status::FailedPrecondition("Extend requires a completed Run");
+  }
+  if (new_k < options_.k) {
+    return Status::InvalidArgument("Extend cannot shrink k");
+  }
+  options_.k = new_k;
+  if (complete_topk_.has_value()) {
+    // The theta collector's capacity is k: rebuild it at the new width
+    // from the already-complete candidates.
+    complete_topk_.emplace(new_k);
+    const size_t m = sources_->num_predicates();
+    for (Candidate& c : pool_) {
+      if (c.IsComplete(m)) complete_topk_->Offer(c.id, bounds_.Exact(c));
+    }
+  }
+  return Loop(out);
+}
+
+Status NCEngine::Loop(TopKResult* out) {
+  const size_t m = sources_->num_predicates();
+  const size_t n = sources_->num_objects();
+  const auto bound_fn = [this](ObjectId u) { return CurrentBound(u); };
+  // Every useful execution performs at most n sorted and n random accesses
+  // per predicate; anything beyond signals an engine/policy bug.
+  const size_t runaway_guard = 2 * n * m + options_.k + 64;
+
+  while (true) {
+    heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+    // Theorem 1: the first incomplete member of K_P (rank order)
+    // designates an unsatisfied task; if none exists, K_P is the answer.
+    ObjectId target = kUnseenObject;
+    bool found_incomplete = false;
+    for (const LazyBoundHeap::Entry& e : topk_scratch_) {
+      if (e.object == kUnseenObject) {
+        target = e.object;
+        found_incomplete = true;
+        break;
+      }
+      const Candidate* c = pool_.Find(e.object);
+      NC_CHECK(c != nullptr);
+      if (!c->IsComplete(m)) {
+        target = e.object;
+        found_incomplete = true;
+        break;
+      }
+    }
+    if (!found_incomplete) {
+      out->entries.reserve(topk_scratch_.size());
+      for (const LazyBoundHeap::Entry& e : topk_scratch_) {
+        // A complete entry's verified bound is its exact score.
+        out->entries.push_back(TopKEntry{e.object, e.bound});
+      }
+      heap_.Reinsert(topk_scratch_);
+      last_run_exact_ = true;
+      return Status::OK();
+    }
+
+    // Theta-halting: k complete objects whose k-th exact score, inflated
+    // by theta, dominates every non-member's maximal-possible score. Any
+    // object outside the popped top-k is bounded by a popped non-member's
+    // bound (or every popped entry is a complete member, which is the
+    // exact-termination case handled above).
+    if (complete_topk_.has_value() && complete_topk_->full()) {
+      double max_nonmember = -1.0;
+      for (const LazyBoundHeap::Entry& e : topk_scratch_) {
+        if (e.object == kUnseenObject || !complete_topk_->Contains(e.object)) {
+          max_nonmember = std::max(max_nonmember, e.bound);
+        }
+      }
+      if (max_nonmember >= 0.0 &&
+          options_.approximation_theta * complete_topk_->kth_score() >=
+              max_nonmember) {
+        *out = complete_topk_->Take();
+        heap_.Reinsert(topk_scratch_);
+        last_run_exact_ = false;
+        return Status::OK();
+      }
+    }
+
+    BuildAlternatives(target);
+    choice_width_total_ += static_cast<double>(alternatives_.size());
+    if (alternatives_.empty()) {
+      return Status::FailedPrecondition(
+          "scoring task for " +
+          (target == kUnseenObject ? std::string("unseen objects")
+                                   : "object " + std::to_string(target)) +
+          " cannot be completed under the scenario's capabilities");
+    }
+    EngineView view;
+    view.sources = sources_;
+    view.scoring = scoring_;
+    view.k = options_.k;
+    view.target = target;
+    view.target_state = target == kUnseenObject ? nullptr : pool_.Find(target);
+
+    const Access access = policy_->Select(alternatives_, view);
+    const bool offered =
+        std::find(alternatives_.begin(), alternatives_.end(), access) !=
+        alternatives_.end();
+    NC_CHECK(offered);  // Policies must pick among the necessary choices.
+
+    Perform(access);
+    heap_.Reinsert(topk_scratch_);
+
+    ++accesses_;
+    if (options_.access_callback) options_.access_callback(accesses_);
+    if (options_.max_accesses != 0 && accesses_ > options_.max_accesses) {
+      if (!options_.best_effort) {
+        return Status::ResourceExhausted("max_accesses exceeded");
+      }
+      // Anytime answer: the current top-k by maximal-possible score,
+      // scores reported as upper bounds.
+      heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+      out->entries.clear();
+      out->entries.reserve(topk_scratch_.size());
+      for (const LazyBoundHeap::Entry& e : topk_scratch_) {
+        // The sentinel stands for no concrete object; skip it (the
+        // answer may then be shorter than k - honestly so).
+        if (e.object == kUnseenObject) continue;
+        out->entries.push_back(TopKEntry{e.object, e.bound});
+      }
+      heap_.Reinsert(topk_scratch_);
+      last_run_exact_ = false;
+      return Status::OK();
+    }
+    if (accesses_ > runaway_guard) {
+      return Status::Internal("engine exceeded the runaway-access guard");
+    }
+  }
+}
+
+Status RunNC(SourceSet* sources, const ScoringFunction* scoring,
+             SelectPolicy* policy, const EngineOptions& options,
+             TopKResult* out) {
+  NCEngine engine(sources, scoring, policy, options);
+  return engine.Run(out);
+}
+
+}  // namespace nc

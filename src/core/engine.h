@@ -1,0 +1,184 @@
+// Framework NC: the paper's core contribution (Section 6).
+//
+// The engine iterates Theorem 1's loop:
+//   1. Maintain K_P, the current top-k objects by maximal-possible score
+//      F-bar (lazy bound heap; the virtual `unseen` object stands for all
+//      objects not yet returned by any sorted access).
+//   2. If every member of K_P is completely evaluated, halt: K_P is the
+//      final answer with exact scores.
+//   3. Otherwise the highest-ranked incomplete member v_j designates an
+//      unsatisfied scoring task; its necessary choices N_j (Definition 2)
+//      are exactly the supported accesses that can determine one of v_j's
+//      undetermined predicates. A pluggable SelectPolicy picks one; the
+//      engine performs it and loops.
+//
+// Necessary-choice completeness (the argument behind Theorem 2) guarantees
+// that restricting selection to N_j loses no optimality; the policy is
+// where cost-based optimization plugs in (core/srg_policy.h implements the
+// SR/G heuristics, core/optimizer.h searches their parameter space).
+
+#ifndef NC_CORE_ENGINE_H_
+#define NC_CORE_ENGINE_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "access/access.h"
+#include "access/source.h"
+#include "common/score.h"
+#include "common/status.h"
+#include "core/bound_heap.h"
+#include "core/candidate.h"
+#include "core/result.h"
+#include "core/topk_collector.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Read-only context handed to SelectPolicy::Select.
+struct EngineView {
+  const SourceSet* sources = nullptr;
+  const ScoringFunction* scoring = nullptr;
+  size_t k = 0;
+  // The object whose unsatisfied task induced the alternatives;
+  // kUnseenObject when it is the virtual unseen object.
+  ObjectId target = 0;
+  // Score state of the target (nullptr for the unseen object).
+  const Candidate* target_state = nullptr;
+};
+
+// Access-selection strategy: the one degree of freedom Framework NC leaves
+// open. Select must return one of the offered alternatives.
+class SelectPolicy {
+ public:
+  virtual ~SelectPolicy() = default;
+
+  // Called once per Run before the first Select.
+  virtual void Reset(const SourceSet& sources) { (void)sources; }
+
+  virtual Access Select(std::span<const Access> alternatives,
+                        const EngineView& view) = 0;
+};
+
+struct EngineOptions {
+  size_t k = 1;
+
+  // Under no-wild-guesses (the standard middleware restriction, [9]) an
+  // object can be random-accessed only after a sorted access has seen it;
+  // the engine tracks unseen objects through a virtual sentinel. With the
+  // flag off - or whenever the scenario has no sorted access at all
+  // (MPro's probe-only setting) - the object universe is known up front
+  // and every object starts as a candidate.
+  bool no_wild_guesses = true;
+
+  // Optional hard cap on total accesses; 0 means "only the internal
+  // runaway guard". Exceeding it returns ResourceExhausted.
+  size_t max_accesses = 0;
+
+  // Theta-approximation (Fagin's relaxation): with theta > 1 the engine
+  // may halt once it holds k completely evaluated objects y_1..y_k such
+  // that theta * score(y_k) dominates the maximal-possible score of every
+  // other object - every returned object is within a factor theta of
+  // anything it displaced. theta = 1 (the default) is the exact
+  // semantics. Exactness of the produced answer is reported through
+  // NCEngine::last_run_exact().
+  double approximation_theta = 1.0;
+
+  // With best_effort set, exhausting max_accesses returns OK and the
+  // *current* top-k by maximal-possible score - an anytime answer whose
+  // reported scores are upper bounds. NCEngine::last_run_exact()
+  // distinguishes such approximate answers from completed ones. (The
+  // k-th reported bound always dominates the true k-th score, so the
+  // answer degrades gracefully with the budget.)
+  bool best_effort = false;
+
+  // Invoked after every performed access with the running access count;
+  // used by the adaptive executor to re-optimize mid-flight.
+  std::function<void(size_t)> access_callback;
+};
+
+class NCEngine {
+ public:
+  // All pointers must outlive the engine. `policy` may be shared across
+  // runs; it is Reset at the start of each Run.
+  NCEngine(SourceSet* sources, const ScoringFunction* scoring,
+           SelectPolicy* policy, EngineOptions options);
+
+  NCEngine(const NCEngine&) = delete;
+  NCEngine& operator=(const NCEngine&) = delete;
+
+  // Executes the query against the sources' current state. On OK, *out
+  // holds min(k, n) completely evaluated entries in final rank order.
+  Status Run(TopKResult* out);
+
+  // Progressive retrieval: after a successful Run, widens the answer to
+  // the top new_k (>= the previous k) by continuing from the engine's
+  // current score state - no access already performed is repeated, and
+  // only the extra scoring tasks are paid for. May be called repeatedly
+  // with growing k.
+  Status Extend(size_t new_k, TopKResult* out);
+
+  // Total accesses performed across Run and any Extends.
+  size_t accesses_performed() const { return accesses_; }
+
+  // False iff the last Run/Extend returned a best-effort (budget-capped)
+  // answer rather than a completely evaluated top-k.
+  bool last_run_exact() const { return last_run_exact_; }
+
+  // Mean size of the necessary-choice sets offered to the policy - the
+  // specificity metric Section 6.2 contrasts against TG's O(n*m)-wide
+  // pools (never exceeds 2m here).
+  double mean_choice_width() const {
+    return accesses_ == 0
+               ? 0.0
+               : choice_width_total_ / static_cast<double>(accesses_);
+  }
+
+ private:
+  // Theorem 1's iteration, shared by Run and Extend: work unsatisfied
+  // tasks until the current top-k are all complete.
+  Status Loop(TopKResult* out);
+
+  // Returns the current bound of `u` (nullopt retires the unseen sentinel
+  // once everything is seen).
+  std::optional<Score> CurrentBound(ObjectId u);
+
+  // Fills `alternatives_` with the necessary choices for `target`
+  // (Definition 2) in deterministic order: sorted accesses by predicate,
+  // then random accesses by predicate.
+  void BuildAlternatives(ObjectId target);
+
+  // Performs `access`, updating candidates and the heap.
+  void Perform(const Access& access);
+
+  SourceSet* sources_;
+  const ScoringFunction* scoring_;
+  SelectPolicy* policy_;
+  EngineOptions options_;
+
+  CandidatePool pool_;
+  BoundEvaluator bounds_;
+  LazyBoundHeap heap_;
+  // Best complete candidates so far; drives the theta-halting test.
+  // Engaged only when approximation_theta > 1.
+  std::optional<TopKCollector> complete_topk_;
+  std::vector<Score> ceilings_;
+  std::vector<Access> alternatives_;
+  std::vector<LazyBoundHeap::Entry> topk_scratch_;
+  size_t accesses_ = 0;
+  double choice_width_total_ = 0.0;
+  bool universe_seeded_ = false;
+  bool has_run_ = false;
+  bool last_run_exact_ = true;
+};
+
+// Convenience wrapper: constructs an engine and runs the query once.
+Status RunNC(SourceSet* sources, const ScoringFunction* scoring,
+             SelectPolicy* policy, const EngineOptions& options,
+             TopKResult* out);
+
+}  // namespace nc
+
+#endif  // NC_CORE_ENGINE_H_

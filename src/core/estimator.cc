@@ -1,0 +1,94 @@
+#include "core/estimator.h"
+
+#include <cstdio>
+
+#include "access/source.h"
+#include "common/check.h"
+#include "core/engine.h"
+
+namespace nc {
+
+namespace {
+
+std::string ConfigKey(const SRGConfig& config) {
+  std::string key;
+  char buffer[32];
+  for (double h : config.depths) {
+    std::snprintf(buffer, sizeof(buffer), "%.12g|", h);
+    key += buffer;
+  }
+  key += "#";
+  for (PredicateId p : config.schedule) {
+    key += std::to_string(p);
+    key += ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+SimulationCostEstimator::SimulationCostEstimator(Dataset sample,
+                                                 CostModel cost,
+                                                 const ScoringFunction* scoring,
+                                                 size_t k_prime)
+    : SimulationCostEstimator(
+          [&sample] {
+            std::vector<Dataset> samples;
+            samples.push_back(std::move(sample));
+            return samples;
+          }(),
+          std::move(cost), scoring, k_prime) {}
+
+SimulationCostEstimator::SimulationCostEstimator(std::vector<Dataset> samples,
+                                                 CostModel cost,
+                                                 const ScoringFunction* scoring,
+                                                 size_t k_prime)
+    : samples_(std::move(samples)),
+      cost_(std::move(cost)),
+      scoring_(scoring),
+      k_prime_(k_prime) {
+  NC_CHECK(scoring_ != nullptr);
+  NC_CHECK(k_prime_ > 0);
+  NC_CHECK(!samples_.empty());
+  for (const Dataset& sample : samples_) {
+    NC_CHECK(cost_.num_predicates() == sample.num_predicates());
+  }
+}
+
+double SimulationCostEstimator::EstimateCost(const SRGConfig& config) {
+  const std::string key = ConfigKey(config);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  // Malformed configs (bad depths, non-permutation schedules) surface as
+  // infinite cost so searches steer away instead of crashing mid-climb.
+  if (!config.Validate(cost_.num_predicates()).ok()) {
+    const double inf = std::numeric_limits<double>::infinity();
+    memo_.emplace(key, inf);
+    return inf;
+  }
+
+  double total = 0.0;
+  for (const Dataset& sample : samples_) {
+    SourceSet sources(&sample, cost_);
+    SRGPolicy policy(config);
+    EngineOptions options;
+    options.k = k_prime_;
+    TopKResult ignored;
+    const Status status =
+        RunNC(&sources, scoring_, &policy, options, &ignored);
+    if (!status.ok()) {
+      total = std::numeric_limits<double>::infinity();
+      break;
+    }
+    total += sources.accrued_cost();
+  }
+  const double cost = std::isinf(total)
+                          ? total
+                          : total / static_cast<double>(samples_.size());
+  ++simulations_;
+  memo_.emplace(key, cost);
+  return cost;
+}
+
+}  // namespace nc

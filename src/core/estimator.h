@@ -1,0 +1,76 @@
+// Simulation-based cost estimation (Section 7.3).
+//
+// Boolean optimizers estimate costs analytically from selectivities; for
+// an arbitrary monotone F no closed form exists, so the paper estimates a
+// plan's cost by *simulating* it: run the plan over a small sample as a
+// top-k' query (k' = k * s / n) under the real cost model and read off the
+// accrued cost. Estimates are comparable across plans, which is all the
+// argmin search needs.
+
+#ifndef NC_CORE_ESTIMATOR_H_
+#define NC_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "access/cost_model.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "core/srg_policy.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Interface so tests can substitute analytic landscapes.
+class CostEstimator {
+ public:
+  virtual ~CostEstimator() = default;
+
+  // Estimated total access cost of the SR/G plan `config`; lower is
+  // better. Must be deterministic for a given config.
+  virtual double EstimateCost(const SRGConfig& config) = 0;
+
+  virtual size_t num_predicates() const = 0;
+
+  // Number of plan evaluations that actually ran (optimization overhead;
+  // memoized repeats excluded).
+  virtual size_t simulations() const = 0;
+};
+
+// Estimates by executing NC+SR/G over one or more sample datasets.
+//
+// The scaled retrieval size k' = k * s / n is often tiny (1 for typical
+// k/n ratios), which makes a single-sample estimate noisy; averaging the
+// simulated cost over several independent sample draws ("replicas")
+// reduces that variance at proportional extra optimization overhead.
+class SimulationCostEstimator final : public CostEstimator {
+ public:
+  // Single-sample form. `sample` is the estimation workload (real draw or
+  // dummy uniform); `cost` the real scenario's unit costs; `k_prime` the
+  // scaled retrieval size (data/sampling.h::ScaledSampleK).
+  SimulationCostEstimator(Dataset sample, CostModel cost,
+                          const ScoringFunction* scoring, size_t k_prime);
+
+  // Multi-replica form: the estimate is the mean simulated cost across
+  // `samples` (all queried as top-k').
+  SimulationCostEstimator(std::vector<Dataset> samples, CostModel cost,
+                          const ScoringFunction* scoring, size_t k_prime);
+
+  double EstimateCost(const SRGConfig& config) override;
+  size_t num_predicates() const override { return cost_.num_predicates(); }
+  size_t simulations() const override { return simulations_; }
+
+ private:
+  std::vector<Dataset> samples_;
+  CostModel cost_;
+  const ScoringFunction* scoring_;
+  size_t k_prime_;
+  size_t simulations_ = 0;
+  // Memo keyed by the config's canonical string; hill climbing revisits
+  // neighbors constantly.
+  std::unordered_map<std::string, double> memo_;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_ESTIMATOR_H_

@@ -1,0 +1,87 @@
+#include "core/explain.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nc {
+
+namespace {
+
+std::string FormatCost(double cost) {
+  if (!std::isfinite(cost)) return "impossible";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", cost);
+  return buffer;
+}
+
+std::string PredicateLabel(const SourceSet& sources, PredicateId i) {
+  if (sources.has_dataset()) return sources.dataset().predicate_name(i);
+  std::string label = "p";
+  label += std::to_string(i);
+  return label;
+}
+
+}  // namespace
+
+std::string ExplainPlan(const SRGConfig& plan, const SourceSet& sources,
+                        const ScoringFunction& scoring, size_t k) {
+  const size_t m = sources.num_predicates();
+  NC_CHECK(plan.Validate(m).ok());
+  const CostModel& cost = sources.cost_model();
+
+  std::ostringstream os;
+  os << "top-" << k << " by " << scoring.name() << " over " << m
+     << " predicates, " << sources.num_objects() << " objects\n";
+
+  std::vector<size_t> rank(m, 0);
+  for (size_t r = 0; r < m; ++r) rank[plan.schedule[r]] = r;
+
+  for (PredicateId i = 0; i < m; ++i) {
+    os << "  " << PredicateLabel(sources, i) << ": ";
+    if (cost.has_sorted(i)) {
+      os << "stream (cs=" << FormatCost(cost.sorted_cost[i]);
+      if (cost.page_size(i) > 1) {
+        os << ", pages of " << cost.page_size(i);
+      }
+      os << ") ";
+      const double h = plan.depths[i];
+      if (h >= 1.0) {
+        os << "not read beyond discovery";
+      } else if (h <= 0.0) {
+        os << "read until the query settles";
+      } else {
+        os << "read while scores stay above " << h;
+      }
+    } else {
+      os << "no stream";
+    }
+    os << "; ";
+    if (cost.has_random(i)) {
+      os << "probes (cr=" << FormatCost(cost.random_cost[i]) << ") "
+         << (rank[i] == 0 ? "first" : "at position " +
+                                          std::to_string(rank[i] + 1))
+         << " in the probe order";
+    } else {
+      os << "no probes";
+    }
+    if (!cost.attribute_groups.empty()) {
+      os << "; source group " << cost.attribute_groups[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ExplainPlan(const OptimizerResult& plan,
+                        const SourceSet& sources,
+                        const ScoringFunction& scoring, size_t k) {
+  std::ostringstream os;
+  os << ExplainPlan(plan.config, sources, scoring, k);
+  os << "  estimated cost " << plan.estimated_cost << " (from "
+     << plan.simulations << " plan simulations)\n";
+  return os.str();
+}
+
+}  // namespace nc

@@ -1,0 +1,32 @@
+// Human-readable plan explanations - the middleware's EXPLAIN.
+//
+// Turns an SR/G configuration plus the scenario it will run against into
+// a per-predicate narrative: capability, unit costs, how deep the plan
+// will read the stream, and where the predicate sits in the probe order.
+// Used by the scenario-explorer example and handy in logs.
+
+#ifndef NC_CORE_EXPLAIN_H_
+#define NC_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "access/source.h"
+#include "core/optimizer.h"
+#include "core/srg_policy.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Multi-line description of `plan` against the sources' current scenario.
+// Predicate names come from the backing Dataset when available.
+std::string ExplainPlan(const SRGConfig& plan, const SourceSet& sources,
+                        const ScoringFunction& scoring, size_t k);
+
+// Convenience overload including the optimizer's estimate/overhead.
+std::string ExplainPlan(const OptimizerResult& plan,
+                        const SourceSet& sources,
+                        const ScoringFunction& scoring, size_t k);
+
+}  // namespace nc
+
+#endif  // NC_CORE_EXPLAIN_H_

@@ -1,0 +1,215 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nc {
+
+namespace {
+
+// Mesh values 0, step, 2*step, ..., 1 (always including both exact
+// endpoints - the H_i = 1 boundary means "never read this stream" and must
+// not be approximated by 1 - epsilon, which still admits top-scored
+// entries).
+std::vector<double> MeshAxis(double step) {
+  NC_CHECK(step > 0.0 && step <= 1.0);
+  std::vector<double> axis;
+  for (size_t i = 0; i * step < 1.0 - 1e-9; ++i) {
+    axis.push_back(static_cast<double>(i) * step);
+  }
+  axis.push_back(1.0);
+  return axis;
+}
+
+// Evaluates `depths` and folds it into the running best.
+void Consider(CostEstimator* estimator,
+              const std::vector<PredicateId>& schedule,
+              const std::vector<double>& depths, OptimizerResult* best) {
+  SRGConfig config;
+  config.depths = depths;
+  config.schedule = schedule;
+  const double cost = estimator->EstimateCost(config);
+  if (best->config.depths.empty() || cost < best->estimated_cost) {
+    best->config = std::move(config);
+    best->estimated_cost = cost;
+  }
+}
+
+Status CheckSchedule(const CostEstimator& estimator,
+                     const std::vector<PredicateId>& schedule) {
+  SRGConfig probe;
+  probe.depths.assign(estimator.num_predicates(), 0.0);
+  probe.schedule = schedule;
+  return probe.Validate(estimator.num_predicates());
+}
+
+}  // namespace
+
+NaiveGridOptimizer::NaiveGridOptimizer(double step, size_t max_points)
+    : step_(step), max_points_(max_points) {
+  NC_CHECK(step_ > 0.0 && step_ <= 1.0);
+  NC_CHECK(max_points_ > 0);
+}
+
+Status NaiveGridOptimizer::Optimize(CostEstimator* estimator,
+                                    const std::vector<PredicateId>& schedule,
+                                    OptimizerResult* out) {
+  NC_CHECK(estimator != nullptr);
+  NC_CHECK(out != nullptr);
+  NC_RETURN_IF_ERROR(CheckSchedule(*estimator, schedule));
+  const size_t m = estimator->num_predicates();
+
+  // Coarsen until the mesh fits the budget.
+  double step = step_;
+  while (true) {
+    const double per_axis = std::floor(1.0 / step) + 2.0;
+    if (std::pow(per_axis, static_cast<double>(m)) <=
+        static_cast<double>(max_points_)) {
+      break;
+    }
+    step *= 2.0;
+    if (step > 1.0) {
+      step = 1.0;
+      break;
+    }
+  }
+  const std::vector<double> axis = MeshAxis(step);
+
+  const size_t before = estimator->simulations();
+  OptimizerResult best;
+  // Odometer over the m-dimensional mesh.
+  std::vector<size_t> index(m, 0);
+  std::vector<double> depths(m, axis[0]);
+  while (true) {
+    Consider(estimator, schedule, depths, &best);
+    size_t axis_id = 0;
+    while (axis_id < m) {
+      if (++index[axis_id] < axis.size()) {
+        depths[axis_id] = axis[index[axis_id]];
+        break;
+      }
+      index[axis_id] = 0;
+      depths[axis_id] = axis[0];
+      ++axis_id;
+    }
+    if (axis_id == m) break;
+  }
+  best.simulations = estimator->simulations() - before;
+  *out = std::move(best);
+  return Status::OK();
+}
+
+StrategiesOptimizer::StrategiesOptimizer(double step) : step_(step) {
+  NC_CHECK(step_ > 0.0 && step_ <= 1.0);
+}
+
+Status StrategiesOptimizer::Optimize(CostEstimator* estimator,
+                                     const std::vector<PredicateId>& schedule,
+                                     OptimizerResult* out) {
+  NC_CHECK(estimator != nullptr);
+  NC_CHECK(out != nullptr);
+  NC_RETURN_IF_ERROR(CheckSchedule(*estimator, schedule));
+  const size_t m = estimator->num_predicates();
+  const std::vector<double> axis = MeshAxis(step_);
+
+  const size_t before = estimator->simulations();
+  OptimizerResult best;
+  // Family 1: equal-depth diagonal (parallel sorted access; the shape the
+  // paper finds best for avg-like F).
+  for (double h : axis) {
+    Consider(estimator, schedule, std::vector<double>(m, h), &best);
+  }
+  // Family 2: focused single-axis plans (deep sorted access on one
+  // predicate, none on the others; the min-friendly shape).
+  for (PredicateId i = 0; i < m; ++i) {
+    std::vector<double> depths(m, 1.0);
+    for (double h : axis) {
+      depths[i] = h;
+      Consider(estimator, schedule, depths, &best);
+    }
+  }
+  best.simulations = estimator->simulations() - before;
+  *out = std::move(best);
+  return Status::OK();
+}
+
+HClimbOptimizer::HClimbOptimizer(size_t restarts, double step, uint64_t seed)
+    : restarts_(restarts), step_(step), seed_(seed) {
+  NC_CHECK(restarts_ > 0);
+  NC_CHECK(step_ > 0.0 && step_ <= 1.0);
+}
+
+Status HClimbOptimizer::Optimize(CostEstimator* estimator,
+                                 const std::vector<PredicateId>& schedule,
+                                 OptimizerResult* out) {
+  NC_CHECK(estimator != nullptr);
+  NC_CHECK(out != nullptr);
+  NC_RETURN_IF_ERROR(CheckSchedule(*estimator, schedule));
+  const size_t m = estimator->num_predicates();
+  const std::vector<double> axis = MeshAxis(step_);
+  Rng rng(seed_);
+
+  const size_t before = estimator->simulations();
+  // Climb on lattice indices so every visited depth is an exact mesh value
+  // (in particular the 0.0 and 1.0 endpoints).
+  const auto evaluate = [&](const std::vector<size_t>& index) {
+    SRGConfig config;
+    config.depths.resize(m);
+    for (size_t i = 0; i < m; ++i) config.depths[i] = axis[index[i]];
+    config.schedule = schedule;
+    return std::pair(estimator->EstimateCost(config), std::move(config));
+  };
+
+  OptimizerResult best;
+  for (size_t restart = 0; restart < restarts_; ++restart) {
+    // First restart climbs from the cube center, the rest from random
+    // mesh points.
+    std::vector<size_t> index(m);
+    for (size_t i = 0; i < m; ++i) {
+      index[i] = restart == 0
+                     ? axis.size() / 2
+                     : static_cast<size_t>(rng.UniformInt(axis.size()));
+    }
+    auto [current_cost, current_config] = evaluate(index);
+
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      std::vector<size_t> best_neighbor = index;
+      double best_neighbor_cost = current_cost;
+      SRGConfig best_neighbor_config = current_config;
+      for (size_t i = 0; i < m; ++i) {
+        for (const int delta : {-1, 1}) {
+          if (delta < 0 && index[i] == 0) continue;
+          if (delta > 0 && index[i] + 1 >= axis.size()) continue;
+          std::vector<size_t> neighbor = index;
+          neighbor[i] += delta;
+          auto [cost, config] = evaluate(neighbor);
+          if (cost < best_neighbor_cost) {
+            best_neighbor = std::move(neighbor);
+            best_neighbor_cost = cost;
+            best_neighbor_config = std::move(config);
+          }
+        }
+      }
+      if (best_neighbor_cost < current_cost) {
+        index = std::move(best_neighbor);
+        current_cost = best_neighbor_cost;
+        current_config = std::move(best_neighbor_config);
+        improved = true;
+      }
+    }
+    if (best.config.depths.empty() || current_cost < best.estimated_cost) {
+      best.config = std::move(current_config);
+      best.estimated_cost = current_cost;
+    }
+  }
+  best.simulations = estimator->simulations() - before;
+  *out = std::move(best);
+  return Status::OK();
+}
+
+}  // namespace nc

@@ -1,0 +1,98 @@
+// Depth-space search schemes (Section 7.2 and the paper's Appendix).
+//
+// With the schedule fixed, the plan space is the m-dimensional cube of
+// depth vectors H. Three searchers, trading optimization overhead against
+// plan quality:
+//   * NaiveGridOptimizer  - exhaustively meshes the cube (the paper's
+//                           baseline scheme; exact on the mesh, exploding
+//                           with m).
+//   * StrategiesOptimizer - query-driven families only: equal-depth
+//                           diagonals (the avg-friendly shape), focused
+//                           single-axis plans (the min-friendly shape),
+//                           and the pure-sorted / pure-random corners.
+//   * HClimbOptimizer     - multi-restart hill climbing on the mesh (the
+//                           scheme the paper's experiments found most
+//                           effective).
+
+#ifndef NC_CORE_OPTIMIZER_H_
+#define NC_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "core/srg_policy.h"
+
+namespace nc {
+
+struct OptimizerResult {
+  SRGConfig config;
+  double estimated_cost = 0.0;
+  // Plan simulations actually executed during this search.
+  size_t simulations = 0;
+};
+
+class DepthOptimizer {
+ public:
+  virtual ~DepthOptimizer() = default;
+
+  // Searches depth space using `estimator`; every emitted config carries
+  // `schedule`. On OK, *out holds the best configuration found.
+  virtual Status Optimize(CostEstimator* estimator,
+                          const std::vector<PredicateId>& schedule,
+                          OptimizerResult* out) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class NaiveGridOptimizer final : public DepthOptimizer {
+ public:
+  // `step` meshes [0,1] per dimension. If the full mesh would exceed
+  // `max_points`, the step is doubled until it fits (logged in the
+  // result's simulations count implicitly).
+  explicit NaiveGridOptimizer(double step = 0.1, size_t max_points = 20000);
+
+  Status Optimize(CostEstimator* estimator,
+                  const std::vector<PredicateId>& schedule,
+                  OptimizerResult* out) override;
+  std::string name() const override { return "Naive"; }
+
+ private:
+  double step_;
+  size_t max_points_;
+};
+
+class StrategiesOptimizer final : public DepthOptimizer {
+ public:
+  explicit StrategiesOptimizer(double step = 0.1);
+
+  Status Optimize(CostEstimator* estimator,
+                  const std::vector<PredicateId>& schedule,
+                  OptimizerResult* out) override;
+  std::string name() const override { return "Strategies"; }
+
+ private:
+  double step_;
+};
+
+class HClimbOptimizer final : public DepthOptimizer {
+ public:
+  HClimbOptimizer(size_t restarts = 4, double step = 0.1,
+                  uint64_t seed = 1234);
+
+  Status Optimize(CostEstimator* estimator,
+                  const std::vector<PredicateId>& schedule,
+                  OptimizerResult* out) override;
+  std::string name() const override { return "HClimb"; }
+
+ private:
+  size_t restarts_;
+  double step_;
+  uint64_t seed_;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_OPTIMIZER_H_

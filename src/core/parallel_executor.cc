@@ -1,0 +1,337 @@
+#include "core/parallel_executor.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "core/candidate.h"
+
+namespace nc {
+
+namespace {
+
+// An access that was issued (and paid for) but whose result is not yet
+// visible to the scheduler.
+struct InFlight {
+  double completion_time = 0.0;
+  uint64_t sequence = 0;  // FIFO tie-break.
+  Access access;
+  // Result captured at issue time (the simulated source decides its answer
+  // immediately; the network delays its visibility).
+  ObjectId object = 0;
+  Score score = 0.0;
+  // Whole-row scores from a multi-attribute source.
+  std::vector<std::pair<PredicateId, Score>> bundled;
+
+  friend bool operator>(const InFlight& a, const InFlight& b) {
+    if (a.completion_time != b.completion_time) {
+      return a.completion_time > b.completion_time;
+    }
+    return a.sequence > b.sequence;
+  }
+};
+
+struct RankedEntry {
+  ObjectId object = 0;
+  Score bound = 0.0;
+  bool complete = false;
+};
+
+class ParallelRun {
+ public:
+  ParallelRun(SourceSet* sources, const ScoringFunction& scoring,
+              SelectPolicy* policy, const ParallelOptions& options)
+      : sources_(sources),
+        scoring_(scoring),
+        policy_(policy),
+        options_(options),
+        pool_(sources->num_predicates()),
+        bounds_(&scoring_),
+        visible_ceiling_(sources->num_predicates(), kMaxScore),
+        applied_sorted_(sources->num_predicates(), 0) {}
+
+  Status Execute(ParallelResult* out);
+
+ private:
+  // Top-k of the *visible* state (applied results only), rank order.
+  void VisibleTopK(std::vector<RankedEntry>* out);
+
+  // Necessary choices of `target` against the visible state, minus
+  // accesses already in flight and physically impossible ones.
+  void BuildAlternatives(ObjectId target, std::vector<Access>* out) const;
+
+  // Performs the access against the sources now (accounting happens at
+  // issue) and schedules its visibility.
+  void Issue(const Access& access);
+
+  // Makes the earliest pending result visible; advances the clock.
+  void ApplyNext();
+
+  SourceSet* sources_;
+  const ScoringFunction& scoring_;
+  SelectPolicy* policy_;
+  ParallelOptions options_;
+
+  CandidatePool pool_;
+  BoundEvaluator bounds_;
+  std::vector<Score> visible_ceiling_;
+  std::vector<size_t> applied_sorted_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
+      pending_;
+  std::set<std::pair<PredicateId, ObjectId>> random_in_flight_;
+  // Tasks already served this epoch (cleared whenever a completion lands).
+  std::set<ObjectId> issued_this_epoch_;
+  double now_ = 0.0;
+  uint64_t sequence_ = 0;
+  size_t issued_ = 0;
+  bool universe_seeded_ = false;
+};
+
+void ParallelRun::VisibleTopK(std::vector<RankedEntry>* out) {
+  const size_t m = sources_->num_predicates();
+  out->clear();
+  out->reserve(pool_.size() + 1);
+  for (Candidate& c : pool_) {
+    const bool complete = c.IsComplete(m);
+    const Score bound =
+        complete ? bounds_.Exact(c) : bounds_.Upper(c, visible_ceiling_);
+    out->push_back(RankedEntry{c.id, bound, complete});
+  }
+  if (!universe_seeded_ && pool_.size() < sources_->num_objects()) {
+    out->push_back(RankedEntry{
+        kUnseenObject, scoring_.Evaluate(visible_ceiling_), false});
+  }
+  const size_t take = std::min(options_.k, out->size());
+  std::partial_sort(out->begin(), out->begin() + take, out->end(),
+                    [](const RankedEntry& a, const RankedEntry& b) {
+                      if (a.bound != b.bound) return a.bound > b.bound;
+                      // Seen objects outrank the unseen sentinel on ties,
+                      // matching the sequential engine's heap order.
+                      if (a.object == kUnseenObject) return false;
+                      if (b.object == kUnseenObject) return true;
+                      return a.object > b.object;
+                    });
+  out->resize(take);
+}
+
+void ParallelRun::BuildAlternatives(ObjectId target,
+                                    std::vector<Access>* out) const {
+  out->clear();
+  const size_t m = sources_->num_predicates();
+  if (target == kUnseenObject) {
+    for (PredicateId i = 0; i < m; ++i) {
+      if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+        out->push_back(Access::Sorted(i));
+      }
+    }
+    return;
+  }
+  const Candidate* c = pool_.Find(target);
+  NC_CHECK(c != nullptr);
+  for (PredicateId i = 0; i < m; ++i) {
+    if (c->IsEvaluated(i)) continue;
+    if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+      out->push_back(Access::Sorted(i));
+    }
+  }
+  for (PredicateId i = 0; i < m; ++i) {
+    if (c->IsEvaluated(i)) continue;
+    if (sources_->has_random(i) &&
+        random_in_flight_.find({i, target}) == random_in_flight_.end()) {
+      out->push_back(Access::Random(i, target));
+    }
+  }
+}
+
+void ParallelRun::Issue(const Access& access) {
+  InFlight flight;
+  flight.access = access;
+  flight.sequence = sequence_++;
+  flight.completion_time =
+      now_ + sources_->DrawLatency(access.type, access.predicate);
+  if (access.type == AccessType::kSorted) {
+    const std::optional<SortedHit> hit =
+        sources_->SortedAccess(access.predicate);
+    NC_CHECK(hit.has_value());
+    flight.object = hit->object;
+    flight.score = hit->score;
+    flight.bundled = hit->bundled;
+  } else {
+    flight.object = access.object;
+    flight.score = sources_->RandomAccess(access.predicate, access.object);
+    random_in_flight_.insert({access.predicate, access.object});
+  }
+  pending_.push(flight);
+  ++issued_;
+}
+
+void ParallelRun::ApplyNext() {
+  NC_CHECK(!pending_.empty());
+  const InFlight flight = pending_.top();
+  pending_.pop();
+  now_ = std::max(now_, flight.completion_time);
+  issued_this_epoch_.clear();
+  const PredicateId i = flight.access.predicate;
+  if (flight.access.type == AccessType::kSorted) {
+    Candidate& c = pool_.GetOrCreate(flight.object);
+    if (!c.IsEvaluated(i)) c.SetScore(i, flight.score);
+    for (const auto& [predicate, score] : flight.bundled) {
+      if (!c.IsEvaluated(predicate)) c.SetScore(predicate, score);
+    }
+    ++applied_sorted_[i];
+    if (applied_sorted_[i] >= sources_->num_objects()) {
+      // Every object of this list is visible: no unseen object remains.
+      visible_ceiling_[i] = kMinScore;
+    } else {
+      visible_ceiling_[i] = std::min(visible_ceiling_[i], flight.score);
+    }
+  } else {
+    random_in_flight_.erase({i, flight.object});
+    Candidate* c = pool_.Find(flight.object);
+    NC_CHECK(c != nullptr);
+    if (!c->IsEvaluated(i)) c->SetScore(i, flight.score);
+  }
+}
+
+Status ParallelRun::Execute(ParallelResult* out) {
+  NC_CHECK(out != nullptr);
+  const size_t m = sources_->num_predicates();
+  const size_t n = sources_->num_objects();
+  NC_RETURN_IF_ERROR(sources_->cost_model().Validate());
+  if (scoring_.arity() != m) {
+    return Status::InvalidArgument(
+        "scoring function arity does not match predicate count");
+  }
+  if (options_.k == 0 || options_.concurrency == 0) {
+    return Status::InvalidArgument("k and concurrency must be positive");
+  }
+
+  policy_->Reset(*sources_);
+  universe_seeded_ =
+      !options_.no_wild_guesses || !sources_->cost_model().any_sorted();
+  if (universe_seeded_) {
+    for (ObjectId u = 0; u < n; ++u) pool_.GetOrCreate(u);
+  }
+
+  const size_t runaway_guard = 2 * n * m + options_.k + 64;
+  std::vector<RankedEntry> ranked;
+  std::vector<Access> alternatives;
+  while (true) {
+    VisibleTopK(&ranked);
+    const bool all_complete =
+        std::all_of(ranked.begin(), ranked.end(),
+                    [](const RankedEntry& e) { return e.complete; });
+    if (all_complete) {
+      out->topk.entries.clear();
+      for (const RankedEntry& e : ranked) {
+        out->topk.entries.push_back(TopKEntry{e.object, e.bound});
+      }
+      out->elapsed_time = now_;
+      out->total_cost = sources_->accrued_cost();
+      out->accesses_issued = issued_;
+      out->wasted_accesses = pending_.size();
+      return Status::OK();
+    }
+
+    // Issue phase: one access per unsatisfied task per epoch, rank order,
+    // while slots remain.
+    bool issued_any = false;
+    const auto select_and_issue = [&](const RankedEntry& e) {
+      EngineView view;
+      view.sources = sources_;
+      view.scoring = &scoring_;
+      view.k = options_.k;
+      view.target = e.object;
+      view.target_state =
+          e.object == kUnseenObject ? nullptr : pool_.Find(e.object);
+      const Access access = policy_->Select(alternatives, view);
+      const bool offered =
+          std::find(alternatives.begin(), alternatives.end(), access) !=
+          alternatives.end();
+      NC_CHECK(offered);
+      Issue(access);
+      issued_any = true;
+    };
+
+    // Discovery (the unseen sentinel's sorted reads) is the speculative
+    // part of a plan: a candidate's probe stays useful however the ranks
+    // shift, but a discovery read is only needed if the sentinel is still
+    // in the way once everything in flight lands. Serve it when it leads
+    // the rank order, or as a stall-breaker when no concrete task could
+    // issue this epoch.
+    bool first_incomplete = true;
+    bool issued_concrete = false;
+    const RankedEntry* deferred_sentinel = nullptr;
+    for (const RankedEntry& e : ranked) {
+      if (pending_.size() >= options_.concurrency) break;
+      if (e.complete) continue;
+      const bool is_first = first_incomplete;
+      first_incomplete = false;
+      if (e.object == kUnseenObject && !is_first) {
+        deferred_sentinel = &e;
+        continue;
+      }
+      if (issued_this_epoch_.count(e.object) != 0) continue;
+      BuildAlternatives(e.object, &alternatives);
+      if (alternatives.empty()) continue;  // Waiting on in-flight results.
+      issued_this_epoch_.insert(e.object);
+      select_and_issue(e);
+      if (e.object != kUnseenObject) issued_concrete = true;
+    }
+    if (deferred_sentinel != nullptr && !issued_concrete &&
+        pending_.size() < options_.concurrency &&
+        issued_this_epoch_.count(kUnseenObject) == 0) {
+      BuildAlternatives(kUnseenObject, &alternatives);
+      if (!alternatives.empty()) {
+        issued_this_epoch_.insert(kUnseenObject);
+        select_and_issue(*deferred_sentinel);
+      }
+    }
+
+    // Optional speculation: read streams ahead for the highest-ranked task
+    // that still has a sorted alternative.
+    for (size_t spec = 0; spec < options_.max_speculation; ++spec) {
+      if (pending_.size() >= options_.concurrency) break;
+      bool launched = false;
+      for (const RankedEntry& e : ranked) {
+        if (e.complete) continue;
+        BuildAlternatives(e.object, &alternatives);
+        // Speculate on sorted accesses only: a duplicate random probe is
+        // pure waste, but a deeper read is at worst early.
+        std::erase_if(alternatives, [](const Access& a) {
+          return a.type != AccessType::kSorted;
+        });
+        if (alternatives.empty()) continue;
+        select_and_issue(e);
+        launched = true;
+        break;
+      }
+      if (!launched) break;
+    }
+
+    if (issued_ > runaway_guard) {
+      return Status::Internal("parallel executor exceeded the runaway guard");
+    }
+    if (!pending_.empty()) {
+      ApplyNext();
+    } else if (!issued_any) {
+      return Status::FailedPrecondition(
+          "query cannot be completed under the scenario's capabilities");
+    }
+  }
+}
+
+}  // namespace
+
+Status RunParallelNC(SourceSet* sources, const ScoringFunction& scoring,
+                     SelectPolicy* policy, const ParallelOptions& options,
+                     ParallelResult* out) {
+  NC_CHECK(sources != nullptr);
+  NC_CHECK(policy != nullptr);
+  ParallelRun run(sources, scoring, policy, options);
+  return run.Execute(out);
+}
+
+}  // namespace nc

@@ -1,0 +1,59 @@
+// Bounded-concurrency execution (Section 9.1.1).
+//
+// Web sources serve concurrent requests, so elapsed time can drop below
+// total cost - but unrestrained concurrency wastes resources. The paper's
+// position: parallelize the cost-minimal *sequential* plan within a
+// concurrency limit. This executor does exactly that with a discrete-event
+// simulation: up to `concurrency` accesses are in flight at once, each
+// completing after its simulated latency; scheduling decisions use only
+// information whose access has completed, while the plan policy (the same
+// SelectPolicy as the sequential engine) still drives which access is
+// issued for which unsatisfied task. Accesses still in flight when the
+// answer settles are counted as wasted (they were paid for).
+
+#ifndef NC_CORE_PARALLEL_EXECUTOR_H_
+#define NC_CORE_PARALLEL_EXECUTOR_H_
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+struct ParallelOptions {
+  size_t k = 1;
+  // Maximum accesses in flight; 1 degenerates to the sequential engine's
+  // behavior (elapsed == total cost when latency == unit cost).
+  size_t concurrency = 4;
+  bool no_wild_guesses = true;
+  // Extra *speculative* sorted accesses allowed per scheduling epoch (the
+  // span between two completions), beyond the one access each unsatisfied
+  // task may issue. Speculation reads streams ahead of proven need: it
+  // can deepen pipelining (more elapsed-time speedup) but pays for reads
+  // the sequential plan might never perform - the paper's "unrestrained
+  // concurrency abuses resources" trade-off, exposed as a dial.
+  size_t max_speculation = 0;
+};
+
+struct ParallelResult {
+  TopKResult topk;
+  // Simulated makespan.
+  double elapsed_time = 0.0;
+  // Total access cost (Eq. 1), including wasted in-flight accesses.
+  double total_cost = 0.0;
+  size_t accesses_issued = 0;
+  // Accesses still in flight when the top-k settled.
+  size_t wasted_accesses = 0;
+};
+
+// Runs the query with bounded concurrency. `policy` drives access
+// selection exactly as in the sequential engine.
+Status RunParallelNC(SourceSet* sources, const ScoringFunction& scoring,
+                     SelectPolicy* policy, const ParallelOptions& options,
+                     ParallelResult* out);
+
+}  // namespace nc
+
+#endif  // NC_CORE_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,43 @@
+// A policy that picks uniformly at random among the necessary choices.
+//
+// Every run it produces is a valid NC algorithm (it never leaves the
+// necessary-choice sets), which makes it the natural ablation baseline
+// for cost-based optimization: the gap between RandomSelectPolicy's cost
+// and the planner's plan is exactly what the optimizer buys over
+// arbitrary-but-correct scheduling. It is also a fuzzing workhorse in the
+// tests - random schedules explore engine states the deterministic
+// policies never reach.
+
+#ifndef NC_CORE_RANDOM_POLICY_H_
+#define NC_CORE_RANDOM_POLICY_H_
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace nc {
+
+class RandomSelectPolicy final : public SelectPolicy {
+ public:
+  explicit RandomSelectPolicy(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  // Re-seeds so that repeated Runs replay the same access sequence.
+  void Reset(const SourceSet& sources) override {
+    (void)sources;
+    rng_ = Rng(seed_);
+  }
+
+  Access Select(std::span<const Access> alternatives,
+                const EngineView& view) override {
+    (void)view;
+    NC_CHECK(!alternatives.empty());
+    return alternatives[rng_.UniformInt(alternatives.size())];
+  }
+
+ private:
+  uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_RANDOM_POLICY_H_

@@ -1,0 +1,31 @@
+#include "core/reference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nc {
+
+TopKResult BruteForceTopK(const Dataset& data, const ScoringFunction& scoring,
+                          size_t k) {
+  NC_CHECK(scoring.arity() == data.num_predicates());
+  const size_t n = data.num_objects();
+  const size_t m = data.num_predicates();
+  std::vector<TopKEntry> all(n);
+  std::vector<Score> row(m);
+  for (ObjectId u = 0; u < n; ++u) {
+    for (PredicateId i = 0; i < m; ++i) row[i] = data.score(u, i);
+    all[u] = TopKEntry{u, scoring.Evaluate(row)};
+  }
+  const size_t take = std::min(k, n);
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const TopKEntry& a, const TopKEntry& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.object > b.object;
+                    });
+  TopKResult result;
+  result.entries.assign(all.begin(), all.begin() + take);
+  return result;
+}
+
+}  // namespace nc

@@ -1,0 +1,22 @@
+// Brute-force top-k over the raw dataset: the test oracle every algorithm
+// is checked against. Bypasses the access layer deliberately (it is not a
+// middleware algorithm and has no cost).
+
+#ifndef NC_CORE_REFERENCE_H_
+#define NC_CORE_REFERENCE_H_
+
+#include "core/result.h"
+#include "data/dataset.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// Scores every object and returns the top min(k, n), ranked by descending
+// score with ties broken by descending ObjectId (matching the middleware
+// algorithms' deterministic semantics).
+TopKResult BruteForceTopK(const Dataset& data, const ScoringFunction& scoring,
+                          size_t k);
+
+}  // namespace nc
+
+#endif  // NC_CORE_REFERENCE_H_

@@ -1,0 +1,16 @@
+#include "core/result.h"
+
+#include <sstream>
+
+namespace nc {
+
+std::string TopKResult::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) os << " ";
+    os << "u" << entries[i].object << ":" << entries[i].score;
+  }
+  return os.str();
+}
+
+}  // namespace nc

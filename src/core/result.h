@@ -1,0 +1,38 @@
+// Top-k query output shared by the NC engine and all baseline algorithms.
+
+#ifndef NC_CORE_RESULT_H_
+#define NC_CORE_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/score.h"
+
+namespace nc {
+
+struct TopKEntry {
+  ObjectId object = 0;
+  Score score = 0.0;
+
+  friend bool operator==(const TopKEntry& a, const TopKEntry& b) {
+    return a.object == b.object && a.score == b.score;
+  }
+};
+
+// The answer to a top-k query: entries ranked by descending score, ties by
+// descending ObjectId (the deterministic tie-breaker of Section 3.1).
+// Contains min(k, n) entries.
+struct TopKResult {
+  std::vector<TopKEntry> entries;
+
+  // "u12:0.91 u3:0.87 ..." for logs and examples.
+  std::string ToString() const;
+
+  friend bool operator==(const TopKResult& a, const TopKResult& b) {
+    return a.entries == b.entries;
+  }
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_RESULT_H_

@@ -1,0 +1,49 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nc {
+
+std::vector<double> EstimateExpectedScores(const Dataset& sample) {
+  const size_t m = sample.num_predicates();
+  const size_t n = sample.num_objects();
+  std::vector<double> expected(m, 0.5);
+  if (n == 0) return expected;
+  for (PredicateId i = 0; i < m; ++i) {
+    double total = 0.0;
+    for (ObjectId u = 0; u < n; ++u) total += sample.score(u, i);
+    expected[i] = total / static_cast<double>(n);
+  }
+  return expected;
+}
+
+std::vector<PredicateId> OptimizeSchedule(const Dataset& sample,
+                                          const CostModel& cost) {
+  NC_CHECK(sample.num_predicates() == cost.num_predicates());
+  const size_t m = cost.num_predicates();
+  const std::vector<double> expected = EstimateExpectedScores(sample);
+
+  std::vector<PredicateId> schedule(m);
+  for (PredicateId i = 0; i < m; ++i) schedule[i] = i;
+
+  const auto rank = [&](PredicateId i) {
+    if (!cost.has_random(i)) return std::numeric_limits<double>::infinity();
+    // Probing cost per unit of expected ceiling reduction; the epsilon
+    // keeps non-filtering predicates (E[p] ~ 1) finite and last among the
+    // probeable ones.
+    const double filtering = std::max(1e-6, 1.0 - expected[i]);
+    return cost.random_cost[i] / filtering;
+  };
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [&](PredicateId a, PredicateId b) {
+                     const double ra = rank(a);
+                     const double rb = rank(b);
+                     if (ra != rb) return ra < rb;
+                     return a < b;
+                   });
+  return schedule;
+}
+
+}  // namespace nc

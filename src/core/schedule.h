@@ -1,0 +1,32 @@
+// Global random-access schedule optimization (the "G" of SR/G,
+// Section 7.2), adopted from MPro's sampling-based global scheduling.
+//
+// When several random probes compete, the plan follows one global
+// predicate order. A good order probes cheap, highly-filtering predicates
+// first: the benefit of probing p_i is the expected drop of the object's
+// ceiling, approximated by 1 - E[p_i] with E[p_i] measured on the sample;
+// the cost is cr_i. Predicates are ranked by ascending cr_i / (1 - E[p_i])
+// (probes per unit of pruning). Predicates without random access sort
+// last - the schedule never reaches them.
+
+#ifndef NC_CORE_SCHEDULE_H_
+#define NC_CORE_SCHEDULE_H_
+
+#include <vector>
+
+#include "access/cost_model.h"
+#include "data/dataset.h"
+
+namespace nc {
+
+// Mean score per predicate over the sample.
+std::vector<double> EstimateExpectedScores(const Dataset& sample);
+
+// The benefit/cost-ranked global schedule described above. Deterministic:
+// ties break by ascending predicate id.
+std::vector<PredicateId> OptimizeSchedule(const Dataset& sample,
+                                          const CostModel& cost);
+
+}  // namespace nc
+
+#endif  // NC_CORE_SCHEDULE_H_

@@ -1,0 +1,52 @@
+#include "core/session.h"
+
+#include "common/check.h"
+#include "core/engine.h"
+#include "core/srg_policy.h"
+
+namespace nc {
+
+QuerySession::QuerySession(const ScoringFunction* scoring,
+                           PlannerOptions options)
+    : scoring_(scoring), options_(options) {
+  NC_CHECK(scoring_ != nullptr);
+}
+
+std::string QuerySession::PlanKey(const CostModel& model, size_t k) {
+  std::string key = "k=" + std::to_string(k) + "|" + model.ToString();
+  key += "|pages=";
+  for (size_t b : model.sorted_page_size) {
+    key += std::to_string(b);
+    key += ",";
+  }
+  key += "|groups=";
+  for (int g : model.attribute_groups) {
+    key += std::to_string(g);
+    key += ",";
+  }
+  return key;
+}
+
+Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
+  NC_CHECK(sources != nullptr);
+  NC_CHECK(out != nullptr);
+  const std::string key = PlanKey(sources->cost_model(), k);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    CostBasedPlanner planner(scoring_, options_);
+    OptimizerResult plan;
+    NC_RETURN_IF_ERROR(planner.Plan(*sources, k, &plan));
+    ++plans_computed_;
+    it = cache_.emplace(key, std::move(plan)).first;
+  } else {
+    ++cache_hits_;
+  }
+  last_plan_ = it->second;
+
+  SRGPolicy policy(it->second.config);
+  EngineOptions engine_options;
+  engine_options.k = k;
+  return RunNC(sources, scoring_, &policy, engine_options, out);
+}
+
+}  // namespace nc

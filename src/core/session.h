@@ -1,0 +1,56 @@
+// Plan caching across the queries of a middleware session.
+//
+// Optimization overhead is tiny per query (a few dozen sample
+// simulations) but a busy middleware answers the same query shape
+// thousands of times. QuerySession memoizes the planner's output keyed by
+// (k, cost-model signature): repeated queries reuse the cached SR/G plan;
+// a drifted cost model (the signature includes unit costs, page sizes,
+// and attribute groups) or a new k re-plans automatically.
+
+#ifndef NC_CORE_SESSION_H_
+#define NC_CORE_SESSION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "access/source.h"
+#include "common/status.h"
+#include "core/planner.h"
+#include "core/result.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+class QuerySession {
+ public:
+  // `scoring` must outlive the session.
+  QuerySession(const ScoringFunction* scoring, PlannerOptions options);
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  // Answers a top-k query over `sources` (rewound by the caller), planning
+  // only when no cached plan matches the sources' current cost model.
+  Status Query(SourceSet* sources, size_t k, TopKResult* out);
+
+  // Number of planner invocations and of queries served from the cache.
+  size_t plans_computed() const { return plans_computed_; }
+  size_t cache_hits() const { return cache_hits_; }
+
+  // The plan used by the most recent Query.
+  const OptimizerResult& last_plan() const { return last_plan_; }
+
+ private:
+  static std::string PlanKey(const CostModel& model, size_t k);
+
+  const ScoringFunction* scoring_;
+  PlannerOptions options_;
+  std::unordered_map<std::string, OptimizerResult> cache_;
+  OptimizerResult last_plan_;
+  size_t plans_computed_ = 0;
+  size_t cache_hits_ = 0;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_SESSION_H_

@@ -1,0 +1,131 @@
+#include "core/srg_policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nc {
+
+SRGConfig SRGConfig::Default(size_t num_predicates) {
+  SRGConfig config;
+  config.depths.assign(num_predicates, 0.5);
+  config.schedule.resize(num_predicates);
+  for (size_t i = 0; i < num_predicates; ++i) {
+    config.schedule[i] = static_cast<PredicateId>(i);
+  }
+  return config;
+}
+
+std::string SRGConfig::ToString() const {
+  std::ostringstream os;
+  os << "H=(";
+  for (size_t i = 0; i < depths.size(); ++i) {
+    if (i > 0) os << ",";
+    os << depths[i];
+  }
+  os << ") sched=(";
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) os << ",";
+    os << schedule[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Status SRGConfig::Validate(size_t num_predicates) const {
+  if (depths.size() != num_predicates) {
+    return Status::InvalidArgument("depth vector size mismatch");
+  }
+  for (double h : depths) {
+    if (!(h >= 0.0 && h <= 1.0)) {
+      return Status::InvalidArgument("depth outside [0, 1]");
+    }
+  }
+  if (schedule.size() != num_predicates) {
+    return Status::InvalidArgument("schedule size mismatch");
+  }
+  std::vector<bool> seen(num_predicates, false);
+  for (PredicateId i : schedule) {
+    if (i >= num_predicates || seen[i]) {
+      return Status::InvalidArgument("schedule is not a permutation");
+    }
+    seen[i] = true;
+  }
+  return Status::OK();
+}
+
+SRGPolicy::SRGPolicy(SRGConfig config) : config_(std::move(config)) {
+  RebuildScheduleRank();
+}
+
+void SRGPolicy::RebuildScheduleRank() {
+  schedule_rank_.assign(config_.schedule.size(), 0);
+  for (size_t rank = 0; rank < config_.schedule.size(); ++rank) {
+    const PredicateId p = config_.schedule[rank];
+    NC_CHECK(p < schedule_rank_.size());
+    schedule_rank_[p] = rank;
+  }
+}
+
+void SRGPolicy::Reset(const SourceSet& sources) {
+  NC_CHECK(config_.Validate(sources.num_predicates()).ok());
+  rr_cursor_ = 0;
+}
+
+void SRGPolicy::set_config(SRGConfig config) {
+  NC_CHECK(config.depths.size() == config_.depths.size());
+  config_ = std::move(config);
+  RebuildScheduleRank();
+  rr_cursor_ = 0;
+}
+
+Access SRGPolicy::Select(std::span<const Access> alternatives,
+                         const EngineView& view) {
+  NC_CHECK(!alternatives.empty());
+  const size_t m = view.sources->num_predicates();
+
+  // 1. A qualifying sorted stream: last-seen still above its depth.
+  //    Round-robin among qualifiers so equal depths scan in lockstep.
+  const Access* best_sorted = nullptr;
+  size_t best_sorted_key = m;  // Cyclic distance from the cursor.
+  const Access* any_sorted = nullptr;
+  size_t any_sorted_key = m;
+  for (const Access& a : alternatives) {
+    if (a.type != AccessType::kSorted) continue;
+    const size_t key = (a.predicate + m - rr_cursor_ % m) % m;
+    if (key < any_sorted_key) {
+      any_sorted = &a;
+      any_sorted_key = key;
+    }
+    if (view.sources->last_seen(a.predicate) > config_.depths[a.predicate] &&
+        key < best_sorted_key) {
+      best_sorted = &a;
+      best_sorted_key = key;
+    }
+  }
+  if (best_sorted != nullptr) {
+    rr_cursor_ = best_sorted->predicate + 1;
+    return *best_sorted;
+  }
+
+  // 2. Random-probe the target's next unevaluated predicate by the global
+  //    schedule.
+  const Access* best_random = nullptr;
+  for (const Access& a : alternatives) {
+    if (a.type != AccessType::kRandom) continue;
+    if (best_random == nullptr ||
+        schedule_rank_[a.predicate] < schedule_rank_[best_random->predicate]) {
+      best_random = &a;
+    }
+  }
+  if (best_random != nullptr) return *best_random;
+
+  // 3. No random access available: keep draining sorted streams past their
+  //    depths (the NRA-only corner).
+  NC_CHECK(any_sorted != nullptr);
+  rr_cursor_ = any_sorted->predicate + 1;
+  return *any_sorted;
+}
+
+}  // namespace nc

@@ -1,0 +1,77 @@
+// The SR/G heuristics (Section 7.1): the searchable sub-space of NC plans.
+//
+// A plan is identified by the pair (H, schedule):
+//   * depths H = (H_1..H_m): per-predicate sorted-access depth expressed
+//     as a score threshold. Sorted access on p_i stays attractive while
+//     the stream's last-seen score l_i is still above H_i ("SR-subset":
+//     sorted accesses run ahead of random ones).
+//   * schedule: a global permutation of predicates fixing the order in
+//     which an object's remaining predicates are random-probed (adopted
+//     from MPro's global scheduling).
+//
+// Select (Figure 9): if any offered sorted access sa_i still has
+// l_i > H_i, perform one (round-robin among the qualifying streams, which
+// reproduces TA's equal-depth behavior when all H_i agree); otherwise
+// random-probe the target's first unevaluated predicate in schedule
+// order; if the scenario offers no random access, fall back to the
+// available sorted streams so progress is always made.
+//
+// Notable corners of the space:
+//   H = (1,..,1): no sorted access beyond what candidate discovery needs -
+//                 probe-dominated plans (MPro-like).
+//   H = (0,..,0): sorted access until streams answer everything -
+//                 NRA-like plans.
+
+#ifndef NC_CORE_SRG_POLICY_H_
+#define NC_CORE_SRG_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace nc {
+
+struct SRGConfig {
+  // H_i in [0, 1] per predicate.
+  std::vector<double> depths;
+  // Permutation of [0, m) giving the global random-access order.
+  std::vector<PredicateId> schedule;
+
+  // Equal depth 0.5, identity schedule.
+  static SRGConfig Default(size_t num_predicates);
+
+  // "H=(0.85,0.83) sched=(1,0)".
+  std::string ToString() const;
+
+  // OK iff depths are in range and schedule is a permutation of [0, m).
+  Status Validate(size_t num_predicates) const;
+};
+
+class SRGPolicy final : public SelectPolicy {
+ public:
+  explicit SRGPolicy(SRGConfig config);
+
+  void Reset(const SourceSet& sources) override;
+  Access Select(std::span<const Access> alternatives,
+                const EngineView& view) override;
+
+  const SRGConfig& config() const { return config_; }
+
+  // Swaps the plan parameters mid-run (adaptive re-optimization). The new
+  // config must cover the same predicate count.
+  void set_config(SRGConfig config);
+
+ private:
+  SRGConfig config_;
+  // Rank of each predicate in the schedule (lower probes first).
+  std::vector<size_t> schedule_rank_;
+  // Round-robin cursor over predicates for qualifying sorted accesses.
+  size_t rr_cursor_ = 0;
+
+  void RebuildScheduleRank();
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_SRG_POLICY_H_

@@ -1,0 +1,47 @@
+// Keeps the best k (score, object) pairs seen so far, ordered by
+// descending score with ties broken by descending ObjectId. Used by the
+// baselines for their output buffers and by the NC engine's
+// theta-approximation halting test.
+
+#ifndef NC_CORE_TOPK_COLLECTOR_H_
+#define NC_CORE_TOPK_COLLECTOR_H_
+
+#include <vector>
+
+#include "common/score.h"
+#include "core/result.h"
+
+namespace nc {
+
+// Offering the same object twice is the caller's bug (users guard with
+// their own completion bookkeeping).
+class TopKCollector {
+ public:
+  explicit TopKCollector(size_t k);
+
+  void Offer(ObjectId u, Score s);
+
+  // True once k entries are held.
+  bool full() const { return entries_.size() >= k_; }
+  size_t size() const { return entries_.size(); }
+
+  // Score of the weakest held entry; kMinScore - 1 while not full, so the
+  // usual "kth >= threshold" halting tests stay false until k entries
+  // exist.
+  Score kth_score() const;
+
+  // True when `u` is currently held.
+  bool Contains(ObjectId u) const;
+
+  // The collected entries in final rank order.
+  TopKResult Take() const;
+
+ private:
+  size_t k_;
+  // Kept sorted ascending by (score, object) so the weakest is front.
+  std::vector<TopKEntry> entries_;
+};
+
+}  // namespace nc
+
+#endif  // NC_CORE_TOPK_COLLECTOR_H_

@@ -1,0 +1,129 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nc {
+
+namespace {
+
+// Splits one CSV line on commas (no quoting: scores and simple names only).
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+bool ParseScore(const std::string& field, Score* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end == field.c_str() || *end != '\0') return false;
+  if (!IsValidScore(value)) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& data, const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  const size_t m = data.num_predicates();
+  for (PredicateId i = 0; i < m; ++i) {
+    if (i > 0) file << ",";
+    file << data.predicate_name(i);
+  }
+  file << "\n";
+  char buffer[64];
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    for (PredicateId i = 0; i < m; ++i) {
+      // %.17g round-trips any double exactly.
+      std::snprintf(buffer, sizeof(buffer), "%.17g", data.score(u, i));
+      if (i > 0) file << ",";
+      file << buffer;
+    }
+    file << "\n";
+  }
+  file.flush();
+  if (!file.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status ParseDatasetCsv(const std::string& text, Dataset* out) {
+  NC_CHECK(out != nullptr);
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("empty CSV");
+  }
+  const std::vector<std::string> header = SplitLine(line);
+  const size_t m = header.size();
+  if (m == 0 || (m == 1 && header[0].empty())) {
+    return Status::InvalidArgument("CSV header has no predicates");
+  }
+
+  std::vector<std::vector<Score>> rows;
+  size_t line_number = 1;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;  // Tolerate blank lines.
+    const std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != m) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(m) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<Score> row(m);
+    for (size_t i = 0; i < m; ++i) {
+      if (!ParseScore(fields[i], &row[i])) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": bad score '" +
+            fields[i] + "'");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV has a header but no objects");
+  }
+  NC_RETURN_IF_ERROR(Dataset::FromRows(rows, out));
+  for (PredicateId i = 0; i < m; ++i) {
+    if (!header[i].empty()) out->SetPredicateName(i, header[i]);
+  }
+  return Status::OK();
+}
+
+Status LoadDatasetCsv(const std::string& path, Dataset* out) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open: " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return ParseDatasetCsv(text.str(), out);
+}
+
+}  // namespace nc

@@ -1,0 +1,36 @@
+// CSV persistence for datasets, so workloads can be exchanged with other
+// tools (and real score tables can be imported instead of synthesized).
+//
+// Format: one header line with predicate names, then one row per object
+// with m comma-separated scores in [0, 1]. ObjectIds are row order.
+//
+//     rating,closeness
+//     0.65,0.9
+//     0.6,0.8
+//     0.7,0.7
+
+#ifndef NC_DATA_CSV_H_
+#define NC_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace nc {
+
+// Writes `data` to `path`. Overwrites. Scores are written with enough
+// precision to round-trip exactly.
+Status SaveDatasetCsv(const Dataset& data, const std::string& path);
+
+// Parses a dataset from `path`. Returns InvalidArgument on malformed
+// rows, non-numeric fields, or out-of-range scores.
+Status LoadDatasetCsv(const std::string& path, Dataset* out);
+
+// Parses CSV text already in memory (the file-free core of
+// LoadDatasetCsv; handy for tests and embedded snippets).
+Status ParseDatasetCsv(const std::string& text, Dataset* out);
+
+}  // namespace nc
+
+#endif  // NC_DATA_CSV_H_

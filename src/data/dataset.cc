@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nc {
+
+Dataset::Dataset(size_t num_objects, size_t num_predicates)
+    : num_objects_(num_objects),
+      columns_(num_predicates, std::vector<Score>(num_objects, 0.0)),
+      predicate_names_(num_predicates),
+      sorted_orders_(num_predicates) {
+  for (size_t i = 0; i < num_predicates; ++i) {
+    // Built via a local and move-assigned: GCC 12's -Wrestrict
+    // false-positives on the char*-assignment paths here.
+    std::string name = std::to_string(i);
+    name.insert(name.begin(), 'p');
+    predicate_names_[i] = std::move(name);
+  }
+}
+
+Status Dataset::FromRows(const std::vector<std::vector<Score>>& rows,
+                         Dataset* out) {
+  NC_CHECK(out != nullptr);
+  if (rows.empty()) {
+    return Status::InvalidArgument("dataset needs at least one object");
+  }
+  const size_t m = rows[0].size();
+  if (m == 0) {
+    return Status::InvalidArgument("dataset needs at least one predicate");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != m) {
+      return Status::InvalidArgument("ragged score rows");
+    }
+    for (Score s : row) {
+      if (!IsValidScore(s)) {
+        return Status::InvalidArgument("score outside [0, 1]");
+      }
+    }
+  }
+  Dataset result(rows.size(), m);
+  for (size_t u = 0; u < rows.size(); ++u) {
+    for (size_t i = 0; i < m; ++i) {
+      result.columns_[i][u] = rows[u][i];
+    }
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+void Dataset::SetScore(ObjectId u, PredicateId i, Score s) {
+  NC_CHECK(i < columns_.size());
+  NC_CHECK(u < num_objects_);
+  NC_CHECK(IsValidScore(s));
+  columns_[i][u] = s;
+  sorted_orders_[i].clear();
+}
+
+const std::vector<ObjectId>& Dataset::SortedOrder(PredicateId i) const {
+  NC_CHECK(i < columns_.size());
+  std::vector<ObjectId>& order = sorted_orders_[i];
+  if (order.empty() && num_objects_ > 0) {
+    order.resize(num_objects_);
+    for (size_t u = 0; u < num_objects_; ++u) {
+      order[u] = static_cast<ObjectId>(u);
+    }
+    const std::vector<Score>& column = columns_[i];
+    std::sort(order.begin(), order.end(), [&column](ObjectId a, ObjectId b) {
+      if (column[a] != column[b]) return column[a] > column[b];
+      return a > b;
+    });
+  }
+  return order;
+}
+
+void Dataset::SetPredicateName(PredicateId i, std::string name) {
+  NC_CHECK(i < predicate_names_.size());
+  predicate_names_[i] = std::move(name);
+}
+
+const std::string& Dataset::predicate_name(PredicateId i) const {
+  NC_CHECK(i < predicate_names_.size());
+  return predicate_names_[i];
+}
+
+void Dataset::SetObjectName(ObjectId u, std::string name) {
+  NC_CHECK(u < num_objects_);
+  if (object_names_.empty()) object_names_.resize(num_objects_);
+  object_names_[u] = std::move(name);
+}
+
+std::string Dataset::object_name(ObjectId u) const {
+  NC_CHECK(u < num_objects_);
+  if (u < object_names_.size() && !object_names_[u].empty()) {
+    return object_names_[u];
+  }
+  return "object-" + std::to_string(u);
+}
+
+}  // namespace nc

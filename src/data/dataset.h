@@ -1,0 +1,73 @@
+// In-memory database of objects with per-predicate scores.
+//
+// The middleware model (Section 3.1): a database D of n objects, each with
+// a score in [0,1] for every predicate p_1..p_m. The Dataset is the ground
+// truth that simulated Web sources (access/source.h) expose through sorted
+// and random accesses; algorithms never touch it directly except through
+// those accessors (the brute-force reference oracle being the one
+// deliberate exception).
+
+#ifndef NC_DATA_DATASET_H_
+#define NC_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/score.h"
+#include "common/status.h"
+
+namespace nc {
+
+// Immutable-after-construction score table, column-major by predicate.
+class Dataset {
+ public:
+  // An empty dataset (0 objects, 0 predicates); assign over it.
+  Dataset() : Dataset(0, 0) {}
+
+  // Creates an n-by-m dataset with all scores 0. Builders fill it with
+  // SetScore before first use of SortedOrder.
+  Dataset(size_t num_objects, size_t num_predicates);
+
+  // Builds a dataset from row-major scores: rows[u][i] = p_i[u].
+  // Returns InvalidArgument if rows are ragged or scores fall outside
+  // [0, 1].
+  static Status FromRows(const std::vector<std::vector<Score>>& rows,
+                         Dataset* out);
+
+  size_t num_objects() const { return num_objects_; }
+  size_t num_predicates() const { return columns_.size(); }
+
+  // The exact score p_i[u].
+  Score score(ObjectId u, PredicateId i) const {
+    return columns_[i][u];
+  }
+
+  // Sets p_i[u] = s. Invalidates any cached sorted order for predicate i.
+  // `s` must be in [0, 1].
+  void SetScore(ObjectId u, PredicateId i, Score s);
+
+  // Objects in descending p_i order; ties broken by descending ObjectId
+  // (the paper's deterministic tie-breaker, Example 9). Computed lazily
+  // and cached.
+  const std::vector<ObjectId>& SortedOrder(PredicateId i) const;
+
+  // Optional human-readable names for benchmarks and examples.
+  void SetPredicateName(PredicateId i, std::string name);
+  const std::string& predicate_name(PredicateId i) const;
+  void SetObjectName(ObjectId u, std::string name);
+  // Returns the assigned name, or "object-<id>" if none was set.
+  std::string object_name(ObjectId u) const;
+
+ private:
+  size_t num_objects_;
+  std::vector<std::vector<Score>> columns_;
+  std::vector<std::string> predicate_names_;
+  std::vector<std::string> object_names_;
+  // Lazily filled per predicate; empty vector means "not yet computed".
+  mutable std::vector<std::vector<ObjectId>> sorted_orders_;
+};
+
+}  // namespace nc
+
+#endif  // NC_DATA_DATASET_H_

@@ -1,0 +1,69 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nc {
+
+namespace {
+
+// One independent marginal draw in [0, 1].
+Score DrawMarginal(const GeneratorOptions& options, Rng* rng) {
+  switch (options.distribution) {
+    case ScoreDistribution::kUniform:
+      return rng->Uniform01();
+    case ScoreDistribution::kGaussian:
+      return ClampScore(
+          rng->Gaussian(options.gaussian_mean, options.gaussian_stddev));
+    case ScoreDistribution::kZipf:
+      // Power transform of a uniform draw: P(score > s) = (1-s)^(1/skew)
+      // shape; skew > 1 concentrates mass near 0, matching a Zipf-like
+      // "few objects score high" marginal.
+      return std::pow(rng->Uniform01(), options.zipf_skew);
+  }
+  NC_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace
+
+const char* ScoreDistributionName(ScoreDistribution dist) {
+  switch (dist) {
+    case ScoreDistribution::kUniform:
+      return "uniform";
+    case ScoreDistribution::kGaussian:
+      return "gaussian";
+    case ScoreDistribution::kZipf:
+      return "zipf";
+  }
+  return "unknown";
+}
+
+Dataset GenerateDataset(const GeneratorOptions& options) {
+  NC_CHECK(options.num_objects > 0);
+  NC_CHECK(options.num_predicates > 0);
+  NC_CHECK(options.correlation >= -1.0 && options.correlation <= 1.0);
+  Rng rng(options.seed);
+  Dataset data(options.num_objects, options.num_predicates);
+
+  const double rho = std::abs(options.correlation);
+  const bool anti = options.correlation < 0.0;
+  for (ObjectId u = 0; u < options.num_objects; ++u) {
+    // Latent per-object quality shared across predicates.
+    const Score latent = DrawMarginal(options, &rng);
+    for (PredicateId i = 0; i < options.num_predicates; ++i) {
+      const Score independent = DrawMarginal(options, &rng);
+      // For anti-correlation, odd predicates see the inverted latent, so
+      // adjacent predicates pull in opposite directions.
+      const Score base =
+          (anti && (i % 2 == 1)) ? (kMaxScore - latent) : latent;
+      const Score mixed = ClampScore(rho * base + (1.0 - rho) * independent);
+      data.SetScore(u, i, mixed);
+    }
+  }
+  return data;
+}
+
+}  // namespace nc

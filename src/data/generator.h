@@ -1,0 +1,55 @@
+// Synthetic dataset generation for the experiments (Section 9 evaluates
+// "a wider range of synthesized middleware settings").
+//
+// Marginal score distributions:
+//   kUniform  - scores uniform on [0, 1].
+//   kGaussian - scores drawn from N(mean, stddev), clamped to [0, 1].
+//   kZipf     - heavily skewed marginal: most objects score low, few score
+//               high (power-transform of a uniform draw; skew > 1 pushes
+//               mass toward 0).
+//
+// Cross-predicate correlation is controlled by `correlation` in [-1, 1]:
+// positive values mix a shared latent draw into every predicate (good
+// objects are good everywhere), negative values anti-correlate alternating
+// predicates (a bargain on one predicate costs on another — the hard case
+// for top-k pruning).
+
+#ifndef NC_DATA_GENERATOR_H_
+#define NC_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace nc {
+
+enum class ScoreDistribution {
+  kUniform,
+  kGaussian,
+  kZipf,
+};
+
+// Short lowercase label ("uniform", "gaussian", "zipf") for reports.
+const char* ScoreDistributionName(ScoreDistribution dist);
+
+struct GeneratorOptions {
+  size_t num_objects = 1000;
+  size_t num_predicates = 2;
+  ScoreDistribution distribution = ScoreDistribution::kUniform;
+  // Cross-predicate correlation in [-1, 1]; 0 = independent.
+  double correlation = 0.0;
+  // Gaussian parameters (used when distribution == kGaussian).
+  double gaussian_mean = 0.5;
+  double gaussian_stddev = 0.2;
+  // Zipf skew exponent (used when distribution == kZipf); > 0.
+  double zipf_skew = 2.0;
+  uint64_t seed = 42;
+};
+
+// Generates a dataset per `options`. Deterministic given the seed.
+Dataset GenerateDataset(const GeneratorOptions& options);
+
+}  // namespace nc
+
+#endif  // NC_DATA_GENERATOR_H_

@@ -1,0 +1,57 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nc {
+
+Dataset SampleDataset(const Dataset& data, size_t sample_size,
+                      uint64_t seed) {
+  const size_t n = data.num_objects();
+  const size_t m = data.num_predicates();
+  sample_size = std::min(sample_size, n);
+  NC_CHECK(sample_size > 0);
+  Rng rng(seed);
+  const std::vector<uint64_t> picks =
+      rng.SampleWithoutReplacement(n, sample_size);
+  Dataset sample(sample_size, m);
+  for (size_t row = 0; row < picks.size(); ++row) {
+    const ObjectId u = static_cast<ObjectId>(picks[row]);
+    for (PredicateId i = 0; i < m; ++i) {
+      sample.SetScore(static_cast<ObjectId>(row), i, data.score(u, i));
+    }
+  }
+  for (PredicateId i = 0; i < m; ++i) {
+    sample.SetPredicateName(i, data.predicate_name(i));
+  }
+  return sample;
+}
+
+Dataset DummyUniformSample(size_t num_predicates, size_t sample_size,
+                           uint64_t seed) {
+  NC_CHECK(sample_size > 0);
+  NC_CHECK(num_predicates > 0);
+  Rng rng(seed);
+  Dataset sample(sample_size, num_predicates);
+  for (ObjectId u = 0; u < sample_size; ++u) {
+    for (PredicateId i = 0; i < num_predicates; ++i) {
+      sample.SetScore(u, i, rng.Uniform01());
+    }
+  }
+  return sample;
+}
+
+size_t ScaledSampleK(size_t k, size_t database_size, size_t sample_size) {
+  NC_CHECK(database_size > 0);
+  NC_CHECK(sample_size > 0);
+  const double scaled = static_cast<double>(k) *
+                        static_cast<double>(sample_size) /
+                        static_cast<double>(database_size);
+  size_t k_prime = static_cast<size_t>(std::ceil(scaled));
+  k_prime = std::max<size_t>(1, k_prime);
+  return std::min(k_prime, sample_size);
+}
+
+}  // namespace nc

@@ -1,0 +1,36 @@
+// Sample acquisition for the optimizer's simulation-based cost estimation
+// (Section 7.3). Two modes:
+//   * SampleDataset    - draw s objects without replacement from the real
+//                        database (offline samples / a-priori knowledge).
+//   * DummyUniformSample - when samples are unavailable, generate dummy
+//                        uniform samples; they cannot capture the actual
+//                        score distribution but still let the optimizer
+//                        adapt to F, k, and the cost scenario (the paper's
+//                        worst-case validation mode).
+
+#ifndef NC_DATA_SAMPLING_H_
+#define NC_DATA_SAMPLING_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace nc {
+
+// Draws `sample_size` objects (without replacement) from `data`.
+// `sample_size` is clamped to data.num_objects().
+Dataset SampleDataset(const Dataset& data, size_t sample_size, uint64_t seed);
+
+// Builds a sample of `sample_size` objects with `num_predicates` scores
+// drawn independently and uniformly from [0, 1].
+Dataset DummyUniformSample(size_t num_predicates, size_t sample_size,
+                           uint64_t seed);
+
+// The paper's proportional retrieval-size rule: a top-k query over n
+// objects becomes a top-k' query over an s-object sample with
+// k' = ceil(k * s / n), clamped to [1, s].
+size_t ScaledSampleK(size_t k, size_t database_size, size_t sample_size);
+
+}  // namespace nc
+
+#endif  // NC_DATA_SAMPLING_H_

@@ -1,0 +1,91 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nc {
+
+std::vector<Score> MinMaxScores(const std::vector<double>& raw,
+                                bool descending) {
+  NC_CHECK(!raw.empty());
+  const auto [lo_it, hi_it] = std::minmax_element(raw.begin(), raw.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  std::vector<Score> scores(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const double unit =
+        hi == lo ? 0.5 : (raw[i] - lo) / (hi - lo);
+    scores[i] = ClampScore(descending ? 1.0 - unit : unit);
+  }
+  return scores;
+}
+
+std::vector<Score> RankScores(const std::vector<double>& raw,
+                              bool descending) {
+  NC_CHECK(!raw.empty());
+  const size_t n = raw.size();
+  if (n == 1) return {0.5};
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return raw[a] < raw[b]; });
+
+  // Ties share the average of their rank range.
+  std::vector<Score> scores(n);
+  size_t start = 0;
+  while (start < n) {
+    size_t end = start;
+    while (end + 1 < n && raw[order[end + 1]] == raw[order[start]]) ++end;
+    const double mean_rank =
+        static_cast<double>(start + end) / 2.0 / static_cast<double>(n - 1);
+    for (size_t r = start; r <= end; ++r) {
+      scores[order[r]] =
+          ClampScore(descending ? 1.0 - mean_rank : mean_rank);
+    }
+    start = end + 1;
+  }
+  return scores;
+}
+
+std::vector<Score> ExpDecayScores(const std::vector<double>& raw,
+                                  double scale) {
+  NC_CHECK(!raw.empty());
+  NC_CHECK(scale > 0.0);
+  std::vector<Score> scores(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    scores[i] = ClampScore(std::exp(-std::max(0.0, raw[i]) / scale));
+  }
+  return scores;
+}
+
+Status DatasetFromScoreColumns(
+    const std::vector<std::vector<Score>>& columns, Dataset* out) {
+  NC_CHECK(out != nullptr);
+  if (columns.empty() || columns[0].empty()) {
+    return Status::InvalidArgument("need at least one nonempty column");
+  }
+  const size_t n = columns[0].size();
+  for (const std::vector<Score>& column : columns) {
+    if (column.size() != n) {
+      return Status::InvalidArgument("columns differ in length");
+    }
+    for (const Score s : column) {
+      if (!IsValidScore(s)) {
+        return Status::InvalidArgument("score outside [0, 1]");
+      }
+    }
+  }
+  Dataset data(n, columns.size());
+  for (PredicateId i = 0; i < columns.size(); ++i) {
+    for (ObjectId u = 0; u < n; ++u) {
+      data.SetScore(u, i, columns[i][u]);
+    }
+  }
+  *out = std::move(data);
+  return Status::OK();
+}
+
+}  // namespace nc

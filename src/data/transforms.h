@@ -1,0 +1,45 @@
+// Turning raw attributes into predicate scores.
+//
+// Real data rarely arrives as [0,1] scores: prices are dollars, distances
+// are miles, ratings are 1-5 stars. These helpers map raw columns into
+// the score space the middleware ranks over, preserving the orderings
+// that matter (monotone transforms) so sorted streams stay meaningful.
+
+#ifndef NC_DATA_TRANSFORMS_H_
+#define NC_DATA_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace nc {
+
+// Linear min-max rescale: the column minimum maps to 0, the maximum to 1.
+// A constant column maps to all 0.5. `descending` flips the orientation
+// (smaller raw value = better score), e.g. for prices or distances.
+std::vector<Score> MinMaxScores(const std::vector<double>& raw,
+                                bool descending = false);
+
+// Rank-based normalization: the r-th smallest raw value maps to
+// r / (count - 1), making the score distribution uniform regardless of
+// the raw distribution's shape (ties share the average of their ranks).
+// `descending` flips the orientation.
+std::vector<Score> RankScores(const std::vector<double>& raw,
+                              bool descending = false);
+
+// Exponential decay: score = exp(-raw / scale) for nonnegative raw values
+// (distance-to-closeness, price-above-budget, staleness). Larger raw =
+// lower score; raw <= 0 maps to 1. `scale` > 0 sets the half-life-ish
+// falloff.
+std::vector<Score> ExpDecayScores(const std::vector<double>& raw,
+                                  double scale);
+
+// Builds a Dataset from raw attribute columns, one transform result per
+// predicate. All columns must be equally sized and nonempty.
+Status DatasetFromScoreColumns(
+    const std::vector<std::vector<Score>>& columns, Dataset* out);
+
+}  // namespace nc
+
+#endif  // NC_DATA_TRANSFORMS_H_

@@ -1,0 +1,116 @@
+#include "data/travel_agent.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nc {
+
+namespace {
+
+// Distance-to-score decay: closeness 1 at distance 0, ~0.1 at the far edge
+// of town (distance 1).
+Score Closeness(double distance) {
+  return ClampScore(std::exp(-2.3 * distance));
+}
+
+// Draws a position in a town with a few dense neighborhoods: with
+// probability 0.7 the venue sits near one of `centers` cluster centers,
+// otherwise anywhere in [0,1]^2.
+struct Point {
+  double x;
+  double y;
+};
+
+Point DrawVenuePosition(Rng* rng) {
+  static constexpr Point kCenters[] = {
+      {0.2, 0.3}, {0.7, 0.6}, {0.5, 0.9}, {0.85, 0.15}};
+  if (rng->Uniform01() < 0.7) {
+    const Point& c = kCenters[rng->UniformInt(4)];
+    return Point{ClampScore(rng->Gaussian(c.x, 0.07)),
+                 ClampScore(rng->Gaussian(c.y, 0.07))};
+  }
+  return Point{rng->Uniform01(), rng->Uniform01()};
+}
+
+double Distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Rounds a continuous quality in [0,1] to half-star granularity on a
+// 5-star scale (0.1 steps in score space).
+Score HalfStarRating(double quality) {
+  const double stars10 = std::round(ClampScore(quality) * 10.0);
+  return ClampScore(stars10 / 10.0);
+}
+
+}  // namespace
+
+TravelAgentQuery MakeRestaurantQuery(size_t num_restaurants, uint64_t seed) {
+  NC_CHECK(num_restaurants > 0);
+  Rng rng(seed);
+  const Point user{0.35, 0.4};  // "myaddr": near downtown.
+
+  Dataset data(num_restaurants, 2);
+  data.SetPredicateName(0, "rating");
+  data.SetPredicateName(1, "closeness");
+  for (ObjectId u = 0; u < num_restaurants; ++u) {
+    // Ratings cluster around 3.5/5 stars.
+    data.SetScore(u, 0, HalfStarRating(rng.Gaussian(0.7, 0.15)));
+    const Point pos = DrawVenuePosition(&rng);
+    data.SetScore(u, 1, Closeness(Distance(user, pos)));
+  }
+
+  TravelAgentQuery query;
+  query.data = std::move(data);
+  // Figure 1(a): random access pricier than sorted in both sources, with
+  // different scales (rating from dineme.com, closeness from
+  // superpages.com).
+  query.cost = CostModel({0.9, 0.2}, {1.5, 0.6});
+  query.scoring = std::make_unique<MinFunction>(2);
+  query.k = 5;
+  query.label = "Q1-restaurants";
+  return query;
+}
+
+TravelAgentQuery MakeHotelQuery(size_t num_hotels, uint64_t seed) {
+  NC_CHECK(num_hotels > 0);
+  Rng rng(seed);
+  const Point user{0.35, 0.4};
+
+  Dataset data(num_hotels, 3);
+  data.SetPredicateName(0, "closeness");
+  data.SetPredicateName(1, "stars");
+  data.SetPredicateName(2, "cheap");
+  for (ObjectId u = 0; u < num_hotels; ++u) {
+    const Point pos = DrawVenuePosition(&rng);
+    data.SetScore(u, 0, Closeness(Distance(user, pos)));
+    // Stars 1..5, skewed toward 2-4.
+    const double star_quality = ClampScore(rng.Gaussian(0.55, 0.2));
+    const double stars = 1.0 + std::floor(star_quality * 4.999);
+    data.SetScore(u, 1, ClampScore(stars / 5.0));
+    // Nightly price grows with stars plus noise; the budget-fit score
+    // decays with price, anti-correlating "cheap" with "stars".
+    const double price =
+        40.0 + 60.0 * stars + rng.Gaussian(0.0, 40.0);  // dollars
+    const double budget = 150.0;
+    data.SetScore(u, 2,
+                  ClampScore(std::exp(-std::max(0.0, price - budget) /
+                                      budget)));
+  }
+
+  TravelAgentQuery query;
+  query.data = std::move(data);
+  // Figure 1(b): hotels.com returns all attributes with each sorted hit,
+  // so follow-up random accesses are free.
+  query.cost = CostModel({1.0, 1.0, 1.0}, {0.0, 0.0, 0.0});
+  query.scoring = std::make_unique<AverageFunction>(3);
+  query.k = 5;
+  query.label = "Q2-hotels";
+  return query;
+}
+
+}  // namespace nc

@@ -1,0 +1,59 @@
+// The paper's Web travel-agent benchmark scenario (Examples 1 and 2),
+// rebuilt as synthetic workloads.
+//
+// The paper queries live sources (dineme.com, superpages.com, hotels.com);
+// we generate datasets whose score distributions have the qualitative
+// properties those predicates would have, and attach the access-cost
+// scenarios of Figure 1:
+//
+//   Query Q1 (restaurants): F = min(rating, closeness), k = 5.
+//     Figure 1(a): both sources support sorted and random access; random
+//     accesses cost more in both, with different scales and ratios.
+//   Query Q2 (hotels): F = avg(closeness, stars, cheap), k = 5.
+//     Figure 1(b): hotels.com serves all attributes via sorted access, so
+//     a random access after the first sorted hit is free (cr = 0).
+//
+// The concrete latency constants are reconstructed (the surviving text
+// garbles Figure 1's numbers); see DESIGN.md section 3.
+
+#ifndef NC_DATA_TRAVEL_AGENT_H_
+#define NC_DATA_TRAVEL_AGENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "access/cost_model.h"
+#include "data/dataset.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+// A ready-to-run benchmark query: data + cost scenario + query shape.
+struct TravelAgentQuery {
+  Dataset data;
+  CostModel cost;
+  std::unique_ptr<ScoringFunction> scoring;
+  size_t k = 5;
+  const char* label = "";
+};
+
+// Q1: top-5 restaurants by min(rating, closeness).
+//   rating    - discrete half-star ratings, roughly bell-shaped around 3.5
+//               of 5 stars.
+//   closeness - exp-decay of distance to the user; restaurants cluster in
+//               a few neighborhoods, so closeness is multi-modal.
+// Costs (seconds): rating cs=0.9 cr=1.5; closeness cs=0.2 cr=0.6.
+TravelAgentQuery MakeRestaurantQuery(size_t num_restaurants, uint64_t seed);
+
+// Q2: top-5 hotels by avg(closeness, stars, cheap).
+//   closeness - as above; stars - discrete 1..5 stars scaled to [0,1];
+//   cheap     - budget fit, decaying with price; price correlates with
+//               stars (pricier hotels have more stars), making the
+//               predicates anti-correlated the way real hotel data is.
+// Costs: cs=1.0 on every predicate, cr=0 (attributes ride along with any
+// sorted hit).
+TravelAgentQuery MakeHotelQuery(size_t num_hotels, uint64_t seed);
+
+}  // namespace nc
+
+#endif  // NC_DATA_TRAVEL_AGENT_H_

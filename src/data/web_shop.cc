@@ -1,0 +1,61 @@
+#include "data/web_shop.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/transforms.h"
+
+namespace nc {
+
+WebShopQuery MakeWebShopQuery(size_t num_products, uint64_t seed) {
+  NC_CHECK(num_products > 0);
+  Rng rng(seed);
+
+  // Raw catalog attributes.
+  std::vector<double> relevance_raw(num_products);
+  std::vector<double> price(num_products);
+  std::vector<double> stars(num_products);
+  std::vector<double> shipping_days(num_products);
+  for (size_t u = 0; u < num_products; ++u) {
+    // Relevance: heavy-tailed (few items match the query well).
+    relevance_raw[u] = std::pow(rng.Uniform01(), 4.0);
+    // Price: log-normal-ish dollars; pricier items tend to rate better.
+    const double quality = rng.Uniform01();
+    price[u] = 15.0 * std::exp(1.8 * quality + 0.5 * rng.Gaussian(0, 1));
+    stars[u] =
+        std::round(std::min(5.0, std::max(1.0, 1.0 + 4.0 * quality +
+                                                   rng.Gaussian(0, 0.7))) *
+                   2.0) /
+        2.0;  // Half-star granularity.
+    // Shipping: 1-14 days, mostly fast.
+    shipping_days[u] = 1.0 + 13.0 * std::pow(rng.Uniform01(), 2.0);
+  }
+
+  Dataset data;
+  const Status status = DatasetFromScoreColumns(
+      {MinMaxScores(relevance_raw),
+       RankScores(stars),
+       MinMaxScores(price, /*descending=*/true),
+       ExpDecayScores(shipping_days, /*scale=*/4.0)},
+      &data);
+  NC_CHECK(status.ok());
+  data.SetPredicateName(0, "relevance");
+  data.SetPredicateName(1, "rating");
+  data.SetPredicateName(2, "price-fit");
+  data.SetPredicateName(3, "shipping");
+
+  WebShopQuery query;
+  query.data = std::move(data);
+  // Capabilities per the header: relevance has no probe endpoint;
+  // shipping has no ranking endpoint.
+  query.cost = CostModel({0.3, 1.0, 0.5, kImpossibleCost},
+                         {kImpossibleCost, 2.5, 0.5, 1.5});
+  query.scoring =
+      std::make_unique<WeightedSumFunction>(std::vector<double>{
+          0.4, 0.3, 0.2, 0.1});
+  query.k = 10;
+  return query;
+}
+
+}  // namespace nc

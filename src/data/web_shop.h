@@ -1,0 +1,44 @@
+// A second benchmark domain: comparison shopping across four Web sources
+// with genuinely heterogeneous capabilities - the scenario class where no
+// single published algorithm applies at all and cost-based optimization
+// is the only game in town.
+//
+//   relevance  - search engine: ranked listings only (no "what is item
+//                X's relevance" endpoint): sorted cheap, random impossible.
+//   rating     - review site: browsable ranking and per-item pages:
+//                sorted + random, random pricier.
+//   price-fit  - shop API: ranked-by-price listing and cheap item lookup.
+//   shipping   - logistics API: per-item quote only: random-only,
+//                moderately priced.
+//
+// Raw attributes (dollars, days, stars, relevance weights) are mapped
+// into score space with data/transforms.h - the same path real imports
+// take.
+
+#ifndef NC_DATA_WEB_SHOP_H_
+#define NC_DATA_WEB_SHOP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "access/cost_model.h"
+#include "data/dataset.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+
+struct WebShopQuery {
+  Dataset data;
+  CostModel cost;
+  std::unique_ptr<ScoringFunction> scoring;
+  size_t k = 10;
+  const char* label = "web-shop";
+};
+
+// Builds the catalog and query: top-k products by
+// wsum(0.4*relevance, 0.3*rating, 0.2*price_fit, 0.1*shipping).
+WebShopQuery MakeWebShopQuery(size_t num_products, uint64_t seed);
+
+}  // namespace nc
+
+#endif  // NC_DATA_WEB_SHOP_H_

@@ -1,0 +1,44 @@
+// Umbrella header: the full public API of nc-topk.
+//
+//   #include "nc.h"
+//
+// pulls in everything an application needs - datasets and generators,
+// sources and cost models, scoring functions, the NC engine with its
+// policies and planner, the parallel/adaptive/session executors, and the
+// baseline algorithms. Individual headers remain includable for faster
+// builds; this is the convenience entry point.
+
+#ifndef NC_NC_H_
+#define NC_NC_H_
+
+#include "access/access.h"
+#include "access/cost_model.h"
+#include "access/score_provider.h"
+#include "access/source.h"
+#include "access/trace_format.h"
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "common/score.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/adaptive.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/parallel_executor.h"
+#include "core/planner.h"
+#include "core/random_policy.h"
+#include "core/reference.h"
+#include "core/result.h"
+#include "core/session.h"
+#include "core/srg_policy.h"
+#include "core/tg.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+#include "data/transforms.h"
+#include "data/travel_agent.h"
+#include "data/web_shop.h"
+#include "scoring/scoring_function.h"
+
+#endif  // NC_NC_H_

@@ -1,0 +1,136 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 600) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+TEST(AdaptiveTest, StaticScenarioStillExact) {
+  const Dataset data = MakeData(1);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 5.0));
+  AdaptiveOptions options;
+  options.k = 5;
+  options.reoptimize_every = 100;
+  TopKResult result;
+  AdaptiveReport report;
+  ASSERT_TRUE(RunAdaptiveNC(&sources, avg, options, &result, &report).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 5));
+}
+
+TEST(AdaptiveTest, ReplansOnSchedule) {
+  const Dataset data = MakeData(2, 1500);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  AdaptiveOptions options;
+  options.k = 20;
+  options.reoptimize_every = 50;
+  TopKResult result;
+  AdaptiveReport report;
+  ASSERT_TRUE(RunAdaptiveNC(&sources, avg, options, &result, &report).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 20));
+  EXPECT_GT(report.replans, 0u);
+}
+
+TEST(AdaptiveTest, ZeroPeriodDisablesReplanning) {
+  const Dataset data = MakeData(3);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  AdaptiveOptions options;
+  options.k = 5;
+  options.reoptimize_every = 0;
+  TopKResult result;
+  AdaptiveReport report;
+  ASSERT_TRUE(RunAdaptiveNC(&sources, avg, options, &result, &report).ok());
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 5));
+}
+
+TEST(AdaptiveTest, DriftHookObservesEveryAccess) {
+  const Dataset data = MakeData(4, 200);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  AdaptiveOptions options;
+  options.k = 3;
+  options.reoptimize_every = 0;
+  size_t calls = 0;
+  options.drift = [&](SourceSet&, size_t) { ++calls; };
+  TopKResult result;
+  ASSERT_TRUE(RunAdaptiveNC(&sources, avg, options, &result, nullptr).ok());
+  EXPECT_GT(calls, 0u);
+  EXPECT_EQ(calls, sources.stats().TotalSorted() +
+                       sources.stats().TotalRandom());
+}
+
+TEST(AdaptiveTest, CostDriftMidQueryStillExact) {
+  // Random accesses become 100x pricier after 30 accesses; the adaptive
+  // run must stay exact and end with a plan reflecting the new regime.
+  const Dataset data = MakeData(5, 1500);
+  MinFunction fmin(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  AdaptiveOptions options;
+  options.k = 10;
+  options.reoptimize_every = 40;
+  options.drift = [](SourceSet& s, size_t access_index) {
+    if (access_index == 30) {
+      const Status status =
+          s.set_cost_model(CostModel::Uniform(2, 1.0, 100.0));
+      NC_CHECK(status.ok());
+    }
+  };
+  TopKResult result;
+  AdaptiveReport report;
+  ASSERT_TRUE(RunAdaptiveNC(&sources, fmin, options, &result, &report).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, fmin, 10));
+  EXPECT_GT(report.replans, 0u);
+}
+
+TEST(AdaptiveTest, AdaptationReducesCostUnderDrift) {
+  // Scenario: probes start cheap and turn expensive mid-run. A plan frozen
+  // at the start keeps probing; the adaptive run should pivot to sorted
+  // access and finish cheaper (or at least no worse).
+  const Dataset data = MakeData(6, 3000);
+  AverageFunction avg(2);
+  const auto drift = [](SourceSet& s, size_t access_index) {
+    if (access_index == 50) {
+      const Status status =
+          s.set_cost_model(CostModel::Uniform(2, 1.0, 200.0));
+      NC_CHECK(status.ok());
+    }
+  };
+
+  AdaptiveOptions frozen;
+  frozen.k = 15;
+  frozen.reoptimize_every = 0;  // Plan once against the cheap regime.
+  frozen.drift = drift;
+  SourceSet frozen_sources(&data, CostModel::Uniform(2, 1.0, 0.1));
+  TopKResult frozen_result;
+  ASSERT_TRUE(
+      RunAdaptiveNC(&frozen_sources, avg, frozen, &frozen_result).ok());
+
+  AdaptiveOptions adaptive = frozen;
+  adaptive.reoptimize_every = 60;
+  SourceSet adaptive_sources(&data, CostModel::Uniform(2, 1.0, 0.1));
+  TopKResult adaptive_result;
+  ASSERT_TRUE(
+      RunAdaptiveNC(&adaptive_sources, avg, adaptive, &adaptive_result)
+          .ok());
+
+  EXPECT_EQ(frozen_result, adaptive_result);
+  EXPECT_LE(adaptive_sources.accrued_cost(),
+            frozen_sources.accrued_cost() * 1.05);
+}
+
+}  // namespace
+}  // namespace nc

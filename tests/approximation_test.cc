@@ -1,0 +1,170 @@
+// Theta-approximation (EngineOptions::approximation_theta): halting with
+// k complete objects within a factor theta of anything they displaced.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 1500) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+struct ApproxRun {
+  TopKResult result;
+  double cost = 0.0;
+  bool exact = false;
+};
+
+ApproxRun RunWithTheta(const Dataset& data, const ScoringFunction& scoring,
+                       size_t k, double theta) {
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = k;
+  options.approximation_theta = theta;
+  NCEngine engine(&sources, &scoring, &policy, options);
+  ApproxRun run;
+  const Status status = engine.Run(&run.result);
+  NC_CHECK(status.ok());
+  run.cost = sources.accrued_cost();
+  run.exact = engine.last_run_exact();
+  return run;
+}
+
+TEST(ApproximationTest, ThetaOneIsExact) {
+  const Dataset data = MakeData(1);
+  AverageFunction avg(2);
+  const ApproxRun run = RunWithTheta(data, avg, 10, 1.0);
+  EXPECT_TRUE(run.exact);
+  EXPECT_EQ(run.result, BruteForceTopK(data, avg, 10));
+}
+
+TEST(ApproximationTest, GuaranteeHolds) {
+  // Every returned object y must satisfy theta * score(y) >= score(z)
+  // for every object z outside the answer.
+  const Dataset data = MakeData(2);
+  MinFunction fmin(2);
+  for (const double theta : {1.05, 1.25, 2.0}) {
+    const ApproxRun run = RunWithTheta(data, fmin, 10, theta);
+    ASSERT_EQ(run.result.entries.size(), 10u);
+    const Score weakest = run.result.entries.back().score;
+
+    std::vector<bool> member(data.num_objects(), false);
+    for (const TopKEntry& e : run.result.entries) member[e.object] = true;
+    for (ObjectId u = 0; u < data.num_objects(); ++u) {
+      if (member[u]) continue;
+      const std::vector<Score> row{data.score(u, 0), data.score(u, 1)};
+      EXPECT_GE(theta * weakest + 1e-12, fmin.Evaluate(row))
+          << "theta=" << theta << " u=" << u;
+    }
+  }
+}
+
+TEST(ApproximationTest, ReturnedScoresAreExactForMembers) {
+  const Dataset data = MakeData(3);
+  AverageFunction avg(2);
+  const ApproxRun run = RunWithTheta(data, avg, 5, 1.5);
+  for (const TopKEntry& e : run.result.entries) {
+    const std::vector<Score> row{data.score(e.object, 0),
+                                 data.score(e.object, 1)};
+    EXPECT_DOUBLE_EQ(e.score, avg.Evaluate(row));
+  }
+}
+
+TEST(ApproximationTest, LargerThetaNeverCostsMore) {
+  const Dataset data = MakeData(4, 4000);
+  MinFunction fmin(2);
+  double last_cost = std::numeric_limits<double>::infinity();
+  for (const double theta : {1.0, 1.1, 1.5, 3.0}) {
+    const ApproxRun run = RunWithTheta(data, fmin, 10, theta);
+    EXPECT_LE(run.cost, last_cost + 1e-9) << "theta=" << theta;
+    last_cost = run.cost;
+  }
+}
+
+TEST(ApproximationTest, MeaningfulSavingForLooseTheta) {
+  const Dataset data = MakeData(5, 4000);
+  MinFunction fmin(2);
+  const ApproxRun exact = RunWithTheta(data, fmin, 10, 1.0);
+  const ApproxRun loose = RunWithTheta(data, fmin, 10, 2.0);
+  EXPECT_FALSE(loose.exact);
+  EXPECT_LT(loose.cost, exact.cost);
+}
+
+TEST(ApproximationTest, RejectsThetaBelowOne) {
+  const Dataset data = MakeData(6, 20);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 3;
+  options.approximation_theta = 0.9;
+  TopKResult result;
+  EXPECT_EQ(RunNC(&sources, &avg, &policy, options, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApproximationTest, ExtendRebuildsCollector) {
+  const Dataset data = MakeData(7);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  options.approximation_theta = 1.2;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  ASSERT_TRUE(engine.Extend(15, &result).ok());
+  ASSERT_EQ(result.entries.size(), 15u);
+  // The theta guarantee must hold at the widened k too.
+  const Score weakest = result.entries.back().score;
+  std::vector<bool> member(data.num_objects(), false);
+  for (const TopKEntry& e : result.entries) member[e.object] = true;
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    if (member[u]) continue;
+    const std::vector<Score> row{data.score(u, 0), data.score(u, 1)};
+    EXPECT_GE(1.2 * weakest + 1e-12, avg.Evaluate(row));
+  }
+}
+
+TEST(ApproximationTest, WorksAcrossScenarios) {
+  const Dataset data = MakeData(8, 600);
+  MinFunction fmin(2);
+  for (const CostModel& cost :
+       {CostModel::Uniform(2, 1.0, 10.0),
+        CostModel::Uniform(2, 1.0, kImpossibleCost),
+        CostModel::Uniform(2, kImpossibleCost, 1.0)}) {
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 5;
+    options.approximation_theta = 1.3;
+    NCEngine engine(&sources, &fmin, &policy, options);
+    TopKResult result;
+    ASSERT_TRUE(engine.Run(&result).ok()) << cost.ToString();
+    ASSERT_EQ(result.entries.size(), 5u);
+    const Score weakest = result.entries.back().score;
+    std::vector<bool> member(data.num_objects(), false);
+    for (const TopKEntry& e : result.entries) member[e.object] = true;
+    for (ObjectId u = 0; u < data.num_objects(); ++u) {
+      if (member[u]) continue;
+      const std::vector<Score> row{data.score(u, 0), data.score(u, 1)};
+      EXPECT_GE(1.3 * weakest + 1e-12, fmin.Evaluate(row))
+          << cost.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,130 @@
+// Anytime (best-effort) answers under an access budget.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 400) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+TEST(BestEffortTest, BudgetHitReturnsOkWithUpperBounds) {
+  const Dataset data = MakeData(1);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 10;
+  options.max_accesses = 25;
+  options.best_effort = true;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  EXPECT_FALSE(engine.last_run_exact());
+  EXPECT_LE(engine.accesses_performed(), 26u);
+  // Every reported bound is a legal score.
+  for (const TopKEntry& e : result.entries) {
+    EXPECT_TRUE(IsValidScore(e.score));
+  }
+}
+
+TEST(BestEffortTest, KthBoundDominatesTrueKthScore) {
+  const Dataset data = MakeData(2, 1000);
+  MinFunction fmin(2);
+  const TopKResult oracle = BruteForceTopK(data, fmin, 10);
+  const Score true_kth = oracle.entries.back().score;
+
+  for (const size_t budget : {5ul, 20ul, 80ul, 320ul}) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 10;
+    options.max_accesses = budget;
+    options.best_effort = true;
+    NCEngine engine(&sources, &fmin, &policy, options);
+    TopKResult result;
+    ASSERT_TRUE(engine.Run(&result).ok());
+    if (engine.last_run_exact()) continue;  // Finished inside the budget.
+    ASSERT_FALSE(result.entries.empty());
+    // Reported bounds dominate the truth they approximate.
+    EXPECT_GE(result.entries.back().score + 1e-12, true_kth)
+        << "budget=" << budget;
+  }
+}
+
+TEST(BestEffortTest, GenerousBudgetIsExact) {
+  const Dataset data = MakeData(3);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  options.max_accesses = 100000;
+  options.best_effort = true;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  EXPECT_TRUE(engine.last_run_exact());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 5));
+}
+
+TEST(BestEffortTest, AnswerQualityImprovesWithBudget) {
+  // Recall of the true top-k should be (weakly) increasing in the budget.
+  const Dataset data = MakeData(4, 2000);
+  AverageFunction avg(2);
+  const TopKResult oracle = BruteForceTopK(data, avg, 10);
+  const auto recall = [&](const TopKResult& result) {
+    size_t hits = 0;
+    for (const TopKEntry& e : result.entries) {
+      for (const TopKEntry& o : oracle.entries) {
+        if (o.object == e.object) ++hits;
+      }
+    }
+    return static_cast<double>(hits) / 10.0;
+  };
+
+  double last_recall = -1.0;
+  size_t improvements = 0;
+  for (const size_t budget : {10ul, 100ul, 400ul, 1600ul}) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 10;
+    options.max_accesses = budget;
+    options.best_effort = true;
+    NCEngine engine(&sources, &avg, &policy, options);
+    TopKResult result;
+    ASSERT_TRUE(engine.Run(&result).ok());
+    const double r = recall(result);
+    if (r > last_recall) ++improvements;
+    last_recall = r;
+  }
+  EXPECT_GE(improvements, 2u);
+  EXPECT_DOUBLE_EQ(last_recall, 1.0);  // 1600 accesses finish this query.
+}
+
+TEST(BestEffortTest, WithoutFlagBudgetStillErrors) {
+  const Dataset data = MakeData(5);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  options.max_accesses = 3;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  EXPECT_EQ(engine.Run(&result).code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace nc

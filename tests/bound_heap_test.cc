@@ -1,0 +1,159 @@
+#include "core/bound_heap.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nc {
+namespace {
+
+TEST(BoundHeapTest, PopTopKStableBounds) {
+  LazyBoundHeap heap;
+  heap.Push(0, 0.3);
+  heap.Push(1, 0.9);
+  heap.Push(2, 0.6);
+  std::map<ObjectId, Score> bounds{{0, 0.3}, {1, 0.9}, {2, 0.6}};
+  const auto fn = [&](ObjectId u) -> std::optional<Score> {
+    return bounds.at(u);
+  };
+  std::vector<LazyBoundHeap::Entry> top;
+  EXPECT_EQ(heap.PopTopK(2, fn, &top), 2u);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].object, 1u);
+  EXPECT_EQ(top[1].object, 2u);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(BoundHeapTest, ReinsertRestoresEntries) {
+  LazyBoundHeap heap;
+  heap.Push(0, 0.3);
+  heap.Push(1, 0.9);
+  std::map<ObjectId, Score> bounds{{0, 0.3}, {1, 0.9}};
+  const auto fn = [&](ObjectId u) -> std::optional<Score> {
+    return bounds.at(u);
+  };
+  std::vector<LazyBoundHeap::Entry> top;
+  heap.PopTopK(2, fn, &top);
+  EXPECT_TRUE(heap.empty());
+  heap.Reinsert(top);
+  EXPECT_EQ(heap.size(), 2u);
+  heap.PopTopK(1, fn, &top);
+  EXPECT_EQ(top[0].object, 1u);
+}
+
+TEST(BoundHeapTest, StaleEntriesRefreshOnPop) {
+  LazyBoundHeap heap;
+  heap.Push(0, 0.9);  // Cached high...
+  heap.Push(1, 0.5);
+  std::map<ObjectId, Score> bounds{{0, 0.2}, {1, 0.5}};  // ...now lower.
+  const auto fn = [&](ObjectId u) -> std::optional<Score> {
+    return bounds.at(u);
+  };
+  std::vector<LazyBoundHeap::Entry> top;
+  heap.PopTopK(1, fn, &top);
+  ASSERT_EQ(top.size(), 1u);
+  // Object 1 is the true maximum despite object 0's stale cache.
+  EXPECT_EQ(top[0].object, 1u);
+  EXPECT_DOUBLE_EQ(top[0].bound, 0.5);
+  // The refreshed entry for object 0 stays in the heap.
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(BoundHeapTest, RetiredEntriesVanish) {
+  LazyBoundHeap heap;
+  heap.Push(0, 1.0);
+  heap.Push(1, 0.4);
+  const auto fn = [&](ObjectId u) -> std::optional<Score> {
+    if (u == 0) return std::nullopt;  // Retired (the unseen sentinel dies).
+    return 0.4;
+  };
+  std::vector<LazyBoundHeap::Entry> top;
+  heap.PopTopK(2, fn, &top);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].object, 1u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(BoundHeapTest, TieBreakByDescendingObjectId) {
+  LazyBoundHeap heap;
+  heap.Push(3, 0.5);
+  heap.Push(9, 0.5);
+  heap.Push(1, 0.5);
+  const auto fn = [](ObjectId) -> std::optional<Score> { return 0.5; };
+  std::vector<LazyBoundHeap::Entry> top;
+  heap.PopTopK(3, fn, &top);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].object, 9u);
+  EXPECT_EQ(top[1].object, 3u);
+  EXPECT_EQ(top[2].object, 1u);
+}
+
+TEST(BoundHeapTest, UnseenSentinelRanksBelowSeenTies) {
+  // A freshly hit object surfaces above `unseen` at an equal bound
+  // (Figure 10's step 2).
+  LazyBoundHeap heap;
+  heap.Push(kUnseenObject, 0.7);
+  heap.Push(7, 0.7);
+  const auto fn = [](ObjectId) -> std::optional<Score> { return 0.7; };
+  std::vector<LazyBoundHeap::Entry> top;
+  heap.PopTopK(2, fn, &top);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].object, 7u);
+  EXPECT_EQ(top[1].object, kUnseenObject);
+}
+
+TEST(BoundHeapTest, FewerEntriesThanK) {
+  LazyBoundHeap heap;
+  heap.Push(0, 0.5);
+  const auto fn = [](ObjectId) -> std::optional<Score> { return 0.5; };
+  std::vector<LazyBoundHeap::Entry> top;
+  EXPECT_EQ(heap.PopTopK(5, fn, &top), 1u);
+}
+
+// Property test: under random monotone bound decay, PopTopK always agrees
+// with a naive full recomputation.
+TEST(BoundHeapTest, RandomizedAgainstNaive) {
+  Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.UniformInt(60);
+    std::vector<double> current(n);
+    LazyBoundHeap heap;
+    for (ObjectId u = 0; u < n; ++u) {
+      current[u] = rng.Uniform01();
+      heap.Push(u, current[u]);
+    }
+    const auto fn = [&](ObjectId u) -> std::optional<Score> {
+      return current[u];
+    };
+    std::vector<LazyBoundHeap::Entry> top;
+    for (int step = 0; step < 20; ++step) {
+      // Decay some bounds (never raise - the heap's contract).
+      for (int j = 0; j < 5; ++j) {
+        const ObjectId u = static_cast<ObjectId>(rng.UniformInt(n));
+        current[u] *= rng.Uniform01();
+      }
+      const size_t k = 1 + rng.UniformInt(5);
+      heap.PopTopK(k, fn, &top);
+
+      // Naive expectation.
+      std::vector<ObjectId> order(n);
+      for (ObjectId u = 0; u < n; ++u) order[u] = u;
+      std::sort(order.begin(), order.end(), [&](ObjectId a, ObjectId b) {
+        if (current[a] != current[b]) return current[a] > current[b];
+        return a > b;
+      });
+      ASSERT_EQ(top.size(), std::min(k, n));
+      for (size_t i = 0; i < top.size(); ++i) {
+        EXPECT_EQ(top[i].object, order[i]) << "trial " << trial;
+        EXPECT_DOUBLE_EQ(top[i].bound, current[order[i]]);
+      }
+      heap.Reinsert(top);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,138 @@
+#include "core/candidate.h"
+
+#include <gtest/gtest.h>
+
+namespace nc {
+namespace {
+
+TEST(CandidateTest, FreshCandidateHasNothingEvaluated) {
+  CandidatePool pool(3);
+  Candidate& c = pool.GetOrCreate(7);
+  EXPECT_EQ(c.id, 7u);
+  EXPECT_EQ(c.NumEvaluated(), 0u);
+  EXPECT_FALSE(c.IsComplete(3));
+  for (PredicateId i = 0; i < 3; ++i) EXPECT_FALSE(c.IsEvaluated(i));
+}
+
+TEST(CandidateTest, SetScoreMarksEvaluated) {
+  CandidatePool pool(2);
+  Candidate& c = pool.GetOrCreate(0);
+  c.SetScore(1, 0.4);
+  EXPECT_TRUE(c.IsEvaluated(1));
+  EXPECT_FALSE(c.IsEvaluated(0));
+  EXPECT_DOUBLE_EQ(c.scores[1], 0.4);
+  EXPECT_EQ(c.NumEvaluated(), 1u);
+  c.SetScore(0, 0.9);
+  EXPECT_TRUE(c.IsComplete(2));
+}
+
+TEST(CandidateTest, PoolGetOrCreateIdempotent) {
+  CandidatePool pool(2);
+  bool created = false;
+  Candidate& a = pool.GetOrCreate(5, &created);
+  EXPECT_TRUE(created);
+  a.SetScore(0, 0.3);
+  Candidate& b = pool.GetOrCreate(5, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.scores[0], 0.3);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CandidateTest, PoolFind) {
+  CandidatePool pool(2);
+  EXPECT_EQ(pool.Find(1), nullptr);
+  pool.GetOrCreate(1);
+  ASSERT_NE(pool.Find(1), nullptr);
+  EXPECT_EQ(pool.Find(1)->id, 1u);
+}
+
+TEST(CandidateTest, PoolReferencesStableAcrossGrowth) {
+  CandidatePool pool(1);
+  Candidate& first = pool.GetOrCreate(0);
+  for (ObjectId u = 1; u < 1000; ++u) pool.GetOrCreate(u);
+  EXPECT_EQ(&first, pool.Find(0));
+}
+
+TEST(CandidateTest, PoolIteratesInCreationOrder) {
+  CandidatePool pool(1);
+  pool.GetOrCreate(9);
+  pool.GetOrCreate(3);
+  pool.GetOrCreate(7);
+  std::vector<ObjectId> ids;
+  for (Candidate& c : pool) ids.push_back(c.id);
+  EXPECT_EQ(ids, (std::vector<ObjectId>{9, 3, 7}));
+}
+
+TEST(BoundEvaluatorTest, UpperSubstitutesCeilings) {
+  AverageFunction avg(2);
+  BoundEvaluator bounds(&avg);
+  CandidatePool pool(2);
+  Candidate& c = pool.GetOrCreate(0);
+  c.SetScore(0, 0.6);
+  // p_1 unevaluated: read as the ceiling 0.8 -> avg(0.6, 0.8) = 0.7.
+  const std::vector<Score> ceilings{0.5, 0.8};
+  EXPECT_DOUBLE_EQ(bounds.Upper(c, ceilings), 0.7);
+}
+
+TEST(BoundEvaluatorTest, LowerSubstitutesZero) {
+  AverageFunction avg(2);
+  BoundEvaluator bounds(&avg);
+  CandidatePool pool(2);
+  Candidate& c = pool.GetOrCreate(0);
+  c.SetScore(0, 0.6);
+  EXPECT_DOUBLE_EQ(bounds.Lower(c), 0.3);
+}
+
+TEST(BoundEvaluatorTest, ExactUsesAllScores) {
+  MinFunction fmin(2);
+  BoundEvaluator bounds(&fmin);
+  CandidatePool pool(2);
+  Candidate& c = pool.GetOrCreate(0);
+  c.SetScore(0, 0.6);
+  c.SetScore(1, 0.4);
+  EXPECT_DOUBLE_EQ(bounds.Exact(c), 0.4);
+}
+
+TEST(BoundEvaluatorTest, PaperExample7ScoreState) {
+  // Example 7 / Figure 5 on Dataset 1 (u1=(0.65,0.9), u2=(0.6,0.8),
+  // u3=(0.7,0.7)): after two sa_1 (hitting u3 then u1, so l_1 = 0.65) and
+  // one sa_2 (hitting u1, so l_2 = 0.9), the score state under F = min:
+  MinFunction fmin(2);
+  BoundEvaluator bounds(&fmin);
+  CandidatePool pool(2);
+  const std::vector<Score> ceilings{0.65, 0.9};
+
+  // u3 has p_1 = 0.7 exactly; p_2 capped at 0.9 -> F-bar = 0.7. Its task
+  // is clearly unsatisfied: it can still score as high as 0.7.
+  Candidate& u3 = pool.GetOrCreate(2);
+  u3.SetScore(0, 0.7);
+  EXPECT_DOUBLE_EQ(bounds.Upper(u3, ceilings), 0.7);
+
+  // u1 was hit by both streams: complete with exact min(.65,.9) = .65.
+  Candidate& u1 = pool.GetOrCreate(0);
+  u1.SetScore(0, 0.65);
+  u1.SetScore(1, 0.9);
+  EXPECT_DOUBLE_EQ(bounds.Exact(u1), 0.65);
+
+  // u2 is unseen: fully ceiling-bounded at min(.65,.9) = .65, so the
+  // eventual top-1 score (0.7, u3's) dominates it.
+  Candidate& u2 = pool.GetOrCreate(1);
+  EXPECT_DOUBLE_EQ(bounds.Upper(u2, ceilings), 0.65);
+}
+
+TEST(BoundEvaluatorTest, UpperNeverBelowExactForMonotoneF) {
+  AverageFunction avg(3);
+  BoundEvaluator bounds(&avg);
+  CandidatePool pool(3);
+  Candidate& c = pool.GetOrCreate(0);
+  c.SetScore(0, 0.2);
+  c.SetScore(1, 0.4);
+  const std::vector<Score> ceilings{1.0, 1.0, 0.9};
+  const Score upper = bounds.Upper(c, ceilings);
+  c.SetScore(2, 0.5);  // True value below the ceiling.
+  EXPECT_LE(bounds.Exact(c), upper);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,110 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvTest, ParseBasic) {
+  Dataset data;
+  const Status status = ParseDatasetCsv(
+      "rating,closeness\n0.65,0.9\n0.6,0.8\n0.7,0.7\n", &data);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(data.num_objects(), 3u);
+  EXPECT_EQ(data.num_predicates(), 2u);
+  EXPECT_EQ(data.predicate_name(0), "rating");
+  EXPECT_EQ(data.predicate_name(1), "closeness");
+  EXPECT_DOUBLE_EQ(data.score(2, 0), 0.7);
+  EXPECT_DOUBLE_EQ(data.score(0, 1), 0.9);
+}
+
+TEST(CsvTest, ParseToleratesBlankLinesAndCrLf) {
+  Dataset data;
+  ASSERT_TRUE(
+      ParseDatasetCsv("p0,p1\r\n0.1,0.2\r\n\r\n0.3,0.4\r\n", &data).ok());
+  EXPECT_EQ(data.num_objects(), 2u);
+  EXPECT_DOUBLE_EQ(data.score(1, 1), 0.4);
+}
+
+TEST(CsvTest, ParseRejectsEmpty) {
+  Dataset data;
+  EXPECT_FALSE(ParseDatasetCsv("", &data).ok());
+  EXPECT_FALSE(ParseDatasetCsv("p0,p1\n", &data).ok());
+}
+
+TEST(CsvTest, ParseRejectsRaggedRow) {
+  Dataset data;
+  const Status status = ParseDatasetCsv("p0,p1\n0.1,0.2\n0.3\n", &data);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, ParseRejectsNonNumeric) {
+  Dataset data;
+  EXPECT_FALSE(ParseDatasetCsv("p0\nhello\n", &data).ok());
+  EXPECT_FALSE(ParseDatasetCsv("p0\n0.5x\n", &data).ok());
+  EXPECT_FALSE(ParseDatasetCsv("p0\n\n0.5,\n", &data).ok());
+}
+
+TEST(CsvTest, ParseRejectsOutOfRangeScores) {
+  Dataset data;
+  EXPECT_FALSE(ParseDatasetCsv("p0\n1.5\n", &data).ok());
+  EXPECT_FALSE(ParseDatasetCsv("p0\n-0.1\n", &data).ok());
+  EXPECT_FALSE(ParseDatasetCsv("p0\nnan\n", &data).ok());
+}
+
+TEST(CsvTest, SaveLoadRoundTripsExactly) {
+  GeneratorOptions g;
+  g.num_objects = 100;
+  g.num_predicates = 3;
+  g.seed = 77;
+  const Dataset original = GenerateDataset(g);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.num_objects(), original.num_objects());
+  ASSERT_EQ(loaded.num_predicates(), original.num_predicates());
+  for (ObjectId u = 0; u < original.num_objects(); ++u) {
+    for (PredicateId i = 0; i < original.num_predicates(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded.score(u, i), original.score(u, i));
+    }
+  }
+  for (PredicateId i = 0; i < original.num_predicates(); ++i) {
+    EXPECT_EQ(loaded.predicate_name(i), original.predicate_name(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  Dataset data;
+  EXPECT_FALSE(LoadDatasetCsv("/nonexistent/nowhere.csv", &data).ok());
+}
+
+TEST(CsvTest, SaveToUnwritablePathFails) {
+  Dataset data(1, 1);
+  EXPECT_FALSE(SaveDatasetCsv(data, "/nonexistent/dir/out.csv").ok());
+}
+
+TEST(CsvTest, SortedOrderIntactAfterRoundTrip) {
+  Dataset data;
+  ASSERT_TRUE(
+      ParseDatasetCsv("p0\n0.2\n0.9\n0.5\n", &data).ok());
+  const std::vector<ObjectId>& order = data.SortedOrder(0);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,97 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace nc {
+namespace {
+
+TEST(DatasetTest, FromRowsBuildsScores) {
+  Dataset data;
+  ASSERT_TRUE(Dataset::FromRows({{0.1, 0.9}, {0.5, 0.5}}, &data).ok());
+  EXPECT_EQ(data.num_objects(), 2u);
+  EXPECT_EQ(data.num_predicates(), 2u);
+  EXPECT_DOUBLE_EQ(data.score(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(data.score(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(data.score(1, 0), 0.5);
+}
+
+TEST(DatasetTest, FromRowsRejectsEmpty) {
+  Dataset data;
+  EXPECT_EQ(Dataset::FromRows({}, &data).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Dataset::FromRows({{}}, &data).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FromRowsRejectsRagged) {
+  Dataset data;
+  EXPECT_FALSE(Dataset::FromRows({{0.1, 0.2}, {0.3}}, &data).ok());
+}
+
+TEST(DatasetTest, FromRowsRejectsOutOfRangeScores) {
+  Dataset data;
+  EXPECT_FALSE(Dataset::FromRows({{1.5}}, &data).ok());
+  EXPECT_FALSE(Dataset::FromRows({{-0.1}}, &data).ok());
+}
+
+TEST(DatasetTest, SortedOrderDescending) {
+  Dataset data;
+  ASSERT_TRUE(
+      Dataset::FromRows({{0.2}, {0.9}, {0.5}, {0.7}}, &data).ok());
+  const std::vector<ObjectId>& order = data.SortedOrder(0);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(DatasetTest, SortedOrderTieBreaksByDescendingId) {
+  Dataset data;
+  ASSERT_TRUE(Dataset::FromRows({{0.5}, {0.5}, {0.5}}, &data).ok());
+  const std::vector<ObjectId>& order = data.SortedOrder(0);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(DatasetTest, SetScoreInvalidatesSortedOrder) {
+  Dataset data(3, 1);
+  data.SetScore(0, 0, 0.1);
+  data.SetScore(1, 0, 0.2);
+  data.SetScore(2, 0, 0.3);
+  EXPECT_EQ(data.SortedOrder(0)[0], 2u);
+  data.SetScore(0, 0, 0.9);
+  EXPECT_EQ(data.SortedOrder(0)[0], 0u);
+}
+
+TEST(DatasetTest, PredicateNamesDefaultAndCustom) {
+  Dataset data(1, 2);
+  EXPECT_EQ(data.predicate_name(0), "p0");
+  data.SetPredicateName(1, "closeness");
+  EXPECT_EQ(data.predicate_name(1), "closeness");
+}
+
+TEST(DatasetTest, ObjectNamesDefaultAndCustom) {
+  Dataset data(2, 1);
+  EXPECT_EQ(data.object_name(0), "object-0");
+  data.SetObjectName(1, "Lou Malnati's");
+  EXPECT_EQ(data.object_name(1), "Lou Malnati's");
+  EXPECT_EQ(data.object_name(0), "object-0");
+}
+
+TEST(DatasetTest, MultiplePredicatesIndependentOrders) {
+  Dataset data;
+  ASSERT_TRUE(Dataset::FromRows({{0.9, 0.1}, {0.1, 0.9}}, &data).ok());
+  EXPECT_EQ(data.SortedOrder(0)[0], 0u);
+  EXPECT_EQ(data.SortedOrder(1)[0], 1u);
+}
+
+TEST(DatasetTest, DefaultConstructedIsEmpty) {
+  Dataset data;
+  EXPECT_EQ(data.num_objects(), 0u);
+  EXPECT_EQ(data.num_predicates(), 0u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,207 @@
+// Differential testing: every exact algorithm in the library - NC under
+// several policies, TG, and all exact-score baselines - must produce an
+// answer equivalent to the brute-force oracle's on the same workload,
+// including under heavy ties (discrete score grids) and degenerate
+// shapes. See ExpectValidAnswer for the exact contract; any divergence
+// beyond tied-group membership is a bug in somebody's bound handling.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/random_policy.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "core/tg.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+// Discrete score grid: draws from {0, .25, .5, .75, 1} force masses of
+// ties at every level.
+Dataset DiscreteData(uint64_t seed, size_t n, size_t m) {
+  Rng rng(seed);
+  Dataset data(n, m);
+  for (ObjectId u = 0; u < n; ++u) {
+    for (PredicateId i = 0; i < m; ++i) {
+      data.SetScore(u, i, 0.25 * static_cast<double>(rng.UniformInt(5)));
+    }
+  }
+  return data;
+}
+
+
+// Under heavy ties the "top-k set" is not unique: the virtual unseen
+// object cannot carry the ObjectId tie-breaker, so algorithms may settle
+// different members of a tied group (all of them correct answers under
+// the paper's semantics, which assumes ties away). The differential
+// contract is therefore: same ranked *scores* as the oracle, every
+// reported score exact, ranks non-increasing.
+void ExpectValidAnswer(const TopKResult& result, const TopKResult& oracle,
+                       const Dataset& data, const ScoringFunction& scoring,
+                       const std::string& label) {
+  ASSERT_EQ(result.entries.size(), oracle.entries.size()) << label;
+  std::vector<Score> row(data.num_predicates());
+  for (size_t rank = 0; rank < result.entries.size(); ++rank) {
+    const TopKEntry& e = result.entries[rank];
+    EXPECT_DOUBLE_EQ(e.score, oracle.entries[rank].score)
+        << label << " rank " << rank;
+    for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+      row[i] = data.score(e.object, i);
+    }
+    EXPECT_DOUBLE_EQ(e.score, scoring.Evaluate(row))
+        << label << " reported score not exact at rank " << rank;
+    if (rank > 0) {
+      EXPECT_LE(e.score, result.entries[rank - 1].score) << label;
+    }
+  }
+}
+
+struct DiffCase {
+  uint64_t seed;
+  size_t n;
+  size_t m;
+  size_t k;
+  ScoringKind kind;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, AllExactAlgorithmsAgree) {
+  const DiffCase& c = GetParam();
+  const Dataset data = DiscreteData(c.seed, c.n, c.m);
+  const auto scoring = MakeScoringFunction(c.kind, c.m);
+  const CostModel cost = CostModel::Uniform(c.m, 1.0, 1.0);
+  const TopKResult oracle = BruteForceTopK(data, *scoring, c.k);
+
+  // NC under three different policies.
+  {
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(SRGConfig::Default(c.m));
+    EngineOptions options;
+    options.k = c.k;
+    TopKResult result;
+    ASSERT_TRUE(RunNC(&sources, scoring.get(), &policy, options, &result)
+                    .ok());
+    ExpectValidAnswer(result, oracle, data, *scoring, "NC/SRG-default");
+  }
+  {
+    SourceSet sources(&data, cost);
+    SRGConfig focused;
+    focused.depths.assign(c.m, 1.0);
+    focused.depths[0] = 0.0;
+    focused.schedule.resize(c.m);
+    for (size_t i = 0; i < c.m; ++i) {
+      focused.schedule[i] = static_cast<PredicateId>(c.m - 1 - i);
+    }
+    SRGPolicy policy(focused);
+    EngineOptions options;
+    options.k = c.k;
+    TopKResult result;
+    ASSERT_TRUE(RunNC(&sources, scoring.get(), &policy, options, &result)
+                    .ok());
+    ExpectValidAnswer(result, oracle, data, *scoring, "NC/SRG-focused");
+  }
+  {
+    SourceSet sources(&data, cost);
+    RandomSelectPolicy policy(c.seed * 31 + 7);
+    EngineOptions options;
+    options.k = c.k;
+    TopKResult result;
+    ASSERT_TRUE(RunNC(&sources, scoring.get(), &policy, options, &result)
+                    .ok());
+    ExpectValidAnswer(result, oracle, data, *scoring, "NC/random");
+  }
+
+  // Framework TG with a random walk.
+  {
+    SourceSet sources(&data, cost);
+    TGRandomPolicy policy(c.seed * 17 + 3);
+    TGOptions options;
+    options.k = c.k;
+    TopKResult result;
+    ASSERT_TRUE(
+        RunTG(&sources, *scoring, &policy, options, &result).ok());
+    ExpectValidAnswer(result, oracle, data, *scoring, "TG/random");
+  }
+
+  // Every exact-score baseline.
+  for (const AlgorithmInfo& info : AllBaselines()) {
+    if (!info.exact_scores || !info.applicable(cost)) continue;
+    SourceSet sources(&data, cost);
+    TopKResult result;
+    ASSERT_TRUE(info.run(&sources, *scoring, c.k, &result).ok())
+        << info.name;
+    ExpectValidAnswer(result, oracle, data, *scoring, info.name);
+  }
+}
+
+std::vector<DiffCase> DiffCases() {
+  std::vector<DiffCase> cases;
+  uint64_t seed = 1;
+  for (const size_t n : {7ul, 40ul, 150ul}) {
+    for (const size_t m : {1ul, 2ul, 4ul}) {
+      for (const ScoringKind kind :
+           {ScoringKind::kMin, ScoringKind::kAverage, ScoringKind::kMax}) {
+        const size_t k = 1 + (seed % (n / 2 + 1));
+        cases.push_back(DiffCase{seed++, n, m, k, kind});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TiesSweep, DifferentialTest, ::testing::ValuesIn(DiffCases()),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      const DiffCase& c = info.param;
+      std::string name = "s";
+      name += std::to_string(c.seed) + "_n" + std::to_string(c.n) + "_m" +
+              std::to_string(c.m) + "_k" + std::to_string(c.k) + "_" +
+              MakeScoringFunction(c.kind, 1)->name();
+      return name;
+    });
+
+// Degenerate extremes outside the sweep.
+TEST(DifferentialEdgeTest, AllZeroScores) {
+  Dataset data(12, 2);  // Everything ties at 0.
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  const TopKResult oracle = BruteForceTopK(data, avg, 4);
+  for (const AlgorithmInfo& info : AllBaselines()) {
+    if (!info.exact_scores) continue;
+    SourceSet sources(&data, cost);
+    TopKResult result;
+    ASSERT_TRUE(info.run(&sources, avg, 4, &result).ok()) << info.name;
+    ExpectValidAnswer(result, oracle, data, avg, info.name);
+  }
+}
+
+TEST(DifferentialEdgeTest, SingleObject) {
+  Dataset data(1, 3);
+  data.SetScore(0, 0, 0.4);
+  data.SetScore(0, 1, 0.9);
+  data.SetScore(0, 2, 0.1);
+  MinFunction fmin(3);
+  const CostModel cost = CostModel::Uniform(3, 1.0, 1.0);
+  const TopKResult oracle = BruteForceTopK(data, fmin, 1);
+  for (const AlgorithmInfo& info : AllBaselines()) {
+    if (!info.exact_scores) continue;
+    SourceSet sources(&data, cost);
+    TopKResult result;
+    ASSERT_TRUE(info.run(&sources, fmin, 1, &result).ok()) << info.name;
+    EXPECT_EQ(result, oracle) << info.name;
+  }
+  SourceSet sources(&data, cost);
+  SRGPolicy policy(SRGConfig::Default(3));
+  EngineOptions options;
+  options.k = 1;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, &result).ok());
+  EXPECT_EQ(result, oracle);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,240 @@
+// Parameterized correctness sweep for Framework NC: across scenarios
+// (every cell of Figure 2's capability matrix), scoring functions, score
+// distributions, retrieval sizes, and SR/G configurations, the engine must
+// return exactly the brute-force top-k and satisfy the execution
+// invariants (no duplicate probes, every access necessary at issue time).
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+struct ScenarioCase {
+  const char* name;
+  double cs;
+  double cr;
+};
+
+constexpr ScenarioCase kScenarios[] = {
+    {"uniform", 1.0, 1.0},           // TA's cell.
+    {"random_expensive", 1.0, 10.0},  // CA's cell.
+    {"random_impossible", 1.0, kImpossibleCost},  // NRA's cell.
+    {"sorted_impossible", kImpossibleCost, 1.0},  // MPro/Upper's cell.
+    {"random_cheap", 10.0, 1.0},     // The paper's unstudied "?" cell.
+    {"random_free", 1.0, 0.0},       // Example 2 / Q2's cell.
+};
+
+struct PropertyCase {
+  ScenarioCase scenario;
+  ScoringKind kind;
+  ScoreDistribution dist;
+  size_t k;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  return std::string(c.scenario.name) + "_" +
+         MakeScoringFunction(c.kind, 2)->name() + "_" +
+         ScoreDistributionName(c.dist) + "_k" + std::to_string(c.k);
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EnginePropertyTest, MatchesBruteForceAcrossSeedsAndConfigs) {
+  const PropertyCase& c = GetParam();
+  constexpr size_t kPredicates = 3;
+  const auto scoring = MakeScoringFunction(c.kind, kPredicates);
+  const CostModel cost =
+      CostModel::Uniform(kPredicates, c.scenario.cs, c.scenario.cr);
+
+  const std::vector<SRGConfig> configs = [&] {
+    std::vector<SRGConfig> out;
+    SRGConfig equal = SRGConfig::Default(kPredicates);
+    out.push_back(equal);
+    SRGConfig focused;
+    focused.depths = {0.3, 1.0, 1.0};
+    focused.schedule = {2, 1, 0};
+    out.push_back(focused);
+    SRGConfig corners;
+    corners.depths = {0.0, 1.0, 0.5};
+    corners.schedule = {1, 0, 2};
+    out.push_back(corners);
+    return out;
+  }();
+
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    GeneratorOptions g;
+    g.num_objects = 120;
+    g.num_predicates = kPredicates;
+    g.distribution = c.dist;
+    g.seed = seed;
+    const Dataset data = GenerateDataset(g);
+    const TopKResult expected = BruteForceTopK(data, *scoring, c.k);
+
+    for (const SRGConfig& config : configs) {
+      SourceSet sources(&data, cost);
+      SRGPolicy policy(config);
+      EngineOptions options;
+      options.k = c.k;
+      TopKResult result;
+      const Status status =
+          RunNC(&sources, scoring.get(), &policy, options, &result);
+      ASSERT_TRUE(status.ok())
+          << status << " seed=" << seed << " config=" << config.ToString();
+      EXPECT_EQ(result, expected)
+          << "seed=" << seed << " config=" << config.ToString();
+      EXPECT_EQ(sources.stats().duplicate_random_count, 0u);
+      if (!cost.any_random()) {
+        EXPECT_EQ(sources.stats().TotalRandom(), 0u);
+      }
+      if (!cost.any_sorted()) {
+        EXPECT_EQ(sources.stats().TotalSorted(), 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginePropertyTest,
+    ::testing::ValuesIn([] {
+      std::vector<PropertyCase> cases;
+      for (const ScenarioCase& scenario : kScenarios) {
+        for (const ScoringKind kind :
+             {ScoringKind::kMin, ScoringKind::kAverage,
+              ScoringKind::kProduct}) {
+          for (const ScoreDistribution dist :
+               {ScoreDistribution::kUniform, ScoreDistribution::kZipf}) {
+            for (const size_t k : {1ul, 5ul}) {
+              cases.push_back(PropertyCase{scenario, kind, dist, k});
+            }
+          }
+        }
+      }
+      return cases;
+    }()),
+    CaseName);
+
+// Anti-correlated data is the adversarial case for pruning: upper bounds
+// stay loose the longest. The engine must still be exact.
+TEST(EnginePropertyExtraTest, AntiCorrelatedData) {
+  GeneratorOptions g;
+  g.num_objects = 200;
+  g.num_predicates = 2;
+  g.correlation = -0.9;
+  g.seed = 77;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 10;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 10));
+}
+
+// Highly correlated data is the easy case; correctness plus a sanity bound
+// on work (should stop far short of draining the streams).
+TEST(EnginePropertyExtraTest, CorrelatedDataStopsEarly) {
+  GeneratorOptions g;
+  g.num_objects = 2000;
+  g.num_predicates = 2;
+  g.correlation = 0.95;
+  g.seed = 78;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 5));
+  EXPECT_LT(sources.stats().TotalSorted(), 2u * 2000u / 2u);
+}
+
+// Duplicate scores en masse: the deterministic tie-breaker must keep the
+// answer exact.
+TEST(EnginePropertyExtraTest, MassiveTies) {
+  Dataset data(64, 2);
+  for (ObjectId u = 0; u < 64; ++u) {
+    data.SetScore(u, 0, (u % 4) * 0.25);
+    data.SetScore(u, 1, (u % 8) * 0.125);
+  }
+  MinFunction fmin(2);
+  for (size_t k : {1ul, 7ul, 32ul}) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = k;
+    TopKResult result;
+    ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, &result).ok());
+    EXPECT_EQ(result, BruteForceTopK(data, fmin, k)) << "k=" << k;
+  }
+}
+
+// All-equal dataset: every bound ties everywhere; termination and
+// determinism still hold.
+TEST(EnginePropertyExtraTest, ConstantScores) {
+  Dataset data(16, 2);
+  for (ObjectId u = 0; u < 16; ++u) {
+    data.SetScore(u, 0, 0.5);
+    data.SetScore(u, 1, 0.5);
+  }
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 4;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 4));
+}
+
+// Max aggregates: a single strong predicate should settle the query.
+TEST(EnginePropertyExtraTest, MaxFunctionScenario) {
+  GeneratorOptions g;
+  g.num_objects = 300;
+  g.num_predicates = 2;
+  g.seed = 80;
+  const Dataset data = GenerateDataset(g);
+  MaxFunction fmax(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &fmax, &policy, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, fmax, 5));
+}
+
+// Asymmetric per-predicate capabilities inside one query.
+TEST(EnginePropertyExtraTest, HeterogeneousCapabilityMatrix) {
+  GeneratorOptions g;
+  g.num_objects = 150;
+  g.num_predicates = 4;
+  g.seed = 81;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction avg(4);
+  // p0: both; p1: sorted-only; p2: random-only; p3: both (pricey random).
+  CostModel cost({1.0, 1.0, kImpossibleCost, 2.0},
+                 {1.0, kImpossibleCost, 1.0, 50.0});
+  SourceSet sources(&data, cost);
+  SRGPolicy policy(SRGConfig::Default(4));
+  EngineOptions options;
+  options.k = 5;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 5));
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,126 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "access/source.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "data/generator.h"
+#include "data/sampling.h"
+
+namespace nc {
+namespace {
+
+Dataset Sample(uint64_t seed, size_t n = 100, size_t m = 2) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+TEST(EstimatorTest, DeterministicEstimates) {
+  AverageFunction avg(2);
+  SimulationCostEstimator estimator(Sample(1), CostModel::Uniform(2, 1.0, 1.0),
+                                    &avg, /*k_prime=*/2);
+  const SRGConfig config = SRGConfig::Default(2);
+  const double first = estimator.EstimateCost(config);
+  const double second = estimator.EstimateCost(config);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_GT(first, 0.0);
+}
+
+TEST(EstimatorTest, MemoizationSkipsRepeatSimulations) {
+  AverageFunction avg(2);
+  SimulationCostEstimator estimator(Sample(2), CostModel::Uniform(2, 1.0, 1.0),
+                                    &avg, /*k_prime=*/2);
+  const SRGConfig config = SRGConfig::Default(2);
+  estimator.EstimateCost(config);
+  EXPECT_EQ(estimator.simulations(), 1u);
+  estimator.EstimateCost(config);
+  EXPECT_EQ(estimator.simulations(), 1u);
+
+  SRGConfig other = config;
+  other.depths[0] = 0.9;
+  estimator.EstimateCost(other);
+  EXPECT_EQ(estimator.simulations(), 2u);
+}
+
+TEST(EstimatorTest, ScheduleAffectsMemoKey) {
+  AverageFunction avg(2);
+  SimulationCostEstimator estimator(Sample(3), CostModel::Uniform(2, 1.0, 1.0),
+                                    &avg, /*k_prime=*/2);
+  SRGConfig a = SRGConfig::Default(2);
+  SRGConfig b = a;
+  b.schedule = {1, 0};
+  estimator.EstimateCost(a);
+  estimator.EstimateCost(b);
+  EXPECT_EQ(estimator.simulations(), 2u);
+}
+
+TEST(EstimatorTest, EstimateEqualsSimulatedRunCost) {
+  // The estimator's number must be exactly the accrued cost of running the
+  // same plan over the same sample.
+  const Dataset sample = Sample(4, 80, 2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 4.0);
+  MinFunction fmin(2);
+  SimulationCostEstimator estimator(sample, cost, &fmin, /*k_prime=*/3);
+  SRGConfig config;
+  config.depths = {0.4, 0.8};
+  config.schedule = {1, 0};
+  const double estimate = estimator.EstimateCost(config);
+
+  SourceSet sources(&sample, cost);
+  SRGPolicy policy(config);
+  EngineOptions options;
+  options.k = 3;
+  TopKResult ignored;
+  ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, &ignored).ok());
+  EXPECT_DOUBLE_EQ(estimate, sources.accrued_cost());
+}
+
+TEST(EstimatorTest, EstimatesTrackActualCostsAcrossConfigs) {
+  // Relative ordering on the sample should correlate with the actual full
+  // database costs - the property argmin search relies on.
+  GeneratorOptions g;
+  g.num_objects = 2000;
+  g.num_predicates = 2;
+  g.seed = 5;
+  const Dataset data = GenerateDataset(g);
+  const Dataset sample = SampleDataset(data, 150, /*seed=*/6);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 8.0);
+  AverageFunction avg(2);
+  SimulationCostEstimator estimator(sample, cost, &avg,
+                                    ScaledSampleK(10, 2000, 150));
+
+  std::vector<double> estimates;
+  std::vector<double> actuals;
+  for (const double h : {0.0, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    SRGConfig config;
+    config.depths = {h, h};
+    config.schedule = {0, 1};
+    estimates.push_back(estimator.EstimateCost(config));
+
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(config);
+    EngineOptions options;
+    options.k = 10;
+    TopKResult ignored;
+    ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &ignored).ok());
+    actuals.push_back(sources.accrued_cost());
+  }
+  EXPECT_GT(PearsonCorrelation(estimates, actuals), 0.6);
+}
+
+TEST(EstimatorTest, InvalidConfigYieldsInfiniteCost) {
+  AverageFunction avg(2);
+  SimulationCostEstimator estimator(Sample(7), CostModel::Uniform(2, 1.0, 1.0),
+                                    &avg, /*k_prime=*/2);
+  SRGConfig bad;
+  bad.depths = {0.5, 0.5};
+  bad.schedule = {0, 0};  // Not a permutation.
+  EXPECT_TRUE(std::isinf(estimator.EstimateCost(bad)));
+}
+
+}  // namespace
+}  // namespace nc

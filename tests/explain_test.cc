@@ -1,0 +1,105 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/travel_agent.h"
+
+namespace nc {
+namespace {
+
+TEST(ExplainTest, MentionsEveryPredicateAndShape) {
+  const TravelAgentQuery q = MakeRestaurantQuery(100, /*seed=*/1);
+  SourceSet sources(&q.data, q.cost);
+  SRGConfig plan;
+  plan.depths = {1.0, 0.2};
+  plan.schedule = {1, 0};
+  const std::string text = ExplainPlan(plan, sources, *q.scoring, 5);
+
+  EXPECT_NE(text.find("top-5 by min"), std::string::npos) << text;
+  EXPECT_NE(text.find("rating"), std::string::npos);
+  EXPECT_NE(text.find("closeness"), std::string::npos);
+  // Depth 1.0 on rating: discovery only; depth 0.2 on closeness: read
+  // while above 0.2.
+  EXPECT_NE(text.find("not read beyond discovery"), std::string::npos);
+  EXPECT_NE(text.find("above 0.2"), std::string::npos);
+  // Probe order: closeness first.
+  EXPECT_NE(text.find("first in the probe order"), std::string::npos);
+}
+
+TEST(ExplainTest, ImpossibleAccessesNamed) {
+  GeneratorOptions g;
+  g.num_objects = 20;
+  g.num_predicates = 2;
+  const Dataset data = GenerateDataset(g);
+  SourceSet sources(&data,
+                    CostModel({1.0, kImpossibleCost}, {kImpossibleCost, 1.0}));
+  AverageFunction avg(2);
+  const std::string text =
+      ExplainPlan(SRGConfig::Default(2), sources, avg, 3);
+  EXPECT_NE(text.find("no probes"), std::string::npos);
+  EXPECT_NE(text.find("no stream"), std::string::npos);
+}
+
+TEST(ExplainTest, PagesAndGroupsSurface) {
+  GeneratorOptions g;
+  g.num_objects = 20;
+  g.num_predicates = 2;
+  const Dataset data = GenerateDataset(g);
+  CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  cost.sorted_page_size = {25, 1};
+  cost.attribute_groups = {3, 3};
+  SourceSet sources(&data, cost);
+  AverageFunction avg(2);
+  const std::string text =
+      ExplainPlan(SRGConfig::Default(2), sources, avg, 3);
+  EXPECT_NE(text.find("pages of 25"), std::string::npos);
+  EXPECT_NE(text.find("source group 3"), std::string::npos);
+}
+
+TEST(ExplainTest, ZeroDepthReadsUntilSettled) {
+  GeneratorOptions g;
+  g.num_objects = 20;
+  g.num_predicates = 1;
+  const Dataset data = GenerateDataset(g);
+  SourceSet sources(&data, CostModel::Uniform(1, 1.0, 1.0));
+  AverageFunction avg(1);
+  SRGConfig plan;
+  plan.depths = {0.0};
+  plan.schedule = {0};
+  const std::string text = ExplainPlan(plan, sources, avg, 2);
+  EXPECT_NE(text.find("read until the query settles"), std::string::npos);
+}
+
+TEST(ExplainTest, OptimizerOverloadAddsEstimate) {
+  GeneratorOptions g;
+  g.num_objects = 20;
+  g.num_predicates = 2;
+  const Dataset data = GenerateDataset(g);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  AverageFunction avg(2);
+  OptimizerResult plan;
+  plan.config = SRGConfig::Default(2);
+  plan.estimated_cost = 42.5;
+  plan.simulations = 17;
+  const std::string text = ExplainPlan(plan, sources, avg, 3);
+  EXPECT_NE(text.find("estimated cost 42.5"), std::string::npos);
+  EXPECT_NE(text.find("17 plan simulations"), std::string::npos);
+}
+
+TEST(ExplainTest, ProviderBackedUsesGenericNames) {
+  GeneratorOptions g;
+  g.num_objects = 20;
+  g.num_predicates = 2;
+  const Dataset data = GenerateDataset(g);
+  DatasetScoreProvider provider(&data);
+  SourceSet sources(&provider, CostModel::Uniform(2, 1.0, 1.0));
+  AverageFunction avg(2);
+  const std::string text =
+      ExplainPlan(SRGConfig::Default(2), sources, avg, 3);
+  EXPECT_NE(text.find("p0"), std::string::npos);
+  EXPECT_NE(text.find("p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nc

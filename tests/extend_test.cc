@@ -1,0 +1,165 @@
+// Progressive retrieval (NCEngine::Extend): widening a finished top-k
+// query to a larger k without repeating work.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 500) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+TEST(ExtendTest, WidenedAnswerMatchesOracle) {
+  const Dataset data = MakeData(1);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  NCEngine engine(&sources, &avg, &policy, options);
+
+  TopKResult first;
+  ASSERT_TRUE(engine.Run(&first).ok());
+  EXPECT_EQ(first, BruteForceTopK(data, avg, 5));
+
+  TopKResult widened;
+  ASSERT_TRUE(engine.Extend(20, &widened).ok());
+  EXPECT_EQ(widened, BruteForceTopK(data, avg, 20));
+}
+
+TEST(ExtendTest, RepeatedExtensions) {
+  const Dataset data = MakeData(2);
+  MinFunction fmin(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 1;
+  NCEngine engine(&sources, &fmin, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  for (const size_t k : {2ul, 3ul, 8ul, 16ul, 17ul}) {
+    ASSERT_TRUE(engine.Extend(k, &result).ok()) << "k=" << k;
+    EXPECT_EQ(result, BruteForceTopK(data, fmin, k)) << "k=" << k;
+  }
+}
+
+TEST(ExtendTest, NoAccessRepeatsAndCostOnlyGrowsByTheDelta) {
+  const Dataset data = MakeData(3, 2000);
+  AverageFunction avg(2);
+
+  // Widen 10 -> 50 progressively.
+  SourceSet prog_sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy prog_policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 10;
+  NCEngine engine(&prog_sources, &avg, &prog_policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  const double cost_at_10 = prog_sources.accrued_cost();
+  ASSERT_TRUE(engine.Extend(50, &result).ok());
+  const double cost_at_50 = prog_sources.accrued_cost();
+  EXPECT_EQ(prog_sources.stats().duplicate_random_count, 0u);
+  EXPECT_GT(cost_at_50, cost_at_10);
+
+  // Reference: asking for 50 outright.
+  SourceSet direct_sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy direct_policy(SRGConfig::Default(2));
+  EngineOptions direct_options;
+  direct_options.k = 50;
+  TopKResult direct_result;
+  ASSERT_TRUE(
+      RunNC(&direct_sources, &avg, &direct_policy, direct_options,
+            &direct_result)
+          .ok());
+  EXPECT_EQ(result, direct_result);
+  // Progressive retrieval pays at most a small premium over the direct
+  // query (it can never be cheaper than its own k=10 prefix).
+  EXPECT_LE(cost_at_50, direct_sources.accrued_cost() * 1.25);
+}
+
+TEST(ExtendTest, ExtendBeyondDatabaseReturnsAll) {
+  const Dataset data = MakeData(4, 30);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  ASSERT_TRUE(engine.Extend(100, &result).ok());
+  EXPECT_EQ(result.entries.size(), 30u);
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 100));
+}
+
+TEST(ExtendTest, ExtendWithoutRunRejected) {
+  const Dataset data = MakeData(5, 10);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 2;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  EXPECT_EQ(engine.Extend(5, &result).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExtendTest, ShrinkingKRejected) {
+  const Dataset data = MakeData(6, 10);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  EXPECT_EQ(engine.Extend(2, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExtendTest, SameKIsAFreeReread) {
+  const Dataset data = MakeData(7, 200);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  const double cost_before = sources.accrued_cost();
+  TopKResult again;
+  ASSERT_TRUE(engine.Extend(5, &again).ok());
+  EXPECT_EQ(again, result);
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), cost_before);
+}
+
+TEST(ExtendTest, WorksInProbeOnlyScenario) {
+  const Dataset data = MakeData(8, 200);
+  MinFunction fmin(2);
+  SourceSet sources(&data, CostModel::Uniform(2, kImpossibleCost, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 3;
+  NCEngine engine(&sources, &fmin, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  ASSERT_TRUE(engine.Extend(12, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, fmin, 12));
+  EXPECT_EQ(sources.stats().duplicate_random_count, 0u);
+}
+
+}  // namespace
+}  // namespace nc

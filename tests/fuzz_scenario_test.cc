@@ -1,0 +1,166 @@
+// Scenario fuzzing: random capability matrices, cost scales, page sizes,
+// attribute groups, scoring functions, data shapes, and retrieval sizes -
+// the NC engine (and TG) must stay exact through all of it. This is the
+// catch-all net under the targeted suites.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/random_policy.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "core/tg.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+struct FuzzScenario {
+  Dataset data;
+  CostModel cost;
+  std::unique_ptr<ScoringFunction> scoring;
+  size_t k;
+  SRGConfig config;
+  std::string description;
+};
+
+// Draws a random-but-valid scenario. Every predicate keeps at least one
+// access type; at least one sorted stream exists unless the whole
+// scenario flips to probe-only.
+FuzzScenario DrawScenario(Rng* rng) {
+  FuzzScenario s;
+  const size_t n = 20 + rng->UniformInt(280);
+  const size_t m = 1 + rng->UniformInt(4);
+
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.distribution = static_cast<ScoreDistribution>(rng->UniformInt(3));
+  g.correlation = rng->Uniform(-0.9, 0.9);
+  g.seed = rng->UniformInt(1 << 30);
+  s.data = GenerateDataset(g);
+
+  const bool probe_only = rng->UniformInt(8) == 0;
+  s.cost = CostModel::Uniform(m, 1.0, 1.0);
+  for (PredicateId i = 0; i < m; ++i) {
+    s.cost.sorted_cost[i] =
+        probe_only ? kImpossibleCost : std::pow(10.0, rng->Uniform(-1, 2));
+    s.cost.random_cost[i] = std::pow(10.0, rng->Uniform(-1, 2));
+    if (!probe_only) {
+      const uint64_t drop = rng->UniformInt(5);
+      if (drop == 0) s.cost.sorted_cost[i] = kImpossibleCost;
+      if (drop == 1) s.cost.random_cost[i] = kImpossibleCost;
+    }
+  }
+  if (!probe_only && !s.cost.any_sorted()) {
+    s.cost.sorted_cost[0] = 1.0;  // Keep the scenario non-degenerate.
+  }
+  // Sometimes pages; sometimes groups.
+  if (rng->UniformInt(3) == 0) {
+    s.cost.sorted_page_size.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      s.cost.sorted_page_size[i] = 1 + rng->UniformInt(20);
+    }
+  }
+  if (rng->UniformInt(3) == 0) {
+    s.cost.attribute_groups.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      s.cost.attribute_groups[i] = static_cast<int>(rng->UniformInt(2));
+    }
+  }
+  NC_CHECK(s.cost.Validate().ok());
+
+  const ScoringKind kinds[] = {ScoringKind::kMin, ScoringKind::kMax,
+                               ScoringKind::kAverage, ScoringKind::kProduct,
+                               ScoringKind::kGeometricMean};
+  s.scoring = MakeScoringFunction(kinds[rng->UniformInt(5)], m);
+  s.k = 1 + rng->UniformInt(n / 2);
+
+  s.config.depths.resize(m);
+  s.config.schedule.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    s.config.depths[i] = 0.1 * static_cast<double>(rng->UniformInt(11));
+    s.config.schedule[i] = static_cast<PredicateId>(i);
+  }
+  rng->Shuffle(&s.config.schedule);
+
+  s.description = "n=" + std::to_string(n) + " m=" + std::to_string(m) +
+                  " k=" + std::to_string(s.k) + " F=" + s.scoring->name() +
+                  " " + s.cost.ToString() + " cfg=" + s.config.ToString();
+  return s;
+}
+
+class ScenarioFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScenarioFuzzTest, NCExactUnderRandomScenarios) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int round = 0; round < 12; ++round) {
+    const FuzzScenario s = DrawScenario(&rng);
+    const TopKResult oracle = BruteForceTopK(s.data, *s.scoring, s.k);
+
+    SourceSet sources(&s.data, s.cost);
+    SRGPolicy policy(s.config);
+    EngineOptions options;
+    options.k = s.k;
+    TopKResult result;
+    const Status status =
+        RunNC(&sources, s.scoring.get(), &policy, options, &result);
+    ASSERT_TRUE(status.ok()) << status << "\n" << s.description;
+    ASSERT_EQ(result.entries.size(), oracle.entries.size())
+        << s.description;
+    for (size_t r = 0; r < result.entries.size(); ++r) {
+      // Ties in fuzzed data: compare ranked scores, not identities.
+      EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score)
+          << s.description << " rank " << r;
+    }
+    EXPECT_EQ(sources.stats().duplicate_random_count, 0u) << s.description;
+  }
+}
+
+TEST_P(ScenarioFuzzTest, RandomPolicyExactUnderRandomScenarios) {
+  Rng rng(GetParam() * 104729 + 7);
+  for (int round = 0; round < 8; ++round) {
+    const FuzzScenario s = DrawScenario(&rng);
+    const TopKResult oracle = BruteForceTopK(s.data, *s.scoring, s.k);
+
+    SourceSet sources(&s.data, s.cost);
+    RandomSelectPolicy policy(rng.UniformInt(1 << 20));
+    EngineOptions options;
+    options.k = s.k;
+    TopKResult result;
+    const Status status =
+        RunNC(&sources, s.scoring.get(), &policy, options, &result);
+    ASSERT_TRUE(status.ok()) << status << "\n" << s.description;
+    for (size_t r = 0; r < result.entries.size(); ++r) {
+      EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score)
+          << s.description << " rank " << r;
+    }
+  }
+}
+
+TEST_P(ScenarioFuzzTest, TGExactUnderRandomScenarios) {
+  Rng rng(GetParam() * 31337 + 1);
+  for (int round = 0; round < 6; ++round) {
+    const FuzzScenario s = DrawScenario(&rng);
+    const TopKResult oracle = BruteForceTopK(s.data, *s.scoring, s.k);
+
+    SourceSet sources(&s.data, s.cost);
+    TGRandomPolicy policy(rng.UniformInt(1 << 20));
+    TGOptions options;
+    options.k = s.k;
+    TopKResult result;
+    const Status status =
+        RunTG(&sources, *s.scoring, &policy, options, &result);
+    ASSERT_TRUE(status.ok()) << status << "\n" << s.description;
+    for (size_t r = 0; r < result.entries.size(); ++r) {
+      EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score)
+          << s.description << " rank " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace nc

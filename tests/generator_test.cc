@@ -1,0 +1,141 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace nc {
+namespace {
+
+std::vector<double> Column(const Dataset& data, PredicateId i) {
+  std::vector<double> out(data.num_objects());
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    out[u] = data.score(u, i);
+  }
+  return out;
+}
+
+TEST(GeneratorTest, ShapeMatchesOptions) {
+  GeneratorOptions options;
+  options.num_objects = 123;
+  options.num_predicates = 4;
+  const Dataset data = GenerateDataset(options);
+  EXPECT_EQ(data.num_objects(), 123u);
+  EXPECT_EQ(data.num_predicates(), 4u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.num_objects = 50;
+  options.seed = 99;
+  const Dataset a = GenerateDataset(options);
+  const Dataset b = GenerateDataset(options);
+  for (ObjectId u = 0; u < 50; ++u) {
+    for (PredicateId i = 0; i < 2; ++i) {
+      EXPECT_DOUBLE_EQ(a.score(u, i), b.score(u, i));
+    }
+  }
+}
+
+TEST(GeneratorTest, SeedsChangeData) {
+  GeneratorOptions a_opt;
+  a_opt.seed = 1;
+  GeneratorOptions b_opt;
+  b_opt.seed = 2;
+  const Dataset a = GenerateDataset(a_opt);
+  const Dataset b = GenerateDataset(b_opt);
+  int diffs = 0;
+  for (ObjectId u = 0; u < a.num_objects(); ++u) {
+    if (a.score(u, 0) != b.score(u, 0)) ++diffs;
+  }
+  EXPECT_GT(diffs, 900);
+}
+
+class GeneratorDistributionTest
+    : public ::testing::TestWithParam<ScoreDistribution> {};
+
+TEST_P(GeneratorDistributionTest, ScoresInUnitInterval) {
+  GeneratorOptions options;
+  options.distribution = GetParam();
+  options.num_objects = 2000;
+  options.num_predicates = 3;
+  const Dataset data = GenerateDataset(options);
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+      EXPECT_TRUE(IsValidScore(data.score(u, i)));
+    }
+  }
+}
+
+TEST_P(GeneratorDistributionTest, PositiveCorrelationRaisesPearson) {
+  GeneratorOptions independent;
+  independent.distribution = GetParam();
+  independent.num_objects = 4000;
+  independent.correlation = 0.0;
+  GeneratorOptions correlated = independent;
+  correlated.correlation = 0.8;
+
+  const Dataset ind = GenerateDataset(independent);
+  const Dataset cor = GenerateDataset(correlated);
+  const double r_ind =
+      PearsonCorrelation(Column(ind, 0), Column(ind, 1));
+  const double r_cor =
+      PearsonCorrelation(Column(cor, 0), Column(cor, 1));
+  EXPECT_LT(std::abs(r_ind), 0.1);
+  EXPECT_GT(r_cor, 0.4);
+}
+
+TEST_P(GeneratorDistributionTest, NegativeCorrelationAntiCorrelates) {
+  GeneratorOptions options;
+  options.distribution = GetParam();
+  options.num_objects = 4000;
+  options.correlation = -0.8;
+  const Dataset data = GenerateDataset(options);
+  EXPECT_LT(PearsonCorrelation(Column(data, 0), Column(data, 1)), -0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, GeneratorDistributionTest,
+                         ::testing::Values(ScoreDistribution::kUniform,
+                                           ScoreDistribution::kGaussian,
+                                           ScoreDistribution::kZipf),
+                         [](const auto& info) {
+                           return ScoreDistributionName(info.param);
+                         });
+
+TEST(GeneratorTest, UniformMeanNearHalf) {
+  GeneratorOptions options;
+  options.num_objects = 5000;
+  const Dataset data = GenerateDataset(options);
+  EXPECT_NEAR(Mean(Column(data, 0)), 0.5, 0.03);
+}
+
+TEST(GeneratorTest, GaussianCentersOnMean) {
+  GeneratorOptions options;
+  options.distribution = ScoreDistribution::kGaussian;
+  options.gaussian_mean = 0.7;
+  options.gaussian_stddev = 0.1;
+  options.num_objects = 5000;
+  const Dataset data = GenerateDataset(options);
+  EXPECT_NEAR(Mean(Column(data, 0)), 0.7, 0.03);
+}
+
+TEST(GeneratorTest, ZipfSkewsTowardZero) {
+  GeneratorOptions options;
+  options.distribution = ScoreDistribution::kZipf;
+  options.zipf_skew = 3.0;
+  options.num_objects = 5000;
+  const Dataset data = GenerateDataset(options);
+  // E[U^3] = 1/4 for uniform U.
+  EXPECT_NEAR(Mean(Column(data, 0)), 0.25, 0.05);
+  EXPECT_LT(Percentile(Column(data, 0), 0.5), 0.3);
+}
+
+TEST(GeneratorTest, DistributionNames) {
+  EXPECT_STREQ(ScoreDistributionName(ScoreDistribution::kUniform), "uniform");
+  EXPECT_STREQ(ScoreDistributionName(ScoreDistribution::kGaussian),
+               "gaussian");
+  EXPECT_STREQ(ScoreDistributionName(ScoreDistribution::kZipf), "zipf");
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,189 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+// Analytic landscape for search-scheme testing: a convex bowl centered at
+// a configurable optimum (no simulation noise, exact bookkeeping of how
+// many evaluations a scheme spends).
+class BowlEstimator final : public CostEstimator {
+ public:
+  BowlEstimator(std::vector<double> optimum)
+      : optimum_(std::move(optimum)) {}
+
+  double EstimateCost(const SRGConfig& config) override {
+    ++simulations_;
+    double total = 100.0;
+    for (size_t i = 0; i < optimum_.size(); ++i) {
+      const double d = config.depths[i] - optimum_[i];
+      total += 50.0 * d * d;
+    }
+    return total;
+  }
+
+  size_t num_predicates() const override { return optimum_.size(); }
+  size_t simulations() const override { return simulations_; }
+
+ private:
+  std::vector<double> optimum_;
+  size_t simulations_ = 0;
+};
+
+std::vector<PredicateId> Identity(size_t m) {
+  std::vector<PredicateId> schedule(m);
+  for (size_t i = 0; i < m; ++i) schedule[i] = static_cast<PredicateId>(i);
+  return schedule;
+}
+
+TEST(NaiveGridTest, FindsMeshOptimumOnBowl) {
+  BowlEstimator bowl({0.3, 0.7});
+  NaiveGridOptimizer optimizer(0.1);
+  OptimizerResult result;
+  ASSERT_TRUE(optimizer.Optimize(&bowl, Identity(2), &result).ok());
+  EXPECT_NEAR(result.config.depths[0], 0.3, 1e-9);
+  EXPECT_NEAR(result.config.depths[1], 0.7, 1e-9);
+  EXPECT_NEAR(result.estimated_cost, 100.0, 1e-9);
+  // 12 mesh values per axis (0, .1, ..., .9, 1 plus the 1.0 endpoint dedup
+  // may add one) -> simulations reported.
+  EXPECT_EQ(result.simulations, bowl.simulations());
+  EXPECT_GT(result.simulations, 100u);
+}
+
+TEST(NaiveGridTest, CoarsensWhenMeshExplodes) {
+  BowlEstimator bowl(std::vector<double>(6, 0.0));
+  NaiveGridOptimizer optimizer(0.05, /*max_points=*/2000);
+  OptimizerResult result;
+  ASSERT_TRUE(optimizer.Optimize(&bowl, Identity(6), &result).ok());
+  EXPECT_LE(result.simulations, 2100u);
+  // Every coarsened mesh still contains the endpoints, so the all-zero
+  // optimum is found exactly.
+  EXPECT_NEAR(result.estimated_cost, 100.0, 1e-9);
+}
+
+TEST(StrategiesTest, DiagonalFamilyCoversEqualOptimum) {
+  BowlEstimator bowl({0.6, 0.6, 0.6});
+  StrategiesOptimizer optimizer(0.1);
+  OptimizerResult result;
+  ASSERT_TRUE(optimizer.Optimize(&bowl, Identity(3), &result).ok());
+  EXPECT_NEAR(result.estimated_cost, 100.0, 1e-9);
+  for (double h : result.config.depths) EXPECT_NEAR(h, 0.6, 1e-9);
+}
+
+TEST(StrategiesTest, FocusedFamilyCoversAxisOptimum) {
+  BowlEstimator bowl({0.2, 1.0, 1.0});
+  StrategiesOptimizer optimizer(0.1);
+  OptimizerResult result;
+  ASSERT_TRUE(optimizer.Optimize(&bowl, Identity(3), &result).ok());
+  EXPECT_NEAR(result.estimated_cost, 100.0, 1e-9);
+  EXPECT_NEAR(result.config.depths[0], 0.2, 1e-9);
+  EXPECT_NEAR(result.config.depths[1], 1.0, 1e-9);
+}
+
+TEST(StrategiesTest, CheaperThanNaive) {
+  BowlEstimator naive_bowl({0.5, 0.5, 0.5});
+  BowlEstimator strat_bowl({0.5, 0.5, 0.5});
+  NaiveGridOptimizer naive(0.1);
+  StrategiesOptimizer strategies(0.1);
+  OptimizerResult naive_result;
+  OptimizerResult strat_result;
+  ASSERT_TRUE(naive.Optimize(&naive_bowl, Identity(3), &naive_result).ok());
+  ASSERT_TRUE(
+      strategies.Optimize(&strat_bowl, Identity(3), &strat_result).ok());
+  EXPECT_LT(strat_result.simulations, naive_result.simulations / 10);
+}
+
+TEST(HClimbTest, DescendsToBowlOptimum) {
+  BowlEstimator bowl({0.4, 0.8});
+  HClimbOptimizer optimizer(/*restarts=*/3, /*step=*/0.1, /*seed=*/11);
+  OptimizerResult result;
+  ASSERT_TRUE(optimizer.Optimize(&bowl, Identity(2), &result).ok());
+  EXPECT_NEAR(result.config.depths[0], 0.4, 1e-9);
+  EXPECT_NEAR(result.config.depths[1], 0.8, 1e-9);
+}
+
+TEST(HClimbTest, FarFewerEvaluationsThanNaive) {
+  BowlEstimator hclimb_bowl({0.4, 0.8, 0.1});
+  HClimbOptimizer hclimb(3, 0.1, 11);
+  OptimizerResult hclimb_result;
+  ASSERT_TRUE(
+      hclimb.Optimize(&hclimb_bowl, Identity(3), &hclimb_result).ok());
+
+  BowlEstimator naive_bowl({0.4, 0.8, 0.1});
+  NaiveGridOptimizer naive(0.1);
+  OptimizerResult naive_result;
+  ASSERT_TRUE(naive.Optimize(&naive_bowl, Identity(3), &naive_result).ok());
+
+  EXPECT_LT(hclimb_result.simulations, naive_result.simulations / 5);
+  EXPECT_NEAR(hclimb_result.estimated_cost, naive_result.estimated_cost,
+              1e-9);
+}
+
+TEST(HClimbTest, DeterministicForSeed) {
+  BowlEstimator a({0.3, 0.3});
+  BowlEstimator b({0.3, 0.3});
+  HClimbOptimizer opt_a(4, 0.1, 42);
+  HClimbOptimizer opt_b(4, 0.1, 42);
+  OptimizerResult ra;
+  OptimizerResult rb;
+  ASSERT_TRUE(opt_a.Optimize(&a, Identity(2), &ra).ok());
+  ASSERT_TRUE(opt_b.Optimize(&b, Identity(2), &rb).ok());
+  EXPECT_EQ(ra.config.depths, rb.config.depths);
+  EXPECT_DOUBLE_EQ(ra.estimated_cost, rb.estimated_cost);
+}
+
+TEST(OptimizerTest, SchedulePropagatesIntoResult) {
+  BowlEstimator bowl({0.5, 0.5});
+  NaiveGridOptimizer optimizer(0.25);
+  OptimizerResult result;
+  const std::vector<PredicateId> schedule{1, 0};
+  ASSERT_TRUE(optimizer.Optimize(&bowl, schedule, &result).ok());
+  EXPECT_EQ(result.config.schedule, schedule);
+}
+
+TEST(OptimizerTest, RejectsBadSchedule) {
+  BowlEstimator bowl({0.5, 0.5});
+  NaiveGridOptimizer naive(0.25);
+  StrategiesOptimizer strategies(0.25);
+  HClimbOptimizer hclimb(2, 0.25, 1);
+  OptimizerResult result;
+  const std::vector<PredicateId> bad{0, 0};
+  EXPECT_FALSE(naive.Optimize(&bowl, bad, &result).ok());
+  EXPECT_FALSE(strategies.Optimize(&bowl, bad, &result).ok());
+  EXPECT_FALSE(hclimb.Optimize(&bowl, bad, &result).ok());
+}
+
+TEST(OptimizerTest, NamesExposed) {
+  EXPECT_EQ(NaiveGridOptimizer().name(), "Naive");
+  EXPECT_EQ(StrategiesOptimizer().name(), "Strategies");
+  EXPECT_EQ(HClimbOptimizer().name(), "HClimb");
+}
+
+// End-to-end on a real simulation estimator: the optimized plan must not
+// cost more than the default plan it replaces.
+TEST(OptimizerTest, OptimizedBeatsDefaultOnSimulation) {
+  GeneratorOptions g;
+  g.num_objects = 150;
+  g.num_predicates = 2;
+  g.seed = 13;
+  const Dataset sample = GenerateDataset(g);
+  MinFunction fmin(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  SimulationCostEstimator estimator(sample, cost, &fmin, /*k_prime=*/2);
+
+  const double default_cost =
+      estimator.EstimateCost(SRGConfig::Default(2));
+  HClimbOptimizer optimizer(4, 0.1, 3);
+  OptimizerResult result;
+  ASSERT_TRUE(optimizer.Optimize(&estimator, Identity(2), &result).ok());
+  EXPECT_LE(result.estimated_cost, default_cost);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,235 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 400, size_t m = 2) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+TEST(PlannerTest, PlanIsValidConfig) {
+  const Dataset data = MakeData(1);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  PlannerOptions options;
+  CostBasedPlanner planner(&avg, options);
+  OptimizerResult plan;
+  ASSERT_TRUE(planner.Plan(sources, 5, &plan).ok());
+  EXPECT_TRUE(plan.config.Validate(2).ok());
+  EXPECT_GT(plan.simulations, 0u);
+  EXPECT_GE(plan.estimated_cost, 0.0);
+}
+
+TEST(PlannerTest, RunOptimizedNCCorrectAcrossSchemes) {
+  const Dataset data = MakeData(2);
+  MinFunction fmin(2);
+  const TopKResult expected = BruteForceTopK(data, fmin, 5);
+  for (const SearchScheme scheme :
+       {SearchScheme::kNaive, SearchScheme::kStrategies,
+        SearchScheme::kHClimb}) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 5.0));
+    PlannerOptions options;
+    options.scheme = scheme;
+    TopKResult result;
+    OptimizerResult plan;
+    ASSERT_TRUE(
+        RunOptimizedNC(&sources, fmin, 5, options, &result, &plan).ok())
+        << SearchSchemeName(scheme);
+    EXPECT_EQ(result, expected) << SearchSchemeName(scheme);
+  }
+}
+
+TEST(PlannerTest, DummySamplesAlsoWork) {
+  const Dataset data = MakeData(3);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 10.0));
+  PlannerOptions options;
+  options.sample_mode = SampleMode::kDummyUniform;
+  TopKResult result;
+  ASSERT_TRUE(RunOptimizedNC(&sources, avg, 5, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 5));
+}
+
+TEST(PlannerTest, MinQueryGetsFocusedPlan) {
+  // The paper's headline adaptation: for F = min a focused configuration
+  // (deep sorted access on one predicate, little on the other) wins. The
+  // found plan must be meaningfully asymmetric.
+  const Dataset data = MakeData(4, 2000, 2);
+  MinFunction fmin(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  PlannerOptions options;
+  options.sample_size = 200;
+  CostBasedPlanner planner(&fmin, options);
+  OptimizerResult plan;
+  ASSERT_TRUE(planner.Plan(sources, 5, &plan).ok());
+  const double spread =
+      std::abs(plan.config.depths[0] - plan.config.depths[1]);
+  EXPECT_GT(spread, 0.3) << plan.config.ToString();
+}
+
+TEST(PlannerTest, AvgQueryPlanCompetitiveWithGridBest) {
+  // For F = avg the cost surface over depths is a near-plateau under lazy
+  // probing, so no particular shape is identifiable; what matters is that
+  // the sampled plan's *actual* cost lands near the best grid point's.
+  const Dataset data = MakeData(5, 2000, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+
+  const auto actual_cost = [&](const SRGConfig& config) {
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(config);
+    EngineOptions options;
+    options.k = 10;
+    TopKResult ignored;
+    NC_CHECK(RunNC(&sources, &avg, &policy, options, &ignored).ok());
+    return sources.accrued_cost();
+  };
+
+  double best_grid = std::numeric_limits<double>::infinity();
+  for (const double h0 : {0.0, 0.5, 0.9, 1.0}) {
+    for (const double h1 : {0.0, 0.5, 0.9, 1.0}) {
+      SRGConfig config;
+      config.depths = {h0, h1};
+      config.schedule = {0, 1};
+      best_grid = std::min(best_grid, actual_cost(config));
+    }
+  }
+
+  SourceSet sources(&data, cost);
+  PlannerOptions options;
+  options.sample_size = 200;
+  CostBasedPlanner planner(&avg, options);
+  OptimizerResult plan;
+  ASSERT_TRUE(planner.Plan(sources, 10, &plan).ok());
+  EXPECT_LE(actual_cost(plan.config), best_grid * 1.20)
+      << plan.config.ToString();
+}
+
+TEST(PlannerTest, ExpensiveRandomPushesDepthsDown) {
+  // When probes cost 100x, good plans rely on sorted access; depths should
+  // sit lower (more sorted) than in the probe-friendly scenario.
+  const Dataset data = MakeData(6, 2000, 2);
+  AverageFunction avg(2);
+  PlannerOptions options;
+  options.sample_size = 200;
+  CostBasedPlanner planner(&avg, options);
+
+  SourceSet cheap_probe(&data, CostModel::Uniform(2, 1.0, 0.1));
+  OptimizerResult cheap_plan;
+  ASSERT_TRUE(planner.Plan(cheap_probe, 10, &cheap_plan).ok());
+
+  SourceSet pricey_probe(&data, CostModel::Uniform(2, 1.0, 100.0));
+  OptimizerResult pricey_plan;
+  ASSERT_TRUE(planner.Plan(pricey_probe, 10, &pricey_plan).ok());
+
+  const double cheap_depth =
+      (cheap_plan.config.depths[0] + cheap_plan.config.depths[1]) / 2;
+  const double pricey_depth =
+      (pricey_plan.config.depths[0] + pricey_plan.config.depths[1]) / 2;
+  EXPECT_LT(pricey_depth, cheap_depth + 1e-9)
+      << "cheap=" << cheap_plan.config.ToString()
+      << " pricey=" << pricey_plan.config.ToString();
+}
+
+TEST(PlannerTest, PlanRejectsZeroK) {
+  const Dataset data = MakeData(7, 50);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  CostBasedPlanner planner(&avg, PlannerOptions{});
+  OptimizerResult plan;
+  EXPECT_EQ(planner.Plan(sources, 0, &plan).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, PlanRejectsArityMismatch) {
+  const Dataset data = MakeData(8, 50, 2);
+  AverageFunction avg(3);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  CostBasedPlanner planner(&avg, PlannerOptions{});
+  OptimizerResult plan;
+  EXPECT_EQ(planner.Plan(sources, 5, &plan).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, ProbeOnlyScenarioPlansAndRuns) {
+  const Dataset data = MakeData(9, 300, 3);
+  MinFunction fmin(3);
+  SourceSet sources(&data, CostModel::Uniform(3, kImpossibleCost, 1.0));
+  PlannerOptions options;
+  TopKResult result;
+  OptimizerResult plan;
+  ASSERT_TRUE(
+      RunOptimizedNC(&sources, fmin, 5, options, &result, &plan).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, fmin, 5));
+  EXPECT_EQ(sources.stats().TotalSorted(), 0u);
+}
+
+TEST(PlannerTest, JointScheduleSearchMatchesOrBeatsTwoStep) {
+  // The paper approximates the joint (H, schedule) optimization in two
+  // steps; the exhaustive joint search can only improve the *estimate*.
+  const Dataset data = MakeData(10, 600, 3);
+  MinFunction fmin(3);
+  SourceSet sources(&data, CostModel({1.0, 1.0, 1.0}, {1.0, 8.0, 2.0}));
+
+  PlannerOptions two_step;
+  two_step.sample_size = 150;
+  CostBasedPlanner planner_two_step(&fmin, two_step);
+  OptimizerResult plan_two_step;
+  ASSERT_TRUE(planner_two_step.Plan(sources, 5, &plan_two_step).ok());
+
+  PlannerOptions joint = two_step;
+  joint.joint_schedule_search = true;
+  CostBasedPlanner planner_joint(&fmin, joint);
+  OptimizerResult plan_joint;
+  ASSERT_TRUE(planner_joint.Plan(sources, 5, &plan_joint).ok());
+
+  EXPECT_LE(plan_joint.estimated_cost, plan_two_step.estimated_cost + 1e-9);
+  // The joint search sweeps m! = 6 permutations: meaningfully more
+  // simulations.
+  EXPECT_GT(plan_joint.simulations, plan_two_step.simulations);
+
+  // The joint plan executes correctly too.
+  SRGPolicy policy(plan_joint.config);
+  EngineOptions engine_options;
+  engine_options.k = 5;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &fmin, &policy, engine_options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, fmin, 5));
+}
+
+TEST(PlannerTest, JointScheduleSearchRejectsLargeM) {
+  const Dataset data = MakeData(11, 50, 2);
+  AverageFunction avg(7);
+  Dataset wide(50, 7);
+  for (ObjectId u = 0; u < 50; ++u) {
+    for (PredicateId i = 0; i < 7; ++i) {
+      wide.SetScore(u, i, data.score(u % 50, i % 2));
+    }
+  }
+  SourceSet sources(&wide, CostModel::Uniform(7, 1.0, 1.0));
+  PlannerOptions options;
+  options.joint_schedule_search = true;
+  CostBasedPlanner planner(&avg, options);
+  OptimizerResult plan;
+  EXPECT_EQ(planner.Plan(sources, 3, &plan).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, SearchSchemeNames) {
+  EXPECT_STREQ(SearchSchemeName(SearchScheme::kNaive), "Naive");
+  EXPECT_STREQ(SearchSchemeName(SearchScheme::kStrategies), "Strategies");
+  EXPECT_STREQ(SearchSchemeName(SearchScheme::kHClimb), "HClimb");
+}
+
+}  // namespace
+}  // namespace nc

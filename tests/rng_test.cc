@@ -1,0 +1,137 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace nc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() == b.Uniform01()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) total += rng.Uniform01();
+  EXPECT_NEAR(total / kDraws, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  // All 10 values should appear across 1000 draws.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double total = 0.0;
+  double total_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.Gaussian(2.0, 0.5);
+    total += v;
+    total_sq += v * v;
+  }
+  const double mean = total / kDraws;
+  const double var = total_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, ZipfRankSkewsLow) {
+  Rng rng(17);
+  size_t low = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.ZipfRank(1000, 1.5) < 10) ++low;
+  }
+  // With skew 1.5 the first 10 ranks carry far more than 1% of the mass.
+  EXPECT_GT(low, kDraws / 5);
+}
+
+TEST(RngTest, ZipfRankInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.ZipfRank(50, 2.0), 50u);
+  }
+}
+
+TEST(RngTest, ZipfRankHandlesParameterChange) {
+  Rng rng(23);
+  // Alternate (n, skew) pairs to exercise the cache swap.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.ZipfRank(10, 1.0), 10u);
+    EXPECT_LT(rng.ZipfRank(100, 2.0), 100u);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  EXPECT_TRUE(std::is_permutation(shuffled.begin(), shuffled.end(),
+                                  values.begin()));
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndSorted) {
+  Rng rng(31);
+  const std::vector<uint64_t> picks = rng.SampleWithoutReplacement(100, 20);
+  ASSERT_EQ(picks.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+  const std::set<uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (uint64_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(37);
+  const std::vector<uint64_t> picks = rng.SampleWithoutReplacement(10, 10);
+  ASSERT_EQ(picks.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(picks[i], i);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,97 @@
+#include "data/sampling.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+TEST(SamplingTest, SampleHasRequestedSize) {
+  GeneratorOptions options;
+  options.num_objects = 500;
+  options.num_predicates = 3;
+  const Dataset data = GenerateDataset(options);
+  const Dataset sample = SampleDataset(data, 50, /*seed=*/1);
+  EXPECT_EQ(sample.num_objects(), 50u);
+  EXPECT_EQ(sample.num_predicates(), 3u);
+}
+
+TEST(SamplingTest, SampleSizeClampedToDatabase) {
+  GeneratorOptions options;
+  options.num_objects = 20;
+  const Dataset data = GenerateDataset(options);
+  const Dataset sample = SampleDataset(data, 100, /*seed=*/1);
+  EXPECT_EQ(sample.num_objects(), 20u);
+}
+
+TEST(SamplingTest, SampleRowsComeFromData) {
+  GeneratorOptions options;
+  options.num_objects = 200;
+  options.num_predicates = 2;
+  const Dataset data = GenerateDataset(options);
+  const Dataset sample = SampleDataset(data, 30, /*seed=*/7);
+
+  // Collect data rows for membership testing.
+  std::set<std::pair<double, double>> rows;
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    rows.insert({data.score(u, 0), data.score(u, 1)});
+  }
+  for (ObjectId u = 0; u < sample.num_objects(); ++u) {
+    EXPECT_TRUE(rows.count({sample.score(u, 0), sample.score(u, 1)}))
+        << "sample row " << u << " not found in source data";
+  }
+}
+
+TEST(SamplingTest, SamplePreservesPredicateNames) {
+  Dataset data(10, 2);
+  data.SetPredicateName(0, "rating");
+  data.SetPredicateName(1, "closeness");
+  const Dataset sample = SampleDataset(data, 5, /*seed=*/3);
+  EXPECT_EQ(sample.predicate_name(0), "rating");
+  EXPECT_EQ(sample.predicate_name(1), "closeness");
+}
+
+TEST(SamplingTest, SampleDeterministicForSeed) {
+  GeneratorOptions options;
+  options.num_objects = 100;
+  const Dataset data = GenerateDataset(options);
+  const Dataset a = SampleDataset(data, 10, /*seed=*/5);
+  const Dataset b = SampleDataset(data, 10, /*seed=*/5);
+  for (ObjectId u = 0; u < 10; ++u) {
+    EXPECT_DOUBLE_EQ(a.score(u, 0), b.score(u, 0));
+  }
+}
+
+TEST(SamplingTest, DummyUniformShapeAndRange) {
+  const Dataset sample = DummyUniformSample(4, 64, /*seed=*/2);
+  EXPECT_EQ(sample.num_objects(), 64u);
+  EXPECT_EQ(sample.num_predicates(), 4u);
+  for (ObjectId u = 0; u < 64; ++u) {
+    for (PredicateId i = 0; i < 4; ++i) {
+      EXPECT_TRUE(IsValidScore(sample.score(u, i)));
+    }
+  }
+}
+
+TEST(SamplingTest, ScaledSampleKProportional) {
+  // k=10 over n=1000 with s=100 -> k'=1.
+  EXPECT_EQ(ScaledSampleK(10, 1000, 100), 1u);
+  // k=50 over n=1000 with s=100 -> k'=5.
+  EXPECT_EQ(ScaledSampleK(50, 1000, 100), 5u);
+  // Rounds up: k=11 over n=1000 with s=100 -> ceil(1.1) = 2.
+  EXPECT_EQ(ScaledSampleK(11, 1000, 100), 2u);
+}
+
+TEST(SamplingTest, ScaledSampleKAtLeastOne) {
+  EXPECT_EQ(ScaledSampleK(1, 1000000, 10), 1u);
+}
+
+TEST(SamplingTest, ScaledSampleKAtMostSampleSize) {
+  EXPECT_EQ(ScaledSampleK(1000, 1000, 50), 50u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,95 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset FixedSample() {
+  // p0: mean 0.9 (barely filters); p1: mean 0.1 (filters hard);
+  // p2: mean 0.5.
+  Dataset data(4, 3);
+  const double p0[] = {0.9, 0.8, 1.0, 0.9};
+  const double p1[] = {0.1, 0.2, 0.0, 0.1};
+  const double p2[] = {0.5, 0.4, 0.6, 0.5};
+  for (ObjectId u = 0; u < 4; ++u) {
+    data.SetScore(u, 0, p0[u]);
+    data.SetScore(u, 1, p1[u]);
+    data.SetScore(u, 2, p2[u]);
+  }
+  return data;
+}
+
+TEST(ScheduleTest, ExpectedScoresAreColumnMeans) {
+  const Dataset sample = FixedSample();
+  const std::vector<double> expected = EstimateExpectedScores(sample);
+  ASSERT_EQ(expected.size(), 3u);
+  EXPECT_NEAR(expected[0], 0.9, 1e-12);
+  EXPECT_NEAR(expected[1], 0.1, 1e-12);
+  EXPECT_NEAR(expected[2], 0.5, 1e-12);
+}
+
+TEST(ScheduleTest, ExpectedScoresDefaultOnEmptySample) {
+  const Dataset sample(0, 2);
+  const std::vector<double> expected = EstimateExpectedScores(sample);
+  EXPECT_EQ(expected, (std::vector<double>{0.5, 0.5}));
+}
+
+TEST(ScheduleTest, EqualCostsOrderByFilteringPower) {
+  const Dataset sample = FixedSample();
+  const std::vector<PredicateId> schedule =
+      OptimizeSchedule(sample, CostModel::Uniform(3, 1.0, 1.0));
+  // Most filtering first: p1 (E=0.1), p2 (E=0.5), p0 (E=0.9).
+  EXPECT_EQ(schedule, (std::vector<PredicateId>{1, 2, 0}));
+}
+
+TEST(ScheduleTest, CheapProbesMoveForward) {
+  const Dataset sample = FixedSample();
+  // Make p1's probes ruinously expensive: rank = 100/0.9 = 111; p2's rank
+  // = 1/0.5 = 2; p0's rank = 1/0.1 = 10.
+  const CostModel cost({1.0, 1.0, 1.0}, {1.0, 100.0, 1.0});
+  const std::vector<PredicateId> schedule = OptimizeSchedule(sample, cost);
+  EXPECT_EQ(schedule, (std::vector<PredicateId>{2, 0, 1}));
+}
+
+TEST(ScheduleTest, RandomlessPredicatesSortLast) {
+  const Dataset sample = FixedSample();
+  const CostModel cost({1.0, 1.0, 1.0}, {1.0, kImpossibleCost, 1.0});
+  const std::vector<PredicateId> schedule = OptimizeSchedule(sample, cost);
+  EXPECT_EQ(schedule.back(), 1u);
+}
+
+TEST(ScheduleTest, OutputIsAPermutation) {
+  GeneratorOptions g;
+  g.num_objects = 50;
+  g.num_predicates = 5;
+  g.seed = 3;
+  const Dataset sample = GenerateDataset(g);
+  const std::vector<PredicateId> schedule =
+      OptimizeSchedule(sample, CostModel::Uniform(5, 1.0, 2.0));
+  ASSERT_EQ(schedule.size(), 5u);
+  std::vector<bool> seen(5, false);
+  for (PredicateId p : schedule) {
+    ASSERT_LT(p, 5u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(ScheduleTest, NonFilteringPredicateStaysFinite) {
+  // E[p] = 1.0 exactly: the epsilon guard must keep it ranked before any
+  // random-less predicate.
+  Dataset sample(2, 2);
+  sample.SetScore(0, 0, 1.0);
+  sample.SetScore(1, 0, 1.0);
+  sample.SetScore(0, 1, 0.5);
+  sample.SetScore(1, 1, 0.5);
+  const CostModel cost({1.0, 1.0}, {1.0, kImpossibleCost});
+  const std::vector<PredicateId> schedule = OptimizeSchedule(sample, cost);
+  EXPECT_EQ(schedule, (std::vector<PredicateId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace nc

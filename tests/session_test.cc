@@ -1,0 +1,119 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 600) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+PlannerOptions SmallPlanner() {
+  PlannerOptions options;
+  options.sample_size = 100;
+  return options;
+}
+
+TEST(SessionTest, RepeatedQueriesHitTheCache) {
+  const Dataset data = MakeData(1);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  const TopKResult expected = BruteForceTopK(data, avg, 5);
+
+  for (int round = 0; round < 4; ++round) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 2.0));
+    TopKResult result;
+    ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+    EXPECT_EQ(result, expected);
+  }
+  EXPECT_EQ(session.plans_computed(), 1u);
+  EXPECT_EQ(session.cache_hits(), 3u);
+}
+
+TEST(SessionTest, CostModelChangeTriggersReplan) {
+  const Dataset data = MakeData(2);
+  MinFunction fmin(2);
+  QuerySession session(&fmin, SmallPlanner());
+
+  SourceSet cheap(&data, CostModel::Uniform(2, 1.0, 0.5));
+  TopKResult result;
+  ASSERT_TRUE(session.Query(&cheap, 5, &result).ok());
+  SourceSet pricey(&data, CostModel::Uniform(2, 1.0, 50.0));
+  ASSERT_TRUE(session.Query(&pricey, 5, &result).ok());
+  EXPECT_EQ(session.plans_computed(), 2u);
+  EXPECT_EQ(session.cache_hits(), 0u);
+
+  // Back to the first scenario: cached.
+  SourceSet cheap_again(&data, CostModel::Uniform(2, 1.0, 0.5));
+  ASSERT_TRUE(session.Query(&cheap_again, 5, &result).ok());
+  EXPECT_EQ(session.plans_computed(), 2u);
+  EXPECT_EQ(session.cache_hits(), 1u);
+}
+
+TEST(SessionTest, DifferentKTriggersReplan) {
+  const Dataset data = MakeData(3);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  TopKResult result;
+  SourceSet a(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(session.Query(&a, 5, &result).ok());
+  SourceSet b(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(session.Query(&b, 20, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 20));
+  EXPECT_EQ(session.plans_computed(), 2u);
+}
+
+TEST(SessionTest, PageAndGroupChangesInvalidate) {
+  const Dataset data = MakeData(4);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  TopKResult result;
+
+  SourceSet plain(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(session.Query(&plain, 5, &result).ok());
+
+  CostModel paged = CostModel::Uniform(2, 1.0, 1.0);
+  paged.sorted_page_size = {10, 10};
+  SourceSet paged_sources(&data, paged);
+  ASSERT_TRUE(session.Query(&paged_sources, 5, &result).ok());
+
+  CostModel grouped = CostModel::Uniform(2, 1.0, 1.0);
+  grouped.attribute_groups = {0, 0};
+  SourceSet grouped_sources(&data, grouped);
+  ASSERT_TRUE(session.Query(&grouped_sources, 5, &result).ok());
+
+  EXPECT_EQ(session.plans_computed(), 3u);
+}
+
+TEST(SessionTest, LastPlanExposed) {
+  const Dataset data = MakeData(5);
+  MinFunction fmin(2);
+  QuerySession session(&fmin, SmallPlanner());
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  TopKResult result;
+  ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+  EXPECT_TRUE(session.last_plan().config.Validate(2).ok());
+  EXPECT_GT(session.last_plan().simulations, 0u);
+}
+
+TEST(SessionTest, PropagatesPlanningErrors) {
+  const Dataset data = MakeData(6, 50);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  TopKResult result;
+  EXPECT_EQ(session.Query(&sources, 0, &result).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.plans_computed(), 0u);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace nc {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), 1.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 1.0), 3.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectAntiCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{3.0, 2.0, 1.0};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(StatsTest, RunningStatMatchesBatch) {
+  const std::vector<double> values{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStat rs;
+  for (double v : values) rs.Add(v);
+  EXPECT_EQ(rs.count(), values.size());
+  EXPECT_NEAR(rs.mean(), Mean(values), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatEmpty) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,188 @@
+// Framework TG (Section 4): the trivially-general baseline framework.
+// Tests its correctness under arbitrary (random) access scheduling and
+// the generality/specificity contrast against Framework NC.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/random_policy.h"
+#include "core/reference.h"
+#include "core/planner.h"
+#include "core/srg_policy.h"
+#include "core/tg.h"
+#include "data/generator.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 80, size_t m = 3) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+TEST(TGTest, RandomTGAlgorithmsAreExact) {
+  const Dataset data = MakeData(1);
+  MinFunction fmin(3);
+  const TopKResult expected = BruteForceTopK(data, fmin, 5);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+    TGRandomPolicy policy(seed);
+    TGOptions options;
+    options.k = 5;
+    TopKResult result;
+    const Status status = RunTG(&sources, fmin, &policy, options, &result);
+    ASSERT_TRUE(status.ok()) << status << " seed=" << seed;
+    EXPECT_EQ(result, expected) << "seed=" << seed;
+    EXPECT_EQ(sources.stats().duplicate_random_count, 0u);
+  }
+}
+
+TEST(TGTest, CapabilityRestrictedScenarios) {
+  const Dataset data = MakeData(2);
+  AverageFunction avg(3);
+  const TopKResult expected = BruteForceTopK(data, avg, 4);
+  for (const CostModel& cost :
+       {CostModel::Uniform(3, 1.0, kImpossibleCost),
+        CostModel::Uniform(3, kImpossibleCost, 1.0),
+        CostModel({1.0, 1.0, kImpossibleCost},
+                  {kImpossibleCost, 1.0, 1.0})}) {
+    SourceSet sources(&data, cost);
+    TGRandomPolicy policy(7);
+    TGOptions options;
+    options.k = 4;
+    TopKResult result;
+    const Status status = RunTG(&sources, avg, &policy, options, &result);
+    ASSERT_TRUE(status.ok()) << status << " " << cost.ToString();
+    EXPECT_EQ(result, expected) << cost.ToString();
+  }
+}
+
+TEST(TGTest, ReportCountsAccessesAndWidth) {
+  const Dataset data = MakeData(3);
+  AverageFunction avg(3);
+  SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+  TGRandomPolicy policy(1);
+  TGOptions options;
+  options.k = 3;
+  TopKResult result;
+  TGReport report;
+  ASSERT_TRUE(RunTG(&sources, avg, &policy, options, &result, &report).ok());
+  EXPECT_EQ(report.accesses,
+            sources.stats().TotalSorted() + sources.stats().TotalRandom());
+  EXPECT_GT(report.mean_choice_width, 0.0);
+}
+
+// A TG policy that drains streams before probing - the reading-heavy
+// shape under which TG's legal pool balloons with every seen object.
+class SortedFirstTGPolicy final : public TGSelectPolicy {
+ public:
+  Access Select(std::span<const Access> pool_accesses,
+                const TGView& view) override {
+    (void)view;
+    for (const Access& a : pool_accesses) {
+      if (a.type == AccessType::kSorted) return a;
+    }
+    return pool_accesses[0];
+  }
+};
+
+TEST(TGTest, ChoicePoolsAreOrdersOfMagnitudeWiderThanNC) {
+  // The specificity contrast of Section 6.2: TG's legal pool grows with
+  // the number of seen objects (O(n*m)); NC's necessary choices never
+  // exceed 2m.
+  const Dataset data = MakeData(4, 200, 3);
+  AverageFunction avg(3);
+  const CostModel cost = CostModel::Uniform(3, 1.0, 1.0);
+
+  SourceSet tg_sources(&data, cost);
+  SortedFirstTGPolicy tg_policy;
+  TGOptions tg_options;
+  tg_options.k = 5;
+  TopKResult tg_result;
+  TGReport report;
+  ASSERT_TRUE(
+      RunTG(&tg_sources, avg, &tg_policy, tg_options, &tg_result, &report)
+          .ok());
+
+  SourceSet nc_sources(&data, cost);
+  SRGPolicy nc_policy(SRGConfig::Default(3));
+  EngineOptions nc_options;
+  nc_options.k = 5;
+  NCEngine engine(&nc_sources, &avg, &nc_policy, nc_options);
+  TopKResult nc_result;
+  ASSERT_TRUE(engine.Run(&nc_result).ok());
+
+  EXPECT_LE(engine.mean_choice_width(), 2.0 * 3.0);
+  EXPECT_GT(report.mean_choice_width, engine.mean_choice_width() * 5.0)
+      << "TG=" << report.mean_choice_width
+      << " NC=" << engine.mean_choice_width();
+  EXPECT_EQ(tg_result, nc_result);
+}
+
+TEST(TGTest, NCNeverWidensBeyondTwoM) {
+  // Necessary-choice sets: at most one sorted + one random access per
+  // undetermined predicate.
+  for (const size_t m : {2ul, 4ul}) {
+    const Dataset data = MakeData(5, 100, m);
+    MinFunction fmin(m);
+    SourceSet sources(&data, CostModel::Uniform(m, 1.0, 1.0));
+    RandomSelectPolicy policy(3);
+    EngineOptions options;
+    options.k = 4;
+    NCEngine engine(&sources, &fmin, &policy, options);
+    TopKResult result;
+    ASSERT_TRUE(engine.Run(&result).ok());
+    EXPECT_LE(engine.mean_choice_width(), 2.0 * static_cast<double>(m));
+  }
+}
+
+TEST(TGTest, OptimizedNCBeatsRandomTGOnAverage) {
+  // Theorem 2's spirit, measured: the cost-based NC plan should not cost
+  // more than the mean arbitrary TG algorithm, and the gap widens when
+  // access costs are asymmetric.
+  const Dataset data = MakeData(6, 300, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 10.0);
+
+  double tg_total = 0.0;
+  constexpr int kTrials = 6;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SourceSet sources(&data, cost);
+    TGRandomPolicy policy(static_cast<uint64_t>(trial));
+    TGOptions options;
+    options.k = 5;
+    TopKResult result;
+    ASSERT_TRUE(RunTG(&sources, avg, &policy, options, &result).ok());
+    tg_total += sources.accrued_cost();
+  }
+
+  SourceSet sources(&data, cost);
+  PlannerOptions options;
+  options.sample_size = 100;
+  TopKResult result;
+  ASSERT_TRUE(RunOptimizedNC(&sources, avg, 5, options, &result).ok());
+  EXPECT_LE(sources.accrued_cost(), tg_total / kTrials);
+}
+
+TEST(TGTest, RejectsBadInputs) {
+  const Dataset data = MakeData(7, 10, 2);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  TGRandomPolicy policy(1);
+  TGOptions options;
+  options.k = 0;
+  TopKResult result;
+  EXPECT_EQ(RunTG(&sources, avg, &policy, options, &result).code(),
+            StatusCode::kInvalidArgument);
+
+  AverageFunction wrong_arity(3);
+  options.k = 1;
+  EXPECT_EQ(RunTG(&sources, wrong_arity, &policy, options, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nc

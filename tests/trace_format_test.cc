@@ -1,0 +1,84 @@
+#include "access/trace_format.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+// Umbrella header must stay self-contained; including it here keeps it
+// compiling as the API evolves.
+#include "nc.h"
+
+namespace nc {
+namespace {
+
+TEST(TraceFormatTest, EmptyTrace) {
+  EXPECT_EQ(FormatTrace({}), "");
+}
+
+TEST(TraceFormatTest, CollapsesSortedRuns) {
+  const std::vector<Access> trace{Access::Sorted(0), Access::Sorted(0),
+                                  Access::Sorted(0), Access::Sorted(1)};
+  EXPECT_EQ(FormatTrace(trace), "3xsa_0, sa_1");
+}
+
+TEST(TraceFormatTest, RandomAccessesKeepTargets) {
+  const std::vector<Access> trace{Access::Sorted(0), Access::Random(1, 42),
+                                  Access::Random(1, 43)};
+  EXPECT_EQ(FormatTrace(trace), "sa_0, ra_1(u42), ra_1(u43)");
+}
+
+TEST(TraceFormatTest, TargetlessModeCollapsesRandomRuns) {
+  const std::vector<Access> trace{Access::Random(1, 42), Access::Random(1, 43),
+                                  Access::Random(0, 1)};
+  TraceFormatOptions options;
+  options.targets = false;
+  EXPECT_EQ(FormatTrace(trace, options), "2xra_1, ra_0");
+}
+
+TEST(TraceFormatTest, TruncationReportsRemainder) {
+  std::vector<Access> trace;
+  for (PredicateId i = 0; i < 6; ++i) trace.push_back(Access::Sorted(i % 3));
+  // Runs: sa_0, sa_1, sa_2, sa_0, sa_1, sa_2 -> six segments.
+  TraceFormatOptions options;
+  options.max_segments = 2;
+  EXPECT_EQ(FormatTrace(trace, options), "sa_0, sa_1, ... (+4 more)");
+}
+
+TEST(TraceFormatTest, SummaryCountsPerPredicate) {
+  const std::vector<Access> trace{Access::Sorted(0), Access::Sorted(0),
+                                  Access::Random(1, 5), Access::Sorted(1)};
+  EXPECT_EQ(SummarizeTrace(trace, 2), "sa=(2,1) ra=(0,1)");
+}
+
+TEST(TraceFormatTest, RendersARealExecutionCompactly) {
+  GeneratorOptions g;
+  g.num_objects = 2000;
+  g.num_predicates = 2;
+  g.seed = 3;
+  const Dataset data = GenerateDataset(g);
+  MinFunction fmin(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  sources.EnableTrace();
+  SRGConfig focused;
+  focused.depths = {0.0, 1.0};
+  focused.schedule = {1, 0};
+  SRGPolicy policy(focused);
+  EngineOptions options;
+  options.k = 5;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, &result).ok());
+
+  TraceFormatOptions compact;
+  compact.targets = false;
+  compact.max_segments = 10;
+  const std::string rendered = FormatTrace(sources.trace(), compact);
+  // Truncation keeps the rendering short whatever the plan's interleave.
+  EXPECT_LT(rendered.size(), 200u);
+  EXPECT_NE(rendered.find("sa_0"), std::string::npos);
+  EXPECT_NE(rendered.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nc

@@ -1,0 +1,107 @@
+#include "data/travel_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace nc {
+namespace {
+
+std::vector<double> Column(const Dataset& data, PredicateId i) {
+  std::vector<double> out(data.num_objects());
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    out[u] = data.score(u, i);
+  }
+  return out;
+}
+
+TEST(TravelAgentTest, RestaurantQueryShape) {
+  const TravelAgentQuery q = MakeRestaurantQuery(500, /*seed=*/1);
+  EXPECT_EQ(q.data.num_objects(), 500u);
+  EXPECT_EQ(q.data.num_predicates(), 2u);
+  EXPECT_EQ(q.data.predicate_name(0), "rating");
+  EXPECT_EQ(q.data.predicate_name(1), "closeness");
+  EXPECT_EQ(q.scoring->name(), "min");
+  EXPECT_EQ(q.k, 5u);
+  ASSERT_TRUE(q.cost.Validate().ok());
+}
+
+TEST(TravelAgentTest, RestaurantScoresValidAndDiscreteRatings) {
+  const TravelAgentQuery q = MakeRestaurantQuery(500, /*seed=*/2);
+  for (ObjectId u = 0; u < q.data.num_objects(); ++u) {
+    const Score rating = q.data.score(u, 0);
+    EXPECT_TRUE(IsValidScore(rating));
+    EXPECT_TRUE(IsValidScore(q.data.score(u, 1)));
+    // Half-star granularity: rating * 10 is integral.
+    EXPECT_NEAR(rating * 10.0, std::round(rating * 10.0), 1e-9);
+  }
+}
+
+TEST(TravelAgentTest, RestaurantCostsMatchFigure1a) {
+  // Random access pricier than sorted in both sources, with different
+  // scales and ratios.
+  const TravelAgentQuery q = MakeRestaurantQuery(100, /*seed=*/3);
+  for (PredicateId i = 0; i < 2; ++i) {
+    EXPECT_GT(q.cost.random_cost[i], q.cost.sorted_cost[i]);
+  }
+  EXPECT_NE(q.cost.sorted_cost[0], q.cost.sorted_cost[1]);
+  const double ratio0 = q.cost.random_cost[0] / q.cost.sorted_cost[0];
+  const double ratio1 = q.cost.random_cost[1] / q.cost.sorted_cost[1];
+  EXPECT_NE(ratio0, ratio1);
+}
+
+TEST(TravelAgentTest, HotelQueryShape) {
+  const TravelAgentQuery q = MakeHotelQuery(400, /*seed=*/4);
+  EXPECT_EQ(q.data.num_objects(), 400u);
+  EXPECT_EQ(q.data.num_predicates(), 3u);
+  EXPECT_EQ(q.data.predicate_name(0), "closeness");
+  EXPECT_EQ(q.data.predicate_name(1), "stars");
+  EXPECT_EQ(q.data.predicate_name(2), "cheap");
+  EXPECT_EQ(q.scoring->name(), "avg");
+}
+
+TEST(TravelAgentTest, HotelCostsMatchFigure1b) {
+  // Every attribute rides along with a sorted hit: random access is free.
+  const TravelAgentQuery q = MakeHotelQuery(100, /*seed=*/5);
+  for (PredicateId i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(q.cost.random_cost[i], 0.0);
+    EXPECT_GT(q.cost.sorted_cost[i], 0.0);
+  }
+}
+
+TEST(TravelAgentTest, HotelStarsDiscreteFiveLevels) {
+  const TravelAgentQuery q = MakeHotelQuery(500, /*seed=*/6);
+  for (ObjectId u = 0; u < q.data.num_objects(); ++u) {
+    const Score stars = q.data.score(u, 1);
+    const double level = stars * 5.0;
+    EXPECT_NEAR(level, std::round(level), 1e-9);
+    EXPECT_GE(level, 1.0 - 1e-9);
+    EXPECT_LE(level, 5.0 + 1e-9);
+  }
+}
+
+TEST(TravelAgentTest, HotelStarsAntiCorrelateWithCheapness) {
+  const TravelAgentQuery q = MakeHotelQuery(2000, /*seed=*/7);
+  EXPECT_LT(PearsonCorrelation(Column(q.data, 1), Column(q.data, 2)), -0.3);
+}
+
+TEST(TravelAgentTest, ClosenessMultiModal) {
+  // Clustered geography: closeness spread should be wide (near and far
+  // neighborhoods both populated).
+  const TravelAgentQuery q = MakeRestaurantQuery(2000, /*seed=*/8);
+  const std::vector<double> closeness = Column(q.data, 1);
+  EXPECT_GT(Percentile(closeness, 0.95), 0.6);
+  EXPECT_LT(Percentile(closeness, 0.05), 0.35);
+}
+
+TEST(TravelAgentTest, DeterministicForSeed) {
+  const TravelAgentQuery a = MakeRestaurantQuery(100, /*seed=*/9);
+  const TravelAgentQuery b = MakeRestaurantQuery(100, /*seed=*/9);
+  for (ObjectId u = 0; u < 100; ++u) {
+    EXPECT_DOUBLE_EQ(a.data.score(u, 0), b.data.score(u, 0));
+    EXPECT_DOUBLE_EQ(a.data.score(u, 1), b.data.score(u, 1));
+  }
+}
+
+}  // namespace
+}  // namespace nc

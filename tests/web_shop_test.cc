@@ -1,0 +1,78 @@
+#include "data/web_shop.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "common/stats.h"
+#include "core/planner.h"
+#include "core/reference.h"
+
+namespace nc {
+namespace {
+
+TEST(WebShopTest, QueryShape) {
+  const WebShopQuery q = MakeWebShopQuery(500, /*seed=*/1);
+  EXPECT_EQ(q.data.num_objects(), 500u);
+  EXPECT_EQ(q.data.num_predicates(), 4u);
+  EXPECT_EQ(q.data.predicate_name(0), "relevance");
+  EXPECT_EQ(q.data.predicate_name(3), "shipping");
+  ASSERT_TRUE(q.cost.Validate().ok());
+  // The defining capability holes.
+  EXPECT_FALSE(q.cost.has_random(0));   // No relevance probe endpoint.
+  EXPECT_FALSE(q.cost.has_sorted(3));   // No shipping ranking endpoint.
+}
+
+TEST(WebShopTest, AllScoresValid) {
+  const WebShopQuery q = MakeWebShopQuery(800, /*seed=*/2);
+  for (ObjectId u = 0; u < q.data.num_objects(); ++u) {
+    for (PredicateId i = 0; i < 4; ++i) {
+      EXPECT_TRUE(IsValidScore(q.data.score(u, i)));
+    }
+  }
+}
+
+TEST(WebShopTest, RatingsAntiCorrelateWithPriceFit) {
+  const WebShopQuery q = MakeWebShopQuery(3000, /*seed=*/3);
+  std::vector<double> rating(q.data.num_objects());
+  std::vector<double> price_fit(q.data.num_objects());
+  for (ObjectId u = 0; u < q.data.num_objects(); ++u) {
+    rating[u] = q.data.score(u, 1);
+    price_fit[u] = q.data.score(u, 2);
+  }
+  // Pricier products rate better, so rating vs price-fit is negative.
+  EXPECT_LT(PearsonCorrelation(rating, price_fit), -0.2);
+}
+
+TEST(WebShopTest, NoRegisteredBaselineApplies) {
+  const WebShopQuery q = MakeWebShopQuery(100, /*seed=*/4);
+  for (const AlgorithmInfo& info : AllBaselines()) {
+    EXPECT_FALSE(info.applicable(q.cost)) << info.name;
+  }
+}
+
+TEST(WebShopTest, CostBasedNCAnswersExactly) {
+  const WebShopQuery q = MakeWebShopQuery(2000, /*seed=*/5);
+  SourceSet sources(&q.data, q.cost);
+  PlannerOptions options;
+  options.sample_size = 200;
+  TopKResult result;
+  ASSERT_TRUE(
+      RunOptimizedNC(&sources, *q.scoring, q.k, options, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(q.data, *q.scoring, q.k));
+  // The capability holes are respected.
+  EXPECT_EQ(sources.stats().random_count[0], 0u);
+  EXPECT_EQ(sources.stats().sorted_count[3], 0u);
+}
+
+TEST(WebShopTest, DeterministicForSeed) {
+  const WebShopQuery a = MakeWebShopQuery(200, /*seed=*/6);
+  const WebShopQuery b = MakeWebShopQuery(200, /*seed=*/6);
+  for (ObjectId u = 0; u < 200; ++u) {
+    for (PredicateId i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(a.data.score(u, i), b.data.score(u, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nc
