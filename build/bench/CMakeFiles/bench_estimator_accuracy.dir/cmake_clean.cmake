@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimator_accuracy.dir/bench_estimator_accuracy.cc.o"
+  "CMakeFiles/bench_estimator_accuracy.dir/bench_estimator_accuracy.cc.o.d"
+  "bench_estimator_accuracy"
+  "bench_estimator_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimator_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

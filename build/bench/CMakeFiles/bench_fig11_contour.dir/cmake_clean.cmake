@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_contour.dir/bench_fig11_contour.cc.o"
+  "CMakeFiles/bench_fig11_contour.dir/bench_fig11_contour.cc.o.d"
+  "bench_fig11_contour"
+  "bench_fig11_contour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vs_ta.dir/bench_fig12_vs_ta.cc.o"
+  "CMakeFiles/bench_fig12_vs_ta.dir/bench_fig12_vs_ta.cc.o.d"
+  "bench_fig12_vs_ta"
+  "bench_fig12_vs_ta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vs_ta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

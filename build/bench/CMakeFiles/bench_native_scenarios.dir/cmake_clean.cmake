@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_scenarios.dir/bench_native_scenarios.cc.o"
+  "CMakeFiles/bench_native_scenarios.dir/bench_native_scenarios.cc.o.d"
+  "bench_native_scenarios"
+  "bench_native_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_schemes.dir/bench_search_schemes.cc.o"
+  "CMakeFiles/bench_search_schemes.dir/bench_search_schemes.cc.o.d"
+  "bench_search_schemes"
+  "bench_search_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_travel_agent.dir/bench_travel_agent.cc.o"
+  "CMakeFiles/bench_travel_agent.dir/bench_travel_agent.cc.o.d"
+  "bench_travel_agent"
+  "bench_travel_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_travel_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_web_shop.dir/bench_web_shop.cc.o"
+  "CMakeFiles/bench_web_shop.dir/bench_web_shop.cc.o.d"
+  "bench_web_shop"
+  "bench_web_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_web_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_scoring.dir/custom_scoring.cpp.o"
+  "CMakeFiles/example_custom_scoring.dir/custom_scoring.cpp.o.d"
+  "custom_scoring"
+  "custom_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

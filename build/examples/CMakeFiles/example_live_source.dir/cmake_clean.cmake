@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_source.dir/live_source.cpp.o"
+  "CMakeFiles/example_live_source.dir/live_source.cpp.o.d"
+  "live_source"
+  "live_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

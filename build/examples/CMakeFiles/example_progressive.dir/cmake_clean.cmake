@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_progressive.dir/progressive.cpp.o"
+  "CMakeFiles/example_progressive.dir/progressive.cpp.o.d"
+  "progressive"
+  "progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

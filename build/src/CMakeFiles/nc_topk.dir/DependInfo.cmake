@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/access.cc" "src/CMakeFiles/nc_topk.dir/access/access.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/access/access.cc.o.d"
+  "/root/repo/src/access/cost_model.cc" "src/CMakeFiles/nc_topk.dir/access/cost_model.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/access/cost_model.cc.o.d"
+  "/root/repo/src/access/source.cc" "src/CMakeFiles/nc_topk.dir/access/source.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/access/source.cc.o.d"
+  "/root/repo/src/access/trace_format.cc" "src/CMakeFiles/nc_topk.dir/access/trace_format.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/access/trace_format.cc.o.d"
+  "/root/repo/src/baselines/ca.cc" "src/CMakeFiles/nc_topk.dir/baselines/ca.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/ca.cc.o.d"
+  "/root/repo/src/baselines/candidate_table.cc" "src/CMakeFiles/nc_topk.dir/baselines/candidate_table.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/candidate_table.cc.o.d"
+  "/root/repo/src/baselines/fa.cc" "src/CMakeFiles/nc_topk.dir/baselines/fa.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/fa.cc.o.d"
+  "/root/repo/src/baselines/mpro.cc" "src/CMakeFiles/nc_topk.dir/baselines/mpro.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/mpro.cc.o.d"
+  "/root/repo/src/baselines/nra.cc" "src/CMakeFiles/nc_topk.dir/baselines/nra.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/nra.cc.o.d"
+  "/root/repo/src/baselines/quick_combine.cc" "src/CMakeFiles/nc_topk.dir/baselines/quick_combine.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/quick_combine.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/nc_topk.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/stream_combine.cc" "src/CMakeFiles/nc_topk.dir/baselines/stream_combine.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/stream_combine.cc.o.d"
+  "/root/repo/src/baselines/ta.cc" "src/CMakeFiles/nc_topk.dir/baselines/ta.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/ta.cc.o.d"
+  "/root/repo/src/baselines/taz.cc" "src/CMakeFiles/nc_topk.dir/baselines/taz.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/taz.cc.o.d"
+  "/root/repo/src/baselines/upper.cc" "src/CMakeFiles/nc_topk.dir/baselines/upper.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/baselines/upper.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/nc_topk.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/nc_topk.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/nc_topk.dir/common/status.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/common/status.cc.o.d"
+  "/root/repo/src/core/adaptive.cc" "src/CMakeFiles/nc_topk.dir/core/adaptive.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/adaptive.cc.o.d"
+  "/root/repo/src/core/bound_heap.cc" "src/CMakeFiles/nc_topk.dir/core/bound_heap.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/bound_heap.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/CMakeFiles/nc_topk.dir/core/candidate.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/candidate.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/nc_topk.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/nc_topk.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/nc_topk.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/nc_topk.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/parallel_executor.cc" "src/CMakeFiles/nc_topk.dir/core/parallel_executor.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/parallel_executor.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/nc_topk.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/reference.cc" "src/CMakeFiles/nc_topk.dir/core/reference.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/reference.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/CMakeFiles/nc_topk.dir/core/result.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/result.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/CMakeFiles/nc_topk.dir/core/schedule.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/schedule.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/nc_topk.dir/core/session.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/session.cc.o.d"
+  "/root/repo/src/core/srg_policy.cc" "src/CMakeFiles/nc_topk.dir/core/srg_policy.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/srg_policy.cc.o.d"
+  "/root/repo/src/core/tg.cc" "src/CMakeFiles/nc_topk.dir/core/tg.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/tg.cc.o.d"
+  "/root/repo/src/core/topk_collector.cc" "src/CMakeFiles/nc_topk.dir/core/topk_collector.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/core/topk_collector.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/nc_topk.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/nc_topk.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/nc_topk.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/nc_topk.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/nc_topk.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/transforms.cc.o.d"
+  "/root/repo/src/data/travel_agent.cc" "src/CMakeFiles/nc_topk.dir/data/travel_agent.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/travel_agent.cc.o.d"
+  "/root/repo/src/data/web_shop.cc" "src/CMakeFiles/nc_topk.dir/data/web_shop.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/data/web_shop.cc.o.d"
+  "/root/repo/src/scoring/scoring_function.cc" "src/CMakeFiles/nc_topk.dir/scoring/scoring_function.cc.o" "gcc" "src/CMakeFiles/nc_topk.dir/scoring/scoring_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_heap_test.dir/bound_heap_test.cc.o"
+  "CMakeFiles/bound_heap_test.dir/bound_heap_test.cc.o.d"
+  "bound_heap_test"
+  "bound_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundling_test.dir/bundling_test.cc.o"
+  "CMakeFiles/bundling_test.dir/bundling_test.cc.o.d"
+  "bundling_test"
+  "bundling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

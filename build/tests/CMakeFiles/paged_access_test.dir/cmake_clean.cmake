@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_access_test.dir/paged_access_test.cc.o"
+  "CMakeFiles/paged_access_test.dir/paged_access_test.cc.o.d"
+  "paged_access_test"
+  "paged_access_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_policy_test.dir/random_policy_test.cc.o"
+  "CMakeFiles/random_policy_test.dir/random_policy_test.cc.o.d"
+  "random_policy_test"
+  "random_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

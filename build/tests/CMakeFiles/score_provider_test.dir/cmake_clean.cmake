@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_provider_test.dir/score_provider_test.cc.o"
+  "CMakeFiles/score_provider_test.dir/score_provider_test.cc.o.d"
+  "score_provider_test"
+  "score_provider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_function_test.dir/scoring_function_test.cc.o"
+  "CMakeFiles/scoring_function_test.dir/scoring_function_test.cc.o.d"
+  "scoring_function_test"
+  "scoring_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

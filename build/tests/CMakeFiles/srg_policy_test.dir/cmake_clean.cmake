@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srg_policy_test.dir/srg_policy_test.cc.o"
+  "CMakeFiles/srg_policy_test.dir/srg_policy_test.cc.o.d"
+  "srg_policy_test"
+  "srg_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srg_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

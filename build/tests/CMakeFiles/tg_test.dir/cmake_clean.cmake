@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_test.dir/tg_test.cc.o"
+  "CMakeFiles/tg_test.dir/tg_test.cc.o.d"
+  "tg_test"
+  "tg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

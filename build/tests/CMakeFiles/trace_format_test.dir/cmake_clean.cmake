@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_format_test.dir/trace_format_test.cc.o"
+  "CMakeFiles/trace_format_test.dir/trace_format_test.cc.o.d"
+  "trace_format_test"
+  "trace_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

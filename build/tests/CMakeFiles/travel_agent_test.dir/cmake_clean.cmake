@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_agent_test.dir/travel_agent_test.cc.o"
+  "CMakeFiles/travel_agent_test.dir/travel_agent_test.cc.o.d"
+  "travel_agent_test"
+  "travel_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

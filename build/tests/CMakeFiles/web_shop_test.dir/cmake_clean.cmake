@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_shop_test.dir/web_shop_test.cc.o"
+  "CMakeFiles/web_shop_test.dir/web_shop_test.cc.o.d"
+  "web_shop_test"
+  "web_shop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_shop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
