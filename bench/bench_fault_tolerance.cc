@@ -1,0 +1,107 @@
+// Fault tolerance: what failures cost. Sweeps the per-attempt transient
+// failure rate and reports how retries inflate access cost and simulated
+// elapsed time while the answer stays exact, then kills a source mid-run
+// at increasing depths and reports how much of the answer survives.
+
+#include <cstdio>
+
+#include "access/fault.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/parallel_executor.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+int main() {
+  using namespace nc;
+  using namespace nc::bench;
+
+  constexpr size_t kObjects = 5000;
+  constexpr size_t kPredicates = 3;
+  constexpr size_t kK = 10;
+
+  GeneratorOptions g;
+  g.num_objects = kObjects;
+  g.num_predicates = kPredicates;
+  g.seed = 4242;
+  const Dataset data = GenerateDataset(g);
+  const CostModel cost = CostModel::Uniform(kPredicates, 1.0, 1.0);
+  AverageFunction scoring(kPredicates);
+  const TopKResult oracle = BruteForceTopK(data, scoring, kK);
+
+  PrintHeader("Retry overhead vs transient failure rate, F=avg, n=5000, "
+              "k=10, max_attempts=8");
+  std::printf("%8s %12s %10s %12s %10s %8s %8s\n", "rate", "cost",
+              "overhead", "elapsed", "stretch", "retries", "exact");
+  PrintRule(74);
+
+  double clean_cost = 0.0;
+  double clean_elapsed = 0.0;
+  for (const double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.3}) {
+    FaultProfile profile;
+    profile.transient_rate = rate * 0.8;
+    profile.timeout_rate = rate * 0.2;
+    FaultInjector injector(/*seed=*/7);
+    injector.set_default_profile(profile);
+    RetryPolicy retry;
+    retry.max_attempts = 8;
+
+    SourceSet sources(&data, cost);
+    sources.set_fault_injector(&injector);
+    sources.set_retry_policy(retry, /*jitter_seed=*/11);
+    SRGPolicy policy(SRGConfig::Default(kPredicates));
+    ParallelOptions options;
+    options.k = kK;
+    options.concurrency = 4;
+    ParallelResult result;
+    NC_CHECK(RunParallelNC(&sources, scoring, &policy, options, &result)
+                 .ok());
+    if (rate == 0.0) {
+      clean_cost = result.total_cost;
+      clean_elapsed = result.elapsed_time;
+    }
+    bool matches_oracle = result.exact &&
+                          result.topk.entries.size() == oracle.entries.size();
+    if (matches_oracle) {
+      for (size_t r = 0; r < oracle.entries.size(); ++r) {
+        if (result.topk.entries[r].score != oracle.entries[r].score) {
+          matches_oracle = false;
+          break;
+        }
+      }
+    }
+    std::printf("%8.2f %12.1f %9.1f%% %12.1f %9.2fx %8zu %8s\n", rate,
+                result.total_cost,
+                100.0 * (result.total_cost - clean_cost) / clean_cost,
+                result.elapsed_time, result.elapsed_time / clean_elapsed,
+                sources.stats().TotalRetried(),
+                matches_oracle ? "yes" : "NO");
+  }
+
+  PrintHeader("Graceful degradation: p2 dies after N accesses "
+              "(sequential engine, same workload)");
+  std::printf("%10s %10s %10s %12s %10s\n", "die-after", "answered",
+              "exact", "cost", "accesses");
+  PrintRule(58);
+  for (const size_t die_after : {5ul, 20ul, 80ul, 320ul, 1280ul}) {
+    FaultProfile deadly;
+    deadly.die_after_attempts = die_after;
+    FaultInjector injector(/*seed=*/13);
+    injector.set_profile(kPredicates - 1, deadly);
+
+    SourceSet sources(&data, cost);
+    sources.set_fault_injector(&injector);
+    SRGPolicy policy(SRGConfig::Default(kPredicates));
+    EngineOptions options;
+    options.k = kK;
+    NCEngine engine(&sources, &scoring, &policy, options);
+    TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    std::printf("%10zu %7zu/%zu %10s %12.1f %10zu\n", die_after,
+                result.entries.size(), kK,
+                engine.last_run_exact() ? "yes" : "no",
+                sources.accrued_cost(), engine.accesses_performed());
+  }
+  return 0;
+}

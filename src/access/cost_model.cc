@@ -41,6 +41,19 @@ bool CostModel::any_random() const {
 }
 
 Status CostModel::Validate() const {
+  NC_RETURN_IF_ERROR(ValidateStructure());
+  for (size_t i = 0; i < sorted_cost.size(); ++i) {
+    if (!has_sorted(static_cast<PredicateId>(i)) &&
+        !has_random(static_cast<PredicateId>(i))) {
+      return Status::InvalidArgument(
+          "predicate " + std::to_string(i) +
+          " supports neither sorted nor random access");
+    }
+  }
+  return Status::OK();
+}
+
+Status CostModel::ValidateStructure() const {
   if (sorted_cost.empty()) {
     return Status::InvalidArgument("cost model has no predicates");
   }
@@ -54,12 +67,6 @@ Status CostModel::Validate() const {
     }
     if (sorted_cost[i] < 0.0 || random_cost[i] < 0.0) {
       return Status::InvalidArgument("negative access cost");
-    }
-    if (!has_sorted(static_cast<PredicateId>(i)) &&
-        !has_random(static_cast<PredicateId>(i))) {
-      return Status::InvalidArgument(
-          "predicate " + std::to_string(i) +
-          " supports neither sorted nor random access");
     }
   }
   if (!sorted_page_size.empty()) {

@@ -70,8 +70,15 @@ struct CostModel {
   }
 
   // OK iff the two vectors agree in size, are nonempty, and every finite
-  // cost is nonnegative.
+  // cost is nonnegative. On top of ValidateStructure, requires every
+  // predicate to support at least one access type - the paper's notion of
+  // a well-formed scenario, demanded of every *initial* cost model.
   Status Validate() const;
+
+  // The structural subset of Validate: sizes, NaN/negativity, page sizes,
+  // groups. A predicate with no capability at all passes - the shape a
+  // source leaves behind when it dies mid-run.
+  Status ValidateStructure() const;
 
   // e.g. "[cs=(1,1) cr=(10,inf)]".
   std::string ToString() const;

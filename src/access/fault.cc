@@ -1,0 +1,117 @@
+#include "access/fault.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nc {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "None";
+    case FaultKind::kTransient:
+      return "Transient";
+    case FaultKind::kTimeout:
+      return "Timeout";
+    case FaultKind::kSourceDown:
+      return "SourceDown";
+  }
+  return "Unknown";
+}
+
+Status FaultProfile::Validate() const {
+  for (double rate : {transient_rate, timeout_rate, death_rate}) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      return Status::InvalidArgument("fault rate outside [0, 1]");
+    }
+  }
+  if (transient_rate + timeout_rate + death_rate > 1.0) {
+    return Status::InvalidArgument("fault rates sum above 1");
+  }
+  return Status::OK();
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts == 0) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (!(backoff_base >= 0.0) || !(backoff_multiplier >= 1.0) ||
+      !(backoff_jitter >= 0.0)) {
+    return Status::InvalidArgument("invalid backoff parameters");
+  }
+  if (!(timeout_latency_factor >= 0.0) || !(retry_cost_factor >= 0.0)) {
+    return Status::InvalidArgument("invalid retry charge parameters");
+  }
+  return Status::OK();
+}
+
+double RetryPolicy::BackoffDelay(size_t retry, Rng* rng) const {
+  NC_CHECK(retry >= 1);
+  double delay = backoff_base *
+                 std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+  if (backoff_jitter > 0.0) {
+    NC_CHECK(rng != nullptr);
+    delay *= 1.0 + backoff_jitter * rng->Uniform01();
+  }
+  return delay;
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultInjector::set_default_profile(const FaultProfile& profile) {
+  NC_CHECK(profile.Validate().ok());
+  default_profile_ = profile;
+}
+
+void FaultInjector::set_profile(PredicateId i, const FaultProfile& profile) {
+  NC_CHECK(profile.Validate().ok());
+  profiles_[i] = profile;
+}
+
+void FaultInjector::Script(PredicateId i, std::vector<FaultKind> outcomes) {
+  std::vector<FaultKind>& script = scripts_[i];
+  script.insert(script.end(), outcomes.begin(), outcomes.end());
+}
+
+const FaultProfile& FaultInjector::ProfileFor(PredicateId i) const {
+  const auto it = profiles_.find(i);
+  return it == profiles_.end() ? default_profile_ : it->second;
+}
+
+FaultKind FaultInjector::NextOutcome(PredicateId i) {
+  const size_t attempt = ++attempts_[i];
+  const auto script_it = scripts_.find(i);
+  if (script_it != scripts_.end()) {
+    size_t& pos = script_pos_[i];
+    if (pos < script_it->second.size()) return script_it->second[pos++];
+  }
+  const FaultProfile& profile = ProfileFor(i);
+  if (profile.die_after_attempts != 0 &&
+      attempt > profile.die_after_attempts) {
+    return FaultKind::kSourceDown;
+  }
+  const double total =
+      profile.death_rate + profile.transient_rate + profile.timeout_rate;
+  if (total <= 0.0) return FaultKind::kNone;
+  const double u = rng_.Uniform01();
+  if (u < profile.death_rate) return FaultKind::kSourceDown;
+  if (u < profile.death_rate + profile.transient_rate) {
+    return FaultKind::kTransient;
+  }
+  if (u < total) return FaultKind::kTimeout;
+  return FaultKind::kNone;
+}
+
+size_t FaultInjector::attempts(PredicateId i) const {
+  const auto it = attempts_.find(i);
+  return it == attempts_.end() ? 0 : it->second;
+}
+
+void FaultInjector::Reset() {
+  rng_ = Rng(seed_);
+  attempts_.clear();
+  script_pos_.clear();
+}
+
+}  // namespace nc

@@ -1,0 +1,135 @@
+// Fault injection and retry for the access path.
+//
+// The paper treats sources as autonomous Web services, and real Web
+// sources fail: requests error out transiently, time out, and sources
+// disappear mid-query. This header models those behaviors so every layer
+// above SourceSet can be exercised against them:
+//
+//   * FaultInjector draws a FaultKind for each access *attempt* from
+//     seeded per-predicate rates (plus optional scripted outcomes and a
+//     deterministic die-after-N trigger), so failure scenarios replay
+//     exactly from a seed.
+//   * RetryPolicy configures how SourceSet reacts to a failed attempt:
+//     how many attempts to make, and the exponential backoff (with
+//     jitter) between them. Every attempt - failed or not - is paid for,
+//     so retries inflate SourceSet::accrued_cost() and show up in
+//     AccessStats; they never change what the access returns.
+//
+// A transient error or timeout makes one attempt fail; the access as a
+// whole fails only when every attempt is exhausted (Status kUnavailable,
+// no source state consumed). kSourceDown is permanent: the source's
+// capabilities are downgraded for the rest of the run and every later
+// attempt on it fails immediately. SourceSet::Reset() revives dead
+// sources and resets the injector, so back-to-back runs replay the same
+// failure sequence.
+
+#ifndef NC_ACCESS_FAULT_H_
+#define NC_ACCESS_FAULT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/score.h"
+#include "common/status.h"
+
+namespace nc {
+
+// Outcome of one access attempt, drawn before the attempt is served.
+enum class FaultKind {
+  kNone,        // The attempt succeeds.
+  kTransient,   // The attempt fails fast (e.g. HTTP 503); retryable.
+  kTimeout,     // The attempt fails after a full timeout; retryable.
+  kSourceDown,  // The source dies permanently; no retry can help.
+};
+
+// "Transient", "Timeout", ... for logs and test messages.
+const char* FaultKindName(FaultKind kind);
+
+// Per-predicate failure behavior. Rates are per *attempt* and must sum to
+// at most 1; the remainder is the success probability.
+struct FaultProfile {
+  double transient_rate = 0.0;
+  double timeout_rate = 0.0;
+  // Probability that an attempt reveals the source died permanently.
+  double death_rate = 0.0;
+  // Deterministic death switch: the source dies on attempt number
+  // `die_after_attempts` + 1 (0 disables). Useful for scripted
+  // mid-run-death tests and benchmarks.
+  size_t die_after_attempts = 0;
+
+  Status Validate() const;
+};
+
+// How SourceSet reacts to failed attempts.
+struct RetryPolicy {
+  // Total attempts per access, including the first (>= 1).
+  size_t max_attempts = 3;
+  // Simulated wait before the r-th retry:
+  //   backoff_base * backoff_multiplier^(r-1) * (1 + backoff_jitter * U)
+  // with U uniform in [0, 1). Expressed in the same units as access costs
+  // (the paper's elapsed-time reading of Eq. 1); feeds the parallel
+  // executor's clock through SourceSet::last_access_penalty().
+  double backoff_base = 0.25;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.1;
+  // Simulated time one timed-out attempt wastes, as a multiple of the
+  // access's unit cost (a timeout holds the slot for the full deadline;
+  // a transient error fails fast).
+  double timeout_latency_factor = 1.0;
+  // Fraction of the access's unit cost charged for each *failed* attempt
+  // (the request was sent; the source billed it). The successful attempt
+  // is charged through the normal accounting path.
+  double retry_cost_factor = 1.0;
+
+  Status Validate() const;
+
+  // Simulated backoff delay before retry number `retry` (1-based). `rng`
+  // supplies the jitter draw and may be null when backoff_jitter == 0.
+  double BackoffDelay(size_t retry, Rng* rng) const;
+};
+
+// Draws attempt outcomes. Deterministic given the seed: the sequence of
+// NextOutcome calls fully determines every draw, and Reset() rewinds the
+// injector to its construction state (scripts included).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  // Profile applied to predicates without an explicit one.
+  void set_default_profile(const FaultProfile& profile);
+  void set_profile(PredicateId i, const FaultProfile& profile);
+
+  // Prepends scripted outcomes for predicate i: the next |outcomes|
+  // attempts on i consume the script before any random draw happens.
+  // Deterministic tests are built from scripts, not from rate tuning.
+  void Script(PredicateId i, std::vector<FaultKind> outcomes);
+
+  // Outcome of the next attempt on predicate i.
+  FaultKind NextOutcome(PredicateId i);
+
+  // Attempts drawn so far for predicate i (scripted and random).
+  size_t attempts(PredicateId i) const;
+
+  // Rewinds to the construction state: RNG reseeded, attempt counters
+  // cleared, scripts restored.
+  void Reset();
+
+ private:
+  const FaultProfile& ProfileFor(PredicateId i) const;
+
+  uint64_t seed_;
+  Rng rng_;
+  FaultProfile default_profile_;
+  std::unordered_map<PredicateId, FaultProfile> profiles_;
+  // Scripts as originally registered (restored by Reset) and the cursor
+  // of each predicate into its script.
+  std::unordered_map<PredicateId, std::vector<FaultKind>> scripts_;
+  std::unordered_map<PredicateId, size_t> script_pos_;
+  std::unordered_map<PredicateId, size_t> attempts_;
+};
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_FAULT_H_

@@ -16,6 +16,12 @@ size_t AccessStats::TotalRandom() const {
   return total;
 }
 
+size_t AccessStats::TotalRetried() const {
+  size_t total = 0;
+  for (size_t c : retried_attempts) total += c;
+  return total;
+}
+
 double AccessStats::TotalCost(const CostModel& model) const {
   NC_CHECK(model.num_predicates() == sorted_count.size());
   double total = 0.0;
@@ -49,7 +55,9 @@ SourceSet::SourceSet(ScoreProvider* provider,
       owned_provider_(std::move(owned)),
       data_(data),
       cost_(std::move(cost)),
-      latency_rng_(0) {
+      initial_cost_(cost_),
+      latency_rng_(0),
+      retry_rng_(0) {
   NC_CHECK(provider_ != nullptr);
   NC_CHECK(cost_.Validate().ok());
   NC_CHECK(cost_.num_predicates() == provider_->num_predicates());
@@ -57,14 +65,85 @@ SourceSet::SourceSet(ScoreProvider* provider,
   const size_t m = provider_->num_predicates();
   stats_.sorted_count.assign(m, 0);
   stats_.random_count.assign(m, 0);
+  stats_.retried_attempts.assign(m, 0);
   positions_.assign(m, 0);
   last_seen_.assign(m, kMaxScore);
+  source_down_.assign(m, false);
+}
+
+Status SourceSet::AttemptAccess(PredicateId i, double unit_cost) {
+  if (injector_ == nullptr) return Status::OK();
+  for (size_t attempt = 1;; ++attempt) {
+    const FaultKind fault = injector_->NextOutcome(i);
+    if (fault == FaultKind::kNone) return Status::OK();
+    if (fault == FaultKind::kSourceDown) {
+      MarkSourceDown(i);
+      return Status::Unavailable("source for p" + std::to_string(i) +
+                                 " died permanently");
+    }
+    // The failed request was sent and billed; a timeout also held the
+    // line for the full deadline.
+    accrued_cost_ += retry_policy_.retry_cost_factor * unit_cost;
+    if (fault == FaultKind::kTransient) {
+      ++stats_.transient_failures;
+    } else {
+      ++stats_.timeout_failures;
+      last_access_penalty_ +=
+          retry_policy_.timeout_latency_factor * unit_cost;
+    }
+    if (attempt >= retry_policy_.max_attempts) {
+      ++stats_.abandoned_accesses;
+      return Status::Unavailable("p" + std::to_string(i) + ": " +
+                                 std::to_string(attempt) +
+                                 " attempts exhausted");
+    }
+    ++stats_.retried_attempts[i];
+    last_access_penalty_ += retry_policy_.BackoffDelay(attempt, &retry_rng_);
+  }
+}
+
+void SourceSet::MarkSourceDown(PredicateId i) {
+  // A source dies as a unit: every predicate of its attribute group loses
+  // both access types. The downgrade flows through set_cost_model so the
+  // removal-only capability guard re-validates it.
+  CostModel downgraded = cost_;
+  bool changed = false;
+  for (PredicateId j = 0; j < num_predicates(); ++j) {
+    if (!cost_.same_group(i, j)) continue;
+    if (downgraded.has_sorted(j) || downgraded.has_random(j)) changed = true;
+    downgraded.sorted_cost[j] = kImpossibleCost;
+    downgraded.random_cost[j] = kImpossibleCost;
+    if (!source_down_[j]) {
+      source_down_[j] = true;
+      ++sources_down_;
+      ++stats_.source_deaths;
+    }
+  }
+  if (changed) NC_CHECK(set_cost_model(std::move(downgraded)).ok());
 }
 
 std::optional<SortedHit> SourceSet::SortedAccess(PredicateId i) {
+  std::optional<SortedHit> hit;
+  const Status status = TrySortedAccess(i, &hit);
+  NC_CHECK(status.ok());  // Fault-tolerant callers use TrySortedAccess.
+  return hit;
+}
+
+Status SourceSet::TrySortedAccess(PredicateId i,
+                                  std::optional<SortedHit>* out) {
+  NC_CHECK(out != nullptr);
   NC_CHECK(i < num_predicates());
-  NC_CHECK(has_sorted(i));
-  if (exhausted(i)) return std::nullopt;
+  out->reset();
+  last_access_penalty_ = 0.0;
+  if (!cost_.has_sorted(i)) {
+    // Distinguish a degraded source from a caller bug: sorted access on a
+    // predicate that never supported it is a programmer error.
+    NC_CHECK(initial_cost_.has_sorted(i));
+    return Status::Unavailable("sa on p" + std::to_string(i) +
+                               ": source down");
+  }
+  if (exhausted(i)) return Status::OK();
+  NC_RETURN_IF_ERROR(AttemptAccess(i, cost_.sorted_cost[i]));
   ++stats_.sorted_count[i];
   // With a page model, the charge lands on the first entry of each page
   // (one request fetches the whole page).
@@ -89,13 +168,28 @@ std::optional<SortedHit> SourceSet::SortedAccess(PredicateId i) {
   // returned score; an exhausted list leaves no unseen objects, so the
   // bound collapses to 0.
   last_seen_[i] = exhausted(i) ? kMinScore : hit.score;
-  return hit;
+  *out = std::move(hit);
+  return Status::OK();
 }
 
 Score SourceSet::RandomAccess(PredicateId i, ObjectId u) {
+  Score score = 0.0;
+  const Status status = TryRandomAccess(i, u, &score);
+  NC_CHECK(status.ok());  // Fault-tolerant callers use TryRandomAccess.
+  return score;
+}
+
+Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
+  NC_CHECK(out != nullptr);
   NC_CHECK(i < num_predicates());
-  NC_CHECK(has_random(i));
   NC_CHECK(u < num_objects());
+  last_access_penalty_ = 0.0;
+  if (!cost_.has_random(i)) {
+    NC_CHECK(initial_cost_.has_random(i));
+    return Status::Unavailable("ra on p" + std::to_string(i) +
+                               ": source down");
+  }
+  NC_RETURN_IF_ERROR(AttemptAccess(i, cost_.random_cost[i]));
   ++stats_.random_count[i];
   accrued_cost_ += cost_.random_cost[i];
   if (trace_enabled_) trace_.push_back(Access::Random(i, u));
@@ -103,23 +197,45 @@ Score SourceSet::RandomAccess(PredicateId i, ObjectId u) {
   const uint64_t bit = uint64_t{1} << i;
   if ((mask & bit) != 0) ++stats_.duplicate_random_count;
   mask |= bit;
-  return provider_->ScoreOf(i, u);
+  *out = provider_->ScoreOf(i, u);
+  return Status::OK();
 }
 
 Status SourceSet::set_cost_model(CostModel cost) {
-  NC_RETURN_IF_ERROR(cost.Validate());
+  // Structure only: a swapped-in model may leave a dead predicate with no
+  // capability at all, which Validate() (initial scenarios) rejects.
+  NC_RETURN_IF_ERROR(cost.ValidateStructure());
   if (cost.num_predicates() != cost_.num_predicates()) {
     return Status::InvalidArgument("cost model predicate count changed");
   }
   for (PredicateId i = 0; i < cost_.num_predicates(); ++i) {
-    if (cost.has_sorted(i) != cost_.has_sorted(i) ||
-        cost.has_random(i) != cost_.has_random(i)) {
+    // Downgrades (a source degrading or dying) are legal; a capability
+    // that is impossible can never appear mid-run.
+    if ((cost.has_sorted(i) && !cost_.has_sorted(i)) ||
+        (cost.has_random(i) && !cost_.has_random(i))) {
       return Status::InvalidArgument(
-          "capability pattern must not change mid-run");
+          "capabilities may be removed mid-run but never added");
     }
   }
   cost_ = std::move(cost);
   return Status::OK();
+}
+
+void SourceSet::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+}
+
+void SourceSet::set_retry_policy(const RetryPolicy& policy,
+                                 uint64_t jitter_seed) {
+  NC_CHECK(policy.Validate().ok());
+  retry_policy_ = policy;
+  retry_seed_ = jitter_seed;
+  retry_rng_ = Rng(jitter_seed);
+}
+
+void SourceSet::KillSource(PredicateId i) {
+  NC_CHECK(i < num_predicates());
+  MarkSourceDown(i);
 }
 
 void SourceSet::Reset() {
@@ -127,16 +243,39 @@ void SourceSet::Reset() {
   stats_.sorted_count.assign(m, 0);
   stats_.random_count.assign(m, 0);
   stats_.duplicate_random_count = 0;
+  stats_.retried_attempts.assign(m, 0);
+  stats_.transient_failures = 0;
+  stats_.timeout_failures = 0;
+  stats_.abandoned_accesses = 0;
+  stats_.source_deaths = 0;
   accrued_cost_ = 0.0;
   positions_.assign(m, 0);
   last_seen_.assign(m, kMaxScore);
   probed_.clear();
   trace_.clear();
+  // Reruns must replay the same draws: reseed the latency and backoff
+  // streams from their remembered seeds.
+  latency_rng_ = Rng(latency_seed_);
+  retry_rng_ = Rng(retry_seed_);
+  last_access_penalty_ = 0.0;
+  // Revive dead sources: their construction-time unit costs return.
+  // (Dynamic cost swaps on live sources persist, as before.)
+  if (sources_down_ > 0) {
+    for (PredicateId i = 0; i < m; ++i) {
+      if (!source_down_[i]) continue;
+      cost_.sorted_cost[i] = initial_cost_.sorted_cost[i];
+      cost_.random_cost[i] = initial_cost_.random_cost[i];
+      source_down_[i] = false;
+    }
+    sources_down_ = 0;
+  }
+  if (injector_ != nullptr) injector_->Reset();
 }
 
 void SourceSet::set_latency_jitter(double jitter, uint64_t seed) {
   NC_CHECK(jitter >= 0.0);
   latency_jitter_ = jitter;
+  latency_seed_ = seed;
   latency_rng_ = Rng(seed);
 }
 

@@ -16,6 +16,23 @@
 // benchmark numbers cannot drift from what algorithms actually did. The
 // unit-cost vector may be swapped mid-run (set_cost_model) to model the
 // dynamic Web; cost accrues at the rate in force when the access happens.
+//
+// --- Failure model -----------------------------------------------------
+// Autonomous sources fail. With a FaultInjector attached, every access
+// attempt may draw a transient error, a timeout, or permanent source
+// death (see access/fault.h). SourceSet retries failed attempts per its
+// RetryPolicy, charging each attempt (retries inflate accrued_cost() and
+// the AccessStats fault counters but never change what an access
+// returns, its cursor effects, or the trace). The fallible entry points
+// are TrySortedAccess/TryRandomAccess: they return kUnavailable when
+// retries are exhausted or the source is down, leaving cursors, bounds,
+// and probed-state untouched. A permanent death downgrades the
+// capability in the cost model itself (through the set_cost_model guard
+// path, which permits capability removal but never addition), so
+// has_sorted/has_random, planners, and plan caches all observe the
+// degraded scenario. The legacy SortedAccess/RandomAccess wrappers
+// crash on an unrecovered failure; fault-tolerant callers (the NC
+// engine, the parallel executor) use the Try* forms.
 
 #ifndef NC_ACCESS_SOURCE_H_
 #define NC_ACCESS_SOURCE_H_
@@ -28,6 +45,7 @@
 
 #include "access/access.h"
 #include "access/cost_model.h"
+#include "access/fault.h"
 #include "access/score_provider.h"
 #include "common/rng.h"
 #include "common/score.h"
@@ -53,12 +71,25 @@ struct AccessStats {
   // Random accesses that repeated an earlier (predicate, object) probe.
   size_t duplicate_random_count = 0;
 
+  // --- Fault-tolerance counters (all zero in fault-free runs) ----------
+  // Failed attempts that were retried, per predicate.
+  std::vector<size_t> retried_attempts;
+  // Attempts that failed with a transient error / a timeout.
+  size_t transient_failures = 0;
+  size_t timeout_failures = 0;
+  // Accesses abandoned after exhausting RetryPolicy::max_attempts.
+  size_t abandoned_accesses = 0;
+  // Permanent source deaths observed (one per predicate whose
+  // capabilities were downgraded).
+  size_t source_deaths = 0;
+
   size_t TotalSorted() const;
   size_t TotalRandom() const;
+  size_t TotalRetried() const;
 
   // Prices the counters against `model` (Eq. 1). Only meaningful for
-  // static cost scenarios; dynamic runs should use
-  // SourceSet::accrued_cost().
+  // static cost scenarios; dynamic runs (and runs with retries, which
+  // are charged per attempt) should use SourceSet::accrued_cost().
   double TotalCost(const CostModel& model) const;
 };
 
@@ -88,17 +119,31 @@ class SourceSet {
 
   // Performs one sorted access on predicate i. Returns nullopt when the
   // source is exhausted. Must not be called on a predicate without sorted
-  // support.
+  // support, and crashes if fault injection makes the access fail
+  // unrecoverably - fault-tolerant callers use TrySortedAccess.
   std::optional<SortedHit> SortedAccess(PredicateId i);
 
   // Performs one random access for p_i[u]. Must not be called on a
-  // predicate without random support.
+  // predicate without random support; crashes on unrecovered failure -
+  // fault-tolerant callers use TryRandomAccess.
   Score RandomAccess(PredicateId i, ObjectId u);
+
+  // Fault-tolerant sorted access. On OK, *out is the hit (or nullopt when
+  // the stream is exhausted). Returns kUnavailable when the source is
+  // down or every retry attempt failed; the cursor, last_seen bound,
+  // stats counts, and trace are untouched by a failed access (only cost
+  // and the fault counters advance).
+  Status TrySortedAccess(PredicateId i, std::optional<SortedHit>* out);
+
+  // Fault-tolerant random access; same failure contract as
+  // TrySortedAccess.
+  Status TryRandomAccess(PredicateId i, ObjectId u, Score* out);
 
   // The last-seen score l_i from sorted accesses on predicate i: the upper
   // bound for any object not yet returned by sa_i. 1.0 before the first
   // access; 0.0 once the source is exhausted (no unseen object remains, so
-  // the bound is vacuous).
+  // the bound is vacuous). A dead source's l_i stays frozen at its last
+  // value - still a sound bound, since object scores do not change.
   Score last_seen(PredicateId i) const { return last_seen_[i]; }
 
   // True once every object has been returned by sa_i.
@@ -113,23 +158,59 @@ class SourceSet {
 
   const CostModel& cost_model() const { return cost_; }
 
-  // Swaps the unit costs mid-run (dynamic Web scenario). The capability
-  // pattern (which accesses are impossible) must not change.
+  // Swaps the unit costs mid-run (dynamic Web scenario). Capabilities may
+  // be *removed* (a live source can degrade or die) but never added: an
+  // access type that was impossible stays impossible for the run.
   Status set_cost_model(CostModel cost);
+
+  // --- Fault injection -------------------------------------------------
+  // Attaches a fault injector (nullptr detaches; must outlive the
+  // SourceSet). Without one, accesses never fail.
+  void set_fault_injector(FaultInjector* injector);
+
+  // Configures retries; `jitter_seed` drives the backoff jitter draws.
+  // The policy must validate.
+  void set_retry_policy(const RetryPolicy& policy, uint64_t jitter_seed = 0);
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Permanently kills the source serving predicate i: both access types
+  // are downgraded for the whole attribute group (a multi-attribute
+  // source dies as a unit). Idempotent. Scripted counterpart of an
+  // injector-drawn kSourceDown.
+  void KillSource(PredicateId i);
+
+  // True when predicate i lost at least one construction-time capability
+  // to a source death.
+  bool source_down(PredicateId i) const { return source_down_[i]; }
+
+  // True when any source died during this run.
+  bool any_source_down() const { return sources_down_ > 0; }
+
+  // Simulated extra latency (timeouts served, backoff waits) of the most
+  // recent Try*/plain access, in cost units. 0 when the access succeeded
+  // on the first attempt. The parallel executor folds this into the
+  // access's completion time.
+  double last_access_penalty() const { return last_access_penalty_; }
 
   const AccessStats& stats() const { return stats_; }
 
-  // Cost accrued so far, priced access-by-access (robust to cost swaps).
+  // Cost accrued so far, priced access-by-access (robust to cost swaps
+  // and inflated by per-attempt retry charges).
   double accrued_cost() const { return accrued_cost_; }
 
   // Restores the SourceSet to its initial state: cursors rewound,
-  // counters, accrued cost, and any trace cleared.
+  // counters, accrued cost, and any trace cleared; latency and backoff
+  // RNGs reseeded so reruns replay identical draws; dead sources revived
+  // (their construction-time capabilities restored) and the fault
+  // injector, if any, rewound.
   void Reset();
 
   // --- Access tracing --------------------------------------------------
   // When enabled, every performed access is appended to trace() in order.
-  // Used by diagnostics and by the plan-property tests (e.g. verifying
-  // the SR shape of SR/G executions).
+  // Failed attempts never enter the trace: a retried-then-successful
+  // access traces exactly like an undisturbed one. Used by diagnostics
+  // and by the plan-property tests (e.g. verifying the SR shape of SR/G
+  // executions).
   void EnableTrace() { trace_enabled_ = true; }
   const std::vector<Access>& trace() const { return trace_; }
 
@@ -148,11 +229,25 @@ class SourceSet {
             std::unique_ptr<DatasetScoreProvider> owned,
             const Dataset* data, CostModel cost);
 
+  // Runs the attempt/retry loop for one access on predicate i whose
+  // request costs `unit_cost`. OK when an attempt succeeded; kUnavailable
+  // after a death or once attempts are exhausted. Accumulates per-attempt
+  // charges and last_access_penalty_.
+  Status AttemptAccess(PredicateId i, double unit_cost);
+
+  // Downgrades the capabilities of predicate i's attribute group and
+  // counts the death. `via_injector` marks deaths drawn by the injector
+  // (vs scripted KillSource calls); both go through set_cost_model's
+  // removal-only guard.
+  void MarkSourceDown(PredicateId i);
+
   ScoreProvider* provider_;
   std::unique_ptr<DatasetScoreProvider> owned_provider_;
   // Non-null only for Dataset-backed sources.
   const Dataset* data_;
   CostModel cost_;
+  // Construction-time unit costs, used to revive dead sources on Reset.
+  CostModel initial_cost_;
   AccessStats stats_;
   double accrued_cost_ = 0.0;
   // Cursor into Dataset::SortedOrder per predicate.
@@ -161,7 +256,16 @@ class SourceSet {
   // Per-object bitmask of predicates already random-probed (m <= 64).
   std::unordered_map<ObjectId, uint64_t> probed_;
   double latency_jitter_ = 0.0;
+  // Jitter seed, remembered so Reset() replays the same latency stream.
+  uint64_t latency_seed_ = 0;
   Rng latency_rng_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_;
+  uint64_t retry_seed_ = 0;
+  Rng retry_rng_;
+  std::vector<bool> source_down_;
+  size_t sources_down_ = 0;
+  double last_access_penalty_ = 0.0;
   bool trace_enabled_ = false;
   std::vector<Access> trace_;
 };

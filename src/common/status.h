@@ -20,6 +20,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnsupported,
   kResourceExhausted,
+  // A source (or its access type) is not currently serving requests:
+  // retries were exhausted or the source died permanently mid-run.
+  kUnavailable,
   kInternal,
 };
 
@@ -48,6 +51,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -3,18 +3,14 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/rank_order.h"
 
 namespace nc {
 
 bool LazyBoundHeap::Before(const Entry& a, const Entry& b) {
-  // "Less" for a max-heap: true when a ranks strictly below b. On ties,
-  // seen objects outrank the virtual unseen sentinel (the paper's Figure
-  // 10: hit objects surface above `unseen` at equal bounds); among seen
-  // objects, higher ObjectId ranks first.
-  if (a.bound != b.bound) return a.bound < b.bound;
-  if (a.object == kUnseenObject) return b.object != kUnseenObject;
-  if (b.object == kUnseenObject) return false;
-  return a.object < b.object;
+  // "Less" for a max-heap: true when a ranks strictly below b, under the
+  // library-wide rank order (core/rank_order.h).
+  return RanksAbove(b.bound, b.object, a.bound, a.object);
 }
 
 void LazyBoundHeap::Push(ObjectId object, Score bound) {

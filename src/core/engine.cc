@@ -63,10 +63,10 @@ void NCEngine::BuildAlternatives(ObjectId target) {
   }
 }
 
-void NCEngine::Perform(const Access& access) {
+Status NCEngine::Perform(const Access& access) {
   if (access.type == AccessType::kSorted) {
-    const std::optional<SortedHit> hit =
-        sources_->SortedAccess(access.predicate);
+    std::optional<SortedHit> hit;
+    NC_RETURN_IF_ERROR(sources_->TrySortedAccess(access.predicate, &hit));
     NC_CHECK(hit.has_value());  // Alternatives exclude exhausted streams.
     bool created = false;
     Candidate& c = pool_.GetOrCreate(hit->object, &created);
@@ -89,17 +89,38 @@ void NCEngine::Perform(const Access& access) {
       }
       heap_.Push(c.id, bounds_.Upper(c, ceilings_));
     }
-    return;
+    return Status::OK();
   }
   Candidate* c = pool_.Find(access.object);
   NC_CHECK(c != nullptr);  // No wild guesses: the target was seen.
   NC_CHECK(!c->IsEvaluated(access.predicate));
-  c->SetScore(access.predicate,
-              sources_->RandomAccess(access.predicate, access.object));
+  Score score = 0.0;
+  NC_RETURN_IF_ERROR(
+      sources_->TryRandomAccess(access.predicate, access.object, &score));
+  c->SetScore(access.predicate, score);
   if (complete_topk_.has_value() &&
       c->IsComplete(sources_->num_predicates())) {
     complete_topk_->Offer(c->id, bounds_.Exact(*c));
   }
+  return Status::OK();
+}
+
+void NCEngine::EmitBestEffort(TopKResult* out) {
+  // Anytime answer: the current top-k by maximal-possible score, scores
+  // reported as upper bounds.
+  const auto bound_fn = [this](ObjectId u) { return CurrentBound(u); };
+  heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+  out->entries.clear();
+  out->entries.reserve(topk_scratch_.size());
+  for (const LazyBoundHeap::Entry& e : topk_scratch_) {
+    // The sentinel stands for no concrete object; skip it (the answer
+    // may then be shorter than k - honestly so).
+    if (e.object == kUnseenObject) continue;
+    out->entries.push_back(TopKEntry{e.object, e.bound});
+  }
+  heap_.Reinsert(topk_scratch_);
+  last_run_exact_ = false;
+  last_run_truncated_ = true;
 }
 
 Status NCEngine::Run(TopKResult* out) {
@@ -129,6 +150,8 @@ Status NCEngine::Run(TopKResult* out) {
   pool_ = CandidatePool(m);
   heap_ = LazyBoundHeap();
   accesses_ = 0;
+  phase_accesses_ = 0;
+  consecutive_failures_ = 0;
   choice_width_total_ = 0.0;
   complete_topk_.reset();
   if (options_.approximation_theta > 1.0) {
@@ -162,10 +185,19 @@ Status NCEngine::Extend(size_t new_k, TopKResult* out) {
   if (!has_run_) {
     return Status::FailedPrecondition("Extend requires a completed Run");
   }
+  if (last_run_truncated_) {
+    // A truncated answer's score state does not describe a finished
+    // top-k; widening it would silently compound the approximation.
+    return Status::FailedPrecondition(
+        "Extend after a truncated (best-effort) answer; re-Run instead");
+  }
   if (new_k < options_.k) {
     return Status::InvalidArgument("Extend cannot shrink k");
   }
   options_.k = new_k;
+  // Each progressive phase gets its own access budget.
+  phase_accesses_ = 0;
+  consecutive_failures_ = 0;
   if (complete_topk_.has_value()) {
     // The theta collector's capacity is k: rebuild it at the new width
     // from the already-complete candidates.
@@ -185,6 +217,12 @@ Status NCEngine::Loop(TopKResult* out) {
   // Every useful execution performs at most n sorted and n random accesses
   // per predicate; anything beyond signals an engine/policy bug.
   const size_t runaway_guard = 2 * n * m + options_.k + 64;
+  // Persistent flaking without a death could otherwise loop forever on
+  // the same task; after this many unrecovered failures in a row the
+  // engine gives up and degrades.
+  constexpr size_t kMaxConsecutiveFailures = 32;
+  last_run_truncated_ = false;
+  last_run_degraded_ = false;
 
   while (true) {
     heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
@@ -240,8 +278,14 @@ Status NCEngine::Loop(TopKResult* out) {
     }
 
     BuildAlternatives(target);
-    choice_width_total_ += static_cast<double>(alternatives_.size());
     if (alternatives_.empty()) {
+      heap_.Reinsert(topk_scratch_);
+      if (options_.tolerate_source_failure && sources_->any_source_down()) {
+        // A death made the task unsatisfiable mid-run: rather than fail,
+        // return what the surviving accesses established.
+        EmitBestEffort(out);
+        return Status::OK();
+      }
       return Status::FailedPrecondition(
           "scoring task for " +
           (target == kUnseenObject ? std::string("unseen objects")
@@ -261,28 +305,34 @@ Status NCEngine::Loop(TopKResult* out) {
         alternatives_.end();
     NC_CHECK(offered);  // Policies must pick among the necessary choices.
 
-    Perform(access);
+    const Status performed = Perform(access);
     heap_.Reinsert(topk_scratch_);
+    if (!performed.ok()) {
+      // Unrecoverable access failure: no candidate state was consumed,
+      // so the loop can simply re-derive the necessary choices against
+      // whatever capabilities survive.
+      NC_CHECK(performed.code() == StatusCode::kUnavailable);
+      last_run_degraded_ = true;
+      if (!options_.tolerate_source_failure) return performed;
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= kMaxConsecutiveFailures) {
+        EmitBestEffort(out);
+        return Status::OK();
+      }
+      continue;
+    }
+    consecutive_failures_ = 0;
+    choice_width_total_ += static_cast<double>(alternatives_.size());
 
     ++accesses_;
+    ++phase_accesses_;
     if (options_.access_callback) options_.access_callback(accesses_);
-    if (options_.max_accesses != 0 && accesses_ > options_.max_accesses) {
+    if (options_.max_accesses != 0 &&
+        phase_accesses_ > options_.max_accesses) {
       if (!options_.best_effort) {
         return Status::ResourceExhausted("max_accesses exceeded");
       }
-      // Anytime answer: the current top-k by maximal-possible score,
-      // scores reported as upper bounds.
-      heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
-      out->entries.clear();
-      out->entries.reserve(topk_scratch_.size());
-      for (const LazyBoundHeap::Entry& e : topk_scratch_) {
-        // The sentinel stands for no concrete object; skip it (the
-        // answer may then be shorter than k - honestly so).
-        if (e.object == kUnseenObject) continue;
-        out->entries.push_back(TopKEntry{e.object, e.bound});
-      }
-      heap_.Reinsert(topk_scratch_);
-      last_run_exact_ = false;
+      EmitBestEffort(out);
       return Status::OK();
     }
     if (accesses_ > runaway_guard) {

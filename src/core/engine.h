@@ -73,8 +73,10 @@ struct EngineOptions {
   // and every object starts as a candidate.
   bool no_wild_guesses = true;
 
-  // Optional hard cap on total accesses; 0 means "only the internal
-  // runaway guard". Exceeding it returns ResourceExhausted.
+  // Optional hard cap on accesses; 0 means "only the internal runaway
+  // guard". The budget applies to each Run or Extend phase separately (an
+  // Extend starts with a fresh budget). Exceeding it returns
+  // ResourceExhausted.
   size_t max_accesses = 0;
 
   // Theta-approximation (Fagin's relaxation): with theta > 1 the engine
@@ -93,6 +95,17 @@ struct EngineOptions {
   // k-th reported bound always dominates the true k-th score, so the
   // answer degrades gracefully with the budget.)
   bool best_effort = false;
+
+  // Graceful degradation under source failure (access/fault.h). When an
+  // access fails unrecoverably (kUnavailable: retries exhausted or the
+  // source died), the engine re-derives the necessary choices against the
+  // surviving capabilities and keeps going; if a scoring task becomes
+  // unsatisfiable because of a death, it returns OK with the current
+  // top-k by maximal-possible score through the best-effort machinery
+  // (last_run_exact() false) instead of failing. With the flag off, the
+  // first unrecovered failure surfaces as a kUnavailable error. Runs
+  // without fault injection never hit either path.
+  bool tolerate_source_failure = true;
 
   // Invoked after every performed access with the running access count;
   // used by the adaptive executor to re-optimize mid-flight.
@@ -117,15 +130,32 @@ class NCEngine {
   // the top new_k (>= the previous k) by continuing from the engine's
   // current score state - no access already performed is repeated, and
   // only the extra scoring tasks are paid for. May be called repeatedly
-  // with growing k.
+  // with growing k, and each Extend gets a fresh max_accesses budget.
+  //
+  // Extend requires a *completed* prior answer: if the last Run/Extend was
+  // truncated (best-effort budget exhaustion or source-failure
+  // degradation, see last_run_truncated()), the score state does not
+  // describe a finished top-k and Extend returns FailedPrecondition -
+  // re-Run instead. Extending a theta-approximate answer is legal.
   Status Extend(size_t new_k, TopKResult* out);
 
   // Total accesses performed across Run and any Extends.
   size_t accesses_performed() const { return accesses_; }
 
-  // False iff the last Run/Extend returned a best-effort (budget-capped)
-  // answer rather than a completely evaluated top-k.
+  // False iff the last Run/Extend returned an approximate answer: a
+  // best-effort (budget-capped or degraded) one, or a theta-approximate
+  // one.
   bool last_run_exact() const { return last_run_exact_; }
+
+  // True iff the last Run/Extend stopped early with a best-effort answer
+  // (budget exhausted or sources failed) - such an answer cannot be
+  // Extended. Theta-approximate answers are complete, not truncated.
+  bool last_run_truncated() const { return last_run_truncated_; }
+
+  // True iff the last Run/Extend hit an unrecoverable source failure and
+  // finished in degraded mode (whether or not the final answer still
+  // completed exactly on the surviving capabilities).
+  bool last_run_degraded() const { return last_run_degraded_; }
 
   // Mean size of the necessary-choice sets offered to the policy - the
   // specificity metric Section 6.2 contrasts against TG's O(n*m)-wide
@@ -147,11 +177,18 @@ class NCEngine {
 
   // Fills `alternatives_` with the necessary choices for `target`
   // (Definition 2) in deterministic order: sorted accesses by predicate,
-  // then random accesses by predicate.
+  // then random accesses by predicate. Dead sources offer nothing, so a
+  // mid-run death re-derives the choices automatically.
   void BuildAlternatives(ObjectId target);
 
-  // Performs `access`, updating candidates and the heap.
-  void Perform(const Access& access);
+  // Performs `access`, updating candidates and the heap. kUnavailable
+  // when the access failed unrecoverably (no state was consumed).
+  Status Perform(const Access& access);
+
+  // Emits the current top-k by maximal-possible score into *out (scores
+  // are upper bounds; the unseen sentinel is skipped, so the answer may
+  // honestly be shorter than k) and flags the run truncated.
+  void EmitBestEffort(TopKResult* out);
 
   SourceSet* sources_;
   const ScoringFunction* scoring_;
@@ -168,10 +205,18 @@ class NCEngine {
   std::vector<Access> alternatives_;
   std::vector<LazyBoundHeap::Entry> topk_scratch_;
   size_t accesses_ = 0;
+  // Accesses performed in the current Run/Extend phase; the max_accesses
+  // budget is charged against this, not the cumulative count.
+  size_t phase_accesses_ = 0;
+  // Consecutive unrecovered access failures; guards against livelock when
+  // sources flake persistently without dying.
+  size_t consecutive_failures_ = 0;
   double choice_width_total_ = 0.0;
   bool universe_seeded_ = false;
   bool has_run_ = false;
   bool last_run_exact_ = true;
+  bool last_run_truncated_ = false;
+  bool last_run_degraded_ = false;
 };
 
 // Convenience wrapper: constructs an engine and runs the query once.

@@ -40,6 +40,11 @@ std::string ExplainPlan(const SRGConfig& plan, const SourceSet& sources,
 
   for (PredicateId i = 0; i < m; ++i) {
     os << "  " << PredicateLabel(sources, i) << ": ";
+    if (sources.source_down(i)) {
+      // Capabilities the source lost when it died; the plan narrative
+      // below describes what remains (nothing).
+      os << "source DOWN; ";
+    }
     if (cost.has_sorted(i)) {
       os << "stream (cs=" << FormatCost(cost.sorted_cost[i]);
       if (cost.page_size(i) > 1) {
@@ -81,6 +86,29 @@ std::string ExplainPlan(const OptimizerResult& plan,
   os << ExplainPlan(plan.config, sources, scoring, k);
   os << "  estimated cost " << plan.estimated_cost << " (from "
      << plan.simulations << " plan simulations)\n";
+  return os.str();
+}
+
+std::string ExplainAccessStats(const SourceSet& sources) {
+  const AccessStats& stats = sources.stats();
+  std::ostringstream os;
+  os << "accesses: " << stats.TotalSorted() << " sorted, "
+     << stats.TotalRandom() << " random, cost "
+     << FormatCost(sources.accrued_cost()) << "\n";
+  const size_t failures = stats.transient_failures + stats.timeout_failures;
+  if (failures != 0 || stats.TotalRetried() != 0 ||
+      stats.abandoned_accesses != 0 || stats.source_deaths != 0) {
+    os << "faults: " << stats.transient_failures << " transient, "
+       << stats.timeout_failures << " timeouts; " << stats.TotalRetried()
+       << " retried, " << stats.abandoned_accesses << " abandoned\n";
+  }
+  if (stats.source_deaths != 0) {
+    os << "deaths:";
+    for (PredicateId i = 0; i < sources.num_predicates(); ++i) {
+      if (sources.source_down(i)) os << " " << PredicateLabel(sources, i);
+    }
+    os << " (down for the rest of the run)\n";
+  }
   return os.str();
 }
 

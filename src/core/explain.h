@@ -27,6 +27,12 @@ std::string ExplainPlan(const OptimizerResult& plan,
                         const SourceSet& sources,
                         const ScoringFunction& scoring, size_t k);
 
+// One-line-per-fact account of what the sources' access counters say
+// about the last run: accesses, cost, and - when a fault injector was
+// active - retries, failures, and deaths. The failure-model companion to
+// ExplainPlan.
+std::string ExplainAccessStats(const SourceSet& sources);
+
 }  // namespace nc
 
 #endif  // NC_CORE_EXPLAIN_H_

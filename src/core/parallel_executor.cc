@@ -1,12 +1,14 @@
 #include "core/parallel_executor.h"
 
 #include <algorithm>
+#include <map>
 #include <queue>
 #include <set>
 #include <vector>
 
 #include "common/check.h"
 #include "core/candidate.h"
+#include "core/rank_order.h"
 
 namespace nc {
 
@@ -18,6 +20,10 @@ struct InFlight {
   double completion_time = 0.0;
   uint64_t sequence = 0;  // FIFO tie-break.
   Access access;
+  // For sorted accesses: the stream position this read consumed. Results
+  // can complete out of order; the ceiling may only advance over the
+  // contiguous prefix of applied positions (see ApplyNext).
+  size_t rank = 0;
   // Result captured at issue time (the simulated source decides its answer
   // immediately; the network delays its visibility).
   ObjectId object = 0;
@@ -50,7 +56,8 @@ class ParallelRun {
         pool_(sources->num_predicates()),
         bounds_(&scoring_),
         visible_ceiling_(sources->num_predicates(), kMaxScore),
-        applied_sorted_(sources->num_predicates(), 0) {}
+        applied_frontier_(sources->num_predicates(), 0),
+        ooo_scores_(sources->num_predicates()) {}
 
   Status Execute(ParallelResult* out);
 
@@ -63,11 +70,20 @@ class ParallelRun {
   void BuildAlternatives(ObjectId target, std::vector<Access>* out) const;
 
   // Performs the access against the sources now (accounting happens at
-  // issue) and schedules its visibility.
-  void Issue(const Access& access);
+  // issue) and schedules its visibility. False when the access failed
+  // unrecoverably and nothing was scheduled; `status` (optional) receives
+  // the failure.
+  bool Issue(const Access& access, Status* status);
 
   // Makes the earliest pending result visible; advances the clock.
   void ApplyNext();
+
+  // Settles on the current visible top-k (scores are upper bounds) and
+  // marks the result inexact.
+  void EmitBestEffort(ParallelResult* out);
+
+  // Fills the accounting fields of *out from the run's state.
+  void FillAccounting(ParallelResult* out) const;
 
   SourceSet* sources_;
   const ScoringFunction& scoring_;
@@ -77,7 +93,10 @@ class ParallelRun {
   CandidatePool pool_;
   BoundEvaluator bounds_;
   std::vector<Score> visible_ceiling_;
-  std::vector<size_t> applied_sorted_;
+  // Length of the contiguous prefix of applied sorted results, per
+  // predicate, plus the buffer of results that landed beyond it.
+  std::vector<size_t> applied_frontier_;
+  std::vector<std::map<size_t, Score>> ooo_scores_;
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
       pending_;
   std::set<std::pair<PredicateId, ObjectId>> random_in_flight_;
@@ -86,6 +105,10 @@ class ParallelRun {
   double now_ = 0.0;
   uint64_t sequence_ = 0;
   size_t issued_ = 0;
+  size_t failed_ = 0;
+  // Consecutive issue attempts that failed unrecoverably; bounds the
+  // degraded-retry loop the same way the sequential engine does.
+  size_t consecutive_failures_ = 0;
   bool universe_seeded_ = false;
 };
 
@@ -106,12 +129,7 @@ void ParallelRun::VisibleTopK(std::vector<RankedEntry>* out) {
   const size_t take = std::min(options_.k, out->size());
   std::partial_sort(out->begin(), out->begin() + take, out->end(),
                     [](const RankedEntry& a, const RankedEntry& b) {
-                      if (a.bound != b.bound) return a.bound > b.bound;
-                      // Seen objects outrank the unseen sentinel on ties,
-                      // matching the sequential engine's heap order.
-                      if (a.object == kUnseenObject) return false;
-                      if (b.object == kUnseenObject) return true;
-                      return a.object > b.object;
+                      return RanksAbove(a.bound, a.object, b.bound, b.object);
                     });
   out->resize(take);
 }
@@ -145,26 +163,43 @@ void ParallelRun::BuildAlternatives(ObjectId target,
   }
 }
 
-void ParallelRun::Issue(const Access& access) {
+bool ParallelRun::Issue(const Access& access, Status* status) {
   InFlight flight;
   flight.access = access;
   flight.sequence = sequence_++;
-  flight.completion_time =
-      now_ + sources_->DrawLatency(access.type, access.predicate);
   if (access.type == AccessType::kSorted) {
-    const std::optional<SortedHit> hit =
-        sources_->SortedAccess(access.predicate);
+    flight.rank = sources_->sorted_position(access.predicate);
+    std::optional<SortedHit> hit;
+    const Status s = sources_->TrySortedAccess(access.predicate, &hit);
+    if (!s.ok()) {
+      ++failed_;
+      if (status != nullptr) *status = s;
+      return false;
+    }
     NC_CHECK(hit.has_value());
     flight.object = hit->object;
     flight.score = hit->score;
     flight.bundled = hit->bundled;
   } else {
     flight.object = access.object;
-    flight.score = sources_->RandomAccess(access.predicate, access.object);
+    const Status s =
+        sources_->TryRandomAccess(access.predicate, access.object,
+                                  &flight.score);
+    if (!s.ok()) {
+      ++failed_;
+      if (status != nullptr) *status = s;
+      return false;
+    }
     random_in_flight_.insert({access.predicate, access.object});
   }
+  // Retries and timeouts held the line before the request that finally
+  // succeeded went out; its latency starts after that penalty.
+  flight.completion_time =
+      now_ + sources_->last_access_penalty() +
+      sources_->DrawLatency(access.type, access.predicate);
   pending_.push(flight);
   ++issued_;
+  return true;
 }
 
 void ParallelRun::ApplyNext() {
@@ -180,12 +215,28 @@ void ParallelRun::ApplyNext() {
     for (const auto& [predicate, score] : flight.bundled) {
       if (!c.IsEvaluated(predicate)) c.SetScore(predicate, score);
     }
-    ++applied_sorted_[i];
-    if (applied_sorted_[i] >= sources_->num_objects()) {
-      // Every object of this list is visible: no unseen object remains.
-      visible_ceiling_[i] = kMinScore;
-    } else {
-      visible_ceiling_[i] = std::min(visible_ceiling_[i], flight.score);
+    // Sorted results complete out of order under latency jitter, and a
+    // deep entry's score is NOT a sound bound while shallower reads are
+    // still in flight: an unseen object could land at one of those
+    // shallower positions with a higher score. The ceiling therefore
+    // tracks only the contiguous prefix of applied positions.
+    auto& buffered = ooo_scores_[i];
+    buffered.emplace(flight.rank, flight.score);
+    bool advanced = false;
+    Score frontier_score = kMaxScore;
+    while (!buffered.empty() &&
+           buffered.begin()->first == applied_frontier_[i]) {
+      frontier_score = buffered.begin()->second;
+      buffered.erase(buffered.begin());
+      ++applied_frontier_[i];
+      advanced = true;
+    }
+    if (advanced) {
+      // Every object of an exhausted list is visible: no unseen object
+      // remains on it.
+      visible_ceiling_[i] = applied_frontier_[i] >= sources_->num_objects()
+                                ? kMinScore
+                                : frontier_score;
     }
   } else {
     random_in_flight_.erase({i, flight.object});
@@ -193,6 +244,28 @@ void ParallelRun::ApplyNext() {
     NC_CHECK(c != nullptr);
     if (!c->IsEvaluated(i)) c->SetScore(i, flight.score);
   }
+}
+
+void ParallelRun::FillAccounting(ParallelResult* out) const {
+  out->elapsed_time = now_;
+  out->total_cost = sources_->accrued_cost();
+  out->accesses_issued = issued_;
+  out->wasted_accesses = pending_.size();
+  out->failed_accesses = failed_;
+}
+
+void ParallelRun::EmitBestEffort(ParallelResult* out) {
+  std::vector<RankedEntry> ranked;
+  VisibleTopK(&ranked);
+  out->topk.entries.clear();
+  for (const RankedEntry& e : ranked) {
+    // The sentinel stands for no concrete object; the answer may be
+    // shorter than k - honestly so.
+    if (e.object == kUnseenObject) continue;
+    out->topk.entries.push_back(TopKEntry{e.object, e.bound});
+  }
+  out->exact = false;
+  FillAccounting(out);
 }
 
 Status ParallelRun::Execute(ParallelResult* out) {
@@ -216,6 +289,8 @@ Status ParallelRun::Execute(ParallelResult* out) {
   }
 
   const size_t runaway_guard = 2 * n * m + options_.k + 64;
+  // Matches the sequential engine's guard against persistent flaking.
+  constexpr size_t kMaxConsecutiveFailures = 32;
   std::vector<RankedEntry> ranked;
   std::vector<Access> alternatives;
   while (true) {
@@ -228,17 +303,16 @@ Status ParallelRun::Execute(ParallelResult* out) {
       for (const RankedEntry& e : ranked) {
         out->topk.entries.push_back(TopKEntry{e.object, e.bound});
       }
-      out->elapsed_time = now_;
-      out->total_cost = sources_->accrued_cost();
-      out->accesses_issued = issued_;
-      out->wasted_accesses = pending_.size();
+      out->exact = true;
+      FillAccounting(out);
       return Status::OK();
     }
 
     // Issue phase: one access per unsatisfied task per epoch, rank order,
     // while slots remain.
     bool issued_any = false;
-    const auto select_and_issue = [&](const RankedEntry& e) {
+    bool failed_this_round = false;
+    const auto select_and_issue = [&](const RankedEntry& e) -> Status {
       EngineView view;
       view.sources = sources_;
       view.scoring = &scoring_;
@@ -251,8 +325,19 @@ Status ParallelRun::Execute(ParallelResult* out) {
           std::find(alternatives.begin(), alternatives.end(), access) !=
           alternatives.end();
       NC_CHECK(offered);
-      Issue(access);
-      issued_any = true;
+      Status status = Status::OK();
+      if (Issue(access, &status)) {
+        issued_any = true;
+        consecutive_failures_ = 0;
+        // One access per task per epoch; a failed issue stays eligible
+        // for retry against the re-derived capabilities.
+        issued_this_epoch_.insert(e.object);
+        return Status::OK();
+      }
+      NC_CHECK(status.code() == StatusCode::kUnavailable);
+      failed_this_round = true;
+      ++consecutive_failures_;
+      return status;
     };
 
     // Discovery (the unseen sentinel's sorted reads) is the speculative
@@ -276,17 +361,17 @@ Status ParallelRun::Execute(ParallelResult* out) {
       if (issued_this_epoch_.count(e.object) != 0) continue;
       BuildAlternatives(e.object, &alternatives);
       if (alternatives.empty()) continue;  // Waiting on in-flight results.
-      issued_this_epoch_.insert(e.object);
-      select_and_issue(e);
-      if (e.object != kUnseenObject) issued_concrete = true;
+      const Status status = select_and_issue(e);
+      if (!status.ok() && !options_.tolerate_source_failure) return status;
+      if (status.ok() && e.object != kUnseenObject) issued_concrete = true;
     }
     if (deferred_sentinel != nullptr && !issued_concrete &&
         pending_.size() < options_.concurrency &&
         issued_this_epoch_.count(kUnseenObject) == 0) {
       BuildAlternatives(kUnseenObject, &alternatives);
       if (!alternatives.empty()) {
-        issued_this_epoch_.insert(kUnseenObject);
-        select_and_issue(*deferred_sentinel);
+        const Status status = select_and_issue(*deferred_sentinel);
+        if (!status.ok() && !options_.tolerate_source_failure) return status;
       }
     }
 
@@ -304,19 +389,35 @@ Status ParallelRun::Execute(ParallelResult* out) {
           return a.type != AccessType::kSorted;
         });
         if (alternatives.empty()) continue;
-        select_and_issue(e);
+        const Status status = select_and_issue(e);
+        if (!status.ok()) {
+          if (!options_.tolerate_source_failure) return status;
+          continue;
+        }
         launched = true;
         break;
       }
       if (!launched) break;
     }
 
+    if (consecutive_failures_ >= kMaxConsecutiveFailures) {
+      // Sources keep failing without anything completing in between:
+      // settle for what is visible rather than spin.
+      EmitBestEffort(out);
+      return Status::OK();
+    }
     if (issued_ > runaway_guard) {
       return Status::Internal("parallel executor exceeded the runaway guard");
     }
     if (!pending_.empty()) {
       ApplyNext();
     } else if (!issued_any) {
+      if (failed_this_round) continue;  // Retry against what survives.
+      if (options_.tolerate_source_failure && sources_->any_source_down()) {
+        // A death left the remaining tasks unsatisfiable; degrade.
+        EmitBestEffort(out);
+        return Status::OK();
+      }
       return Status::FailedPrecondition(
           "query cannot be completed under the scenario's capabilities");
     }

@@ -35,6 +35,13 @@ struct ParallelOptions {
   // the sequential plan might never perform - the paper's "unrestrained
   // concurrency abuses resources" trade-off, exposed as a dial.
   size_t max_speculation = 0;
+  // Graceful degradation under source failure, mirroring
+  // EngineOptions::tolerate_source_failure: unrecoverable accesses are
+  // skipped and the run completes on the surviving capabilities, falling
+  // back to a best-effort answer (ParallelResult::exact false) when a
+  // death leaves the query unsatisfiable. Off, the first unrecovered
+  // failure surfaces as a kUnavailable error.
+  bool tolerate_source_failure = true;
 };
 
 struct ParallelResult {
@@ -46,6 +53,12 @@ struct ParallelResult {
   size_t accesses_issued = 0;
   // Accesses still in flight when the top-k settled.
   size_t wasted_accesses = 0;
+  // Issue attempts that failed unrecoverably (retries exhausted or the
+  // source died) and were skipped under tolerate_source_failure.
+  size_t failed_accesses = 0;
+  // False when the answer is best-effort (source failure forced an early
+  // settle); reported scores are then upper bounds.
+  bool exact = true;
 };
 
 // Runs the query with bounded concurrency. `policy` drives access

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/rank_order.h"
 
 namespace nc {
 
@@ -20,8 +21,7 @@ TopKResult BruteForceTopK(const Dataset& data, const ScoringFunction& scoring,
   const size_t take = std::min(k, n);
   std::partial_sort(all.begin(), all.begin() + take, all.end(),
                     [](const TopKEntry& a, const TopKEntry& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.object > b.object;
+                      return RanksAbove(a.score, a.object, b.score, b.object);
                     });
   TopKResult result;
   result.entries.assign(all.begin(), all.begin() + take);

@@ -46,7 +46,17 @@ Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
   SRGPolicy policy(it->second.config);
   EngineOptions engine_options;
   engine_options.k = k;
-  return RunNC(sources, scoring_, &policy, engine_options, out);
+  NCEngine engine(sources, scoring_, &policy, engine_options);
+  const Status status = engine.Run(out);
+  last_query_exact_ = status.ok() && engine.last_run_exact();
+  if (status.ok()) {
+    const AccessStats& stats = sources->stats();
+    retried_attempts_ += stats.TotalRetried();
+    failed_accesses_ += stats.transient_failures + stats.timeout_failures +
+                        stats.abandoned_accesses;
+    source_deaths_ += stats.source_deaths;
+  }
+  return status;
 }
 
 }  // namespace nc

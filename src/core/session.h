@@ -40,6 +40,19 @@ class QuerySession {
   // The plan used by the most recent Query.
   const OptimizerResult& last_plan() const { return last_plan_; }
 
+  // Fault-recovery telemetry accumulated across completed queries (the
+  // caller rewinds the sources between queries, so each query's access
+  // stats are credited once). Retries are attempts repeated after a
+  // transient failure or timeout; failed_accesses counts those failures;
+  // source_deaths counts permanent losses.
+  size_t retried_attempts() const { return retried_attempts_; }
+  size_t failed_accesses() const { return failed_accesses_; }
+  size_t source_deaths() const { return source_deaths_; }
+
+  // False when the most recent Query returned a degraded (best-effort)
+  // answer because sources failed mid-run.
+  bool last_query_exact() const { return last_query_exact_; }
+
  private:
   static std::string PlanKey(const CostModel& model, size_t k);
 
@@ -49,6 +62,10 @@ class QuerySession {
   OptimizerResult last_plan_;
   size_t plans_computed_ = 0;
   size_t cache_hits_ = 0;
+  size_t retried_attempts_ = 0;
+  size_t failed_accesses_ = 0;
+  size_t source_deaths_ = 0;
+  bool last_query_exact_ = true;
 };
 
 }  // namespace nc

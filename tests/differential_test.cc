@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/registry.h"
+#include "core/parallel_executor.h"
 #include "core/random_policy.h"
 #include "core/reference.h"
 #include "core/srg_policy.h"
@@ -135,6 +136,59 @@ TEST_P(DifferentialTest, AllExactAlgorithmsAgree) {
     ASSERT_TRUE(info.run(&sources, *scoring, c.k, &result).ok())
         << info.name;
     ExpectValidAnswer(result, oracle, data, *scoring, info.name);
+  }
+
+  // The parallel executor across concurrencies, with full latency jitter
+  // so sorted results complete out of order. Regression: the visible
+  // ceiling used to absorb out-of-order completions directly, which is
+  // unsound while shallower reads are in flight, and the executor settled
+  // on wrong scores.
+  for (const size_t concurrency : {1ul, 2ul, 5ul}) {
+    SourceSet sources(&data, cost);
+    sources.set_latency_jitter(1.0, /*seed=*/c.seed * 131 + concurrency);
+    SRGPolicy policy(SRGConfig::Default(c.m));
+    ParallelOptions options;
+    options.k = c.k;
+    options.concurrency = concurrency;
+    ParallelResult result;
+    ASSERT_TRUE(
+        RunParallelNC(&sources, *scoring, &policy, options, &result).ok());
+    EXPECT_TRUE(result.exact);
+    ExpectValidAnswer(result.topk, oracle, data, *scoring,
+                      "parallel/c" + std::to_string(concurrency));
+  }
+}
+
+// At unit concurrency without jitter the parallel executor serves one
+// access at a time off the same policy and the same (now shared) rank
+// order: it must reproduce the sequential engine's answer identically,
+// object for object, not merely score for score.
+TEST(ParallelParityTest, UnitConcurrencyMatchesSequentialExactly) {
+  for (const uint64_t seed : {3ul, 21ul, 77ul}) {
+    const Dataset data = DiscreteData(seed, 90, 3);
+    AverageFunction avg(3);
+    const CostModel cost = CostModel::Uniform(3, 1.0, 1.0);
+
+    SourceSet seq_sources(&data, cost);
+    SRGPolicy seq_policy(SRGConfig::Default(3));
+    EngineOptions seq_options;
+    seq_options.k = 6;
+    TopKResult seq_result;
+    ASSERT_TRUE(
+        RunNC(&seq_sources, &avg, &seq_policy, seq_options, &seq_result)
+            .ok());
+
+    SourceSet par_sources(&data, cost);
+    SRGPolicy par_policy(SRGConfig::Default(3));
+    ParallelOptions par_options;
+    par_options.k = 6;
+    par_options.concurrency = 1;
+    ParallelResult par_result;
+    ASSERT_TRUE(
+        RunParallelNC(&par_sources, avg, &par_policy, par_options,
+                      &par_result)
+            .ok());
+    EXPECT_EQ(par_result.topk, seq_result) << "seed " << seed;
   }
 }
 

@@ -1,6 +1,8 @@
 // Progressive retrieval (NCEngine::Extend): widening a finished top-k
 // query to a larger k without repeating work.
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
@@ -144,6 +146,83 @@ TEST(ExtendTest, SameKIsAFreeReread) {
   ASSERT_TRUE(engine.Extend(5, &again).ok());
   EXPECT_EQ(again, result);
   EXPECT_DOUBLE_EQ(sources.accrued_cost(), cost_before);
+}
+
+TEST(ExtendTest, ExtendGetsAFreshAccessBudget) {
+  // Regression: max_accesses used to be charged against the cumulative
+  // access counter, so an Extend after a Run that used most of the budget
+  // tripped ResourceExhausted immediately even though the Extend itself
+  // was cheap. The budget is per phase.
+  const Dataset data = MakeData(9, 300);
+  AverageFunction avg(2);
+
+  // Learn the phase sizes from an unbudgeted engine.
+  SourceSet probe_sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy probe_policy(SRGConfig::Default(2));
+  EngineOptions probe_options;
+  probe_options.k = 5;
+  NCEngine probe(&probe_sources, &avg, &probe_policy, probe_options);
+  TopKResult result;
+  ASSERT_TRUE(probe.Run(&result).ok());
+  const size_t run_accesses = probe.accesses_performed();
+  ASSERT_TRUE(probe.Extend(40, &result).ok());
+  const size_t total_accesses = probe.accesses_performed();
+  ASSERT_GT(run_accesses, 0u);
+  ASSERT_GT(total_accesses, run_accesses);
+
+  // Large enough for each phase, smaller than their sum: the cumulative
+  // check would have failed the Extend.
+  const size_t budget =
+      std::max(run_accesses, total_accesses - run_accesses);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  options.max_accesses = budget;
+  NCEngine engine(&sources, &avg, &policy, options);
+  ASSERT_TRUE(engine.Run(&result).ok());
+  ASSERT_TRUE(engine.Extend(40, &result).ok());
+  EXPECT_EQ(result, BruteForceTopK(data, avg, 40));
+}
+
+TEST(ExtendTest, ExtendAfterTruncatedBestEffortRejected) {
+  // A best-effort answer cut off by the budget is not a finished top-k;
+  // widening it would silently compound the approximation.
+  const Dataset data = MakeData(10, 400);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 10;
+  options.max_accesses = 30;
+  options.best_effort = true;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  ASSERT_FALSE(engine.last_run_exact());
+  ASSERT_TRUE(engine.last_run_truncated());
+  TopKResult widened;
+  EXPECT_EQ(engine.Extend(20, &widened).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExtendTest, ThetaApproximateAnswerRemainsExtendable) {
+  // Theta-approximate answers are complete (every reported score exact),
+  // just not guaranteed optimal - unlike truncation, they may be widened.
+  const Dataset data = MakeData(11, 200);
+  AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 4;
+  options.approximation_theta = 1.3;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  EXPECT_FALSE(engine.last_run_truncated());
+  TopKResult widened;
+  ASSERT_TRUE(engine.Extend(12, &widened).ok());
+  EXPECT_EQ(widened.entries.size(), 12u);
 }
 
 TEST(ExtendTest, WorksInProbeOnlyScenario) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "access/fault.h"
 #include "core/engine.h"
 #include "core/random_policy.h"
 #include "core/reference.h"
@@ -155,6 +156,61 @@ TEST_P(ScenarioFuzzTest, TGExactUnderRandomScenarios) {
     for (size_t r = 0; r < result.entries.size(); ++r) {
       EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score)
           << s.description << " rank " << r;
+    }
+  }
+}
+
+// Random scenarios with random faults on top: flaky predicates and a
+// source that dies after a random number of attempts. Whatever happens,
+// Run must return OK; if the engine reports the run exact, the answer
+// must match the oracle, and a degraded answer must consist of honest
+// upper bounds in non-increasing order.
+TEST_P(ScenarioFuzzTest, NCSurvivesRandomSourceDeaths) {
+  Rng rng(GetParam() * 271829 + 5);
+  for (int round = 0; round < 8; ++round) {
+    const FuzzScenario s = DrawScenario(&rng);
+    const size_t m = s.data.num_predicates();
+    const TopKResult oracle = BruteForceTopK(s.data, *s.scoring, s.k);
+
+    FaultProfile flaky;
+    flaky.transient_rate = 0.05;
+    FaultInjector injector(rng.UniformInt(1 << 30));
+    injector.set_default_profile(flaky);
+    FaultProfile deadly = flaky;
+    deadly.die_after_attempts = 1 + rng.UniformInt(60);
+    injector.set_profile(static_cast<PredicateId>(rng.UniformInt(m)),
+                         deadly);
+
+    SourceSet sources(&s.data, s.cost);
+    sources.set_fault_injector(&injector);
+    SRGPolicy policy(s.config);
+    EngineOptions options;
+    options.k = s.k;
+    NCEngine engine(&sources, s.scoring.get(), &policy, options);
+    TopKResult result;
+    const Status status = engine.Run(&result);
+    ASSERT_TRUE(status.ok()) << status << "\n" << s.description;
+    if (engine.last_run_exact()) {
+      ASSERT_EQ(result.entries.size(), oracle.entries.size())
+          << s.description;
+      for (size_t r = 0; r < result.entries.size(); ++r) {
+        EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score)
+            << s.description << " rank " << r;
+      }
+    } else {
+      EXPECT_TRUE(engine.last_run_degraded()) << s.description;
+      std::vector<Score> row(m);
+      for (size_t r = 0; r < result.entries.size(); ++r) {
+        const TopKEntry& e = result.entries[r];
+        for (PredicateId i = 0; i < m; ++i) {
+          row[i] = s.data.score(e.object, i);
+        }
+        EXPECT_GE(e.score, s.scoring->Evaluate(row))
+            << s.description << " rank " << r;
+        if (r > 0) {
+          EXPECT_LE(e.score, result.entries[r - 1].score) << s.description;
+        }
+      }
     }
   }
 }

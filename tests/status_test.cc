@@ -35,7 +35,15 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, UnavailableFactory) {
+  const Status s = Status::Unavailable("source died");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: source died");
 }
 
 TEST(StatusTest, StreamInsertion) {
