@@ -367,5 +367,6 @@ int main() {
   nc::bench::ApproximationAblation();
   nc::bench::PageSizeAblation();
   nc::bench::JointSearchAblation();
+  nc::bench::WriteBenchJson("ablations");
   return 0;
 }

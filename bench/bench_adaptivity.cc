@@ -63,5 +63,6 @@ int main() {
     std::printf("%8s %12.0f %12s %12s %12.0f %12s %12s\n", "inf",
                 nc_stats.cost, "-", "-", nra_stats.cost, "-", "-");
   }
+  nc::bench::WriteBenchJson("adaptivity");
   return 0;
 }

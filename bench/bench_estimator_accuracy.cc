@@ -101,5 +101,6 @@ int main() {
       }
     }
   }
+  nc::bench::WriteBenchJson("estimator_accuracy");
   return 0;
 }

@@ -77,6 +77,13 @@ int main() {
                 result.elapsed_time, result.elapsed_time / clean_elapsed,
                 sources.stats().TotalRetried(),
                 matches_oracle ? "yes" : "NO");
+    RunStats row;
+    row.cost = result.total_cost;
+    row.sorted = sources.stats().TotalSorted();
+    row.random = sources.stats().TotalRandom();
+    row.correct = matches_oracle;
+    row.report = obs::BuildRunReport(sources, nullptr, "NC-parallel", kK);
+    AddJsonRow("NC-parallel rate=" + std::to_string(rate), row);
   }
 
   PrintHeader("Graceful degradation: p2 dies after N accesses "
@@ -102,6 +109,14 @@ int main() {
                 result.entries.size(), kK,
                 engine.last_run_exact() ? "yes" : "no",
                 sources.accrued_cost(), engine.accesses_performed());
+    RunStats row;
+    row.cost = sources.accrued_cost();
+    row.sorted = sources.stats().TotalSorted();
+    row.random = sources.stats().TotalRandom();
+    row.correct = engine.last_run_exact();
+    row.report = obs::BuildRunReport(sources, nullptr, "NC", kK);
+    AddJsonRow("NC die-after=" + std::to_string(die_after), row);
   }
+  nc::bench::WriteBenchJson("fault_tolerance");
   return 0;
 }

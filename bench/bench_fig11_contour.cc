@@ -84,5 +84,6 @@ int main() {
   const nc::MinFunction fmin(2);
   nc::bench::Contour("w1", avg);
   nc::bench::Contour("w2", fmin);
+  nc::bench::WriteBenchJson("fig11_contour");
   return 0;
 }

@@ -1,10 +1,24 @@
 // Engine-internal microbenchmarks (google-benchmark): the hot paths the
 // experiment harnesses lean on - bound evaluation, lazy-heap maintenance,
 // full NC runs, and plan simulation throughput (the optimizer's unit of
-// overhead).
+// overhead) - plus the observability layer's overhead budget.
+//
+// The custom main additionally runs a paired A/B measurement (no tracer
+// vs. disabled tracer vs. enabled tracer+metrics on the same query) and
+// writes it to BENCH_OBSERVABILITY.json in the working directory; the
+// disabled-tracer configuration is required to stay within a few percent
+// of the untraced engine (see docs/OBSERVABILITY.md).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
 #include "core/bound_heap.h"
 #include "core/candidate.h"
 #include "core/engine.h"
@@ -13,6 +27,9 @@
 #include "core/srg_policy.h"
 #include "data/generator.h"
 #include "data/sampling.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace nc {
 namespace {
@@ -75,6 +92,77 @@ void BM_NCQueryUniformCosts(benchmark::State& state) {
 }
 BENCHMARK(BM_NCQueryUniformCosts)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Same query with a constructed-but-disabled tracer attached to both the
+// engine and the sources: the cost of the ShouldTrace() guards alone.
+void BM_NCQueryTracerDisabled(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchData(n, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  obs::QueryTracer tracer;
+  tracer.Disable();
+  for (auto _ : state) {
+    SourceSet sources(&data, cost);
+    sources.set_tracer(&tracer);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 10;
+    options.tracer = &tracer;
+    TopKResult result;
+    const Status status = RunNC(&sources, &avg, &policy, options, &result);
+    benchmark::DoNotOptimize(status.ok());
+  }
+}
+BENCHMARK(BM_NCQueryTracerDisabled)->Arg(1000)->Arg(10000);
+
+// Full observability: enabled tracer plus a metrics registry. The upper
+// bound on what "turn everything on" costs per query.
+void BM_NCQueryFullyTraced(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset data = BenchData(n, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+  obs::MetricsRegistry metrics;
+  for (auto _ : state) {
+    obs::QueryTracer tracer;
+    SourceSet sources(&data, cost);
+    sources.set_tracer(&tracer);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 10;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    TopKResult result;
+    const Status status = RunNC(&sources, &avg, &policy, options, &result);
+    benchmark::DoNotOptimize(status.ok());
+  }
+}
+BENCHMARK(BM_NCQueryFullyTraced)->Arg(1000)->Arg(10000);
+
+// The tracer's per-event append cost in isolation.
+void BM_TracerRecordIteration(benchmark::State& state) {
+  obs::QueryTracer tracer;
+  uint64_t target = 0;
+  for (auto _ : state) {
+    tracer.RecordIteration(static_cast<ObjectId>(target++ & 0xffff), 4, 0.9,
+                           0.8, 128, 1000.0);
+    if (tracer.events().size() >= (1u << 20)) tracer.Clear();
+  }
+}
+BENCHMARK(BM_TracerRecordIteration);
+
+// One counter bump through the registry's find-or-create fast path.
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  obs::Counter& counter = metrics.counter(
+      "nc_bench_ops_total", {{"algorithm", "NC"}, {"phase", "probe"}});
+  for (auto _ : state) {
+    counter.Increment(1.0);
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
 void BM_PlanSimulation(benchmark::State& state) {
   // One optimizer plan evaluation: NC over a 200-object sample.
   const Dataset data = BenchData(10000, 2);
@@ -117,7 +205,122 @@ void BM_SortedAccessThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SortedAccessThroughput);
 
+// --- Observability overhead report ------------------------------------
+// Paired A/B/C measurement of one NC query (n=10000, m=2, k=10) under
+// the three instrumentation states. The states are interleaved within
+// every repetition (A,B,C,A,B,C,...) so clock drift, thermal throttling,
+// and background load hit all three equally. Each state does identical
+// deterministic work every repetition, so its *minimum* over the
+// repetitions is the least noise-contaminated estimate and is what the
+// overhead ratio uses; medians ride along in the JSON for context.
+
+double TimeOneRunNs(const Dataset& data, const CostModel& cost,
+                    const ScoringFunction& scoring, obs::QueryTracer* tracer,
+                    obs::MetricsRegistry* metrics) {
+  if (tracer != nullptr) tracer->Clear();
+  SourceSet sources(&data, cost);
+  if (tracer != nullptr) sources.set_tracer(tracer);
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 10;
+  options.tracer = tracer;
+  options.metrics = metrics;
+  TopKResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = RunNC(&sources, &scoring, &policy, options, &result);
+  const auto stop = std::chrono::steady_clock::now();
+  NC_CHECK(status.ok());
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+void WriteObservabilityReport() {
+  constexpr int kReps = 61;
+  const Dataset data = BenchData(10000, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+
+  obs::QueryTracer disabled_tracer;
+  disabled_tracer.Disable();
+  obs::QueryTracer enabled_tracer;
+  obs::MetricsRegistry metrics;
+
+  std::vector<double> untraced, disabled, traced;
+  for (int r = -3; r < kReps; ++r) {
+    const double a = TimeOneRunNs(data, cost, avg, nullptr, nullptr);
+    const double b = TimeOneRunNs(data, cost, avg, &disabled_tracer, nullptr);
+    const double c =
+        TimeOneRunNs(data, cost, avg, &enabled_tracer, &metrics);
+    if (r < 0) continue;  // Warm-up rounds.
+    untraced.push_back(a);
+    disabled.push_back(b);
+    traced.push_back(c);
+  }
+  const auto min_of = [](const std::vector<double>& xs) {
+    return *std::min_element(xs.begin(), xs.end());
+  };
+  const double untraced_ns = min_of(untraced);
+  const double disabled_ns = min_of(disabled);
+  const double traced_ns = min_of(traced);
+
+  const auto pct = [&](double ns) {
+    return 100.0 * (ns - untraced_ns) / untraced_ns;
+  };
+
+  std::ostringstream os;
+  obs::JsonWriter w(&os);
+  w.BeginObject();
+  w.Key("bench").String("observability_overhead");
+  w.Key("query").BeginObject();
+  w.Key("objects").UInt(10000);
+  w.Key("predicates").UInt(2);
+  w.Key("k").UInt(10);
+  w.EndObject();
+  w.Key("repetitions").Int(kReps);
+  w.Key("min_ns").BeginObject();
+  w.Key("untraced").Number(untraced_ns);
+  w.Key("tracer_disabled").Number(disabled_ns);
+  w.Key("fully_traced").Number(traced_ns);
+  w.EndObject();
+  w.Key("median_ns").BeginObject();
+  w.Key("untraced").Number(Median(untraced));
+  w.Key("tracer_disabled").Number(Median(disabled));
+  w.Key("fully_traced").Number(Median(traced));
+  w.EndObject();
+  w.Key("overhead_pct_vs_untraced").BeginObject();
+  w.Key("tracer_disabled").Number(pct(disabled_ns));
+  w.Key("fully_traced").Number(pct(traced_ns));
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream file("BENCH_OBSERVABILITY.json");
+  NC_CHECK(file.good());
+  file << os.str() << "\n";
+  std::printf(
+      "\nobservability overhead (min of %d interleaved runs, n=10000 "
+      "query):\n"
+      "  untraced        %12.0f ns\n"
+      "  tracer disabled %12.0f ns  (%+.2f%%)\n"
+      "  fully traced    %12.0f ns  (%+.2f%%)\n"
+      "wrote BENCH_OBSERVABILITY.json\n",
+      kReps, untraced_ns, disabled_ns, pct(disabled_ns), traced_ns,
+      pct(traced_ns));
+}
+
 }  // namespace
 }  // namespace nc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  nc::WriteObservabilityReport();
+  return 0;
+}

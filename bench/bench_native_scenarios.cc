@@ -81,5 +81,6 @@ int main() {
                   stats.cost, nc_stats.cost / stats.cost);
     }
   }
+  nc::bench::WriteBenchJson("native_scenarios");
   return 0;
 }

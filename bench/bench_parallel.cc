@@ -69,8 +69,19 @@ int main() {
                     100.0 * (result.total_cost - sequential_cost) /
                         sequential_cost,
                     result.wasted_accesses);
+        RunStats row;
+        row.cost = result.total_cost;
+        row.sorted = sources.stats().TotalSorted();
+        row.random = sources.stats().TotalRandom();
+        row.correct = result.exact;
+        row.plan = plan.config.ToString();
+        row.report = obs::BuildRunReport(sources, nullptr, "NC-parallel", kK);
+        AddJsonRow("NC-parallel C=" + std::to_string(c) +
+                       " spec=" + std::to_string(spec),
+                   row);
       }
     }
   }
+  nc::bench::WriteBenchJson("parallel");
   return 0;
 }

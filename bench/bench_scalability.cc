@@ -68,5 +68,6 @@ int main() {
   for (const size_t m : {2ul, 3ul, 4ul, 5ul}) {
     Measure(10000, m, 10, ScoringKind::kMin);
   }
+  nc::bench::WriteBenchJson("scalability");
   return 0;
 }

@@ -71,5 +71,6 @@ int main() {
       }
     }
   }
+  nc::bench::WriteBenchJson("scenario_matrix");
   return 0;
 }

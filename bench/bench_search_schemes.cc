@@ -76,5 +76,6 @@ int main() {
                   plan.config.ToString().c_str());
     }
   }
+  nc::bench::WriteBenchJson("search_schemes");
   return 0;
 }

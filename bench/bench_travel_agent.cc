@@ -78,5 +78,6 @@ int main() {
   nc::bench::RunQuery(q1);
   const nc::TravelAgentQuery q2 = nc::MakeHotelQuery(10000, 2);
   nc::bench::RunQuery(q2);
+  nc::bench::WriteBenchJson("travel_agent");
   return 0;
 }

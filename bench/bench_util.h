@@ -1,13 +1,26 @@
 // Shared plumbing for the experiment harnesses: one-line runners for NC
-// (fixed-config, cost-optimized, adaptive) and the baselines, plus simple
+// (fixed-config, cost-optimized, adaptive) and the baselines, simple
 // fixed-width table printing so every binary reports rows the way the
-// paper's figures/tables do.
+// paper's figures/tables do, and a process-wide JSON sink so every
+// binary also emits its rows machine-readably.
+//
+// JSON emission: each Run* helper snapshots its finished run into an
+// obs::RunReport and records a row in the sink under the current
+// scenario label (PrintHeader doubles as the scenario marker). A bench
+// main ends with WriteBenchJson("name"), which writes BENCH_<NAME>.json
+// into the working directory:
+//   {"bench":"name","rows":[{"scenario":...,"algorithm":...,
+//     "correct":...,"plan":...,"report":{<RunReport::ToJson()>}}]}
 
 #ifndef NC_BENCH_BENCH_UTIL_H_
 #define NC_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/registry.h"
@@ -15,6 +28,8 @@
 #include "core/planner.h"
 #include "core/reference.h"
 #include "core/srg_policy.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
 
 namespace nc::bench {
 
@@ -25,7 +40,70 @@ struct RunStats {
   size_t random = 0;
   bool correct = false;  // Exact match against the brute-force oracle.
   std::string plan;      // SR/G config for NC runs; empty for baselines.
+  // The full Eq. 1 breakdown of the run, for the JSON sink.
+  obs::RunReport report;
 };
+
+// --- JSON sink --------------------------------------------------------
+
+struct JsonRow {
+  std::string scenario;
+  std::string algorithm;
+  RunStats stats;
+};
+
+// Rows accumulated by this process, in recording order.
+inline std::vector<JsonRow>& JsonRows() {
+  static std::vector<JsonRow>* rows = new std::vector<JsonRow>();
+  return *rows;
+}
+
+// The scenario label attached to subsequently recorded rows.
+inline std::string& CurrentScenario() {
+  static std::string* scenario = new std::string();
+  return *scenario;
+}
+
+inline void SetScenario(const std::string& scenario) {
+  CurrentScenario() = scenario;
+}
+
+inline void AddJsonRow(const std::string& algorithm, const RunStats& stats) {
+  JsonRows().push_back(JsonRow{CurrentScenario(), algorithm, stats});
+}
+
+// Writes BENCH_<NAME>.json (name upper-cased) with every recorded row.
+inline void WriteBenchJson(const std::string& bench_name) {
+  std::string file_name = "BENCH_";
+  for (const char c : bench_name) {
+    file_name.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  file_name += ".json";
+  std::ostringstream os;
+  obs::JsonWriter w(&os);
+  w.BeginObject();
+  w.Key("bench").String(bench_name);
+  w.Key("rows").BeginArray();
+  for (const JsonRow& row : JsonRows()) {
+    w.BeginObject();
+    if (!row.scenario.empty()) w.Key("scenario").String(row.scenario);
+    w.Key("algorithm").String(row.algorithm);
+    w.Key("correct").Bool(row.stats.correct);
+    if (!row.stats.plan.empty()) w.Key("plan").String(row.stats.plan);
+    w.Key("report").Raw(row.stats.report.ToJson());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::ofstream file(file_name);
+  NC_CHECK(file.good());
+  file << os.str() << "\n";
+  std::printf("\nwrote %s (%zu rows)\n", file_name.c_str(),
+              JsonRows().size());
+}
+
+// --- Runners ----------------------------------------------------------
 
 // Runs NC with a fixed SR/G configuration.
 inline RunStats RunFixedNC(const Dataset& data, const CostModel& cost,
@@ -44,6 +122,8 @@ inline RunStats RunFixedNC(const Dataset& data, const CostModel& cost,
   stats.random = sources.stats().TotalRandom();
   stats.correct = result == BruteForceTopK(data, scoring, k);
   stats.plan = config.ToString();
+  stats.report = obs::BuildRunReport(sources, nullptr, "NC", k);
+  AddJsonRow("NC", stats);
   return stats;
 }
 
@@ -70,6 +150,8 @@ inline RunStats RunOptimized(const Dataset& data, const CostModel& cost,
   stats.random = sources.stats().TotalRandom();
   stats.correct = result == BruteForceTopK(data, scoring, k);
   stats.plan = plan.config.ToString();
+  stats.report = obs::BuildRunReport(sources, nullptr, "NC-opt", k);
+  AddJsonRow("NC-opt", stats);
   return stats;
 }
 
@@ -105,6 +187,8 @@ inline RunStats RunBaseline(const AlgorithmInfo& info, const Dataset& data,
       stats.correct = stats.correct && found;
     }
   }
+  stats.report = obs::BuildRunReport(sources, nullptr, info.name, k);
+  AddJsonRow(info.name, stats);
   if (ran != nullptr) *ran = true;
   return stats;
 }
@@ -121,6 +205,8 @@ inline void PrintHeader(const std::string& title) {
   PrintRule(72);
   std::printf("%s\n", title.c_str());
   PrintRule(72);
+  // The printed section doubles as the JSON rows' scenario label.
+  SetScenario(title);
 }
 
 }  // namespace nc::bench

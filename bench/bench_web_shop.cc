@@ -95,5 +95,6 @@ int main() {
     std::printf("    C=%-2zu elapsed=%9.1f total-cost=%9.1f\n", c,
                 result.elapsed_time, result.total_cost);
   }
+  nc::bench::WriteBenchJson("web_shop");
   return 0;
 }

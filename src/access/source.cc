@@ -1,6 +1,7 @@
 #include "access/source.h"
 
 #include "common/check.h"
+#include "obs/tracer.h"
 
 namespace nc {
 
@@ -65,25 +66,41 @@ SourceSet::SourceSet(ScoreProvider* provider,
   const size_t m = provider_->num_predicates();
   stats_.sorted_count.assign(m, 0);
   stats_.random_count.assign(m, 0);
+  stats_.sorted_cost_accrued.assign(m, 0.0);
+  stats_.random_cost_accrued.assign(m, 0.0);
   stats_.retried_attempts.assign(m, 0);
   positions_.assign(m, 0);
   last_seen_.assign(m, kMaxScore);
   source_down_.assign(m, false);
 }
 
-Status SourceSet::AttemptAccess(PredicateId i, double unit_cost) {
+Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
   if (injector_ == nullptr) return Status::OK();
+  const PredicateId i = access.predicate;
+  std::vector<double>& cost_accrued = access.type == AccessType::kSorted
+                                          ? stats_.sorted_cost_accrued
+                                          : stats_.random_cost_accrued;
   for (size_t attempt = 1;; ++attempt) {
     const FaultKind fault = injector_->NextOutcome(i);
     if (fault == FaultKind::kNone) return Status::OK();
     if (fault == FaultKind::kSourceDown) {
+      if (trace_enabled_) {
+        attempt_trace_.push_back(AccessAttempt{access, fault, false});
+      }
+      if (obs::ShouldTrace(tracer_)) {
+        tracer_->RecordAttempt(access.type, i, access.object,
+                               obs::AccessOutcome::kSourceDown, 0.0,
+                               accrued_cost_);
+      }
       MarkSourceDown(i);
       return Status::Unavailable("source for p" + std::to_string(i) +
                                  " died permanently");
     }
     // The failed request was sent and billed; a timeout also held the
     // line for the full deadline.
-    accrued_cost_ += retry_policy_.retry_cost_factor * unit_cost;
+    const double charged = retry_policy_.retry_cost_factor * unit_cost;
+    accrued_cost_ += charged;
+    cost_accrued[i] += charged;
     if (fault == FaultKind::kTransient) {
       ++stats_.transient_failures;
     } else {
@@ -91,11 +108,26 @@ Status SourceSet::AttemptAccess(PredicateId i, double unit_cost) {
       last_access_penalty_ +=
           retry_policy_.timeout_latency_factor * unit_cost;
     }
-    if (attempt >= retry_policy_.max_attempts) {
+    const bool giving_up = attempt >= retry_policy_.max_attempts;
+    if (trace_enabled_) {
+      attempt_trace_.push_back(AccessAttempt{access, fault, giving_up});
+    }
+    if (obs::ShouldTrace(tracer_)) {
+      tracer_->RecordAttempt(access.type, i, access.object,
+                             giving_up ? obs::AccessOutcome::kAbandoned
+                             : fault == FaultKind::kTransient
+                                 ? obs::AccessOutcome::kTransient
+                                 : obs::AccessOutcome::kTimeout,
+                             charged, accrued_cost_);
+    }
+    if (giving_up) {
       ++stats_.abandoned_accesses;
-      return Status::Unavailable("p" + std::to_string(i) + ": " +
-                                 std::to_string(attempt) +
-                                 " attempts exhausted");
+      std::string message = "p";
+      message += std::to_string(i);
+      message += ": ";
+      message += std::to_string(attempt);
+      message += " attempts exhausted";
+      return Status::Unavailable(std::move(message));
     }
     ++stats_.retried_attempts[i];
     last_access_penalty_ += retry_policy_.BackoffDelay(attempt, &retry_rng_);
@@ -143,14 +175,24 @@ Status SourceSet::TrySortedAccess(PredicateId i,
                                ": source down");
   }
   if (exhausted(i)) return Status::OK();
-  NC_RETURN_IF_ERROR(AttemptAccess(i, cost_.sorted_cost[i]));
+  NC_RETURN_IF_ERROR(AttemptAccess(Access::Sorted(i), cost_.sorted_cost[i]));
   ++stats_.sorted_count[i];
   // With a page model, the charge lands on the first entry of each page
   // (one request fetches the whole page).
+  double charged = 0.0;
   if (positions_[i] % cost_.page_size(i) == 0) {
-    accrued_cost_ += cost_.sorted_cost[i];
+    charged = cost_.sorted_cost[i];
+    accrued_cost_ += charged;
+    stats_.sorted_cost_accrued[i] += charged;
   }
-  if (trace_enabled_) trace_.push_back(Access::Sorted(i));
+  if (trace_enabled_) {
+    trace_.push_back(Access::Sorted(i));
+    attempt_trace_.push_back(
+        AccessAttempt{Access::Sorted(i), FaultKind::kNone, false});
+  }
+  if (obs::ShouldTrace(tracer_)) {
+    tracer_->RecordAccess(AccessType::kSorted, i, 0, charged, accrued_cost_);
+  }
   const SortedEntry entry = provider_->SortedEntryAt(i, positions_[i]);
   ++positions_[i];
   SortedHit hit;
@@ -189,10 +231,20 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
     return Status::Unavailable("ra on p" + std::to_string(i) +
                                ": source down");
   }
-  NC_RETURN_IF_ERROR(AttemptAccess(i, cost_.random_cost[i]));
+  NC_RETURN_IF_ERROR(
+      AttemptAccess(Access::Random(i, u), cost_.random_cost[i]));
   ++stats_.random_count[i];
   accrued_cost_ += cost_.random_cost[i];
-  if (trace_enabled_) trace_.push_back(Access::Random(i, u));
+  stats_.random_cost_accrued[i] += cost_.random_cost[i];
+  if (trace_enabled_) {
+    trace_.push_back(Access::Random(i, u));
+    attempt_trace_.push_back(
+        AccessAttempt{Access::Random(i, u), FaultKind::kNone, false});
+  }
+  if (obs::ShouldTrace(tracer_)) {
+    tracer_->RecordAccess(AccessType::kRandom, i, u, cost_.random_cost[i],
+                          accrued_cost_);
+  }
   uint64_t& mask = probed_[u];
   const uint64_t bit = uint64_t{1} << i;
   if ((mask & bit) != 0) ++stats_.duplicate_random_count;
@@ -242,6 +294,8 @@ void SourceSet::Reset() {
   const size_t m = num_predicates();
   stats_.sorted_count.assign(m, 0);
   stats_.random_count.assign(m, 0);
+  stats_.sorted_cost_accrued.assign(m, 0.0);
+  stats_.random_cost_accrued.assign(m, 0.0);
   stats_.duplicate_random_count = 0;
   stats_.retried_attempts.assign(m, 0);
   stats_.transient_failures = 0;
@@ -253,6 +307,7 @@ void SourceSet::Reset() {
   last_seen_.assign(m, kMaxScore);
   probed_.clear();
   trace_.clear();
+  attempt_trace_.clear();
   // Reruns must replay the same draws: reseed the latency and backoff
   // streams from their remembered seeds.
   latency_rng_ = Rng(latency_seed_);

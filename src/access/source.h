@@ -47,10 +47,15 @@
 #include "access/cost_model.h"
 #include "access/fault.h"
 #include "access/score_provider.h"
+#include "access/trace_format.h"
 #include "common/rng.h"
 #include "common/score.h"
 #include "common/status.h"
 #include "data/dataset.h"
+
+namespace nc::obs {
+class QueryTracer;
+}  // namespace nc::obs
 
 namespace nc {
 
@@ -68,6 +73,13 @@ struct SortedHit {
 struct AccessStats {
   std::vector<size_t> sorted_count;
   std::vector<size_t> random_count;
+  // Cost accrued per predicate and access type, priced access-by-access
+  // exactly like SourceSet::accrued_cost() (page charges land on the
+  // sorted side; each failed attempt's retry charge lands on the type
+  // being attempted). Invariant: the sums over both vectors equal
+  // accrued_cost() - the Eq. 1 split the observability layer reports.
+  std::vector<double> sorted_cost_accrued;
+  std::vector<double> random_cost_accrued;
   // Random accesses that repeated an earlier (predicate, object) probe.
   size_t duplicate_random_count = 0;
 
@@ -214,6 +226,22 @@ class SourceSet {
   void EnableTrace() { trace_enabled_ = true; }
   const std::vector<Access>& trace() const { return trace_; }
 
+  // The replay trace: every attempt in order, failed ones included, so a
+  // traced faulty run round-trips losslessly through
+  // SerializeAttemptTrace / ParseAttemptTrace. Populated alongside
+  // trace() while tracing is enabled.
+  const std::vector<AccessAttempt>& attempt_trace() const {
+    return attempt_trace_;
+  }
+
+  // --- Query-level observability ---------------------------------------
+  // Attaches a tracer (nullptr detaches; must outlive the SourceSet).
+  // Every performed access and every failed attempt is recorded with its
+  // charge and the accrued-cost clock. A detached or disabled tracer
+  // costs one branch per access.
+  void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
+  obs::QueryTracer* tracer() const { return tracer_; }
+
   // --- Latency model (used by the parallel executor) ------------------
   // Each access's simulated latency is unit_cost * (1 + jitter * U) with
   // U uniform in [0, 1). jitter = 0 (the default) makes latency equal the
@@ -229,11 +257,12 @@ class SourceSet {
             std::unique_ptr<DatasetScoreProvider> owned,
             const Dataset* data, CostModel cost);
 
-  // Runs the attempt/retry loop for one access on predicate i whose
-  // request costs `unit_cost`. OK when an attempt succeeded; kUnavailable
-  // after a death or once attempts are exhausted. Accumulates per-attempt
-  // charges and last_access_penalty_.
-  Status AttemptAccess(PredicateId i, double unit_cost);
+  // Runs the attempt/retry loop for `access` whose request costs
+  // `unit_cost`. OK when an attempt succeeded; kUnavailable after a death
+  // or once attempts are exhausted. Accumulates per-attempt charges and
+  // last_access_penalty_, and records failed attempts in the attempt
+  // trace and the tracer.
+  Status AttemptAccess(const Access& access, double unit_cost);
 
   // Downgrades the capabilities of predicate i's attribute group and
   // counts the death. `via_injector` marks deaths drawn by the injector
@@ -268,6 +297,8 @@ class SourceSet {
   double last_access_penalty_ = 0.0;
   bool trace_enabled_ = false;
   std::vector<Access> trace_;
+  std::vector<AccessAttempt> attempt_trace_;
+  obs::QueryTracer* tracer_ = nullptr;
 };
 
 }  // namespace nc

@@ -61,6 +61,132 @@ std::string FormatTrace(const std::vector<Access>& trace,
   return os.str();
 }
 
+std::string SerializeAttemptTrace(const std::vector<AccessAttempt>& trace) {
+  std::ostringstream os;
+  bool first = true;
+  for (const AccessAttempt& attempt : trace) {
+    if (!first) os << ", ";
+    first = false;
+    os << attempt.access.ToString();
+    switch (attempt.fault) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kTransient:
+        os << "~T";
+        break;
+      case FaultKind::kTimeout:
+        os << "~O";
+        break;
+      case FaultKind::kSourceDown:
+        os << "~D";
+        break;
+    }
+    if (attempt.abandoned) os << "!";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Parses one serialized attempt token; false on malformed input.
+bool ParseAttemptToken(const std::string& token, AccessAttempt* out) {
+  size_t pos = 0;
+  const auto parse_number = [&](uint32_t* value) {
+    if (pos >= token.size() || token[pos] < '0' || token[pos] > '9') {
+      return false;
+    }
+    uint64_t parsed = 0;
+    while (pos < token.size() && token[pos] >= '0' && token[pos] <= '9') {
+      parsed = parsed * 10 + static_cast<uint64_t>(token[pos] - '0');
+      if (parsed > 0xffffffffull) return false;
+      ++pos;
+    }
+    *value = static_cast<uint32_t>(parsed);
+    return true;
+  };
+
+  *out = AccessAttempt{};
+  if (token.rfind("sa_", 0) == 0) {
+    pos = 3;
+    PredicateId predicate = 0;
+    if (!parse_number(&predicate)) return false;
+    out->access = Access::Sorted(predicate);
+  } else if (token.rfind("ra_", 0) == 0) {
+    pos = 3;
+    PredicateId predicate = 0;
+    if (!parse_number(&predicate)) return false;
+    if (pos + 1 >= token.size() || token[pos] != '(' || token[pos + 1] != 'u') {
+      return false;
+    }
+    pos += 2;
+    ObjectId object = 0;
+    if (!parse_number(&object)) return false;
+    if (pos >= token.size() || token[pos] != ')') return false;
+    ++pos;
+    out->access = Access::Random(predicate, object);
+  } else {
+    return false;
+  }
+
+  if (pos < token.size() && token[pos] == '~') {
+    if (pos + 1 >= token.size()) return false;
+    switch (token[pos + 1]) {
+      case 'T':
+        out->fault = FaultKind::kTransient;
+        break;
+      case 'O':
+        out->fault = FaultKind::kTimeout;
+        break;
+      case 'D':
+        out->fault = FaultKind::kSourceDown;
+        break;
+      default:
+        return false;
+    }
+    pos += 2;
+  }
+  if (pos < token.size() && token[pos] == '!') {
+    // Abandonment marks a *failed* final attempt.
+    if (out->fault == FaultKind::kNone) return false;
+    out->abandoned = true;
+    ++pos;
+  }
+  return pos == token.size();
+}
+
+}  // namespace
+
+Status ParseAttemptTrace(const std::string& text,
+                         std::vector<AccessAttempt>* out) {
+  out->clear();
+  if (text.empty()) return Status::OK();
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(", ", start);
+    if (end == std::string::npos) end = text.size();
+    AccessAttempt attempt;
+    if (!ParseAttemptToken(text.substr(start, end - start), &attempt)) {
+      out->clear();
+      return Status::InvalidArgument("malformed attempt token at offset " +
+                                     std::to_string(start));
+    }
+    out->push_back(attempt);
+    if (end == text.size()) break;
+    start = end + 2;
+  }
+  return Status::OK();
+}
+
+std::vector<Access> SuccessfulAccesses(
+    const std::vector<AccessAttempt>& trace) {
+  std::vector<Access> out;
+  out.reserve(trace.size());
+  for (const AccessAttempt& attempt : trace) {
+    if (attempt.fault == FaultKind::kNone) out.push_back(attempt.access);
+  }
+  return out;
+}
+
 std::string SummarizeTrace(const std::vector<Access>& trace,
                            size_t num_predicates) {
   std::vector<size_t> sorted(num_predicates, 0);

@@ -1,13 +1,29 @@
-// Compact rendering of access traces for logs and diagnostics.
+// Access-trace rendering and the lossless replay format.
 //
-// A raw trace of ten thousand accesses is unreadable; FormatTrace
-// run-length-encodes it into the pattern a person actually wants to see:
+// Two trace shapes exist:
 //
-//     3xsa_0, sa_1, ra_1(u42), 2xsa_0, ...
+//   * The classic *access trace* (std::vector<Access>): the successful
+//     accesses in execution order. FormatTrace run-length-encodes it
+//     into the pattern a person actually wants to see:
 //
-// Consecutive sorted accesses on the same predicate collapse; random
-// accesses keep their targets (or collapse by predicate with
-// `targets=false`).
+//         3xsa_0, sa_1, ra_1(u42), 2xsa_0, ...
+//
+//     Consecutive sorted accesses on the same predicate collapse; random
+//     accesses keep their targets (or collapse by predicate with
+//     `targets=false`).
+//
+//   * The *attempt trace* (std::vector<AccessAttempt>): every attempt,
+//     including the failed ones the fault layer injected, so a traced
+//     faulty run round-trips losslessly through text. Serialized tokens
+//     extend the access syntax with outcome suffixes:
+//
+//         sa_0, sa_0~T, sa_0~O!, ra_1(u42)~D
+//
+//     where ~T / ~O / ~D mark a transient error, a timeout, and a
+//     permanent source death, and a trailing ! marks the attempt on
+//     which the access was abandoned (retries exhausted). A token with
+//     no suffix is a successful attempt. SerializeAttemptTrace and
+//     ParseAttemptTrace invert each other exactly.
 
 #ifndef NC_ACCESS_TRACE_FORMAT_H_
 #define NC_ACCESS_TRACE_FORMAT_H_
@@ -16,8 +32,25 @@
 #include <vector>
 
 #include "access/access.h"
+#include "access/fault.h"
+#include "common/status.h"
 
 namespace nc {
+
+// One access attempt as SourceSet performed it. `fault` is kNone for a
+// successful attempt; `abandoned` marks the final failed attempt of an
+// access whose retries were exhausted (implies fault != kNone). A death
+// (kSourceDown) always ends its access, so it never needs the flag.
+struct AccessAttempt {
+  Access access;
+  FaultKind fault = FaultKind::kNone;
+  bool abandoned = false;
+
+  friend bool operator==(const AccessAttempt& a, const AccessAttempt& b) {
+    return a.access == b.access && a.fault == b.fault &&
+           a.abandoned == b.abandoned;
+  }
+};
 
 struct TraceFormatOptions {
   // Include ra targets ("ra_1(u42)") or collapse runs by predicate
@@ -34,6 +67,22 @@ std::string FormatTrace(const std::vector<Access>& trace,
 // Per-predicate access-count summary: "sa=(12,3) ra=(0,7)".
 std::string SummarizeTrace(const std::vector<Access>& trace,
                            size_t num_predicates);
+
+// --- Replay format -----------------------------------------------------
+
+// Comma-separated token form, one token per attempt, in order. Empty
+// string for an empty trace.
+std::string SerializeAttemptTrace(const std::vector<AccessAttempt>& trace);
+
+// Parses SerializeAttemptTrace output back; *out is cleared first.
+// InvalidArgument on malformed input (out is left cleared).
+Status ParseAttemptTrace(const std::string& text,
+                         std::vector<AccessAttempt>* out);
+
+// Drops failed attempts, keeping the successful accesses: the classic
+// access trace a replayed attempt trace reduces to.
+std::vector<Access> SuccessfulAccesses(
+    const std::vector<AccessAttempt>& trace);
 
 }  // namespace nc
 

@@ -9,6 +9,8 @@
 #include "baselines/ta.h"
 #include "baselines/taz.h"
 #include "baselines/upper.h"
+#include "obs/run_report.h"
+#include "obs/tracer.h"
 
 namespace nc {
 
@@ -116,6 +118,24 @@ const AlgorithmInfo* FindBaseline(const std::string& name) {
     if (info.name == name) return &info;
   }
   return nullptr;
+}
+
+Status RunBaselineInstrumented(const AlgorithmInfo& info, SourceSet* sources,
+                               const ScoringFunction& scoring, size_t k,
+                               const ObsHooks& hooks, TopKResult* out) {
+  obs::QueryTracer* const previous = sources->tracer();
+  sources->set_tracer(hooks.tracer);
+  const bool tracing = obs::ShouldTrace(hooks.tracer);
+  // Registry entries live in a function-local static, so info.name's
+  // storage satisfies BeginPhase's lifetime requirement.
+  if (tracing) hooks.tracer->BeginPhase(info.name.c_str());
+  const Status status = info.run(sources, scoring, k, out);
+  if (tracing) hooks.tracer->EndPhase(info.name.c_str());
+  sources->set_tracer(previous);
+  if (hooks.metrics != nullptr) {
+    obs::RecordSourceMetrics(hooks.metrics, info.name, *sources);
+  }
+  return status;
 }
 
 }  // namespace nc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -28,7 +29,9 @@ double StdDev(const std::vector<double>& values) {
 
 double Percentile(std::vector<double> values, double q) {
   NC_CHECK(q >= 0.0 && q <= 1.0);
-  if (values.empty()) return 0.0;
+  // No sample, no quantile: NaN forces callers to face the distinction
+  // between "empty" and "all zeros" instead of silently reporting 0.
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(pos);

@@ -17,7 +17,8 @@ double Mean(const std::vector<double>& values);
 double Variance(const std::vector<double>& values);
 double StdDev(const std::vector<double>& values);
 
-// Linear-interpolated percentile, q in [0, 1]. Sorts a copy.
+// Linear-interpolated percentile, q in [0, 1]. Sorts a copy. Returns
+// quiet NaN for empty input (there is no quantile of nothing).
 double Percentile(std::vector<double> values, double q);
 
 // Pearson correlation coefficient; 0.0 if either side is constant.

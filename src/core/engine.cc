@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace nc {
 
@@ -176,7 +178,7 @@ Status NCEngine::Run(TopKResult* out) {
   }
 
   has_run_ = true;
-  return Loop(out);
+  return InstrumentedLoop("probe", out);
 }
 
 Status NCEngine::Extend(size_t new_k, TopKResult* out) {
@@ -207,7 +209,36 @@ Status NCEngine::Extend(size_t new_k, TopKResult* out) {
       if (c.IsComplete(m)) complete_topk_->Offer(c.id, bounds_.Exact(c));
     }
   }
-  return Loop(out);
+  return InstrumentedLoop("extend", out);
+}
+
+Status NCEngine::InstrumentedLoop(const char* phase, TopKResult* out) {
+  const bool tracing = obs::ShouldTrace(options_.tracer);
+  if (tracing) options_.tracer->BeginPhase(phase);
+  const size_t accesses_before = accesses_;
+  const Status status = Loop(out);
+  if (tracing) options_.tracer->EndPhase(phase);
+  if (options_.metrics != nullptr) {
+    const obs::LabelSet algo{{"algorithm", "NC"}};
+    options_.metrics
+        ->counter("nc_engine_runs_total",
+                  {{"algorithm", "NC"}, {"phase", phase}})
+        .Increment();
+    options_.metrics->counter("nc_engine_accesses_total", algo)
+        .Increment(static_cast<double>(accesses_ - accesses_before));
+    if (!status.ok()) {
+      options_.metrics->counter("nc_engine_errors_total", algo).Increment();
+    }
+    if (last_run_degraded_) {
+      options_.metrics->counter("nc_engine_degraded_runs_total", algo)
+          .Increment();
+    }
+    if (last_run_truncated_) {
+      options_.metrics->counter("nc_engine_truncated_runs_total", algo)
+          .Increment();
+    }
+  }
+  return status;
 }
 
 Status NCEngine::Loop(TopKResult* out) {
@@ -223,9 +254,20 @@ Status NCEngine::Loop(TopKResult* out) {
   constexpr size_t kMaxConsecutiveFailures = 32;
   last_run_truncated_ = false;
   last_run_degraded_ = false;
+  const bool tracing = obs::ShouldTrace(options_.tracer);
+  // Instrument handles are looked up once; recording is then lock-free
+  // (counter) or a single mutex (histogram) per event.
+  obs::Histogram* width_hist =
+      options_.metrics == nullptr
+          ? nullptr
+          : &options_.metrics->histogram("nc_engine_choice_width",
+                                         {1, 2, 4, 8, 16, 32},
+                                         {{"algorithm", "NC"}});
 
   while (true) {
     heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+    const double kth_bound =
+        topk_scratch_.empty() ? 0.0 : topk_scratch_.back().bound;
     // Theorem 1: the first incomplete member of K_P (rank order)
     // designates an unsatisfied task; if none exists, K_P is the answer.
     ObjectId target = kUnseenObject;
@@ -323,6 +365,18 @@ Status NCEngine::Loop(TopKResult* out) {
     }
     consecutive_failures_ = 0;
     choice_width_total_ += static_cast<double>(alternatives_.size());
+    if (width_hist != nullptr) {
+      width_hist->Observe(static_cast<double>(alternatives_.size()));
+    }
+    if (tracing) {
+      for (PredicateId i = 0; i < m; ++i) {
+        ceilings_[i] = sources_->last_seen(i);
+      }
+      options_.tracer->RecordIteration(
+          target, static_cast<uint32_t>(alternatives_.size()),
+          scoring_->Evaluate(ceilings_), kth_bound, heap_.size(),
+          sources_->accrued_cost());
+    }
 
     ++accesses_;
     ++phase_accesses_;

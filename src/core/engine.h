@@ -35,6 +35,12 @@
 #include "core/topk_collector.h"
 #include "scoring/scoring_function.h"
 
+namespace nc::obs {
+class Histogram;
+class MetricsRegistry;
+class QueryTracer;
+}  // namespace nc::obs
+
 namespace nc {
 
 // Read-only context handed to SelectPolicy::Select.
@@ -110,6 +116,20 @@ struct EngineOptions {
   // Invoked after every performed access with the running access count;
   // used by the adaptive executor to re-optimize mid-flight.
   std::function<void(size_t)> access_callback;
+
+  // --- Observability (see docs/OBSERVABILITY.md) -----------------------
+  // Optional tracer (must outlive the engine). The engine brackets each
+  // Run/Extend in a phase span and records one kIteration event per
+  // performed access: the chosen target, the necessary-choice width, the
+  // ceiling threshold theta, the k-th bound, and the heap size. Access
+  // events themselves come from the SourceSet's tracer - attach the same
+  // tracer to both for a complete timeline. nullptr (the default) and a
+  // disabled tracer cost one branch per iteration.
+  obs::QueryTracer* tracer = nullptr;
+
+  // Optional metrics registry (must outlive the engine): run/access
+  // totals and the choice-width histogram, labeled {algorithm="NC"}.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class NCEngine {
@@ -170,6 +190,9 @@ class NCEngine {
   // Theorem 1's iteration, shared by Run and Extend: work unsatisfied
   // tasks until the current top-k are all complete.
   Status Loop(TopKResult* out);
+
+  // Wraps Loop in a tracer phase span and records run-level metrics.
+  Status InstrumentedLoop(const char* phase, TopKResult* out);
 
   // Returns the current bound of `u` (nullopt retires the unseen sentinel
   // once everything is seen).

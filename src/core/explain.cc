@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/run_report.h"
 
 namespace nc {
 
@@ -90,26 +91,9 @@ std::string ExplainPlan(const OptimizerResult& plan,
 }
 
 std::string ExplainAccessStats(const SourceSet& sources) {
-  const AccessStats& stats = sources.stats();
-  std::ostringstream os;
-  os << "accesses: " << stats.TotalSorted() << " sorted, "
-     << stats.TotalRandom() << " random, cost "
-     << FormatCost(sources.accrued_cost()) << "\n";
-  const size_t failures = stats.transient_failures + stats.timeout_failures;
-  if (failures != 0 || stats.TotalRetried() != 0 ||
-      stats.abandoned_accesses != 0 || stats.source_deaths != 0) {
-    os << "faults: " << stats.transient_failures << " transient, "
-       << stats.timeout_failures << " timeouts; " << stats.TotalRetried()
-       << " retried, " << stats.abandoned_accesses << " abandoned\n";
-  }
-  if (stats.source_deaths != 0) {
-    os << "deaths:";
-    for (PredicateId i = 0; i < sources.num_predicates(); ++i) {
-      if (sources.source_down(i)) os << " " << PredicateLabel(sources, i);
-    }
-    os << " (down for the rest of the run)\n";
-  }
-  return os.str();
+  // The run report owns this rendering now; Explain keeps the entry point
+  // so callers stay agnostic of the obs layer.
+  return obs::BuildRunReport(sources).ToText();
 }
 
 }  // namespace nc

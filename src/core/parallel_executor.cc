@@ -9,6 +9,8 @@
 #include "common/check.h"
 #include "core/candidate.h"
 #include "core/rank_order.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace nc {
 
@@ -291,10 +293,26 @@ Status ParallelRun::Execute(ParallelResult* out) {
   const size_t runaway_guard = 2 * n * m + options_.k + 64;
   // Matches the sequential engine's guard against persistent flaking.
   constexpr size_t kMaxConsecutiveFailures = 32;
+  const bool tracing = obs::ShouldTrace(options_.tracer);
   std::vector<RankedEntry> ranked;
   std::vector<Access> alternatives;
   while (true) {
     VisibleTopK(&ranked);
+    if (tracing) {
+      // One iteration event per scheduling epoch: the leading unsatisfied
+      // task and the visible ceiling (the concurrent analogue of theta).
+      ObjectId epoch_target = kUnseenObject;
+      for (const RankedEntry& e : ranked) {
+        if (!e.complete) {
+          epoch_target = e.object;
+          break;
+        }
+      }
+      options_.tracer->RecordIteration(
+          epoch_target, 0, scoring_.Evaluate(visible_ceiling_),
+          ranked.empty() ? 0.0 : ranked.back().bound, pool_.size(),
+          sources_->accrued_cost());
+    }
     const bool all_complete =
         std::all_of(ranked.begin(), ranked.end(),
                     [](const RankedEntry& e) { return e.complete; });
@@ -432,7 +450,29 @@ Status RunParallelNC(SourceSet* sources, const ScoringFunction& scoring,
   NC_CHECK(sources != nullptr);
   NC_CHECK(policy != nullptr);
   ParallelRun run(sources, scoring, policy, options);
-  return run.Execute(out);
+  const bool tracing = obs::ShouldTrace(options.tracer);
+  if (tracing) options.tracer->BeginPhase("parallel");
+  const Status status = run.Execute(out);
+  if (tracing) options.tracer->EndPhase("parallel");
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    const obs::LabelSet algo{{"algorithm", "NC-parallel"}};
+    reg.counter("nc_parallel_runs_total", algo).Increment();
+    if (!status.ok()) {
+      reg.counter("nc_parallel_errors_total", algo).Increment();
+    } else {
+      reg.counter("nc_parallel_accesses_issued_total", algo)
+          .Increment(static_cast<double>(out->accesses_issued));
+      reg.counter("nc_parallel_wasted_accesses_total", algo)
+          .Increment(static_cast<double>(out->wasted_accesses));
+      reg.counter("nc_parallel_failed_accesses_total", algo)
+          .Increment(static_cast<double>(out->failed_accesses));
+      reg.histogram("nc_parallel_elapsed_time",
+                    {1.0, 10.0, 100.0, 1000.0, 10000.0}, algo)
+          .Observe(out->elapsed_time);
+    }
+  }
+  return status;
 }
 
 }  // namespace nc

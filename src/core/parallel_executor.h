@@ -42,6 +42,18 @@ struct ParallelOptions {
   // death leaves the query unsatisfiable. Off, the first unrecovered
   // failure surfaces as a kUnavailable error.
   bool tolerate_source_failure = true;
+
+  // --- Observability (see docs/OBSERVABILITY.md) -----------------------
+  // Optional tracer (must outlive the run): the whole execution is
+  // bracketed in a "parallel" phase span and each scheduling epoch emits
+  // one kIteration event against the *visible* ceiling, so convergence
+  // under concurrency plots on the same axes as the sequential engine.
+  // Attach the same tracer to the SourceSet for per-access events.
+  obs::QueryTracer* tracer = nullptr;
+  // Optional metrics registry (must outlive the run): issue/waste/failure
+  // totals and the elapsed-makespan histogram, labeled
+  // {algorithm="NC-parallel"}.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ParallelResult {

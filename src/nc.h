@@ -39,6 +39,9 @@
 #include "data/transforms.h"
 #include "data/travel_agent.h"
 #include "data/web_shop.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/tracer.h"
 #include "scoring/scoring_function.h"
 
 #endif  // NC_NC_H_

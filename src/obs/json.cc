@@ -1,0 +1,151 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace nc::obs {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  // %.17g round-trips every double but litters output with digits; try
+  // shorter forms first and keep the first that parses back exactly.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void JsonWriter::PrepareValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!scope_has_value_.empty()) {
+    if (scope_has_value_.back()) (*out_) << ',';
+    scope_has_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  PrepareValue();
+  scope_has_value_.push_back(false);
+  (*out_) << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  NC_CHECK(!scope_has_value_.empty());
+  scope_has_value_.pop_back();
+  (*out_) << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  PrepareValue();
+  scope_has_value_.push_back(false);
+  (*out_) << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  NC_CHECK(!scope_has_value_.empty());
+  scope_has_value_.pop_back();
+  (*out_) << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  NC_CHECK(!pending_key_);
+  if (!scope_has_value_.empty()) {
+    if (scope_has_value_.back()) (*out_) << ',';
+    scope_has_value_.back() = true;
+  }
+  (*out_) << JsonQuote(name) << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  PrepareValue();
+  (*out_) << JsonQuote(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  PrepareValue();
+  (*out_) << JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  PrepareValue();
+  (*out_) << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  PrepareValue();
+  (*out_) << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  PrepareValue();
+  (*out_) << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  PrepareValue();
+  (*out_) << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  PrepareValue();
+  (*out_) << json;
+  return *this;
+}
+
+}  // namespace nc::obs

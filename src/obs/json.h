@@ -1,0 +1,66 @@
+// Minimal JSON emission for the observability exporters.
+//
+// The tracer, the metrics registry, the RunReport serializer, and the
+// benchmark harness all need to write small, well-formed JSON documents
+// without pulling in an external dependency. JsonWriter covers exactly
+// that: objects, arrays, string escaping, and finite-number formatting
+// (NaN/Inf serialize as null, which every JSON parser accepts). It is an
+// emitter only - parsing never happens on this side of the tooling.
+
+#ifndef NC_OBS_JSON_H_
+#define NC_OBS_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nc::obs {
+
+// Escapes `s` per RFC 8259 and returns it wrapped in double quotes.
+std::string JsonQuote(std::string_view s);
+
+// Shortest round-trip decimal for a double; "null" for NaN/Inf.
+std::string JsonNumber(double value);
+
+// Streaming writer with automatic comma placement. Keys and scopes must
+// be used coherently (object values need a preceding Key); the writer
+// checks nesting depth but not full grammar - exporters are simple
+// enough that golden tests pin their output.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices pre-serialized JSON in as one value (e.g. a nested
+  // RunReport::ToJson()); the caller vouches for its well-formedness.
+  JsonWriter& Raw(std::string_view json);
+
+ private:
+  // Writes the separating comma when a value follows a sibling value.
+  void PrepareValue();
+
+  std::ostream* out_;
+  // One flag per open scope: has this scope emitted a value yet?
+  std::vector<bool> scope_has_value_;
+  // A Key was just written; the next value attaches to it.
+  bool pending_key_ = false;
+};
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_JSON_H_

@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace nc::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  NC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  sum_ += value;
+  stat_.Add(value);
+}
+
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stat_.count();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+RunningStat Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stat_;
+}
+
+LabelSet MetricsRegistry::Canonical(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const LabelSet& labels) {
+  const LabelSet canonical = Canonical(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Series>& all = series_[name];
+  for (Series& s : all) {
+    if (s.labels == canonical) {
+      NC_CHECK(s.counter != nullptr);  // Name already used as a histogram.
+      return *s.counter;
+    }
+  }
+  Series s;
+  s.labels = canonical;
+  s.counter = std::make_unique<Counter>();
+  all.push_back(std::move(s));
+  return *all.back().counter;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds,
+                                      const LabelSet& labels) {
+  const LabelSet canonical = Canonical(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Series>& all = series_[name];
+  for (Series& s : all) {
+    if (s.labels == canonical) {
+      NC_CHECK(s.histogram != nullptr);  // Name already used as a counter.
+      return *s.histogram;
+    }
+  }
+  Series s;
+  s.labels = canonical;
+  s.histogram = std::make_unique<Histogram>(upper_bounds);
+  all.push_back(std::move(s));
+  return *all.back().histogram;
+}
+
+double MetricsRegistry::CounterValue(const std::string& name,
+                                     const LabelSet& labels) const {
+  const LabelSet canonical = Canonical(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return 0.0;
+  for (const Series& s : it->second) {
+    if (s.labels == canonical && s.counter != nullptr) {
+      return s.counter->value();
+    }
+  }
+  return 0.0;
+}
+
+double MetricsRegistry::CounterSum(const std::string& name,
+                                   const LabelSet& labels) const {
+  const LabelSet canonical = Canonical(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return 0.0;
+  double total = 0.0;
+  for (const Series& s : it->second) {
+    if (s.counter == nullptr) continue;
+    const bool matches = std::all_of(
+        canonical.begin(), canonical.end(), [&s](const auto& want) {
+          return std::find(s.labels.begin(), s.labels.end(), want) !=
+                 s.labels.end();
+        });
+    if (matches) total += s.counter->value();
+  }
+  return total;
+}
+
+std::string FormatLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=";
+    // JsonQuote escapes exactly what the exposition format requires.
+    out += JsonQuote(value);
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::WritePrometheusText(std::ostream* out) const {
+  NC_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, all] : series_) {
+    // Stable output: series sorted by label set within each name.
+    std::vector<const Series*> ordered;
+    ordered.reserve(all.size());
+    for (const Series& s : all) ordered.push_back(&s);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Series* a, const Series* b) {
+                return a->labels < b->labels;
+              });
+    const bool is_counter = !all.empty() && all.front().counter != nullptr;
+    (*out) << "# TYPE " << name << (is_counter ? " counter" : " histogram")
+           << "\n";
+    for (const Series* s : ordered) {
+      if (s->counter != nullptr) {
+        (*out) << name << FormatLabels(s->labels) << " "
+               << JsonNumber(s->counter->value()) << "\n";
+        continue;
+      }
+      // Histogram exposition: cumulative _bucket series, then _sum/_count.
+      const std::vector<uint64_t> counts = s->histogram->bucket_counts();
+      const std::vector<double>& bounds = s->histogram->upper_bounds();
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += counts[i];
+        LabelSet with_le = s->labels;
+        with_le.emplace_back("le", JsonNumber(bounds[i]));
+        (*out) << name << "_bucket" << FormatLabels(with_le) << " "
+               << cumulative << "\n";
+      }
+      cumulative += counts.back();
+      LabelSet with_le = s->labels;
+      with_le.emplace_back("le", "+Inf");
+      (*out) << name << "_bucket" << FormatLabels(with_le) << " " << cumulative
+             << "\n";
+      (*out) << name << "_sum" << FormatLabels(s->labels) << " "
+             << JsonNumber(s->histogram->sum()) << "\n";
+      (*out) << name << "_count" << FormatLabels(s->labels) << " "
+             << s->histogram->count() << "\n";
+    }
+  }
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+}  // namespace nc::obs

@@ -1,0 +1,124 @@
+// Metrics registry: named counters and fixed-bucket histograms with a
+// Prometheus-style text exporter.
+//
+// Every layer of the stack (SourceSet, NCEngine, the parallel executor,
+// and the baseline runners) records into one registry so NC vs TA/NRA/CA
+// runs are comparable field-by-field: the same metric names, labeled by
+// algorithm and predicate. Conventions follow Prometheus: snake_case
+// names under the nc_ prefix, _total suffix on counters, labels for
+// dimensions ({algorithm="TA",predicate="0",type="sorted"}).
+//
+// Thread safety: the registry and both instrument types are safe for
+// concurrent use (lookup takes a registry mutex; Counter::Increment is a
+// lock-free atomic add; Histogram::Observe takes a per-histogram mutex
+// because it layers on RunningStat for mean/min/max). Instrument
+// references stay valid for the registry's lifetime - look up once, then
+// record lock-free on the hot path.
+
+#ifndef NC_OBS_METRICS_H_
+#define NC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace nc::obs {
+
+// Label dimensions of one time series, canonically sorted by key.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+// A monotonically increasing value.
+class Counter {
+ public:
+  void Increment(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Cumulative fixed-bucket histogram. Buckets are inclusive upper bounds;
+// an implicit +Inf bucket catches the rest. A RunningStat rides along for
+// mean/min/max, which Prometheus histograms cannot answer.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  size_t count() const;
+  double sum() const;
+  // Observations with value <= upper_bounds()[i] (non-cumulative).
+  std::vector<uint64_t> bucket_counts() const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  RunningStat snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;  // One per bound, plus the +Inf overflow.
+  // Exact running sum (RunningStat's mean*count would round).
+  double sum_ = 0.0;
+  RunningStat stat_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the series. The returned reference stays valid for
+  // the registry's lifetime. A name must be used consistently as one
+  // instrument type (checked).
+  Counter& counter(const std::string& name, const LabelSet& labels = {});
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds,
+                       const LabelSet& labels = {});
+
+  // Current value of a counter; 0.0 when the series does not exist (a
+  // query convenience for tests and report builders).
+  double CounterValue(const std::string& name,
+                      const LabelSet& labels = {}) const;
+
+  // Sum of every counter series with this name, optionally restricted to
+  // series carrying all of `labels`.
+  double CounterSum(const std::string& name,
+                    const LabelSet& labels = {}) const;
+
+  // Prometheus text exposition format, series sorted by name then labels.
+  void WritePrometheusText(std::ostream* out) const;
+
+  // Drops every series.
+  void Clear();
+
+ private:
+  struct Series {
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static LabelSet Canonical(LabelSet labels);
+
+  mutable std::mutex mu_;
+  // name -> series for each label set, kept sorted for stable export.
+  std::map<std::string, std::vector<Series>> series_;
+};
+
+// Renders {a="x",b="y"}; empty string for no labels.
+std::string FormatLabels(const LabelSet& labels);
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_METRICS_H_

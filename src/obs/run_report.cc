@@ -1,0 +1,232 @@
+#include "obs/run_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace nc::obs {
+
+namespace {
+
+std::string FormatCost(double cost) {
+  if (!std::isfinite(cost)) return "impossible";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", cost);
+  return buffer;
+}
+
+std::string PredicateLabel(const SourceSet& sources, PredicateId i) {
+  if (sources.has_dataset()) return sources.dataset().predicate_name(i);
+  std::string label = "p";
+  label += std::to_string(i);
+  return label;
+}
+
+}  // namespace
+
+RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
+                         std::string algorithm, size_t k) {
+  RunReport report;
+  report.algorithm = std::move(algorithm);
+  report.k = k;
+
+  const AccessStats& stats = sources.stats();
+  const size_t m = sources.num_predicates();
+  report.total_cost = sources.accrued_cost();
+  report.total_sorted = stats.TotalSorted();
+  report.total_random = stats.TotalRandom();
+  report.duplicate_random = stats.duplicate_random_count;
+  report.retried_attempts = stats.TotalRetried();
+  report.transient_failures = stats.transient_failures;
+  report.timeout_failures = stats.timeout_failures;
+  report.abandoned_accesses = stats.abandoned_accesses;
+  report.source_deaths = stats.source_deaths;
+
+  report.predicates.reserve(m);
+  for (PredicateId i = 0; i < m; ++i) {
+    PredicateCost row;
+    row.name = PredicateLabel(sources, i);
+    row.sorted_accesses = stats.sorted_count[i];
+    row.random_accesses = stats.random_count[i];
+    row.sorted_cost = stats.sorted_cost_accrued[i];
+    row.random_cost = stats.random_cost_accrued[i];
+    row.retried_attempts = stats.retried_attempts[i];
+    row.source_down = sources.source_down(i);
+    report.predicates.push_back(std::move(row));
+  }
+
+  if (tracer != nullptr) {
+    for (const TraceEvent& e : tracer->events()) {
+      if (e.kind != TraceEventKind::kIteration) continue;
+      report.convergence.push_back(
+          ConvergencePoint{e.cost_clock, e.threshold, e.kth_bound});
+    }
+    // Wall time: span of the trace buffer (phase events included).
+    if (!tracer->events().empty()) {
+      const uint64_t first = tracer->events().front().wall_us;
+      const uint64_t last = tracer->events().back().wall_us;
+      report.wall_ms = static_cast<double>(last - first) / 1000.0;
+    }
+  }
+  return report;
+}
+
+void RecordSourceMetrics(MetricsRegistry* registry,
+                         const std::string& algorithm,
+                         const SourceSet& sources) {
+  NC_CHECK(registry != nullptr);
+  const AccessStats& stats = sources.stats();
+  const size_t m = sources.num_predicates();
+  for (PredicateId i = 0; i < m; ++i) {
+    const std::string predicate = PredicateLabel(sources, i);
+    const LabelSet sorted_labels{{"algorithm", algorithm},
+                                 {"predicate", predicate},
+                                 {"type", "sorted"}};
+    const LabelSet random_labels{{"algorithm", algorithm},
+                                 {"predicate", predicate},
+                                 {"type", "random"}};
+    if (stats.sorted_count[i] != 0) {
+      registry->counter("nc_accesses_total", sorted_labels)
+          .Increment(static_cast<double>(stats.sorted_count[i]));
+    }
+    if (stats.random_count[i] != 0) {
+      registry->counter("nc_accesses_total", random_labels)
+          .Increment(static_cast<double>(stats.random_count[i]));
+    }
+    if (stats.sorted_cost_accrued[i] != 0.0) {
+      registry->counter("nc_access_cost_total", sorted_labels)
+          .Increment(stats.sorted_cost_accrued[i]);
+    }
+    if (stats.random_cost_accrued[i] != 0.0) {
+      registry->counter("nc_access_cost_total", random_labels)
+          .Increment(stats.random_cost_accrued[i]);
+    }
+    if (stats.retried_attempts[i] != 0) {
+      registry
+          ->counter("nc_access_retries_total",
+                    {{"algorithm", algorithm}, {"predicate", predicate}})
+          .Increment(static_cast<double>(stats.retried_attempts[i]));
+    }
+  }
+  const auto fault_counter = [&](const char* kind, size_t count) {
+    if (count == 0) return;
+    registry
+        ->counter("nc_access_faults_total",
+                  {{"algorithm", algorithm}, {"kind", kind}})
+        .Increment(static_cast<double>(count));
+  };
+  fault_counter("transient", stats.transient_failures);
+  fault_counter("timeout", stats.timeout_failures);
+  fault_counter("abandoned", stats.abandoned_accesses);
+  fault_counter("source_down", stats.source_deaths);
+  if (stats.duplicate_random_count != 0) {
+    registry
+        ->counter("nc_duplicate_random_total", {{"algorithm", algorithm}})
+        .Increment(static_cast<double>(stats.duplicate_random_count));
+  }
+}
+
+std::string RunReport::ToText() const {
+  std::ostringstream os;
+  if (!algorithm.empty()) {
+    os << algorithm;
+    if (k > 0) os << " top-" << k;
+    os << ": ";
+  }
+  os << "accesses: " << total_sorted << " sorted, " << total_random
+     << " random, cost " << FormatCost(total_cost) << "\n";
+  for (const PredicateCost& row : predicates) {
+    os << "  " << row.name << ": sa " << row.sorted_accesses << " (cost "
+       << FormatCost(row.sorted_cost) << "), ra " << row.random_accesses
+       << " (cost " << FormatCost(row.random_cost) << ")";
+    if (row.retried_attempts != 0) {
+      os << ", " << row.retried_attempts << " retried";
+    }
+    if (row.source_down) os << ", source DOWN";
+    os << "\n";
+  }
+  if (duplicate_random != 0) {
+    os << "  duplicate random probes: " << duplicate_random << "\n";
+  }
+  const size_t failures = transient_failures + timeout_failures;
+  if (failures != 0 || retried_attempts != 0 || abandoned_accesses != 0 ||
+      source_deaths != 0) {
+    os << "faults: " << transient_failures << " transient, "
+       << timeout_failures << " timeouts; " << retried_attempts
+       << " retried, " << abandoned_accesses << " abandoned\n";
+  }
+  if (source_deaths != 0) {
+    os << "deaths:";
+    for (const PredicateCost& row : predicates) {
+      if (row.source_down) os << " " << row.name;
+    }
+    os << " (down for the rest of the run)\n";
+  }
+  if (!convergence.empty()) {
+    const ConvergencePoint& last = convergence.back();
+    os << "convergence: " << convergence.size()
+       << " iterations; final threshold " << FormatCost(last.threshold)
+       << ", k-th bound " << FormatCost(last.kth_bound) << " at cost "
+       << FormatCost(last.cost) << "\n";
+  }
+  if (wall_ms > 0.0) {
+    os << "wall: " << FormatCost(wall_ms) << " ms\n";
+  }
+  return os.str();
+}
+
+std::string RunReport::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(&os);
+  w.BeginObject();
+  if (!algorithm.empty()) w.Key("algorithm").String(algorithm);
+  if (k > 0) w.Key("k").UInt(k);
+  w.Key("total_cost").Number(total_cost);
+  w.Key("total_sorted").UInt(total_sorted);
+  w.Key("total_random").UInt(total_random);
+  if (duplicate_random != 0) {
+    w.Key("duplicate_random").UInt(duplicate_random);
+  }
+  w.Key("predicates").BeginArray();
+  for (const PredicateCost& row : predicates) {
+    w.BeginObject();
+    w.Key("name").String(row.name);
+    w.Key("sorted_accesses").UInt(row.sorted_accesses);
+    w.Key("random_accesses").UInt(row.random_accesses);
+    w.Key("sorted_cost").Number(row.sorted_cost);
+    w.Key("random_cost").Number(row.random_cost);
+    if (row.retried_attempts != 0) {
+      w.Key("retried_attempts").UInt(row.retried_attempts);
+    }
+    if (row.source_down) w.Key("source_down").Bool(true);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("faults").BeginObject();
+  w.Key("retried_attempts").UInt(retried_attempts);
+  w.Key("transient").UInt(transient_failures);
+  w.Key("timeouts").UInt(timeout_failures);
+  w.Key("abandoned").UInt(abandoned_accesses);
+  w.Key("source_deaths").UInt(source_deaths);
+  w.EndObject();
+  if (!convergence.empty()) {
+    w.Key("convergence").BeginArray();
+    for (const ConvergencePoint& p : convergence) {
+      w.BeginObject();
+      w.Key("cost").Number(p.cost);
+      w.Key("threshold").Number(p.threshold);
+      w.Key("kth_bound").Number(p.kth_bound);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (wall_ms > 0.0) w.Key("wall_ms").Number(wall_ms);
+  w.EndObject();
+  return os.str();
+}
+
+}  // namespace nc::obs

@@ -1,0 +1,101 @@
+// RunReport: the one-stop summary of a finished query execution.
+//
+// Where the tracer answers "what happened, in order", the report answers
+// "where did the cost go": the Eq. 1 split ns_i*cs_i + nr_i*cr_i per
+// predicate and access type (priced access-by-access, so retries and
+// mid-run cost swaps are included), the bound-convergence timeline of
+// the ceiling threshold theta versus the k-th bound per unit cost, the
+// fault/retry tallies, and wall-clock time. It renders as aligned text
+// (the replacement for the ad-hoc printing that used to live in
+// explain.cc and the bench harness) and as JSON (the machine-readable
+// form every bench binary emits).
+//
+// Invariant: the per-predicate cost cells sum to total_cost exactly -
+// both come from the same per-access accounting in SourceSet - so the
+// report *is* the Eq. 1 cross-check (asserted in run_report_test.cc).
+
+#ifndef NC_OBS_RUN_REPORT_H_
+#define NC_OBS_RUN_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "access/source.h"
+#include "obs/tracer.h"
+
+namespace nc::obs {
+
+// One predicate's row of the Eq. 1 breakdown.
+struct PredicateCost {
+  std::string name;
+  size_t sorted_accesses = 0;
+  size_t random_accesses = 0;
+  double sorted_cost = 0.0;
+  double random_cost = 0.0;
+  size_t retried_attempts = 0;
+  bool source_down = false;
+};
+
+// One sample of the bound-convergence timeline, taken per engine
+// iteration: how the ceiling closes in on the k-th bound as cost is
+// spent. `threshold` is monotonically non-increasing over a run.
+struct ConvergencePoint {
+  double cost = 0.0;       // Accrued cost when the sample was taken.
+  double threshold = 0.0;  // Ceiling theta = F(last-seen bounds).
+  double kth_bound = 0.0;  // Bound of the current k-th entry.
+};
+
+struct RunReport {
+  std::string algorithm;  // "NC", "TA", ... (empty when unknown).
+  size_t k = 0;
+
+  // Eq. 1 totals and per-predicate split.
+  double total_cost = 0.0;
+  size_t total_sorted = 0;
+  size_t total_random = 0;
+  size_t duplicate_random = 0;
+  std::vector<PredicateCost> predicates;
+
+  // Fault layer tallies (all zero in fault-free runs).
+  size_t retried_attempts = 0;
+  size_t transient_failures = 0;
+  size_t timeout_failures = 0;
+  size_t abandoned_accesses = 0;
+  size_t source_deaths = 0;
+
+  // From tracer iteration events; empty without a tracer.
+  std::vector<ConvergencePoint> convergence;
+
+  double wall_ms = 0.0;
+
+  // Aligned multi-line text rendering.
+  std::string ToText() const;
+  // Single JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+// Snapshots `sources` (and, when given, the tracer's iteration events)
+// into a report. Call after the run, before Reset().
+RunReport BuildRunReport(const SourceSet& sources,
+                         const QueryTracer* tracer = nullptr,
+                         std::string algorithm = "", size_t k = 0);
+
+class MetricsRegistry;
+
+// Flushes one finished run's AccessStats into `registry` under the shared
+// metric names every algorithm uses, so NC and baseline runs compare
+// series-by-series:
+//   nc_accesses_total{algorithm,predicate,type}
+//   nc_access_cost_total{algorithm,predicate,type}
+//   nc_access_retries_total{algorithm,predicate}
+//   nc_access_faults_total{algorithm,kind}
+//   nc_duplicate_random_total{algorithm}
+// Call after the run, before Reset().
+void RecordSourceMetrics(MetricsRegistry* registry,
+                         const std::string& algorithm,
+                         const SourceSet& sources);
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_RUN_REPORT_H_

@@ -1,0 +1,239 @@
+#include "obs/tracer.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace nc::obs {
+
+namespace {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAccess:
+      return "access";
+    case TraceEventKind::kAccessAttempt:
+      return "attempt";
+    case TraceEventKind::kIteration:
+      return "iteration";
+    case TraceEventKind::kPhaseBegin:
+      return "phase_begin";
+    case TraceEventKind::kPhaseEnd:
+      return "phase_end";
+  }
+  return "unknown";
+}
+
+const char* AccessOutcomeName(AccessOutcome outcome) {
+  switch (outcome) {
+    case AccessOutcome::kOk:
+      return "ok";
+    case AccessOutcome::kTransient:
+      return "transient";
+    case AccessOutcome::kTimeout:
+      return "timeout";
+    case AccessOutcome::kAbandoned:
+      return "abandoned";
+    case AccessOutcome::kSourceDown:
+      return "source_down";
+  }
+  return "unknown";
+}
+
+QueryTracer::QueryTracer() : epoch_ns_(MonotonicNowNs()) {}
+
+uint64_t QueryTracer::Now() const {
+  if (clock_) return clock_();
+  return (MonotonicNowNs() - epoch_ns_) / 1000;
+}
+
+void QueryTracer::set_clock_for_testing(std::function<uint64_t()> clock) {
+  clock_ = std::move(clock);
+}
+
+void QueryTracer::RecordAccess(AccessType type, PredicateId predicate,
+                               ObjectId object, double charged,
+                               double cost_clock) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kAccess;
+  e.wall_us = Now();
+  e.cost_clock = cost_clock;
+  e.access_type = type;
+  e.predicate = predicate;
+  e.object = object;
+  e.outcome = AccessOutcome::kOk;
+  e.charged = charged;
+  events_.push_back(e);
+}
+
+void QueryTracer::RecordAttempt(AccessType type, PredicateId predicate,
+                                ObjectId object, AccessOutcome outcome,
+                                double charged, double cost_clock) {
+  if (!enabled_) return;
+  NC_CHECK(outcome != AccessOutcome::kOk);
+  TraceEvent e;
+  e.kind = TraceEventKind::kAccessAttempt;
+  e.wall_us = Now();
+  e.cost_clock = cost_clock;
+  e.access_type = type;
+  e.predicate = predicate;
+  e.object = object;
+  e.outcome = outcome;
+  e.charged = charged;
+  events_.push_back(e);
+}
+
+void QueryTracer::RecordIteration(ObjectId target, uint32_t choice_width,
+                                  double threshold, double kth_bound,
+                                  uint64_t heap_size, double cost_clock) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kIteration;
+  e.wall_us = Now();
+  e.cost_clock = cost_clock;
+  e.target = target;
+  e.choice_width = choice_width;
+  e.threshold = threshold;
+  e.kth_bound = kth_bound;
+  e.heap_size = heap_size;
+  events_.push_back(e);
+}
+
+void QueryTracer::BeginPhase(const char* phase) {
+  if (!enabled_) return;
+  NC_CHECK(phase != nullptr);
+  TraceEvent e;
+  e.kind = TraceEventKind::kPhaseBegin;
+  e.wall_us = Now();
+  e.phase = phase;
+  events_.push_back(e);
+}
+
+void QueryTracer::EndPhase(const char* phase) {
+  if (!enabled_) return;
+  NC_CHECK(phase != nullptr);
+  TraceEvent e;
+  e.kind = TraceEventKind::kPhaseEnd;
+  e.wall_us = Now();
+  e.phase = phase;
+  events_.push_back(e);
+}
+
+void QueryTracer::ExportJsonl(std::ostream* out) const {
+  NC_CHECK(out != nullptr);
+  for (const TraceEvent& e : events_) {
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("kind").String(TraceEventKindName(e.kind));
+    w.Key("wall_us").UInt(e.wall_us);
+    switch (e.kind) {
+      case TraceEventKind::kAccess:
+      case TraceEventKind::kAccessAttempt:
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.Key("type").String(e.access_type == AccessType::kSorted ? "sorted"
+                                                                  : "random");
+        w.Key("predicate").UInt(e.predicate);
+        if (e.access_type == AccessType::kRandom) {
+          w.Key("object").UInt(e.object);
+        }
+        w.Key("outcome").String(AccessOutcomeName(e.outcome));
+        w.Key("charged").Number(e.charged);
+        break;
+      case TraceEventKind::kIteration:
+        w.Key("cost_clock").Number(e.cost_clock);
+        if (e.target == kUnseenObject) {
+          w.Key("target").String("unseen");
+        } else {
+          w.Key("target").UInt(e.target);
+        }
+        w.Key("choice_width").UInt(e.choice_width);
+        w.Key("threshold").Number(e.threshold);
+        w.Key("kth_bound").Number(e.kth_bound);
+        w.Key("heap_size").UInt(e.heap_size);
+        break;
+      case TraceEventKind::kPhaseBegin:
+      case TraceEventKind::kPhaseEnd:
+        w.Key("phase").String(e.phase);
+        break;
+    }
+    w.EndObject();
+    (*out) << '\n';
+  }
+}
+
+void QueryTracer::ExportChromeTrace(std::ostream* out) const {
+  NC_CHECK(out != nullptr);
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  const auto common = [&w](const TraceEvent& e, const char* name,
+                           const char* ph) {
+    w.BeginObject();
+    w.Key("name").String(name);
+    w.Key("ph").String(ph);
+    w.Key("ts").UInt(e.wall_us);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(1);
+  };
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case TraceEventKind::kAccess:
+      case TraceEventKind::kAccessAttempt: {
+        const std::string name =
+            std::string(e.access_type == AccessType::kSorted ? "sa_" : "ra_") +
+            std::to_string(e.predicate);
+        common(e, name.c_str(), "i");
+        w.Key("s").String("t");
+        w.Key("args").BeginObject();
+        w.Key("outcome").String(AccessOutcomeName(e.outcome));
+        w.Key("charged").Number(e.charged);
+        w.Key("cost_clock").Number(e.cost_clock);
+        if (e.access_type == AccessType::kRandom) {
+          w.Key("object").UInt(e.object);
+        }
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventKind::kIteration: {
+        // Counter tracks: Perfetto plots each args key as a series.
+        common(e, "theta", "C");
+        w.Key("args").BeginObject();
+        w.Key("threshold").Number(e.threshold);
+        w.Key("kth_bound").Number(e.kth_bound);
+        w.EndObject();
+        w.EndObject();
+        common(e, "heap_size", "C");
+        w.Key("args").BeginObject();
+        w.Key("size").UInt(e.heap_size);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventKind::kPhaseBegin:
+        common(e, e.phase, "B");
+        w.EndObject();
+        break;
+      case TraceEventKind::kPhaseEnd:
+        common(e, e.phase, "E");
+        w.EndObject();
+        break;
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace nc::obs

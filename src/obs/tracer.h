@@ -1,0 +1,157 @@
+// Query-level tracing: a typed event log of everything a run did.
+//
+// The paper's cost argument (Eq. 1) is about *where access cost goes*;
+// QueryTracer makes that visible per run. Three event families cover the
+// engine stack:
+//
+//   * kAccess / kAccessAttempt - one record per performed access and per
+//     failed attempt (transient error, timeout, abandonment, source
+//     death), carrying the predicate, access type, the cost charged, and
+//     the accrued-cost clock. Emitted by SourceSet.
+//   * kIteration - one record per engine loop iteration: the chosen
+//     target, the width of its necessary-choice set, the current ceiling
+//     threshold theta = F(last-seen bounds), the k-th heap bound, and the
+//     heap size. Emitted by NCEngine (and, per completion epoch, by the
+//     parallel executor).
+//   * kPhaseBegin / kPhaseEnd - spans bracketing plan, probe (run),
+//     extend, and baseline executions.
+//
+// Cost model of the tracer itself: a detached (nullptr) or disabled
+// tracer is one pointer/bool test on the hot path - no event is
+// constructed, nothing allocates. Instrumented layers must guard with
+// ShouldTrace(tracer) so a production run pays nothing.
+//
+// Two exporters serialize the buffer: ExportJsonl (one JSON object per
+// line, full fidelity, trivially greppable) and ExportChromeTrace (the
+// Chrome trace_event array format: phase spans become duration events,
+// accesses become instants, and theta / k-th bound / heap size become
+// counter tracks, so a run opens directly in chrome://tracing or
+// Perfetto).
+//
+// Timestamps: wall-clock microseconds from a monotonic clock anchored at
+// construction. Tests (and any embedder that wants deterministic output)
+// may install a manual clock with set_clock_for_testing.
+
+#ifndef NC_OBS_TRACER_H_
+#define NC_OBS_TRACER_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "access/access.h"
+#include "common/score.h"
+
+namespace nc::obs {
+
+enum class TraceEventKind {
+  kAccess,         // A performed (successful) access.
+  kAccessAttempt,  // A failed attempt: retried, abandoned, or fatal.
+  kIteration,      // One engine scheduling iteration.
+  kPhaseBegin,
+  kPhaseEnd,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+// Resolution of one access attempt, mirroring access/fault.h outcomes.
+enum class AccessOutcome {
+  kOk,         // The attempt succeeded (kAccess events only).
+  kTransient,  // Failed fast; a retry followed or attempts ran out.
+  kTimeout,    // Failed after a full timeout.
+  kAbandoned,  // RetryPolicy::max_attempts exhausted; access given up.
+  kSourceDown  // The source died permanently on this attempt.
+};
+
+const char* AccessOutcomeName(AccessOutcome outcome);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kAccess;
+  // Microseconds since the tracer's epoch.
+  uint64_t wall_us = 0;
+  // The emitting SourceSet's accrued cost after the event (the paper's
+  // cost clock); iterations snapshot it too, so convergence can be
+  // plotted against cost rather than wall time.
+  double cost_clock = 0.0;
+
+  // kAccess / kAccessAttempt fields.
+  AccessType access_type = AccessType::kSorted;
+  PredicateId predicate = 0;
+  ObjectId object = 0;  // Random-access target; 0 for sorted.
+  AccessOutcome outcome = AccessOutcome::kOk;
+  // Cost charged by this event alone (unit cost, page charge, or the
+  // retry fraction of a failed attempt).
+  double charged = 0.0;
+
+  // kIteration fields.
+  ObjectId target = 0;  // kUnseenObject for the virtual sentinel.
+  uint32_t choice_width = 0;
+  // Ceiling threshold theta = F(last-seen): the maximal-possible score
+  // of anything unseen. Monotonically non-increasing over a run.
+  double threshold = 0.0;
+  // Bound of the k-th entry of the current top-k (upper bound).
+  double kth_bound = 0.0;
+  uint64_t heap_size = 0;
+
+  // kPhaseBegin / kPhaseEnd: a static string ("plan", "probe", ...).
+  const char* phase = nullptr;
+};
+
+class QueryTracer {
+ public:
+  // Constructed enabled: attaching a tracer expresses intent to trace.
+  // Disable()/Enable() toggle recording without dropping the buffer.
+  QueryTracer();
+
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+
+  // Drops all recorded events (the epoch is unchanged).
+  void Clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // --- Recording (no-ops when disabled) --------------------------------
+  void RecordAccess(AccessType type, PredicateId predicate, ObjectId object,
+                    double charged, double cost_clock);
+  void RecordAttempt(AccessType type, PredicateId predicate, ObjectId object,
+                     AccessOutcome outcome, double charged,
+                     double cost_clock);
+  void RecordIteration(ObjectId target, uint32_t choice_width,
+                       double threshold, double kth_bound, uint64_t heap_size,
+                       double cost_clock);
+  // `phase` must be a literal or otherwise outlive the tracer.
+  void BeginPhase(const char* phase);
+  void EndPhase(const char* phase);
+
+  // --- Exporters -------------------------------------------------------
+  // One JSON object per event per line.
+  void ExportJsonl(std::ostream* out) const;
+  // Chrome trace_event JSON ({"traceEvents": [...]}); opens in
+  // chrome://tracing and Perfetto.
+  void ExportChromeTrace(std::ostream* out) const;
+
+  // Replaces the wall clock (microseconds) for deterministic output.
+  void set_clock_for_testing(std::function<uint64_t()> clock);
+
+ private:
+  uint64_t Now() const;
+
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+  std::function<uint64_t()> clock_;
+  // Monotonic anchor for the default clock.
+  uint64_t epoch_ns_ = 0;
+};
+
+// The hot-path guard every instrumented layer uses.
+inline bool ShouldTrace(const QueryTracer* tracer) {
+  return tracer != nullptr && tracer->enabled();
+}
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_TRACER_H_

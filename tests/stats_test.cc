@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace nc {
 namespace {
 
@@ -23,7 +25,14 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 10.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 40.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 25.0);
-  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, PercentileOfNothingIsNaN) {
+  // An empty sample has no quantile; 0.0 would be indistinguishable from
+  // a legitimate measurement.
+  EXPECT_TRUE(std::isnan(Percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(Percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(Percentile({}, 1.0)));
 }
 
 TEST(StatsTest, PercentileUnsortedInput) {

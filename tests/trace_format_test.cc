@@ -80,5 +80,96 @@ TEST(TraceFormatTest, RendersARealExecutionCompactly) {
   EXPECT_NE(rendered.find("more)"), std::string::npos);
 }
 
+TEST(AttemptTraceTest, EmptyRoundTrip) {
+  EXPECT_EQ(SerializeAttemptTrace({}), "");
+  std::vector<AccessAttempt> parsed{AccessAttempt{}};
+  ASSERT_TRUE(ParseAttemptTrace("", &parsed).ok());
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(AttemptTraceTest, SerializesFaultsAndAbandonment) {
+  const std::vector<AccessAttempt> trace{
+      AccessAttempt{Access::Sorted(0), FaultKind::kNone, false},
+      AccessAttempt{Access::Sorted(0), FaultKind::kTransient, false},
+      AccessAttempt{Access::Random(1, 42), FaultKind::kTimeout, false},
+      AccessAttempt{Access::Random(1, 42), FaultKind::kTransient, true},
+      AccessAttempt{Access::Sorted(2), FaultKind::kSourceDown, false},
+  };
+  EXPECT_EQ(SerializeAttemptTrace(trace),
+            "sa_0, sa_0~T, ra_1(u42)~O, ra_1(u42)~T!, sa_2~D");
+}
+
+TEST(AttemptTraceTest, RoundTripsLosslessly) {
+  const std::vector<AccessAttempt> trace{
+      AccessAttempt{Access::Sorted(3), FaultKind::kNone, false},
+      AccessAttempt{Access::Random(0, 7), FaultKind::kTransient, false},
+      AccessAttempt{Access::Random(0, 7), FaultKind::kNone, false},
+      AccessAttempt{Access::Sorted(1), FaultKind::kTimeout, true},
+      AccessAttempt{Access::Sorted(1), FaultKind::kSourceDown, false},
+  };
+  std::vector<AccessAttempt> parsed;
+  ASSERT_TRUE(ParseAttemptTrace(SerializeAttemptTrace(trace), &parsed).ok());
+  EXPECT_EQ(parsed, trace);
+}
+
+TEST(AttemptTraceTest, SuccessfulAccessesDropsFailures) {
+  const std::vector<AccessAttempt> trace{
+      AccessAttempt{Access::Sorted(0), FaultKind::kTransient, false},
+      AccessAttempt{Access::Sorted(0), FaultKind::kNone, false},
+      AccessAttempt{Access::Random(1, 5), FaultKind::kTimeout, true},
+      AccessAttempt{Access::Random(1, 6), FaultKind::kNone, false},
+  };
+  const std::vector<Access> expected{Access::Sorted(0), Access::Random(1, 6)};
+  EXPECT_EQ(SuccessfulAccesses(trace), expected);
+}
+
+TEST(AttemptTraceTest, RejectsMalformedInput) {
+  std::vector<AccessAttempt> parsed;
+  // Each case reports InvalidArgument and leaves the output empty.
+  for (const char* bad :
+       {"sa_", "ra_1", "ra_1(42)", "sa_0~X", "sa_0!", "sa_0~T!extra",
+        "xx_1", "sa_0, ", "sa_99999999999"}) {
+    parsed.assign(1, AccessAttempt{});
+    const Status status = ParseAttemptTrace(bad, &parsed);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_TRUE(parsed.empty()) << bad;
+  }
+}
+
+TEST(AttemptTraceTest, FaultyRunRoundTripsThroughSerialization) {
+  GeneratorOptions g;
+  g.num_objects = 500;
+  g.num_predicates = 2;
+  g.seed = 11;
+  const Dataset data = GenerateDataset(g);
+  MinFunction fmin(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  sources.EnableTrace();
+  FaultProfile profile;
+  profile.transient_rate = 0.2;
+  profile.timeout_rate = 0.05;
+  FaultInjector injector(/*seed=*/7);
+  injector.set_default_profile(profile);
+  sources.set_fault_injector(&injector);
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 3;
+  TopKResult result;
+  ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, &result).ok());
+
+  const std::vector<AccessAttempt>& attempts = sources.attempt_trace();
+  ASSERT_FALSE(attempts.empty());
+  // The faulty run must actually have exercised the failure path for the
+  // round-trip to mean anything.
+  EXPECT_GT(sources.stats().TotalRetried(), 0u);
+
+  std::vector<AccessAttempt> parsed;
+  ASSERT_TRUE(
+      ParseAttemptTrace(SerializeAttemptTrace(attempts), &parsed).ok());
+  EXPECT_EQ(parsed, attempts);
+  // The successful subsequence is exactly the legacy trace().
+  EXPECT_EQ(SuccessfulAccesses(attempts), sources.trace());
+}
+
 }  // namespace
 }  // namespace nc

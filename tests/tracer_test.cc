@@ -1,0 +1,182 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+
+namespace nc::obs {
+namespace {
+
+// Deterministic clock: every event lands 10us after the previous one.
+void InstallTickClock(QueryTracer* tracer) {
+  auto ticks = std::make_shared<uint64_t>(0);
+  tracer->set_clock_for_testing([ticks]() { return (*ticks)++ * 10; });
+}
+
+TEST(QueryTracerTest, StartsEnabledAndRecords) {
+  QueryTracer tracer;
+  EXPECT_TRUE(tracer.enabled());
+  tracer.RecordAccess(AccessType::kSorted, 0, 0, 1.0, 1.0);
+  tracer.RecordIteration(7, 3, 0.9, 0.5, 12, 1.0);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].kind, TraceEventKind::kAccess);
+  EXPECT_EQ(tracer.events()[1].kind, TraceEventKind::kIteration);
+  EXPECT_EQ(tracer.events()[1].target, 7u);
+  EXPECT_EQ(tracer.events()[1].choice_width, 3u);
+}
+
+TEST(QueryTracerTest, DisabledTracerRecordsNothing) {
+  QueryTracer tracer;
+  tracer.Disable();
+  EXPECT_FALSE(ShouldTrace(&tracer));
+  tracer.RecordAccess(AccessType::kRandom, 1, 5, 2.0, 2.0);
+  tracer.RecordAttempt(AccessType::kSorted, 0, 0, AccessOutcome::kTransient,
+                       0.5, 2.5);
+  tracer.RecordIteration(1, 2, 0.8, 0.4, 3, 2.5);
+  tracer.BeginPhase("probe");
+  tracer.EndPhase("probe");
+  EXPECT_TRUE(tracer.events().empty());
+  // Re-enabling resumes recording without losing anything prior.
+  tracer.Enable();
+  EXPECT_TRUE(ShouldTrace(&tracer));
+  tracer.BeginPhase("probe");
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(QueryTracerTest, NullTracerFailsTheGuard) {
+  EXPECT_FALSE(ShouldTrace(nullptr));
+}
+
+TEST(QueryTracerTest, ClearDropsEvents) {
+  QueryTracer tracer;
+  tracer.BeginPhase("probe");
+  tracer.EndPhase("probe");
+  ASSERT_EQ(tracer.events().size(), 2u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(QueryTracerTest, JsonlGolden) {
+  QueryTracer tracer;
+  InstallTickClock(&tracer);
+  tracer.BeginPhase("probe");
+  tracer.RecordAccess(AccessType::kSorted, 0, 0, 1.0, 1.0);
+  tracer.RecordAttempt(AccessType::kRandom, 1, 42, AccessOutcome::kTimeout,
+                       0.5, 1.5);
+  tracer.RecordAccess(AccessType::kRandom, 1, 42, 2.0, 3.5);
+  tracer.RecordIteration(kUnseenObject, 4, 0.75, 0.5, 9, 3.5);
+  tracer.EndPhase("probe");
+
+  std::ostringstream os;
+  tracer.ExportJsonl(&os);
+  EXPECT_EQ(
+      os.str(),
+      "{\"kind\":\"phase_begin\",\"wall_us\":0,\"phase\":\"probe\"}\n"
+      "{\"kind\":\"access\",\"wall_us\":10,\"cost_clock\":1,"
+      "\"type\":\"sorted\",\"predicate\":0,\"outcome\":\"ok\","
+      "\"charged\":1}\n"
+      "{\"kind\":\"attempt\",\"wall_us\":20,\"cost_clock\":1.5,"
+      "\"type\":\"random\",\"predicate\":1,\"object\":42,"
+      "\"outcome\":\"timeout\",\"charged\":0.5}\n"
+      "{\"kind\":\"access\",\"wall_us\":30,\"cost_clock\":3.5,"
+      "\"type\":\"random\",\"predicate\":1,\"object\":42,"
+      "\"outcome\":\"ok\",\"charged\":2}\n"
+      "{\"kind\":\"iteration\",\"wall_us\":40,\"cost_clock\":3.5,"
+      "\"target\":\"unseen\",\"choice_width\":4,\"threshold\":0.75,"
+      "\"kth_bound\":0.5,\"heap_size\":9}\n"
+      "{\"kind\":\"phase_end\",\"wall_us\":50,\"phase\":\"probe\"}\n");
+}
+
+TEST(QueryTracerTest, ChromeTraceGolden) {
+  QueryTracer tracer;
+  InstallTickClock(&tracer);
+  tracer.BeginPhase("probe");
+  tracer.RecordAccess(AccessType::kSorted, 1, 0, 1.0, 1.0);
+  tracer.RecordIteration(3, 2, 0.9, 0.4, 5, 1.0);
+  tracer.EndPhase("probe");
+
+  std::ostringstream os;
+  tracer.ExportChromeTrace(&os);
+  EXPECT_EQ(
+      os.str(),
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"probe\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1},"
+      "{\"name\":\"sa_1\",\"ph\":\"i\",\"ts\":10,\"pid\":1,\"tid\":1,"
+      "\"s\":\"t\",\"args\":{\"outcome\":\"ok\",\"charged\":1,"
+      "\"cost_clock\":1}},"
+      "{\"name\":\"theta\",\"ph\":\"C\",\"ts\":20,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"threshold\":0.9,\"kth_bound\":0.4}},"
+      "{\"name\":\"heap_size\",\"ph\":\"C\",\"ts\":20,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"size\":5}},"
+      "{\"name\":\"probe\",\"ph\":\"E\",\"ts\":30,\"pid\":1,\"tid\":1}]}");
+}
+
+// End-to-end: the engine and sources share one tracer, producing a
+// complete interleaved timeline; disabling the tracer reproduces the
+// identical query at zero event volume.
+TEST(QueryTracerTest, EngineAndSourcesShareOneTimeline) {
+  GeneratorOptions g;
+  g.num_objects = 300;
+  g.num_predicates = 2;
+  g.seed = 5;
+  const Dataset data = GenerateDataset(g);
+  MinFunction fmin(2);
+
+  const auto run = [&](QueryTracer* tracer, TopKResult* result) {
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 4.0));
+    sources.set_tracer(tracer);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 3;
+    options.tracer = tracer;
+    ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, result).ok());
+  };
+
+  QueryTracer tracer;
+  TopKResult traced;
+  run(&tracer, &traced);
+
+  size_t accesses = 0;
+  size_t iterations = 0;
+  size_t spans = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    switch (e.kind) {
+      case TraceEventKind::kAccess:
+        ++accesses;
+        break;
+      case TraceEventKind::kIteration:
+        ++iterations;
+        break;
+      case TraceEventKind::kPhaseBegin:
+      case TraceEventKind::kPhaseEnd:
+        ++spans;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(accesses, 0u);
+  // One iteration event per performed access.
+  EXPECT_EQ(iterations, accesses);
+  EXPECT_EQ(spans, 2u);  // probe begin + end.
+  EXPECT_EQ(tracer.events().front().kind, TraceEventKind::kPhaseBegin);
+  EXPECT_EQ(tracer.events().back().kind, TraceEventKind::kPhaseEnd);
+
+  QueryTracer disabled;
+  disabled.Disable();
+  TopKResult untraced;
+  run(&disabled, &untraced);
+  EXPECT_TRUE(disabled.events().empty());
+  ASSERT_EQ(untraced.entries.size(), traced.entries.size());
+  for (size_t i = 0; i < traced.entries.size(); ++i) {
+    EXPECT_EQ(untraced.entries[i].object, traced.entries[i].object);
+    EXPECT_DOUBLE_EQ(untraced.entries[i].score, traced.entries[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace nc::obs
