@@ -1,12 +1,21 @@
-// Fault tolerance: what failures cost. Sweeps the per-attempt transient
-// failure rate and reports how retries inflate access cost and simulated
-// elapsed time while the answer stays exact, then kills a source mid-run
-// at increasing depths and reports how much of the answer survives.
+// Robustness: what failures, budgets, and crash recovery cost. Sweeps the
+// per-attempt transient failure rate and reports how retries inflate
+// access cost and simulated elapsed time while the answer stays exact;
+// kills a source mid-run at increasing depths and reports how much of the
+// answer survives; sweeps cost caps and reports the budget overshoot
+// (never more than one access) and the certified epsilon of the anytime
+// answer; and checkpoints mid-run at increasing depths, reporting
+// snapshot size, serialize/parse time, and the resume overhead (zero
+// re-issued accesses, zero double-charged cost).
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
+#include "access/budget.h"
 #include "access/fault.h"
 #include "bench/bench_util.h"
+#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "core/parallel_executor.h"
 #include "core/reference.h"
@@ -117,6 +126,129 @@ int main() {
     row.report = obs::BuildRunReport(sources, nullptr, "NC", kK);
     AddJsonRow("NC die-after=" + std::to_string(die_after), row);
   }
-  nc::bench::WriteBenchJson("fault_tolerance");
+  // --- Budget overshoot --------------------------------------------------
+  // The tightness contract priced: how far past the cap a run lands (at
+  // most one access's cost) and how good the certified anytime answer is.
+  PrintHeader("Budget overshoot: accrued cost vs cost cap (sequential "
+              "engine, unit costs)");
+  std::printf("%10s %12s %10s %10s %12s %10s\n", "cap", "accrued",
+              "overshoot", "refusals", "certified", "epsilon");
+  PrintRule(70);
+  const double uncapped_cost = [&] {
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(SRGConfig::Default(kPredicates));
+    EngineOptions options;
+    options.k = kK;
+    TopKResult result;
+    NC_CHECK(RunNC(&sources, &scoring, &policy, options, &result).ok());
+    return sources.accrued_cost();
+  }();
+  for (const double fraction : {0.05, 0.25, 0.5, 0.75, 1.5}) {
+    const double cap = std::max(1.0, fraction * uncapped_cost);
+    SourceSet sources(&data, cost);
+    QueryBudget budget;
+    budget.max_cost = cap;
+    NC_CHECK(sources.set_budget(budget).ok());
+    SRGPolicy policy(SRGConfig::Default(kPredicates));
+    EngineOptions options;
+    options.k = kK;
+    NCEngine engine(&sources, &scoring, &policy, options);
+    TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    const double overshoot = std::max(0.0, sources.accrued_cost() - cap);
+    NC_CHECK(overshoot <= 1.0 + 1e-9);  // One unit access, by contract.
+    const bool certified = result.certificate.has_value();
+    const double epsilon = certified ? result.certificate->epsilon
+                                     : 0.0;
+    std::printf("%10.1f %12.1f %10.2f %10zu %12s %10.3f\n", cap,
+                sources.accrued_cost(), overshoot,
+                sources.stats().budget_refusals,
+                certified ? "yes" : "no (done)", epsilon);
+    RunStats row;
+    row.cost = sources.accrued_cost();
+    row.sorted = sources.stats().TotalSorted();
+    row.random = sources.stats().TotalRandom();
+    row.correct = !certified && engine.last_run_exact();
+    row.report = obs::BuildRunReport(sources, nullptr, "NC", kK);
+    AddJsonRow("NC cap=" + std::to_string(cap), row);
+  }
+
+  // --- Resume overhead ---------------------------------------------------
+  // Crash recovery priced: checkpoint at increasing depths, resume on
+  // fresh state, and report snapshot size, serialize+parse time, and what
+  // the recovery re-spent (nothing: zero re-issued accesses, zero cost).
+  PrintHeader("Checkpoint/resume overhead: kill at a fraction of the "
+              "uninterrupted run's accesses");
+  std::printf("%8s %8s %10s %12s %12s %10s %12s\n", "kill%", "kill",
+              "bytes", "ser+par us", "resume cost", "reissued",
+              "cost delta");
+  PrintRule(78);
+  const size_t total_accesses = [&] {
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(SRGConfig::Default(kPredicates));
+    EngineOptions options;
+    options.k = kK;
+    NCEngine engine(&sources, &scoring, &policy, options);
+    TopKResult result;
+    NC_CHECK(engine.Run(&result).ok());
+    return engine.accesses_performed();
+  }();
+  for (const double fraction : {0.1, 0.25, 0.5, 0.75, 0.95}) {
+    const size_t kill = std::max<size_t>(
+        1, static_cast<size_t>(fraction * static_cast<double>(
+                                              total_accesses)));
+    // The interrupted run, checkpointed right after access `kill`.
+    std::optional<EngineCheckpoint> checkpoint;
+    NCEngine* engine_ptr = nullptr;
+    SourceSet sources(&data, cost);
+    SRGPolicy policy(SRGConfig::Default(kPredicates));
+    EngineOptions options;
+    options.k = kK;
+    options.access_callback = [&checkpoint, &engine_ptr,
+                               kill](size_t count) {
+      if (count == kill) checkpoint = engine_ptr->Checkpoint();
+    };
+    NCEngine engine(&sources, &scoring, &policy, options);
+    engine_ptr = &engine;
+    TopKResult full_result;
+    NC_CHECK(engine.Run(&full_result).ok());
+    NC_CHECK(checkpoint.has_value());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string text = SerializeCheckpoint(*checkpoint);
+    EngineCheckpoint parsed;
+    NC_CHECK(ParseCheckpoint(text, &parsed).ok());
+    const auto t1 = std::chrono::steady_clock::now();
+    const double roundtrip_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    SourceSet resume_sources(&data, cost);
+    SRGPolicy resume_policy(SRGConfig::Default(kPredicates));
+    EngineOptions resume_options;
+    resume_options.k = kK;
+    NCEngine resume_engine(&resume_sources, &scoring, &resume_policy,
+                           resume_options);
+    TopKResult resumed;
+    NC_CHECK(resume_engine.Resume(parsed, &resumed).ok());
+    const size_t reissued =
+        resume_engine.accesses_performed() - (total_accesses - kill) - kill;
+    const double cost_delta =
+        std::abs(resume_sources.accrued_cost() - sources.accrued_cost());
+    NC_CHECK(reissued == 0);
+    NC_CHECK(cost_delta == 0.0);
+    std::printf("%7.0f%% %8zu %10zu %12.1f %12.1f %10zu %12.2f\n",
+                100.0 * fraction, kill, text.size(), roundtrip_us,
+                resume_sources.accrued_cost(), reissued, cost_delta);
+    RunStats row;
+    row.cost = resume_sources.accrued_cost();
+    row.sorted = resume_sources.stats().TotalSorted();
+    row.random = resume_sources.stats().TotalRandom();
+    row.correct = resumed == full_result;
+    row.report = obs::BuildRunReport(resume_sources, nullptr, "NC-resume",
+                                     kK);
+    AddJsonRow("NC-resume kill=" + std::to_string(kill), row);
+  }
+
+  nc::bench::WriteBenchJson("robustness");
   return 0;
 }

@@ -1,0 +1,61 @@
+#include "access/budget.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace nc {
+
+bool QueryBudget::unlimited() const {
+  if (max_cost > 0.0 || deadline > 0.0) return false;
+  for (size_t quota : predicate_quota) {
+    if (quota > 0) return false;
+  }
+  return true;
+}
+
+Status QueryBudget::Validate(size_t num_predicates) const {
+  if (!(max_cost >= 0.0) || !std::isfinite(max_cost)) {
+    return Status::InvalidArgument("max_cost must be finite and >= 0");
+  }
+  if (!(deadline >= 0.0) || !std::isfinite(deadline)) {
+    return Status::InvalidArgument("deadline must be finite and >= 0");
+  }
+  if (!predicate_quota.empty() &&
+      predicate_quota.size() != num_predicates) {
+    return Status::InvalidArgument(
+        "predicate_quota must be empty or cover every predicate");
+  }
+  return Status::OK();
+}
+
+std::string QueryBudget::ToString() const {
+  if (unlimited()) return "unlimited";
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << " ";
+    first = false;
+  };
+  if (max_cost > 0.0) {
+    sep();
+    os << "cost<=" << max_cost;
+  }
+  if (deadline > 0.0) {
+    sep();
+    os << "deadline<=" << deadline;
+  }
+  bool any_quota = false;
+  for (size_t quota : predicate_quota) any_quota = any_quota || quota > 0;
+  if (any_quota) {
+    sep();
+    os << "quota=(";
+    for (size_t i = 0; i < predicate_quota.size(); ++i) {
+      if (i > 0) os << ",";
+      os << predicate_quota[i];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace nc

@@ -1,0 +1,67 @@
+// Query budgets: hard limits on what one query may spend.
+//
+// A production middleware cannot let a single top-k query run open-ended
+// against priced, rate-limited Web sources (the per-source quota limits
+// of deep-web APIs make this concrete). QueryBudget caps a run along
+// three independent dimensions, all expressed in the units the paper
+// already uses:
+//
+//   * max_cost - a cap on the accrued access cost (Eq. 1, priced
+//     access-by-access including retry charges). Checked by SourceSet
+//     before every access, so a budgeted run stops within one access's
+//     worst case of the cap and never silently overshoots.
+//   * deadline - a cap on elapsed time. The sequential engines read the
+//     cost clock plus simulated penalties (timeouts, backoff waits) as
+//     elapsed time - the paper's elapsed-time interpretation of Eq. 1;
+//     the parallel executor additionally enforces it on its simulated
+//     makespan.
+//   * predicate_quota - per-predicate caps on performed accesses
+//     (sorted + random), the shape of a per-source request limit. A
+//     quota-spent predicate refuses further accesses while the rest of
+//     the query keeps going.
+//
+// Exhaustion is not an error: engines return the current top-k as a
+// *certified anytime answer* (core/result.h) carrying per-object score
+// intervals and a proven precision bound epsilon.
+
+#ifndef NC_ACCESS_BUDGET_H_
+#define NC_ACCESS_BUDGET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nc {
+
+struct QueryBudget {
+  // Cap on SourceSet::accrued_cost(); 0 = unlimited. Accesses are refused
+  // once the accrued cost reaches the cap, so the overshoot is bounded by
+  // one access's worst case (page charge plus retry charges).
+  double max_cost = 0.0;
+
+  // Cap on elapsed time, in cost units; 0 = none. See the header comment
+  // for which clock each executor reads.
+  double deadline = 0.0;
+
+  // Per-predicate cap on performed accesses (sorted + random together).
+  // Empty = no quotas; otherwise one entry per predicate, where an entry
+  // of 0 means that predicate is unlimited (mirroring max_cost = 0).
+  std::vector<size_t> predicate_quota;
+
+  // True when no dimension is constrained.
+  bool unlimited() const;
+
+  // OK iff every dimension is well-formed: non-negative finite caps and a
+  // quota vector that is empty or covers all `num_predicates` predicates.
+  Status Validate(size_t num_predicates) const;
+
+  // "cost<=120 deadline<=40 quota=(30,0,12)" for logs; "unlimited" when
+  // nothing is constrained.
+  std::string ToString() const;
+};
+
+}  // namespace nc
+
+#endif  // NC_ACCESS_BUDGET_H_

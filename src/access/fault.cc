@@ -1,5 +1,6 @@
 #include "access/fault.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -57,6 +58,13 @@ double RetryPolicy::BackoffDelay(size_t retry, Rng* rng) const {
   return delay;
 }
 
+Status CircuitBreakerPolicy::Validate() const {
+  if (!(cooldown >= 0.0) || !std::isfinite(cooldown)) {
+    return Status::InvalidArgument("cooldown must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
 FaultInjector::FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
 
 void FaultInjector::set_default_profile(const FaultProfile& profile) {
@@ -112,6 +120,52 @@ void FaultInjector::Reset() {
   rng_ = Rng(seed_);
   attempts_.clear();
   script_pos_.clear();
+}
+
+namespace {
+
+std::vector<std::pair<PredicateId, size_t>> SortedSnapshot(
+    const std::unordered_map<PredicateId, size_t>& counters) {
+  std::vector<std::pair<PredicateId, size_t>> snapshot(counters.begin(),
+                                                       counters.end());
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
+}
+
+}  // namespace
+
+std::vector<std::pair<PredicateId, size_t>> FaultInjector::attempt_counters()
+    const {
+  return SortedSnapshot(attempts_);
+}
+
+std::vector<std::pair<PredicateId, size_t>> FaultInjector::script_cursors()
+    const {
+  return SortedSnapshot(script_pos_);
+}
+
+Status FaultInjector::RestoreState(
+    const std::string& rng_state,
+    const std::vector<std::pair<PredicateId, size_t>>& attempt_counters,
+    const std::vector<std::pair<PredicateId, size_t>>& script_cursors) {
+  for (const auto& [predicate, cursor] : script_cursors) {
+    const auto it = scripts_.find(predicate);
+    const size_t script_size = it == scripts_.end() ? 0 : it->second.size();
+    if (cursor > script_size) {
+      return Status::InvalidArgument(
+          "script cursor past end of configured script");
+    }
+  }
+  NC_RETURN_IF_ERROR(rng_.DeserializeState(rng_state));
+  attempts_.clear();
+  for (const auto& [predicate, count] : attempt_counters) {
+    attempts_[predicate] = count;
+  }
+  script_pos_.clear();
+  for (const auto& [predicate, cursor] : script_cursors) {
+    script_pos_[predicate] = cursor;
+  }
+  return Status::OK();
 }
 
 }  // namespace nc

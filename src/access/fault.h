@@ -27,7 +27,9 @@
 #define NC_ACCESS_FAULT_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -90,6 +92,29 @@ struct RetryPolicy {
   double BackoffDelay(size_t retry, Rng* rng) const;
 };
 
+// Per-predicate circuit breaker. When a predicate's accesses keep failing
+// (every attempt exhausted, access abandoned), paying the full retry and
+// backoff schedule on each subsequent access just burns budget. With a
+// breaker configured, `failure_threshold` consecutive abandoned accesses
+// trip the predicate's breaker *open*: accesses on it fail fast
+// (kUnavailable) with no attempt made, nothing billed, and no penalty.
+// After `cooldown` elapsed-time units the breaker turns *half-open*: the
+// next access sends exactly one probe attempt. Success closes the breaker;
+// another failure re-opens it for a fresh cooldown. Trips and fast-fails
+// are counted in AccessStats and exported to MetricsRegistry.
+struct CircuitBreakerPolicy {
+  // Consecutive abandoned accesses on one predicate before its breaker
+  // trips. 0 disables the breaker entirely.
+  size_t failure_threshold = 0;
+  // Elapsed time (cost units, SourceSet::elapsed_time() clock) an open
+  // breaker waits before allowing a half-open probe.
+  double cooldown = 4.0;
+
+  bool enabled() const { return failure_threshold > 0; }
+
+  Status Validate() const;
+};
+
 // Draws attempt outcomes. Deterministic given the seed: the sequence of
 // NextOutcome calls fully determines every draw, and Reset() rewinds the
 // injector to its construction state (scripts included).
@@ -115,6 +140,24 @@ class FaultInjector {
   // Rewinds to the construction state: RNG reseeded, attempt counters
   // cleared, scripts restored.
   void Reset();
+
+  // --- Checkpoint support ----------------------------------------------
+  // The injector's replayable state: RNG stream, per-predicate attempt
+  // counters, and per-predicate script cursors. Counter/cursor snapshots
+  // are sorted by predicate so identical states serialize identically.
+  std::string rng_state() const { return rng_.SerializeState(); }
+  std::vector<std::pair<PredicateId, size_t>> attempt_counters() const;
+  std::vector<std::pair<PredicateId, size_t>> script_cursors() const;
+
+  // Restores a snapshot taken by the accessors above. Profiles and the
+  // scripts themselves are configuration, not state: the caller is
+  // expected to have configured this injector identically before
+  // restoring. InvalidArgument on malformed RNG text or on a script
+  // cursor pointing past its (current) script.
+  Status RestoreState(
+      const std::string& rng_state,
+      const std::vector<std::pair<PredicateId, size_t>>& attempt_counters,
+      const std::vector<std::pair<PredicateId, size_t>>& script_cursors);
 
  private:
   const FaultProfile& ProfileFor(PredicateId i) const;

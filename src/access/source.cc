@@ -1,5 +1,7 @@
 #include "access/source.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "obs/tracer.h"
 
@@ -20,6 +22,12 @@ size_t AccessStats::TotalRandom() const {
 size_t AccessStats::TotalRetried() const {
   size_t total = 0;
   for (size_t c : retried_attempts) total += c;
+  return total;
+}
+
+size_t AccessStats::TotalBreakerTrips() const {
+  size_t total = 0;
+  for (size_t c : breaker_trips) total += c;
   return total;
 }
 
@@ -69,20 +77,42 @@ SourceSet::SourceSet(ScoreProvider* provider,
   stats_.sorted_cost_accrued.assign(m, 0.0);
   stats_.random_cost_accrued.assign(m, 0.0);
   stats_.retried_attempts.assign(m, 0);
+  stats_.breaker_trips.assign(m, 0);
   positions_.assign(m, 0);
   last_seen_.assign(m, kMaxScore);
   source_down_.assign(m, false);
+  breaker_state_.assign(m, BreakerState{});
 }
 
 Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
   if (injector_ == nullptr) return Status::OK();
   const PredicateId i = access.predicate;
+  // Circuit breaker: an open breaker fast-fails until its cooldown
+  // elapses (nothing billed, no injector draw); after that the access
+  // becomes a half-open probe with a single attempt.
+  size_t attempt_cap = retry_policy_.max_attempts;
+  bool probing = false;
+  if (breaker_.enabled() && breaker_state_[i].open) {
+    if (elapsed_time() < breaker_state_[i].open_until) {
+      ++stats_.breaker_fast_failures;
+      return Status::Unavailable("p" + std::to_string(i) +
+                                 ": circuit breaker open");
+    }
+    probing = true;
+    attempt_cap = 1;
+  }
   std::vector<double>& cost_accrued = access.type == AccessType::kSorted
                                           ? stats_.sorted_cost_accrued
                                           : stats_.random_cost_accrued;
   for (size_t attempt = 1;; ++attempt) {
     const FaultKind fault = injector_->NextOutcome(i);
-    if (fault == FaultKind::kNone) return Status::OK();
+    if (fault == FaultKind::kNone) {
+      if (breaker_.enabled()) {
+        breaker_state_[i].consecutive_failures = 0;
+        breaker_state_[i].open = false;
+      }
+      return Status::OK();
+    }
     if (fault == FaultKind::kSourceDown) {
       if (trace_enabled_) {
         attempt_trace_.push_back(AccessAttempt{access, fault, false});
@@ -105,10 +135,11 @@ Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
       ++stats_.transient_failures;
     } else {
       ++stats_.timeout_failures;
-      last_access_penalty_ +=
-          retry_policy_.timeout_latency_factor * unit_cost;
+      const double served = retry_policy_.timeout_latency_factor * unit_cost;
+      last_access_penalty_ += served;
+      total_penalty_ += served;
     }
-    const bool giving_up = attempt >= retry_policy_.max_attempts;
+    const bool giving_up = attempt >= attempt_cap;
     if (trace_enabled_) {
       attempt_trace_.push_back(AccessAttempt{access, fault, giving_up});
     }
@@ -122,6 +153,16 @@ Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
     }
     if (giving_up) {
       ++stats_.abandoned_accesses;
+      if (breaker_.enabled()) {
+        BreakerState& state = breaker_state_[i];
+        if (probing ||
+            ++state.consecutive_failures >= breaker_.failure_threshold) {
+          state.open = true;
+          state.open_until = elapsed_time() + breaker_.cooldown;
+          state.consecutive_failures = 0;
+          ++stats_.breaker_trips[i];
+        }
+      }
       std::string message = "p";
       message += std::to_string(i);
       message += ": ";
@@ -130,7 +171,9 @@ Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
       return Status::Unavailable(std::move(message));
     }
     ++stats_.retried_attempts[i];
-    last_access_penalty_ += retry_policy_.BackoffDelay(attempt, &retry_rng_);
+    const double backoff = retry_policy_.BackoffDelay(attempt, &retry_rng_);
+    last_access_penalty_ += backoff;
+    total_penalty_ += backoff;
   }
 }
 
@@ -175,6 +218,13 @@ Status SourceSet::TrySortedAccess(PredicateId i,
                                ": source down");
   }
   if (exhausted(i)) return Status::OK();
+  if (access_barred(i)) {
+    // Refused before anything is billed: the cap can overshoot by at
+    // most the one access that crossed it.
+    ++stats_.budget_refusals;
+    return Status::ResourceExhausted("sa on p" + std::to_string(i) +
+                                     ": budget exhausted");
+  }
   NC_RETURN_IF_ERROR(AttemptAccess(Access::Sorted(i), cost_.sorted_cost[i]));
   ++stats_.sorted_count[i];
   // With a page model, the charge lands on the first entry of each page
@@ -231,6 +281,11 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
     return Status::Unavailable("ra on p" + std::to_string(i) +
                                ": source down");
   }
+  if (access_barred(i)) {
+    ++stats_.budget_refusals;
+    return Status::ResourceExhausted("ra on p" + std::to_string(i) +
+                                     ": budget exhausted");
+  }
   NC_RETURN_IF_ERROR(
       AttemptAccess(Access::Random(i, u), cost_.random_cost[i]));
   ++stats_.random_count[i];
@@ -273,6 +328,32 @@ Status SourceSet::set_cost_model(CostModel cost) {
   return Status::OK();
 }
 
+Status SourceSet::set_budget(QueryBudget budget) {
+  NC_RETURN_IF_ERROR(budget.Validate(num_predicates()));
+  budget_ = std::move(budget);
+  return Status::OK();
+}
+
+Status SourceSet::set_circuit_breaker(CircuitBreakerPolicy policy) {
+  NC_RETURN_IF_ERROR(policy.Validate());
+  breaker_ = policy;
+  return Status::OK();
+}
+
+bool SourceSet::breaker_open(PredicateId i) const {
+  NC_CHECK(i < num_predicates());
+  if (!breaker_.enabled()) return false;
+  const BreakerState& state = breaker_state_[i];
+  return state.open && elapsed_time() < state.open_until;
+}
+
+bool SourceSet::any_breaker_open() const {
+  for (PredicateId i = 0; i < num_predicates(); ++i) {
+    if (breaker_open(i)) return true;
+  }
+  return false;
+}
+
 void SourceSet::set_fault_injector(FaultInjector* injector) {
   injector_ = injector;
 }
@@ -302,6 +383,9 @@ void SourceSet::Reset() {
   stats_.timeout_failures = 0;
   stats_.abandoned_accesses = 0;
   stats_.source_deaths = 0;
+  stats_.breaker_trips.assign(m, 0);
+  stats_.breaker_fast_failures = 0;
+  stats_.budget_refusals = 0;
   accrued_cost_ = 0.0;
   positions_.assign(m, 0);
   last_seen_.assign(m, kMaxScore);
@@ -313,6 +397,8 @@ void SourceSet::Reset() {
   latency_rng_ = Rng(latency_seed_);
   retry_rng_ = Rng(retry_seed_);
   last_access_penalty_ = 0.0;
+  total_penalty_ = 0.0;
+  breaker_state_.assign(m, BreakerState{});
   // Revive dead sources: their construction-time unit costs return.
   // (Dynamic cost swaps on live sources persist, as before.)
   if (sources_down_ > 0) {
@@ -325,6 +411,120 @@ void SourceSet::Reset() {
     sources_down_ = 0;
   }
   if (injector_ != nullptr) injector_->Reset();
+}
+
+SourceCheckpoint SourceSet::Checkpoint() const {
+  SourceCheckpoint ck;
+  ck.positions = positions_;
+  ck.last_seen = last_seen_;
+  ck.stats = stats_;
+  ck.accrued_cost = accrued_cost_;
+  ck.last_access_penalty = last_access_penalty_;
+  ck.total_penalty = total_penalty_;
+  ck.probed.assign(probed_.begin(), probed_.end());
+  std::sort(ck.probed.begin(), ck.probed.end());
+  ck.sorted_cost = cost_.sorted_cost;
+  ck.random_cost = cost_.random_cost;
+  ck.source_down = source_down_;
+  const size_t m = num_predicates();
+  ck.breaker_consecutive.resize(m);
+  ck.breaker_open.resize(m);
+  ck.breaker_open_until.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    ck.breaker_consecutive[i] = breaker_state_[i].consecutive_failures;
+    ck.breaker_open[i] = breaker_state_[i].open;
+    ck.breaker_open_until[i] = breaker_state_[i].open_until;
+  }
+  ck.latency_rng_state = latency_rng_.SerializeState();
+  ck.retry_rng_state = retry_rng_.SerializeState();
+  ck.has_injector = injector_ != nullptr;
+  if (injector_ != nullptr) {
+    ck.injector_rng_state = injector_->rng_state();
+    ck.injector_attempts = injector_->attempt_counters();
+    ck.injector_script_pos = injector_->script_cursors();
+  }
+  ck.trace_enabled = trace_enabled_;
+  ck.attempt_trace = attempt_trace_;
+  return ck;
+}
+
+Status SourceSet::RestoreCheckpoint(const SourceCheckpoint& ck) {
+  const size_t m = num_predicates();
+  if (ck.positions.size() != m || ck.last_seen.size() != m ||
+      ck.sorted_cost.size() != m || ck.random_cost.size() != m ||
+      ck.source_down.size() != m || ck.breaker_consecutive.size() != m ||
+      ck.breaker_open.size() != m || ck.breaker_open_until.size() != m ||
+      ck.stats.sorted_count.size() != m || ck.stats.random_count.size() != m ||
+      ck.stats.sorted_cost_accrued.size() != m ||
+      ck.stats.random_cost_accrued.size() != m ||
+      ck.stats.retried_attempts.size() != m ||
+      ck.stats.breaker_trips.size() != m) {
+    return Status::InvalidArgument(
+        "checkpoint predicate count does not match this SourceSet");
+  }
+  if (ck.has_injector != (injector_ != nullptr)) {
+    return Status::FailedPrecondition(
+        "checkpoint and SourceSet disagree on fault-injector attachment");
+  }
+  const size_t n = num_objects();
+  for (size_t i = 0; i < m; ++i) {
+    if (ck.positions[i] > n) {
+      return Status::InvalidArgument("sorted cursor past end of stream");
+    }
+    // Capabilities may have been lost mid-run (deaths) but a checkpoint
+    // can never claim a capability this scenario never had.
+    if (std::isfinite(ck.sorted_cost[i]) &&
+        !initial_cost_.has_sorted(static_cast<PredicateId>(i))) {
+      return Status::InvalidArgument(
+          "checkpoint enables sorted access the scenario never had");
+    }
+    if (std::isfinite(ck.random_cost[i]) &&
+        !initial_cost_.has_random(static_cast<PredicateId>(i))) {
+      return Status::InvalidArgument(
+          "checkpoint enables random access the scenario never had");
+    }
+  }
+  for (const auto& [object, mask] : ck.probed) {
+    if (object >= n) {
+      return Status::InvalidArgument("probed object out of range");
+    }
+    if (m < 64 && (mask >> m) != 0) {
+      return Status::InvalidArgument("probed mask names unknown predicates");
+    }
+  }
+  // RNG streams first: DeserializeState validates without touching the
+  // rest of the state.
+  NC_RETURN_IF_ERROR(latency_rng_.DeserializeState(ck.latency_rng_state));
+  NC_RETURN_IF_ERROR(retry_rng_.DeserializeState(ck.retry_rng_state));
+  if (injector_ != nullptr) {
+    NC_RETURN_IF_ERROR(injector_->RestoreState(
+        ck.injector_rng_state, ck.injector_attempts, ck.injector_script_pos));
+  }
+  positions_ = ck.positions;
+  last_seen_ = ck.last_seen;
+  stats_ = ck.stats;
+  accrued_cost_ = ck.accrued_cost;
+  last_access_penalty_ = ck.last_access_penalty;
+  total_penalty_ = ck.total_penalty;
+  probed_.clear();
+  for (const auto& [object, mask] : ck.probed) probed_[object] = mask;
+  cost_.sorted_cost = ck.sorted_cost;
+  cost_.random_cost = ck.random_cost;
+  source_down_ = ck.source_down;
+  sources_down_ = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (source_down_[i]) ++sources_down_;
+  }
+  breaker_state_.assign(m, BreakerState{});
+  for (size_t i = 0; i < m; ++i) {
+    breaker_state_[i].consecutive_failures = ck.breaker_consecutive[i];
+    breaker_state_[i].open = ck.breaker_open[i];
+    breaker_state_[i].open_until = ck.breaker_open_until[i];
+  }
+  trace_enabled_ = ck.trace_enabled;
+  attempt_trace_ = ck.attempt_trace;
+  trace_ = SuccessfulAccesses(attempt_trace_);
+  return Status::OK();
 }
 
 void SourceSet::set_latency_jitter(double jitter, uint64_t seed) {

@@ -33,6 +33,19 @@
 // degraded scenario. The legacy SortedAccess/RandomAccess wrappers
 // crash on an unrecovered failure; fault-tolerant callers (the NC
 // engine, the parallel executor) use the Try* forms.
+//
+// --- Budgets and the circuit breaker ------------------------------------
+// With a QueryBudget attached (set_budget), every Try* access first
+// checks the cost cap, the deadline, and the predicate's quota; a barred
+// access is refused with kResourceExhausted *before anything is billed*,
+// so the accrued cost can overshoot the cap by at most one access's
+// worst case. With a CircuitBreakerPolicy attached (set_circuit_breaker),
+// a predicate whose accesses keep getting abandoned trips open and
+// fast-fails (kUnavailable, nothing billed, nothing drawn from the
+// injector) until a cooldown admits a half-open probe. Engines observe
+// both conditions through quota_exhausted()/breaker_open() to steer
+// around barred predicates and to emit certified anytime answers when no
+// choice remains.
 
 #ifndef NC_ACCESS_SOURCE_H_
 #define NC_ACCESS_SOURCE_H_
@@ -44,6 +57,7 @@
 #include <vector>
 
 #include "access/access.h"
+#include "access/budget.h"
 #include "access/cost_model.h"
 #include "access/fault.h"
 #include "access/score_provider.h"
@@ -95,14 +109,65 @@ struct AccessStats {
   // capabilities were downgraded).
   size_t source_deaths = 0;
 
+  // --- Budget / circuit-breaker counters -------------------------------
+  // Circuit-breaker trips per predicate (closed/half-open -> open).
+  std::vector<size_t> breaker_trips;
+  // Accesses refused instantly by an open breaker (nothing billed).
+  size_t breaker_fast_failures = 0;
+  // Accesses refused by the budget (cost cap, deadline, or quota) before
+  // anything was billed.
+  size_t budget_refusals = 0;
+
   size_t TotalSorted() const;
   size_t TotalRandom() const;
   size_t TotalRetried() const;
+  size_t TotalBreakerTrips() const;
 
   // Prices the counters against `model` (Eq. 1). Only meaningful for
   // static cost scenarios; dynamic runs (and runs with retries, which
   // are charged per attempt) should use SourceSet::accrued_cost().
   double TotalCost(const CostModel& model) const;
+};
+
+// A full snapshot of one SourceSet's mid-run state, sufficient to resume
+// a query on an identically configured SourceSet (same dataset/provider,
+// scenario, retry policy, budget, breaker policy, seeds, and injector
+// configuration) with bit-identical behavior and zero re-issued accesses.
+// Configuration itself is deliberately *not* captured: a checkpoint is
+// state, the scenario is code. Produced by SourceSet::Checkpoint(),
+// consumed by SourceSet::RestoreCheckpoint(); serialized (with the engine
+// state around it) by core/checkpoint.*.
+struct SourceCheckpoint {
+  std::vector<size_t> positions;
+  std::vector<Score> last_seen;
+  AccessStats stats;
+  double accrued_cost = 0.0;
+  double last_access_penalty = 0.0;
+  double total_penalty = 0.0;
+  // Probed-predicate bitmasks, sorted by object for deterministic
+  // serialization.
+  std::vector<std::pair<ObjectId, uint64_t>> probed;
+  // Current unit costs (reflecting mid-run deaths and dynamic swaps).
+  std::vector<double> sorted_cost;
+  std::vector<double> random_cost;
+  std::vector<bool> source_down;
+  // Circuit-breaker runtime state (empty when no breaker is configured).
+  std::vector<size_t> breaker_consecutive;
+  std::vector<bool> breaker_open;
+  std::vector<double> breaker_open_until;
+  // RNG stream states (Rng::SerializeState tokens).
+  std::string latency_rng_state;
+  std::string retry_rng_state;
+  // Fault-injector state; has_injector records whether one was attached
+  // (restore requires the same).
+  bool has_injector = false;
+  std::string injector_rng_state;
+  std::vector<std::pair<PredicateId, size_t>> injector_attempts;
+  std::vector<std::pair<PredicateId, size_t>> injector_script_pos;
+  // Attempt trace (empty unless tracing was enabled); the classic access
+  // trace is rebuilt from it on restore.
+  bool trace_enabled = false;
+  std::vector<AccessAttempt> attempt_trace;
 };
 
 class SourceSet {
@@ -175,6 +240,71 @@ class SourceSet {
   // access type that was impossible stays impossible for the run.
   Status set_cost_model(CostModel cost);
 
+  // --- Query budget ----------------------------------------------------
+  // Attaches a budget (validated against num_predicates()); every Try*
+  // access is checked against it before anything is billed. The budget
+  // is configuration: it persists across Reset(). Replace it with a
+  // default-constructed QueryBudget to lift all limits.
+  Status set_budget(QueryBudget budget);
+  const QueryBudget& budget() const { return budget_; }
+
+  // Elapsed time on the paper's Eq. 1 clock: accrued cost plus every
+  // simulated penalty served so far (timeouts, backoff waits). The
+  // sequential engines check the deadline against this; the parallel
+  // executor additionally enforces it on its makespan.
+  double elapsed_time() const { return accrued_cost_ + total_penalty_; }
+
+  // True when the accrued cost reached the cost cap.
+  bool cost_budget_exhausted() const {
+    return budget_.max_cost > 0.0 && accrued_cost_ >= budget_.max_cost;
+  }
+
+  // True when elapsed_time() reached the deadline.
+  bool deadline_exceeded() const {
+    return budget_.deadline > 0.0 && elapsed_time() >= budget_.deadline;
+  }
+
+  // True when any *global* budget dimension is spent (cost or deadline).
+  bool budget_exhausted() const {
+    return cost_budget_exhausted() || deadline_exceeded();
+  }
+
+  // True when predicate i's access quota is spent.
+  bool quota_exhausted(PredicateId i) const {
+    NC_CHECK(i < num_predicates());
+    if (budget_.predicate_quota.empty()) return false;
+    const size_t quota = budget_.predicate_quota[i];
+    return quota > 0 &&
+           stats_.sorted_count[i] + stats_.random_count[i] >= quota;
+  }
+
+  // True when the budget would refuse the next access on predicate i
+  // (globally spent or quota spent). Breaker state is separate:
+  // see breaker_open().
+  bool access_barred(PredicateId i) const {
+    return budget_exhausted() || quota_exhausted(i);
+  }
+
+  // Records one budget refusal in AccessStats. For callers that check
+  // access_barred() *before* issuing (the baselines' crashing wrappers
+  // leave them no other choice), so proactively barred accesses count
+  // exactly like Try*-level kResourceExhausted refusals.
+  void NoteBudgetRefusal() { ++stats_.budget_refusals; }
+
+  // --- Circuit breaker -------------------------------------------------
+  // Attaches a breaker policy (validated). Like the budget, the policy
+  // persists across Reset(); the runtime state (trip counts, open
+  // breakers) does not.
+  Status set_circuit_breaker(CircuitBreakerPolicy policy);
+  const CircuitBreakerPolicy& circuit_breaker() const { return breaker_; }
+
+  // True while predicate i's breaker is open and still cooling down
+  // (the next access would fast-fail rather than probe).
+  bool breaker_open(PredicateId i) const;
+
+  // True when any predicate's breaker is currently open (cooling down).
+  bool any_breaker_open() const;
+
   // --- Fault injection -------------------------------------------------
   // Attaches a fault injector (nullptr detaches; must outlive the
   // SourceSet). Without one, accesses never fail.
@@ -214,8 +344,23 @@ class SourceSet {
   // counters, accrued cost, and any trace cleared; latency and backoff
   // RNGs reseeded so reruns replay identical draws; dead sources revived
   // (their construction-time capabilities restored) and the fault
-  // injector, if any, rewound.
+  // injector, if any, rewound. Budget and breaker *policies* persist
+  // (they are configuration); breaker runtime state clears.
   void Reset();
+
+  // --- Checkpoint / resume ---------------------------------------------
+  // Snapshots the full mid-run state (cursors, bounds, stats, accrued
+  // cost, probed masks, breaker state, RNG streams, injector state,
+  // attempt trace). See SourceCheckpoint.
+  SourceCheckpoint Checkpoint() const;
+
+  // Restores a snapshot onto this SourceSet, which must be configured
+  // identically to the one that produced it (same predicate count,
+  // construction-time capabilities, injector attachment, scripts at
+  // least as long as the restored cursors). InvalidArgument /
+  // FailedPrecondition on mismatch, with no partial state applied for
+  // shape mismatches.
+  Status RestoreCheckpoint(const SourceCheckpoint& checkpoint);
 
   // --- Access tracing --------------------------------------------------
   // When enabled, every performed access is appended to trace() in order.
@@ -295,6 +440,18 @@ class SourceSet {
   std::vector<bool> source_down_;
   size_t sources_down_ = 0;
   double last_access_penalty_ = 0.0;
+  // Sum of every last_access_penalty_ charged this run; elapsed_time()
+  // reads accrued_cost_ + total_penalty_.
+  double total_penalty_ = 0.0;
+  QueryBudget budget_;
+  CircuitBreakerPolicy breaker_;
+  struct BreakerState {
+    size_t consecutive_failures = 0;
+    bool open = false;
+    // elapsed_time() value at which an open breaker admits a probe.
+    double open_until = 0.0;
+  };
+  std::vector<BreakerState> breaker_state_;
   bool trace_enabled_ = false;
   std::vector<Access> trace_;
   std::vector<AccessAttempt> attempt_trace_;

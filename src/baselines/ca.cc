@@ -37,6 +37,16 @@ Status RunCA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
   CandidatePool pool(m);
   BoundEvaluator bounds(&scoring);
   std::vector<Score> ceilings(m);
+  const auto emit_certified = [&](TerminationReason reason) {
+    for (PredicateId i = 0; i < m; ++i) ceilings[i] = sources->last_seen(i);
+    std::vector<CertifiedRow> rows;
+    PoolCertifiedRows(pool, bounds, ceilings, &rows);
+    const Score unseen = pool.size() < sources->num_objects()
+                             ? scoring.Evaluate(ceilings)
+                             : kMinScore;
+    BuildCertifiedResult(rows, unseen, k, reason, out);
+    return Status::OK();
+  };
 
   while (true) {
     // h rounds of round-robin sorted access.
@@ -44,6 +54,9 @@ Status RunCA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
     for (size_t round = 0; round < h; ++round) {
       for (PredicateId i = 0; i < m; ++i) {
         if (sources->exhausted(i)) continue;
+        if (BudgetBarred(*sources, i)) {
+          return emit_certified(BudgetBarReason(sources, i));
+        }
         const std::optional<SortedHit> hit = sources->SortedAccess(i);
         if (!hit.has_value()) continue;
         live = true;
@@ -71,6 +84,9 @@ Status RunCA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
     if (best_incomplete != nullptr) {
       for (PredicateId i = 0; i < m; ++i) {
         if (!best_incomplete->IsEvaluated(i)) {
+          if (BudgetBarred(*sources, i)) {
+            return emit_certified(BudgetBarReason(sources, i));
+          }
           best_incomplete->SetScore(
               i, sources->RandomAccess(i, best_incomplete->id));
         }

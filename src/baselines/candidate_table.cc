@@ -22,6 +22,58 @@ std::vector<PredicateId> RandomCapable(const CostModel& model) {
   return out;
 }
 
+bool BudgetBarred(const SourceSet& sources, PredicateId next_predicate) {
+  return sources.access_barred(next_predicate);
+}
+
+TerminationReason BudgetBarReason(SourceSet* sources,
+                                  PredicateId next_predicate) {
+  // The access the caller was about to issue was refused by the budget;
+  // account it like a Try*-level refusal (nothing was billed).
+  sources->NoteBudgetRefusal();
+  if (sources->cost_budget_exhausted()) {
+    return TerminationReason::kCostBudget;
+  }
+  if (sources->deadline_exceeded()) return TerminationReason::kDeadline;
+  NC_CHECK(sources->quota_exhausted(next_predicate));
+  return TerminationReason::kQuota;
+}
+
+CertifiedRow PartialRow(const ScoringFunction& scoring, ObjectId object,
+                        const std::vector<Score>& row, uint64_t known_mask,
+                        std::span<const Score> ceilings) {
+  const size_t m = row.size();
+  std::vector<Score> filled(m);
+  CertifiedRow out;
+  out.object = object;
+  for (PredicateId i = 0; i < m; ++i) {
+    filled[i] = ((known_mask >> i) & 1) != 0 ? row[i] : 0.0;
+  }
+  out.lower = scoring.Evaluate(filled);
+  for (PredicateId i = 0; i < m; ++i) {
+    filled[i] = ((known_mask >> i) & 1) != 0 ? row[i] : ceilings[i];
+  }
+  out.upper = scoring.Evaluate(filled);
+  return out;
+}
+
+void PoolCertifiedRows(CandidatePool& pool, BoundEvaluator& bounds,
+                       std::span<const Score> ceilings,
+                       std::vector<CertifiedRow>* rows) {
+  const size_t m = pool.num_predicates();
+  rows->clear();
+  rows->reserve(pool.size());
+  for (Candidate& c : pool) {
+    if (c.IsComplete(m)) {
+      const Score exact = bounds.Exact(c);
+      rows->push_back(CertifiedRow{c.id, exact, exact});
+    } else {
+      rows->push_back(
+          CertifiedRow{c.id, bounds.Lower(c), bounds.Upper(c, ceilings)});
+    }
+  }
+}
+
 Status RequireUniformCapabilities(const SourceSet& sources, bool need_sorted,
                                   bool need_random, const char* algorithm) {
   const CostModel& model = sources.cost_model();

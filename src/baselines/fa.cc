@@ -20,12 +20,30 @@ Status RunFA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
   // Phase 1: drain lists round-robin until k objects carry the full mask.
   std::unordered_map<ObjectId, uint64_t> seen_mask;
   std::unordered_map<ObjectId, std::vector<Score>> partial;
+  // A budget bar settles with a certified answer assembled from every
+  // seen object's interval (phase 2 keeps the masks current, so this
+  // works mid-completion too).
+  const auto emit_certified = [&](TerminationReason reason) {
+    std::vector<Score> ceilings(m);
+    for (PredicateId j = 0; j < m; ++j) ceilings[j] = sources->last_seen(j);
+    std::vector<CertifiedRow> rows;
+    rows.reserve(seen_mask.size());
+    for (const auto& [object, mask] : seen_mask) {
+      rows.push_back(
+          PartialRow(scoring, object, partial[object], mask, ceilings));
+    }
+    BuildCertifiedResult(rows, scoring.Evaluate(ceilings), k, reason, out);
+    return Status::OK();
+  };
   size_t fully_seen = 0;
   bool any_stream_live = true;
   while (fully_seen < k && any_stream_live) {
     any_stream_live = false;
     for (PredicateId i = 0; i < m && fully_seen < k; ++i) {
       if (sources->exhausted(i)) continue;
+      if (BudgetBarred(*sources, i)) {
+        return emit_certified(BudgetBarReason(sources, i));
+      }
       const std::optional<SortedHit> hit = sources->SortedAccess(i);
       if (!hit.has_value()) continue;
       any_stream_live = true;
@@ -47,7 +65,11 @@ Status RunFA(SourceSet* sources, const ScoringFunction& scoring, size_t k,
     std::vector<Score>& row = partial[object];
     for (PredicateId i = 0; i < m; ++i) {
       if ((mask & (uint64_t{1} << i)) == 0) {
+        if (BudgetBarred(*sources, i)) {
+          return emit_certified(BudgetBarReason(sources, i));
+        }
         row[i] = sources->RandomAccess(i, object);
+        mask |= uint64_t{1} << i;
       }
     }
     collector.Offer(object, scoring.Evaluate(row));

@@ -47,6 +47,13 @@ Status RunMPro(SourceSet* sources, const ScoringFunction& scoring, size_t k,
     if (c->IsComplete(m)) return bounds.Exact(*c);
     return bounds.Upper(*c, ceilings);
   };
+  // The whole universe is seeded into the pool, so no unseen ceiling.
+  const auto emit_certified = [&](TerminationReason reason) {
+    std::vector<CertifiedRow> rows;
+    PoolCertifiedRows(pool, bounds, ceilings, &rows);
+    BuildCertifiedResult(rows, kMinScore, k, reason, out);
+    return Status::OK();
+  };
 
   std::vector<LazyBoundHeap::Entry> top;
   while (true) {
@@ -71,6 +78,10 @@ Status RunMPro(SourceSet* sources, const ScoringFunction& scoring, size_t k,
     Candidate* c = pool.Find(next_probe->id);
     for (PredicateId i : order) {
       if (!c->IsEvaluated(i)) {
+        if (BudgetBarred(*sources, i)) {
+          heap.Reinsert(top);
+          return emit_certified(BudgetBarReason(sources, i));
+        }
         c->SetScore(i, sources->RandomAccess(i, c->id));
         break;
       }

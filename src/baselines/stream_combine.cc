@@ -126,6 +126,18 @@ Status RunStreamCombine(SourceSet* sources, const ScoringFunction& scoring,
       return Status::OK();
     }
 
+    if (BudgetBarred(*sources, pick)) {
+      // Ceilings were refreshed this iteration and no access has happened
+      // since, so the pool bounds are current.
+      std::vector<CertifiedRow> rows;
+      PoolCertifiedRows(pool, bounds, ceilings, &rows);
+      const Score unseen = pool.size() < sources->num_objects()
+                               ? scoring.Evaluate(ceilings)
+                               : kMinScore;
+      BuildCertifiedResult(rows, unseen, k, BudgetBarReason(sources, pick),
+                           out);
+      return Status::OK();
+    }
     const std::optional<SortedHit> hit = sources->SortedAccess(pick);
     NC_CHECK(hit.has_value());
     Candidate& c = pool.GetOrCreate(hit->object);

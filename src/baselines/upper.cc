@@ -55,6 +55,16 @@ Status RunUpper(SourceSet* sources, const ScoringFunction& scoring, size_t k,
     if (c->IsComplete(m)) return bounds.Exact(*c);
     return bounds.Upper(*c, ceilings);
   };
+  const auto emit_certified = [&](TerminationReason reason) {
+    refresh_ceilings();
+    std::vector<CertifiedRow> rows;
+    PoolCertifiedRows(pool, bounds, ceilings, &rows);
+    const Score unseen = (discovery && pool.size() < n)
+                             ? scoring.Evaluate(ceilings)
+                             : kMinScore;
+    BuildCertifiedResult(rows, unseen, k, reason, out);
+    return Status::OK();
+  };
 
   PredicateId rr_sorted = 0;
   std::vector<LazyBoundHeap::Entry> top;
@@ -89,6 +99,10 @@ Status RunUpper(SourceSet* sources, const ScoringFunction& scoring, size_t k,
         const PredicateId i = rr_sorted % m;
         rr_sorted = (rr_sorted + 1) % m;
         if (!sources->has_sorted(i) || sources->exhausted(i)) continue;
+        if (BudgetBarred(*sources, i)) {
+          heap.Reinsert(top);
+          return emit_certified(BudgetBarReason(sources, i));
+        }
         const std::optional<SortedHit> hit = sources->SortedAccess(i);
         NC_CHECK(hit.has_value());
         bool created = false;
@@ -117,6 +131,10 @@ Status RunUpper(SourceSet* sources, const ScoringFunction& scoring, size_t k,
         }
       }
       NC_CHECK(best < m);
+      if (BudgetBarred(*sources, best)) {
+        heap.Reinsert(top);
+        return emit_certified(BudgetBarReason(sources, best));
+      }
       c->SetScore(best, sources->RandomAccess(best, c->id));
     }
     heap.Reinsert(top);

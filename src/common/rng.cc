@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace nc {
 
@@ -84,6 +85,23 @@ std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n,
     }
   }
   return picked;
+}
+
+std::string Rng::SerializeState() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::DeserializeState(const std::string& text) {
+  std::istringstream is(text);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) {
+    return Status::InvalidArgument("malformed RNG state");
+  }
+  engine_ = restored;
+  return Status::OK();
 }
 
 }  // namespace nc

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace nc {
 
@@ -50,6 +52,17 @@ class Rng {
   // Draws `count` distinct indices from [0, n) (count <= n), in increasing
   // order (reservoir-free selection sampling; deterministic given the seed).
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t count);
+
+  // --- Checkpoint support ----------------------------------------------
+  // The engine's stream state as a token string (std::mt19937_64's
+  // standard stream format). The Zipf CDF cache is a pure cache keyed by
+  // its inputs and is not part of the state: a restored Rng replays the
+  // exact draw sequence regardless.
+  std::string SerializeState() const;
+
+  // Restores a SerializeState() string; InvalidArgument on malformed
+  // input (the stream state is then unchanged).
+  Status DeserializeState(const std::string& text);
 
  private:
   std::mt19937_64 engine_;

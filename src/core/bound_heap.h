@@ -54,6 +54,12 @@ class LazyBoundHeap {
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 
+  // The live entries in internal (heap-array) order, for checkpointing.
+  // Behavior depends only on the *multiset* of entries (the comparator is
+  // a strict total order), so re-Pushing these in any order reproduces
+  // identical pop sequences.
+  const std::vector<Entry>& entries() const { return heap_; }
+
  private:
   // std::push_heap/pop_heap over this comparator keep the max on top.
   static bool Before(const Entry& a, const Entry& b);

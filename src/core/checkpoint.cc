@@ -1,0 +1,463 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "access/trace_format.h"
+#include "common/check.h"
+
+namespace nc {
+
+namespace {
+
+// C hexfloat: byte-exact double round-trips, inf included.
+std::string HexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(token.c_str(), &end, 10);
+  return end == token.c_str() + token.size();
+}
+
+bool ParseF64(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed checkpoint: " + what);
+}
+
+// Emits the fixed-order `key value` lines (bare key when the value is
+// empty, so empty strings round-trip).
+class Writer {
+ public:
+  void Line(const char* key, const std::string& value) {
+    os_ << key;
+    if (!value.empty()) os_ << ' ' << value;
+    os_ << '\n';
+  }
+  void UInt(const char* key, uint64_t v) { Line(key, std::to_string(v)); }
+  void Double(const char* key, double v) { Line(key, HexDouble(v)); }
+  void Bool(const char* key, bool v) { Line(key, v ? "1" : "0"); }
+
+  void UIntVec(const char* key, const std::vector<size_t>& values) {
+    std::ostringstream v;
+    v << values.size();
+    for (size_t x : values) v << ' ' << x;
+    Line(key, v.str());
+  }
+  void DoubleVec(const char* key, const std::vector<double>& values) {
+    std::ostringstream v;
+    v << values.size();
+    for (double x : values) v << ' ' << HexDouble(x);
+    Line(key, v.str());
+  }
+  void BoolVec(const char* key, const std::vector<bool>& values) {
+    std::ostringstream v;
+    v << values.size();
+    for (bool x : values) v << ' ' << (x ? 1 : 0);
+    Line(key, v.str());
+  }
+  template <typename A, typename B>
+  void PairVec(const char* key, const std::vector<std::pair<A, B>>& values) {
+    std::ostringstream v;
+    v << values.size();
+    for (const auto& [a, b] : values) {
+      v << ' ' << static_cast<uint64_t>(a) << ' ' << static_cast<uint64_t>(b);
+    }
+    Line(key, v.str());
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+// Consumes the same fixed-order lines. Every accessor returns a Status so
+// truncation and key mismatches surface with the expected key named.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : in_(text) {}
+
+  Status Expect(const char* key, std::string* value) {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      return Malformed(std::string("truncated before '") + key + "'");
+    }
+    const std::string k(key);
+    if (line == k) {
+      value->clear();
+      return Status::OK();
+    }
+    if (line.size() > k.size() && line.compare(0, k.size(), k) == 0 &&
+        line[k.size()] == ' ') {
+      *value = line.substr(k.size() + 1);
+      return Status::OK();
+    }
+    return Malformed(std::string("expected '") + key + "', got '" + line +
+                     "'");
+  }
+
+  Status UInt(const char* key, uint64_t* out) {
+    std::string value;
+    NC_RETURN_IF_ERROR(Expect(key, &value));
+    if (!ParseU64(value, out)) return Malformed(std::string(key));
+    return Status::OK();
+  }
+
+  Status Double(const char* key, double* out) {
+    std::string value;
+    NC_RETURN_IF_ERROR(Expect(key, &value));
+    if (!ParseF64(value, out)) return Malformed(std::string(key));
+    return Status::OK();
+  }
+
+  Status Bool(const char* key, bool* out) {
+    uint64_t v = 0;
+    NC_RETURN_IF_ERROR(UInt(key, &v));
+    if (v > 1) return Malformed(std::string(key) + " is not a flag");
+    *out = v == 1;
+    return Status::OK();
+  }
+
+  // Splits a counted-vector value into its raw tokens.
+  Status Tokens(const char* key, std::vector<std::string>* out,
+                size_t per_element = 1) {
+    std::string value;
+    NC_RETURN_IF_ERROR(Expect(key, &value));
+    std::istringstream tokens(value);
+    std::string count_token;
+    uint64_t count = 0;
+    if (!(tokens >> count_token) || !ParseU64(count_token, &count)) {
+      return Malformed(std::string(key) + " count");
+    }
+    out->clear();
+    std::string token;
+    while (tokens >> token) out->push_back(token);
+    if (out->size() != count * per_element) {
+      return Malformed(std::string(key) + " element count");
+    }
+    return Status::OK();
+  }
+
+  Status UIntVec(const char* key, std::vector<size_t>* out) {
+    std::vector<std::string> tokens;
+    NC_RETURN_IF_ERROR(Tokens(key, &tokens));
+    out->clear();
+    for (const std::string& t : tokens) {
+      uint64_t v = 0;
+      if (!ParseU64(t, &v)) return Malformed(std::string(key));
+      out->push_back(static_cast<size_t>(v));
+    }
+    return Status::OK();
+  }
+
+  Status DoubleVec(const char* key, std::vector<double>* out) {
+    std::vector<std::string> tokens;
+    NC_RETURN_IF_ERROR(Tokens(key, &tokens));
+    out->clear();
+    for (const std::string& t : tokens) {
+      double v = 0.0;
+      if (!ParseF64(t, &v)) return Malformed(std::string(key));
+      out->push_back(v);
+    }
+    return Status::OK();
+  }
+
+  Status BoolVec(const char* key, std::vector<bool>* out) {
+    std::vector<std::string> tokens;
+    NC_RETURN_IF_ERROR(Tokens(key, &tokens));
+    out->clear();
+    for (const std::string& t : tokens) {
+      uint64_t v = 0;
+      if (!ParseU64(t, &v) || v > 1) return Malformed(std::string(key));
+      out->push_back(v == 1);
+    }
+    return Status::OK();
+  }
+
+  template <typename A, typename B>
+  Status PairVec(const char* key, std::vector<std::pair<A, B>>* out) {
+    std::vector<std::string> tokens;
+    NC_RETURN_IF_ERROR(Tokens(key, &tokens, 2));
+    out->clear();
+    for (size_t i = 0; i < tokens.size(); i += 2) {
+      uint64_t a = 0;
+      uint64_t b = 0;
+      if (!ParseU64(tokens[i], &a) || !ParseU64(tokens[i + 1], &b)) {
+        return Malformed(std::string(key));
+      }
+      out->emplace_back(static_cast<A>(a), static_cast<B>(b));
+    }
+    return Status::OK();
+  }
+
+  Status ReadLine(std::string* line, const char* context) {
+    if (!std::getline(in_, *line)) {
+      return Malformed(std::string("truncated in ") + context);
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() {
+    return in_.peek() == std::char_traits<char>::eof();
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace
+
+std::string SerializeCheckpoint(const EngineCheckpoint& ck) {
+  Writer w;
+  w.Line("ncckpt", std::to_string(ck.version));
+  w.UInt("k", ck.k);
+  w.UInt("m", ck.num_predicates);
+  w.UInt("n", ck.num_objects);
+  w.UInt("accesses", ck.accesses);
+  w.UInt("phase_accesses", ck.phase_accesses);
+  w.UInt("consecutive_failures", ck.consecutive_failures);
+  w.Double("choice_width_total", ck.choice_width_total);
+  w.Bool("universe_seeded", ck.universe_seeded);
+  {
+    std::ostringstream v;
+    v << (ck.has_complete_topk ? 1 : 0) << ' ' << ck.complete_topk.size();
+    for (const TopKEntry& e : ck.complete_topk) {
+      v << ' ' << e.object << ' ' << HexDouble(e.score);
+    }
+    w.Line("complete_topk", v.str());
+  }
+  w.UInt("pool", ck.pool.size());
+  for (const CandidateCheckpoint& c : ck.pool) {
+    std::ostringstream v;
+    v << c.object << ' ' << c.mask;
+    for (Score s : c.scores) v << ' ' << HexDouble(s);
+    w.Line("cand", v.str());
+  }
+  {
+    std::ostringstream v;
+    v << ck.heap.size();
+    for (const LazyBoundHeap::Entry& e : ck.heap) {
+      v << ' ' << e.object << ' ' << HexDouble(e.bound);
+    }
+    w.Line("heap", v.str());
+  }
+  w.Line("policy", ck.policy_state);
+
+  const SourceCheckpoint& src = ck.sources;
+  w.UIntVec("src_positions", src.positions);
+  w.DoubleVec("src_last_seen", src.last_seen);
+  w.Double("src_accrued_cost", src.accrued_cost);
+  w.Double("src_last_penalty", src.last_access_penalty);
+  w.Double("src_total_penalty", src.total_penalty);
+  w.PairVec("src_probed", src.probed);
+  w.DoubleVec("src_sorted_cost", src.sorted_cost);
+  w.DoubleVec("src_random_cost", src.random_cost);
+  w.BoolVec("src_source_down", src.source_down);
+  w.UIntVec("src_breaker_consecutive", src.breaker_consecutive);
+  w.BoolVec("src_breaker_open", src.breaker_open);
+  w.DoubleVec("src_breaker_open_until", src.breaker_open_until);
+  w.Line("src_latency_rng", src.latency_rng_state);
+  w.Line("src_retry_rng", src.retry_rng_state);
+  w.Bool("src_has_injector", src.has_injector);
+  w.Line("src_injector_rng", src.injector_rng_state);
+  w.PairVec("src_injector_attempts", src.injector_attempts);
+  w.PairVec("src_injector_scripts", src.injector_script_pos);
+  w.Bool("src_trace_enabled", src.trace_enabled);
+  w.Line("src_attempt_trace", SerializeAttemptTrace(src.attempt_trace));
+
+  const AccessStats& stats = src.stats;
+  w.UIntVec("stats_sorted_count", stats.sorted_count);
+  w.UIntVec("stats_random_count", stats.random_count);
+  w.DoubleVec("stats_sorted_cost", stats.sorted_cost_accrued);
+  w.DoubleVec("stats_random_cost", stats.random_cost_accrued);
+  w.UInt("stats_duplicate_random", stats.duplicate_random_count);
+  w.UIntVec("stats_retried", stats.retried_attempts);
+  w.UInt("stats_transient", stats.transient_failures);
+  w.UInt("stats_timeout", stats.timeout_failures);
+  w.UInt("stats_abandoned", stats.abandoned_accesses);
+  w.UInt("stats_deaths", stats.source_deaths);
+  w.UIntVec("stats_breaker_trips", stats.breaker_trips);
+  w.UInt("stats_breaker_fast_failures", stats.breaker_fast_failures);
+  w.UInt("stats_budget_refusals", stats.budget_refusals);
+  return w.str();
+}
+
+Status ParseCheckpoint(const std::string& text, EngineCheckpoint* out) {
+  NC_CHECK(out != nullptr);
+  Parser p(text);
+  EngineCheckpoint ck;
+  uint64_t version = 0;
+  NC_RETURN_IF_ERROR(p.UInt("ncckpt", &version));
+  if (version != kEngineCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  ck.version = static_cast<uint32_t>(version);
+  uint64_t u = 0;
+  NC_RETURN_IF_ERROR(p.UInt("k", &u));
+  ck.k = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("m", &u));
+  ck.num_predicates = static_cast<size_t>(u);
+  if (ck.num_predicates == 0 || ck.num_predicates > 64) {
+    return Malformed("predicate count out of range");
+  }
+  NC_RETURN_IF_ERROR(p.UInt("n", &u));
+  ck.num_objects = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("accesses", &u));
+  ck.accesses = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("phase_accesses", &u));
+  ck.phase_accesses = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("consecutive_failures", &u));
+  ck.consecutive_failures = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.Double("choice_width_total", &ck.choice_width_total));
+  NC_RETURN_IF_ERROR(p.Bool("universe_seeded", &ck.universe_seeded));
+
+  {
+    std::string value;
+    NC_RETURN_IF_ERROR(p.Expect("complete_topk", &value));
+    std::istringstream tokens(value);
+    std::string token;
+    uint64_t has = 0;
+    uint64_t count = 0;
+    if (!(tokens >> token) || !ParseU64(token, &has) || has > 1 ||
+        !(tokens >> token) || !ParseU64(token, &count)) {
+      return Malformed("complete_topk header");
+    }
+    ck.has_complete_topk = has == 1;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string score_token;
+      uint64_t object = 0;
+      double score = 0.0;
+      if (!(tokens >> token >> score_token) || !ParseU64(token, &object) ||
+          !ParseF64(score_token, &score)) {
+        return Malformed("complete_topk entry");
+      }
+      ck.complete_topk.push_back(
+          TopKEntry{static_cast<ObjectId>(object), score});
+    }
+    if (tokens >> token) return Malformed("complete_topk trailing tokens");
+  }
+
+  uint64_t pool_count = 0;
+  NC_RETURN_IF_ERROR(p.UInt("pool", &pool_count));
+  ck.pool.reserve(static_cast<size_t>(pool_count));
+  for (uint64_t c = 0; c < pool_count; ++c) {
+    std::string line;
+    NC_RETURN_IF_ERROR(p.ReadLine(&line, "pool"));
+    std::istringstream tokens(line);
+    std::string token;
+    if (!(tokens >> token) || token != "cand") {
+      return Malformed("expected 'cand' line");
+    }
+    CandidateCheckpoint cand;
+    uint64_t object = 0;
+    uint64_t mask = 0;
+    std::string object_token;
+    std::string mask_token;
+    if (!(tokens >> object_token >> mask_token) ||
+        !ParseU64(object_token, &object) || !ParseU64(mask_token, &mask)) {
+      return Malformed("cand header");
+    }
+    cand.object = static_cast<ObjectId>(object);
+    cand.mask = mask;
+    if (ck.num_predicates < 64 && (mask >> ck.num_predicates) != 0) {
+      return Malformed("cand mask names unknown predicates");
+    }
+    const int bits = __builtin_popcountll(mask);
+    for (int b = 0; b < bits; ++b) {
+      double score = 0.0;
+      if (!(tokens >> token) || !ParseF64(token, &score)) {
+        return Malformed("cand score");
+      }
+      cand.scores.push_back(score);
+    }
+    if (tokens >> token) return Malformed("cand trailing tokens");
+    ck.pool.push_back(std::move(cand));
+  }
+
+  {
+    std::vector<std::string> tokens;
+    NC_RETURN_IF_ERROR(p.Tokens("heap", &tokens, 2));
+    for (size_t i = 0; i < tokens.size(); i += 2) {
+      uint64_t object = 0;
+      double bound = 0.0;
+      if (!ParseU64(tokens[i], &object) || !ParseF64(tokens[i + 1], &bound)) {
+        return Malformed("heap entry");
+      }
+      ck.heap.push_back(
+          LazyBoundHeap::Entry{bound, static_cast<ObjectId>(object)});
+    }
+  }
+  NC_RETURN_IF_ERROR(p.Expect("policy", &ck.policy_state));
+
+  SourceCheckpoint& src = ck.sources;
+  NC_RETURN_IF_ERROR(p.UIntVec("src_positions", &src.positions));
+  NC_RETURN_IF_ERROR(p.DoubleVec("src_last_seen", &src.last_seen));
+  NC_RETURN_IF_ERROR(p.Double("src_accrued_cost", &src.accrued_cost));
+  NC_RETURN_IF_ERROR(p.Double("src_last_penalty", &src.last_access_penalty));
+  NC_RETURN_IF_ERROR(p.Double("src_total_penalty", &src.total_penalty));
+  NC_RETURN_IF_ERROR(p.PairVec("src_probed", &src.probed));
+  NC_RETURN_IF_ERROR(p.DoubleVec("src_sorted_cost", &src.sorted_cost));
+  NC_RETURN_IF_ERROR(p.DoubleVec("src_random_cost", &src.random_cost));
+  NC_RETURN_IF_ERROR(p.BoolVec("src_source_down", &src.source_down));
+  NC_RETURN_IF_ERROR(
+      p.UIntVec("src_breaker_consecutive", &src.breaker_consecutive));
+  NC_RETURN_IF_ERROR(p.BoolVec("src_breaker_open", &src.breaker_open));
+  NC_RETURN_IF_ERROR(
+      p.DoubleVec("src_breaker_open_until", &src.breaker_open_until));
+  NC_RETURN_IF_ERROR(p.Expect("src_latency_rng", &src.latency_rng_state));
+  NC_RETURN_IF_ERROR(p.Expect("src_retry_rng", &src.retry_rng_state));
+  NC_RETURN_IF_ERROR(p.Bool("src_has_injector", &src.has_injector));
+  NC_RETURN_IF_ERROR(p.Expect("src_injector_rng", &src.injector_rng_state));
+  NC_RETURN_IF_ERROR(
+      p.PairVec("src_injector_attempts", &src.injector_attempts));
+  NC_RETURN_IF_ERROR(
+      p.PairVec("src_injector_scripts", &src.injector_script_pos));
+  NC_RETURN_IF_ERROR(p.Bool("src_trace_enabled", &src.trace_enabled));
+  {
+    std::string value;
+    NC_RETURN_IF_ERROR(p.Expect("src_attempt_trace", &value));
+    NC_RETURN_IF_ERROR(ParseAttemptTrace(value, &src.attempt_trace));
+  }
+
+  AccessStats& stats = src.stats;
+  NC_RETURN_IF_ERROR(p.UIntVec("stats_sorted_count", &stats.sorted_count));
+  NC_RETURN_IF_ERROR(p.UIntVec("stats_random_count", &stats.random_count));
+  NC_RETURN_IF_ERROR(
+      p.DoubleVec("stats_sorted_cost", &stats.sorted_cost_accrued));
+  NC_RETURN_IF_ERROR(
+      p.DoubleVec("stats_random_cost", &stats.random_cost_accrued));
+  NC_RETURN_IF_ERROR(p.UInt("stats_duplicate_random", &u));
+  stats.duplicate_random_count = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UIntVec("stats_retried", &stats.retried_attempts));
+  NC_RETURN_IF_ERROR(p.UInt("stats_transient", &u));
+  stats.transient_failures = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_timeout", &u));
+  stats.timeout_failures = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_abandoned", &u));
+  stats.abandoned_accesses = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_deaths", &u));
+  stats.source_deaths = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UIntVec("stats_breaker_trips", &stats.breaker_trips));
+  NC_RETURN_IF_ERROR(p.UInt("stats_breaker_fast_failures", &u));
+  stats.breaker_fast_failures = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_budget_refusals", &u));
+  stats.budget_refusals = static_cast<size_t>(u);
+  if (!p.AtEnd()) return Malformed("trailing content");
+  *out = std::move(ck);
+  return Status::OK();
+}
+
+}  // namespace nc

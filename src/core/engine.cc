@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -38,12 +39,20 @@ std::optional<Score> NCEngine::CurrentBound(ObjectId u) {
 }
 
 void NCEngine::BuildAlternatives(ObjectId target) {
+  // Quota-spent predicates are withheld (a hard, permanent bar);
+  // breaker-open predicates are NOT - their fast-fails are transient,
+  // unbilled, and bounded by the consecutive-failure guard.
   alternatives_.clear();
+  skipped_quota_ = false;
   const size_t m = sources_->num_predicates();
   if (target == kUnseenObject) {
     // No-wild-guesses: an unseen object admits only sorted accesses.
     for (PredicateId i = 0; i < m; ++i) {
       if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+        if (sources_->quota_exhausted(i)) {
+          skipped_quota_ = true;
+          continue;
+        }
         alternatives_.push_back(Access::Sorted(i));
       }
     }
@@ -54,12 +63,20 @@ void NCEngine::BuildAlternatives(ObjectId target) {
   for (PredicateId i = 0; i < m; ++i) {
     if (c->IsEvaluated(i)) continue;
     if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+      if (sources_->quota_exhausted(i)) {
+        skipped_quota_ = true;
+        continue;
+      }
       alternatives_.push_back(Access::Sorted(i));
     }
   }
   for (PredicateId i = 0; i < m; ++i) {
     if (c->IsEvaluated(i)) continue;
     if (sources_->has_random(i)) {
+      if (sources_->quota_exhausted(i)) {
+        skipped_quota_ = true;
+        continue;
+      }
       alternatives_.push_back(Access::Random(i, target));
     }
   }
@@ -107,20 +124,42 @@ Status NCEngine::Perform(const Access& access) {
   return Status::OK();
 }
 
-void NCEngine::EmitBestEffort(TopKResult* out) {
-  // Anytime answer: the current top-k by maximal-possible score, scores
-  // reported as upper bounds.
+void NCEngine::EmitCertified(TerminationReason reason, TopKResult* out) {
+  // Certified anytime answer: the current top-k by maximal-possible
+  // score, each entry carrying its proven [lower, upper] interval, plus
+  // the epsilon those intervals imply against everything excluded.
+  // Popping k+1 entries verifies one bound past the answer; since pops
+  // come in verified rank order, that extra bound dominates every entry
+  // still in the heap, so the excluded ceiling is sound without a
+  // global rescan. (The sentinel stands for no concrete object; it is
+  // folded into the excluded ceiling, not returned.)
   const auto bound_fn = [this](ObjectId u) { return CurrentBound(u); };
-  heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+  heap_.PopTopK(options_.k + 1, bound_fn, &topk_scratch_);
   out->entries.clear();
-  out->entries.reserve(topk_scratch_.size());
+  AnytimeCertificate cert;
+  cert.reason = reason;
+  Score min_lower = kMaxScore;
   for (const LazyBoundHeap::Entry& e : topk_scratch_) {
-    // The sentinel stands for no concrete object; skip it (the answer
-    // may then be shorter than k - honestly so).
-    if (e.object == kUnseenObject) continue;
+    if (e.object == kUnseenObject || out->entries.size() == options_.k) {
+      cert.excluded_ceiling = std::max(cert.excluded_ceiling, e.bound);
+      continue;
+    }
+    const Candidate* c = pool_.Find(e.object);
+    NC_CHECK(c != nullptr);
+    const Score lower = bounds_.Lower(*c);
     out->entries.push_back(TopKEntry{e.object, e.bound});
+    cert.intervals.push_back(ScoreInterval{lower, e.bound});
+    min_lower = std::min(min_lower, lower);
   }
   heap_.Reinsert(topk_scratch_);
+  if (out->entries.empty()) min_lower = kMinScore;
+  cert.epsilon = CertifiedEpsilon(min_lower, cert.excluded_ceiling);
+  if (obs::ShouldTrace(options_.tracer)) {
+    options_.tracer->RecordCertificate(TerminationReasonName(reason),
+                                       cert.epsilon, cert.excluded_ceiling,
+                                       sources_->accrued_cost());
+  }
+  out->certificate = std::move(cert);
   last_run_exact_ = false;
   last_run_truncated_ = true;
 }
@@ -128,6 +167,7 @@ void NCEngine::EmitBestEffort(TopKResult* out) {
 Status NCEngine::Run(TopKResult* out) {
   NC_CHECK(out != nullptr);
   out->entries.clear();
+  out->certificate.reset();
   const size_t m = sources_->num_predicates();
   const size_t n = sources_->num_objects();
   NC_RETURN_IF_ERROR(sources_->cost_model().Validate());
@@ -184,6 +224,7 @@ Status NCEngine::Run(TopKResult* out) {
 Status NCEngine::Extend(size_t new_k, TopKResult* out) {
   NC_CHECK(out != nullptr);
   out->entries.clear();
+  out->certificate.reset();
   if (!has_run_) {
     return Status::FailedPrecondition("Extend requires a completed Run");
   }
@@ -212,6 +253,134 @@ Status NCEngine::Extend(size_t new_k, TopKResult* out) {
   return InstrumentedLoop("extend", out);
 }
 
+EngineCheckpoint NCEngine::Checkpoint() const {
+  EngineCheckpoint ck;
+  ck.version = kEngineCheckpointVersion;
+  ck.k = options_.k;
+  const size_t m = sources_->num_predicates();
+  ck.num_predicates = m;
+  ck.num_objects = sources_->num_objects();
+  ck.accesses = accesses_;
+  ck.phase_accesses = phase_accesses_;
+  ck.consecutive_failures = consecutive_failures_;
+  ck.choice_width_total = choice_width_total_;
+  ck.universe_seeded = universe_seeded_;
+  ck.has_complete_topk = complete_topk_.has_value();
+  if (complete_topk_.has_value()) {
+    ck.complete_topk = complete_topk_->Take().entries;
+  }
+  ck.pool.reserve(pool_.size());
+  for (const Candidate& c : pool_) {
+    CandidateCheckpoint cand;
+    cand.object = c.id;
+    cand.mask = c.evaluated_mask;
+    for (PredicateId i = 0; i < m; ++i) {
+      if (c.IsEvaluated(i)) cand.scores.push_back(c.scores[i]);
+    }
+    ck.pool.push_back(std::move(cand));
+  }
+  ck.heap = heap_.entries();
+  ck.policy_state = policy_->SaveState();
+  ck.sources = sources_->Checkpoint();
+  return ck;
+}
+
+Status NCEngine::Resume(const EngineCheckpoint& ck, TopKResult* out) {
+  NC_CHECK(out != nullptr);
+  out->entries.clear();
+  out->certificate.reset();
+  const size_t m = sources_->num_predicates();
+  const size_t n = sources_->num_objects();
+  if (ck.version != kEngineCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (ck.num_predicates != m || ck.num_objects != n) {
+    return Status::InvalidArgument(
+        "checkpoint shape does not match the sources");
+  }
+  NC_RETURN_IF_ERROR(sources_->cost_model().Validate());
+  if (scoring_->arity() != m) {
+    return Status::InvalidArgument(
+        "scoring function arity does not match predicate count");
+  }
+  if (ck.k == 0) {
+    return Status::InvalidArgument("checkpoint k must be positive");
+  }
+  if (!(options_.approximation_theta >= 1.0)) {
+    return Status::InvalidArgument("approximation_theta must be >= 1");
+  }
+  if (ck.has_complete_topk != (options_.approximation_theta > 1.0)) {
+    return Status::InvalidArgument(
+        "checkpoint theta mode does not match engine options");
+  }
+
+  // A failure below leaves the engine unusable for queries until a
+  // successful Run or Resume.
+  has_run_ = false;
+  NC_RETURN_IF_ERROR(sources_->RestoreCheckpoint(ck.sources));
+  options_.k = ck.k;
+
+  pool_ = CandidatePool(m);
+  for (const CandidateCheckpoint& cand : ck.pool) {
+    if (cand.object >= n) {
+      return Status::InvalidArgument("checkpoint candidate out of range");
+    }
+    if (m < 64 && (cand.mask >> m) != 0) {
+      return Status::InvalidArgument(
+          "checkpoint candidate mask names unknown predicates");
+    }
+    bool created = false;
+    Candidate& c = pool_.GetOrCreate(cand.object, &created);
+    if (!created) {
+      return Status::InvalidArgument("duplicate checkpoint candidate");
+    }
+    size_t next_score = 0;
+    for (PredicateId i = 0; i < m; ++i) {
+      if (((cand.mask >> i) & 1) == 0) continue;
+      if (next_score >= cand.scores.size()) {
+        return Status::InvalidArgument(
+            "checkpoint candidate score count mismatch");
+      }
+      c.SetScore(i, cand.scores[next_score++]);
+    }
+    if (next_score != cand.scores.size()) {
+      return Status::InvalidArgument(
+          "checkpoint candidate score count mismatch");
+    }
+  }
+  // Heap behavior depends only on the multiset of entries, so re-Pushing
+  // in checkpoint order replays the original pop sequences exactly.
+  heap_ = LazyBoundHeap();
+  for (const LazyBoundHeap::Entry& e : ck.heap) {
+    if (e.object != kUnseenObject) {
+      if (e.object >= n) {
+        return Status::InvalidArgument("checkpoint heap entry out of range");
+      }
+      if (pool_.Find(e.object) == nullptr) {
+        return Status::InvalidArgument(
+            "checkpoint heap entry names an unseen candidate");
+      }
+    }
+    heap_.Push(e.object, e.bound);
+  }
+  complete_topk_.reset();
+  if (ck.has_complete_topk) {
+    complete_topk_.emplace(options_.k);
+    for (const TopKEntry& e : ck.complete_topk) {
+      complete_topk_->Offer(e.object, e.score);
+    }
+  }
+  policy_->Reset(*sources_);
+  NC_RETURN_IF_ERROR(policy_->RestoreState(ck.policy_state));
+  accesses_ = ck.accesses;
+  phase_accesses_ = ck.phase_accesses;
+  consecutive_failures_ = ck.consecutive_failures;
+  choice_width_total_ = ck.choice_width_total;
+  universe_seeded_ = ck.universe_seeded;
+  has_run_ = true;
+  return InstrumentedLoop("resume", out);
+}
+
 Status NCEngine::InstrumentedLoop(const char* phase, TopKResult* out) {
   const bool tracing = obs::ShouldTrace(options_.tracer);
   if (tracing) options_.tracer->BeginPhase(phase);
@@ -235,6 +404,14 @@ Status NCEngine::InstrumentedLoop(const char* phase, TopKResult* out) {
     }
     if (last_run_truncated_) {
       options_.metrics->counter("nc_engine_truncated_runs_total", algo)
+          .Increment();
+    }
+    if (status.ok() && out->certificate.has_value()) {
+      options_.metrics
+          ->counter(
+              "nc_engine_certified_runs_total",
+              {{"algorithm", "NC"},
+               {"reason", TerminationReasonName(out->certificate->reason)}})
           .Increment();
     }
   }
@@ -313,19 +490,60 @@ Status NCEngine::Loop(TopKResult* out) {
           options_.approximation_theta * complete_topk_->kth_score() >=
               max_nonmember) {
         *out = complete_topk_->Take();
+        // Theta answers are complete, but still carry their proof: the
+        // returned scores are exact (degenerate intervals) and every
+        // excluded object is bounded by max_nonmember - a popped
+        // non-member's bound dominates all unpopped entries because pops
+        // come in rank order. The halting test then caps epsilon at
+        // theta - 1.
+        AnytimeCertificate cert;
+        cert.reason = TerminationReason::kTheta;
+        cert.excluded_ceiling = max_nonmember;
+        Score min_exact = kMaxScore;
+        for (const TopKEntry& e : out->entries) {
+          cert.intervals.push_back(ScoreInterval{e.score, e.score});
+          min_exact = std::min(min_exact, e.score);
+        }
+        if (out->entries.empty()) min_exact = kMinScore;
+        cert.epsilon = CertifiedEpsilon(min_exact, max_nonmember);
+        if (tracing) {
+          options_.tracer->RecordCertificate(
+              TerminationReasonName(cert.reason), cert.epsilon,
+              cert.excluded_ceiling, sources_->accrued_cost());
+        }
+        out->certificate = std::move(cert);
         heap_.Reinsert(topk_scratch_);
         last_run_exact_ = false;
         return Status::OK();
       }
     }
 
+    // Budget exhaustion certifies the current answer instead of failing.
+    // The exact- and theta-termination tests above run first, so a query
+    // whose answer is already proven keeps it even at the budget edge.
+    if (sources_->budget_exhausted()) {
+      heap_.Reinsert(topk_scratch_);
+      EmitCertified(sources_->cost_budget_exhausted()
+                        ? TerminationReason::kCostBudget
+                        : TerminationReason::kDeadline,
+                    out);
+      return Status::OK();
+    }
+
     BuildAlternatives(target);
     if (alternatives_.empty()) {
       heap_.Reinsert(topk_scratch_);
+      if (skipped_quota_) {
+        // Every remaining choice for the task needs a quota-spent
+        // predicate: the per-predicate budget, not the scenario, is what
+        // blocks progress.
+        EmitCertified(TerminationReason::kQuota, out);
+        return Status::OK();
+      }
       if (options_.tolerate_source_failure && sources_->any_source_down()) {
         // A death made the task unsatisfiable mid-run: rather than fail,
         // return what the surviving accesses established.
-        EmitBestEffort(out);
+        EmitCertified(TerminationReason::kSourceFailure, out);
         return Status::OK();
       }
       return Status::FailedPrecondition(
@@ -349,6 +567,19 @@ Status NCEngine::Loop(TopKResult* out) {
 
     const Status performed = Perform(access);
     heap_.Reinsert(topk_scratch_);
+    if (performed.code() == StatusCode::kResourceExhausted) {
+      // The access layer refused to start the access: the budget or a
+      // quota ran out under the engine (defensive - the loop-top check
+      // and BuildAlternatives normally catch both first). Nothing was
+      // billed, so the current answer certifies as-is.
+      EmitCertified(sources_->cost_budget_exhausted()
+                        ? TerminationReason::kCostBudget
+                        : (sources_->deadline_exceeded()
+                               ? TerminationReason::kDeadline
+                               : TerminationReason::kQuota),
+                    out);
+      return Status::OK();
+    }
     if (!performed.ok()) {
       // Unrecoverable access failure: no candidate state was consumed,
       // so the loop can simply re-derive the necessary choices against
@@ -358,7 +589,7 @@ Status NCEngine::Loop(TopKResult* out) {
       if (!options_.tolerate_source_failure) return performed;
       ++consecutive_failures_;
       if (consecutive_failures_ >= kMaxConsecutiveFailures) {
-        EmitBestEffort(out);
+        EmitCertified(TerminationReason::kSourceFailure, out);
         return Status::OK();
       }
       continue;
@@ -386,7 +617,7 @@ Status NCEngine::Loop(TopKResult* out) {
       if (!options_.best_effort) {
         return Status::ResourceExhausted("max_accesses exceeded");
       }
-      EmitBestEffort(out);
+      EmitCertified(TerminationReason::kAccessCap, out);
       return Status::OK();
     }
     if (accesses_ > runaway_guard) {

@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "access/access.h"
@@ -42,6 +43,8 @@ class QueryTracer;
 }  // namespace nc::obs
 
 namespace nc {
+
+struct EngineCheckpoint;  // core/checkpoint.h
 
 // Read-only context handed to SelectPolicy::Select.
 struct EngineView {
@@ -66,6 +69,19 @@ class SelectPolicy {
 
   virtual Access Select(std::span<const Access> alternatives,
                         const EngineView& view) = 0;
+
+  // --- Checkpoint support ----------------------------------------------
+  // Policies with mutable per-run state (cursors, RNG streams) override
+  // this pair so EngineCheckpoint can capture and restore it. The string
+  // is opaque to the engine; it must be newline-free. Stateless policies
+  // keep the defaults: save nothing, accept only nothing.
+  virtual std::string SaveState() const { return ""; }
+  virtual Status RestoreState(const std::string& state) {
+    if (!state.empty()) {
+      return Status::InvalidArgument("policy carries no per-run state");
+    }
+    return Status::OK();
+  }
 };
 
 struct EngineOptions {
@@ -159,6 +175,24 @@ class NCEngine {
   // re-Run instead. Extending a theta-approximate answer is legal.
   Status Extend(size_t new_k, TopKResult* out);
 
+  // --- Checkpoint / resume (core/checkpoint.h) -------------------------
+  // Snapshots the full mid-query state: candidate bounds, heap entries,
+  // counters, policy state, and the SourceSet (cursors, last-seen
+  // bounds, accrued cost, injector state, RNG streams). Legal whenever
+  // the engine is between iterations - in practice from the
+  // access_callback (the heap is whole there) or after a Run returns.
+  EngineCheckpoint Checkpoint() const;
+
+  // Continues a checkpointed run on a *freshly configured* engine: same
+  // dataset/provider, scenario, scoring function, policy type and
+  // config, and options as the engine that produced the checkpoint (only
+  // `k` is taken from the checkpoint). The sources are restored in
+  // place, so no already-paid access is re-issued, and the continuation
+  // replays bit-identically to the uninterrupted run. Validation errors
+  // (shape mismatch, malformed state) leave the engine unusable for
+  // queries until a successful Run or Resume.
+  Status Resume(const EngineCheckpoint& checkpoint, TopKResult* out);
+
   // Total accesses performed across Run and any Extends.
   size_t accesses_performed() const { return accesses_; }
 
@@ -208,10 +242,12 @@ class NCEngine {
   // when the access failed unrecoverably (no state was consumed).
   Status Perform(const Access& access);
 
-  // Emits the current top-k by maximal-possible score into *out (scores
-  // are upper bounds; the unseen sentinel is skipped, so the answer may
-  // honestly be shorter than k) and flags the run truncated.
-  void EmitBestEffort(TopKResult* out);
+  // Emits the current top-k by maximal-possible score into *out with an
+  // AnytimeCertificate: per-object [lower, upper] score intervals and
+  // the proven precision bound epsilon against everything excluded
+  // (including the unseen remainder). Scores are upper bounds; the
+  // unseen sentinel never appears as an entry. Flags the run truncated.
+  void EmitCertified(TerminationReason reason, TopKResult* out);
 
   SourceSet* sources_;
   const ScoringFunction* scoring_;
@@ -235,6 +271,9 @@ class NCEngine {
   // sources flake persistently without dying.
   size_t consecutive_failures_ = 0;
   double choice_width_total_ = 0.0;
+  // Set by BuildAlternatives when a quota-spent predicate was withheld
+  // from the offered choices; empty alternatives then certify as kQuota.
+  bool skipped_quota_ = false;
   bool universe_seeded_ = false;
   bool has_run_ = false;
   bool last_run_exact_ = true;

@@ -64,12 +64,16 @@ class ParallelRun {
   Status Execute(ParallelResult* out);
 
  private:
-  // Top-k of the *visible* state (applied results only), rank order.
-  void VisibleTopK(std::vector<RankedEntry>* out);
+  // Top-(k + extra) of the *visible* state (applied results only), rank
+  // order. With extra > 0 the surplus entries rank-dominate everything
+  // not returned, which is what certifies the excluded ceiling.
+  void VisibleTopK(std::vector<RankedEntry>* out, size_t extra = 0);
 
   // Necessary choices of `target` against the visible state, minus
   // accesses already in flight and physically impossible ones.
-  void BuildAlternatives(ObjectId target, std::vector<Access>* out) const;
+  // Quota-spent predicates are withheld; epoch_skipped_quota_ records
+  // that some choice was barred by quota this epoch.
+  void BuildAlternatives(ObjectId target, std::vector<Access>* out);
 
   // Performs the access against the sources now (accounting happens at
   // issue) and schedules its visibility. False when the access failed
@@ -80,9 +84,9 @@ class ParallelRun {
   // Makes the earliest pending result visible; advances the clock.
   void ApplyNext();
 
-  // Settles on the current visible top-k (scores are upper bounds) and
-  // marks the result inexact.
-  void EmitBestEffort(ParallelResult* out);
+  // Settles on the current visible top-k (scores are upper bounds) with
+  // an AnytimeCertificate and marks the result inexact.
+  void EmitCertified(TerminationReason reason, ParallelResult* out);
 
   // Fills the accounting fields of *out from the run's state.
   void FillAccounting(ParallelResult* out) const;
@@ -111,10 +115,16 @@ class ParallelRun {
   // Consecutive issue attempts that failed unrecoverably; bounds the
   // degraded-retry loop the same way the sequential engine does.
   size_t consecutive_failures_ = 0;
+  // Set when an issue was refused with kResourceExhausted: the budget or
+  // a quota ran out mid-epoch (nothing was billed for the refusal).
+  bool budget_stopped_ = false;
+  // Some necessary choice was withheld this epoch because its
+  // predicate's quota is spent; a stall then certifies as kQuota.
+  bool epoch_skipped_quota_ = false;
   bool universe_seeded_ = false;
 };
 
-void ParallelRun::VisibleTopK(std::vector<RankedEntry>* out) {
+void ParallelRun::VisibleTopK(std::vector<RankedEntry>* out, size_t extra) {
   const size_t m = sources_->num_predicates();
   out->clear();
   out->reserve(pool_.size() + 1);
@@ -128,7 +138,7 @@ void ParallelRun::VisibleTopK(std::vector<RankedEntry>* out) {
     out->push_back(RankedEntry{
         kUnseenObject, scoring_.Evaluate(visible_ceiling_), false});
   }
-  const size_t take = std::min(options_.k, out->size());
+  const size_t take = std::min(options_.k + extra, out->size());
   std::partial_sort(out->begin(), out->begin() + take, out->end(),
                     [](const RankedEntry& a, const RankedEntry& b) {
                       return RanksAbove(a.bound, a.object, b.bound, b.object);
@@ -137,12 +147,16 @@ void ParallelRun::VisibleTopK(std::vector<RankedEntry>* out) {
 }
 
 void ParallelRun::BuildAlternatives(ObjectId target,
-                                    std::vector<Access>* out) const {
+                                    std::vector<Access>* out) {
   out->clear();
   const size_t m = sources_->num_predicates();
   if (target == kUnseenObject) {
     for (PredicateId i = 0; i < m; ++i) {
       if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+        if (sources_->quota_exhausted(i)) {
+          epoch_skipped_quota_ = true;
+          continue;
+        }
         out->push_back(Access::Sorted(i));
       }
     }
@@ -153,6 +167,10 @@ void ParallelRun::BuildAlternatives(ObjectId target,
   for (PredicateId i = 0; i < m; ++i) {
     if (c->IsEvaluated(i)) continue;
     if (sources_->has_sorted(i) && !sources_->exhausted(i)) {
+      if (sources_->quota_exhausted(i)) {
+        epoch_skipped_quota_ = true;
+        continue;
+      }
       out->push_back(Access::Sorted(i));
     }
   }
@@ -160,6 +178,10 @@ void ParallelRun::BuildAlternatives(ObjectId target,
     if (c->IsEvaluated(i)) continue;
     if (sources_->has_random(i) &&
         random_in_flight_.find({i, target}) == random_in_flight_.end()) {
+      if (sources_->quota_exhausted(i)) {
+        epoch_skipped_quota_ = true;
+        continue;
+      }
       out->push_back(Access::Random(i, target));
     }
   }
@@ -174,7 +196,8 @@ bool ParallelRun::Issue(const Access& access, Status* status) {
     std::optional<SortedHit> hit;
     const Status s = sources_->TrySortedAccess(access.predicate, &hit);
     if (!s.ok()) {
-      ++failed_;
+      // A budget refusal is not a source failure; only count the latter.
+      if (s.code() != StatusCode::kResourceExhausted) ++failed_;
       if (status != nullptr) *status = s;
       return false;
     }
@@ -188,7 +211,7 @@ bool ParallelRun::Issue(const Access& access, Status* status) {
         sources_->TryRandomAccess(access.predicate, access.object,
                                   &flight.score);
     if (!s.ok()) {
-      ++failed_;
+      if (s.code() != StatusCode::kResourceExhausted) ++failed_;
       if (status != nullptr) *status = s;
       return false;
     }
@@ -256,22 +279,48 @@ void ParallelRun::FillAccounting(ParallelResult* out) const {
   out->failed_accesses = failed_;
 }
 
-void ParallelRun::EmitBestEffort(ParallelResult* out) {
+void ParallelRun::EmitCertified(TerminationReason reason,
+                                ParallelResult* out) {
+  // Ranking k + 1 entries verifies one bound past the answer, which
+  // dominates every visible object not returned; the sentinel (no
+  // concrete object) folds into the excluded ceiling, covering the
+  // unseen remainder. Results still in flight were paid for but are not
+  // visible, so they contribute nothing the intervals must explain.
   std::vector<RankedEntry> ranked;
-  VisibleTopK(&ranked);
+  VisibleTopK(&ranked, /*extra=*/1);
   out->topk.entries.clear();
+  AnytimeCertificate cert;
+  cert.reason = reason;
+  Score min_lower = kMaxScore;
   for (const RankedEntry& e : ranked) {
-    // The sentinel stands for no concrete object; the answer may be
-    // shorter than k - honestly so.
-    if (e.object == kUnseenObject) continue;
+    if (e.object == kUnseenObject ||
+        out->topk.entries.size() == options_.k) {
+      cert.excluded_ceiling = std::max(cert.excluded_ceiling, e.bound);
+      continue;
+    }
+    Candidate* c = pool_.Find(e.object);
+    NC_CHECK(c != nullptr);
+    const Score lower = e.complete ? e.bound : bounds_.Lower(*c);
     out->topk.entries.push_back(TopKEntry{e.object, e.bound});
+    cert.intervals.push_back(ScoreInterval{lower, e.bound});
+    min_lower = std::min(min_lower, lower);
   }
+  if (out->topk.entries.empty()) min_lower = kMinScore;
+  cert.epsilon = CertifiedEpsilon(min_lower, cert.excluded_ceiling);
+  if (obs::ShouldTrace(options_.tracer)) {
+    options_.tracer->RecordCertificate(TerminationReasonName(reason),
+                                       cert.epsilon, cert.excluded_ceiling,
+                                       sources_->accrued_cost());
+  }
+  out->topk.certificate = std::move(cert);
   out->exact = false;
   FillAccounting(out);
 }
 
 Status ParallelRun::Execute(ParallelResult* out) {
   NC_CHECK(out != nullptr);
+  out->topk.entries.clear();
+  out->topk.certificate.reset();
   const size_t m = sources_->num_predicates();
   const size_t n = sources_->num_objects();
   NC_RETURN_IF_ERROR(sources_->cost_model().Validate());
@@ -326,6 +375,24 @@ Status ParallelRun::Execute(ParallelResult* out) {
       return Status::OK();
     }
 
+    // Budget exhaustion settles with a certified answer (the exact
+    // check above runs first). The deadline trips on whichever clock
+    // crosses first: the sources' cost clock or the simulated makespan.
+    {
+      const QueryBudget& budget = sources_->budget();
+      const bool cost_stop = sources_->cost_budget_exhausted();
+      const bool deadline_stop =
+          sources_->deadline_exceeded() ||
+          (budget.deadline > 0.0 && now_ >= budget.deadline);
+      if (cost_stop || deadline_stop) {
+        EmitCertified(cost_stop ? TerminationReason::kCostBudget
+                                : TerminationReason::kDeadline,
+                      out);
+        return Status::OK();
+      }
+    }
+    epoch_skipped_quota_ = false;
+
     // Issue phase: one access per unsatisfied task per epoch, rank order,
     // while slots remain.
     bool issued_any = false;
@@ -352,6 +419,12 @@ Status ParallelRun::Execute(ParallelResult* out) {
         issued_this_epoch_.insert(e.object);
         return Status::OK();
       }
+      if (status.code() == StatusCode::kResourceExhausted) {
+        // The budget crossed mid-epoch (an earlier issue's cost or retry
+        // penalty pushed it over); nothing was billed for the refusal.
+        budget_stopped_ = true;
+        return Status::OK();
+      }
       NC_CHECK(status.code() == StatusCode::kUnavailable);
       failed_this_round = true;
       ++consecutive_failures_;
@@ -368,7 +441,7 @@ Status ParallelRun::Execute(ParallelResult* out) {
     bool issued_concrete = false;
     const RankedEntry* deferred_sentinel = nullptr;
     for (const RankedEntry& e : ranked) {
-      if (pending_.size() >= options_.concurrency) break;
+      if (pending_.size() >= options_.concurrency || budget_stopped_) break;
       if (e.complete) continue;
       const bool is_first = first_incomplete;
       first_incomplete = false;
@@ -384,7 +457,7 @@ Status ParallelRun::Execute(ParallelResult* out) {
       if (status.ok() && e.object != kUnseenObject) issued_concrete = true;
     }
     if (deferred_sentinel != nullptr && !issued_concrete &&
-        pending_.size() < options_.concurrency &&
+        !budget_stopped_ && pending_.size() < options_.concurrency &&
         issued_this_epoch_.count(kUnseenObject) == 0) {
       BuildAlternatives(kUnseenObject, &alternatives);
       if (!alternatives.empty()) {
@@ -396,7 +469,7 @@ Status ParallelRun::Execute(ParallelResult* out) {
     // Optional speculation: read streams ahead for the highest-ranked task
     // that still has a sorted alternative.
     for (size_t spec = 0; spec < options_.max_speculation; ++spec) {
-      if (pending_.size() >= options_.concurrency) break;
+      if (pending_.size() >= options_.concurrency || budget_stopped_) break;
       bool launched = false;
       for (const RankedEntry& e : ranked) {
         if (e.complete) continue;
@@ -418,10 +491,21 @@ Status ParallelRun::Execute(ParallelResult* out) {
       if (!launched) break;
     }
 
+    if (budget_stopped_) {
+      // Mid-epoch refusal: settle now with whatever is visible (results
+      // still in flight were paid for and count as wasted).
+      EmitCertified(sources_->cost_budget_exhausted()
+                        ? TerminationReason::kCostBudget
+                        : (sources_->deadline_exceeded()
+                               ? TerminationReason::kDeadline
+                               : TerminationReason::kQuota),
+                    out);
+      return Status::OK();
+    }
     if (consecutive_failures_ >= kMaxConsecutiveFailures) {
       // Sources keep failing without anything completing in between:
       // settle for what is visible rather than spin.
-      EmitBestEffort(out);
+      EmitCertified(TerminationReason::kSourceFailure, out);
       return Status::OK();
     }
     if (issued_ > runaway_guard) {
@@ -431,9 +515,14 @@ Status ParallelRun::Execute(ParallelResult* out) {
       ApplyNext();
     } else if (!issued_any) {
       if (failed_this_round) continue;  // Retry against what survives.
+      if (epoch_skipped_quota_) {
+        // Every remaining choice needs a quota-spent predicate.
+        EmitCertified(TerminationReason::kQuota, out);
+        return Status::OK();
+      }
       if (options_.tolerate_source_failure && sources_->any_source_down()) {
         // A death left the remaining tasks unsatisfiable; degrade.
-        EmitBestEffort(out);
+        EmitCertified(TerminationReason::kSourceFailure, out);
         return Status::OK();
       }
       return Status::FailedPrecondition(
@@ -470,6 +559,13 @@ Status RunParallelNC(SourceSet* sources, const ScoringFunction& scoring,
       reg.histogram("nc_parallel_elapsed_time",
                     {1.0, 10.0, 100.0, 1000.0, 10000.0}, algo)
           .Observe(out->elapsed_time);
+      if (out->topk.certificate.has_value()) {
+        reg.counter("nc_parallel_certified_runs_total",
+                    {{"algorithm", "NC-parallel"},
+                     {"reason", TerminationReasonName(
+                                    out->topk.certificate->reason)}})
+            .Increment();
+      }
     }
   }
   return status;

@@ -38,10 +38,17 @@ struct ParallelOptions {
   // Graceful degradation under source failure, mirroring
   // EngineOptions::tolerate_source_failure: unrecoverable accesses are
   // skipped and the run completes on the surviving capabilities, falling
-  // back to a best-effort answer (ParallelResult::exact false) when a
-  // death leaves the query unsatisfiable. Off, the first unrecovered
+  // back to a certified anytime answer (ParallelResult::exact false) when
+  // a death leaves the query unsatisfiable. Off, the first unrecovered
   // failure surfaces as a kUnavailable error.
   bool tolerate_source_failure = true;
+
+  // Budgets (QueryBudget) attach to the SourceSet (set_budget), not here:
+  // the access layer refuses accesses past the cap and the executor
+  // settles with a certified answer. The wall deadline is enforced both
+  // against the sources' cost clock and against the simulated makespan -
+  // whichever trips first ends the run (conservative under concurrency,
+  // where makespan runs behind total cost).
 
   // --- Observability (see docs/OBSERVABILITY.md) -----------------------
   // Optional tracer (must outlive the run): the whole execution is
@@ -68,8 +75,10 @@ struct ParallelResult {
   // Issue attempts that failed unrecoverably (retries exhausted or the
   // source died) and were skipped under tolerate_source_failure.
   size_t failed_accesses = 0;
-  // False when the answer is best-effort (source failure forced an early
-  // settle); reported scores are then upper bounds.
+  // False when the answer is an anytime one (budget exhaustion or source
+  // failure forced an early settle); reported scores are then upper
+  // bounds and `topk.certificate` carries the proven intervals and
+  // epsilon.
   bool exact = true;
 };
 

@@ -33,6 +33,17 @@ class RandomSelectPolicy final : public SelectPolicy {
     return alternatives[rng_.UniformInt(alternatives.size())];
   }
 
+  // The RNG stream is the only per-run state; restoring it mid-stream
+  // replays the exact remaining selection sequence.
+  std::string SaveState() const override { return rng_.SerializeState(); }
+  Status RestoreState(const std::string& state) override {
+    if (state.empty()) {
+      rng_ = Rng(seed_);
+      return Status::OK();
+    }
+    return rng_.DeserializeState(state);
+  }
+
  private:
   uint64_t seed_;
   Rng rng_;

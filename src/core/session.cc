@@ -6,6 +6,24 @@
 
 namespace nc {
 
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kNone:
+      return "none";
+    case QueryOutcome::kExact:
+      return "exact";
+    case QueryOutcome::kApproximate:
+      return "approximate";
+    case QueryOutcome::kDegraded:
+      return "degraded";
+    case QueryOutcome::kBudgetExhausted:
+      return "budget_exhausted";
+    case QueryOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 QuerySession::QuerySession(const ScoringFunction* scoring,
                            PlannerOptions options)
     : scoring_(scoring), options_(options) {
@@ -49,12 +67,39 @@ Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
   NCEngine engine(sources, scoring_, &policy, engine_options);
   const Status status = engine.Run(out);
   last_query_exact_ = status.ok() && engine.last_run_exact();
-  if (status.ok()) {
-    const AccessStats& stats = sources->stats();
-    retried_attempts_ += stats.TotalRetried();
-    failed_accesses_ += stats.transient_failures + stats.timeout_failures +
-                        stats.abandoned_accesses;
-    source_deaths_ += stats.source_deaths;
+
+  // Accesses were spent (and may have failed) even when the query errors
+  // out, so the recovery telemetry is credited unconditionally.
+  const AccessStats& stats = sources->stats();
+  retried_attempts_ += stats.TotalRetried();
+  failed_accesses_ += stats.transient_failures + stats.timeout_failures +
+                      stats.abandoned_accesses;
+  source_deaths_ += stats.source_deaths;
+
+  if (!status.ok()) {
+    last_query_outcome_ = QueryOutcome::kError;
+  } else if (out->certificate.has_value()) {
+    switch (out->certificate->reason) {
+      case TerminationReason::kCostBudget:
+      case TerminationReason::kDeadline:
+      case TerminationReason::kQuota:
+        last_query_outcome_ = QueryOutcome::kBudgetExhausted;
+        ++budget_exhausted_queries_;
+        break;
+      case TerminationReason::kTheta:
+        last_query_outcome_ = QueryOutcome::kApproximate;
+        break;
+      case TerminationReason::kSourceFailure:
+      case TerminationReason::kAccessCap:
+        last_query_outcome_ = QueryOutcome::kDegraded;
+        break;
+    }
+  } else if (engine.last_run_degraded()) {
+    last_query_outcome_ = QueryOutcome::kDegraded;
+  } else if (engine.last_run_exact()) {
+    last_query_outcome_ = QueryOutcome::kExact;
+  } else {
+    last_query_outcome_ = QueryOutcome::kApproximate;
   }
   return status;
 }

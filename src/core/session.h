@@ -21,6 +21,20 @@
 
 namespace nc {
 
+// Disposition of the most recent QuerySession::Query, finer-grained than
+// the exact/inexact split: a budget-barred certified answer is a very
+// different operational signal than one degraded by source failures.
+enum class QueryOutcome {
+  kNone,             // no query answered yet
+  kExact,            // completed with the exact top-k
+  kApproximate,      // completed under theta-approximation
+  kDegraded,         // truncated by source failure or the access cap
+  kBudgetExhausted,  // truncated by a cost/deadline/quota bar
+  kError,            // Query returned a non-OK status
+};
+
+const char* QueryOutcomeName(QueryOutcome outcome);
+
 class QuerySession {
  public:
   // `scoring` must outlive the session.
@@ -53,6 +67,15 @@ class QuerySession {
   // answer because sources failed mid-run.
   bool last_query_exact() const { return last_query_exact_; }
 
+  // Disposition of the most recent Query; kNone before the first one.
+  QueryOutcome last_query_outcome() const { return last_query_outcome_; }
+
+  // Queries that ended early because a budget, deadline, or per-predicate
+  // quota barred further accesses (answered with a certificate).
+  size_t budget_exhausted_queries() const {
+    return budget_exhausted_queries_;
+  }
+
  private:
   static std::string PlanKey(const CostModel& model, size_t k);
 
@@ -65,7 +88,9 @@ class QuerySession {
   size_t retried_attempts_ = 0;
   size_t failed_accesses_ = 0;
   size_t source_deaths_ = 0;
+  size_t budget_exhausted_queries_ = 0;
   bool last_query_exact_ = true;
+  QueryOutcome last_query_outcome_ = QueryOutcome::kNone;
 };
 
 }  // namespace nc

@@ -1,6 +1,7 @@
 #include "core/srg_policy.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/check.h"
@@ -71,6 +72,24 @@ void SRGPolicy::RebuildScheduleRank() {
 void SRGPolicy::Reset(const SourceSet& sources) {
   NC_CHECK(config_.Validate(sources.num_predicates()).ok());
   rr_cursor_ = 0;
+}
+
+std::string SRGPolicy::SaveState() const {
+  return std::to_string(rr_cursor_);
+}
+
+Status SRGPolicy::RestoreState(const std::string& state) {
+  if (state.empty()) {
+    rr_cursor_ = 0;
+    return Status::OK();
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(state.c_str(), &end, 10);
+  if (end != state.c_str() + state.size()) {
+    return Status::InvalidArgument("malformed SRG policy state");
+  }
+  rr_cursor_ = static_cast<size_t>(value);
+  return Status::OK();
 }
 
 void SRGPolicy::set_config(SRGConfig config) {

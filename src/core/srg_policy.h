@@ -56,6 +56,10 @@ class SRGPolicy final : public SelectPolicy {
   Access Select(std::span<const Access> alternatives,
                 const EngineView& view) override;
 
+  // The round-robin cursor is the only per-run state.
+  std::string SaveState() const override;
+  Status RestoreState(const std::string& state) override;
+
   const SRGConfig& config() const { return config_; }
 
   // Swaps the plan parameters mid-run (adaptive re-optimization). The new

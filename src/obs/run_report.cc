@@ -45,6 +45,9 @@ RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
   report.timeout_failures = stats.timeout_failures;
   report.abandoned_accesses = stats.abandoned_accesses;
   report.source_deaths = stats.source_deaths;
+  report.breaker_trips = stats.TotalBreakerTrips();
+  report.breaker_fast_failures = stats.breaker_fast_failures;
+  report.budget_refusals = stats.budget_refusals;
 
   report.predicates.reserve(m);
   for (PredicateId i = 0; i < m; ++i) {
@@ -61,6 +64,12 @@ RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
 
   if (tracer != nullptr) {
     for (const TraceEvent& e : tracer->events()) {
+      if (e.kind == TraceEventKind::kCertificate) {
+        report.certified = true;
+        report.termination_reason = e.phase != nullptr ? e.phase : "";
+        report.certified_epsilon = e.epsilon;
+        continue;
+      }
       if (e.kind != TraceEventKind::kIteration) continue;
       report.convergence.push_back(
           ConvergencePoint{e.cost_clock, e.threshold, e.kth_bound});
@@ -128,6 +137,15 @@ void RecordSourceMetrics(MetricsRegistry* registry,
         ->counter("nc_duplicate_random_total", {{"algorithm", algorithm}})
         .Increment(static_cast<double>(stats.duplicate_random_count));
   }
+  const auto resilience_counter = [&](const char* name, size_t count) {
+    if (count == 0) return;
+    registry->counter(name, {{"algorithm", algorithm}})
+        .Increment(static_cast<double>(count));
+  };
+  resilience_counter("nc_breaker_trips_total", stats.TotalBreakerTrips());
+  resilience_counter("nc_breaker_fast_failures_total",
+                     stats.breaker_fast_failures);
+  resilience_counter("nc_budget_refusals_total", stats.budget_refusals);
 }
 
 std::string RunReport::ToText() const {
@@ -158,6 +176,21 @@ std::string RunReport::ToText() const {
     os << "faults: " << transient_failures << " transient, "
        << timeout_failures << " timeouts; " << retried_attempts
        << " retried, " << abandoned_accesses << " abandoned\n";
+  }
+  if (breaker_trips != 0 || breaker_fast_failures != 0 ||
+      budget_refusals != 0) {
+    os << "resilience: " << breaker_trips << " breaker trips, "
+       << breaker_fast_failures << " fast-failed, " << budget_refusals
+       << " budget-refused\n";
+  }
+  if (certified) {
+    os << "certified: " << termination_reason << ", epsilon ";
+    if (std::isfinite(certified_epsilon)) {
+      os << FormatCost(certified_epsilon);
+    } else {
+      os << "unbounded";
+    }
+    os << "\n";
   }
   if (source_deaths != 0) {
     os << "deaths:";
@@ -213,6 +246,21 @@ std::string RunReport::ToJson() const {
   w.Key("abandoned").UInt(abandoned_accesses);
   w.Key("source_deaths").UInt(source_deaths);
   w.EndObject();
+  if (breaker_trips != 0 || breaker_fast_failures != 0 ||
+      budget_refusals != 0) {
+    w.Key("resilience").BeginObject();
+    w.Key("breaker_trips").UInt(breaker_trips);
+    w.Key("breaker_fast_failures").UInt(breaker_fast_failures);
+    w.Key("budget_refusals").UInt(budget_refusals);
+    w.EndObject();
+  }
+  if (certified) {
+    w.Key("certificate").BeginObject();
+    w.Key("reason").String(termination_reason);
+    // JsonWriter renders non-finite numbers as null.
+    w.Key("epsilon").Number(certified_epsilon);
+    w.EndObject();
+  }
   if (!convergence.empty()) {
     w.Key("convergence").BeginArray();
     for (const ConvergencePoint& p : convergence) {

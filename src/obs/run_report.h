@@ -64,6 +64,18 @@ struct RunReport {
   size_t abandoned_accesses = 0;
   size_t source_deaths = 0;
 
+  // Resilience layer: circuit-breaker trips / unbilled fast-failures and
+  // accesses refused by a budget, deadline, or quota bar.
+  size_t breaker_trips = 0;
+  size_t breaker_fast_failures = 0;
+  size_t budget_refusals = 0;
+
+  // Certified anytime answer, from the run's last kCertificate trace
+  // event (absent without a tracer or when the run completed normally).
+  bool certified = false;
+  std::string termination_reason;  // "CostBudget", "Deadline", ...
+  double certified_epsilon = 0.0;  // May be +inf (rendered null in JSON).
+
   // From tracer iteration events; empty without a tracer.
   std::vector<ConvergencePoint> convergence;
 
@@ -91,6 +103,9 @@ class MetricsRegistry;
 //   nc_access_retries_total{algorithm,predicate}
 //   nc_access_faults_total{algorithm,kind}
 //   nc_duplicate_random_total{algorithm}
+//   nc_breaker_trips_total{algorithm}
+//   nc_breaker_fast_failures_total{algorithm}
+//   nc_budget_refusals_total{algorithm}
 // Call after the run, before Reset().
 void RecordSourceMetrics(MetricsRegistry* registry,
                          const std::string& algorithm,

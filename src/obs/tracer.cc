@@ -30,6 +30,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "phase_begin";
     case TraceEventKind::kPhaseEnd:
       return "phase_end";
+    case TraceEventKind::kCertificate:
+      return "certificate";
   }
   return "unknown";
 }
@@ -130,6 +132,21 @@ void QueryTracer::EndPhase(const char* phase) {
   events_.push_back(e);
 }
 
+void QueryTracer::RecordCertificate(const char* reason, double epsilon,
+                                    double excluded_ceiling,
+                                    double cost_clock) {
+  if (!enabled_) return;
+  NC_CHECK(reason != nullptr);
+  TraceEvent e;
+  e.kind = TraceEventKind::kCertificate;
+  e.wall_us = Now();
+  e.cost_clock = cost_clock;
+  e.phase = reason;
+  e.epsilon = epsilon;
+  e.threshold = excluded_ceiling;
+  events_.push_back(e);
+}
+
 void QueryTracer::ExportJsonl(std::ostream* out) const {
   NC_CHECK(out != nullptr);
   for (const TraceEvent& e : events_) {
@@ -165,6 +182,14 @@ void QueryTracer::ExportJsonl(std::ostream* out) const {
       case TraceEventKind::kPhaseBegin:
       case TraceEventKind::kPhaseEnd:
         w.Key("phase").String(e.phase);
+        break;
+      case TraceEventKind::kCertificate:
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.Key("reason").String(e.phase);
+        // +inf serializes as null (JsonNumber); readers treat a null
+        // epsilon as "no multiplicative guarantee".
+        w.Key("epsilon").Number(e.epsilon);
+        w.Key("excluded_ceiling").Number(e.threshold);
         break;
     }
     w.EndObject();
@@ -228,6 +253,17 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         break;
       case TraceEventKind::kPhaseEnd:
         common(e, e.phase, "E");
+        w.EndObject();
+        break;
+      case TraceEventKind::kCertificate:
+        common(e, "certificate", "i");
+        w.Key("s").String("t");
+        w.Key("args").BeginObject();
+        w.Key("reason").String(e.phase);
+        w.Key("epsilon").Number(e.epsilon);
+        w.Key("excluded_ceiling").Number(e.threshold);
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.EndObject();
         w.EndObject();
         break;
     }

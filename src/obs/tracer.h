@@ -52,6 +52,7 @@ enum class TraceEventKind {
   kIteration,      // One engine scheduling iteration.
   kPhaseBegin,
   kPhaseEnd,
+  kCertificate,    // An early-terminated run emitted a certified answer.
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -96,7 +97,12 @@ struct TraceEvent {
   uint64_t heap_size = 0;
 
   // kPhaseBegin / kPhaseEnd: a static string ("plan", "probe", ...).
+  // kCertificate reuses it for the termination reason ("CostBudget", ...).
   const char* phase = nullptr;
+
+  // kCertificate: the proven precision bound (may be +inf) and, in
+  // `threshold`, the excluded ceiling it was derived from.
+  double epsilon = 0.0;
 };
 
 class QueryTracer {
@@ -126,6 +132,11 @@ class QueryTracer {
   // `phase` must be a literal or otherwise outlive the tracer.
   void BeginPhase(const char* phase);
   void EndPhase(const char* phase);
+  // An early-terminated run certified its answer: `reason` is a static
+  // TerminationReasonName string, `epsilon` the proven bound (may be
+  // +inf), `excluded_ceiling` the largest possible excluded score.
+  void RecordCertificate(const char* reason, double epsilon,
+                         double excluded_ceiling, double cost_clock);
 
   // --- Exporters -------------------------------------------------------
   // One JSON object per event per line.

@@ -1,0 +1,317 @@
+// Query budgets (access/budget.h): every engine and every baseline must
+// stop within one access's worst case of the cap and return a *certified*
+// anytime answer - per-object [lower, upper] intervals containing the
+// true score and an epsilon that provably upper-bounds the rank error
+// against brute-force ground truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "access/budget.h"
+#include "access/source.h"
+#include "baselines/registry.h"
+#include "core/engine.h"
+#include "core/parallel_executor.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+Dataset MakeData(uint64_t seed, size_t n = 160, size_t m = 3) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+Score TrueScore(const Dataset& data, const ScoringFunction& scoring,
+                ObjectId u) {
+  std::vector<Score> row(data.num_predicates());
+  for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+    row[i] = data.score(u, i);
+  }
+  return scoring.Evaluate(row);
+}
+
+// The certificate's promises, checked against ground truth the run never
+// saw: every interval contains its object's true score, the excluded
+// ceiling dominates every non-returned object, and (1 + epsilon) *
+// score(y) >= score(z) for every returned y and excluded z.
+void CheckCertificate(const Dataset& data, const ScoringFunction& scoring,
+                      const TopKResult& result) {
+  ASSERT_TRUE(result.certificate.has_value());
+  const AnytimeCertificate& cert = *result.certificate;
+  ASSERT_EQ(cert.intervals.size(), result.entries.size());
+
+  std::unordered_set<ObjectId> returned;
+  Score min_true_returned = kMaxScore;
+  for (size_t r = 0; r < result.entries.size(); ++r) {
+    const ObjectId u = result.entries[r].object;
+    const Score truth = TrueScore(data, scoring, u);
+    EXPECT_LE(cert.intervals[r].lower, truth + kTol) << "object " << u;
+    EXPECT_GE(cert.intervals[r].upper + kTol, truth) << "object " << u;
+    min_true_returned = std::min(min_true_returned, truth);
+    returned.insert(u);
+  }
+
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    if (returned.count(u) != 0) continue;
+    const Score truth = TrueScore(data, scoring, u);
+    EXPECT_LE(truth, cert.excluded_ceiling + kTol) << "excluded " << u;
+    if (!result.entries.empty() && std::isfinite(cert.epsilon)) {
+      EXPECT_LE(truth, (1.0 + cert.epsilon) * min_true_returned + kTol)
+          << "excluded " << u;
+    }
+  }
+}
+
+TEST(QueryBudgetTest, ValidateRejectsMalformedBudgets) {
+  QueryBudget negative;
+  negative.max_cost = -1.0;
+  EXPECT_EQ(negative.Validate(3).code(), StatusCode::kInvalidArgument);
+
+  QueryBudget nan;
+  nan.deadline = std::nan("");
+  EXPECT_EQ(nan.Validate(3).code(), StatusCode::kInvalidArgument);
+
+  QueryBudget short_quota;
+  short_quota.predicate_quota = {5, 5};
+  EXPECT_EQ(short_quota.Validate(3).code(), StatusCode::kInvalidArgument);
+
+  QueryBudget ok;
+  ok.max_cost = 10.0;
+  ok.predicate_quota = {5, 0, 5};
+  EXPECT_TRUE(ok.Validate(3).ok());
+
+  const Dataset data = MakeData(1);
+  SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+  EXPECT_EQ(sources.set_budget(negative).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(sources.set_budget(ok).ok());
+}
+
+// The tightness contract for every baseline: with uniform unit costs the
+// accrued cost may overshoot the cap by at most one access, and a cap too
+// small to finish yields a kCostBudget certificate that is sound against
+// ground truth.
+TEST(QueryBudgetTest, CostCapHoldsForEveryBaseline) {
+  const Dataset data = MakeData(21);
+  AverageFunction avg(3);
+  const CostModel cost = CostModel::Uniform(3, 1.0, 1.0);
+  for (const AlgorithmInfo& info : AllBaselines()) {
+    ASSERT_TRUE(info.applicable(cost)) << info.name;
+    for (const double cap : {5.0, 25.0, 80.0}) {
+      SourceSet sources(&data, cost);
+      QueryBudget budget;
+      budget.max_cost = cap;
+      ASSERT_TRUE(sources.set_budget(budget).ok());
+      TopKResult result;
+      const Status status = info.run(&sources, avg, 5, &result);
+      ASSERT_TRUE(status.ok()) << info.name << " cap " << cap << ": "
+                               << status;
+      EXPECT_LE(sources.accrued_cost(), cap + 1.0 + kTol)
+          << info.name << " cap " << cap;
+      if (result.certificate.has_value()) {
+        EXPECT_EQ(result.certificate->reason, TerminationReason::kCostBudget)
+            << info.name;
+        EXPECT_GE(sources.stats().budget_refusals, 1u) << info.name;
+        CheckCertificate(data, avg, result);
+      }
+      if (cap == 5.0) {
+        // k = 5 cannot settle within 5 unit accesses for any of them.
+        EXPECT_TRUE(result.certificate.has_value()) << info.name;
+      }
+    }
+  }
+}
+
+TEST(QueryBudgetTest, CostCapHoldsForNCEngine) {
+  const Dataset data = MakeData(22);
+  AverageFunction avg(3);
+  const TopKResult oracle = BruteForceTopK(data, avg, 5);
+  for (const double cap : {4.0, 30.0, 1e6}) {
+    SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+    QueryBudget budget;
+    budget.max_cost = cap;
+    ASSERT_TRUE(sources.set_budget(budget).ok());
+    SRGPolicy policy(SRGConfig::Default(3));
+    EngineOptions options;
+    options.k = 5;
+    NCEngine engine(&sources, &avg, &policy, options);
+    TopKResult result;
+    ASSERT_TRUE(engine.Run(&result).ok());
+    EXPECT_LE(sources.accrued_cost(), cap + 1.0 + kTol) << "cap " << cap;
+    if (engine.last_run_truncated()) {
+      ASSERT_TRUE(result.certificate.has_value());
+      EXPECT_EQ(result.certificate->reason, TerminationReason::kCostBudget);
+      CheckCertificate(data, avg, result);
+    } else {
+      // Cap never reached: the exact answer, no certificate.
+      EXPECT_FALSE(result.certificate.has_value());
+      ASSERT_EQ(result.entries.size(), oracle.entries.size());
+      for (size_t r = 0; r < result.entries.size(); ++r) {
+        EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score);
+      }
+    }
+  }
+  // cap = 4 cannot have completed a top-5 over 160 objects.
+  SourceSet tight(&data, CostModel::Uniform(3, 1.0, 1.0));
+  QueryBudget budget;
+  budget.max_cost = 4.0;
+  ASSERT_TRUE(tight.set_budget(budget).ok());
+  SRGPolicy policy(SRGConfig::Default(3));
+  EngineOptions options;
+  options.k = 5;
+  NCEngine engine(&tight, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  EXPECT_TRUE(result.certificate.has_value());
+}
+
+// The deadline clock is accrued cost plus simulated penalties; with no
+// faults it coincides with the cost clock, so the same tightness bound
+// applies, under the kDeadline reason.
+TEST(QueryBudgetTest, DeadlineTruncatesWithCertificate) {
+  const Dataset data = MakeData(23);
+  AverageFunction avg(3);
+  SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+  QueryBudget budget;
+  budget.deadline = 6.0;
+  ASSERT_TRUE(sources.set_budget(budget).ok());
+  SRGPolicy policy(SRGConfig::Default(3));
+  EngineOptions options;
+  options.k = 4;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  EXPECT_LE(sources.elapsed_time(), budget.deadline + 1.0 + kTol);
+  ASSERT_TRUE(result.certificate.has_value());
+  EXPECT_EQ(result.certificate->reason, TerminationReason::kDeadline);
+  CheckCertificate(data, avg, result);
+}
+
+// Per-predicate quotas: the NC engine steers around a quota-spent
+// predicate (necessary choices simply exclude it) and the quota is never
+// overshot by even one access.
+TEST(QueryBudgetTest, QuotaIsNeverOvershot) {
+  const Dataset data = MakeData(24);
+  AverageFunction avg(3);
+  const std::vector<size_t> quota = {6, 0, 0};
+  {
+    SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+    QueryBudget budget;
+    budget.predicate_quota = quota;
+    ASSERT_TRUE(sources.set_budget(budget).ok());
+    SRGPolicy policy(SRGConfig::Default(3));
+    EngineOptions options;
+    options.k = 3;
+    NCEngine engine(&sources, &avg, &policy, options);
+    TopKResult result;
+    ASSERT_TRUE(engine.Run(&result).ok());
+    const AccessStats& stats = sources.stats();
+    EXPECT_LE(stats.sorted_count[0] + stats.random_count[0], quota[0]);
+    if (result.certificate.has_value()) {
+      EXPECT_EQ(result.certificate->reason, TerminationReason::kQuota);
+      CheckCertificate(data, avg, result);
+    }
+  }
+  // Baselines have rigid published loops: the first barred access settles
+  // the run with a kQuota certificate, still without overshooting.
+  const CostModel cost = CostModel::Uniform(3, 1.0, 1.0);
+  for (const AlgorithmInfo& info : AllBaselines()) {
+    SourceSet sources(&data, cost);
+    QueryBudget budget;
+    budget.predicate_quota = quota;
+    ASSERT_TRUE(sources.set_budget(budget).ok());
+    TopKResult result;
+    ASSERT_TRUE(info.run(&sources, avg, 5, &result).ok()) << info.name;
+    const AccessStats& stats = sources.stats();
+    EXPECT_LE(stats.sorted_count[0] + stats.random_count[0], quota[0])
+        << info.name;
+    if (result.certificate.has_value()) {
+      EXPECT_EQ(result.certificate->reason, TerminationReason::kQuota)
+          << info.name;
+      CheckCertificate(data, avg, result);
+    }
+  }
+}
+
+TEST(QueryBudgetTest, CostCapHoldsForParallelExecutor) {
+  const Dataset data = MakeData(25);
+  AverageFunction avg(3);
+  for (const double cap : {8.0, 40.0}) {
+    SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+    QueryBudget budget;
+    budget.max_cost = cap;
+    ASSERT_TRUE(sources.set_budget(budget).ok());
+    SRGPolicy policy(SRGConfig::Default(3));
+    ParallelOptions options;
+    options.k = 5;
+    options.concurrency = 3;
+    ParallelResult result;
+    ASSERT_TRUE(RunParallelNC(&sources, avg, &policy, options, &result).ok());
+    EXPECT_LE(sources.accrued_cost(), cap + 1.0 + kTol) << "cap " << cap;
+    EXPECT_LE(result.total_cost, cap + 1.0 + kTol) << "cap " << cap;
+    if (result.topk.certificate.has_value()) {
+      EXPECT_FALSE(result.exact);
+      EXPECT_EQ(result.topk.certificate->reason,
+                TerminationReason::kCostBudget);
+      CheckCertificate(data, avg, result.topk);
+    }
+  }
+  // cap = 8 cannot settle a top-5; the run must have truncated.
+  SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+  QueryBudget budget;
+  budget.max_cost = 8.0;
+  ASSERT_TRUE(sources.set_budget(budget).ok());
+  SRGPolicy policy(SRGConfig::Default(3));
+  ParallelOptions options;
+  options.k = 5;
+  options.concurrency = 3;
+  ParallelResult result;
+  ASSERT_TRUE(RunParallelNC(&sources, avg, &policy, options, &result).ok());
+  EXPECT_TRUE(result.topk.certificate.has_value());
+}
+
+// A run that completes under its budget is bit-for-bit the unbudgeted
+// run: the budget layer must be invisible until it bars something.
+TEST(QueryBudgetTest, GenerousBudgetChangesNothing) {
+  const Dataset data = MakeData(26);
+  AverageFunction avg(3);
+  TopKResult unbudgeted;
+  double unbudgeted_cost = 0.0;
+  {
+    SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+    SRGPolicy policy(SRGConfig::Default(3));
+    EngineOptions options;
+    options.k = 4;
+    ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &unbudgeted).ok());
+    unbudgeted_cost = sources.accrued_cost();
+  }
+  SourceSet sources(&data, CostModel::Uniform(3, 1.0, 1.0));
+  QueryBudget budget;
+  budget.max_cost = 1e9;
+  budget.deadline = 1e9;
+  budget.predicate_quota = {100000, 100000, 100000};
+  ASSERT_TRUE(sources.set_budget(budget).ok());
+  SRGPolicy policy(SRGConfig::Default(3));
+  EngineOptions options;
+  options.k = 4;
+  TopKResult budgeted;
+  ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, &budgeted).ok());
+  EXPECT_FALSE(budgeted.certificate.has_value());
+  EXPECT_EQ(budgeted.entries, unbudgeted.entries);
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), unbudgeted_cost);
+}
+
+}  // namespace
+}  // namespace nc

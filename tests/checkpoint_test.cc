@@ -1,0 +1,252 @@
+// Checkpoint/resume (core/checkpoint.h): a mid-query snapshot resumed on
+// a freshly configured engine must replay bit-identically - same final
+// answer, same Eq. 1 cost, the exact same access sequence with zero
+// re-issued accesses - at *every* possible interruption point, and the
+// text format must round-trip byte-identically.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/fault.h"
+#include "access/source.h"
+#include "access/trace_format.h"
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+namespace {
+
+Dataset MakeData(uint64_t seed, size_t n = 60, size_t m = 3) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = m;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+// Runs a fresh engine over `data`, capturing a checkpoint right after
+// access number `kill` (0 = never). Returns the final result.
+struct RunOutcome {
+  TopKResult result;
+  double cost = 0.0;
+  size_t accesses = 0;
+  std::string trace;
+  std::optional<EngineCheckpoint> checkpoint;
+};
+
+RunOutcome RunWithKill(const Dataset& data, const ScoringFunction& scoring,
+                       size_t k, size_t kill, FaultInjector* injector,
+                       double theta = 1.0) {
+  RunOutcome outcome;
+  SourceSet sources(&data, CostModel::Uniform(data.num_predicates(), 1.0,
+                                              1.0));
+  sources.EnableTrace();
+  if (injector != nullptr) sources.set_fault_injector(injector);
+  SRGPolicy policy(SRGConfig::Default(data.num_predicates()));
+  EngineOptions options;
+  options.k = k;
+  options.approximation_theta = theta;
+  NCEngine* engine_ptr = nullptr;
+  if (kill != 0) {
+    options.access_callback = [&outcome, &engine_ptr, kill](size_t count) {
+      if (count == kill) outcome.checkpoint = engine_ptr->Checkpoint();
+    };
+  }
+  NCEngine engine(&sources, &scoring, &policy, options);
+  engine_ptr = &engine;
+  EXPECT_TRUE(engine.Run(&outcome.result).ok());
+  outcome.cost = sources.accrued_cost();
+  outcome.accesses = engine.accesses_performed();
+  outcome.trace = SerializeAttemptTrace(sources.attempt_trace());
+  return outcome;
+}
+
+// Resumes `checkpoint` on a freshly configured engine and checks the
+// continuation against the uninterrupted run.
+void ExpectLosslessResume(const Dataset& data,
+                          const ScoringFunction& scoring, size_t k,
+                          const EngineCheckpoint& checkpoint,
+                          const RunOutcome& expected,
+                          FaultInjector* injector, double theta,
+                          const std::string& label) {
+  SourceSet sources(&data, CostModel::Uniform(data.num_predicates(), 1.0,
+                                              1.0));
+  if (injector != nullptr) sources.set_fault_injector(injector);
+  SRGPolicy policy(SRGConfig::Default(data.num_predicates()));
+  EngineOptions options;
+  options.k = k;
+  options.approximation_theta = theta;
+  NCEngine engine(&sources, &scoring, &policy, options);
+  TopKResult resumed;
+  ASSERT_TRUE(engine.Resume(checkpoint, &resumed).ok()) << label;
+
+  ASSERT_EQ(resumed.entries.size(), expected.result.entries.size()) << label;
+  for (size_t r = 0; r < resumed.entries.size(); ++r) {
+    EXPECT_EQ(resumed.entries[r].object, expected.result.entries[r].object)
+        << label << " rank " << r;
+    EXPECT_DOUBLE_EQ(resumed.entries[r].score,
+                     expected.result.entries[r].score)
+        << label << " rank " << r;
+  }
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), expected.cost) << label;
+  EXPECT_EQ(engine.accesses_performed(), expected.accesses) << label;
+  // The restored prefix plus the continuation must be the uninterrupted
+  // run's exact access sequence: nothing re-issued, nothing reordered.
+  EXPECT_EQ(SerializeAttemptTrace(sources.attempt_trace()), expected.trace)
+      << label;
+}
+
+TEST(CheckpointTest, SerializationRoundTripsByteIdentically) {
+  const Dataset data = MakeData(31);
+  AverageFunction avg(3);
+  const RunOutcome run =
+      RunWithKill(data, avg, 3, /*kill=*/7, /*injector=*/nullptr);
+  ASSERT_TRUE(run.checkpoint.has_value());
+
+  const std::string text = SerializeCheckpoint(*run.checkpoint);
+  EngineCheckpoint parsed;
+  ASSERT_TRUE(ParseCheckpoint(text, &parsed).ok());
+  EXPECT_EQ(SerializeCheckpoint(parsed), text);
+}
+
+TEST(CheckpointTest, ParseRejectsCorruptedText) {
+  const Dataset data = MakeData(32);
+  AverageFunction avg(3);
+  const RunOutcome run =
+      RunWithKill(data, avg, 3, /*kill=*/5, /*injector=*/nullptr);
+  ASSERT_TRUE(run.checkpoint.has_value());
+  const std::string text = SerializeCheckpoint(*run.checkpoint);
+
+  EngineCheckpoint parsed;
+  EXPECT_EQ(ParseCheckpoint("", &parsed).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCheckpoint("ncckpt 99\n", &parsed).code(),
+            StatusCode::kInvalidArgument);
+  // Truncation anywhere must be detected, never silently accepted.
+  EXPECT_EQ(ParseCheckpoint(text.substr(0, text.size() / 2), &parsed).code(),
+            StatusCode::kInvalidArgument);
+  // Trailing garbage likewise.
+  EXPECT_EQ(ParseCheckpoint(text + "extra\n", &parsed).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The tentpole proof: kill the query after every single access, resume
+// each snapshot on a fresh engine, and demand the uninterrupted run's
+// exact answer, cost, and access sequence every time. Every checkpoint
+// also takes a trip through the text format first.
+TEST(CheckpointTest, KillAtEveryAccessResumesLosslessly) {
+  const Dataset data = MakeData(33);
+  AverageFunction avg(3);
+  const RunOutcome expected =
+      RunWithKill(data, avg, 3, /*kill=*/0, /*injector=*/nullptr);
+  ASSERT_GT(expected.accesses, 10u);
+
+  for (size_t kill = 1; kill < expected.accesses; ++kill) {
+    const RunOutcome killed =
+        RunWithKill(data, avg, 3, kill, /*injector=*/nullptr);
+    ASSERT_TRUE(killed.checkpoint.has_value()) << "kill " << kill;
+
+    const std::string text = SerializeCheckpoint(*killed.checkpoint);
+    EngineCheckpoint parsed;
+    ASSERT_TRUE(ParseCheckpoint(text, &parsed).ok()) << "kill " << kill;
+
+    ExpectLosslessResume(data, avg, 3, parsed, expected,
+                         /*injector=*/nullptr, /*theta=*/1.0,
+                         "kill " + std::to_string(kill));
+  }
+}
+
+// Faulted runs checkpoint their RNG streams and injector cursors, so the
+// continuation replays the same failures, retries, and costs.
+TEST(CheckpointTest, ResumeReplaysFaultsIdentically) {
+  const Dataset data = MakeData(34, 80, 3);
+  AverageFunction avg(3);
+  FaultProfile flaky;
+  flaky.transient_rate = 0.1;
+
+  const auto make_injector = [&] {
+    FaultInjector injector(/*seed=*/77);
+    injector.set_default_profile(flaky);
+    injector.Script(1, {FaultKind::kTransient, FaultKind::kTimeout});
+    return injector;
+  };
+
+  FaultInjector base_injector = make_injector();
+  const RunOutcome expected =
+      RunWithKill(data, avg, 4, /*kill=*/0, &base_injector);
+  ASSERT_GT(expected.accesses, 6u);
+
+  for (const size_t kill :
+       {size_t{1}, expected.accesses / 2, expected.accesses - 1}) {
+    FaultInjector kill_injector = make_injector();
+    const RunOutcome killed = RunWithKill(data, avg, 4, kill, &kill_injector);
+    ASSERT_TRUE(killed.checkpoint.has_value()) << "kill " << kill;
+
+    // The resuming side attaches a same-configured injector; the
+    // checkpoint restores its mid-run cursors and RNG stream.
+    FaultInjector resume_injector = make_injector();
+    ExpectLosslessResume(data, avg, 4, *killed.checkpoint, expected,
+                         &resume_injector, /*theta=*/1.0,
+                         "faulted kill " + std::to_string(kill));
+  }
+}
+
+// Theta-approximate runs carry the complete-top-k collector in the
+// checkpoint; resuming must preserve the halting behavior.
+TEST(CheckpointTest, ThetaRunsCheckpointTheCollector) {
+  const Dataset data = MakeData(35);
+  AverageFunction avg(3);
+  const double theta = 1.2;
+  const RunOutcome expected =
+      RunWithKill(data, avg, 3, /*kill=*/0, /*injector=*/nullptr, theta);
+  ASSERT_GT(expected.accesses, 4u);
+
+  for (const size_t kill : {size_t{2}, expected.accesses - 1}) {
+    const RunOutcome killed =
+        RunWithKill(data, avg, 3, kill, /*injector=*/nullptr, theta);
+    ASSERT_TRUE(killed.checkpoint.has_value()) << "kill " << kill;
+    EXPECT_TRUE(killed.checkpoint->has_complete_topk);
+    ExpectLosslessResume(data, avg, 3, *killed.checkpoint, expected,
+                         /*injector=*/nullptr, theta,
+                         "theta kill " + std::to_string(kill));
+  }
+}
+
+// Resume validates the checkpoint against the engine's configuration
+// instead of continuing on mismatched state.
+TEST(CheckpointTest, ResumeRejectsMismatchedConfiguration) {
+  const Dataset data = MakeData(36);
+  AverageFunction avg(3);
+  const RunOutcome run =
+      RunWithKill(data, avg, 3, /*kill=*/4, /*injector=*/nullptr);
+  ASSERT_TRUE(run.checkpoint.has_value());
+
+  // Wrong shape: a dataset with a different number of objects.
+  const Dataset other = MakeData(37, 50, 3);
+  SourceSet sources(&other, CostModel::Uniform(3, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(3));
+  EngineOptions options;
+  options.k = 3;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult out;
+  EXPECT_EQ(engine.Resume(*run.checkpoint, &out).code(),
+            StatusCode::kInvalidArgument);
+
+  // Wrong version.
+  EngineCheckpoint stale = *run.checkpoint;
+  stale.version = 99;
+  SourceSet sources2(&data, CostModel::Uniform(3, 1.0, 1.0));
+  NCEngine engine2(&sources2, &avg, &policy, options);
+  EXPECT_EQ(engine2.Resume(stale, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nc

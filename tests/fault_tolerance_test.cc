@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "access/budget.h"
 #include "access/fault.h"
 #include "access/source.h"
 #include "core/engine.h"
@@ -307,6 +308,159 @@ TEST(FaultToleranceTest, ResetRevivesDeadSourcesAndReplaysFaults) {
   }
   EXPECT_EQ(sources.stats().transient_failures, failures_first);
   EXPECT_GT(failures_first, 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveAbandonmentsAndFastFails) {
+  const Dataset data = MakeData(41, 60, 2);
+  FaultInjector injector(/*seed=*/21);
+  injector.Script(0, {FaultKind::kTransient, FaultKind::kTransient});
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  sources.set_fault_injector(&injector);
+  RetryPolicy retry;
+  retry.max_attempts = 1;  // Every scripted failure abandons immediately.
+  sources.set_retry_policy(retry);
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown = 10.0;
+  ASSERT_TRUE(sources.set_circuit_breaker(breaker).ok());
+
+  std::optional<SortedHit> hit;
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(sources.breaker_open(0));
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(sources.breaker_open(0));
+  EXPECT_TRUE(sources.any_breaker_open());
+  EXPECT_EQ(sources.stats().breaker_trips[0], 1u);
+  EXPECT_EQ(sources.stats().abandoned_accesses, 2u);
+
+  // While cooling down the breaker fast-fails: nothing billed, nothing
+  // drawn from the injector, no abandoned-access record.
+  const double cost_before = sources.accrued_cost();
+  const size_t attempts_before = injector.attempts(0);
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), cost_before);
+  EXPECT_EQ(injector.attempts(0), attempts_before);
+  EXPECT_EQ(sources.stats().breaker_fast_failures, 1u);
+  EXPECT_EQ(sources.stats().abandoned_accesses, 2u);
+
+  // The other predicate's breaker is independent.
+  ASSERT_TRUE(sources.TrySortedAccess(1, &hit).ok());
+  ASSERT_TRUE(hit.has_value());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeRetripsOnFailureAndClosesOnSuccess) {
+  const Dataset data = MakeData(42, 200, 2);
+  FaultInjector injector(/*seed=*/22);
+  // Two abandonments trip the breaker; the third failure lands on the
+  // half-open probe; the script then runs dry so the second probe succeeds.
+  injector.Script(0, {FaultKind::kTransient, FaultKind::kTransient,
+                      FaultKind::kTransient});
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  sources.set_fault_injector(&injector);
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  sources.set_retry_policy(retry);
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown = 5.0;
+  ASSERT_TRUE(sources.set_circuit_breaker(breaker).ok());
+
+  std::optional<SortedHit> hit;
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(sources.breaker_open(0));
+  // elapsed_time() is 2.0 (two billed failed attempts), so the breaker
+  // cools until 7.0. Spend elapsed time on the healthy predicate.
+  while (sources.elapsed_time() < 7.0) {
+    ASSERT_TRUE(sources.TrySortedAccess(1, &hit).ok());
+  }
+  EXPECT_FALSE(sources.breaker_open(0));
+
+  // The half-open probe fails: one probing failure re-trips immediately,
+  // without needing failure_threshold consecutive abandonments.
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(sources.breaker_open(0));
+  EXPECT_EQ(sources.stats().breaker_trips[0], 2u);
+
+  const double reopened_until = sources.elapsed_time() + breaker.cooldown;
+  while (sources.elapsed_time() < reopened_until) {
+    ASSERT_TRUE(sources.TrySortedAccess(1, &hit).ok());
+  }
+  // Script exhausted: the probe succeeds and the breaker closes for good.
+  ASSERT_TRUE(sources.TrySortedAccess(0, &hit).ok());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(sources.breaker_open(0));
+  ASSERT_TRUE(sources.TrySortedAccess(0, &hit).ok());
+  EXPECT_EQ(sources.stats().breaker_trips[0], 2u);
+}
+
+// Satellite regression: Reset() must clear the latency penalties, the
+// attempt counters, and the budget/breaker telemetry - not just cursors.
+TEST(FaultToleranceTest, ResetClearsPenaltyAttemptAndResilienceCounters) {
+  const Dataset data = MakeData(43, 60, 2);
+  FaultInjector injector(/*seed=*/23);
+  // Access 1 on p0: timeout then success (a retry with penalty).
+  // Access 2 on p0: two transients, abandoned -> breaker trips.
+  injector.Script(0, {FaultKind::kTimeout, FaultKind::kNone,
+                      FaultKind::kTransient, FaultKind::kTransient});
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  sources.set_fault_injector(&injector);
+  sources.EnableTrace();
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  sources.set_retry_policy(retry, /*jitter_seed=*/31);
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 1;
+  breaker.cooldown = 100.0;
+  ASSERT_TRUE(sources.set_circuit_breaker(breaker).ok());
+  QueryBudget budget;
+  budget.max_cost = 5.0;
+  ASSERT_TRUE(sources.set_budget(budget).ok());
+
+  std::optional<SortedHit> hit;
+  ASSERT_TRUE(sources.TrySortedAccess(0, &hit).ok());
+  EXPECT_GT(sources.last_access_penalty(), 0.0);  // timeout held the line
+  EXPECT_EQ(sources.TrySortedAccess(0, &hit).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(sources.breaker_open(0));
+  // Cost so far: 2.0 (timeout + success) + 2.0 (two abandoned attempts).
+  // One more billed access reaches the 5.0 cap; the next is refused.
+  ASSERT_TRUE(sources.TrySortedAccess(1, &hit).ok());
+  EXPECT_EQ(sources.TrySortedAccess(1, &hit).code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_EQ(sources.stats().timeout_failures, 1u);
+  ASSERT_EQ(sources.stats().transient_failures, 2u);
+  // One retry after the timeout, one between the two transients.
+  ASSERT_EQ(sources.stats().retried_attempts[0], 2u);
+  ASSERT_EQ(sources.stats().abandoned_accesses, 1u);
+  ASSERT_EQ(sources.stats().breaker_trips[0], 1u);
+  ASSERT_EQ(sources.stats().budget_refusals, 1u);
+  ASSERT_FALSE(sources.attempt_trace().empty());
+
+  sources.Reset();
+  EXPECT_DOUBLE_EQ(sources.last_access_penalty(), 0.0);
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), 0.0);
+  EXPECT_DOUBLE_EQ(sources.elapsed_time(), 0.0);
+  EXPECT_EQ(sources.stats().timeout_failures, 0u);
+  EXPECT_EQ(sources.stats().transient_failures, 0u);
+  EXPECT_EQ(sources.stats().retried_attempts[0], 0u);
+  EXPECT_EQ(sources.stats().abandoned_accesses, 0u);
+  EXPECT_EQ(sources.stats().breaker_trips[0], 0u);
+  EXPECT_EQ(sources.stats().TotalBreakerTrips(), 0u);
+  EXPECT_EQ(sources.stats().breaker_fast_failures, 0u);
+  EXPECT_EQ(sources.stats().budget_refusals, 0u);
+  EXPECT_EQ(sources.stats().TotalSorted(), 0u);
+  EXPECT_TRUE(sources.attempt_trace().empty());
+  EXPECT_FALSE(sources.breaker_open(0));
+  EXPECT_FALSE(sources.budget_exhausted());
+  // The policies survive Reset (they are configuration)...
+  EXPECT_TRUE(sources.circuit_breaker().enabled());
+  EXPECT_DOUBLE_EQ(sources.budget().max_cost, 5.0);
+  // ...and the rewound injector replays the same faults: the first
+  // access again meets the timeout and costs 2.0 with a fresh penalty.
+  ASSERT_TRUE(sources.TrySortedAccess(0, &hit).ok());
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), 2.0);
+  EXPECT_GT(sources.last_access_penalty(), 0.0);
+  EXPECT_EQ(sources.stats().timeout_failures, 1u);
 }
 
 TEST(FaultToleranceTest, ParallelExecutorSurvivesTransientFailures) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "access/budget.h"
+#include "access/fault.h"
 #include "core/reference.h"
 #include "data/generator.h"
 
@@ -113,6 +115,88 @@ TEST(SessionTest, PropagatesPlanningErrors) {
   EXPECT_EQ(session.Query(&sources, 0, &result).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(session.plans_computed(), 0u);
+}
+
+TEST(SessionTest, OutcomeTracksQueryDisposition) {
+  const Dataset data = MakeData(7);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kNone);
+  EXPECT_STREQ(QueryOutcomeName(session.last_query_outcome()), "none");
+  TopKResult result;
+
+  // A healthy run completes exactly.
+  SourceSet healthy(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(session.Query(&healthy, 5, &result).ok());
+  EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kExact);
+  EXPECT_STREQ(QueryOutcomeName(session.last_query_outcome()), "exact");
+  EXPECT_EQ(session.budget_exhausted_queries(), 0u);
+
+  // A starved cost cap truncates with a certificate.
+  SourceSet starved(&data, CostModel::Uniform(2, 1.0, 1.0));
+  QueryBudget budget;
+  budget.max_cost = 4.0;
+  ASSERT_TRUE(starved.set_budget(budget).ok());
+  ASSERT_TRUE(session.Query(&starved, 5, &result).ok());
+  ASSERT_TRUE(result.certificate.has_value());
+  EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kBudgetExhausted);
+  EXPECT_STREQ(QueryOutcomeName(session.last_query_outcome()),
+               "budget_exhausted");
+  EXPECT_EQ(session.budget_exhausted_queries(), 1u);
+  EXPECT_FALSE(session.last_query_exact());
+
+  // The counter accumulates, and a later healthy query resets the
+  // last-outcome without clearing it.
+  SourceSet starved_again(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(starved_again.set_budget(budget).ok());
+  ASSERT_TRUE(session.Query(&starved_again, 5, &result).ok());
+  EXPECT_EQ(session.budget_exhausted_queries(), 2u);
+  SourceSet healthy_again(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(session.Query(&healthy_again, 5, &result).ok());
+  EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kExact);
+  EXPECT_EQ(session.budget_exhausted_queries(), 2u);
+}
+
+TEST(SessionTest, TelemetryCreditedEvenWhenSourcesFail) {
+  const Dataset data = MakeData(8, 200);
+  MinFunction fmin(2);
+  QuerySession session(&fmin, SmallPlanner());
+
+  FaultProfile flaky;
+  flaky.transient_rate = 0.2;
+  FaultProfile deadly;
+  deadly.die_after_attempts = 6;
+  FaultInjector injector(/*seed=*/44);
+  injector.set_profile(0, flaky);
+  injector.set_profile(1, deadly);
+
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  sources.set_fault_injector(&injector);
+  TopKResult result;
+  const Status status = session.Query(&sources, 5, &result);
+  ASSERT_TRUE(status.ok()) << status;
+  // p1's death degrades the answer; the recovery telemetry is credited
+  // no matter how the run ended.
+  EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kDegraded);
+  EXPECT_STREQ(QueryOutcomeName(session.last_query_outcome()), "degraded");
+  EXPECT_FALSE(session.last_query_exact());
+  EXPECT_EQ(session.source_deaths(), 1u);
+  EXPECT_GT(session.failed_accesses(), 0u);
+  EXPECT_EQ(session.retried_attempts(), sources.stats().TotalRetried());
+  EXPECT_EQ(session.budget_exhausted_queries(), 0u);
+}
+
+TEST(SessionTest, PlanningErrorLeavesOutcomeUntouched) {
+  const Dataset data = MakeData(9, 50);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  TopKResult result;
+  EXPECT_EQ(session.Query(&sources, 0, &result).code(),
+            StatusCode::kInvalidArgument);
+  // The error happened before any access was issued: no query was
+  // answered, so the disposition is still "none".
+  EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kNone);
 }
 
 }  // namespace
