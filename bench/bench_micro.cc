@@ -18,6 +18,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/check.h"
 #include "core/bound_heap.h"
 #include "core/candidate.h"
@@ -277,6 +278,9 @@ void WriteObservabilityReport() {
   obs::JsonWriter w(&os);
   w.BeginObject();
   w.Key("bench").String("observability_overhead");
+  w.Key("schema_version").Int(bench::kBenchJsonSchemaVersion);
+  w.Key("timestamp").String(bench::IsoTimestampUtc());
+  w.Key("build_type").String(bench::BuildType());
   w.Key("query").BeginObject();
   w.Key("objects").UInt(10000);
   w.Key("predicates").UInt(2);

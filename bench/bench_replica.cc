@@ -1,0 +1,210 @@
+// Replica fleets: what failover, routing, and hedged sorted access cost.
+//
+// Three sweeps over the NC engine running against replicated sources with
+// heavy-tailed latency (a small fraction of requests straggle at many
+// times the normal service time - the regime hedging exists for):
+//
+//   1. Hedge delay: completion-latency percentiles (p50/p95/p99) and the
+//      Eq. 1 cost as the hedge fires earlier. The headline check: any
+//      enabled hedge must cut p99 versus primary-only, and the extra
+//      requests it issues are billed, so the cost column *is* the price
+//      of the tail cut.
+//   2. Replica count: how much fleet width buys under round-robin.
+//   3. Routing policy: cost, failovers, and exactness when the primary
+//      is flaky (30% transient attempts).
+//
+// Every run's full Eq. 1 breakdown lands in BENCH_REPLICA.json. Pass
+// --quick for a CI-smoke-sized dataset.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "access/fault.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+#include "replica/replica.h"
+
+namespace {
+
+using namespace nc;
+using namespace nc::bench;
+
+// One replica with the shared heavy-tail latency profile: 5% of requests
+// straggle at 20x.
+ReplicaEndpoint HeavyTailEndpoint(double cost_multiplier = 1.0) {
+  ReplicaEndpoint e;
+  e.cost_multiplier = cost_multiplier;
+  e.latency.multiplier = 1.0;
+  e.latency.jitter = 0.3;
+  e.latency.tail_probability = 0.05;
+  e.latency.tail_multiplier = 20.0;
+  return e;
+}
+
+struct FleetRun {
+  RunStats stats;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  size_t hedges = 0;
+  size_t hedge_wins = 0;
+  size_t failovers = 0;
+  double elapsed = 0.0;
+};
+
+// Runs NC over `data` with every predicate served by `config`, pooling
+// the completion-latency samples of all predicates.
+FleetRun RunFleet(const Dataset& data, const ScoringFunction& scoring,
+                  size_t k, const ReplicaSetConfig& config,
+                  const std::string& label) {
+  ReplicaFleet fleet(/*seed=*/97);
+  for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+    NC_CHECK(fleet.Configure(i, config).ok());
+  }
+  const CostModel cost = CostModel::Uniform(data.num_predicates(), 1.0, 1.0);
+  SourceSet sources(&data, cost);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  sources.set_retry_policy(retry, /*jitter_seed=*/5);
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 6;
+  breaker.cooldown = 8.0;
+  NC_CHECK(sources.set_circuit_breaker(breaker).ok());
+  NC_CHECK(sources.set_replica_fleet(&fleet).ok());
+
+  SRGPolicy policy(SRGConfig::Default(data.num_predicates()));
+  EngineOptions options;
+  options.k = k;
+  TopKResult result;
+  NC_CHECK(RunNC(&sources, &scoring, &policy, options, &result).ok());
+
+  FleetRun run;
+  run.stats.cost = sources.accrued_cost();
+  run.stats.sorted = sources.stats().TotalSorted();
+  run.stats.random = sources.stats().TotalRandom();
+  run.stats.correct = result == BruteForceTopK(data, scoring, k);
+  run.stats.report = obs::BuildRunReport(sources, nullptr, "NC", k);
+  std::vector<double> samples;
+  for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+    const std::vector<double>& s = fleet.latency_samples(i);
+    samples.insert(samples.end(), s.begin(), s.end());
+  }
+  run.p50 = Percentile(samples, 0.50);
+  run.p95 = Percentile(samples, 0.95);
+  run.p99 = Percentile(samples, 0.99);
+  run.hedges = fleet.total_hedges_issued();
+  run.hedge_wins = fleet.total_hedge_wins();
+  run.failovers = fleet.total_failovers();
+  run.elapsed = sources.elapsed_time();
+  AddJsonRow(label, run.stats);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const size_t kObjects = quick ? 200 : 2000;
+  const size_t kPredicates = 3;
+  const size_t kK = 10;
+
+  GeneratorOptions g;
+  g.num_objects = kObjects;
+  g.num_predicates = kPredicates;
+  g.seed = 2026;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction scoring(kPredicates);
+
+  // --- Sweep 1: hedge delay under heavy-tail latency -------------------
+  PrintHeader("Hedged sorted access vs hedge delay, 3 replicas, "
+              "5% stragglers at 20x, F=avg, k=10");
+  std::printf("%10s %10s %8s %8s %8s %8s %8s %8s %6s\n", "delay", "cost",
+              "p50", "p95", "p99", "hedges", "wins", "elapsed", "exact");
+  PrintRule(74);
+  double primary_only_p99 = 0.0;
+  double primary_only_cost = 0.0;
+  for (const double delay : {0.0, 1.2, 1.5, 2.0, 4.0}) {
+    ReplicaSetConfig config;
+    config.replicas = {HeavyTailEndpoint(), HeavyTailEndpoint(),
+                       HeavyTailEndpoint()};
+    config.routing = RoutingPolicy::kPrimaryOnly;
+    config.hedge.delay = delay;
+    const FleetRun run =
+        RunFleet(data, scoring, kK, config,
+                 "NC hedge=" + std::to_string(delay));
+    if (delay == 0.0) {
+      primary_only_p99 = run.p99;
+      primary_only_cost = run.stats.cost;
+    }
+    std::printf("%10.1f %10.1f %8.2f %8.2f %8.2f %8zu %8zu %8.1f %6s\n",
+                delay, run.stats.cost, run.p50, run.p95, run.p99,
+                run.hedges, run.hedge_wins, run.elapsed,
+                run.stats.correct ? "yes" : "NO");
+    if (delay > 0.0) {
+      // The whole point of hedging: the tail comes down, and the cost
+      // honestly reports what that cut. A regression here means the
+      // hedge path stopped firing or stopped winning.
+      NC_CHECK(run.stats.correct);
+      NC_CHECK(run.p99 < primary_only_p99);
+      std::printf("%10s p99 %.2fx lower than primary-only, cost %+.1f%%\n",
+                  "", primary_only_p99 / run.p99,
+                  100.0 * (run.stats.cost - primary_only_cost) /
+                      primary_only_cost);
+    }
+  }
+
+  // --- Sweep 2: replica count ------------------------------------------
+  PrintHeader("Tail latency vs replica count, round-robin, hedge "
+              "delay 1.5");
+  std::printf("%10s %10s %8s %8s %8s %8s %6s\n", "replicas", "cost", "p50",
+              "p99", "hedges", "elapsed", "exact");
+  PrintRule(62);
+  for (const size_t replicas : {1u, 2u, 3u, 4u}) {
+    ReplicaSetConfig config;
+    for (size_t r = 0; r < replicas; ++r) {
+      config.replicas.push_back(HeavyTailEndpoint());
+    }
+    config.routing = RoutingPolicy::kRoundRobin;
+    // A single replica has nobody to hedge to.
+    config.hedge.delay = replicas > 1 ? 1.5 : 0.0;
+    const FleetRun run =
+        RunFleet(data, scoring, kK, config,
+                 "NC replicas=" + std::to_string(replicas));
+    std::printf("%10zu %10.1f %8.2f %8.2f %8zu %8.1f %6s\n", replicas,
+                run.stats.cost, run.p50, run.p99, run.hedges, run.elapsed,
+                run.stats.correct ? "yes" : "NO");
+  }
+
+  // --- Sweep 3: routing policies with a flaky primary ------------------
+  PrintHeader("Routing policies with a flaky primary (30% transient "
+              "attempts, 1.5x cost)");
+  std::printf("%18s %10s %10s %10s %8s %6s\n", "policy", "cost",
+              "failovers", "p99", "elapsed", "exact");
+  PrintRule(68);
+  const RoutingPolicy policies[] = {
+      RoutingPolicy::kPrimaryOnly, RoutingPolicy::kRoundRobin,
+      RoutingPolicy::kLeastLatency, RoutingPolicy::kCheapestHealthy};
+  for (const RoutingPolicy routing : policies) {
+    ReplicaSetConfig config;
+    ReplicaEndpoint flaky = HeavyTailEndpoint(1.5);
+    flaky.faults.transient_rate = 0.3;
+    config.replicas = {flaky, HeavyTailEndpoint(1.0),
+                       HeavyTailEndpoint(1.2)};
+    config.routing = routing;
+    const FleetRun run =
+        RunFleet(data, scoring, kK, config,
+                 std::string("NC routing=") + RoutingPolicyName(routing));
+    std::printf("%18s %10.1f %10zu %10.2f %8.1f %6s\n",
+                RoutingPolicyName(routing), run.stats.cost, run.failovers,
+                run.p99, run.elapsed, run.stats.correct ? "yes" : "NO");
+    NC_CHECK(run.stats.correct);
+  }
+
+  WriteBenchJson("replica");
+  return 0;
+}

@@ -17,6 +17,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -72,6 +73,32 @@ inline void AddJsonRow(const std::string& algorithm, const RunStats& stats) {
   JsonRows().push_back(JsonRow{CurrentScenario(), algorithm, stats});
 }
 
+// Schema of the BENCH_*.json envelope; bump when the row shape changes
+// so the perf trajectory stays comparable across PRs.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
+// UTC wall-clock in ISO 8601 ("2026-01-31T12:34:56Z").
+inline std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+// How this binary was compiled, so numbers from sanitizer CI runs are
+// never mistaken for release measurements.
+inline const char* BuildType() {
+#if defined(NC_SANITIZE_BUILD)
+  return "Sanitize";
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
 // Writes BENCH_<NAME>.json (name upper-cased) with every recorded row.
 inline void WriteBenchJson(const std::string& bench_name) {
   std::string file_name = "BENCH_";
@@ -84,6 +111,9 @@ inline void WriteBenchJson(const std::string& bench_name) {
   obs::JsonWriter w(&os);
   w.BeginObject();
   w.Key("bench").String(bench_name);
+  w.Key("schema_version").Int(kBenchJsonSchemaVersion);
+  w.Key("timestamp").String(IsoTimestampUtc());
+  w.Key("build_type").String(BuildType());
   w.Key("rows").BeginArray();
   for (const JsonRow& row : JsonRows()) {
     w.BeginObject();

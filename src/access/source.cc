@@ -85,6 +85,10 @@ SourceSet::SourceSet(ScoreProvider* provider,
 }
 
 Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
+  fleet_serve_ = FleetServe{};
+  if (fleet_ != nullptr && fleet_->configured(access.predicate)) {
+    return AttemptFleetAccess(access, unit_cost);
+  }
   if (injector_ == nullptr) return Status::OK();
   const PredicateId i = access.predicate;
   // Circuit breaker: an open breaker fast-fails until its cooldown
@@ -177,6 +181,238 @@ Status SourceSet::AttemptAccess(const Access& access, double unit_cost) {
   }
 }
 
+Status SourceSet::AttemptFleetAccess(const Access& access, double unit_cost) {
+  const PredicateId i = access.predicate;
+  ReplicaFleet& fleet = *fleet_;
+  fleet_serve_.active = true;
+  fleet_serve_.request = access.type == AccessType::kRandom ||
+                         positions_[i] % cost_.page_size(i) == 0;
+  const std::vector<size_t> order = fleet.RouteOrder(i, elapsed_time());
+  if (order.empty()) {
+    // No replica can serve: all dead (the predicate was downgraded when
+    // the last one died) or every breaker open and cooling. Fast-fail
+    // like a plain open breaker - nothing billed, nothing drawn.
+    ++stats_.breaker_fast_failures;
+    return Status::Unavailable("p" + std::to_string(i) +
+                               ": every replica unavailable");
+  }
+  for (size_t idx = 0; idx < order.size(); ++idx) {
+    const size_t r = order[idx];
+    ReplicaRuntime& rt = fleet.runtime(i, r);
+    // A cooled-down open breaker admits exactly one half-open probe.
+    const bool probing = rt.breaker_open;
+    const size_t attempt_cap =
+        probing ? size_t{1} : retry_policy_.max_attempts;
+    const bool is_last = idx + 1 == order.size();
+    bool died = false;
+    const Status status =
+        AttemptOnReplica(access, unit_cost, i, r, attempt_cap, is_last, &died);
+    if (status.ok()) {
+      rt.breaker_open = false;
+      rt.breaker_consecutive = 0;
+      CompleteFleetRequest(access, unit_cost, i, r, order, probing);
+      return Status::OK();
+    }
+    // Replica-level failure: trip its breaker (a failed probe reopens
+    // immediately), then fail over to the next candidate.
+    if (!died && breaker_.enabled()) {
+      if (probing || ++rt.breaker_consecutive >= breaker_.failure_threshold) {
+        rt.breaker_open = true;
+        rt.breaker_open_until = elapsed_time() + breaker_.cooldown;
+        rt.breaker_consecutive = 0;
+        ++rt.breaker_trips;
+        ++stats_.breaker_trips[i];
+      }
+    }
+    if (!is_last) {
+      ++rt.failovers;
+      ++stats_.replica_failovers;
+      if (obs::ShouldTrace(tracer_)) {
+        tracer_->RecordReplicaEvent("replica_failover", i,
+                                    static_cast<uint32_t>(r),
+                                    static_cast<uint32_t>(order[idx + 1]),
+                                    accrued_cost_);
+      }
+    }
+  }
+  ++stats_.abandoned_accesses;
+  if (fleet.all_dead(i)) MarkSourceDown(i);
+  return Status::Unavailable("p" + std::to_string(i) +
+                             ": all replicas exhausted");
+}
+
+Status SourceSet::AttemptOnReplica(const Access& access, double unit_cost,
+                                   PredicateId i, size_t r, size_t attempt_cap,
+                                   bool is_last_replica, bool* died) {
+  *died = false;
+  ReplicaFleet& fleet = *fleet_;
+  ReplicaRuntime& rt = fleet.runtime(i, r);
+  // Every request to this replica - retries included - is priced at its
+  // own multiplier.
+  const double replica_unit =
+      unit_cost * fleet.config(i).replicas[r].cost_multiplier;
+  std::vector<double>& cost_accrued = access.type == AccessType::kSorted
+                                          ? stats_.sorted_cost_accrued
+                                          : stats_.random_cost_accrued;
+  for (size_t attempt = 1;; ++attempt) {
+    const FaultKind fault = fleet.NextFault(i, r);
+    if (fault == FaultKind::kNone) return Status::OK();
+    if (fault == FaultKind::kSourceDown) {
+      rt.dead = true;
+      if (trace_enabled_) {
+        attempt_trace_.push_back(AccessAttempt{access, fault, false});
+      }
+      if (obs::ShouldTrace(tracer_)) {
+        tracer_->RecordAttempt(access.type, i, access.object,
+                               obs::AccessOutcome::kSourceDown, 0.0,
+                               accrued_cost_);
+        tracer_->RecordReplicaEvent("replica_down", i,
+                                    static_cast<uint32_t>(r),
+                                    static_cast<uint32_t>(r), accrued_cost_);
+      }
+      *died = true;
+      return Status::Unavailable("replica of p" + std::to_string(i) +
+                                 " died permanently");
+    }
+    const double charged = retry_policy_.retry_cost_factor * replica_unit;
+    accrued_cost_ += charged;
+    cost_accrued[i] += charged;
+    rt.cost_accrued += charged;
+    if (fault == FaultKind::kTransient) {
+      ++stats_.transient_failures;
+    } else {
+      ++stats_.timeout_failures;
+      const double served = retry_policy_.timeout_latency_factor * replica_unit;
+      last_access_penalty_ += served;
+      total_penalty_ += served;
+    }
+    const bool giving_up = attempt >= attempt_cap;
+    // The access is "abandoned" only when the last replica gives up;
+    // earlier exhaustions fail over instead.
+    const bool abandoning = giving_up && is_last_replica;
+    if (trace_enabled_) {
+      attempt_trace_.push_back(AccessAttempt{access, fault, abandoning});
+    }
+    if (obs::ShouldTrace(tracer_)) {
+      tracer_->RecordAttempt(access.type, i, access.object,
+                             abandoning ? obs::AccessOutcome::kAbandoned
+                             : fault == FaultKind::kTransient
+                                 ? obs::AccessOutcome::kTransient
+                                 : obs::AccessOutcome::kTimeout,
+                             charged, accrued_cost_);
+    }
+    if (giving_up) {
+      return Status::Unavailable("p" + std::to_string(i) + ": " +
+                                 std::to_string(attempt) +
+                                 " replica attempts exhausted");
+    }
+    ++stats_.retried_attempts[i];
+    const double backoff = retry_policy_.BackoffDelay(attempt, &retry_rng_);
+    last_access_penalty_ += backoff;
+    total_penalty_ += backoff;
+  }
+}
+
+void SourceSet::CompleteFleetRequest(const Access& access, double unit_cost,
+                                     PredicateId i, size_t routed,
+                                     const std::vector<size_t>& order,
+                                     bool probed) {
+  ReplicaFleet& fleet = *fleet_;
+  fleet_serve_.routed = routed;
+  fleet_serve_.winner = routed;
+  if (probed && obs::ShouldTrace(tracer_)) {
+    tracer_->RecordReplicaEvent("replica_restored", i,
+                                static_cast<uint32_t>(routed),
+                                static_cast<uint32_t>(routed), accrued_cost_);
+  }
+  if (!fleet_serve_.request) {
+    // Mid-page sorted entry: already fetched with its page, no new
+    // request, no latency.
+    ++fleet.runtime(i, routed).served;
+    return;
+  }
+  const ReplicaSetConfig& cfg = fleet.config(i);
+  const double primary_latency = fleet.DrawLatency(i, routed, unit_cost);
+  double completion = primary_latency;
+  if (access.type == AccessType::kSorted && cfg.hedge.enabled() && !probed &&
+      primary_latency > cfg.hedge.delay) {
+    // Hedge target: the next replica in routing preference whose breaker
+    // is closed (cooling and probing replicas never receive hedges).
+    size_t hedge = 0;
+    bool found = false;
+    for (size_t cand : order) {
+      if (cand == routed) continue;
+      const ReplicaRuntime& cand_rt = fleet.runtime(i, cand);
+      if (cand_rt.dead || cand_rt.breaker_open) continue;
+      hedge = cand;
+      found = true;
+      break;
+    }
+    if (found) {
+      fleet_serve_.hedged = true;
+      ++stats_.hedges_issued;
+      ReplicaRuntime& hrt = fleet.runtime(i, hedge);
+      ++hrt.hedges_issued;
+      // The hedge request is sent and billed in full at the hedge
+      // replica's price, win or lose: the honest Eq. 1 cost of cutting
+      // the tail.
+      const double hedge_charge =
+          unit_cost * cfg.replicas[hedge].cost_multiplier;
+      accrued_cost_ += hedge_charge;
+      stats_.sorted_cost_accrued[i] += hedge_charge;
+      hrt.cost_accrued += hedge_charge;
+      if (obs::ShouldTrace(tracer_)) {
+        tracer_->RecordReplicaEvent("hedge_issued", i,
+                                    static_cast<uint32_t>(routed),
+                                    static_cast<uint32_t>(hedge),
+                                    accrued_cost_);
+      }
+      // One shot, no retries: a failed hedge just loses (a drawn death
+      // still kills the replica), and never touches breaker state.
+      const FaultKind fault = fleet.NextFault(i, hedge);
+      if (fault == FaultKind::kTransient) ++stats_.transient_failures;
+      if (fault == FaultKind::kTimeout) ++stats_.timeout_failures;
+      if (fault == FaultKind::kSourceDown) {
+        hrt.dead = true;
+        if (obs::ShouldTrace(tracer_)) {
+          tracer_->RecordReplicaEvent("replica_down", i,
+                                      static_cast<uint32_t>(hedge),
+                                      static_cast<uint32_t>(hedge),
+                                      accrued_cost_);
+        }
+      }
+      bool won = false;
+      if (fault == FaultKind::kNone) {
+        const double service = fleet.DrawLatency(i, hedge, unit_cost);
+        const double hedge_completion = cfg.hedge.delay + service;
+        fleet.ObserveLatency(i, hedge, service);
+        if (hedge_completion < completion) {
+          won = true;
+          completion = hedge_completion;
+        }
+      }
+      if (won) {
+        fleet_serve_.hedge_won = true;
+        fleet_serve_.winner = hedge;
+        ++stats_.hedge_wins;
+        ++hrt.hedge_wins;
+      }
+      if (obs::ShouldTrace(tracer_)) {
+        tracer_->RecordReplicaEvent(won ? "hedge_won" : "hedge_lost", i,
+                                    static_cast<uint32_t>(routed),
+                                    static_cast<uint32_t>(hedge),
+                                    accrued_cost_);
+      }
+    }
+  }
+  // The routed replica's own service time is signal for kLeastLatency
+  // routing even when a hedge beat it.
+  fleet.ObserveLatency(i, routed, primary_latency);
+  fleet.RecordCompletion(i, fleet_serve_.winner, completion);
+  ++fleet.runtime(i, fleet_serve_.winner).served;
+  fleet_serve_.completion_latency = completion;
+}
+
 void SourceSet::MarkSourceDown(PredicateId i) {
   // A source dies as a unit: every predicate of its attribute group loses
   // both access types. The downgrade flows through set_cost_model so the
@@ -228,12 +464,30 @@ Status SourceSet::TrySortedAccess(PredicateId i,
   NC_RETURN_IF_ERROR(AttemptAccess(Access::Sorted(i), cost_.sorted_cost[i]));
   ++stats_.sorted_count[i];
   // With a page model, the charge lands on the first entry of each page
-  // (one request fetches the whole page).
+  // (one request fetches the whole page). A replica fleet prices the
+  // request at the serving replica's multiplier.
+  const double unit_mult =
+      fleet_serve_.active
+          ? fleet_->config(i).replicas[fleet_serve_.routed].cost_multiplier
+          : 1.0;
   double charged = 0.0;
   if (positions_[i] % cost_.page_size(i) == 0) {
-    charged = cost_.sorted_cost[i];
+    charged = cost_.sorted_cost[i] * unit_mult;
     accrued_cost_ += charged;
     stats_.sorted_cost_accrued[i] += charged;
+  }
+  if (fleet_serve_.active) {
+    fleet_->runtime(i, fleet_serve_.routed).cost_accrued += charged;
+    if (fleet_serve_.request) {
+      // Any completion latency beyond the charge is extra wall-clock
+      // wait: it lands on the deadline clock, never on the cost cap.
+      const double wait =
+          std::max(0.0, fleet_serve_.completion_latency - charged);
+      if (wait > 0.0) {
+        last_access_penalty_ += wait;
+        total_penalty_ += wait;
+      }
+    }
   }
   if (trace_enabled_) {
     trace_.push_back(Access::Sorted(i));
@@ -289,15 +543,29 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
   NC_RETURN_IF_ERROR(
       AttemptAccess(Access::Random(i, u), cost_.random_cost[i]));
   ++stats_.random_count[i];
-  accrued_cost_ += cost_.random_cost[i];
-  stats_.random_cost_accrued[i] += cost_.random_cost[i];
+  const double ra_charged =
+      cost_.random_cost[i] *
+      (fleet_serve_.active
+           ? fleet_->config(i).replicas[fleet_serve_.routed].cost_multiplier
+           : 1.0);
+  accrued_cost_ += ra_charged;
+  stats_.random_cost_accrued[i] += ra_charged;
+  if (fleet_serve_.active) {
+    fleet_->runtime(i, fleet_serve_.routed).cost_accrued += ra_charged;
+    const double wait =
+        std::max(0.0, fleet_serve_.completion_latency - ra_charged);
+    if (wait > 0.0) {
+      last_access_penalty_ += wait;
+      total_penalty_ += wait;
+    }
+  }
   if (trace_enabled_) {
     trace_.push_back(Access::Random(i, u));
     attempt_trace_.push_back(
         AccessAttempt{Access::Random(i, u), FaultKind::kNone, false});
   }
   if (obs::ShouldTrace(tracer_)) {
-    tracer_->RecordAccess(AccessType::kRandom, i, u, cost_.random_cost[i],
+    tracer_->RecordAccess(AccessType::kRandom, i, u, ra_charged,
                           accrued_cost_);
   }
   uint64_t& mask = probed_[u];
@@ -342,6 +610,11 @@ Status SourceSet::set_circuit_breaker(CircuitBreakerPolicy policy) {
 
 bool SourceSet::breaker_open(PredicateId i) const {
   NC_CHECK(i < num_predicates());
+  if (fleet_ != nullptr && fleet_->configured(i)) {
+    // With a fleet, one open replica breaker just steers routing; the
+    // predicate fast-fails only when no replica can take the access.
+    return fleet_->all_unavailable(i, elapsed_time());
+  }
   if (!breaker_.enabled()) return false;
   const BreakerState& state = breaker_state_[i];
   return state.open && elapsed_time() < state.open_until;
@@ -352,6 +625,17 @@ bool SourceSet::any_breaker_open() const {
     if (breaker_open(i)) return true;
   }
   return false;
+}
+
+Status SourceSet::set_replica_fleet(ReplicaFleet* fleet) {
+  if (fleet != nullptr &&
+      fleet->max_configured_predicates() > num_predicates()) {
+    return Status::InvalidArgument(
+        "replica fleet configures predicates this SourceSet does not have");
+  }
+  fleet_ = fleet;
+  fleet_serve_ = FleetServe{};
+  return Status::OK();
 }
 
 void SourceSet::set_fault_injector(FaultInjector* injector) {
@@ -386,6 +670,9 @@ void SourceSet::Reset() {
   stats_.breaker_trips.assign(m, 0);
   stats_.breaker_fast_failures = 0;
   stats_.budget_refusals = 0;
+  stats_.replica_failovers = 0;
+  stats_.hedges_issued = 0;
+  stats_.hedge_wins = 0;
   accrued_cost_ = 0.0;
   positions_.assign(m, 0);
   last_seen_.assign(m, kMaxScore);
@@ -411,6 +698,11 @@ void SourceSet::Reset() {
     sources_down_ = 0;
   }
   if (injector_ != nullptr) injector_->Reset();
+  // Replica health is runtime state, not configuration: back-to-back
+  // repetitions must start with cold breakers, live replicas, and the
+  // same fault/latency draws.
+  if (fleet_ != nullptr) fleet_->ResetRuntime();
+  fleet_serve_ = FleetServe{};
 }
 
 SourceCheckpoint SourceSet::Checkpoint() const {
@@ -445,6 +737,8 @@ SourceCheckpoint SourceSet::Checkpoint() const {
   }
   ck.trace_enabled = trace_enabled_;
   ck.attempt_trace = attempt_trace_;
+  ck.has_fleet = fleet_ != nullptr;
+  if (fleet_ != nullptr) ck.fleet_state = fleet_->CheckpointState();
   return ck;
 }
 
@@ -465,6 +759,10 @@ Status SourceSet::RestoreCheckpoint(const SourceCheckpoint& ck) {
   if (ck.has_injector != (injector_ != nullptr)) {
     return Status::FailedPrecondition(
         "checkpoint and SourceSet disagree on fault-injector attachment");
+  }
+  if (ck.has_fleet != (fleet_ != nullptr)) {
+    return Status::FailedPrecondition(
+        "checkpoint and SourceSet disagree on replica-fleet attachment");
   }
   const size_t n = num_objects();
   for (size_t i = 0; i < m; ++i) {
@@ -500,6 +798,10 @@ Status SourceSet::RestoreCheckpoint(const SourceCheckpoint& ck) {
     NC_RETURN_IF_ERROR(injector_->RestoreState(
         ck.injector_rng_state, ck.injector_attempts, ck.injector_script_pos));
   }
+  if (fleet_ != nullptr) {
+    NC_RETURN_IF_ERROR(fleet_->RestoreState(ck.fleet_state));
+  }
+  fleet_serve_ = FleetServe{};
   positions_ = ck.positions;
   last_seen_ = ck.last_seen;
   stats_ = ck.stats;

@@ -66,6 +66,7 @@
 #include "common/score.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "replica/replica.h"
 
 namespace nc::obs {
 class QueryTracer;
@@ -110,13 +111,24 @@ struct AccessStats {
   size_t source_deaths = 0;
 
   // --- Budget / circuit-breaker counters -------------------------------
-  // Circuit-breaker trips per predicate (closed/half-open -> open).
+  // Circuit-breaker trips per predicate (closed/half-open -> open). With
+  // a replica fleet attached, per-replica trips aggregate here.
   std::vector<size_t> breaker_trips;
-  // Accesses refused instantly by an open breaker (nothing billed).
+  // Accesses refused instantly by an open breaker (nothing billed). With
+  // a fleet, counted only when *every* replica is open and cooling.
   size_t breaker_fast_failures = 0;
   // Accesses refused by the budget (cost cap, deadline, or quota) before
   // anything was billed.
   size_t budget_refusals = 0;
+
+  // --- Replica-fleet counters (all zero without a fleet) ---------------
+  // Accesses that moved on from a failing replica to the next healthy
+  // one instead of abandoning the predicate.
+  size_t replica_failovers = 0;
+  // Hedge requests issued (each billed a full extra request) and hedges
+  // whose second response arrived first.
+  size_t hedges_issued = 0;
+  size_t hedge_wins = 0;
 
   size_t TotalSorted() const;
   size_t TotalRandom() const;
@@ -168,6 +180,10 @@ struct SourceCheckpoint {
   // trace is rebuilt from it on restore.
   bool trace_enabled = false;
   std::vector<AccessAttempt> attempt_trace;
+  // Replica-fleet routing state; has_fleet records whether one was
+  // attached (restore requires the same).
+  bool has_fleet = false;
+  ReplicaFleetState fleet_state;
 };
 
 class SourceSet {
@@ -299,15 +315,33 @@ class SourceSet {
   const CircuitBreakerPolicy& circuit_breaker() const { return breaker_; }
 
   // True while predicate i's breaker is open and still cooling down
-  // (the next access would fast-fail rather than probe).
+  // (the next access would fast-fail rather than probe). With a replica
+  // fleet, true only when *every* replica of i is dead or cooling - a
+  // single open replica breaker just steers routing.
   bool breaker_open(PredicateId i) const;
 
   // True when any predicate's breaker is currently open (cooling down).
   bool any_breaker_open() const;
 
+  // --- Replica fleet ---------------------------------------------------
+  // Attaches a replica fleet (nullptr detaches; must outlive the
+  // SourceSet). Predicates the fleet configures are served through their
+  // replica sets: per-replica fault draws (the plain fault injector is
+  // bypassed for them), per-replica breaker state with failover, routing
+  // policies, and hedged sorted access (docs/REPLICAS.md). Unconfigured
+  // predicates keep the plain single-source path. Rejected when the
+  // fleet names a predicate this SourceSet does not have.
+  Status set_replica_fleet(ReplicaFleet* fleet);
+  bool has_fleet() const { return fleet_ != nullptr; }
+  const ReplicaFleet& fleet() const {
+    NC_CHECK(fleet_ != nullptr);
+    return *fleet_;
+  }
+
   // --- Fault injection -------------------------------------------------
   // Attaches a fault injector (nullptr detaches; must outlive the
-  // SourceSet). Without one, accesses never fail.
+  // SourceSet). Without one, accesses never fail. Fleet-configured
+  // predicates draw from their per-replica injectors instead.
   void set_fault_injector(FaultInjector* injector);
 
   // Configures retries; `jitter_seed` drives the backoff jitter draws.
@@ -402,12 +436,48 @@ class SourceSet {
             std::unique_ptr<DatasetScoreProvider> owned,
             const Dataset* data, CostModel cost);
 
+  // What the replica layer decided for the access in flight, consumed by
+  // the success-path billing in Try{Sorted,Random}Access. Inactive on
+  // the plain single-source path.
+  struct FleetServe {
+    bool active = false;
+    // True when this access issues a priced request (every random
+    // access; sorted accesses at a page boundary).
+    bool request = false;
+    size_t routed = 0;  // Replica billed for the primary request.
+    size_t winner = 0;  // Replica whose response completed the access.
+    double completion_latency = 0.0;
+    bool hedged = false;
+    bool hedge_won = false;
+  };
+
   // Runs the attempt/retry loop for `access` whose request costs
   // `unit_cost`. OK when an attempt succeeded; kUnavailable after a death
   // or once attempts are exhausted. Accumulates per-attempt charges and
   // last_access_penalty_, and records failed attempts in the attempt
-  // trace and the tracer.
+  // trace and the tracer. Fleet-configured predicates route through
+  // AttemptFleetAccess instead.
   Status AttemptAccess(const Access& access, double unit_cost);
+
+  // The fleet analogue of the attempt loop: routes the access per the
+  // predicate's policy, retries within a replica, fails over across
+  // replicas, manages per-replica breakers, and (for priced sorted
+  // requests) hedges. Fills fleet_serve_ on success.
+  Status AttemptFleetAccess(const Access& access, double unit_cost);
+
+  // Runs up to `attempt_cap` attempts against replica r. OK on success;
+  // kUnavailable when the replica's attempts are exhausted or it died
+  // (`*died` reports which).
+  Status AttemptOnReplica(const Access& access, double unit_cost,
+                          PredicateId i, size_t r, size_t attempt_cap,
+                          bool is_last_replica, bool* died);
+
+  // Books the completion of a successful fleet request: latency draw,
+  // hedging (suppressed for half-open probes), EWMA/sample recording,
+  // and fleet_serve_.
+  void CompleteFleetRequest(const Access& access, double unit_cost,
+                            PredicateId i, size_t routed,
+                            const std::vector<size_t>& order, bool probed);
 
   // Downgrades the capabilities of predicate i's attribute group and
   // counts the death. `via_injector` marks deaths drawn by the injector
@@ -452,6 +522,8 @@ class SourceSet {
     double open_until = 0.0;
   };
   std::vector<BreakerState> breaker_state_;
+  ReplicaFleet* fleet_ = nullptr;
+  FleetServe fleet_serve_;
   bool trace_enabled_ = false;
   std::vector<Access> trace_;
   std::vector<AccessAttempt> attempt_trace_;

@@ -291,6 +291,32 @@ std::string SerializeCheckpoint(const EngineCheckpoint& ck) {
   w.UIntVec("stats_breaker_trips", stats.breaker_trips);
   w.UInt("stats_breaker_fast_failures", stats.breaker_fast_failures);
   w.UInt("stats_budget_refusals", stats.budget_refusals);
+  w.UInt("stats_replica_failovers", stats.replica_failovers);
+  w.UInt("stats_hedges_issued", stats.hedges_issued);
+  w.UInt("stats_hedge_wins", stats.hedge_wins);
+
+  // --- Replica fleet (version 2) ---------------------------------------
+  const ReplicaFleetState& fleet = src.fleet_state;
+  w.Bool("src_has_fleet", src.has_fleet);
+  w.Line("fleet_latency_rng", fleet.latency_rng_state);
+  w.PairVec("fleet_rr_cursors", fleet.rr_cursors);
+  w.UInt("fleet_slots", fleet.slots.size());
+  for (const ReplicaSlotState& slot : fleet.slots) {
+    const ReplicaRuntime& rt = slot.runtime;
+    std::ostringstream v;
+    v << slot.predicate << ' ' << slot.replica << ' '
+      << rt.breaker_consecutive << ' ' << (rt.breaker_open ? 1 : 0) << ' '
+      << HexDouble(rt.breaker_open_until) << ' ' << (rt.dead ? 1 : 0) << ' '
+      << (rt.has_ewma ? 1 : 0) << ' ' << HexDouble(rt.ewma_latency) << ' '
+      << rt.served << ' ' << rt.failovers << ' ' << rt.breaker_trips << ' '
+      << rt.hedges_issued << ' ' << rt.hedge_wins << ' '
+      << HexDouble(rt.cost_accrued) << ' ' << rt.latency_count << ' '
+      << HexDouble(rt.latency_sum) << ' ' << HexDouble(rt.latency_min) << ' '
+      << HexDouble(rt.latency_max) << ' ' << slot.injector_attempts << ' '
+      << slot.injector_script_pos;
+    w.Line("fleet_slot", v.str());
+    w.Line("fleet_slot_rng", slot.injector_rng_state);
+  }
   return w.str();
 }
 
@@ -455,6 +481,68 @@ Status ParseCheckpoint(const std::string& text, EngineCheckpoint* out) {
   stats.breaker_fast_failures = static_cast<size_t>(u);
   NC_RETURN_IF_ERROR(p.UInt("stats_budget_refusals", &u));
   stats.budget_refusals = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_replica_failovers", &u));
+  stats.replica_failovers = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_hedges_issued", &u));
+  stats.hedges_issued = static_cast<size_t>(u);
+  NC_RETURN_IF_ERROR(p.UInt("stats_hedge_wins", &u));
+  stats.hedge_wins = static_cast<size_t>(u);
+
+  ReplicaFleetState& fleet = src.fleet_state;
+  NC_RETURN_IF_ERROR(p.Bool("src_has_fleet", &src.has_fleet));
+  NC_RETURN_IF_ERROR(p.Expect("fleet_latency_rng", &fleet.latency_rng_state));
+  NC_RETURN_IF_ERROR(p.PairVec("fleet_rr_cursors", &fleet.rr_cursors));
+  uint64_t slot_count = 0;
+  NC_RETURN_IF_ERROR(p.UInt("fleet_slots", &slot_count));
+  fleet.slots.reserve(static_cast<size_t>(slot_count));
+  for (uint64_t c = 0; c < slot_count; ++c) {
+    std::string value;
+    NC_RETURN_IF_ERROR(p.Expect("fleet_slot", &value));
+    std::istringstream tokens(value);
+    std::vector<std::string> fields;
+    std::string token;
+    while (tokens >> token) fields.push_back(token);
+    if (fields.size() != 20) return Malformed("fleet_slot field count");
+    ReplicaSlotState slot;
+    ReplicaRuntime& rt = slot.runtime;
+    size_t f = 0;
+    const auto next_size = [&](size_t* out) {
+      uint64_t v = 0;
+      if (!ParseU64(fields[f++], &v)) return false;
+      *out = static_cast<size_t>(v);
+      return true;
+    };
+    const auto next_f64 = [&](double* out) {
+      return ParseF64(fields[f++], out);
+    };
+    const auto next_flag = [&](bool* out) {
+      uint64_t v = 0;
+      if (!ParseU64(fields[f++], &v) || v > 1) return false;
+      *out = v == 1;
+      return true;
+    };
+    uint64_t predicate = 0;
+    const bool ok = ParseU64(fields[f++], &predicate) &&
+                    next_size(&slot.replica) &&
+                    next_size(&rt.breaker_consecutive) &&
+                    next_flag(&rt.breaker_open) &&
+                    next_f64(&rt.breaker_open_until) && next_flag(&rt.dead) &&
+                    next_flag(&rt.has_ewma) && next_f64(&rt.ewma_latency) &&
+                    next_size(&rt.served) && next_size(&rt.failovers) &&
+                    next_size(&rt.breaker_trips) &&
+                    next_size(&rt.hedges_issued) &&
+                    next_size(&rt.hedge_wins) && next_f64(&rt.cost_accrued) &&
+                    next_size(&rt.latency_count) &&
+                    next_f64(&rt.latency_sum) && next_f64(&rt.latency_min) &&
+                    next_f64(&rt.latency_max) &&
+                    next_size(&slot.injector_attempts) &&
+                    next_size(&slot.injector_script_pos);
+    if (!ok) return Malformed("fleet_slot entry");
+    slot.predicate = static_cast<PredicateId>(predicate);
+    NC_RETURN_IF_ERROR(
+        p.Expect("fleet_slot_rng", &slot.injector_rng_state));
+    fleet.slots.push_back(std::move(slot));
+  }
   if (!p.AtEnd()) return Malformed("trailing content");
   *out = std::move(ck);
   return Status::OK();

@@ -49,8 +49,8 @@ struct CandidateCheckpoint {
 // NCEngine::Checkpoint(), consumed by NCEngine::Resume().
 struct EngineCheckpoint {
   // Format version (kEngineCheckpointVersion when produced by this
-  // build).
-  uint32_t version = 1;
+  // build). Version 2 added the replica-fleet section.
+  uint32_t version = 2;
 
   // --- Query shape (validated against the resuming engine) -------------
   size_t k = 0;
@@ -82,7 +82,7 @@ struct EngineCheckpoint {
   SourceCheckpoint sources;
 };
 
-inline constexpr uint32_t kEngineCheckpointVersion = 1;
+inline constexpr uint32_t kEngineCheckpointVersion = 2;
 
 // Serializes to the versioned text format described above.
 std::string SerializeCheckpoint(const EngineCheckpoint& checkpoint);

@@ -62,6 +62,32 @@ RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
     report.predicates.push_back(std::move(row));
   }
 
+  report.replica_failovers = stats.replica_failovers;
+  report.hedges_issued = stats.hedges_issued;
+  report.hedge_wins = stats.hedge_wins;
+  if (sources.has_fleet()) {
+    const ReplicaFleet& fleet = sources.fleet();
+    for (PredicateId i = 0; i < m; ++i) {
+      if (!fleet.configured(i)) continue;
+      for (size_t r = 0; r < fleet.num_replicas(i); ++r) {
+        const ReplicaRuntime& rt = fleet.runtime(i, r);
+        ReplicaCost row;
+        row.predicate = PredicateLabel(sources, i);
+        row.replica = fleet.replica_name(i, r);
+        row.served = rt.served;
+        row.failovers = rt.failovers;
+        row.breaker_trips = rt.breaker_trips;
+        row.hedges_issued = rt.hedges_issued;
+        row.hedge_wins = rt.hedge_wins;
+        row.cost = rt.cost_accrued;
+        row.mean_latency = rt.mean_latency();
+        row.max_latency = rt.latency_max;
+        row.dead = rt.dead;
+        report.replicas.push_back(std::move(row));
+      }
+    }
+  }
+
   if (tracer != nullptr) {
     for (const TraceEvent& e : tracer->events()) {
       if (e.kind == TraceEventKind::kCertificate) {
@@ -146,6 +172,54 @@ void RecordSourceMetrics(MetricsRegistry* registry,
   resilience_counter("nc_breaker_fast_failures_total",
                      stats.breaker_fast_failures);
   resilience_counter("nc_budget_refusals_total", stats.budget_refusals);
+  if (sources.has_fleet()) {
+    const ReplicaFleet& fleet = sources.fleet();
+    for (PredicateId i = 0; i < m; ++i) {
+      if (!fleet.configured(i)) continue;
+      const std::string predicate = PredicateLabel(sources, i);
+      size_t predicate_hedges = 0;
+      size_t predicate_hedge_wins = 0;
+      for (size_t r = 0; r < fleet.num_replicas(i); ++r) {
+        const ReplicaRuntime& rt = fleet.runtime(i, r);
+        const LabelSet labels{{"algorithm", algorithm},
+                              {"predicate", predicate},
+                              {"replica", fleet.replica_name(i, r)}};
+        if (rt.served != 0) {
+          registry->counter("nc_replica_accesses_total", labels)
+              .Increment(static_cast<double>(rt.served));
+        }
+        if (rt.cost_accrued != 0.0) {
+          registry->counter("nc_replica_cost_total", labels)
+              .Increment(rt.cost_accrued);
+        }
+        if (rt.failovers != 0) {
+          registry->counter("nc_replica_failovers_total", labels)
+              .Increment(static_cast<double>(rt.failovers));
+        }
+        predicate_hedges += rt.hedges_issued;
+        predicate_hedge_wins += rt.hedge_wins;
+      }
+      if (predicate_hedges != 0) {
+        // One win-rate observation per predicate per run: the histogram
+        // accumulates the distribution across runs/predicates.
+        registry
+            ->histogram("nc_hedge_win_rate",
+                        {0.1, 0.25, 0.5, 0.75, 0.9, 1.0},
+                        {{"algorithm", algorithm}})
+            .Observe(static_cast<double>(predicate_hedge_wins) /
+                     static_cast<double>(predicate_hedges));
+      }
+      for (double sample : fleet.latency_samples(i)) {
+        registry
+            ->histogram("nc_replica_completion_latency",
+                        {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0},
+                        {{"algorithm", algorithm}})
+            .Observe(sample);
+      }
+    }
+    resilience_counter("nc_hedges_issued_total", stats.hedges_issued);
+    resilience_counter("nc_hedge_wins_total", stats.hedge_wins);
+  }
 }
 
 std::string RunReport::ToText() const {
@@ -182,6 +256,28 @@ std::string RunReport::ToText() const {
     os << "resilience: " << breaker_trips << " breaker trips, "
        << breaker_fast_failures << " fast-failed, " << budget_refusals
        << " budget-refused\n";
+  }
+  if (!replicas.empty()) {
+    os << "replicas: " << replica_failovers << " failovers, "
+       << hedges_issued << " hedges (" << hedge_wins << " won)\n";
+    for (const ReplicaCost& row : replicas) {
+      os << "  " << row.predicate << "/" << row.replica << ": served "
+         << row.served << ", cost " << FormatCost(row.cost);
+      if (row.served != 0) {
+        os << ", latency mean " << FormatCost(row.mean_latency) << " max "
+           << FormatCost(row.max_latency);
+      }
+      if (row.failovers != 0) os << ", " << row.failovers << " failovers";
+      if (row.breaker_trips != 0) {
+        os << ", " << row.breaker_trips << " trips";
+      }
+      if (row.hedges_issued != 0) {
+        os << ", hedged " << row.hedges_issued << " (" << row.hedge_wins
+           << " won)";
+      }
+      if (row.dead) os << ", DEAD";
+      os << "\n";
+    }
   }
   if (certified) {
     os << "certified: " << termination_reason << ", epsilon ";
@@ -252,6 +348,36 @@ std::string RunReport::ToJson() const {
     w.Key("breaker_trips").UInt(breaker_trips);
     w.Key("breaker_fast_failures").UInt(breaker_fast_failures);
     w.Key("budget_refusals").UInt(budget_refusals);
+    w.EndObject();
+  }
+  if (!replicas.empty()) {
+    w.Key("replica_fleet").BeginObject();
+    w.Key("failovers").UInt(replica_failovers);
+    w.Key("hedges_issued").UInt(hedges_issued);
+    w.Key("hedge_wins").UInt(hedge_wins);
+    w.Key("replicas").BeginArray();
+    for (const ReplicaCost& row : replicas) {
+      w.BeginObject();
+      w.Key("predicate").String(row.predicate);
+      w.Key("replica").String(row.replica);
+      w.Key("served").UInt(row.served);
+      w.Key("cost").Number(row.cost);
+      if (row.served != 0) {
+        w.Key("mean_latency").Number(row.mean_latency);
+        w.Key("max_latency").Number(row.max_latency);
+      }
+      if (row.failovers != 0) w.Key("failovers").UInt(row.failovers);
+      if (row.breaker_trips != 0) {
+        w.Key("breaker_trips").UInt(row.breaker_trips);
+      }
+      if (row.hedges_issued != 0) {
+        w.Key("hedges_issued").UInt(row.hedges_issued);
+        w.Key("hedge_wins").UInt(row.hedge_wins);
+      }
+      if (row.dead) w.Key("dead").Bool(true);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   if (certified) {

@@ -37,6 +37,22 @@ struct PredicateCost {
   bool source_down = false;
 };
 
+// One replica's row of the fleet breakdown (fleet runs only): its share
+// of the Eq. 1 cost and the completion latencies of the accesses it won.
+struct ReplicaCost {
+  std::string predicate;
+  std::string replica;
+  size_t served = 0;
+  size_t failovers = 0;      // Accesses that failed over away from it.
+  size_t breaker_trips = 0;
+  size_t hedges_issued = 0;  // Hedge requests issued to it.
+  size_t hedge_wins = 0;
+  double cost = 0.0;
+  double mean_latency = 0.0;
+  double max_latency = 0.0;
+  bool dead = false;
+};
+
 // One sample of the bound-convergence timeline, taken per engine
 // iteration: how the ceiling closes in on the k-th bound as cost is
 // spent. `threshold` is monotonically non-increasing over a run.
@@ -69,6 +85,12 @@ struct RunReport {
   size_t breaker_trips = 0;
   size_t breaker_fast_failures = 0;
   size_t budget_refusals = 0;
+
+  // Replica fleet (empty / zero without one attached).
+  size_t replica_failovers = 0;
+  size_t hedges_issued = 0;
+  size_t hedge_wins = 0;
+  std::vector<ReplicaCost> replicas;
 
   // Certified anytime answer, from the run's last kCertificate trace
   // event (absent without a tracer or when the run completed normally).
@@ -106,6 +128,13 @@ class MetricsRegistry;
 //   nc_breaker_trips_total{algorithm}
 //   nc_breaker_fast_failures_total{algorithm}
 //   nc_budget_refusals_total{algorithm}
+// With a replica fleet attached, additionally:
+//   nc_replica_accesses_total{algorithm,predicate,replica}
+//   nc_replica_cost_total{algorithm,predicate,replica}
+//   nc_replica_failovers_total{algorithm,predicate,replica}
+//   nc_hedges_issued_total{algorithm} / nc_hedge_wins_total{algorithm}
+//   nc_hedge_win_rate{algorithm}            (histogram, per predicate)
+//   nc_replica_completion_latency{algorithm} (histogram, cost units)
 // Call after the run, before Reset().
 void RecordSourceMetrics(MetricsRegistry* registry,
                          const std::string& algorithm,

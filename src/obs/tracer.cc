@@ -32,6 +32,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "phase_end";
     case TraceEventKind::kCertificate:
       return "certificate";
+    case TraceEventKind::kReplica:
+      return "replica";
   }
   return "unknown";
 }
@@ -147,6 +149,22 @@ void QueryTracer::RecordCertificate(const char* reason, double epsilon,
   events_.push_back(e);
 }
 
+void QueryTracer::RecordReplicaEvent(const char* what, PredicateId predicate,
+                                     uint32_t from, uint32_t to,
+                                     double cost_clock) {
+  if (!enabled_) return;
+  NC_CHECK(what != nullptr);
+  TraceEvent e;
+  e.kind = TraceEventKind::kReplica;
+  e.wall_us = Now();
+  e.cost_clock = cost_clock;
+  e.predicate = predicate;
+  e.phase = what;
+  e.replica = from;
+  e.replica_to = to;
+  events_.push_back(e);
+}
+
 void QueryTracer::ExportJsonl(std::ostream* out) const {
   NC_CHECK(out != nullptr);
   for (const TraceEvent& e : events_) {
@@ -190,6 +208,13 @@ void QueryTracer::ExportJsonl(std::ostream* out) const {
         // epsilon as "no multiplicative guarantee".
         w.Key("epsilon").Number(e.epsilon);
         w.Key("excluded_ceiling").Number(e.threshold);
+        break;
+      case TraceEventKind::kReplica:
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.Key("event").String(e.phase);
+        w.Key("predicate").UInt(e.predicate);
+        w.Key("replica").UInt(e.replica);
+        w.Key("replica_to").UInt(e.replica_to);
         break;
     }
     w.EndObject();
@@ -262,6 +287,17 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         w.Key("reason").String(e.phase);
         w.Key("epsilon").Number(e.epsilon);
         w.Key("excluded_ceiling").Number(e.threshold);
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.EndObject();
+        w.EndObject();
+        break;
+      case TraceEventKind::kReplica:
+        common(e, e.phase, "i");
+        w.Key("s").String("t");
+        w.Key("args").BeginObject();
+        w.Key("predicate").UInt(e.predicate);
+        w.Key("replica").UInt(e.replica);
+        w.Key("replica_to").UInt(e.replica_to);
         w.Key("cost_clock").Number(e.cost_clock);
         w.EndObject();
         w.EndObject();

@@ -53,6 +53,7 @@ enum class TraceEventKind {
   kPhaseBegin,
   kPhaseEnd,
   kCertificate,    // An early-terminated run emitted a certified answer.
+  kReplica,        // A replica-fleet event: failover, hedge, death, ...
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -103,6 +104,13 @@ struct TraceEvent {
   // kCertificate: the proven precision bound (may be +inf) and, in
   // `threshold`, the excluded ceiling it was derived from.
   double epsilon = 0.0;
+
+  // kReplica: the replica the event is about and, for failovers and
+  // hedges, the replica traffic moved to / was hedged on. The event name
+  // ("replica_failover", "hedge_issued", "hedge_won", "hedge_lost",
+  // "replica_down", "replica_restored") rides in `phase`.
+  uint32_t replica = 0;
+  uint32_t replica_to = 0;
 };
 
 class QueryTracer {
@@ -137,6 +145,11 @@ class QueryTracer {
   // +inf), `excluded_ceiling` the largest possible excluded score.
   void RecordCertificate(const char* reason, double epsilon,
                          double excluded_ceiling, double cost_clock);
+  // A replica-fleet event on `predicate`; `what` must be a literal (see
+  // TraceEvent::replica for the names). `from` == `to` for events about
+  // a single replica (deaths, restores).
+  void RecordReplicaEvent(const char* what, PredicateId predicate,
+                          uint32_t from, uint32_t to, double cost_clock);
 
   // --- Exporters -------------------------------------------------------
   // One JSON object per event per line.

@@ -1,0 +1,416 @@
+#include "replica/replica.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nc {
+
+namespace {
+
+// Every per-replica injector files its draws under this key: each
+// injector serves exactly one (predicate, replica) slot.
+constexpr PredicateId kSlotKey = 0;
+
+bool FinitePositive(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+const char* RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kPrimaryOnly:
+      return "primary_only";
+    case RoutingPolicy::kRoundRobin:
+      return "round_robin";
+    case RoutingPolicy::kLeastLatency:
+      return "least_latency";
+    case RoutingPolicy::kCheapestHealthy:
+      return "cheapest_healthy";
+  }
+  return "unknown";
+}
+
+Status ReplicaLatencyModel::Validate() const {
+  if (!FinitePositive(multiplier)) {
+    return Status::InvalidArgument("latency multiplier must be > 0, finite");
+  }
+  if (!std::isfinite(jitter) || jitter < 0.0) {
+    return Status::InvalidArgument("latency jitter must be >= 0");
+  }
+  if (!std::isfinite(tail_probability) || tail_probability < 0.0 ||
+      tail_probability > 1.0) {
+    return Status::InvalidArgument("tail probability must be in [0, 1]");
+  }
+  if (!std::isfinite(tail_multiplier) || tail_multiplier < 1.0) {
+    return Status::InvalidArgument("tail multiplier must be >= 1, finite");
+  }
+  return Status::OK();
+}
+
+Status ReplicaEndpoint::Validate() const {
+  if (!FinitePositive(cost_multiplier)) {
+    return Status::InvalidArgument("cost multiplier must be > 0, finite");
+  }
+  NC_RETURN_IF_ERROR(faults.Validate());
+  return latency.Validate();
+}
+
+Status HedgePolicy::Validate() const {
+  if (!std::isfinite(delay) || delay < 0.0) {
+    return Status::InvalidArgument("hedge delay must be >= 0, finite");
+  }
+  return Status::OK();
+}
+
+Status ReplicaSetConfig::Validate() const {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("a replica set needs at least one replica");
+  }
+  for (const ReplicaEndpoint& endpoint : replicas) {
+    NC_RETURN_IF_ERROR(endpoint.Validate());
+  }
+  return hedge.Validate();
+}
+
+void ReplicaRuntime::RecordLatency(double latency) {
+  if (latency_count == 0) {
+    latency_min = latency;
+    latency_max = latency;
+  } else {
+    latency_min = std::min(latency_min, latency);
+    latency_max = std::max(latency_max, latency);
+  }
+  ++latency_count;
+  latency_sum += latency;
+}
+
+ReplicaFleet::ReplicaFleet(uint64_t seed) : seed_(seed), latency_rng_(seed) {}
+
+uint64_t ReplicaFleet::SlotSeed(PredicateId i, size_t r) const {
+  // splitmix-style spread so neighbouring slots draw unrelated streams.
+  uint64_t x = seed_ + 0x9e3779b97f4a7c15ull * (uint64_t{i} * 64 + r + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+Status ReplicaFleet::Configure(PredicateId i, ReplicaSetConfig config) {
+  NC_RETURN_IF_ERROR(config.Validate());
+  if (fleets_.size() <= i) fleets_.resize(i + 1);
+  auto fleet = std::make_unique<PredicateFleet>();
+  fleet->config = std::move(config);
+  fleet->slots.resize(fleet->config.replicas.size());
+  for (size_t r = 0; r < fleet->slots.size(); ++r) {
+    auto injector = std::make_unique<FaultInjector>(SlotSeed(i, r));
+    injector->set_default_profile(fleet->config.replicas[r].faults);
+    fleet->slots[r].injector = std::move(injector);
+  }
+  fleets_[i] = std::move(fleet);
+  return Status::OK();
+}
+
+bool ReplicaFleet::configured(PredicateId i) const {
+  return i < fleets_.size() && fleets_[i] != nullptr;
+}
+
+size_t ReplicaFleet::max_configured_predicates() const {
+  for (size_t i = fleets_.size(); i > 0; --i) {
+    if (fleets_[i - 1] != nullptr) return i;
+  }
+  return 0;
+}
+
+const ReplicaFleet::PredicateFleet& ReplicaFleet::fleet_for(
+    PredicateId i) const {
+  NC_CHECK(configured(i));
+  return *fleets_[i];
+}
+
+ReplicaFleet::PredicateFleet& ReplicaFleet::fleet_for(PredicateId i) {
+  NC_CHECK(configured(i));
+  return *fleets_[i];
+}
+
+const ReplicaSetConfig& ReplicaFleet::config(PredicateId i) const {
+  return fleet_for(i).config;
+}
+
+size_t ReplicaFleet::num_replicas(PredicateId i) const {
+  return fleet_for(i).slots.size();
+}
+
+std::string ReplicaFleet::replica_name(PredicateId i, size_t r) const {
+  const ReplicaSetConfig& cfg = config(i);
+  NC_CHECK(r < cfg.replicas.size());
+  if (!cfg.replicas[r].name.empty()) return cfg.replicas[r].name;
+  std::string name = "r";
+  name += std::to_string(r);
+  return name;
+}
+
+void ReplicaFleet::ScriptFaults(PredicateId i, size_t r,
+                                std::vector<FaultKind> outcomes) {
+  injector(i, r).Script(kSlotKey, std::move(outcomes));
+}
+
+ReplicaRuntime& ReplicaFleet::runtime(PredicateId i, size_t r) {
+  PredicateFleet& fleet = fleet_for(i);
+  NC_CHECK(r < fleet.slots.size());
+  return fleet.slots[r].runtime;
+}
+
+const ReplicaRuntime& ReplicaFleet::runtime(PredicateId i, size_t r) const {
+  const PredicateFleet& fleet = fleet_for(i);
+  NC_CHECK(r < fleet.slots.size());
+  return fleet.slots[r].runtime;
+}
+
+FaultInjector& ReplicaFleet::injector(PredicateId i, size_t r) {
+  PredicateFleet& fleet = fleet_for(i);
+  NC_CHECK(r < fleet.slots.size());
+  return *fleet.slots[r].injector;
+}
+
+FaultKind ReplicaFleet::NextFault(PredicateId i, size_t r) {
+  return injector(i, r).NextOutcome(kSlotKey);
+}
+
+bool ReplicaFleet::replica_unavailable(PredicateId i, size_t r,
+                                       double now) const {
+  const ReplicaRuntime& rt = runtime(i, r);
+  if (rt.dead) return true;
+  return rt.breaker_open && now < rt.breaker_open_until;
+}
+
+bool ReplicaFleet::probe_eligible(PredicateId i, size_t r, double now) const {
+  const ReplicaRuntime& rt = runtime(i, r);
+  return !rt.dead && rt.breaker_open && now >= rt.breaker_open_until;
+}
+
+size_t ReplicaFleet::available_replicas(PredicateId i, double now) const {
+  const size_t n = num_replicas(i);
+  size_t available = 0;
+  for (size_t r = 0; r < n; ++r) {
+    if (!replica_unavailable(i, r, now)) ++available;
+  }
+  return available;
+}
+
+bool ReplicaFleet::all_dead(PredicateId i) const {
+  const size_t n = num_replicas(i);
+  for (size_t r = 0; r < n; ++r) {
+    if (!runtime(i, r).dead) return false;
+  }
+  return true;
+}
+
+bool ReplicaFleet::all_unavailable(PredicateId i, double now) const {
+  return available_replicas(i, now) == 0;
+}
+
+std::vector<size_t> ReplicaFleet::RouteOrder(PredicateId i, double now) {
+  PredicateFleet& fleet = fleet_for(i);
+  const size_t n = fleet.slots.size();
+  std::vector<size_t> order;
+  order.reserve(n);
+  const size_t start = fleet.config.routing == RoutingPolicy::kRoundRobin
+                           ? fleet.rr_cursor
+                           : 0;
+  if (fleet.config.routing == RoutingPolicy::kRoundRobin) {
+    fleet.rr_cursor = (fleet.rr_cursor + 1) % n;
+  }
+  for (size_t step = 0; step < n; ++step) {
+    const size_t r = (start + step) % n;
+    if (!replica_unavailable(i, r, now)) order.push_back(r);
+  }
+  const auto stable_by = [&order](auto key) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](size_t a, size_t b) { return key(a) < key(b); });
+  };
+  switch (fleet.config.routing) {
+    case RoutingPolicy::kPrimaryOnly:
+    case RoutingPolicy::kRoundRobin:
+      break;
+    case RoutingPolicy::kLeastLatency:
+      // Unsampled replicas rank by their configured multiplier - the
+      // model's own prior for how slow they are.
+      stable_by([this, i](size_t r) {
+        const ReplicaRuntime& rt = runtime(i, r);
+        return rt.has_ewma ? rt.ewma_latency
+                           : config(i).replicas[r].latency.multiplier;
+      });
+      break;
+    case RoutingPolicy::kCheapestHealthy:
+      stable_by(
+          [this, i](size_t r) { return config(i).replicas[r].cost_multiplier; });
+      break;
+  }
+  return order;
+}
+
+double ReplicaFleet::DrawLatency(PredicateId i, size_t r, double unit) {
+  const ReplicaLatencyModel& model = config(i).replicas[r].latency;
+  NC_CHECK(std::isfinite(unit) && unit >= 0.0);
+  double latency = unit * model.multiplier;
+  if (model.jitter > 0.0) {
+    latency *= 1.0 + model.jitter * latency_rng_.Uniform01();
+  }
+  if (model.tail_probability > 0.0 &&
+      latency_rng_.Uniform01() < model.tail_probability) {
+    latency *= model.tail_multiplier;
+  }
+  return latency;
+}
+
+void ReplicaFleet::ObserveLatency(PredicateId i, size_t r, double latency) {
+  ReplicaRuntime& rt = runtime(i, r);
+  if (!rt.has_ewma) {
+    rt.has_ewma = true;
+    rt.ewma_latency = latency;
+  } else {
+    rt.ewma_latency += kReplicaEwmaAlpha * (latency - rt.ewma_latency);
+  }
+}
+
+void ReplicaFleet::RecordCompletion(PredicateId i, size_t winner,
+                                    double latency) {
+  runtime(i, winner).RecordLatency(latency);
+  fleet_for(i).samples.push_back(latency);
+}
+
+const std::vector<double>& ReplicaFleet::latency_samples(PredicateId i) const {
+  return fleet_for(i).samples;
+}
+
+size_t ReplicaFleet::total_failovers() const {
+  size_t total = 0;
+  for (const auto& fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    for (const Slot& slot : fleet->slots) total += slot.runtime.failovers;
+  }
+  return total;
+}
+
+size_t ReplicaFleet::total_hedges_issued() const {
+  size_t total = 0;
+  for (const auto& fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    for (const Slot& slot : fleet->slots) total += slot.runtime.hedges_issued;
+  }
+  return total;
+}
+
+size_t ReplicaFleet::total_hedge_wins() const {
+  size_t total = 0;
+  for (const auto& fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    for (const Slot& slot : fleet->slots) total += slot.runtime.hedge_wins;
+  }
+  return total;
+}
+
+size_t ReplicaFleet::total_replica_deaths() const {
+  size_t total = 0;
+  for (const auto& fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    for (const Slot& slot : fleet->slots) {
+      if (slot.runtime.dead) ++total;
+    }
+  }
+  return total;
+}
+
+void ReplicaFleet::ResetRuntime() {
+  latency_rng_ = Rng(seed_);
+  for (auto& fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    fleet->rr_cursor = 0;
+    fleet->samples.clear();
+    for (Slot& slot : fleet->slots) {
+      slot.runtime = ReplicaRuntime{};
+      slot.injector->Reset();
+    }
+  }
+}
+
+ReplicaFleetState ReplicaFleet::CheckpointState() const {
+  ReplicaFleetState state;
+  state.latency_rng_state = latency_rng_.SerializeState();
+  for (size_t i = 0; i < fleets_.size(); ++i) {
+    const auto& fleet = fleets_[i];
+    if (fleet == nullptr) continue;
+    const PredicateId predicate = static_cast<PredicateId>(i);
+    state.rr_cursors.emplace_back(predicate, fleet->rr_cursor);
+    for (size_t r = 0; r < fleet->slots.size(); ++r) {
+      const Slot& slot = fleet->slots[r];
+      ReplicaSlotState snapshot;
+      snapshot.predicate = predicate;
+      snapshot.replica = r;
+      snapshot.runtime = slot.runtime;
+      snapshot.injector_rng_state = slot.injector->rng_state();
+      // Each slot injector keys everything under kSlotKey.
+      for (const auto& [key, attempts] : slot.injector->attempt_counters()) {
+        if (key == kSlotKey) snapshot.injector_attempts = attempts;
+      }
+      for (const auto& [key, pos] : slot.injector->script_cursors()) {
+        if (key == kSlotKey) snapshot.injector_script_pos = pos;
+      }
+      state.slots.push_back(std::move(snapshot));
+    }
+  }
+  return state;
+}
+
+Status ReplicaFleet::RestoreState(const ReplicaFleetState& state) {
+  // Shape check first: the snapshot must name exactly this fleet's slots
+  // and cursors, in order, so nothing is partially applied on mismatch.
+  const ReplicaFleetState current = CheckpointState();
+  if (state.rr_cursors.size() != current.rr_cursors.size() ||
+      state.slots.size() != current.slots.size()) {
+    return Status::FailedPrecondition(
+        "replica fleet state does not match this fleet's configuration");
+  }
+  for (size_t c = 0; c < state.rr_cursors.size(); ++c) {
+    if (state.rr_cursors[c].first != current.rr_cursors[c].first) {
+      return Status::FailedPrecondition(
+          "replica fleet state names a different predicate set");
+    }
+  }
+  for (size_t s = 0; s < state.slots.size(); ++s) {
+    if (state.slots[s].predicate != current.slots[s].predicate ||
+        state.slots[s].replica != current.slots[s].replica) {
+      return Status::FailedPrecondition(
+          "replica fleet state names different replica slots");
+    }
+  }
+  // RNG texts validate before anything is applied (DeserializeState
+  // leaves its target untouched on malformed input).
+  Rng restored_rng(seed_);
+  NC_RETURN_IF_ERROR(restored_rng.DeserializeState(state.latency_rng_state));
+  for (const ReplicaSlotState& slot : state.slots) {
+    Rng probe(0);
+    NC_RETURN_IF_ERROR(probe.DeserializeState(slot.injector_rng_state));
+  }
+  latency_rng_ = restored_rng;
+  for (const auto& [predicate, cursor] : state.rr_cursors) {
+    fleet_for(predicate).rr_cursor = cursor % num_replicas(predicate);
+    fleet_for(predicate).samples.clear();
+  }
+  for (const ReplicaSlotState& slot : state.slots) {
+    PredicateFleet& fleet = fleet_for(slot.predicate);
+    Slot& live = fleet.slots[slot.replica];
+    live.runtime = slot.runtime;
+    std::vector<std::pair<PredicateId, size_t>> scripts;
+    if (slot.injector_script_pos != 0) {
+      scripts.emplace_back(kSlotKey, slot.injector_script_pos);
+    }
+    NC_RETURN_IF_ERROR(live.injector->RestoreState(
+        slot.injector_rng_state, {{kSlotKey, slot.injector_attempts}},
+        scripts));
+  }
+  return Status::OK();
+}
+
+}  // namespace nc

@@ -1,0 +1,287 @@
+// Replica fleets: N endpoints behind every predicate's source.
+//
+// The paper's cost model treats each predicate as one autonomous Web
+// source, but a production middleware fronts *fleets* of replicas with
+// independent fault and latency profiles. ReplicaFleet models that layer
+// underneath SourceSet's access primitives: replicas never change WHAT an
+// access returns (every replica serves the same logical ranked stream and
+// the same exact scores, so sorted-access order, the l_i bounds, and the
+// Theorem 1/2 guarantees are untouched) - they only change what the
+// access costs, how long it takes, and whether it fails. Concretely:
+//
+//   * Failover - each replica has its own fault injector (reusing
+//     FaultProfile / FaultInjector) and its own circuit-breaker state
+//     under the SourceSet's CircuitBreakerPolicy. When one replica's
+//     attempts are exhausted, its breaker trips, or it dies, the access
+//     fails over to the next healthy replica instead of fast-failing the
+//     predicate; the predicate is abandoned only when no healthy replica
+//     remains.
+//   * Hedged sorted access - when a sorted request's drawn latency
+//     exceeds HedgePolicy::delay, the same request is issued to a second
+//     replica and the earlier completion wins. Both requests are billed
+//     (against the accrued cost and therefore the QueryBudget), so the
+//     cost / tail-latency trade is priced honestly on the Eq. 1 clock.
+//   * Routing policies - primary-only, round-robin, least-latency (EWMA
+//     of observed completion latency), and cheapest-healthy, selectable
+//     per predicate; unhealthy replicas are skipped in every policy.
+//
+// SourceSet drives the per-access loop (it owns billing, stats, tracing,
+// and the retry policy); ReplicaFleet owns configuration and the mutable
+// per-replica runtime state (breakers, EWMA, counters, injectors, the
+// latency RNG), all of it deterministic from the fleet seed and
+// checkpointable (ReplicaFleetState) for crash-safe resume. Attach with
+// SourceSet::set_replica_fleet; see docs/REPLICAS.md.
+
+#ifndef NC_REPLICA_REPLICA_H_
+#define NC_REPLICA_REPLICA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/fault.h"
+#include "common/rng.h"
+#include "common/score.h"
+#include "common/status.h"
+
+namespace nc {
+
+// How a predicate's replica set picks the replica that serves the next
+// access. Every policy skips dead and cooling (breaker-open) replicas;
+// the policy orders the remaining candidates, and failover walks that
+// order.
+enum class RoutingPolicy {
+  kPrimaryOnly,      // Replica 0 first, then index order.
+  kRoundRobin,       // Rotate the starting replica per access.
+  kLeastLatency,     // Lowest EWMA of observed completion latency.
+  kCheapestHealthy,  // Lowest cost multiplier among healthy replicas.
+};
+
+// "primary_only", "round_robin", ... for logs, JSON, and tests.
+const char* RoutingPolicyName(RoutingPolicy policy);
+
+// One replica's latency behavior, as a multiple of the request's unit
+// cost (the paper's elapsed-time reading of Eq. 1):
+//   latency = unit * multiplier * (1 + jitter * U) * tail
+// with U uniform in [0, 1) and tail = tail_multiplier with probability
+// tail_probability (1 otherwise). The tail terms model the heavy-tailed
+// stragglers hedging exists to cut.
+struct ReplicaLatencyModel {
+  double multiplier = 1.0;        // > 0, finite.
+  double jitter = 0.0;            // >= 0.
+  double tail_probability = 0.0;  // in [0, 1].
+  double tail_multiplier = 1.0;   // >= 1, finite.
+
+  Status Validate() const;
+};
+
+// Static description of one replica endpoint.
+struct ReplicaEndpoint {
+  // For reports and metrics; defaults to "r<index>" when empty.
+  std::string name;
+  // Scales the predicate's unit costs for every request this replica
+  // serves (a mirror in a pricier region, a cheap read-only cache, ...).
+  double cost_multiplier = 1.0;
+  // Per-attempt failure behavior, drawn by this replica's own injector.
+  FaultProfile faults;
+  ReplicaLatencyModel latency;
+
+  Status Validate() const;
+};
+
+// Hedged sorted access: when the routed replica's drawn request latency
+// exceeds `delay`, the same request is issued to the next healthy
+// replica and the earlier completion wins. Both requests are billed.
+struct HedgePolicy {
+  // Cost units after which the hedge fires; 0 disables hedging.
+  double delay = 0.0;
+
+  bool enabled() const { return delay > 0.0; }
+
+  Status Validate() const;
+};
+
+// One predicate's fleet configuration.
+struct ReplicaSetConfig {
+  std::vector<ReplicaEndpoint> replicas;  // Non-empty; replica 0 = primary.
+  RoutingPolicy routing = RoutingPolicy::kPrimaryOnly;
+  HedgePolicy hedge;
+
+  Status Validate() const;
+};
+
+// Mutable per-replica runtime state. Owned by ReplicaFleet, mutated by
+// SourceSet's access loop; read-only for everyone else (reports, tests).
+struct ReplicaRuntime {
+  // Circuit breaker (under the SourceSet's CircuitBreakerPolicy).
+  size_t breaker_consecutive = 0;
+  bool breaker_open = false;
+  // elapsed_time() value at which the open breaker admits a probe.
+  double breaker_open_until = 0.0;
+  bool dead = false;
+
+  // EWMA of observed completion latency, used by kLeastLatency routing.
+  bool has_ewma = false;
+  double ewma_latency = 0.0;
+
+  // Counters and the per-replica Eq. 1 share.
+  size_t served = 0;          // Logical accesses this replica answered.
+  size_t failovers = 0;       // Accesses that failed over AWAY from it.
+  size_t breaker_trips = 0;
+  size_t hedges_issued = 0;   // Hedge requests issued TO this replica.
+  size_t hedge_wins = 0;      // Hedges this replica won.
+  double cost_accrued = 0.0;  // Everything billed to this replica.
+
+  // Completion-latency aggregate of the requests this replica won.
+  size_t latency_count = 0;
+  double latency_sum = 0.0;
+  double latency_min = 0.0;
+  double latency_max = 0.0;
+
+  void RecordLatency(double latency);
+  double mean_latency() const {
+    return latency_count == 0 ? 0.0
+                              : latency_sum / static_cast<double>(latency_count);
+  }
+};
+
+// Checkpoint of one (predicate, replica) runtime slot, in the flattened
+// order the fleet enumerates them ((predicate, replica) ascending).
+struct ReplicaSlotState {
+  PredicateId predicate = 0;
+  size_t replica = 0;
+  ReplicaRuntime runtime;
+  // The replica's private injector: RNG stream, attempt counter, script
+  // cursor (each injector keys everything under predicate 0).
+  std::string injector_rng_state;
+  size_t injector_attempts = 0;
+  size_t injector_script_pos = 0;
+};
+
+// Full replayable fleet state: everything routing decisions depend on.
+// (The raw latency-sample buffer used for percentile reporting is NOT
+// state - it never feeds a decision - and is not captured.)
+struct ReplicaFleetState {
+  std::string latency_rng_state;
+  // Round-robin cursor per configured predicate, (predicate, cursor).
+  std::vector<std::pair<PredicateId, size_t>> rr_cursors;
+  std::vector<ReplicaSlotState> slots;
+};
+
+// The fleet: per-predicate replica sets plus their runtime state. One
+// fleet serves one SourceSet (attach with set_replica_fleet; the fleet
+// must outlive it). Deterministic: every draw flows through the fleet
+// seed, and SourceSet::Reset() calls ResetRuntime() so reruns replay the
+// same failures and latencies.
+class ReplicaFleet {
+ public:
+  explicit ReplicaFleet(uint64_t seed = 0);
+
+  // Configures predicate i's replica set (validated; replaces any prior
+  // configuration and resets that predicate's runtime slots). Predicates
+  // never configured keep SourceSet's plain single-source path.
+  Status Configure(PredicateId i, ReplicaSetConfig config);
+
+  bool configured(PredicateId i) const;
+  // Largest configured predicate + 1 (0 when nothing is configured);
+  // SourceSet validates this against its own predicate count on attach.
+  size_t max_configured_predicates() const;
+
+  const ReplicaSetConfig& config(PredicateId i) const;
+  size_t num_replicas(PredicateId i) const;
+  // The endpoint's display name ("r<index>" default).
+  std::string replica_name(PredicateId i, size_t r) const;
+
+  // Prepends scripted outcomes for replica r of predicate i (the
+  // deterministic-test hook, mirroring FaultInjector::Script).
+  void ScriptFaults(PredicateId i, size_t r, std::vector<FaultKind> outcomes);
+
+  // --- Runtime state (SourceSet's access loop mutates; others read) ----
+  ReplicaRuntime& runtime(PredicateId i, size_t r);
+  const ReplicaRuntime& runtime(PredicateId i, size_t r) const;
+  FaultInjector& injector(PredicateId i, size_t r);
+  // Draws the next fault outcome from replica r's private injector.
+  FaultKind NextFault(PredicateId i, size_t r);
+
+  // True when replica r cannot serve right now: dead, or breaker open
+  // and still cooling at elapsed-time `now`.
+  bool replica_unavailable(PredicateId i, size_t r, double now) const;
+  // True when the open breaker's cooldown has elapsed: the next access
+  // may send a single half-open probe.
+  bool probe_eligible(PredicateId i, size_t r, double now) const;
+
+  // Replicas able to take traffic or a probe at `now`.
+  size_t available_replicas(PredicateId i, double now) const;
+  // True when every replica is dead.
+  bool all_dead(PredicateId i) const;
+  // True when no replica can serve at `now` (all dead or cooling) - the
+  // fleet analogue of an open predicate breaker.
+  bool all_unavailable(PredicateId i, double now) const;
+
+  // The failover order for one access: available replicas (probe-eligible
+  // included) in the configured policy's preference order. Advances the
+  // round-robin cursor, so call exactly once per logical access.
+  std::vector<size_t> RouteOrder(PredicateId i, double now);
+
+  // Draws one completion latency for replica r serving a request whose
+  // base (pre-multiplier) charge is `unit`.
+  double DrawLatency(PredicateId i, size_t r, double unit);
+
+  // Records the access's completion latency (the winner's aggregate and
+  // the per-predicate sample buffer used for percentile reporting).
+  void RecordCompletion(PredicateId i, size_t winner, double latency);
+  // Folds one observed *service* latency into replica r's EWMA - called
+  // for every replica that answered, winners and hedge losers alike, so
+  // kLeastLatency routing learns from both.
+  void ObserveLatency(PredicateId i, size_t r, double latency);
+
+  // Raw completion-latency samples per predicate, in access order
+  // (reporting only; cleared by ResetRuntime, excluded from state).
+  const std::vector<double>& latency_samples(PredicateId i) const;
+
+  // Fleet-wide tallies, summed over every slot.
+  size_t total_failovers() const;
+  size_t total_hedges_issued() const;
+  size_t total_hedge_wins() const;
+  size_t total_replica_deaths() const;
+
+  // Rewinds every runtime slot, injector, cursor, sample buffer, and the
+  // latency RNG to the post-configuration state.
+  void ResetRuntime();
+
+  // --- Checkpoint support ----------------------------------------------
+  ReplicaFleetState CheckpointState() const;
+  // Restores CheckpointState() output onto an identically configured
+  // fleet. InvalidArgument / FailedPrecondition on shape mismatch.
+  Status RestoreState(const ReplicaFleetState& state);
+
+ private:
+  struct Slot {
+    ReplicaRuntime runtime;
+    std::unique_ptr<FaultInjector> injector;
+  };
+  struct PredicateFleet {
+    ReplicaSetConfig config;
+    std::vector<Slot> slots;
+    size_t rr_cursor = 0;
+    std::vector<double> samples;
+  };
+
+  const PredicateFleet& fleet_for(PredicateId i) const;
+  PredicateFleet& fleet_for(PredicateId i);
+  uint64_t SlotSeed(PredicateId i, size_t r) const;
+
+  uint64_t seed_;
+  Rng latency_rng_;
+  // Sparse per-predicate configuration, index = predicate.
+  std::vector<std::unique_ptr<PredicateFleet>> fleets_;
+};
+
+// EWMA smoothing factor for kLeastLatency routing: one observation moves
+// the estimate 30% of the way to the sample.
+inline constexpr double kReplicaEwmaAlpha = 0.3;
+
+}  // namespace nc
+
+#endif  // NC_REPLICA_REPLICA_H_

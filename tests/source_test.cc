@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
+#include "access/fault.h"
 #include "data/generator.h"
+#include "replica/replica.h"
 
 namespace nc {
 namespace {
@@ -180,6 +183,59 @@ TEST(SourceTest, ResetReplaysLatencyJitterStream) {
     EXPECT_DOUBLE_EQ(sources.DrawLatency(AccessType::kSorted, 0), first[i])
         << "draw " << i << " diverged after Reset";
   }
+}
+
+TEST(SourceTest, ResetClearsBreakerAndReplicaHealthState) {
+  const Dataset data = PaperDataset();
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  sources.set_retry_policy(retry);
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 1;
+  breaker.cooldown = 50.0;
+  ASSERT_TRUE(sources.set_circuit_breaker(breaker).ok());
+
+  // A replica fleet on predicate 0 whose primary dies on first contact;
+  // the plain injector trips predicate 1's breaker.
+  ReplicaFleet fleet(3);
+  ReplicaSetConfig config;
+  config.replicas.emplace_back();
+  config.replicas.emplace_back();
+  ASSERT_TRUE(fleet.Configure(0, config).ok());
+  fleet.ScriptFaults(0, 0, {FaultKind::kSourceDown});
+  ASSERT_TRUE(sources.set_replica_fleet(&fleet).ok());
+  FaultInjector injector(/*seed=*/1);
+  injector.Script(1, {FaultKind::kTransient});
+  sources.set_fault_injector(&injector);
+
+  std::optional<SortedHit> hit;
+  ASSERT_TRUE(sources.TrySortedAccess(0, &hit).ok());  // Failover to r1.
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  EXPECT_EQ(sources.TrySortedAccess(1, &hit).code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(sources.breaker_open(1));
+
+  // Reset clears the breaker runtime and the replica health state (the
+  // policies persist: they are configuration).
+  sources.Reset();
+  EXPECT_FALSE(sources.breaker_open(1));
+  EXPECT_FALSE(sources.any_breaker_open());
+  EXPECT_EQ(sources.stats().TotalBreakerTrips(), 0u);
+  EXPECT_EQ(sources.stats().replica_failovers, 0u);
+  EXPECT_FALSE(fleet.runtime(0, 0).dead);
+  EXPECT_FALSE(fleet.runtime(0, 0).breaker_open);
+  EXPECT_EQ(fleet.runtime(0, 1).served, 0u);
+  EXPECT_TRUE(sources.circuit_breaker().enabled());
+
+  // The rerun replays the same draws: the primary dies again, predicate
+  // 1 trips again - bit-identical to the first run.
+  ASSERT_TRUE(sources.TrySortedAccess(0, &hit).ok());
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  EXPECT_EQ(fleet.runtime(0, 1).served, 1u);
+  EXPECT_EQ(sources.TrySortedAccess(1, &hit).code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(sources.breaker_open(1));
 }
 
 TEST(SourceTest, TieBreakingMatchesDatasetOrder) {
