@@ -274,45 +274,35 @@ void WriteObservabilityReport() {
     return 100.0 * (ns - untraced_ns) / untraced_ns;
   };
 
-  std::ostringstream os;
-  obs::JsonWriter w(&os);
-  w.BeginObject();
-  w.Key("bench").String("observability_overhead");
-  w.Key("schema_version").Int(bench::kBenchJsonSchemaVersion);
-  w.Key("timestamp").String(bench::IsoTimestampUtc());
-  w.Key("build_type").String(bench::BuildType());
-  w.Key("query").BeginObject();
-  w.Key("objects").UInt(10000);
-  w.Key("predicates").UInt(2);
-  w.Key("k").UInt(10);
-  w.EndObject();
-  w.Key("repetitions").Int(kReps);
-  w.Key("min_ns").BeginObject();
-  w.Key("untraced").Number(untraced_ns);
-  w.Key("tracer_disabled").Number(disabled_ns);
-  w.Key("fully_traced").Number(traced_ns);
-  w.EndObject();
-  w.Key("median_ns").BeginObject();
-  w.Key("untraced").Number(Median(untraced));
-  w.Key("tracer_disabled").Number(Median(disabled));
-  w.Key("fully_traced").Number(Median(traced));
-  w.EndObject();
-  w.Key("overhead_pct_vs_untraced").BeginObject();
-  w.Key("tracer_disabled").Number(pct(disabled_ns));
-  w.Key("fully_traced").Number(pct(traced_ns));
-  w.EndObject();
-  w.EndObject();
-
-  std::ofstream file("BENCH_OBSERVABILITY.json");
-  NC_CHECK(file.good());
-  file << os.str() << "\n";
+  bench::WriteBenchJsonDoc(
+      "observability", "observability_overhead", [&](obs::JsonWriter& w) {
+        w.Key("query").BeginObject();
+        w.Key("objects").UInt(10000);
+        w.Key("predicates").UInt(2);
+        w.Key("k").UInt(10);
+        w.EndObject();
+        w.Key("repetitions").Int(kReps);
+        w.Key("min_ns").BeginObject();
+        w.Key("untraced").Number(untraced_ns);
+        w.Key("tracer_disabled").Number(disabled_ns);
+        w.Key("fully_traced").Number(traced_ns);
+        w.EndObject();
+        w.Key("median_ns").BeginObject();
+        w.Key("untraced").Number(Median(untraced));
+        w.Key("tracer_disabled").Number(Median(disabled));
+        w.Key("fully_traced").Number(Median(traced));
+        w.EndObject();
+        w.Key("overhead_pct_vs_untraced").BeginObject();
+        w.Key("tracer_disabled").Number(pct(disabled_ns));
+        w.Key("fully_traced").Number(pct(traced_ns));
+        w.EndObject();
+      });
   std::printf(
-      "\nobservability overhead (min of %d interleaved runs, n=10000 "
+      "observability overhead (min of %d interleaved runs, n=10000 "
       "query):\n"
       "  untraced        %12.0f ns\n"
       "  tracer disabled %12.0f ns  (%+.2f%%)\n"
-      "  fully traced    %12.0f ns  (%+.2f%%)\n"
-      "wrote BENCH_OBSERVABILITY.json\n",
+      "  fully traced    %12.0f ns  (%+.2f%%)\n",
       kReps, untraced_ns, disabled_ns, pct(disabled_ns), traced_ns,
       pct(traced_ns));
 }

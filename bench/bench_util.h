@@ -99,10 +99,16 @@ inline const char* BuildType() {
 #endif
 }
 
-// Writes BENCH_<NAME>.json (name upper-cased) with every recorded row.
-inline void WriteBenchJson(const std::string& bench_name) {
+// The one JSON emitter every bench binary funnels through: writes
+// BENCH_<FILE_BASE>.json (upper-cased) holding the shared envelope
+// (bench, schema_version, timestamp, build_type) plus whatever keys
+// `body` adds inside the top-level object. `bench_name` is the "bench"
+// key's value (usually equal to file_base).
+template <typename Body>
+inline void WriteBenchJsonDoc(const std::string& file_base,
+                              const std::string& bench_name, Body&& body) {
   std::string file_name = "BENCH_";
-  for (const char c : bench_name) {
+  for (const char c : file_base) {
     file_name.push_back(
         static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
   }
@@ -114,23 +120,30 @@ inline void WriteBenchJson(const std::string& bench_name) {
   w.Key("schema_version").Int(kBenchJsonSchemaVersion);
   w.Key("timestamp").String(IsoTimestampUtc());
   w.Key("build_type").String(BuildType());
-  w.Key("rows").BeginArray();
-  for (const JsonRow& row : JsonRows()) {
-    w.BeginObject();
-    if (!row.scenario.empty()) w.Key("scenario").String(row.scenario);
-    w.Key("algorithm").String(row.algorithm);
-    w.Key("correct").Bool(row.stats.correct);
-    if (!row.stats.plan.empty()) w.Key("plan").String(row.stats.plan);
-    w.Key("report").Raw(row.stats.report.ToJson());
-    w.EndObject();
-  }
-  w.EndArray();
+  body(w);
   w.EndObject();
   std::ofstream file(file_name);
   NC_CHECK(file.good());
   file << os.str() << "\n";
-  std::printf("\nwrote %s (%zu rows)\n", file_name.c_str(),
-              JsonRows().size());
+  std::printf("\nwrote %s\n", file_name.c_str());
+}
+
+// Writes BENCH_<NAME>.json (name upper-cased) with every recorded row.
+inline void WriteBenchJson(const std::string& bench_name) {
+  WriteBenchJsonDoc(bench_name, bench_name, [](obs::JsonWriter& w) {
+    w.Key("rows").BeginArray();
+    for (const JsonRow& row : JsonRows()) {
+      w.BeginObject();
+      if (!row.scenario.empty()) w.Key("scenario").String(row.scenario);
+      w.Key("algorithm").String(row.algorithm);
+      w.Key("correct").Bool(row.stats.correct);
+      if (!row.stats.plan.empty()) w.Key("plan").String(row.stats.plan);
+      w.Key("report").Raw(row.stats.report.ToJson());
+      w.EndObject();
+    }
+    w.EndArray();
+  });
+  std::printf("  (%zu rows)\n", JsonRows().size());
 }
 
 // --- Runners ----------------------------------------------------------

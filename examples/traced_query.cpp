@@ -4,22 +4,26 @@
 //   $ ./build/examples/traced_query
 //
 // Demonstrates the docs/OBSERVABILITY.md conventions:
-//   1. attach ONE QueryTracer to both the engine (EngineOptions::tracer)
-//      and the sources (SourceSet::set_tracer) so per-access and
-//      per-iteration events share a timeline,
-//   2. hand the engine a MetricsRegistry for Prometheus-style counters,
-//   3. after the run, fold source-side tallies into the registry with
-//      RecordSourceMetrics and build a RunReport - the per-predicate
-//      Eq. 1 cost breakdown plus the threshold-convergence timeline,
+//   1. attach ONE QueryTracer to the sources (SourceSet::set_tracer) and
+//      stream its JSONL live to disk (set_streaming_jsonl) - every event
+//      is flushed as it happens, so a crash or kill mid-query still
+//      leaves a complete, parseable prefix,
+//   2. run through a QuerySession: the session owns the TelemetryHub
+//      (cross-query quantiles, cost EWMAs, fleet health) and diffs the
+//      planner's Eq. 1 prediction against the metered run (CostAudit),
+//   3. after the run, fold source-side tallies into a MetricsRegistry
+//      with RecordSourceMetrics + RecordCostAuditMetrics and build a
+//      RunReport - the per-predicate cost breakdown, the
+//      threshold-convergence timeline, and the predicted-vs-actual
+//      audit,
 //   4. export: Chrome trace JSON (load traced_query.trace.json in
-//      https://ui.perfetto.dev or chrome://tracing), JSONL, Prometheus
-//      text, and the report as text + JSON.
+//      https://ui.perfetto.dev or chrome://tracing), the streamed JSONL,
+//      Prometheus text, and the report as text + JSON.
 
 #include <cstdio>
 #include <fstream>
 
-#include "core/engine.h"
-#include "core/srg_policy.h"
+#include "core/session.h"
 #include "data/generator.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -35,39 +39,38 @@ int main() {
   const nc::CostModel cost = nc::CostModel::Uniform(2, 1.0, 2.0);
   const nc::AverageFunction scoring(2);
 
-  // 1+2. One tracer shared by engine and sources; one metrics registry.
+  // 1. One tracer, streaming JSONL live (flushed per event).
   nc::obs::QueryTracer tracer;
+  std::ofstream live_events("traced_query.events.jsonl");
+  tracer.set_streaming_jsonl(&live_events);
   nc::obs::MetricsRegistry metrics;
 
   nc::SourceSet sources(&data, cost);
   sources.set_tracer(&tracer);
-  nc::SRGPolicy policy(nc::SRGConfig::Default(2));
-  nc::EngineOptions options;
-  options.k = 5;
-  options.tracer = &tracer;
-  options.metrics = &metrics;
+
+  // 2. The session plans (caching the plan + its cost prediction), runs,
+  //    and audits; its TelemetryHub accumulates across queries.
+  nc::QuerySession session(&scoring, nc::PlannerOptions{});
   nc::TopKResult result;
-  const nc::Status status =
-      nc::RunNC(&sources, &scoring, &policy, options, &result);
+  const nc::Status status = session.Query(&sources, 5, &result);
   if (!status.ok()) {
     std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
     return 1;
   }
 
-  // 3. Source-side tallies -> registry; then the run report.
+  // 3. Source-side tallies -> registry; then the run report, with the
+  //    plan's prediction so the report carries the cost audit.
   nc::obs::RecordSourceMetrics(&metrics, "NC", sources);
-  const nc::obs::RunReport report =
-      nc::obs::BuildRunReport(sources, &tracer, "NC", options.k);
+  const nc::obs::RunReport report = nc::obs::BuildRunReport(
+      sources, &tracer, "NC", 5, &session.last_plan().prediction);
+  nc::obs::RecordCostAuditMetrics(&metrics, "NC", report.cost_audit);
   std::fputs(report.ToText().c_str(), stdout);
 
-  // 4. Exports.
+  // 4. Exports. The JSONL was already streamed to
+  //    traced_query.events.jsonl while the query ran.
   {
     std::ofstream file("traced_query.trace.json");
     tracer.ExportChromeTrace(&file);
-  }
-  {
-    std::ofstream file("traced_query.events.jsonl");
-    tracer.ExportJsonl(&file);
   }
   {
     std::ofstream file("traced_query.metrics.prom");
@@ -79,7 +82,7 @@ int main() {
   }
   std::printf(
       "\nwrote traced_query.trace.json (open in https://ui.perfetto.dev),\n"
-      "      traced_query.events.jsonl, traced_query.metrics.prom,\n"
-      "      traced_query.report.json\n");
+      "      traced_query.events.jsonl (streamed live),\n"
+      "      traced_query.metrics.prom, traced_query.report.json\n");
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "access/source.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 
 namespace nc {
@@ -333,9 +335,19 @@ void SourceSet::CompleteFleetRequest(const Access& access, double unit_cost,
   }
   const ReplicaSetConfig& cfg = fleet.config(i);
   const double primary_latency = fleet.DrawLatency(i, routed, unit_cost);
+  if (obs::ShouldSample(hub_)) {
+    hub_->ObserveReplicaService(i, routed, primary_latency);
+  }
   double completion = primary_latency;
+  // The hedge trigger: the configured constant or, under an adaptive
+  // policy with a warm hub, the routed replica's observed service p95.
+  double hedge_delay = cfg.hedge.delay;
+  if (cfg.hedge.adaptive && obs::ShouldSample(hub_)) {
+    const double adaptive = hub_->AdaptiveHedgeDelay(i, routed);
+    if (std::isfinite(adaptive)) hedge_delay = adaptive;
+  }
   if (access.type == AccessType::kSorted && cfg.hedge.enabled() && !probed &&
-      primary_latency > cfg.hedge.delay) {
+      hedge_delay > 0.0 && primary_latency > hedge_delay) {
     // Hedge target: the next replica in routing preference whose breaker
     // is closed (cooling and probing replicas never receive hedges).
     size_t hedge = 0;
@@ -384,8 +396,11 @@ void SourceSet::CompleteFleetRequest(const Access& access, double unit_cost,
       bool won = false;
       if (fault == FaultKind::kNone) {
         const double service = fleet.DrawLatency(i, hedge, unit_cost);
-        const double hedge_completion = cfg.hedge.delay + service;
+        const double hedge_completion = hedge_delay + service;
         fleet.ObserveLatency(i, hedge, service);
+        if (obs::ShouldSample(hub_)) {
+          hub_->ObserveReplicaService(i, hedge, service);
+        }
         if (hedge_completion < completion) {
           won = true;
           completion = hedge_completion;
@@ -409,6 +424,7 @@ void SourceSet::CompleteFleetRequest(const Access& access, double unit_cost,
   // routing even when a hedge beat it.
   fleet.ObserveLatency(i, routed, primary_latency);
   fleet.RecordCompletion(i, fleet_serve_.winner, completion);
+  if (obs::ShouldSample(hub_)) hub_->ObserveCompletion(i, completion);
   ++fleet.runtime(i, fleet_serve_.winner).served;
   fleet_serve_.completion_latency = completion;
 }
@@ -497,6 +513,9 @@ Status SourceSet::TrySortedAccess(PredicateId i,
   if (obs::ShouldTrace(tracer_)) {
     tracer_->RecordAccess(AccessType::kSorted, i, 0, charged, accrued_cost_);
   }
+  if (obs::ShouldSample(hub_)) {
+    hub_->ObserveAccessCost(i, AccessType::kSorted, charged);
+  }
   const SortedEntry entry = provider_->SortedEntryAt(i, positions_[i]);
   ++positions_[i];
   SortedHit hit;
@@ -567,6 +586,9 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
   if (obs::ShouldTrace(tracer_)) {
     tracer_->RecordAccess(AccessType::kRandom, i, u, ra_charged,
                           accrued_cost_);
+  }
+  if (obs::ShouldSample(hub_)) {
+    hub_->ObserveAccessCost(i, AccessType::kRandom, ra_charged);
   }
   uint64_t& mask = probed_[u];
   const uint64_t bit = uint64_t{1} << i;
@@ -655,7 +677,20 @@ void SourceSet::KillSource(PredicateId i) {
   MarkSourceDown(i);
 }
 
+void SourceSet::set_telemetry_hub(obs::TelemetryHub* hub) {
+  hub_ = hub;
+  // Re-apply any captured health immediately: a fresh SourceSet (or one
+  // the caller just Reset with the hub detached) starts warm. Idempotent
+  // on an untouched fleet.
+  if (fleet_ != nullptr && obs::ShouldSample(hub_)) hub_->WarmFleet(fleet_);
+}
+
 void SourceSet::Reset() {
+  // Cross-query telemetry: capture the fleet's health on the dying
+  // query's clock BEFORE the rewind wipes it (re-applied below).
+  if (fleet_ != nullptr && obs::ShouldSample(hub_)) {
+    hub_->CaptureFleetHealth(*fleet_, elapsed_time());
+  }
   const size_t m = num_predicates();
   stats_.sorted_count.assign(m, 0);
   stats_.random_count.assign(m, 0);
@@ -700,8 +735,13 @@ void SourceSet::Reset() {
   if (injector_ != nullptr) injector_->Reset();
   // Replica health is runtime state, not configuration: back-to-back
   // repetitions must start with cold breakers, live replicas, and the
-  // same fault/latency draws.
-  if (fleet_ != nullptr) fleet_->ResetRuntime();
+  // same fault/latency draws. With a telemetry hub attached, though, the
+  // session's captured health is re-applied so the next query starts
+  // warm (deaths sticky, cooldowns resumed, EWMAs carried over).
+  if (fleet_ != nullptr) {
+    fleet_->ResetRuntime();
+    if (obs::ShouldSample(hub_)) hub_->WarmFleet(fleet_);
+  }
   fleet_serve_ = FleetServe{};
 }
 

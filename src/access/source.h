@@ -70,6 +70,7 @@
 
 namespace nc::obs {
 class QueryTracer;
+class TelemetryHub;
 }  // namespace nc::obs
 
 namespace nc {
@@ -421,6 +422,22 @@ class SourceSet {
   void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
   obs::QueryTracer* tracer() const { return tracer_; }
 
+  // --- Cross-query telemetry -------------------------------------------
+  // Attaches a TelemetryHub (nullptr detaches; must outlive the
+  // SourceSet). The hub is fed the per-replica service latencies,
+  // per-access charges, and completion latencies of every access, and -
+  // unlike everything else here - it SURVIVES Reset(): right before the
+  // fleet's runtime is rewound, the hub captures its health (deaths,
+  // open breakers, routing EWMAs) and re-applies it afterwards, so the
+  // next query starts warm. With HedgePolicy::adaptive, the hub also
+  // supplies the hedge trigger. A detached or disabled hub costs one
+  // branch per access. Checkpoints deliberately exclude hub state (a
+  // resumed query re-warms from the live hub; see obs/telemetry.h).
+  // Attaching an enabled hub to an untouched fleet immediately re-applies
+  // the hub's health snapshot (idempotent; a no-op without one).
+  void set_telemetry_hub(obs::TelemetryHub* hub);
+  obs::TelemetryHub* telemetry_hub() const { return hub_; }
+
   // --- Latency model (used by the parallel executor) ------------------
   // Each access's simulated latency is unit_cost * (1 + jitter * U) with
   // U uniform in [0, 1). jitter = 0 (the default) makes latency equal the
@@ -528,6 +545,7 @@ class SourceSet {
   std::vector<Access> trace_;
   std::vector<AccessAttempt> attempt_trace_;
   obs::QueryTracer* tracer_ = nullptr;
+  obs::TelemetryHub* hub_ = nullptr;
 };
 
 }  // namespace nc

@@ -60,6 +60,89 @@ double PearsonCorrelation(const std::vector<double>& xs,
   return sxy / std::sqrt(sxx * syy);
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  NC_CHECK(q > 0.0 && q < 1.0);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q;
+  desired_[2] = 1.0 + 4.0 * q;
+  desired_[3] = 3.0 + 2.0 * q;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::Add(double value) {
+  NC_CHECK(std::isfinite(value));
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    std::sort(heights_, heights_ + count_);
+    return;
+  }
+  ++count_;
+
+  // Which bracket the observation lands in; boundary markers absorb
+  // out-of-range values.
+  size_t cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
+  }
+  for (size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!right && !left) continue;
+    const double sign = right ? 1.0 : -1.0;
+    // Piecewise-parabolic prediction of the new marker height.
+    const double np = positions_[i] + sign;
+    const double q_prev = heights_[i - 1];
+    const double q_cur = heights_[i];
+    const double q_next = heights_[i + 1];
+    const double n_prev = positions_[i - 1];
+    const double n_cur = positions_[i];
+    const double n_next = positions_[i + 1];
+    double candidate =
+        q_cur + sign / (n_next - n_prev) *
+                    ((n_cur - n_prev + sign) * (q_next - q_cur) /
+                         (n_next - n_cur) +
+                     (n_next - n_cur - sign) * (q_cur - q_prev) /
+                         (n_cur - n_prev));
+    // The parabola must keep markers ordered; otherwise move linearly
+    // toward the neighbor in the travel direction.
+    if (candidate <= q_prev || candidate >= q_next) {
+      const double neighbor = sign > 0.0 ? q_next : q_prev;
+      const double neighbor_pos = sign > 0.0 ? n_next : n_prev;
+      candidate = q_cur + sign * (neighbor - q_cur) / (neighbor_pos - n_cur);
+    }
+    heights_[i] = candidate;
+    positions_[i] = np;
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (count_ <= 5) {
+    // Exact small-sample quantile: the seed buffer is still the sorted
+    // sample itself until the first marker adjustment.
+    return Percentile(std::vector<double>(heights_, heights_ + count_), q_);
+  }
+  return heights_[2];
+}
+
 void RunningStat::Add(double value) {
   if (count_ == 0) {
     min_ = value;

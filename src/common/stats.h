@@ -26,6 +26,42 @@ double Percentile(std::vector<double> values, double q);
 double PearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys);
 
+// Streaming quantile estimate via the P² (piecewise-parabolic) algorithm
+// of Jain & Chlamtac (CACM 1985): five markers track the running q-th
+// quantile in O(1) memory and O(1) time per observation, no sample buffer.
+// The first five observations are held exactly (a sorted seed buffer);
+// from the sixth on, marker heights move by the parabolic update, falling
+// back to linear interpolation when the parabola would leave the bracket.
+//
+// Accuracy: P² is an estimate, not an order statistic. On i.i.d. streams
+// the estimate converges to the true quantile; the property test in
+// stats_test.cc bounds it by the exact Percentile of the same stream at
+// q +- 0.05 (a rank band of +-5 percentile points), which holds across
+// uniform, exponential, and bimodal inputs at n >= 200. Callers needing
+// exact small-sample quantiles should keep the buffer and use Percentile.
+class P2Quantile {
+ public:
+  // q in (0, 1), e.g. 0.95 for the p95.
+  explicit P2Quantile(double q);
+
+  void Add(double value);
+  size_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+  // The current estimate; exact while count() <= 5; NaN while count() == 0
+  // (no sample, no quantile - mirroring Percentile).
+  double value() const;
+
+ private:
+  double q_ = 0.5;
+  size_t count_ = 0;
+  // Marker heights, positions (1-based ranks), and desired positions.
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {1, 1, 1, 1, 1};
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
 // Running aggregate for streaming series (Welford).
 class RunningStat {
  public:

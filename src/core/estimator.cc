@@ -91,4 +91,46 @@ double SimulationCostEstimator::EstimateCost(const SRGConfig& config) {
   return cost;
 }
 
+void SimulationCostEstimator::Predict(const SRGConfig& config, size_t full_n,
+                                      CostPrediction* out) {
+  NC_CHECK(out != nullptr);
+  *out = CostPrediction{};
+  const size_t m = cost_.num_predicates();
+  if (!config.Validate(m).ok()) return;
+  out->sorted_accesses.assign(m, 0.0);
+  out->random_accesses.assign(m, 0.0);
+  out->cost.assign(m, 0.0);
+  for (const Dataset& sample : samples_) {
+    SourceSet sources(&sample, cost_);
+    SRGPolicy policy(config);
+    EngineOptions options;
+    options.k = k_prime_;
+    TopKResult ignored;
+    if (!RunNC(&sources, scoring_, &policy, options, &ignored).ok()) {
+      *out = CostPrediction{};
+      return;
+    }
+    const AccessStats& stats = sources.stats();
+    const double scale = static_cast<double>(full_n) /
+                         static_cast<double>(sample.num_objects());
+    for (PredicateId i = 0; i < m; ++i) {
+      out->sorted_accesses[i] +=
+          static_cast<double>(stats.sorted_count[i]) * scale;
+      out->random_accesses[i] +=
+          static_cast<double>(stats.random_count[i]) * scale;
+      out->cost[i] += (stats.sorted_cost_accrued[i] +
+                       stats.random_cost_accrued[i]) *
+                      scale;
+    }
+  }
+  const double replicas = static_cast<double>(samples_.size());
+  for (PredicateId i = 0; i < m; ++i) {
+    out->sorted_accesses[i] /= replicas;
+    out->random_accesses[i] /= replicas;
+    out->cost[i] /= replicas;
+    out->total_cost += out->cost[i];
+  }
+  out->valid = true;
+}
+
 }  // namespace nc

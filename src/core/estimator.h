@@ -21,6 +21,25 @@
 
 namespace nc {
 
+// Full-scale prediction of one plan's access footprint: what the
+// estimator expects the chosen SR/G configuration to do on the real
+// database, derived from the same sample simulations that scored it and
+// scaled by n / s. This is the "predicted" side of the CostAudit
+// (obs/run_report.h): after the real run, the metered AccessStats are
+// diffed against it, closing the loop on Section 7.3's estimation.
+struct CostPrediction {
+  bool valid = false;
+  // Expected per-predicate access counts and Eq. 1 cost shares at full
+  // scale. Fractional: they are sample means scaled by n / s, not
+  // integers. Page-charge quantization scales only approximately (the
+  // sample's ceil(ns / b) is what gets scaled), which is part of the
+  // estimation error the audit measures.
+  std::vector<double> sorted_accesses;
+  std::vector<double> random_accesses;
+  std::vector<double> cost;
+  double total_cost = 0.0;
+};
+
 // Interface so tests can substitute analytic landscapes.
 class CostEstimator {
  public:
@@ -59,6 +78,13 @@ class SimulationCostEstimator final : public CostEstimator {
   double EstimateCost(const SRGConfig& config) override;
   size_t num_predicates() const override { return cost_.num_predicates(); }
   size_t simulations() const override { return simulations_; }
+
+  // Re-simulates `config` over the samples capturing the per-predicate
+  // access tallies, and scales them to a database of `full_n` objects.
+  // *out is invalid (valid == false) when the config does not validate
+  // or a simulation fails. Does not count toward simulations() - it is
+  // audit bookkeeping for an already-chosen plan, not search work.
+  void Predict(const SRGConfig& config, size_t full_n, CostPrediction* out);
 
  private:
   std::vector<Dataset> samples_;

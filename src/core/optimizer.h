@@ -32,6 +32,10 @@ struct OptimizerResult {
   double estimated_cost = 0.0;
   // Plan simulations actually executed during this search.
   size_t simulations = 0;
+  // Full-scale per-predicate prediction of the chosen plan (filled by
+  // CostBasedPlanner::Plan, not by the depth searchers themselves); the
+  // "predicted" side of the post-run CostAudit.
+  CostPrediction prediction;
 };
 
 class DepthOptimizer {

@@ -125,10 +125,15 @@ Status CostBasedPlanner::Plan(const SourceSet& sources, size_t k,
     } while (std::next_permutation(permutation.begin(), permutation.end()));
     best.simulations = simulations;
     *out = std::move(best);
-    return Status::OK();
+  } else {
+    NC_RETURN_IF_ERROR(optimize_depths(schedule, out));
   }
 
-  return optimize_depths(schedule, out);
+  // Full-scale prediction of the chosen plan: the same sample simulation
+  // that scored it, re-run once to capture the per-predicate footprint
+  // the post-run CostAudit diffs against metered actuals.
+  estimator.Predict(out->config, sources.num_objects(), &out->prediction);
+  return Status::OK();
 }
 
 Status RunOptimizedNC(SourceSet* sources, const ScoringFunction& scoring,

@@ -48,6 +48,11 @@ std::string QuerySession::PlanKey(const CostModel& model, size_t k) {
 Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
   NC_CHECK(sources != nullptr);
   NC_CHECK(out != nullptr);
+  // The session's hub outlives every per-query SourceSet rewind: attach
+  // it before planning so a replica fleet starts warm (breakers, deaths,
+  // and EWMAs from earlier queries re-applied) and this query's accesses
+  // feed the cross-query sketches.
+  sources->set_telemetry_hub(&hub_);
   const std::string key = PlanKey(sources->cost_model(), k);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -75,6 +80,31 @@ Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
   failed_accesses_ += stats.transient_failures + stats.timeout_failures +
                       stats.abandoned_accesses;
   source_deaths_ += stats.source_deaths;
+
+  // The cost audit: the plan's full-scale Eq. 1 prediction against the
+  // metered actuals of the run just finished (before any caller Reset).
+  last_cost_audit_ = obs::BuildCostAudit(it->second.prediction, *sources);
+  if (last_cost_audit_.valid && obs::ShouldSample(&hub_)) {
+    for (PredicateId i = 0; i < last_cost_audit_.predicates.size(); ++i) {
+      const obs::PredicateAudit& row = last_cost_audit_.predicates[i];
+      hub_.ObservePredictionError(i, row.cost_relative_error);
+    }
+  }
+  if (obs::ShouldTrace(sources->tracer())) {
+    obs::QueryTracer* tracer = sources->tracer();
+    if (last_cost_audit_.valid) {
+      for (PredicateId i = 0; i < last_cost_audit_.predicates.size(); ++i) {
+        const obs::PredicateAudit& row = last_cost_audit_.predicates[i];
+        tracer->RecordTelemetry("cost_audit", i, row.predicted_cost,
+                                row.actual_cost, sources->accrued_cost());
+      }
+      tracer->RecordTelemetry("cost_audit_total", 0,
+                              last_cost_audit_.predicted_total,
+                              last_cost_audit_.actual_total,
+                              sources->accrued_cost());
+    }
+  }
+  hub_.NoteQuery();
 
   if (!status.ok()) {
     last_query_outcome_ = QueryOutcome::kError;

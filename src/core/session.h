@@ -1,4 +1,4 @@
-// Plan caching across the queries of a middleware session.
+// Plan caching and cross-query telemetry for a middleware session.
 //
 // Optimization overhead is tiny per query (a few dozen sample
 // simulations) but a busy middleware answers the same query shape
@@ -6,6 +6,14 @@
 // (k, cost-model signature): repeated queries reuse the cached SR/G plan;
 // a drifted cost model (the signature includes unit costs, page sizes,
 // and attribute groups) or a new k re-plans automatically.
+//
+// The session also owns the TelemetryHub: each Query attaches it to the
+// sources (and warms any replica fleet from the health snapshot captured
+// at the previous query's Reset), so breaker states, EWMA latencies, and
+// latency sketches outlive the per-query SourceSet rewind. After every
+// run, the session diffs the plan's CostPrediction against the metered
+// actuals into a CostAudit (last_cost_audit()), and mirrors the audit
+// rows as kTelemetry trace events when a tracer is attached.
 
 #ifndef NC_CORE_SESSION_H_
 #define NC_CORE_SESSION_H_
@@ -17,6 +25,8 @@
 #include "common/status.h"
 #include "core/planner.h"
 #include "core/result.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
 #include "scoring/scoring_function.h"
 
 namespace nc {
@@ -54,6 +64,16 @@ class QuerySession {
   // The plan used by the most recent Query.
   const OptimizerResult& last_plan() const { return last_plan_; }
 
+  // The session's cross-query telemetry hub. Attached to the sources on
+  // every Query; disable it (hub().Disable()) to opt out of sampling —
+  // query answers are bit-identical either way on fault-free runs.
+  obs::TelemetryHub& hub() { return hub_; }
+  const obs::TelemetryHub& hub() const { return hub_; }
+
+  // Predicted-vs-actual Eq. 1 audit of the most recent Query (invalid
+  // before the first one or when the run errored out pre-execution).
+  const obs::CostAudit& last_cost_audit() const { return last_cost_audit_; }
+
   // Fault-recovery telemetry accumulated across completed queries (the
   // caller rewinds the sources between queries, so each query's access
   // stats are credited once). Retries are attempts repeated after a
@@ -83,6 +103,8 @@ class QuerySession {
   PlannerOptions options_;
   std::unordered_map<std::string, OptimizerResult> cache_;
   OptimizerResult last_plan_;
+  obs::TelemetryHub hub_;
+  obs::CostAudit last_cost_audit_;
   size_t plans_computed_ = 0;
   size_t cache_hits_ = 0;
   size_t retried_attempts_ = 0;

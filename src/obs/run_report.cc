@@ -1,5 +1,6 @@
 #include "obs/run_report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -26,10 +27,49 @@ std::string PredicateLabel(const SourceSet& sources, PredicateId i) {
   return label;
 }
 
+// |a - p| / max(a, p): symmetric, finite, in [0, 1].
+double SymmetricRelativeError(double predicted, double actual) {
+  const double denom = std::max(std::abs(predicted), std::abs(actual));
+  if (denom == 0.0) return 0.0;
+  return std::abs(actual - predicted) / denom;
+}
+
 }  // namespace
 
+CostAudit BuildCostAudit(const CostPrediction& prediction,
+                         const SourceSet& sources) {
+  CostAudit audit;
+  const size_t m = sources.num_predicates();
+  if (!prediction.valid || prediction.cost.size() != m) return audit;
+  const AccessStats& stats = sources.stats();
+  audit.valid = true;
+  audit.predicates.reserve(m);
+  for (PredicateId i = 0; i < m; ++i) {
+    PredicateAudit row;
+    row.name = PredicateLabel(sources, i);
+    row.predicted_sorted = prediction.sorted_accesses[i];
+    row.actual_sorted = static_cast<double>(stats.sorted_count[i]);
+    row.predicted_random = prediction.random_accesses[i];
+    row.actual_random = static_cast<double>(stats.random_count[i]);
+    row.predicted_cost = prediction.cost[i];
+    row.actual_cost =
+        stats.sorted_cost_accrued[i] + stats.random_cost_accrued[i];
+    row.cost_error = row.actual_cost - row.predicted_cost;
+    row.cost_relative_error =
+        SymmetricRelativeError(row.predicted_cost, row.actual_cost);
+    audit.predicates.push_back(std::move(row));
+  }
+  audit.predicted_total = prediction.total_cost;
+  audit.actual_total = sources.accrued_cost();
+  audit.total_error = audit.actual_total - audit.predicted_total;
+  audit.total_relative_error =
+      SymmetricRelativeError(audit.predicted_total, audit.actual_total);
+  return audit;
+}
+
 RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
-                         std::string algorithm, size_t k) {
+                         std::string algorithm, size_t k,
+                         const CostPrediction* prediction) {
   RunReport report;
   report.algorithm = std::move(algorithm);
   report.k = k;
@@ -86,6 +126,10 @@ RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
         report.replicas.push_back(std::move(row));
       }
     }
+  }
+
+  if (prediction != nullptr) {
+    report.cost_audit = BuildCostAudit(*prediction, sources);
   }
 
   if (tracer != nullptr) {
@@ -222,6 +266,29 @@ void RecordSourceMetrics(MetricsRegistry* registry,
   }
 }
 
+void RecordCostAuditMetrics(MetricsRegistry* registry,
+                            const std::string& algorithm,
+                            const CostAudit& audit) {
+  NC_CHECK(registry != nullptr);
+  if (!audit.valid) return;
+  const std::vector<double> error_bounds{0.05, 0.1, 0.25, 0.5, 1.0};
+  for (const PredicateAudit& row : audit.predicates) {
+    const LabelSet labels{{"algorithm", algorithm}, {"predicate", row.name}};
+    registry->counter("nc_cost_predicted_total", labels)
+        .Increment(row.predicted_cost);
+    registry->counter("nc_cost_actual_total", labels)
+        .Increment(row.actual_cost);
+    registry
+        ->histogram("nc_cost_audit_relative_error", error_bounds,
+                    {{"algorithm", algorithm}})
+        .Observe(row.cost_relative_error);
+  }
+  registry
+      ->histogram("nc_cost_audit_relative_error", error_bounds,
+                  {{"algorithm", algorithm}})
+      .Observe(audit.total_relative_error);
+}
+
 std::string RunReport::ToText() const {
   std::ostringstream os;
   if (!algorithm.empty()) {
@@ -294,6 +361,21 @@ std::string RunReport::ToText() const {
       if (row.source_down) os << " " << row.name;
     }
     os << " (down for the rest of the run)\n";
+  }
+  if (cost_audit.valid) {
+    os << "cost audit: predicted " << FormatCost(cost_audit.predicted_total)
+       << " vs actual " << FormatCost(cost_audit.actual_total) << " (err "
+       << FormatCost(cost_audit.total_error) << ", "
+       << FormatCost(cost_audit.total_relative_error * 100.0) << "%)\n";
+    for (const PredicateAudit& row : cost_audit.predicates) {
+      os << "  " << row.name << ": sa " << FormatCost(row.predicted_sorted)
+         << "/" << FormatCost(row.actual_sorted) << ", ra "
+         << FormatCost(row.predicted_random) << "/"
+         << FormatCost(row.actual_random) << ", cost "
+         << FormatCost(row.predicted_cost) << "/"
+         << FormatCost(row.actual_cost) << " ("
+         << FormatCost(row.cost_relative_error * 100.0) << "%)\n";
+    }
   }
   if (!convergence.empty()) {
     const ConvergencePoint& last = convergence.back();
@@ -385,6 +467,29 @@ std::string RunReport::ToJson() const {
     w.Key("reason").String(termination_reason);
     // JsonWriter renders non-finite numbers as null.
     w.Key("epsilon").Number(certified_epsilon);
+    w.EndObject();
+  }
+  if (cost_audit.valid) {
+    w.Key("cost_audit").BeginObject();
+    w.Key("predicted_total").Number(cost_audit.predicted_total);
+    w.Key("actual_total").Number(cost_audit.actual_total);
+    w.Key("total_error").Number(cost_audit.total_error);
+    w.Key("total_relative_error").Number(cost_audit.total_relative_error);
+    w.Key("predicates").BeginArray();
+    for (const PredicateAudit& row : cost_audit.predicates) {
+      w.BeginObject();
+      w.Key("name").String(row.name);
+      w.Key("predicted_sorted").Number(row.predicted_sorted);
+      w.Key("actual_sorted").Number(row.actual_sorted);
+      w.Key("predicted_random").Number(row.predicted_random);
+      w.Key("actual_random").Number(row.actual_random);
+      w.Key("predicted_cost").Number(row.predicted_cost);
+      w.Key("actual_cost").Number(row.actual_cost);
+      w.Key("cost_error").Number(row.cost_error);
+      w.Key("cost_relative_error").Number(row.cost_relative_error);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
   if (!convergence.empty()) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "access/source.h"
+#include "core/estimator.h"
 #include "obs/tracer.h"
 
 namespace nc::obs {
@@ -52,6 +53,43 @@ struct ReplicaCost {
   double max_latency = 0.0;
   bool dead = false;
 };
+
+// One predicate's predicted-vs-actual row of the cost audit: the
+// optimizer's full-scale prediction (CostPrediction, Section 7.3's
+// simulation estimate scaled by n / s) against the metered AccessStats
+// of the real run. Counts are fractional on the predicted side.
+struct PredicateAudit {
+  std::string name;
+  double predicted_sorted = 0.0;
+  double actual_sorted = 0.0;
+  double predicted_random = 0.0;
+  double actual_random = 0.0;
+  double predicted_cost = 0.0;
+  double actual_cost = 0.0;
+  // actual - predicted, and the symmetric relative error
+  // |actual - predicted| / max(actual, predicted) in [0, 1] (0 when both
+  // sides are 0), which stays finite when either side vanishes.
+  double cost_error = 0.0;
+  double cost_relative_error = 0.0;
+};
+
+// The audit of Eq. 1's prediction quality for one finished run. Only
+// meaningful when the run executed the predicted plan on the predicted
+// scenario (the planner's own flow guarantees this; ad-hoc runs may
+// diff against any prediction they like).
+struct CostAudit {
+  bool valid = false;
+  std::vector<PredicateAudit> predicates;
+  double predicted_total = 0.0;
+  double actual_total = 0.0;
+  double total_error = 0.0;           // actual - predicted
+  double total_relative_error = 0.0;  // symmetric, in [0, 1]
+};
+
+// Diffs `prediction` against the metered run in `sources`. Invalid when
+// the prediction is invalid or its arity does not match.
+CostAudit BuildCostAudit(const CostPrediction& prediction,
+                         const SourceSet& sources);
 
 // One sample of the bound-convergence timeline, taken per engine
 // iteration: how the ceiling closes in on the k-th bound as cost is
@@ -98,6 +136,10 @@ struct RunReport {
   std::string termination_reason;  // "CostBudget", "Deadline", ...
   double certified_epsilon = 0.0;  // May be +inf (rendered null in JSON).
 
+  // Predicted-vs-actual cost audit (valid only when BuildRunReport was
+  // handed the plan's CostPrediction).
+  CostAudit cost_audit;
+
   // From tracer iteration events; empty without a tracer.
   std::vector<ConvergencePoint> convergence;
 
@@ -110,10 +152,13 @@ struct RunReport {
 };
 
 // Snapshots `sources` (and, when given, the tracer's iteration events)
-// into a report. Call after the run, before Reset().
+// into a report. Call after the run, before Reset(). With a
+// `prediction` (the executed plan's CostPrediction), the report also
+// carries the cost audit.
 RunReport BuildRunReport(const SourceSet& sources,
                          const QueryTracer* tracer = nullptr,
-                         std::string algorithm = "", size_t k = 0);
+                         std::string algorithm = "", size_t k = 0,
+                         const CostPrediction* prediction = nullptr);
 
 class MetricsRegistry;
 
@@ -139,6 +184,16 @@ class MetricsRegistry;
 void RecordSourceMetrics(MetricsRegistry* registry,
                          const std::string& algorithm,
                          const SourceSet& sources);
+
+// Flushes a cost audit into `registry` (no-op when the audit is
+// invalid):
+//   nc_cost_predicted_total{algorithm,predicate}
+//   nc_cost_actual_total{algorithm,predicate}
+//   nc_cost_audit_relative_error{algorithm}  (histogram; one observation
+//                                             per predicate + the total)
+void RecordCostAuditMetrics(MetricsRegistry* registry,
+                            const std::string& algorithm,
+                            const CostAudit& audit);
 
 }  // namespace nc::obs
 

@@ -1,0 +1,180 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace nc::obs {
+
+namespace {
+
+double QuietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+
+uint64_t CostKey(PredicateId i, AccessType type) {
+  return (static_cast<uint64_t>(i) << 1) |
+         (type == AccessType::kRandom ? 1u : 0u);
+}
+
+}  // namespace
+
+double TelemetryHub::ServiceSketch::At(double q) const {
+  if (q == 0.5) return p50.value();
+  if (q == 0.9) return p90.value();
+  if (q == 0.95) return p95.value();
+  if (q == 0.99) return p99.value();
+  NC_CHECK(false);  // Only the tracked quantiles are streamed.
+  return QuietNaN();
+}
+
+void TelemetryHub::HedgeWindow::Add(double v) {
+  if (samples.size() < kTelemetryHedgeWindow) {
+    samples.push_back(v);
+  } else {
+    samples[next] = v;
+  }
+  next = (next + 1) % kTelemetryHedgeWindow;
+  ++count;
+}
+
+double TelemetryHub::HedgeWindow::ExactQuantile(double q) const {
+  return Percentile(samples, q);
+}
+
+TelemetryHub::TelemetryHub() = default;
+
+void TelemetryHub::Clear() {
+  queries_observed_ = 0;
+  service_.clear();
+  hedge_window_.clear();
+  completion_.clear();
+  cost_.clear();
+  prediction_error_.clear();
+  health_.clear();
+}
+
+void TelemetryHub::ObserveReplicaService(PredicateId i, size_t r,
+                                         double latency) {
+  if (!enabled_) return;
+  const uint64_t key = SlotKey(i, r);
+  service_[key].Add(latency);
+  hedge_window_[key].Add(latency);
+}
+
+void TelemetryHub::ObserveCompletion(PredicateId i, double latency) {
+  if (!enabled_) return;
+  completion_[i].Add(latency);
+}
+
+void TelemetryHub::ObserveAccessCost(PredicateId i, AccessType type,
+                                     double charged) {
+  if (!enabled_) return;
+  CostEwma& cell = cost_[CostKey(i, type)];
+  if (!cell.seeded) {
+    cell.seeded = true;
+    cell.value = charged;
+  } else {
+    cell.value += kTelemetryCostEwmaAlpha * (charged - cell.value);
+  }
+}
+
+void TelemetryHub::ObservePredictionError(PredicateId i,
+                                          double relative_error) {
+  if (!enabled_) return;
+  prediction_error_[i].Add(relative_error);
+}
+
+size_t TelemetryHub::replica_service_count(PredicateId i, size_t r) const {
+  const auto it = service_.find(SlotKey(i, r));
+  return it == service_.end() ? 0 : it->second.count;
+}
+
+double TelemetryHub::ReplicaServiceQuantile(PredicateId i, size_t r,
+                                            double q) const {
+  const auto it = service_.find(SlotKey(i, r));
+  if (it == service_.end()) return QuietNaN();
+  return it->second.At(q);
+}
+
+double TelemetryHub::CompletionQuantile(PredicateId i, double q) const {
+  const auto it = completion_.find(i);
+  if (it == completion_.end()) return QuietNaN();
+  return it->second.At(q);
+}
+
+double TelemetryHub::AccessCostEwma(PredicateId i, AccessType type) const {
+  const auto it = cost_.find(CostKey(i, type));
+  if (it == cost_.end() || !it->second.seeded) return QuietNaN();
+  return it->second.value;
+}
+
+double TelemetryHub::PredictionErrorQuantile(PredicateId i, double q) const {
+  const auto it = prediction_error_.find(i);
+  if (it == prediction_error_.end()) return QuietNaN();
+  return it->second.At(q);
+}
+
+size_t TelemetryHub::prediction_error_count(PredicateId i) const {
+  const auto it = prediction_error_.find(i);
+  return it == prediction_error_.end() ? 0 : it->second.count;
+}
+
+double TelemetryHub::AdaptiveHedgeDelay(PredicateId i, size_t r) const {
+  const auto it = hedge_window_.find(SlotKey(i, r));
+  if (it == hedge_window_.end() || it->second.count < kTelemetryMinSamples) {
+    return QuietNaN();
+  }
+  // Exact windowed p90, not a P2 marker and not p95: see the header
+  // comment - at a ~5% straggler fraction the 0.95 quantile is ambiguous
+  // across the bulk/tail gap and P2 markers drift into it, hedging far
+  // too late.
+  return it->second.ExactQuantile(0.9);
+}
+
+void TelemetryHub::CaptureFleetHealth(const ReplicaFleet& fleet, double now) {
+  if (!enabled_) return;
+  health_.clear();
+  const size_t bound = fleet.max_configured_predicates();
+  for (PredicateId i = 0; i < bound; ++i) {
+    if (!fleet.configured(i)) continue;
+    for (size_t r = 0; r < fleet.num_replicas(i); ++r) {
+      const ReplicaRuntime& rt = fleet.runtime(i, r);
+      ReplicaHealth h;
+      h.predicate = i;
+      h.replica = r;
+      h.dead = rt.dead;
+      // An already-elapsed cooldown is not worth carrying: the breaker
+      // would admit a probe immediately anyway.
+      h.breaker_open = rt.breaker_open && rt.breaker_open_until > now;
+      h.cooldown_remaining = h.breaker_open ? rt.breaker_open_until - now : 0.0;
+      h.breaker_consecutive = rt.breaker_consecutive;
+      h.has_ewma = rt.has_ewma;
+      h.ewma_latency = rt.ewma_latency;
+      health_.push_back(h);
+    }
+  }
+}
+
+void TelemetryHub::WarmFleet(ReplicaFleet* fleet) const {
+  if (!enabled_ || fleet == nullptr) return;
+  for (const ReplicaHealth& h : health_) {
+    if (!fleet->configured(h.predicate)) continue;
+    if (h.replica >= fleet->num_replicas(h.predicate)) continue;
+    ReplicaRuntime& rt = fleet->runtime(h.predicate, h.replica);
+    // Deaths are sticky: a replica the session saw die stays routed
+    // around until the embedder clears the hub (or reconfigures).
+    rt.dead = rt.dead || h.dead;
+    if (h.breaker_open) {
+      rt.breaker_open = true;
+      // The new query's elapsed-time clock starts at zero.
+      rt.breaker_open_until = h.cooldown_remaining;
+    }
+    rt.breaker_consecutive = h.breaker_consecutive;
+    if (h.has_ewma) {
+      rt.has_ewma = true;
+      rt.ewma_latency = h.ewma_latency;
+    }
+  }
+}
+
+}  // namespace nc::obs

@@ -1,0 +1,210 @@
+// Cross-query telemetry: the session-scoped half of the observability
+// stack.
+//
+// QueryTracer, MetricsRegistry, and RunReport all see ONE query at a
+// time: SourceSet::Reset() rewinds every per-query counter so reruns are
+// reproducible. The TelemetryHub is the state that deliberately
+// *survives* that rewind. Owned by QuerySession (or any long-lived
+// embedder) and attached with SourceSet::set_telemetry_hub, it
+// accumulates, across queries:
+//
+//   * streaming latency quantiles (P2 sketches: p50/p90/p95/p99) of the
+//     observed *service* latency per (predicate, replica) and of the
+//     *completion* latency per predicate,
+//   * an EWMA of the per-access charge per (predicate, access type),
+//   * the fleet's health - dead replicas, open breakers with their
+//     remaining cooldown, breaker failure streaks, and routing EWMAs -
+//     captured right before ResetRuntime() wipes it and re-applied
+//     ("warmed") right after, so query N+1 starts routing around a
+//     replica query N found dead instead of rediscovering it.
+//
+// The hub also powers adaptive hedging: with HedgePolicy::adaptive set,
+// SourceSet reads AdaptiveHedgeDelay(i, r) instead of the hand-set
+// HedgePolicy::delay, so the hedge fires on the stragglers the fleet
+// actually produces. The trigger is the EXACT p90 over a small sliding
+// window of the replica's recent service latencies, not a P2 marker,
+// and p90 rather than p95, both deliberately: with a straggler fraction
+// of ~5%, the 0.95 quantile of the service distribution is ambiguous
+// across the entire gap between the latency bulk and the tail, and the
+// P2 markers near that gap are dragged into it by the parabolic update
+// at small sample counts (hedging far too late). The windowed exact p90
+// sits firmly inside the bulk - just above normal service time - and
+// tracks drift. The P2 sketches remain the *reported* quantiles: O(1)
+// memory over unbounded streams is right for observability, where a few
+// percentile points of rank error are harmless.
+//
+// Cost discipline mirrors QueryTracer: a detached (nullptr) or disabled
+// hub is one pointer/bool test per feed (guard with ShouldSample); no
+// sketch is touched, nothing allocates. The hub never changes WHAT an
+// access returns - only hedge timing (cost), never results - so top-k
+// answers are bit-identical with the hub enabled or disabled on
+// fault-free runs (asserted in differential_test.cc).
+//
+// Checkpoints deliberately EXCLUDE hub state: a resumed query re-warms
+// from the live session's hub instead of a stale snapshot (see
+// docs/OBSERVABILITY.md, "Checkpoint interaction").
+
+#ifndef NC_OBS_TELEMETRY_H_
+#define NC_OBS_TELEMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "access/access.h"
+#include "common/score.h"
+#include "common/stats.h"
+#include "replica/replica.h"
+
+namespace nc::obs {
+
+// Observations a (predicate, replica) slot needs before its quantile
+// sketch may drive decisions (adaptive hedge delay). Below this the
+// estimate is noise and callers fall back to the configured constant.
+inline constexpr size_t kTelemetryMinSamples = 16;
+
+// Sliding-window size backing the adaptive hedge trigger's exact p90.
+inline constexpr size_t kTelemetryHedgeWindow = 64;
+
+// EWMA smoothing for the per-access charge series.
+inline constexpr double kTelemetryCostEwmaAlpha = 0.2;
+
+// One (predicate, replica) slot's captured health, the unit of
+// cross-query fleet state. Cooldowns are stored as *remaining* time:
+// every query starts its elapsed-time clock at zero, so an absolute
+// open_until from the last query would be meaningless.
+struct ReplicaHealth {
+  PredicateId predicate = 0;
+  size_t replica = 0;
+  bool dead = false;
+  bool breaker_open = false;
+  double cooldown_remaining = 0.0;
+  size_t breaker_consecutive = 0;
+  bool has_ewma = false;
+  double ewma_latency = 0.0;
+};
+
+class TelemetryHub {
+ public:
+  // Constructed enabled, like QueryTracer: attaching one expresses
+  // intent. Disable()/Enable() toggle sampling without dropping state.
+  TelemetryHub();
+
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+
+  // Drops ALL cross-query state (sketches, EWMAs, captured health).
+  void Clear();
+
+  // --- Feeds (no-ops when disabled) ------------------------------------
+  // One observed service latency of replica r answering predicate i.
+  void ObserveReplicaService(PredicateId i, size_t r, double latency);
+  // One access's completion latency on predicate i (hedges resolved).
+  void ObserveCompletion(PredicateId i, double latency);
+  // One performed access's charge (0 for mid-page sorted entries).
+  void ObserveAccessCost(PredicateId i, AccessType type, double charged);
+  // One query's cost-audit relative error on predicate i (in [0, 1]);
+  // QuerySession feeds this once per predicate per query, so the sketch
+  // tracks how the optimizer's Eq. 1 prediction quality drifts.
+  void ObservePredictionError(PredicateId i, double relative_error);
+  // One finished query (QuerySession calls this once per Query).
+  void NoteQuery() {
+    if (enabled_) ++queries_observed_;
+  }
+
+  // --- Introspection ----------------------------------------------------
+  size_t queries_observed() const { return queries_observed_; }
+  size_t replica_service_count(PredicateId i, size_t r) const;
+
+  // Streaming quantile of replica r's service latency on predicate i;
+  // q must be one of the tracked 0.5 / 0.9 / 0.95 / 0.99. NaN with no
+  // samples.
+  double ReplicaServiceQuantile(PredicateId i, size_t r, double q) const;
+  // Per-predicate completion-latency quantile (same tracked q values).
+  double CompletionQuantile(PredicateId i, double q) const;
+  // EWMA of the per-access charge; NaN before the first observation.
+  double AccessCostEwma(PredicateId i, AccessType type) const;
+  // Quantile of the per-query prediction relative error on predicate i
+  // (same tracked q values). NaN with no audited queries.
+  double PredictionErrorQuantile(PredicateId i, double q) const;
+  size_t prediction_error_count(PredicateId i) const;
+
+  // The adaptive hedge signal: the exact p90 of replica r's last
+  // kTelemetryHedgeWindow service latencies (see the header comment for
+  // why not a P2 marker and not p95), once the slot has
+  // kTelemetryMinSamples observations; NaN while colder (callers fall
+  // back to the configured HedgePolicy::delay).
+  double AdaptiveHedgeDelay(PredicateId i, size_t r) const;
+
+  // --- Cross-query fleet health -----------------------------------------
+  // Snapshots every configured slot's health at elapsed-time `now`
+  // (breaker cooldowns become remaining durations). Replaces any prior
+  // capture. SourceSet::Reset() calls this right before ResetRuntime().
+  void CaptureFleetHealth(const ReplicaFleet& fleet, double now);
+
+  // Re-applies the captured health onto a freshly reset fleet: deaths
+  // are sticky, open breakers resume their remaining cooldown on the new
+  // query's clock, routing EWMAs carry over. Slots the fleet no longer
+  // has are skipped. Idempotent on an untouched fleet.
+  void WarmFleet(ReplicaFleet* fleet) const;
+
+  bool has_fleet_health() const { return !health_.empty(); }
+  const std::vector<ReplicaHealth>& fleet_health() const { return health_; }
+
+ private:
+  struct ServiceSketch {
+    P2Quantile p50{0.5};
+    P2Quantile p90{0.9};
+    P2Quantile p95{0.95};
+    P2Quantile p99{0.99};
+    size_t count = 0;
+
+    void Add(double v) {
+      p50.Add(v);
+      p90.Add(v);
+      p95.Add(v);
+      p99.Add(v);
+      ++count;
+    }
+    double At(double q) const;
+  };
+  struct CostEwma {
+    bool seeded = false;
+    double value = 0.0;
+  };
+
+  // Ring of the most recent service latencies of one slot, backing the
+  // exact windowed quantile the hedge trigger reads.
+  struct HedgeWindow {
+    std::vector<double> samples;  // Ring storage, <= kTelemetryHedgeWindow.
+    size_t next = 0;              // Ring cursor.
+    size_t count = 0;             // Total observations ever.
+
+    void Add(double v);
+    double ExactQuantile(double q) const;
+  };
+
+  static uint64_t SlotKey(PredicateId i, size_t r) {
+    return (static_cast<uint64_t>(i) << 32) | static_cast<uint64_t>(r);
+  }
+
+  bool enabled_ = true;
+  size_t queries_observed_ = 0;
+  std::unordered_map<uint64_t, ServiceSketch> service_;     // (i, r)
+  std::unordered_map<uint64_t, HedgeWindow> hedge_window_;  // (i, r)
+  std::unordered_map<uint32_t, ServiceSketch> completion_;  // i
+  std::unordered_map<uint64_t, CostEwma> cost_;  // (i, 0=sorted / 1=random)
+  std::unordered_map<uint32_t, ServiceSketch> prediction_error_;  // i
+  std::vector<ReplicaHealth> health_;
+};
+
+// The hot-path guard every feeding layer uses (mirrors ShouldTrace).
+inline bool ShouldSample(const TelemetryHub* hub) {
+  return hub != nullptr && hub->enabled();
+}
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_TELEMETRY_H_

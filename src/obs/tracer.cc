@@ -34,6 +34,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "certificate";
     case TraceEventKind::kReplica:
       return "replica";
+    case TraceEventKind::kTelemetry:
+      return "telemetry";
   }
   return "unknown";
 }
@@ -78,7 +80,7 @@ void QueryTracer::RecordAccess(AccessType type, PredicateId predicate,
   e.object = object;
   e.outcome = AccessOutcome::kOk;
   e.charged = charged;
-  events_.push_back(e);
+  Emit(e);
 }
 
 void QueryTracer::RecordAttempt(AccessType type, PredicateId predicate,
@@ -95,7 +97,7 @@ void QueryTracer::RecordAttempt(AccessType type, PredicateId predicate,
   e.object = object;
   e.outcome = outcome;
   e.charged = charged;
-  events_.push_back(e);
+  Emit(e);
 }
 
 void QueryTracer::RecordIteration(ObjectId target, uint32_t choice_width,
@@ -111,7 +113,7 @@ void QueryTracer::RecordIteration(ObjectId target, uint32_t choice_width,
   e.threshold = threshold;
   e.kth_bound = kth_bound;
   e.heap_size = heap_size;
-  events_.push_back(e);
+  Emit(e);
 }
 
 void QueryTracer::BeginPhase(const char* phase) {
@@ -121,7 +123,7 @@ void QueryTracer::BeginPhase(const char* phase) {
   e.kind = TraceEventKind::kPhaseBegin;
   e.wall_us = Now();
   e.phase = phase;
-  events_.push_back(e);
+  Emit(e);
 }
 
 void QueryTracer::EndPhase(const char* phase) {
@@ -131,7 +133,7 @@ void QueryTracer::EndPhase(const char* phase) {
   e.kind = TraceEventKind::kPhaseEnd;
   e.wall_us = Now();
   e.phase = phase;
-  events_.push_back(e);
+  Emit(e);
 }
 
 void QueryTracer::RecordCertificate(const char* reason, double epsilon,
@@ -146,7 +148,7 @@ void QueryTracer::RecordCertificate(const char* reason, double epsilon,
   e.phase = reason;
   e.epsilon = epsilon;
   e.threshold = excluded_ceiling;
-  events_.push_back(e);
+  Emit(e);
 }
 
 void QueryTracer::RecordReplicaEvent(const char* what, PredicateId predicate,
@@ -162,12 +164,47 @@ void QueryTracer::RecordReplicaEvent(const char* what, PredicateId predicate,
   e.phase = what;
   e.replica = from;
   e.replica_to = to;
+  Emit(e);
+}
+
+void QueryTracer::RecordTelemetry(const char* what, PredicateId predicate,
+                                  double predicted, double actual,
+                                  double cost_clock) {
+  if (!enabled_) return;
+  NC_CHECK(what != nullptr);
+  TraceEvent e;
+  e.kind = TraceEventKind::kTelemetry;
+  e.wall_us = Now();
+  e.cost_clock = cost_clock;
+  e.predicate = predicate;
+  e.phase = what;
+  e.predicted = predicted;
+  e.actual = actual;
+  Emit(e);
+}
+
+void QueryTracer::Emit(const TraceEvent& e) {
   events_.push_back(e);
+  if (stream_ != nullptr) {
+    // One complete line per event, flushed: a kill mid-query truncates
+    // at a line boundary at worst.
+    WriteJsonlEvent(e, stream_);
+    (*stream_) << '\n';
+    stream_->flush();
+  }
 }
 
 void QueryTracer::ExportJsonl(std::ostream* out) const {
   NC_CHECK(out != nullptr);
   for (const TraceEvent& e : events_) {
+    WriteJsonlEvent(e, out);
+    (*out) << '\n';
+  }
+}
+
+void QueryTracer::WriteJsonlEvent(const TraceEvent& e,
+                                  std::ostream* out) const {
+  {
     JsonWriter w(out);
     w.BeginObject();
     w.Key("kind").String(TraceEventKindName(e.kind));
@@ -216,9 +253,15 @@ void QueryTracer::ExportJsonl(std::ostream* out) const {
         w.Key("replica").UInt(e.replica);
         w.Key("replica_to").UInt(e.replica_to);
         break;
+      case TraceEventKind::kTelemetry:
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.Key("what").String(e.phase);
+        w.Key("predicate").UInt(e.predicate);
+        w.Key("predicted").Number(e.predicted);
+        w.Key("actual").Number(e.actual);
+        break;
     }
     w.EndObject();
-    (*out) << '\n';
   }
 }
 
@@ -298,6 +341,17 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         w.Key("predicate").UInt(e.predicate);
         w.Key("replica").UInt(e.replica);
         w.Key("replica_to").UInt(e.replica_to);
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.EndObject();
+        w.EndObject();
+        break;
+      case TraceEventKind::kTelemetry:
+        common(e, e.phase, "i");
+        w.Key("s").String("t");
+        w.Key("args").BeginObject();
+        w.Key("predicate").UInt(e.predicate);
+        w.Key("predicted").Number(e.predicted);
+        w.Key("actual").Number(e.actual);
         w.Key("cost_clock").Number(e.cost_clock);
         w.EndObject();
         w.EndObject();

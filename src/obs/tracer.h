@@ -54,6 +54,7 @@ enum class TraceEventKind {
   kPhaseEnd,
   kCertificate,    // An early-terminated run emitted a certified answer.
   kReplica,        // A replica-fleet event: failover, hedge, death, ...
+  kTelemetry,      // A cross-query telemetry datum: cost-audit rows, ...
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -111,6 +112,12 @@ struct TraceEvent {
   // "replica_down", "replica_restored") rides in `phase`.
   uint32_t replica = 0;
   uint32_t replica_to = 0;
+
+  // kTelemetry: a predicted-vs-actual pair (the cost audit's rows); the
+  // datum name ("cost_audit" per predicate, "cost_audit_total") rides in
+  // `phase`, the subject predicate in `predicate`.
+  double predicted = 0.0;
+  double actual = 0.0;
 };
 
 class QueryTracer {
@@ -150,6 +157,19 @@ class QueryTracer {
   // a single replica (deaths, restores).
   void RecordReplicaEvent(const char* what, PredicateId predicate,
                           uint32_t from, uint32_t to, double cost_clock);
+  // A cross-query telemetry datum: `what` must be a literal (e.g.
+  // "cost_audit"); predicted/actual are the audited pair.
+  void RecordTelemetry(const char* what, PredicateId predicate,
+                       double predicted, double actual, double cost_clock);
+
+  // --- Streaming sink --------------------------------------------------
+  // Mirrors every subsequently recorded event to *out immediately as one
+  // JSONL line, flushed per event, so abnormal termination (a kill or
+  // crash mid-query, an unwound exception) still leaves every event up
+  // to the failure point readable on disk. nullptr detaches; the
+  // buffering exporters below are unaffected. The stream must outlive
+  // the tracer (or be detached first).
+  void set_streaming_jsonl(std::ostream* out) { stream_ = out; }
 
   // --- Exporters -------------------------------------------------------
   // One JSON object per event per line.
@@ -163,10 +183,16 @@ class QueryTracer {
 
  private:
   uint64_t Now() const;
+  // Buffers the event and, with a streaming sink attached, writes and
+  // flushes its JSONL line immediately.
+  void Emit(const TraceEvent& e);
+  // Serializes one event as a single JSONL object (no newline).
+  void WriteJsonlEvent(const TraceEvent& e, std::ostream* out) const;
 
   bool enabled_ = true;
   std::vector<TraceEvent> events_;
   std::function<uint64_t()> clock_;
+  std::ostream* stream_ = nullptr;
   // Monotonic anchor for the default clock.
   uint64_t epoch_ns_ = 0;
 };

@@ -91,13 +91,21 @@ struct ReplicaEndpoint {
 };
 
 // Hedged sorted access: when the routed replica's drawn request latency
-// exceeds `delay`, the same request is issued to the next healthy
-// replica and the earlier completion wins. Both requests are billed.
+// exceeds the hedge trigger, the same request is issued to the next
+// healthy replica and the earlier completion wins. Both requests are
+// billed. The trigger is either the fixed `delay`, or - with `adaptive`
+// set and a TelemetryHub attached to the SourceSet - the routed
+// replica's observed service-latency p90 over a recent sliding window
+// (obs/telemetry.h), falling back to `delay` while the hub is cold or
+// detached.
 struct HedgePolicy {
-  // Cost units after which the hedge fires; 0 disables hedging.
+  // Cost units after which the hedge fires; 0 disables hedging (and,
+  // under `adaptive`, leaves hedging off until the hub warms up).
   double delay = 0.0;
+  // Read the trigger from the session's telemetry instead of `delay`.
+  bool adaptive = false;
 
-  bool enabled() const { return delay > 0.0; }
+  bool enabled() const { return adaptive || delay > 0.0; }
 
   Status Validate() const;
 };

@@ -18,6 +18,8 @@
 #include "core/reference.h"
 #include "core/srg_policy.h"
 #include "data/generator.h"
+#include "obs/telemetry.h"
+#include "replica/replica.h"
 #include "scoring/scoring_function.h"
 
 namespace nc {
@@ -246,6 +248,98 @@ TEST(CheckpointTest, ResumeRejectsMismatchedConfiguration) {
   NCEngine engine2(&sources2, &avg, &policy, options);
   EXPECT_EQ(engine2.Resume(stale, &out).code(),
             StatusCode::kInvalidArgument);
+}
+
+// Checkpoints deliberately EXCLUDE TelemetryHub state: the hub is
+// session-scoped, so a resumed query re-warms fleet health from the
+// LIVE session's hub instead of a stale snapshot. This proves the
+// round trip is clean: a fleet run that starts warm (the hub knows a
+// replica is dead), is killed mid-query, and resumes on a fresh fleet
+// with the same hub attached replays the uninterrupted run exactly -
+// and the dead replica never serves an access anywhere.
+TEST(CheckpointTest, ResumeReWarmsFleetHealthFromLiveHub) {
+  const Dataset data = MakeData(38, 80, 2);
+  AverageFunction avg(2);
+
+  // The session's hub learned (in some earlier query) that predicate
+  // 0's primary is dead.
+  obs::TelemetryHub hub;
+  {
+    ReplicaFleet seed_fleet(41);
+    ReplicaSetConfig config;
+    config.replicas.resize(2);
+    ASSERT_TRUE(seed_fleet.Configure(0, config).ok());
+    ASSERT_TRUE(seed_fleet.Configure(1, config).ok());
+    seed_fleet.runtime(0, 0).dead = true;
+    hub.CaptureFleetHealth(seed_fleet, /*now=*/0.0);
+  }
+
+  struct FleetOutcome {
+    TopKResult result;
+    double cost = 0.0;
+    std::string trace;
+    std::optional<EngineCheckpoint> checkpoint;
+  };
+  const auto run = [&](size_t kill) {
+    FleetOutcome outcome;
+    ReplicaFleet fleet(41);
+    ReplicaSetConfig config;
+    config.replicas.resize(2);
+    EXPECT_TRUE(fleet.Configure(0, config).ok());
+    EXPECT_TRUE(fleet.Configure(1, config).ok());
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+    EXPECT_TRUE(sources.set_replica_fleet(&fleet).ok());
+    sources.set_telemetry_hub(&hub);  // Warms: replica (0, 0) is dead.
+    sources.EnableTrace();
+    EXPECT_TRUE(fleet.runtime(0, 0).dead);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 4;
+    NCEngine* engine_ptr = nullptr;
+    if (kill != 0) {
+      options.access_callback = [&outcome, &engine_ptr, kill](size_t count) {
+        if (count == kill) outcome.checkpoint = engine_ptr->Checkpoint();
+      };
+    }
+    NCEngine engine(&sources, &avg, &policy, options);
+    engine_ptr = &engine;
+    EXPECT_TRUE(engine.Run(&outcome.result).ok());
+    EXPECT_EQ(fleet.runtime(0, 0).served, 0u);
+    outcome.cost = sources.accrued_cost();
+    outcome.trace = SerializeAttemptTrace(sources.attempt_trace());
+    return outcome;
+  };
+
+  const FleetOutcome expected = run(/*kill=*/0);
+  EXPECT_EQ(expected.result, BruteForceTopK(data, avg, 4));
+
+  const FleetOutcome killed = run(/*kill=*/5);
+  ASSERT_TRUE(killed.checkpoint.has_value());
+
+  // Resume on a FRESH fleet: only the live hub knows about the death
+  // until the checkpoint's fleet section lands on top of the warm state.
+  ReplicaFleet fleet(41);
+  ReplicaSetConfig config;
+  config.replicas.resize(2);
+  ASSERT_TRUE(fleet.Configure(0, config).ok());
+  ASSERT_TRUE(fleet.Configure(1, config).ok());
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(sources.set_replica_fleet(&fleet).ok());
+  sources.set_telemetry_hub(&hub);
+  sources.EnableTrace();
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 4;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult resumed;
+  ASSERT_TRUE(engine.Resume(*killed.checkpoint, &resumed).ok());
+
+  EXPECT_EQ(resumed, expected.result);
+  EXPECT_DOUBLE_EQ(sources.accrued_cost(), expected.cost);
+  EXPECT_EQ(SerializeAttemptTrace(sources.attempt_trace()), expected.trace);
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  EXPECT_EQ(fleet.runtime(0, 0).served, 0u);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include "core/srg_policy.h"
 #include "core/tg.h"
 #include "data/generator.h"
+#include "obs/telemetry.h"
+#include "replica/replica.h"
 
 namespace nc {
 namespace {
@@ -255,6 +257,68 @@ TEST(DifferentialEdgeTest, SingleObject) {
   TopKResult result;
   ASSERT_TRUE(RunNC(&sources, &fmin, &policy, options, &result).ok());
   EXPECT_EQ(result, oracle);
+}
+
+// The TelemetryHub is observational: on a fault-free run the top-k
+// answer, the Eq. 1 meters, and the access counts are bit-identical with
+// the hub attached or detached. (Only HedgePolicy::adaptive may spend
+// cost differently - and even then the ANSWER must not move.)
+TEST(DifferentialEdgeTest, TelemetryHubDoesNotPerturbResults) {
+  GeneratorOptions g;
+  g.num_objects = 400;
+  g.num_predicates = 3;
+  g.seed = 77;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction avg(3);
+  const CostModel cost = CostModel::Uniform(3, 1.0, 1.0);
+
+  ReplicaSetConfig config;
+  config.replicas.resize(2);
+  for (ReplicaEndpoint& e : config.replicas) {
+    e.latency.multiplier = 1.0;
+    e.latency.jitter = 0.5;
+    e.latency.tail_probability = 0.05;
+    e.latency.tail_multiplier = 10.0;
+  }
+  config.hedge.delay = 1.5;
+
+  auto run = [&](obs::TelemetryHub* hub, TopKResult* result, double* cost_out,
+                 size_t* accesses) {
+    ReplicaFleet fleet(123);
+    for (PredicateId i = 0; i < 3; ++i) {
+      ASSERT_TRUE(fleet.Configure(i, config).ok());
+    }
+    SourceSet sources(&data, cost);
+    ASSERT_TRUE(sources.set_replica_fleet(&fleet).ok());
+    if (hub != nullptr) sources.set_telemetry_hub(hub);
+    SRGPolicy policy(SRGConfig::Default(3));
+    EngineOptions options;
+    options.k = 6;
+    ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, result).ok());
+    *cost_out = sources.accrued_cost();
+    *accesses = sources.stats().TotalSorted() + sources.stats().TotalRandom();
+  };
+
+  TopKResult without_hub, with_hub;
+  double cost_without = 0.0, cost_with = 0.0;
+  size_t acc_without = 0, acc_with = 0;
+  obs::TelemetryHub hub;
+  run(nullptr, &without_hub, &cost_without, &acc_without);
+  run(&hub, &with_hub, &cost_with, &acc_with);
+
+  EXPECT_EQ(with_hub, without_hub);
+  EXPECT_DOUBLE_EQ(cost_with, cost_without);
+  EXPECT_EQ(acc_with, acc_without);
+  EXPECT_GT(hub.replica_service_count(0, 0), 0u);  // It really sampled.
+
+  // Adaptive hedging reads the hub and may re-time hedges (different
+  // cost), but the answer still matches the oracle exactly.
+  config.hedge.adaptive = true;
+  TopKResult adaptive;
+  double adaptive_cost = 0.0;
+  size_t adaptive_acc = 0;
+  run(&hub, &adaptive, &adaptive_cost, &adaptive_acc);
+  EXPECT_EQ(adaptive, BruteForceTopK(data, avg, 6));
 }
 
 }  // namespace

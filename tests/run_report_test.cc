@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "access/fault.h"
@@ -177,6 +179,116 @@ TEST(RunReportTest, RecordedMetricsSumToEngineTotalCost) {
             std::string::npos);
   EXPECT_NE(os.str().find("nc_engine_choice_width_bucket"),
             std::string::npos);
+}
+
+// --- Predicted-vs-actual cost audit --------------------------------------
+
+TEST(RunReportTest, CostAuditDiffsPredictionAgainstMeteredRun) {
+  const Dataset data = MakeData(500, 2, 27);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 2.0));
+  RunQuery(&sources, data, 4);
+
+  CostPrediction prediction;
+  prediction.valid = true;
+  prediction.sorted_accesses = {10.0, 12.0};
+  prediction.random_accesses = {3.0, 0.0};
+  prediction.cost = {16.0, 12.0};
+  prediction.total_cost = 28.0;
+
+  const CostAudit audit = BuildCostAudit(prediction, sources);
+  ASSERT_TRUE(audit.valid);
+  ASSERT_EQ(audit.predicates.size(), 2u);
+  EXPECT_DOUBLE_EQ(audit.predicted_total, 28.0);
+  EXPECT_DOUBLE_EQ(audit.actual_total, sources.accrued_cost());
+  EXPECT_DOUBLE_EQ(audit.total_error, audit.actual_total - 28.0);
+  EXPECT_DOUBLE_EQ(audit.total_relative_error,
+                   std::abs(audit.total_error) /
+                       std::max(audit.actual_total, audit.predicted_total));
+  for (PredicateId i = 0; i < 2; ++i) {
+    const PredicateAudit& row = audit.predicates[i];
+    EXPECT_EQ(row.name, data.predicate_name(i));
+    EXPECT_DOUBLE_EQ(row.predicted_sorted, prediction.sorted_accesses[i]);
+    EXPECT_DOUBLE_EQ(row.actual_sorted,
+                     static_cast<double>(sources.stats().sorted_count[i]));
+    EXPECT_DOUBLE_EQ(row.actual_random,
+                     static_cast<double>(sources.stats().random_count[i]));
+    EXPECT_DOUBLE_EQ(row.actual_cost,
+                     sources.stats().sorted_cost_accrued[i] +
+                         sources.stats().random_cost_accrued[i]);
+    EXPECT_DOUBLE_EQ(row.cost_error, row.actual_cost - row.predicted_cost);
+    EXPECT_GE(row.cost_relative_error, 0.0);
+    EXPECT_LE(row.cost_relative_error, 1.0);
+  }
+}
+
+TEST(RunReportTest, CostAuditRejectsInvalidOrMismatchedPredictions) {
+  const Dataset data = MakeData(300, 2, 28);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 2.0));
+  RunQuery(&sources, data, 3);
+
+  CostPrediction invalid;  // Never filled by a planner.
+  EXPECT_FALSE(BuildCostAudit(invalid, sources).valid);
+
+  CostPrediction mismatched;
+  mismatched.valid = true;
+  mismatched.cost = {1.0, 2.0, 3.0};  // Three predicates, sources has two.
+  mismatched.sorted_accesses = {1.0, 2.0, 3.0};
+  mismatched.random_accesses = {0.0, 0.0, 0.0};
+  EXPECT_FALSE(BuildCostAudit(mismatched, sources).valid);
+
+  // And BuildRunReport without a prediction leaves the audit invalid.
+  const RunReport report = BuildRunReport(sources, nullptr, "NC", 3);
+  EXPECT_FALSE(report.cost_audit.valid);
+}
+
+TEST(RunReportTest, CostAuditRendersInTextAndJson) {
+  const Dataset data = MakeData(300, 2, 29);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 2.0));
+  RunQuery(&sources, data, 3);
+
+  CostPrediction prediction;
+  prediction.valid = true;
+  prediction.sorted_accesses = {8.0, 8.0};
+  prediction.random_accesses = {2.0, 2.0};
+  prediction.cost = {12.0, 12.0};
+  prediction.total_cost = 24.0;
+
+  const RunReport report =
+      BuildRunReport(sources, nullptr, "NC", 3, &prediction);
+  ASSERT_TRUE(report.cost_audit.valid);
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("cost audit:"), std::string::npos);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"cost_audit\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"predicted_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"total_relative_error\":"), std::string::npos);
+}
+
+TEST(RunReportTest, CostAuditMetricsLandInRegistry) {
+  const Dataset data = MakeData(300, 2, 30);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 2.0));
+  RunQuery(&sources, data, 3);
+
+  CostPrediction prediction;
+  prediction.valid = true;
+  prediction.sorted_accesses = {8.0, 8.0};
+  prediction.random_accesses = {2.0, 2.0};
+  prediction.cost = {12.0, 12.0};
+  prediction.total_cost = 24.0;
+  const CostAudit audit = BuildCostAudit(prediction, sources);
+  ASSERT_TRUE(audit.valid);
+
+  MetricsRegistry registry;
+  RecordCostAuditMetrics(&registry, "NC", audit);
+  EXPECT_DOUBLE_EQ(
+      registry.CounterSum("nc_cost_predicted_total", {{"algorithm", "NC"}}),
+      audit.predicted_total);
+  EXPECT_DOUBLE_EQ(
+      registry.CounterSum("nc_cost_actual_total", {{"algorithm", "NC"}}),
+      audit.actual_total);
+  std::ostringstream os;
+  registry.WritePrometheusText(&os);
+  EXPECT_NE(os.str().find("nc_cost_audit_relative_error"), std::string::npos);
 }
 
 }  // namespace

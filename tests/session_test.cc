@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "access/budget.h"
 #include "access/fault.h"
 #include "core/reference.h"
 #include "data/generator.h"
+#include "replica/replica.h"
 
 namespace nc {
 namespace {
@@ -197,6 +200,128 @@ TEST(SessionTest, PlanningErrorLeavesOutcomeUntouched) {
   // The error happened before any access was issued: no query was
   // answered, so the disposition is still "none".
   EXPECT_EQ(session.last_query_outcome(), QueryOutcome::kNone);
+}
+
+// --- Cross-query telemetry -----------------------------------------------
+
+TEST(SessionTelemetryTest, HubStateSurvivesSourceReset) {
+  const Dataset data = MakeData(11);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  const TopKResult expected = BruteForceTopK(data, avg, 5);
+
+  ReplicaFleet fleet(31);
+  for (PredicateId i = 0; i < 2; ++i) {
+    ReplicaSetConfig config;
+    config.replicas.resize(2);
+    ASSERT_TRUE(fleet.Configure(i, config).ok());
+  }
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(sources.set_replica_fleet(&fleet).ok());
+
+  TopKResult result;
+  ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+  EXPECT_EQ(result, expected);
+  const size_t after_first = session.hub().replica_service_count(0, 0);
+  EXPECT_GT(after_first, 0u);
+  EXPECT_EQ(session.hub().queries_observed(), 1u);
+
+  // Reset() rewinds every per-query meter; the hub's sketches and the
+  // access-cost EWMA deliberately survive and keep accumulating.
+  for (int round = 2; round <= 4; ++round) {
+    sources.Reset();
+    EXPECT_EQ(sources.accrued_cost(), 0.0);
+    ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+    EXPECT_EQ(result, expected);
+  }
+  EXPECT_EQ(session.hub().queries_observed(), 4u);
+  EXPECT_EQ(session.hub().replica_service_count(0, 0), 4 * after_first);
+  EXPECT_FALSE(
+      std::isnan(session.hub().ReplicaServiceQuantile(0, 0, 0.5)));
+  EXPECT_FALSE(
+      std::isnan(session.hub().AccessCostEwma(0, AccessType::kSorted)));
+}
+
+TEST(SessionTelemetryTest, RoutesAroundReplicaKilledInEarlierQuery) {
+  const Dataset data = MakeData(12);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  const TopKResult expected = BruteForceTopK(data, avg, 5);
+
+  ReplicaFleet fleet(33);
+  for (PredicateId i = 0; i < 2; ++i) {
+    ReplicaSetConfig config;
+    config.replicas.resize(2);
+    ASSERT_TRUE(fleet.Configure(i, config).ok());
+  }
+  // Predicate 0's primary dies on its very first attempt of query 1.
+  fleet.ScriptFaults(0, 0, {FaultKind::kSourceDown});
+
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  ASSERT_TRUE(sources.set_replica_fleet(&fleet).ok());
+
+  // Query 1 discovers the death the hard way: one failover.
+  TopKResult result;
+  ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+  EXPECT_EQ(result, expected);
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  EXPECT_GE(sources.stats().replica_failovers, 1u);
+
+  // Queries 2..4: Reset() wipes the fleet's runtime, but the hub's
+  // captured health re-marks the replica dead, so routing never sends it
+  // another access and never pays the failover again. (Without the hub,
+  // the rewound injector script would replay the death every query.)
+  for (int round = 2; round <= 4; ++round) {
+    sources.Reset();
+    ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+    EXPECT_EQ(result, expected);
+    EXPECT_TRUE(fleet.runtime(0, 0).dead);
+    EXPECT_EQ(fleet.runtime(0, 0).served, 0u);
+    EXPECT_EQ(fleet.runtime(0, 0).failovers, 0u);
+    EXPECT_EQ(sources.stats().replica_failovers, 0u);
+    EXPECT_GT(fleet.runtime(0, 1).served, 0u);
+  }
+  ASSERT_TRUE(session.hub().has_fleet_health());
+  bool found = false;
+  for (const obs::ReplicaHealth& h : session.hub().fleet_health()) {
+    if (h.predicate == 0 && h.replica == 0) {
+      EXPECT_TRUE(h.dead);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SessionTelemetryTest, CostAuditExposedPerQuery) {
+  const Dataset data = MakeData(13);
+  AverageFunction avg(2);
+  QuerySession session(&avg, SmallPlanner());
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 2.0));
+  TopKResult result;
+  ASSERT_TRUE(session.Query(&sources, 5, &result).ok());
+
+  const obs::CostAudit& audit = session.last_cost_audit();
+  ASSERT_TRUE(audit.valid);
+  ASSERT_EQ(audit.predicates.size(), 2u);
+  EXPECT_GT(audit.predicted_total, 0.0);
+  EXPECT_DOUBLE_EQ(audit.actual_total, sources.accrued_cost());
+  EXPECT_GE(audit.total_relative_error, 0.0);
+  EXPECT_LE(audit.total_relative_error, 1.0);
+  double actual_sum = 0.0;
+  for (const obs::PredicateAudit& row : audit.predicates) {
+    EXPECT_GE(row.cost_relative_error, 0.0);
+    EXPECT_LE(row.cost_relative_error, 1.0);
+    actual_sum += row.actual_cost;
+  }
+  EXPECT_DOUBLE_EQ(actual_sum, audit.actual_total);
+
+  // Each audited query feeds one prediction-error observation per
+  // predicate into the hub's drift sketch.
+  EXPECT_EQ(session.hub().prediction_error_count(0), 1u);
+  SourceSet again(&data, CostModel::Uniform(2, 1.0, 2.0));
+  ASSERT_TRUE(session.Query(&again, 5, &result).ok());
+  EXPECT_EQ(session.hub().prediction_error_count(0), 2u);
+  EXPECT_FALSE(std::isnan(session.hub().PredictionErrorQuantile(0, 0.5)));
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace nc {
 namespace {
@@ -65,6 +68,78 @@ TEST(StatsTest, RunningStatMatchesBatch) {
   EXPECT_NEAR(rs.variance(), Variance(values), 1e-12);
   EXPECT_DOUBLE_EQ(rs.min(), 1.0);
   EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(P2QuantileTest, EmptyIsNaN) {
+  P2Quantile p95(0.95);
+  EXPECT_EQ(p95.count(), 0u);
+  EXPECT_TRUE(std::isnan(p95.value()));
+}
+
+TEST(P2QuantileTest, SmallSamplesAreExact) {
+  // Below six observations the estimator still holds the sorted sample,
+  // so it must agree with the exact Percentile bit-for-bit.
+  const std::vector<double> stream{7.0, 3.0, 9.0, 1.0, 5.0};
+  for (double q : {0.25, 0.5, 0.95}) {
+    P2Quantile est(q);
+    std::vector<double> seen;
+    for (double v : stream) {
+      est.Add(v);
+      seen.push_back(v);
+      EXPECT_DOUBLE_EQ(est.value(), Percentile(seen, q))
+          << "q=" << q << " n=" << seen.size();
+    }
+  }
+}
+
+TEST(P2QuantileTest, MonotoneStreamMedian) {
+  P2Quantile median(0.5);
+  for (int i = 1; i <= 1001; ++i) median.Add(static_cast<double>(i));
+  // The true median of 1..1001 is 501; P2 on a monotone stream stays
+  // within a few ranks of it.
+  EXPECT_NEAR(median.value(), 501.0, 5.0);
+}
+
+// Property: on random streams the P2 estimate lies within the exact rank
+// band [Percentile(q - 0.05), Percentile(q + 0.05)] of the same stream -
+// the documented +-5-percentile-point tolerance. Exercised across three
+// shapes (uniform, exponential-like heavy tail, bimodal), three quantiles,
+// and several seeds.
+TEST(P2QuantileTest, TracksExactPercentileOnRandomStreams) {
+  const size_t kN = 2000;
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    for (int shape = 0; shape < 3; ++shape) {
+      Rng rng(seed * 100 + static_cast<uint64_t>(shape));
+      std::vector<double> stream;
+      stream.reserve(kN);
+      for (size_t i = 0; i < kN; ++i) {
+        const double u = rng.Uniform01();
+        double v;
+        switch (shape) {
+          case 0:  // uniform [0, 1)
+            v = u;
+            break;
+          case 1:  // heavy tail (inverse-CDF exponential)
+            v = -std::log(1.0 - u * 0.999);
+            break;
+          default:  // bimodal: two well-separated uniform lobes
+            v = u < 0.5 ? u : 10.0 + u;
+            break;
+        }
+        stream.push_back(v);
+      }
+      for (double q : {0.5, 0.95, 0.99}) {
+        P2Quantile est(q);
+        for (double v : stream) est.Add(v);
+        const double lo = Percentile(stream, std::max(0.0, q - 0.05));
+        const double hi = Percentile(stream, std::min(1.0, q + 0.05));
+        EXPECT_GE(est.value(), lo)
+            << "seed=" << seed << " shape=" << shape << " q=" << q;
+        EXPECT_LE(est.value(), hi)
+            << "seed=" << seed << " shape=" << shape << " q=" << q;
+      }
+    }
+  }
 }
 
 TEST(StatsTest, RunningStatEmpty) {

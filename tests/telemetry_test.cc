@@ -1,0 +1,278 @@
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "replica/replica.h"
+
+namespace nc {
+namespace {
+
+using obs::ReplicaHealth;
+using obs::ShouldSample;
+using obs::TelemetryHub;
+
+// --- Feeds and streaming estimates ---------------------------------------
+
+TEST(TelemetryHubTest, ColdHubReturnsNaNEverywhere) {
+  TelemetryHub hub;
+  EXPECT_TRUE(hub.enabled());
+  EXPECT_EQ(hub.queries_observed(), 0u);
+  EXPECT_EQ(hub.replica_service_count(0, 0), 0u);
+  EXPECT_TRUE(std::isnan(hub.ReplicaServiceQuantile(0, 0, 0.5)));
+  EXPECT_TRUE(std::isnan(hub.CompletionQuantile(0, 0.99)));
+  EXPECT_TRUE(std::isnan(hub.AccessCostEwma(0, AccessType::kSorted)));
+  EXPECT_TRUE(std::isnan(hub.PredictionErrorQuantile(0, 0.5)));
+  EXPECT_TRUE(std::isnan(hub.AdaptiveHedgeDelay(0, 0)));
+  EXPECT_FALSE(hub.has_fleet_health());
+}
+
+TEST(TelemetryHubTest, ServiceSketchIsExactOnSmallSamples) {
+  TelemetryHub hub;
+  // P2 estimators are exact through their first five samples, so small
+  // feeds give crisp expectations.
+  for (const double v : {3.0, 1.0, 5.0, 2.0, 4.0}) {
+    hub.ObserveReplicaService(/*i=*/1, /*r=*/2, v);
+  }
+  EXPECT_EQ(hub.replica_service_count(1, 2), 5u);
+  EXPECT_DOUBLE_EQ(hub.ReplicaServiceQuantile(1, 2, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(hub.ReplicaServiceQuantile(1, 2, 0.99),
+                   Percentile({1, 2, 3, 4, 5}, 0.99));
+  // Other slots are untouched.
+  EXPECT_EQ(hub.replica_service_count(1, 0), 0u);
+  EXPECT_TRUE(std::isnan(hub.ReplicaServiceQuantile(2, 2, 0.5)));
+}
+
+TEST(TelemetryHubTest, SketchesTrackExactQuantilesOnLongStreams) {
+  TelemetryHub hub;
+  Rng rng(404);
+  std::vector<double> stream;
+  for (int n = 0; n < 2000; ++n) {
+    const double v = rng.Uniform01() * 10.0;
+    stream.push_back(v);
+    hub.ObserveReplicaService(0, 0, v);
+    hub.ObserveCompletion(0, v);
+  }
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    // Bound the streamed estimate by the exact quantile's +-5 percentile
+    // rank band, the same contract stats_test.cc proves for P2Quantile.
+    const double lo = Percentile(stream, std::max(0.0, q - 0.05));
+    const double hi = Percentile(stream, std::min(1.0, q + 0.05));
+    const double service = hub.ReplicaServiceQuantile(0, 0, q);
+    EXPECT_GE(service, lo) << "q=" << q;
+    EXPECT_LE(service, hi) << "q=" << q;
+    const double completion = hub.CompletionQuantile(0, q);
+    EXPECT_GE(completion, lo) << "q=" << q;
+    EXPECT_LE(completion, hi) << "q=" << q;
+  }
+}
+
+TEST(TelemetryHubTest, AccessCostEwmaSeedsThenSmoothes) {
+  TelemetryHub hub;
+  hub.ObserveAccessCost(0, AccessType::kSorted, 10.0);
+  EXPECT_DOUBLE_EQ(hub.AccessCostEwma(0, AccessType::kSorted), 10.0);
+  hub.ObserveAccessCost(0, AccessType::kSorted, 20.0);
+  EXPECT_DOUBLE_EQ(hub.AccessCostEwma(0, AccessType::kSorted),
+                   10.0 + obs::kTelemetryCostEwmaAlpha * 10.0);
+  // Sorted and random series are independent.
+  EXPECT_TRUE(std::isnan(hub.AccessCostEwma(0, AccessType::kRandom)));
+  hub.ObserveAccessCost(0, AccessType::kRandom, 3.0);
+  EXPECT_DOUBLE_EQ(hub.AccessCostEwma(0, AccessType::kRandom), 3.0);
+}
+
+TEST(TelemetryHubTest, PredictionErrorSketchAccumulates) {
+  TelemetryHub hub;
+  hub.ObservePredictionError(0, 0.1);
+  hub.ObservePredictionError(0, 0.3);
+  hub.ObservePredictionError(0, 0.2);
+  EXPECT_EQ(hub.prediction_error_count(0), 3u);
+  EXPECT_DOUBLE_EQ(hub.PredictionErrorQuantile(0, 0.5), 0.2);
+  EXPECT_EQ(hub.prediction_error_count(1), 0u);
+}
+
+// --- The adaptive hedge trigger ------------------------------------------
+
+TEST(TelemetryHubTest, AdaptiveHedgeDelayNeedsMinSamples) {
+  TelemetryHub hub;
+  for (size_t n = 0; n + 1 < obs::kTelemetryMinSamples; ++n) {
+    hub.ObserveReplicaService(0, 0, 1.0);
+    EXPECT_TRUE(std::isnan(hub.AdaptiveHedgeDelay(0, 0)));
+  }
+  hub.ObserveReplicaService(0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(hub.AdaptiveHedgeDelay(0, 0), 1.0);
+}
+
+TEST(TelemetryHubTest, AdaptiveHedgeDelayIsWindowedExactP90) {
+  TelemetryHub hub;
+  // Fill the ring with a known mixture: 90 ones and 10 twenties would
+  // exceed the window, so use the window size itself.
+  std::vector<double> window;
+  Rng rng(7);
+  for (size_t n = 0; n < obs::kTelemetryHedgeWindow; ++n) {
+    const double v = 1.0 + rng.Uniform01();
+    window.push_back(v);
+    hub.ObserveReplicaService(0, 0, v);
+  }
+  EXPECT_DOUBLE_EQ(hub.AdaptiveHedgeDelay(0, 0), Percentile(window, 0.9));
+
+  // The window slides: after a full window of slower samples, the old
+  // regime is forgotten and the trigger tracks the new one - the
+  // property a whole-stream P2 marker cannot offer.
+  std::vector<double> slower;
+  for (size_t n = 0; n < obs::kTelemetryHedgeWindow; ++n) {
+    const double v = 5.0 + rng.Uniform01();
+    slower.push_back(v);
+    hub.ObserveReplicaService(0, 0, v);
+  }
+  EXPECT_DOUBLE_EQ(hub.AdaptiveHedgeDelay(0, 0), Percentile(slower, 0.9));
+  EXPECT_GE(hub.AdaptiveHedgeDelay(0, 0), 5.0);
+}
+
+TEST(TelemetryHubTest, AdaptiveHedgeDelaySitsInTheBulkUnderStragglers) {
+  // The design point from the header comment: with a ~5% straggler tail
+  // the trigger must land just above the latency bulk, never inside the
+  // bulk/tail gap.
+  TelemetryHub hub;
+  Rng rng(11);
+  for (int n = 0; n < 400; ++n) {
+    const double bulk = 1.0 + 0.3 * rng.Uniform01();
+    const double v = rng.Uniform01() < 0.05 ? bulk * 20.0 : bulk;
+    hub.ObserveReplicaService(0, 0, v);
+  }
+  const double trigger = hub.AdaptiveHedgeDelay(0, 0);
+  EXPECT_GE(trigger, 1.0);
+  EXPECT_LE(trigger, 1.3);
+}
+
+// --- Cross-query fleet health --------------------------------------------
+
+ReplicaFleet TwoByTwoFleet(uint64_t seed = 5) {
+  ReplicaFleet fleet(seed);
+  for (PredicateId i = 0; i < 2; ++i) {
+    ReplicaSetConfig config;
+    config.replicas.resize(2);
+    EXPECT_TRUE(fleet.Configure(i, config).ok());
+  }
+  return fleet;
+}
+
+TEST(TelemetryHubTest, CaptureAndWarmCarryHealthAcrossReset) {
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(0, 0).dead = true;
+  fleet.runtime(1, 1).breaker_open = true;
+  fleet.runtime(1, 1).breaker_open_until = 7.5;
+  fleet.runtime(1, 1).breaker_consecutive = 3;
+  fleet.runtime(0, 1).has_ewma = true;
+  fleet.runtime(0, 1).ewma_latency = 2.25;
+
+  TelemetryHub hub;
+  hub.CaptureFleetHealth(fleet, /*now=*/2.5);
+  ASSERT_TRUE(hub.has_fleet_health());
+
+  fleet.ResetRuntime();
+  ASSERT_FALSE(fleet.runtime(0, 0).dead);
+  hub.WarmFleet(&fleet);
+
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  EXPECT_TRUE(fleet.runtime(1, 1).breaker_open);
+  // Cooldowns restart as *remaining* time on the new query's zero clock.
+  EXPECT_DOUBLE_EQ(fleet.runtime(1, 1).breaker_open_until, 5.0);
+  EXPECT_EQ(fleet.runtime(1, 1).breaker_consecutive, 3u);
+  EXPECT_TRUE(fleet.runtime(0, 1).has_ewma);
+  EXPECT_DOUBLE_EQ(fleet.runtime(0, 1).ewma_latency, 2.25);
+  // Counters are per-query and deliberately NOT restored.
+  EXPECT_EQ(fleet.runtime(0, 0).served, 0u);
+
+  // Warming twice is idempotent.
+  hub.WarmFleet(&fleet);
+  EXPECT_TRUE(fleet.runtime(0, 0).dead);
+  EXPECT_DOUBLE_EQ(fleet.runtime(1, 1).breaker_open_until, 5.0);
+}
+
+TEST(TelemetryHubTest, ElapsedCooldownIsNotCarried) {
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(0, 0).breaker_open = true;
+  fleet.runtime(0, 0).breaker_open_until = 2.0;
+
+  TelemetryHub hub;
+  // Captured at now=3.0 the cooldown has already elapsed: the breaker
+  // would admit a probe immediately, so nothing is worth carrying.
+  hub.CaptureFleetHealth(fleet, /*now=*/3.0);
+  fleet.ResetRuntime();
+  hub.WarmFleet(&fleet);
+  EXPECT_FALSE(fleet.runtime(0, 0).breaker_open);
+  EXPECT_DOUBLE_EQ(fleet.runtime(0, 0).breaker_open_until, 0.0);
+}
+
+TEST(TelemetryHubTest, WarmSkipsSlotsTheFleetNoLongerHas) {
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(1, 1).dead = true;
+  TelemetryHub hub;
+  hub.CaptureFleetHealth(fleet, 0.0);
+
+  // Shrink predicate 1 to a single replica: the captured (1, 1) slot no
+  // longer exists and must be skipped, not crash or misapply.
+  ReplicaSetConfig single;
+  single.replicas.resize(1);
+  ASSERT_TRUE(fleet.Configure(1, single).ok());
+  hub.WarmFleet(&fleet);
+  EXPECT_FALSE(fleet.runtime(1, 0).dead);
+}
+
+TEST(TelemetryHubTest, DisabledHubIsInert) {
+  TelemetryHub hub;
+  hub.Disable();
+  EXPECT_FALSE(ShouldSample(&hub));
+  EXPECT_FALSE(ShouldSample(nullptr));
+
+  hub.ObserveReplicaService(0, 0, 1.0);
+  hub.ObserveCompletion(0, 1.0);
+  hub.ObserveAccessCost(0, AccessType::kSorted, 1.0);
+  hub.ObservePredictionError(0, 0.5);
+  hub.NoteQuery();
+  EXPECT_EQ(hub.replica_service_count(0, 0), 0u);
+  EXPECT_EQ(hub.queries_observed(), 0u);
+  EXPECT_TRUE(std::isnan(hub.AccessCostEwma(0, AccessType::kSorted)));
+
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(0, 0).dead = true;
+  hub.CaptureFleetHealth(fleet, 0.0);
+  EXPECT_FALSE(hub.has_fleet_health());
+
+  // Re-enabling resumes sampling without losing the (empty) slate.
+  hub.Enable();
+  hub.NoteQuery();
+  EXPECT_EQ(hub.queries_observed(), 1u);
+}
+
+TEST(TelemetryHubTest, ClearDropsAllCrossQueryState) {
+  TelemetryHub hub;
+  hub.ObserveReplicaService(0, 0, 1.0);
+  hub.ObserveCompletion(0, 1.0);
+  hub.ObserveAccessCost(0, AccessType::kRandom, 2.0);
+  hub.ObservePredictionError(0, 0.1);
+  hub.NoteQuery();
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(0, 0).dead = true;
+  hub.CaptureFleetHealth(fleet, 0.0);
+  ASSERT_TRUE(hub.has_fleet_health());
+
+  hub.Clear();
+  EXPECT_EQ(hub.queries_observed(), 0u);
+  EXPECT_EQ(hub.replica_service_count(0, 0), 0u);
+  EXPECT_TRUE(std::isnan(hub.CompletionQuantile(0, 0.5)));
+  EXPECT_TRUE(std::isnan(hub.AccessCostEwma(0, AccessType::kRandom)));
+  EXPECT_EQ(hub.prediction_error_count(0), 0u);
+  EXPECT_FALSE(hub.has_fleet_health());
+  // A cleared hub warms nothing.
+  fleet.ResetRuntime();
+  hub.WarmFleet(&fleet);
+  EXPECT_FALSE(fleet.runtime(0, 0).dead);
+}
+
+}  // namespace
+}  // namespace nc

@@ -2,7 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/srg_policy.h"
@@ -176,6 +184,70 @@ TEST(QueryTracerTest, EngineAndSourcesShareOneTimeline) {
     EXPECT_EQ(untraced.entries[i].object, traced.entries[i].object);
     EXPECT_DOUBLE_EQ(untraced.entries[i].score, traced.entries[i].score);
   }
+}
+
+// The flush guarantee: with a streaming JSONL sink attached, every event
+// recorded before an abnormal termination survives as a complete line.
+// A forked child runs a real traced query and dies with _Exit (no
+// destructors, no stdio flush) from inside the tracer's clock after 40
+// events; the parent requires a file of only complete, balanced lines.
+TEST(QueryTracerTest, StreamingJsonlSurvivesMidQueryKill) {
+  char path[] = "/tmp/nc_tracer_kill_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // --- Child: die mid-query, mid-record. ----------------------------
+    GeneratorOptions g;
+    g.num_objects = 400;
+    g.num_predicates = 2;
+    g.seed = 6;
+    const Dataset data = GenerateDataset(g);
+    MinFunction fmin(2);
+
+    std::ofstream out(path);
+    QueryTracer tracer;
+    tracer.set_streaming_jsonl(&out);
+    auto ticks = std::make_shared<uint64_t>(0);
+    tracer.set_clock_for_testing([ticks]() {
+      if (++*ticks > 40) std::_Exit(17);
+      return *ticks * 10;
+    });
+
+    SourceSet sources(&data, CostModel::Uniform(2, 1.0, 4.0));
+    sources.set_tracer(&tracer);
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 5;
+    options.tracer = &tracer;
+    TopKResult result;
+    (void)RunNC(&sources, &fmin, &policy, options, &result);
+    std::_Exit(1);  // The query must NOT have finished first.
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 17);  // Killed inside the clock.
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    // Every surviving line is one complete JSON object.
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+  }
+  // 40 clock reads = 40 recorded events, each flushed before the kill.
+  EXPECT_EQ(lines, 40u);
+  std::remove(path);
 }
 
 }  // namespace
