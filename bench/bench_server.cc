@@ -1,0 +1,155 @@
+// Server throughput: QPS and tail latency vs worker count.
+//
+//   $ ./build/bench/bench_server [--quick]
+//
+// One 10k-object workload, served by the QueryServer at 1, 2, and 4
+// workers. Each access carries a simulated network stall (web sources
+// spend their latency off-CPU), so the scaling measured here is the
+// overlap of source waiting - the thing a concurrent server exists to
+// exploit - not CPU parallelism, and it holds on small machines.
+// Emits BENCH_SERVER.json with per-worker-count QPS, p50/p99 service
+// latency, and speedup over the single-worker baseline.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "data/generator.h"
+#include "server/server.h"
+
+namespace nc {
+namespace {
+
+constexpr size_t kNumObjects = 10000;
+constexpr size_t kNumPredicates = 2;
+constexpr size_t kStallMicros = 50;
+
+struct ServerRun {
+  size_t workers = 0;
+  size_t queries = 0;
+  double total_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_accesses = 0.0;
+  size_t completed = 0;
+};
+
+class BenchStack : public server::WorkerStack {
+ public:
+  BenchStack(const Dataset* data, CostModel cost)
+      : sources_(data, std::move(cost)) {}
+  SourceSet& sources() override { return sources_; }
+
+ private:
+  SourceSet sources_;
+};
+
+ServerRun RunAtWorkerCount(const Dataset& data, const ScoringFunction& scoring,
+                           size_t workers, size_t queries) {
+  const CostModel cost = CostModel::Uniform(kNumPredicates, 1.0, 2.0);
+  server::ServerConfig config;
+  config.num_workers = workers;
+  config.queue_capacity = queries;
+  config.planner.sample_size = 100;
+  config.simulated_access_stall_us = kStallMicros;
+  server::QueryServer server(&scoring, config, [&](size_t) {
+    return std::make_unique<BenchStack>(&data, cost);
+  });
+  NC_CHECK(server.Start().ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<server::QueryResponse>> responses(queries);
+  for (size_t j = 0; j < queries; ++j) {
+    server::QueryRequest request;
+    request.k = 5 + j % 11;  // Mixed k in [5, 15].
+    NC_CHECK(server.Submit(request, &responses[j]).ok());
+  }
+  ServerRun run;
+  std::vector<double> service_micros;
+  service_micros.reserve(queries);
+  double total_accesses = 0.0;
+  for (auto& response : responses) {
+    const server::QueryResponse served = response.get();
+    NC_CHECK(served.status.ok());
+    if (served.outcome == server::ServeOutcome::kCompleted) ++run.completed;
+    service_micros.push_back(served.wall_micros);
+    total_accesses += static_cast<double>(served.accesses);
+  }
+  run.total_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  server.Shutdown(/*finish_queued=*/true);
+
+  run.workers = workers;
+  run.queries = queries;
+  run.qps = static_cast<double>(queries) / run.total_seconds;
+  run.p50_ms = Percentile(service_micros, 0.5) / 1000.0;
+  run.p99_ms = Percentile(service_micros, 0.99) / 1000.0;
+  run.mean_accesses = total_accesses / static_cast<double>(queries);
+  return run;
+}
+
+int Main(bool quick) {
+  GeneratorOptions g;
+  g.num_objects = kNumObjects;
+  g.num_predicates = kNumPredicates;
+  g.seed = 77;
+  const Dataset data = GenerateDataset(g);
+  const AverageFunction avg(kNumPredicates);
+  const size_t queries = quick ? 8 : 48;
+
+  std::printf("QueryServer throughput: %zu objects, %zu queries, %zuus "
+              "simulated stall per access%s\n",
+              kNumObjects, queries, kStallMicros, quick ? " (quick)" : "");
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "workers", "qps", "p50 ms",
+              "p99 ms", "speedup", "accesses/q");
+
+  std::vector<ServerRun> runs;
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    runs.push_back(RunAtWorkerCount(data, avg, workers, queries));
+    const ServerRun& run = runs.back();
+    NC_CHECK(run.completed == queries);
+    const double speedup = run.qps / runs.front().qps;
+    std::printf("%8zu %10.1f %10.2f %10.2f %9.2fx %12.0f\n", run.workers,
+                run.qps, run.p50_ms, run.p99_ms, speedup, run.mean_accesses);
+  }
+
+  bench::WriteBenchJsonDoc("server", "server", [&](obs::JsonWriter& w) {
+    w.Key("num_objects").Int(static_cast<int64_t>(kNumObjects));
+    w.Key("num_predicates").Int(static_cast<int64_t>(kNumPredicates));
+    w.Key("queries_per_run").Int(static_cast<int64_t>(queries));
+    w.Key("stall_us").Int(static_cast<int64_t>(kStallMicros));
+    w.Key("quick").Bool(quick);
+    w.Key("rows").BeginArray();
+    for (const ServerRun& run : runs) {
+      w.BeginObject();
+      w.Key("workers").Int(static_cast<int64_t>(run.workers));
+      w.Key("queries").Int(static_cast<int64_t>(run.queries));
+      w.Key("completed").Int(static_cast<int64_t>(run.completed));
+      w.Key("total_seconds").Number(run.total_seconds);
+      w.Key("qps").Number(run.qps);
+      w.Key("p50_ms").Number(run.p50_ms);
+      w.Key("p99_ms").Number(run.p99_ms);
+      w.Key("speedup_vs_1").Number(run.qps / runs.front().qps);
+      w.Key("mean_accesses_per_query").Number(run.mean_accesses);
+      w.EndObject();
+    }
+    w.EndArray();
+  });
+  return 0;
+}
+
+}  // namespace
+}  // namespace nc
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  return nc::Main(quick);
+}

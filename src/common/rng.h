@@ -3,6 +3,17 @@
 // All randomness in the library (data generation, sampling, hill-climbing
 // restarts, latency jitter) flows through nc::Rng so that every experiment
 // is reproducible from a seed.
+//
+// Thread safety: an Rng is a mutable stream cursor and is NOT
+// synchronized - concurrent draws from one instance are a data race AND
+// destroy seed-reproducibility (the interleaving would decide who gets
+// which draw). Every stream must be thread-confined: owned by exactly one
+// worker's source stack (the query server's WorkerStack builds a private
+// SourceSet / ReplicaFleet / FaultInjector - and thus private latency,
+// retry, jitter, and per-replica fault streams - per worker thread; see
+// src/server/server.h) or guarded by the owner's external mutex. Sharing
+// one fleet's per-replica RNG streams across worker threads is the bug
+// class the server's per-worker ownership exists to prevent.
 
 #ifndef NC_COMMON_RNG_H_
 #define NC_COMMON_RNG_H_

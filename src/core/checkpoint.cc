@@ -1,35 +1,26 @@
 #include "core/checkpoint.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
 #include "access/trace_format.h"
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace nc {
 
 namespace {
 
-// C hexfloat: byte-exact double round-trips, inf included.
-std::string HexDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
+// C hexfloat: byte-exact double round-trips, inf included. Locale-safe
+// (common/numeric.h): printf("%a") would emit "0x1,8p+1" under a
+// comma-decimal locale and strtod would truncate it on the way back.
+std::string HexDouble(double v) { return FormatHexDouble(v); }
 
 bool ParseU64(const std::string& token, uint64_t* out) {
-  if (token.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtoull(token.c_str(), &end, 10);
-  return end == token.c_str() + token.size();
+  return ParseUInt64(token, out);
 }
 
 bool ParseF64(const std::string& token, double* out) {
-  if (token.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtod(token.c_str(), &end);
-  return end == token.c_str() + token.size();
+  return ParseDouble(token, out);
 }
 
 Status Malformed(const std::string& what) {

@@ -1,9 +1,10 @@
 #include "core/explain.h"
 
-#include <cstdio>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/numeric.h"
 #include "obs/run_report.h"
 
 namespace nc {
@@ -12,9 +13,7 @@ namespace {
 
 std::string FormatCost(double cost) {
   if (!std::isfinite(cost)) return "impossible";
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%g", cost);
-  return buffer;
+  return FormatDouble(cost);  // Locale-safe; %g would honor LC_NUMERIC.
 }
 
 std::string PredicateLabel(const SourceSet& sources, PredicateId i) {

@@ -25,8 +25,11 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
 }
 
 QuerySession::QuerySession(const ScoringFunction* scoring,
-                           PlannerOptions options)
-    : scoring_(scoring), options_(options) {
+                           PlannerOptions options,
+                           obs::TelemetryHub* shared_hub)
+    : scoring_(scoring),
+      options_(options),
+      active_hub_(shared_hub != nullptr ? shared_hub : &hub_) {
   NC_CHECK(scoring_ != nullptr);
 }
 
@@ -46,13 +49,18 @@ std::string QuerySession::PlanKey(const CostModel& model, size_t k) {
 }
 
 Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
+  return Query(sources, k, QueryHooks{}, out);
+}
+
+Status QuerySession::Query(SourceSet* sources, size_t k,
+                           const QueryHooks& hooks, TopKResult* out) {
   NC_CHECK(sources != nullptr);
   NC_CHECK(out != nullptr);
   // The session's hub outlives every per-query SourceSet rewind: attach
   // it before planning so a replica fleet starts warm (breakers, deaths,
   // and EWMAs from earlier queries re-applied) and this query's accesses
   // feed the cross-query sketches.
-  sources->set_telemetry_hub(&hub_);
+  sources->set_telemetry_hub(active_hub_);
   const std::string key = PlanKey(sources->cost_model(), k);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -69,7 +77,16 @@ Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
   SRGPolicy policy(it->second.config);
   EngineOptions engine_options;
   engine_options.k = k;
+  // The hook closes over a pointer filled right after construction: the
+  // engine cannot invoke the callback before Run().
+  NCEngine* engine_ptr = nullptr;
+  if (hooks.on_access) {
+    engine_options.access_callback = [&hooks, &engine_ptr](size_t accesses) {
+      hooks.on_access(*engine_ptr, accesses);
+    };
+  }
   NCEngine engine(sources, scoring_, &policy, engine_options);
+  engine_ptr = &engine;
   const Status status = engine.Run(out);
   last_query_exact_ = status.ok() && engine.last_run_exact();
 
@@ -84,10 +101,10 @@ Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
   // The cost audit: the plan's full-scale Eq. 1 prediction against the
   // metered actuals of the run just finished (before any caller Reset).
   last_cost_audit_ = obs::BuildCostAudit(it->second.prediction, *sources);
-  if (last_cost_audit_.valid && obs::ShouldSample(&hub_)) {
+  if (last_cost_audit_.valid && obs::ShouldSample(active_hub_)) {
     for (PredicateId i = 0; i < last_cost_audit_.predicates.size(); ++i) {
       const obs::PredicateAudit& row = last_cost_audit_.predicates[i];
-      hub_.ObservePredictionError(i, row.cost_relative_error);
+      active_hub_->ObservePredictionError(i, row.cost_relative_error);
     }
   }
   if (obs::ShouldTrace(sources->tracer())) {
@@ -104,7 +121,7 @@ Status QuerySession::Query(SourceSet* sources, size_t k, TopKResult* out) {
                               sources->accrued_cost());
     }
   }
-  hub_.NoteQuery();
+  active_hub_->NoteQuery();
 
   if (!status.ok()) {
     last_query_outcome_ = QueryOutcome::kError;

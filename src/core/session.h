@@ -18,6 +18,7 @@
 #ifndef NC_CORE_SESSION_H_
 #define NC_CORE_SESSION_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -30,6 +31,8 @@
 #include "scoring/scoring_function.h"
 
 namespace nc {
+
+class NCEngine;
 
 // Disposition of the most recent QuerySession::Query, finer-grained than
 // the exact/inexact split: a budget-barred certified answer is a very
@@ -45,10 +48,28 @@ enum class QueryOutcome {
 
 const char* QueryOutcomeName(QueryOutcome outcome);
 
+// Embedder hooks into one QuerySession::Query execution. The query
+// server uses them to interleave wall-clock pacing and graceful-drain
+// interception with the engine's iteration without owning the engine.
+struct QueryHooks {
+  // Invoked after every performed access, on the querying thread, with
+  // the live engine (it is legal to Checkpoint() here - the engine is
+  // between iterations) and the running access count. The hook may
+  // mutate the SourceSet's budget (same thread, between accesses) to
+  // force certified early termination - the drain mechanism.
+  std::function<void(NCEngine& engine, size_t accesses)> on_access;
+};
+
 class QuerySession {
  public:
-  // `scoring` must outlive the session.
-  QuerySession(const ScoringFunction* scoring, PlannerOptions options);
+  // `scoring` must outlive the session. With `shared_hub` set, the
+  // session feeds and warms that hub instead of its own - the query
+  // server hands every worker's session one server-wide hub so breaker
+  // state, deaths, and latency sketches are shared across workers (the
+  // hub is internally synchronized; see obs/telemetry.h). The shared hub
+  // must outlive the session.
+  QuerySession(const ScoringFunction* scoring, PlannerOptions options,
+               obs::TelemetryHub* shared_hub = nullptr);
 
   QuerySession(const QuerySession&) = delete;
   QuerySession& operator=(const QuerySession&) = delete;
@@ -57,6 +78,10 @@ class QuerySession {
   // only when no cached plan matches the sources' current cost model.
   Status Query(SourceSet* sources, size_t k, TopKResult* out);
 
+  // As above, with per-access hooks (see QueryHooks).
+  Status Query(SourceSet* sources, size_t k, const QueryHooks& hooks,
+               TopKResult* out);
+
   // Number of planner invocations and of queries served from the cache.
   size_t plans_computed() const { return plans_computed_; }
   size_t cache_hits() const { return cache_hits_; }
@@ -64,11 +89,12 @@ class QuerySession {
   // The plan used by the most recent Query.
   const OptimizerResult& last_plan() const { return last_plan_; }
 
-  // The session's cross-query telemetry hub. Attached to the sources on
-  // every Query; disable it (hub().Disable()) to opt out of sampling —
-  // query answers are bit-identical either way on fault-free runs.
-  obs::TelemetryHub& hub() { return hub_; }
-  const obs::TelemetryHub& hub() const { return hub_; }
+  // The session's cross-query telemetry hub (the shared one when the
+  // session was constructed with it). Attached to the sources on every
+  // Query; disable it (hub().Disable()) to opt out of sampling — query
+  // answers are bit-identical either way on fault-free runs.
+  obs::TelemetryHub& hub() { return *active_hub_; }
+  const obs::TelemetryHub& hub() const { return *active_hub_; }
 
   // Predicted-vs-actual Eq. 1 audit of the most recent Query (invalid
   // before the first one or when the run errored out pre-execution).
@@ -104,6 +130,9 @@ class QuerySession {
   std::unordered_map<std::string, OptimizerResult> cache_;
   OptimizerResult last_plan_;
   obs::TelemetryHub hub_;
+  // Either &hub_ (the default) or the shared hub the session was
+  // constructed with.
+  obs::TelemetryHub* active_hub_ = nullptr;
   obs::CostAudit last_cost_audit_;
   size_t plans_computed_ = 0;
   size_t cache_hits_ = 0;

@@ -1,10 +1,10 @@
 #include "core/srg_policy.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace nc {
 
@@ -83,9 +83,8 @@ Status SRGPolicy::RestoreState(const std::string& state) {
     rr_cursor_ = 0;
     return Status::OK();
   }
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(state.c_str(), &end, 10);
-  if (end != state.c_str() + state.size()) {
+  uint64_t value = 0;
+  if (!ParseUInt64(state, &value)) {
     return Status::InvalidArgument("malformed SRG policy state");
   }
   rr_cursor_ = static_cast<size_t>(value);

@@ -1,14 +1,11 @@
 #include "data/csv.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace nc {
 
@@ -30,12 +27,11 @@ std::vector<std::string> SplitLine(const std::string& line) {
   return fields;
 }
 
+// Locale-safe (common/numeric.h): strtod honors the global C locale and
+// would silently truncate "0.5" to 0 under a comma-decimal locale.
 bool ParseScore(const std::string& field, Score* out) {
-  if (field.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(field.c_str(), &end);
-  if (errno != 0 || end == field.c_str() || *end != '\0') return false;
+  double value = 0.0;
+  if (!ParseDouble(field, &value)) return false;
   if (!IsValidScore(value)) return false;
   *out = value;
   return true;
@@ -54,13 +50,11 @@ Status SaveDatasetCsv(const Dataset& data, const std::string& path) {
     file << data.predicate_name(i);
   }
   file << "\n";
-  char buffer[64];
   for (ObjectId u = 0; u < data.num_objects(); ++u) {
     for (PredicateId i = 0; i < m; ++i) {
-      // %.17g round-trips any double exactly.
-      std::snprintf(buffer, sizeof(buffer), "%.17g", data.score(u, i));
       if (i > 0) file << ",";
-      file << buffer;
+      // Shortest exact round-trip, '.' decimal point in every locale.
+      file << FormatDouble(data.score(u, i));
     }
     file << "\n";
   }

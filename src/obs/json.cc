@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace nc::obs {
 
@@ -46,14 +46,10 @@ std::string JsonQuote(std::string_view s) {
 
 std::string JsonNumber(double value) {
   if (!std::isfinite(value)) return "null";
-  char buffer[32];
-  // %.17g round-trips every double but litters output with digits; try
-  // shorter forms first and keep the first that parses back exactly.
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
+  // Shortest form that round-trips exactly. Locale-safe: snprintf("%g")
+  // would emit "0,5" under a comma-decimal locale - invalid JSON - and
+  // the old strtod round-trip check would truncate at the comma.
+  return FormatDouble(value);
 }
 
 void JsonWriter::PrepareValue() {

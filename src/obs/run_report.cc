@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/numeric.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -15,9 +15,7 @@ namespace {
 
 std::string FormatCost(double cost) {
   if (!std::isfinite(cost)) return "impossible";
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%g", cost);
-  return buffer;
+  return FormatDouble(cost);  // Locale-safe; %g would honor LC_NUMERIC.
 }
 
 std::string PredicateLabel(const SourceSet& sources, PredicateId i) {

@@ -1,5 +1,6 @@
 #include "obs/telemetry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -44,7 +45,8 @@ double TelemetryHub::HedgeWindow::ExactQuantile(double q) const {
 TelemetryHub::TelemetryHub() = default;
 
 void TelemetryHub::Clear() {
-  queries_observed_ = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  queries_observed_.store(0, std::memory_order_relaxed);
   service_.clear();
   hedge_window_.clear();
   completion_.clear();
@@ -55,20 +57,23 @@ void TelemetryHub::Clear() {
 
 void TelemetryHub::ObserveReplicaService(PredicateId i, size_t r,
                                          double latency) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   const uint64_t key = SlotKey(i, r);
+  const std::lock_guard<std::mutex> lock(mu_);
   service_[key].Add(latency);
   hedge_window_[key].Add(latency);
 }
 
 void TelemetryHub::ObserveCompletion(PredicateId i, double latency) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   completion_[i].Add(latency);
 }
 
 void TelemetryHub::ObserveAccessCost(PredicateId i, AccessType type,
                                      double charged) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   CostEwma& cell = cost_[CostKey(i, type)];
   if (!cell.seeded) {
     cell.seeded = true;
@@ -80,47 +85,58 @@ void TelemetryHub::ObserveAccessCost(PredicateId i, AccessType type,
 
 void TelemetryHub::ObservePredictionError(PredicateId i,
                                           double relative_error) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   prediction_error_[i].Add(relative_error);
 }
 
 size_t TelemetryHub::replica_service_count(PredicateId i, size_t r) const {
-  const auto it = service_.find(SlotKey(i, r));
+  const uint64_t key = SlotKey(i, r);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = service_.find(key);
   return it == service_.end() ? 0 : it->second.count;
 }
 
 double TelemetryHub::ReplicaServiceQuantile(PredicateId i, size_t r,
                                             double q) const {
-  const auto it = service_.find(SlotKey(i, r));
+  const uint64_t key = SlotKey(i, r);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = service_.find(key);
   if (it == service_.end()) return QuietNaN();
   return it->second.At(q);
 }
 
 double TelemetryHub::CompletionQuantile(PredicateId i, double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = completion_.find(i);
   if (it == completion_.end()) return QuietNaN();
   return it->second.At(q);
 }
 
 double TelemetryHub::AccessCostEwma(PredicateId i, AccessType type) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = cost_.find(CostKey(i, type));
   if (it == cost_.end() || !it->second.seeded) return QuietNaN();
   return it->second.value;
 }
 
 double TelemetryHub::PredictionErrorQuantile(PredicateId i, double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = prediction_error_.find(i);
   if (it == prediction_error_.end()) return QuietNaN();
   return it->second.At(q);
 }
 
 size_t TelemetryHub::prediction_error_count(PredicateId i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = prediction_error_.find(i);
   return it == prediction_error_.end() ? 0 : it->second.count;
 }
 
 double TelemetryHub::AdaptiveHedgeDelay(PredicateId i, size_t r) const {
-  const auto it = hedge_window_.find(SlotKey(i, r));
+  const uint64_t key = SlotKey(i, r);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hedge_window_.find(key);
   if (it == hedge_window_.end() || it->second.count < kTelemetryMinSamples) {
     return QuietNaN();
   }
@@ -132,8 +148,8 @@ double TelemetryHub::AdaptiveHedgeDelay(PredicateId i, size_t r) const {
 }
 
 void TelemetryHub::CaptureFleetHealth(const ReplicaFleet& fleet, double now) {
-  if (!enabled_) return;
-  health_.clear();
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   const size_t bound = fleet.max_configured_predicates();
   for (PredicateId i = 0; i < bound; ++i) {
     if (!fleet.configured(i)) continue;
@@ -150,14 +166,23 @@ void TelemetryHub::CaptureFleetHealth(const ReplicaFleet& fleet, double now) {
       h.breaker_consecutive = rt.breaker_consecutive;
       h.has_ewma = rt.has_ewma;
       h.ewma_latency = rt.ewma_latency;
-      health_.push_back(h);
+      // Merge by slot: deaths are sticky across captures (another
+      // worker's fleet view that never saw the death must not resurrect
+      // the replica); everything else takes the fresh capture.
+      auto [it, inserted] = health_.try_emplace(SlotKey(i, r), h);
+      if (!inserted) {
+        h.dead = h.dead || it->second.dead;
+        it->second = h;
+      }
     }
   }
 }
 
 void TelemetryHub::WarmFleet(ReplicaFleet* fleet) const {
-  if (!enabled_ || fleet == nullptr) return;
-  for (const ReplicaHealth& h : health_) {
+  if (!enabled() || fleet == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, h] : health_) {
+    (void)key;
     if (!fleet->configured(h.predicate)) continue;
     if (h.replica >= fleet->num_replicas(h.predicate)) continue;
     ReplicaRuntime& rt = fleet->runtime(h.predicate, h.replica);
@@ -175,6 +200,29 @@ void TelemetryHub::WarmFleet(ReplicaFleet* fleet) const {
       rt.ewma_latency = h.ewma_latency;
     }
   }
+}
+
+bool TelemetryHub::has_fleet_health() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return !health_.empty();
+}
+
+std::vector<ReplicaHealth> TelemetryHub::fleet_health() const {
+  std::vector<ReplicaHealth> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(health_.size());
+    for (const auto& [key, h] : health_) {
+      (void)key;
+      out.push_back(h);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ReplicaHealth& a, const ReplicaHealth& b) {
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              return a.replica < b.replica;
+            });
+  return out;
 }
 
 }  // namespace nc::obs

@@ -15,8 +15,8 @@
 //   * the fleet's health - dead replicas, open breakers with their
 //     remaining cooldown, breaker failure streaks, and routing EWMAs -
 //     captured right before ResetRuntime() wipes it and re-applied
-//     ("warmed") right after, so query N+1 starts routing around a
-//     replica query N found dead instead of rediscovering it.
+//     ("warmed") right after, so query N+1 starts warm (routing around a
+//     replica query N found dead instead of rediscovering it).
 //
 // The hub also powers adaptive hedging: with HedgePolicy::adaptive set,
 // SourceSet reads AdaptiveHedgeDelay(i, r) instead of the hand-set
@@ -33,12 +33,23 @@
 // memory over unbounded streams is right for observability, where a few
 // percentile points of rank error are harmless.
 //
-// Cost discipline mirrors QueryTracer: a detached (nullptr) or disabled
-// hub is one pointer/bool test per feed (guard with ShouldSample); no
-// sketch is touched, nothing allocates. The hub never changes WHAT an
-// access returns - only hedge timing (cost), never results - so top-k
-// answers are bit-identical with the hub enabled or disabled on
-// fault-free runs (asserted in differential_test.cc).
+// --- Thread safety -----------------------------------------------------
+// The hub is the ONE piece of the SourceSet stack that is shared across
+// concurrent queries (the query server attaches a single hub to every
+// worker's otherwise thread-confined source stack; see docs/SERVER.md).
+// All feeds, reads, and the capture/warm pair are therefore internally
+// synchronized by a mutex. The cost discipline survives: a detached
+// (nullptr) or disabled hub is one pointer/atomic-bool test per feed
+// (guard with ShouldSample) - the lock is only taken when a feed or read
+// actually proceeds. Because concurrent workers each capture their own
+// fleet view, CaptureFleetHealth MERGES by (predicate, replica) slot
+// instead of replacing the capture wholesale: deaths are sticky across
+// captures (a worker whose fleet instance never saw a death cannot
+// resurrect the replica), while breaker/EWMA state takes the latest
+// capture. The hub never changes WHAT an access returns - only hedge
+// timing (cost), never results - so top-k answers are bit-identical with
+// the hub enabled or disabled on fault-free runs (differential_test.cc,
+// server_test.cc).
 //
 // Checkpoints deliberately EXCLUDE hub state: a resumed query re-warms
 // from the live session's hub instead of a stale snapshot (see
@@ -47,12 +58,16 @@
 #ifndef NC_OBS_TELEMETRY_H_
 #define NC_OBS_TELEMETRY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "access/access.h"
+#include "common/check.h"
 #include "common/score.h"
 #include "common/stats.h"
 #include "replica/replica.h"
@@ -91,9 +106,9 @@ class TelemetryHub {
   // intent. Disable()/Enable() toggle sampling without dropping state.
   TelemetryHub();
 
-  bool enabled() const { return enabled_; }
-  void Enable() { enabled_ = true; }
-  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   // Drops ALL cross-query state (sketches, EWMAs, captured health).
   void Clear();
@@ -111,11 +126,13 @@ class TelemetryHub {
   void ObservePredictionError(PredicateId i, double relative_error);
   // One finished query (QuerySession calls this once per Query).
   void NoteQuery() {
-    if (enabled_) ++queries_observed_;
+    if (enabled()) queries_observed_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // --- Introspection ----------------------------------------------------
-  size_t queries_observed() const { return queries_observed_; }
+  size_t queries_observed() const {
+    return queries_observed_.load(std::memory_order_relaxed);
+  }
   size_t replica_service_count(PredicateId i, size_t r) const;
 
   // Streaming quantile of replica r's service latency on predicate i;
@@ -139,9 +156,14 @@ class TelemetryHub {
   double AdaptiveHedgeDelay(PredicateId i, size_t r) const;
 
   // --- Cross-query fleet health -----------------------------------------
-  // Snapshots every configured slot's health at elapsed-time `now`
-  // (breaker cooldowns become remaining durations). Replaces any prior
-  // capture. SourceSet::Reset() calls this right before ResetRuntime().
+  // Captures every configured slot's health at elapsed-time `now`
+  // (breaker cooldowns become remaining durations), MERGING into any
+  // prior capture slot-by-slot: deaths are sticky (a fleet instance that
+  // never observed a death cannot resurrect the slot - the lost-death
+  // race when concurrent workers capture their per-worker fleets),
+  // breaker and EWMA state take this capture's values. Slots this fleet
+  // does not configure keep their previous capture.
+  // SourceSet::Reset() calls this right before ResetRuntime().
   void CaptureFleetHealth(const ReplicaFleet& fleet, double now);
 
   // Re-applies the captured health onto a freshly reset fleet: deaths
@@ -150,8 +172,9 @@ class TelemetryHub {
   // has are skipped. Idempotent on an untouched fleet.
   void WarmFleet(ReplicaFleet* fleet) const;
 
-  bool has_fleet_health() const { return !health_.empty(); }
-  const std::vector<ReplicaHealth>& fleet_health() const { return health_; }
+  bool has_fleet_health() const;
+  // Snapshot of the captured health, sorted by (predicate, replica).
+  std::vector<ReplicaHealth> fleet_health() const;
 
  private:
   struct ServiceSketch {
@@ -186,18 +209,34 @@ class TelemetryHub {
     double ExactQuantile(double q) const;
   };
 
+  // Packs a (predicate, replica) slot into one map key: predicate in the
+  // high 32 bits, replica in the low 32. PredicateId is a dense unsigned
+  // 32-bit id (common/score.h), so it can neither be negative nor
+  // overflow its half; the replica index is a size_t and is CHECKed
+  // against 2^32 so an oversized index can never silently alias another
+  // slot's key (replica fleets are a handful of endpoints in practice,
+  // so the guard is free insurance, not a real limit).
   static uint64_t SlotKey(PredicateId i, size_t r) {
+    static_assert(sizeof(PredicateId) == sizeof(uint32_t) &&
+                      std::is_unsigned_v<PredicateId>,
+                  "SlotKey packs PredicateId into 32 bits");
+    NC_CHECK(r < (uint64_t{1} << 32));
     return (static_cast<uint64_t>(i) << 32) | static_cast<uint64_t>(r);
   }
 
-  bool enabled_ = true;
-  size_t queries_observed_ = 0;
+  std::atomic<bool> enabled_{true};
+  std::atomic<size_t> queries_observed_{0};
+  // Guards every container below. Feeds and reads are short (a P2 update
+  // is a few dozen flops); contention is only possible with the server's
+  // shared hub, where queries are orders of magnitude longer than the
+  // critical sections.
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, ServiceSketch> service_;     // (i, r)
   std::unordered_map<uint64_t, HedgeWindow> hedge_window_;  // (i, r)
   std::unordered_map<uint32_t, ServiceSketch> completion_;  // i
   std::unordered_map<uint64_t, CostEwma> cost_;  // (i, 0=sorted / 1=random)
   std::unordered_map<uint32_t, ServiceSketch> prediction_error_;  // i
-  std::vector<ReplicaHealth> health_;
+  std::unordered_map<uint64_t, ReplicaHealth> health_;            // (i, r)
 };
 
 // The hot-path guard every feeding layer uses (mirrors ShouldTrace).

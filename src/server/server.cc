@@ -1,0 +1,256 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "core/checkpoint.h"
+#include "core/engine.h"
+
+namespace nc::server {
+
+namespace {
+
+// The drain clamp: a budget that refuses the next access the moment any
+// cost at all has accrued. denorm_min (not 0, which means "unlimited")
+// keeps the clamp active while never refusing a query that has not yet
+// been billed anything.
+QueryBudget DrainClamp(QueryBudget original) {
+  original.max_cost = std::numeric_limits<double>::denorm_min();
+  original.deadline = std::numeric_limits<double>::denorm_min();
+  return original;
+}
+
+}  // namespace
+
+Status ServerConfig::Validate() const {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  return Status::OK();
+}
+
+const char* ServeOutcomeName(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kCompleted:
+      return "completed";
+    case ServeOutcome::kDrained:
+      return "drained";
+    case ServeOutcome::kRejected:
+      return "rejected";
+    case ServeOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+QueryServer::QueryServer(const ScoringFunction* scoring, ServerConfig config,
+                         WorkerStackFactory factory)
+    : scoring_(scoring),
+      config_(std::move(config)),
+      factory_(std::move(factory)) {
+  NC_CHECK(scoring_ != nullptr);
+  NC_CHECK(factory_ != nullptr);
+}
+
+QueryServer::~QueryServer() { Shutdown(/*finish_queued=*/false); }
+
+Status QueryServer::Start() {
+  NC_RETURN_IF_ERROR(config_.Validate());
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("server is already running");
+    }
+    running_ = true;
+    accepting_ = true;
+    stopping_ = false;
+    finish_queued_ = true;
+  }
+  draining_.store(false, std::memory_order_release);
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+  return Status::OK();
+}
+
+Status QueryServer::Submit(QueryRequest request,
+                           std::future<QueryResponse>* response) {
+  NC_CHECK(response != nullptr);
+  if (request.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || !accepting_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("server is not accepting queries");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission queue is full (capacity " +
+          std::to_string(config_.queue_capacity) + ")");
+    }
+    queue_.push_back(Pending{std::move(request), std::move(promise)});
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
+  }
+  cv_.notify_one();
+  *response = std::move(future);
+  return Status::OK();
+}
+
+void QueryServer::Shutdown(bool finish_queued) {
+  const std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    accepting_ = false;
+    stopping_ = true;
+    finish_queued_ = finish_queued;
+  }
+  if (!finish_queued) {
+    // Reaches workers that are mid-query (their next access hook
+    // checkpoints and clamps); the cv below reaches the idle ones.
+    draining_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  std::deque<Pending> leftovers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+    running_ = false;
+    stopping_ = false;
+  }
+  draining_.store(false, std::memory_order_release);
+  // Fulfilled outside the lock: promise continuations must not run
+  // under mu_.
+  for (Pending& pending : leftovers) {
+    flushed_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(Rejected(
+        Status::Unavailable("server shut down before the query started")));
+  }
+}
+
+bool QueryServer::running() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.drained = drained_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.flushed = flushed_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.peak_queue_depth = peak_queue_depth_;
+  }
+  return out;
+}
+
+QueryResponse QueryServer::Rejected(Status status) {
+  QueryResponse response;
+  response.status = std::move(status);
+  response.outcome = ServeOutcome::kRejected;
+  return response;
+}
+
+void QueryServer::WorkerMain(size_t index) {
+  // Built on this thread, used only by this thread, destroyed on this
+  // thread: the whole mutable access stack is confined here. Only the
+  // shared hub (handed to the session) crosses threads.
+  std::unique_ptr<WorkerStack> stack = factory_(index);
+  NC_CHECK(stack != nullptr);
+  QuerySession session(scoring_, config_.planner, &hub_);
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // A fast drain leaves queued entries for Shutdown's flush; a
+      // finish-queued stop keeps serving until the backlog is empty.
+      if (stopping_ && (!finish_queued_ || queue_.empty())) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Serve(index, session, stack->sources(), std::move(pending));
+  }
+}
+
+void QueryServer::Serve(size_t index, QuerySession& session,
+                        SourceSet& sources, Pending pending) {
+  QueryResponse response;
+  response.worker = index;
+
+  // Fresh per-query state; the session re-warms fleet health from the
+  // shared hub inside Query, so the rewind loses no cross-query signal.
+  sources.Reset();
+  const Status budget_status = sources.set_budget(pending.request.budget);
+  if (!budget_status.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    response.status = budget_status;
+    response.outcome = ServeOutcome::kRejected;
+    pending.promise.set_value(std::move(response));
+    return;
+  }
+
+  bool drained = false;
+  size_t accesses_seen = 0;
+  const std::chrono::microseconds stall(config_.simulated_access_stall_us);
+  QueryHooks hooks;
+  hooks.on_access = [this, &drained, &accesses_seen, &response, &sources,
+                     &pending, stall](NCEngine& engine, size_t accesses) {
+    accesses_seen = accesses;
+    if (stall.count() > 0) std::this_thread::sleep_for(stall);
+    if (!drained && draining_.load(std::memory_order_acquire)) {
+      // Checkpoint BEFORE clamping: the snapshot must describe the run
+      // under its original budget, so resuming it on an identically
+      // configured stack replays the uninterrupted query bit-for-bit.
+      response.drain_checkpoint = SerializeCheckpoint(engine.Checkpoint());
+      // Same thread as the engine loop, between accesses - the one
+      // place mutating the budget mid-run is legal. The engine answers
+      // the refused next access with a certified anytime answer.
+      NC_CHECK(sources.set_budget(DrainClamp(pending.request.budget)).ok());
+      drained = true;
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  response.status = session.Query(&sources, pending.request.k, hooks,
+                                  &response.result);
+  response.wall_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  response.accesses = accesses_seen;
+  response.accrued_cost = sources.accrued_cost();
+  response.query_outcome = session.last_query_outcome();
+  if (drained) {
+    response.outcome = ServeOutcome::kDrained;
+    drained_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status.ok()) {
+    response.outcome = ServeOutcome::kCompleted;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    response.outcome = ServeOutcome::kError;
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+}  // namespace nc::server

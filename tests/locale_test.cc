@@ -1,0 +1,267 @@
+// Locale-independence of the interchange formats.
+//
+// The bug class: std::strtod and printf-family "%g"/"%a" honor the
+// process's global C locale. Under a comma-decimal locale (de_DE,
+// fr_FR, ...) the old write paths emitted "0,65" into CSV rows and
+// "0x1,8p+1" into checkpoints, and the old read paths stopped parsing
+// "3.14" at the '.' - silently truncating every score to its integer
+// part. A server embedding this library must be free to setlocale()
+// (or link code that does) without corrupting checkpoints, CSV
+// datasets, or JSON reports, so all of those now funnel through the
+// locale-independent std::from_chars/std::to_chars helpers in
+// common/numeric.h. These tests pin the process into a comma-decimal
+// locale (when the host has one installed; CI does) and prove every
+// format still round-trips byte-exactly.
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "common/numeric.h"
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "obs/json.h"
+#include "scoring/scoring_function.h"
+
+namespace nc {
+namespace {
+
+// Pins the global C locale for one test and restores it on exit.
+class ScopedLocale {
+ public:
+  ScopedLocale() {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    saved_ = current != nullptr ? current : "C";
+  }
+  ~ScopedLocale() { std::setlocale(LC_ALL, saved_.c_str()); }
+
+  ScopedLocale(const ScopedLocale&) = delete;
+  ScopedLocale& operator=(const ScopedLocale&) = delete;
+
+  // Switches to the first installed locale whose decimal separator is
+  // ','. False (locale left unchanged) when the host has none; the
+  // caller still runs its round-trip assertions under the default
+  // locale - weaker, but never vacuously skipped.
+  bool UseCommaDecimal() {
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8",
+          "fr_FR", "it_IT.UTF-8", "es_ES.UTF-8"}) {
+      if (std::setlocale(LC_ALL, name) == nullptr) continue;
+      const std::lconv* conv = std::localeconv();
+      if (conv != nullptr && conv->decimal_point != nullptr &&
+          conv->decimal_point[0] == ',') {
+        return true;
+      }
+    }
+    std::setlocale(LC_ALL, saved_.c_str());
+    return false;
+  }
+
+ private:
+  std::string saved_;
+};
+
+// True when the active locale really prints commas - the hazard the
+// helpers must be immune to. Asserted only when UseCommaDecimal() found
+// a locale, so the test is honest about what it proved.
+bool LocalePrintsComma() {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", 1.5);
+  return buffer[1] == ',';
+}
+
+Dataset MakeData(uint64_t seed, size_t n = 80) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+// --- The numeric helpers themselves ---------------------------------------
+
+TEST(LocaleTest, ParseDoubleIsStrictAndLocaleFree) {
+  ScopedLocale locale;
+  const bool comma = locale.UseCommaDecimal();
+  if (comma) {
+    ASSERT_TRUE(LocalePrintsComma());
+  }
+
+  double v = -1.0;
+  EXPECT_TRUE(ParseDouble("3.14", &v));
+  EXPECT_DOUBLE_EQ(v, 3.14);
+  EXPECT_TRUE(ParseDouble("-2.5e-12", &v));
+  EXPECT_DOUBLE_EQ(v, -2.5e-12);
+  EXPECT_TRUE(ParseDouble("0x1.8p+1", &v));
+  EXPECT_DOUBLE_EQ(v, 3.0);
+  EXPECT_TRUE(ParseDouble("inf", &v));
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_TRUE(ParseDouble("-inf", &v));
+  EXPECT_TRUE(std::isinf(v) && v < 0);
+  EXPECT_TRUE(ParseDouble("nan", &v));
+  EXPECT_TRUE(std::isnan(v));
+
+  // ',' is NEVER a decimal separator, whatever the locale says; partial
+  // consumption, double signs, and empty tokens are malformed.
+  v = 42.0;
+  EXPECT_FALSE(ParseDouble("3,14", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("--1", &v));
+  EXPECT_FALSE(ParseDouble("+-1", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble(" 1", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);  // Untouched on failure.
+
+  uint64_t u = 7;
+  EXPECT_TRUE(ParseUInt64("0", &u));
+  EXPECT_EQ(u, 0u);
+  EXPECT_TRUE(ParseUInt64("18446744073709551615", &u));
+  EXPECT_EQ(u, std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(ParseUInt64("18446744073709551616", &u));  // Overflow.
+  EXPECT_FALSE(ParseUInt64("-1", &u));
+  EXPECT_FALSE(ParseUInt64("1.5", &u));
+  EXPECT_FALSE(ParseUInt64("", &u));
+  EXPECT_EQ(u, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(LocaleTest, FormatDoubleRoundTripsEdgeCasesUnderCommaLocale) {
+  ScopedLocale locale;
+  locale.UseCommaDecimal();
+
+  for (const double v :
+       {0.0, -0.0, 0.1, 0.65, 1.0 / 3.0, 1e-300, 1e300, 6.02214076e23,
+        std::numeric_limits<double>::denorm_min(),
+        -std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    const std::string decimal = FormatDouble(v);
+    EXPECT_EQ(decimal.find(','), std::string::npos) << decimal;
+    double back = 99.0;
+    ASSERT_TRUE(ParseDouble(decimal, &back)) << decimal;
+    EXPECT_EQ(back, v) << decimal;  // Bit-exact, signed zero included...
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << decimal;
+
+    const std::string hex = FormatHexDouble(v);
+    EXPECT_EQ(hex.find(','), std::string::npos) << hex;
+    back = 99.0;
+    ASSERT_TRUE(ParseDouble(hex, &back)) << hex;
+    EXPECT_EQ(back, v) << hex;
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << hex;
+  }
+  // ...and NaN round-trips as NaN.
+  double back = 0.0;
+  ASSERT_TRUE(ParseDouble(FormatDouble(std::nan("")), &back));
+  EXPECT_TRUE(std::isnan(back));
+  ASSERT_TRUE(ParseDouble(FormatHexDouble(std::nan("")), &back));
+  EXPECT_TRUE(std::isnan(back));
+
+  // The hexfloat form matches printf %a in the C locale byte-for-byte
+  // (the checkpoint format's grammar predates these helpers).
+  EXPECT_EQ(FormatHexDouble(3.0), "0x1.8p+1");
+  EXPECT_EQ(FormatHexDouble(0.0), "0x0p+0");
+}
+
+// --- Checkpoints -----------------------------------------------------------
+
+TEST(LocaleTest, CheckpointRoundTripsByteExactUnderCommaLocale) {
+  // Build a real mid-run checkpoint first (locale-free), then serialize
+  // and parse it under a comma locale.
+  const Dataset data = MakeData(3);
+  const AverageFunction avg(2);
+  SourceSet sources(&data, CostModel::Uniform(2, 1.0, 1.0));
+  SRGPolicy policy(SRGConfig::Default(2));
+  EngineOptions options;
+  options.k = 5;
+  NCEngine engine(&sources, &avg, &policy, options);
+  TopKResult result;
+  ASSERT_TRUE(engine.Run(&result).ok());
+  const EngineCheckpoint checkpoint = engine.Checkpoint();
+
+  ScopedLocale locale;
+  const bool comma = locale.UseCommaDecimal();
+  if (comma) {
+    ASSERT_TRUE(LocalePrintsComma());
+  }
+
+  const std::string text = SerializeCheckpoint(checkpoint);
+  // The grammar has no ',' anywhere: a single one means a locale-honoring
+  // formatter leaked back in.
+  EXPECT_EQ(text.find(','), std::string::npos);
+
+  EngineCheckpoint parsed;
+  ASSERT_TRUE(ParseCheckpoint(text, &parsed).ok());
+  EXPECT_EQ(parsed.k, checkpoint.k);
+  EXPECT_EQ(parsed.accesses, checkpoint.accesses);
+  EXPECT_EQ(parsed.sources.accrued_cost, checkpoint.sources.accrued_cost);
+  // Serialize(Parse(text)) == text: the byte-exactness contract.
+  EXPECT_EQ(SerializeCheckpoint(parsed), text);
+}
+
+// --- CSV datasets ----------------------------------------------------------
+
+TEST(LocaleTest, CsvDatasetRoundTripsExactlyUnderCommaLocale) {
+  ScopedLocale locale;
+  const bool comma = locale.UseCommaDecimal();
+  if (comma) {
+    ASSERT_TRUE(LocalePrintsComma());
+  }
+
+  const Dataset data = MakeData(9, 40);
+  const std::string path = ::testing::TempDir() + "/locale_roundtrip.csv";
+  ASSERT_TRUE(SaveDatasetCsv(data, path).ok());
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadDatasetCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.num_objects(), data.num_objects());
+  ASSERT_EQ(loaded.num_predicates(), data.num_predicates());
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+      // Bit-exact: the writer promises round-trip precision and the
+      // comma locale must not erode it (the old "%.17g" writer emitted
+      // "0,65" here, which the loader then rejected or truncated).
+      EXPECT_EQ(loaded.score(u, i), data.score(u, i))
+          << "object " << u << " predicate " << i;
+    }
+  }
+
+  // A comma-decimal row is malformed *data*, not a locale-dependent
+  // alternate spelling: m=1 rows with "0,65" must be rejected (two
+  // fields against a one-predicate header).
+  Dataset rejected;
+  EXPECT_FALSE(ParseDatasetCsv("p0\n0,65\n", &rejected).ok());
+}
+
+// --- JSON artifacts --------------------------------------------------------
+
+TEST(LocaleTest, JsonNumbersStayDotDecimalUnderCommaLocale) {
+  ScopedLocale locale;
+  const bool comma = locale.UseCommaDecimal();
+  if (comma) {
+    ASSERT_TRUE(LocalePrintsComma());
+  }
+
+  EXPECT_EQ(obs::JsonNumber(0.5), "0.5");
+  EXPECT_EQ(obs::JsonNumber(-12.25), "-12.25");
+  EXPECT_EQ(obs::JsonNumber(3.0), "3");
+  for (const double v : {0.1, 1.0 / 3.0, 1e-9, 123456.789}) {
+    const std::string text = obs::JsonNumber(v);
+    EXPECT_EQ(text.find(','), std::string::npos) << text;
+    double back = 0.0;
+    ASSERT_TRUE(ParseDouble(text, &back)) << text;
+    EXPECT_EQ(back, v) << text;
+  }
+}
+
+}  // namespace
+}  // namespace nc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -272,6 +273,87 @@ TEST(TelemetryHubTest, ClearDropsAllCrossQueryState) {
   fleet.ResetRuntime();
   hub.WarmFleet(&fleet);
   EXPECT_FALSE(fleet.runtime(0, 0).dead);
+}
+
+// --- SlotKey packing ------------------------------------------------------
+
+TEST(TelemetryHubTest, SlotKeyBoundaryReplicaIndicesDoNotAlias) {
+  TelemetryHub hub;
+  // (0, 2^32-1) and (1, 0) pack into adjacent uint64 keys; a narrowing
+  // or unshifted pack would alias them onto one slot.
+  const size_t top = (size_t{1} << 32) - 1;
+  hub.ObserveReplicaService(0, top, 1.0);
+  hub.ObserveReplicaService(0, top, 2.0);
+  hub.ObserveReplicaService(1, 0, 9.0);
+  EXPECT_EQ(hub.replica_service_count(0, top), 2u);
+  EXPECT_EQ(hub.replica_service_count(1, 0), 1u);
+  EXPECT_EQ(hub.replica_service_count(0, 0), 0u);
+  EXPECT_DOUBLE_EQ(hub.ReplicaServiceQuantile(1, 0, 0.5), 9.0);
+}
+
+TEST(TelemetryHubDeathTest, OversizedReplicaIndexIsRefusedNotAliased) {
+  TelemetryHub hub;
+  // Replica index 2^32 would silently wrap into (predicate + 1, 0); the
+  // CHECK turns the aliasing into a crash at the call site.
+  EXPECT_DEATH(hub.ObserveReplicaService(0, size_t{1} << 32, 1.0), "");
+}
+
+// --- Concurrent capture semantics -----------------------------------------
+
+TEST(TelemetryHubTest, CaptureMergeKeepsDeathsSticky) {
+  // Two workers capture their own per-worker fleet views in turn.
+  // Worker B's view never saw the death worker A observed; the
+  // slot-by-slot merge must not let B's capture resurrect the replica,
+  // while B's fresher EWMA still lands.
+  TelemetryHub hub;
+  ReplicaFleet seen_death = TwoByTwoFleet();
+  seen_death.runtime(0, 0).dead = true;
+  hub.CaptureFleetHealth(seen_death, 0.0);
+
+  ReplicaFleet never_saw_it = TwoByTwoFleet();
+  never_saw_it.runtime(0, 0).has_ewma = true;
+  never_saw_it.runtime(0, 0).ewma_latency = 4.5;
+  hub.CaptureFleetHealth(never_saw_it, 0.0);
+
+  const std::vector<ReplicaHealth> health = hub.fleet_health();
+  ASSERT_EQ(health.size(), 4u);
+  EXPECT_EQ(health[0].predicate, 0u);
+  EXPECT_EQ(health[0].replica, 0u);
+  EXPECT_TRUE(health[0].dead);      // Sticky across captures.
+  EXPECT_TRUE(health[0].has_ewma);  // The fresh capture's value.
+  EXPECT_DOUBLE_EQ(health[0].ewma_latency, 4.5);
+
+  // A fleet warmed from the merged capture routes around the death.
+  ReplicaFleet fresh = TwoByTwoFleet();
+  hub.WarmFleet(&fresh);
+  EXPECT_TRUE(fresh.runtime(0, 0).dead);
+}
+
+TEST(TelemetryHubTest, ConcurrentFeedsAndReadsAreSafe) {
+  // Smoke for the hub's internal synchronization (the full proof is
+  // server_test.cc under the tsan preset): four threads hammer feeds
+  // and reads on overlapping and distinct slots.
+  TelemetryHub hub;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hub, t] {
+      const size_t r = static_cast<size_t>(t);
+      for (int n = 0; n < 500; ++n) {
+        hub.ObserveReplicaService(0, r, 1.0 + n % 7);
+        hub.ObserveCompletion(0, 2.0);
+        hub.ObserveAccessCost(0, AccessType::kSorted, 1.0);
+        hub.NoteQuery();
+        (void)hub.ReplicaServiceQuantile(0, r, 0.5);
+        (void)hub.AdaptiveHedgeDelay(0, r);
+        (void)hub.CompletionQuantile(0, 0.99);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hub.queries_observed(), 4u * 500u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(hub.replica_service_count(0, r), 500u);
+  }
 }
 
 }  // namespace
