@@ -307,14 +307,63 @@ void WriteObservabilityReport() {
       pct(traced_ns));
 }
 
+// Console output as usual, but every per-iteration result is also
+// captured so the run lands in BENCH_MICRO.json alongside the other
+// committed bench artifacts (the perf trajectory across PRs).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+    int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.real_ns = run.GetAdjustedRealTime();
+      row.cpu_ns = run.GetAdjustedCPUTime();
+      row.iterations = static_cast<int64_t>(run.iterations);
+      rows_.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+void WriteMicroReport(const std::vector<CapturingReporter::Row>& rows) {
+  bench::WriteBenchJsonDoc("micro", "micro", [&](obs::JsonWriter& w) {
+    w.Key("time_unit").String("ns");
+    w.Key("rows").BeginArray();
+    for (const CapturingReporter::Row& row : rows) {
+      w.BeginObject();
+      w.Key("name").String(row.name);
+      w.Key("real_ns").Number(row.real_ns);
+      w.Key("cpu_ns").Number(row.cpu_ns);
+      w.Key("iterations").Int(row.iterations);
+      w.EndObject();
+    }
+    w.EndArray();
+  });
+}
+
 }  // namespace
 }  // namespace nc
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  nc::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  nc::WriteMicroReport(reporter.rows());
   nc::WriteObservabilityReport();
   return 0;
 }

@@ -10,12 +10,19 @@
 // Emits BENCH_SERVER.json with per-worker-count QPS, p50/p99 service
 // latency, and speedup over the single-worker baseline.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -96,6 +103,154 @@ ServerRun RunAtWorkerCount(const Dataset& data, const ScoringFunction& scoring,
   return run;
 }
 
+// One loopback HTTP GET against the stats endpoint; returns the wall
+// time in microseconds (or a negative value on failure).
+double TimedScrape(uint16_t port, const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1.0;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1.0;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  NC_CHECK(::send(fd, request.data(), request.size(), 0) ==
+           static_cast<ssize_t>(request.size()));
+  size_t received = 0;
+  char buffer[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    received += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  NC_CHECK(received > 0);
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct ObsRun {
+  double metrics_scrape_p50_us = 0.0;
+  double varz_scrape_p50_us = 0.0;
+  double cold_start_us = 0.0;
+  double warm_start_us = 0.0;
+  size_t snapshot_bytes = 0;
+};
+
+// Measures the observability plane itself: what a Prometheus scrape
+// costs against a serving instance, and what the hub snapshot adds to
+// startup (warm restart parses + loads the whole "nchub 1" file).
+ObsRun RunObservability(const Dataset& data, const ScoringFunction& scoring,
+                        size_t queries, size_t scrapes) {
+  const CostModel cost = CostModel::Uniform(kNumPredicates, 1.0, 2.0);
+  const std::string snapshot = "/tmp/nc_bench_server.nchub";
+  std::remove(snapshot.c_str());
+  ObsRun obs;
+  const auto build = [&](size_t) {
+    return std::make_unique<BenchStack>(&data, cost);
+  };
+
+  {
+    server::ServerConfig config;
+    config.num_workers = 2;
+    config.queue_capacity = queries;
+    config.planner.sample_size = 100;
+    config.stats_port = 0;
+    config.hub_snapshot_path = snapshot;
+    server::QueryServer server(&scoring, config, build);
+    const auto t0 = std::chrono::steady_clock::now();
+    NC_CHECK(server.Start().ok());
+    obs.cold_start_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    // Populate the hub and the metrics registry before scraping.
+    std::vector<std::future<server::QueryResponse>> responses(queries);
+    for (size_t j = 0; j < queries; ++j) {
+      server::QueryRequest request;
+      request.k = 5 + j % 11;
+      NC_CHECK(server.Submit(request, &responses[j]).ok());
+    }
+    for (auto& response : responses) NC_CHECK(response.get().status.ok());
+
+    const uint16_t port = server.stats_port();
+    std::vector<double> metrics_us, varz_us;
+    for (size_t s = 0; s < scrapes; ++s) {
+      metrics_us.push_back(TimedScrape(port, "/metrics"));
+      varz_us.push_back(TimedScrape(port, "/varz"));
+    }
+    obs.metrics_scrape_p50_us = Percentile(metrics_us, 0.5);
+    obs.varz_scrape_p50_us = Percentile(varz_us, 0.5);
+    server.Shutdown(/*finish_queued=*/true);  // Writes the snapshot.
+  }
+
+  {
+    std::FILE* f = std::fopen(snapshot.c_str(), "rb");
+    NC_CHECK(f != nullptr);
+    std::fseek(f, 0, SEEK_END);
+    obs.snapshot_bytes = static_cast<size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+
+  {
+    server::ServerConfig config;
+    config.num_workers = 2;
+    config.planner.sample_size = 100;
+    config.hub_snapshot_path = snapshot;
+    server::QueryServer server(&scoring, config, build);
+    const auto t0 = std::chrono::steady_clock::now();
+    NC_CHECK(server.Start().ok());
+    obs.warm_start_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    NC_CHECK(server.warm_started());
+    server.Shutdown(true);
+  }
+  std::remove(snapshot.c_str());
+  return obs;
+}
+
+// CI smoke mode: bind the stats endpoint on `port`, serve a few queries
+// so every metric family exists, then hold the process alive while an
+// external scraper (curl in the workflow) probes /metrics and /varz.
+int ServeForScrape(uint16_t port, int seconds) {
+  GeneratorOptions g;
+  g.num_objects = 2000;
+  g.num_predicates = kNumPredicates;
+  g.seed = 77;
+  const Dataset data = GenerateDataset(g);
+  const AverageFunction avg(kNumPredicates);
+  const CostModel cost = CostModel::Uniform(kNumPredicates, 1.0, 2.0);
+
+  server::ServerConfig config;
+  config.num_workers = 2;
+  config.planner.sample_size = 100;
+  config.stats_port = port;
+  server::QueryServer server(&avg, config, [&](size_t) {
+    return std::make_unique<BenchStack>(&data, cost);
+  });
+  NC_CHECK(server.Start().ok());
+  for (int j = 0; j < 6; ++j) {
+    server::QueryRequest request;
+    request.k = 5;
+    std::future<server::QueryResponse> response;
+    NC_CHECK(server.Submit(request, &response).ok());
+    NC_CHECK(response.get().status.ok());
+  }
+  std::printf("serving stats on 127.0.0.1:%u for %ds\n", server.stats_port(),
+              seconds);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  server.Shutdown(/*finish_queued=*/true);
+  return 0;
+}
+
 int Main(bool quick) {
   GeneratorOptions g;
   g.num_objects = kNumObjects;
@@ -121,6 +276,13 @@ int Main(bool quick) {
                 run.qps, run.p50_ms, run.p99_ms, speedup, run.mean_accesses);
   }
 
+  const ObsRun obs =
+      RunObservability(data, avg, queries, /*scrapes=*/quick ? 5 : 25);
+  std::printf("observability: /metrics p50 %.0fus, /varz p50 %.0fus, "
+              "snapshot %zuB, start cold %.0fus warm %.0fus\n",
+              obs.metrics_scrape_p50_us, obs.varz_scrape_p50_us,
+              obs.snapshot_bytes, obs.cold_start_us, obs.warm_start_us);
+
   bench::WriteBenchJsonDoc("server", "server", [&](obs::JsonWriter& w) {
     w.Key("num_objects").Int(static_cast<int64_t>(kNumObjects));
     w.Key("num_predicates").Int(static_cast<int64_t>(kNumPredicates));
@@ -142,6 +304,13 @@ int Main(bool quick) {
       w.EndObject();
     }
     w.EndArray();
+    w.Key("observability").BeginObject();
+    w.Key("metrics_scrape_p50_us").Number(obs.metrics_scrape_p50_us);
+    w.Key("varz_scrape_p50_us").Number(obs.varz_scrape_p50_us);
+    w.Key("hub_snapshot_bytes").Int(static_cast<int64_t>(obs.snapshot_bytes));
+    w.Key("cold_start_us").Number(obs.cold_start_us);
+    w.Key("warm_start_us").Number(obs.warm_start_us);
+    w.EndObject();
   });
   return 0;
 }
@@ -150,6 +319,10 @@ int Main(bool quick) {
 }  // namespace nc
 
 int main(int argc, char** argv) {
+  if (argc > 3 && std::strcmp(argv[1], "--serve") == 0) {
+    return nc::ServeForScrape(static_cast<uint16_t>(std::atoi(argv[2])),
+                              std::atoi(argv[3]));
+  }
   const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   return nc::Main(quick);
 }

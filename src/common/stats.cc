@@ -143,6 +143,31 @@ double P2Quantile::value() const {
   return heights_[2];
 }
 
+P2QuantileState P2Quantile::state() const {
+  P2QuantileState s;
+  s.q = q_;
+  s.count = count_;
+  for (size_t i = 0; i < 5; ++i) {
+    s.heights[i] = heights_[i];
+    s.positions[i] = positions_[i];
+    s.desired[i] = desired_[i];
+  }
+  return s;
+}
+
+P2Quantile P2Quantile::FromState(const P2QuantileState& state) {
+  // The constructor validates q and rebuilds increments_ (a pure
+  // function of q, so it need not ride in the state).
+  P2Quantile sketch(state.q);
+  sketch.count_ = state.count;
+  for (size_t i = 0; i < 5; ++i) {
+    sketch.heights_[i] = state.heights[i];
+    sketch.positions_[i] = state.positions[i];
+    sketch.desired_[i] = state.desired[i];
+  }
+  return sketch;
+}
+
 void RunningStat::Add(double value) {
   if (count_ == 0) {
     min_ = value;

@@ -26,6 +26,19 @@ double Percentile(std::vector<double> values, double q);
 double PearsonCorrelation(const std::vector<double>& xs,
                           const std::vector<double>& ys);
 
+// The complete marker state of a P2Quantile, exposed so long-lived
+// embedders (the TelemetryHub's "nchub 1" persistence) can serialize a
+// sketch and reconstruct it bit-for-bit: heights, 1-based marker
+// positions, and desired positions. While count <= 5 the heights hold
+// the exact sorted seed buffer (entries [count, 5) still zero).
+struct P2QuantileState {
+  double q = 0.5;
+  size_t count = 0;
+  double heights[5] = {0, 0, 0, 0, 0};
+  double positions[5] = {1, 2, 3, 4, 5};
+  double desired[5] = {1, 1, 1, 1, 1};
+};
+
 // Streaming quantile estimate via the P² (piecewise-parabolic) algorithm
 // of Jain & Chlamtac (CACM 1985): five markers track the running q-th
 // quantile in O(1) memory and O(1) time per observation, no sample buffer.
@@ -51,6 +64,12 @@ class P2Quantile {
   // The current estimate; exact while count() <= 5; NaN while count() == 0
   // (no sample, no quantile - mirroring Percentile).
   double value() const;
+
+  // Marker-state snapshot / reconstruction. FromState(state()) yields a
+  // sketch whose every future Add produces bit-identical estimates - the
+  // round-trip contract the hub's persistence rests on.
+  P2QuantileState state() const;
+  static P2Quantile FromState(const P2QuantileState& state);
 
  private:
   double q_ = 0.5;

@@ -61,6 +61,11 @@ Status QuerySession::Query(SourceSet* sources, size_t k,
   // and EWMAs from earlier queries re-applied) and this query's accesses
   // feed the cross-query sketches.
   sources->set_telemetry_hub(active_hub_);
+  // A session-attached tracer covers the whole stack: the sources emit
+  // access/attempt/replica events, the engine its iteration and phase
+  // spans. Detached (nullptr), the caller's own sources tracer (if any)
+  // is left in place.
+  if (tracer_ != nullptr) sources->set_tracer(tracer_);
   const std::string key = PlanKey(sources->cost_model(), k);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -77,6 +82,7 @@ Status QuerySession::Query(SourceSet* sources, size_t k,
   SRGPolicy policy(it->second.config);
   EngineOptions engine_options;
   engine_options.k = k;
+  if (tracer_ != nullptr) engine_options.tracer = tracer_;
   // The hook closes over a pointer filled right after construction: the
   // engine cannot invoke the callback before Run().
   NCEngine* engine_ptr = nullptr;

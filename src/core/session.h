@@ -28,6 +28,7 @@
 #include "core/result.h"
 #include "obs/run_report.h"
 #include "obs/telemetry.h"
+#include "obs/tracer.h"
 #include "scoring/scoring_function.h"
 
 namespace nc {
@@ -96,6 +97,16 @@ class QuerySession {
   obs::TelemetryHub& hub() { return *active_hub_; }
   const obs::TelemetryHub& hub() const { return *active_hub_; }
 
+  // Attaches a tracer that every subsequent Query hands to both the
+  // sources (access/attempt/replica events) and the engine (iteration
+  // and phase events), completing the per-request timeline without the
+  // embedder reaching into the SourceSet. nullptr detaches: the session
+  // then leaves whatever tracer the caller set on the sources alone.
+  // The tracer must outlive the session (or be detached first) and is
+  // used from the querying thread only.
+  void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
+  obs::QueryTracer* tracer() const { return tracer_; }
+
   // Predicted-vs-actual Eq. 1 audit of the most recent Query (invalid
   // before the first one or when the run errored out pre-execution).
   const obs::CostAudit& last_cost_audit() const { return last_cost_audit_; }
@@ -133,6 +144,7 @@ class QuerySession {
   // Either &hub_ (the default) or the shared hub the session was
   // constructed with.
   obs::TelemetryHub* active_hub_ = nullptr;
+  obs::QueryTracer* tracer_ = nullptr;
   obs::CostAudit last_cost_audit_;
   size_t plans_computed_ = 0;
   size_t cache_hits_ = 0;

@@ -117,6 +117,33 @@ double MetricsRegistry::CounterSum(const std::string& name,
   return total;
 }
 
+std::string PrometheusQuote(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        // Everything else - including other control bytes and non-ASCII
+        // UTF-8 sequences - is passed through verbatim; the exposition
+        // grammar has no \uXXXX form.
+        out += c;
+        break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 std::string FormatLabels(const LabelSet& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -126,8 +153,7 @@ std::string FormatLabels(const LabelSet& labels) {
     first = false;
     out += key;
     out += "=";
-    // JsonQuote escapes exactly what the exposition format requires.
-    out += JsonQuote(value);
+    out += PrometheusQuote(value);
   }
   out += "}";
   return out;

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -118,6 +119,13 @@ class MetricsRegistry {
 
 // Renders {a="x",b="y"}; empty string for no labels.
 std::string FormatLabels(const LabelSet& labels);
+
+// Quotes one label value per the Prometheus text exposition format,
+// which allows exactly three escapes inside a quoted value - \\ , \" and
+// \n - and passes every other byte through raw (label values are UTF-8).
+// Deliberately NOT JsonQuote: JSON's \uXXXX escapes for control or
+// non-ASCII bytes are invalid exposition syntax.
+std::string PrometheusQuote(std::string_view value);
 
 }  // namespace nc::obs
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <limits>
+#include <sstream>
+#include <string_view>
 
 #include "common/check.h"
+#include "common/numeric.h"
 
 namespace nc::obs {
 
@@ -15,6 +19,98 @@ double QuietNaN() { return std::numeric_limits<double>::quiet_NaN(); }
 uint64_t CostKey(PredicateId i, AccessType type) {
   return (static_cast<uint64_t>(i) << 1) |
          (type == AccessType::kRandom ? 1u : 0u);
+}
+
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    (void)value;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// --- "nchub 1" token helpers -------------------------------------------
+// Every double is a C-hexfloat (FormatHexDouble): byte-exact round-trips
+// and locale independence by construction; integers are plain decimal.
+
+void AppendUInt(std::string* out, uint64_t v) {
+  *out += ' ';
+  *out += std::to_string(v);
+}
+
+void AppendHex(std::string* out, double v) {
+  *out += ' ';
+  *out += FormatHexDouble(v);
+}
+
+// One P2 sketch: count, then the 5 heights / positions / desired marker
+// vectors. q is NOT serialized - it is fixed by the field's position in
+// the sketch line (0.5 / 0.9 / 0.95 / 0.99) - and the increments vector
+// is a pure function of q, rebuilt by the P2Quantile constructor.
+void AppendP2(std::string* out, const P2Quantile& p) {
+  const P2QuantileState st = p.state();
+  AppendUInt(out, st.count);
+  for (const double h : st.heights) AppendHex(out, h);
+  for (const double n : st.positions) AppendHex(out, n);
+  for (const double d : st.desired) AppendHex(out, d);
+}
+
+// A token cursor over one line; every Take* fails softly so the caller
+// can surface the line number.
+struct TokenCursor {
+  const std::vector<std::string_view>* tokens;
+  size_t next = 0;
+
+  bool TakeUInt(uint64_t* out) {
+    if (next >= tokens->size()) return false;
+    return ParseUInt64((*tokens)[next++], out);
+  }
+  bool TakeDouble(double* out) {
+    if (next >= tokens->size()) return false;
+    return ParseDouble((*tokens)[next++], out);
+  }
+  bool TakeBool(bool* out) {
+    uint64_t v = 0;
+    if (!TakeUInt(&v) || v > 1) return false;
+    *out = v == 1;
+    return true;
+  }
+  bool Done() const { return next == tokens->size(); }
+};
+
+bool ParseP2(TokenCursor* cursor, double q, P2Quantile* out) {
+  P2QuantileState st;
+  st.q = q;
+  uint64_t count = 0;
+  if (!cursor->TakeUInt(&count)) return false;
+  st.count = static_cast<size_t>(count);
+  for (double& h : st.heights) {
+    if (!cursor->TakeDouble(&h)) return false;
+  }
+  for (double& n : st.positions) {
+    if (!cursor->TakeDouble(&n)) return false;
+  }
+  for (double& d : st.desired) {
+    if (!cursor->TakeDouble(&d)) return false;
+  }
+  *out = P2Quantile::FromState(st);
+  return true;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    const size_t space = line.find(' ', pos);
+    const size_t end = space == std::string_view::npos ? line.size() : space;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return tokens;
 }
 
 }  // namespace
@@ -205,6 +301,321 @@ void TelemetryHub::WarmFleet(ReplicaFleet* fleet) const {
 bool TelemetryHub::has_fleet_health() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return !health_.empty();
+}
+
+HubSnapshot TelemetryHub::Snapshot() const {
+  HubSnapshot snap;
+  snap.queries_observed = queries_observed_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, sketch] : service_) {
+      SlotQuantiles s;
+      s.predicate = static_cast<PredicateId>(key >> 32);
+      s.replica = static_cast<size_t>(key & 0xFFFFFFFFu);
+      s.count = sketch.count;
+      s.p50 = sketch.At(0.5);
+      s.p90 = sketch.At(0.9);
+      s.p95 = sketch.At(0.95);
+      s.p99 = sketch.At(0.99);
+      snap.service.push_back(s);
+    }
+    const auto per_predicate = [](PredicateId i, const ServiceSketch& sketch) {
+      SlotQuantiles s;
+      s.predicate = i;
+      s.count = sketch.count;
+      s.p50 = sketch.At(0.5);
+      s.p90 = sketch.At(0.9);
+      s.p95 = sketch.At(0.95);
+      s.p99 = sketch.At(0.99);
+      return s;
+    };
+    for (const auto& [i, sketch] : completion_) {
+      snap.completion.push_back(per_predicate(i, sketch));
+    }
+    for (const auto& [i, sketch] : prediction_error_) {
+      snap.prediction_error.push_back(per_predicate(i, sketch));
+    }
+    for (const auto& [key, cell] : cost_) {
+      if (!cell.seeded) continue;
+      CostCell c;
+      c.predicate = static_cast<PredicateId>(key >> 1);
+      c.type = (key & 1u) != 0 ? AccessType::kRandom : AccessType::kSorted;
+      c.ewma = cell.value;
+      snap.cost.push_back(c);
+    }
+    for (const auto& [key, h] : health_) {
+      (void)key;
+      snap.health.push_back(h);
+    }
+  }
+  const auto by_slot = [](const SlotQuantiles& a, const SlotQuantiles& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.replica < b.replica;
+  };
+  std::sort(snap.service.begin(), snap.service.end(), by_slot);
+  std::sort(snap.completion.begin(), snap.completion.end(), by_slot);
+  std::sort(snap.prediction_error.begin(), snap.prediction_error.end(),
+            by_slot);
+  std::sort(snap.cost.begin(), snap.cost.end(),
+            [](const CostCell& a, const CostCell& b) {
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              return a.type < b.type;
+            });
+  std::sort(snap.health.begin(), snap.health.end(),
+            [](const ReplicaHealth& a, const ReplicaHealth& b) {
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              return a.replica < b.replica;
+            });
+  return snap;
+}
+
+std::string TelemetryHub::Serialize() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "nchub 1\n";
+  out += "queries";
+  AppendUInt(&out, queries_observed_.load(std::memory_order_relaxed));
+  out += '\n';
+  for (const uint64_t key : SortedKeys(service_)) {
+    const ServiceSketch& s = service_.at(key);
+    out += "service";
+    AppendUInt(&out, key >> 32);
+    AppendUInt(&out, key & 0xFFFFFFFFu);
+    AppendUInt(&out, s.count);
+    AppendP2(&out, s.p50);
+    AppendP2(&out, s.p90);
+    AppendP2(&out, s.p95);
+    AppendP2(&out, s.p99);
+    out += '\n';
+  }
+  for (const uint64_t key : SortedKeys(hedge_window_)) {
+    const HedgeWindow& w = hedge_window_.at(key);
+    out += "hedge";
+    AppendUInt(&out, key >> 32);
+    AppendUInt(&out, key & 0xFFFFFFFFu);
+    AppendUInt(&out, w.next);
+    AppendUInt(&out, w.count);
+    AppendUInt(&out, w.samples.size());
+    // Ring storage order, not logical order: the restored ring is
+    // byte-identical, cursor included.
+    for (const double v : w.samples) AppendHex(&out, v);
+    out += '\n';
+  }
+  for (const uint32_t key : SortedKeys(completion_)) {
+    const ServiceSketch& s = completion_.at(key);
+    out += "completion";
+    AppendUInt(&out, key);
+    AppendUInt(&out, s.count);
+    AppendP2(&out, s.p50);
+    AppendP2(&out, s.p90);
+    AppendP2(&out, s.p95);
+    AppendP2(&out, s.p99);
+    out += '\n';
+  }
+  for (const uint32_t key : SortedKeys(prediction_error_)) {
+    const ServiceSketch& s = prediction_error_.at(key);
+    out += "prederr";
+    AppendUInt(&out, key);
+    AppendUInt(&out, s.count);
+    AppendP2(&out, s.p50);
+    AppendP2(&out, s.p90);
+    AppendP2(&out, s.p95);
+    AppendP2(&out, s.p99);
+    out += '\n';
+  }
+  for (const uint64_t key : SortedKeys(cost_)) {
+    const CostEwma& cell = cost_.at(key);
+    if (!cell.seeded) continue;
+    out += "cost";
+    AppendUInt(&out, key >> 1);
+    AppendUInt(&out, key & 1u);
+    AppendHex(&out, cell.value);
+    out += '\n';
+  }
+  for (const uint64_t key : SortedKeys(health_)) {
+    const ReplicaHealth& h = health_.at(key);
+    out += "health";
+    AppendUInt(&out, h.predicate);
+    AppendUInt(&out, h.replica);
+    AppendUInt(&out, h.dead ? 1 : 0);
+    AppendUInt(&out, h.breaker_open ? 1 : 0);
+    AppendHex(&out, h.cooldown_remaining);
+    AppendUInt(&out, h.breaker_consecutive);
+    AppendUInt(&out, h.has_ewma ? 1 : 0);
+    AppendHex(&out, h.ewma_latency);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+Status TelemetryHub::Deserialize(const std::string& text) {
+  // Parsed into fresh containers first: on any error the live hub is
+  // untouched.
+  size_t queries = 0;
+  std::unordered_map<uint64_t, ServiceSketch> service;
+  std::unordered_map<uint64_t, HedgeWindow> hedge_window;
+  std::unordered_map<uint32_t, ServiceSketch> completion;
+  std::unordered_map<uint64_t, CostEwma> cost;
+  std::unordered_map<uint32_t, ServiceSketch> prediction_error;
+  std::unordered_map<uint64_t, ReplicaHealth> health;
+
+  const auto fail = [](size_t line_no, const std::string& why) {
+    return Status::InvalidArgument("nchub line " + std::to_string(line_no) +
+                                   ": " + why);
+  };
+
+  // A sketch body: count then four P2 blocks at the fixed quantiles.
+  const auto parse_sketch = [](TokenCursor* cursor, ServiceSketch* out) {
+    uint64_t count = 0;
+    if (!cursor->TakeUInt(&count)) return false;
+    out->count = static_cast<size_t>(count);
+    return ParseP2(cursor, 0.5, &out->p50) &&
+           ParseP2(cursor, 0.9, &out->p90) &&
+           ParseP2(cursor, 0.95, &out->p95) &&
+           ParseP2(cursor, 0.99, &out->p99);
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string_view> tokens = SplitTokens(line);
+    if (tokens.empty()) continue;
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "nchub" || tokens[1] != "1") {
+        return fail(line_no, "expected header \"nchub 1\"");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (saw_end) return fail(line_no, "content after \"end\"");
+    const std::string_view kind = tokens[0];
+    TokenCursor cursor{&tokens, 1};
+    if (kind == "end") {
+      if (tokens.size() != 1) return fail(line_no, "malformed \"end\"");
+      saw_end = true;
+    } else if (kind == "queries") {
+      uint64_t v = 0;
+      if (!cursor.TakeUInt(&v) || !cursor.Done()) {
+        return fail(line_no, "malformed \"queries\"");
+      }
+      queries = static_cast<size_t>(v);
+    } else if (kind == "service" || kind == "completion" ||
+               kind == "prederr") {
+      uint64_t predicate = 0;
+      uint64_t replica = 0;
+      if (!cursor.TakeUInt(&predicate)) {
+        return fail(line_no, "malformed sketch key");
+      }
+      if (kind == "service" && !cursor.TakeUInt(&replica)) {
+        return fail(line_no, "malformed sketch key");
+      }
+      ServiceSketch sketch;
+      if (!parse_sketch(&cursor, &sketch) || !cursor.Done()) {
+        return fail(line_no, "malformed sketch body");
+      }
+      if (kind == "service") {
+        service.emplace(SlotKey(static_cast<PredicateId>(predicate),
+                                static_cast<size_t>(replica)),
+                        sketch);
+      } else if (kind == "completion") {
+        completion.emplace(static_cast<uint32_t>(predicate), sketch);
+      } else {
+        prediction_error.emplace(static_cast<uint32_t>(predicate), sketch);
+      }
+    } else if (kind == "hedge") {
+      uint64_t predicate = 0;
+      uint64_t replica = 0;
+      uint64_t next = 0;
+      uint64_t count = 0;
+      uint64_t n = 0;
+      if (!cursor.TakeUInt(&predicate) || !cursor.TakeUInt(&replica) ||
+          !cursor.TakeUInt(&next) || !cursor.TakeUInt(&count) ||
+          !cursor.TakeUInt(&n) || n > kTelemetryHedgeWindow) {
+        return fail(line_no, "malformed \"hedge\"");
+      }
+      HedgeWindow window;
+      window.next = static_cast<size_t>(next);
+      window.count = static_cast<size_t>(count);
+      window.samples.resize(static_cast<size_t>(n));
+      for (double& v : window.samples) {
+        if (!cursor.TakeDouble(&v)) return fail(line_no, "malformed sample");
+      }
+      if (!cursor.Done()) return fail(line_no, "trailing tokens");
+      hedge_window.emplace(SlotKey(static_cast<PredicateId>(predicate),
+                                   static_cast<size_t>(replica)),
+                           std::move(window));
+    } else if (kind == "cost") {
+      uint64_t predicate = 0;
+      uint64_t is_random = 0;
+      CostEwma cell;
+      cell.seeded = true;
+      if (!cursor.TakeUInt(&predicate) || !cursor.TakeUInt(&is_random) ||
+          is_random > 1 || !cursor.TakeDouble(&cell.value) ||
+          !cursor.Done()) {
+        return fail(line_no, "malformed \"cost\"");
+      }
+      cost.emplace(CostKey(static_cast<PredicateId>(predicate),
+                           is_random != 0 ? AccessType::kRandom
+                                          : AccessType::kSorted),
+                   cell);
+    } else if (kind == "health") {
+      uint64_t predicate = 0;
+      uint64_t replica = 0;
+      uint64_t consecutive = 0;
+      ReplicaHealth h;
+      if (!cursor.TakeUInt(&predicate) || !cursor.TakeUInt(&replica) ||
+          !cursor.TakeBool(&h.dead) || !cursor.TakeBool(&h.breaker_open) ||
+          !cursor.TakeDouble(&h.cooldown_remaining) ||
+          !cursor.TakeUInt(&consecutive) || !cursor.TakeBool(&h.has_ewma) ||
+          !cursor.TakeDouble(&h.ewma_latency) || !cursor.Done()) {
+        return fail(line_no, "malformed \"health\"");
+      }
+      h.predicate = static_cast<PredicateId>(predicate);
+      h.replica = static_cast<size_t>(replica);
+      h.breaker_consecutive = static_cast<size_t>(consecutive);
+      health.emplace(SlotKey(h.predicate, h.replica), h);
+    } else {
+      return fail(line_no, "unknown record \"" + std::string(kind) + "\"");
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("nchub: empty document");
+  if (!saw_end) return Status::InvalidArgument("nchub: missing \"end\"");
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  queries_observed_.store(queries, std::memory_order_relaxed);
+  service_ = std::move(service);
+  hedge_window_ = std::move(hedge_window);
+  completion_ = std::move(completion);
+  cost_ = std::move(cost);
+  prediction_error_ = std::move(prediction_error);
+  health_ = std::move(health);
+  return Status::OK();
+}
+
+Status TelemetryHub::SaveToFile(const std::string& path) const {
+  // Serialize before opening: a hub error never truncates the file.
+  const std::string text = Serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open \"" + path + "\" for writing");
+  }
+  out << text;
+  out.flush();
+  if (!out) return Status::Unavailable("short write to \"" + path + "\"");
+  return Status::OK();
+}
+
+Status TelemetryHub::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Unavailable("cannot open \"" + path + "\"");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
 }
 
 std::vector<ReplicaHealth> TelemetryHub::fleet_health() const {

@@ -62,6 +62,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,7 @@
 #include "common/check.h"
 #include "common/score.h"
 #include "common/stats.h"
+#include "common/status.h"
 #include "replica/replica.h"
 
 namespace nc::obs {
@@ -98,6 +100,37 @@ struct ReplicaHealth {
   size_t breaker_consecutive = 0;
   bool has_ewma = false;
   double ewma_latency = 0.0;
+};
+
+// One sketch's reported quantiles, the unit of HubSnapshot. `replica` is
+// 0 for the per-predicate series (completion, prediction error).
+struct SlotQuantiles {
+  PredicateId predicate = 0;
+  size_t replica = 0;
+  size_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// One cost-EWMA cell.
+struct CostCell {
+  PredicateId predicate = 0;
+  AccessType type = AccessType::kSorted;
+  double ewma = 0.0;
+};
+
+// A point-in-time, lock-free-to-consume copy of everything the hub has
+// learned, sorted by (predicate, replica) throughout: what /varz renders
+// and what the anomaly watchdog diffs against a baseline.
+struct HubSnapshot {
+  size_t queries_observed = 0;
+  std::vector<SlotQuantiles> service;           // per (predicate, replica)
+  std::vector<SlotQuantiles> completion;        // per predicate
+  std::vector<SlotQuantiles> prediction_error;  // per predicate
+  std::vector<CostCell> cost;                   // per (predicate, type)
+  std::vector<ReplicaHealth> health;            // per (predicate, replica)
 };
 
 class TelemetryHub {
@@ -175,6 +208,31 @@ class TelemetryHub {
   bool has_fleet_health() const;
   // Snapshot of the captured health, sorted by (predicate, replica).
   std::vector<ReplicaHealth> fleet_health() const;
+
+  // Everything at once (one lock hold), for /varz and the watchdog.
+  HubSnapshot Snapshot() const;
+
+  // --- Persistence ("nchub 1") ------------------------------------------
+  // The hub is what a server *learns* about its sources - routing EWMAs,
+  // deaths, latency sketches, cost EWMAs - and relearning it from zero on
+  // every restart costs real queries. Serialize captures the complete
+  // hub state as a versioned, line-based, locale-safe text document
+  // ("nchub 1"): every double rides as a C-hexfloat (common/numeric.h),
+  // so Deserialize(Serialize()) reconstructs the state bit-for-bit and
+  // Serialize is deterministic (keys sorted) - the round-trip is
+  // byte-exact, which the property test in telemetry_test.cc pins.
+  //
+  // Serialized state includes the full P2 marker vectors (not just the
+  // current estimates) and the hedge windows' ring contents, so a
+  // restored hub continues *estimating* exactly where the saved one
+  // stopped, not merely reporting its last values.
+  std::string Serialize() const;
+  // Replaces ALL hub state with the document's (the enabled flag is
+  // untouched). On any parse error the hub is left unchanged and an
+  // InvalidArgument status names the offending line.
+  Status Deserialize(const std::string& text);
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
 
  private:
   struct ServiceSketch {

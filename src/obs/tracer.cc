@@ -1,6 +1,7 @@
 #include "obs/tracer.h"
 
 #include <chrono>
+#include <sstream>
 
 #include "common/check.h"
 #include "obs/json.h"
@@ -9,14 +10,47 @@ namespace nc::obs {
 
 namespace {
 
-uint64_t MonotonicNowNs() {
+// 16-digit lowercase hex, the conventional wire form of a trace id.
+std::string TraceIdHex(uint64_t id) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[(id >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t MonotonicTimeNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
 
-}  // namespace
+uint64_t UnixTimeUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+JsonlSink::JsonlSink(std::ostream* out) : out_(out) {
+  NC_CHECK(out_ != nullptr);
+}
+
+void JsonlSink::WriteLine(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  (*out_) << line << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+size_t JsonlSink::lines_written() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
 
 const char* TraceEventKindName(TraceEventKind kind) {
   switch (kind) {
@@ -36,6 +70,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "replica";
     case TraceEventKind::kTelemetry:
       return "telemetry";
+    case TraceEventKind::kSpan:
+      return "span";
   }
   return "unknown";
 }
@@ -56,11 +92,29 @@ const char* AccessOutcomeName(AccessOutcome outcome) {
   return "unknown";
 }
 
-QueryTracer::QueryTracer() : epoch_ns_(MonotonicNowNs()) {}
+QueryTracer::QueryTracer() : epoch_ns_(MonotonicTimeNs()) {}
 
 uint64_t QueryTracer::Now() const {
   if (clock_) return clock_();
-  return (MonotonicNowNs() - epoch_ns_) / 1000;
+  return (MonotonicTimeNs() - epoch_ns_) / 1000;
+}
+
+uint64_t QueryTracer::NowUnix() const {
+  // Deterministic goldens stay deterministic: a test clock zeroes the
+  // system-clock timestamp (and JSONL omits the zero).
+  if (clock_) return 0;
+  return UnixTimeUs();
+}
+
+void QueryTracer::Stamp(TraceEvent* e) const {
+  e->wall_us = Now();
+  e->unix_us = NowUnix();
+  e->ctx = ctx_;
+}
+
+void QueryTracer::set_context(const TraceContext& ctx) {
+  NC_CHECK(ctx.trace_id != 0);
+  ctx_ = ctx;
 }
 
 void QueryTracer::set_clock_for_testing(std::function<uint64_t()> clock) {
@@ -73,7 +127,7 @@ void QueryTracer::RecordAccess(AccessType type, PredicateId predicate,
   if (!enabled_) return;
   TraceEvent e;
   e.kind = TraceEventKind::kAccess;
-  e.wall_us = Now();
+  Stamp(&e);
   e.cost_clock = cost_clock;
   e.access_type = type;
   e.predicate = predicate;
@@ -90,7 +144,7 @@ void QueryTracer::RecordAttempt(AccessType type, PredicateId predicate,
   NC_CHECK(outcome != AccessOutcome::kOk);
   TraceEvent e;
   e.kind = TraceEventKind::kAccessAttempt;
-  e.wall_us = Now();
+  Stamp(&e);
   e.cost_clock = cost_clock;
   e.access_type = type;
   e.predicate = predicate;
@@ -106,7 +160,7 @@ void QueryTracer::RecordIteration(ObjectId target, uint32_t choice_width,
   if (!enabled_) return;
   TraceEvent e;
   e.kind = TraceEventKind::kIteration;
-  e.wall_us = Now();
+  Stamp(&e);
   e.cost_clock = cost_clock;
   e.target = target;
   e.choice_width = choice_width;
@@ -121,7 +175,7 @@ void QueryTracer::BeginPhase(const char* phase) {
   NC_CHECK(phase != nullptr);
   TraceEvent e;
   e.kind = TraceEventKind::kPhaseBegin;
-  e.wall_us = Now();
+  Stamp(&e);
   e.phase = phase;
   Emit(e);
 }
@@ -131,7 +185,7 @@ void QueryTracer::EndPhase(const char* phase) {
   NC_CHECK(phase != nullptr);
   TraceEvent e;
   e.kind = TraceEventKind::kPhaseEnd;
-  e.wall_us = Now();
+  Stamp(&e);
   e.phase = phase;
   Emit(e);
 }
@@ -143,7 +197,7 @@ void QueryTracer::RecordCertificate(const char* reason, double epsilon,
   NC_CHECK(reason != nullptr);
   TraceEvent e;
   e.kind = TraceEventKind::kCertificate;
-  e.wall_us = Now();
+  Stamp(&e);
   e.cost_clock = cost_clock;
   e.phase = reason;
   e.epsilon = epsilon;
@@ -158,7 +212,7 @@ void QueryTracer::RecordReplicaEvent(const char* what, PredicateId predicate,
   NC_CHECK(what != nullptr);
   TraceEvent e;
   e.kind = TraceEventKind::kReplica;
-  e.wall_us = Now();
+  Stamp(&e);
   e.cost_clock = cost_clock;
   e.predicate = predicate;
   e.phase = what;
@@ -174,12 +228,26 @@ void QueryTracer::RecordTelemetry(const char* what, PredicateId predicate,
   NC_CHECK(what != nullptr);
   TraceEvent e;
   e.kind = TraceEventKind::kTelemetry;
-  e.wall_us = Now();
+  Stamp(&e);
   e.cost_clock = cost_clock;
   e.predicate = predicate;
   e.phase = what;
   e.predicted = predicted;
   e.actual = actual;
+  Emit(e);
+}
+
+void QueryTracer::RecordSpan(const char* name, uint64_t begin_us,
+                             uint64_t end_us) {
+  if (!enabled_) return;
+  NC_CHECK(name != nullptr);
+  NC_CHECK(begin_us <= end_us);
+  TraceEvent e;
+  e.kind = TraceEventKind::kSpan;
+  Stamp(&e);
+  e.wall_us = begin_us;
+  e.phase = name;
+  e.duration_us = end_us - begin_us;
   Emit(e);
 }
 
@@ -191,6 +259,14 @@ void QueryTracer::Emit(const TraceEvent& e) {
     WriteJsonlEvent(e, stream_);
     (*stream_) << '\n';
     stream_->flush();
+  }
+  if (sink_ != nullptr) {
+    // The whole line is built locally, then handed to the synchronized
+    // sink as one atomic write: concurrent tracers sharing the sink can
+    // neither interleave nor tear lines.
+    std::ostringstream line;
+    WriteJsonlEvent(e, &line);
+    sink_->WriteLine(line.str());
   }
 }
 
@@ -209,6 +285,15 @@ void QueryTracer::WriteJsonlEvent(const TraceEvent& e,
     w.BeginObject();
     w.Key("kind").String(TraceEventKindName(e.kind));
     w.Key("wall_us").UInt(e.wall_us);
+    // Emitted only when present, so pre-existing readers (and the golden
+    // tests pinning the deterministic test-clock output) see the exact
+    // same lines as before.
+    if (e.unix_us != 0) w.Key("unix_us").UInt(e.unix_us);
+    if (e.ctx.trace_id != 0) {
+      w.Key("trace").String(TraceIdHex(e.ctx.trace_id));
+      w.Key("request").UInt(e.ctx.request_id);
+      w.Key("worker").UInt(e.ctx.worker);
+    }
     switch (e.kind) {
       case TraceEventKind::kAccess:
       case TraceEventKind::kAccessAttempt:
@@ -260,6 +345,10 @@ void QueryTracer::WriteJsonlEvent(const TraceEvent& e,
         w.Key("predicted").Number(e.predicted);
         w.Key("actual").Number(e.actual);
         break;
+      case TraceEventKind::kSpan:
+        w.Key("name").String(e.phase);
+        w.Key("duration_us").UInt(e.duration_us);
+        break;
     }
     w.EndObject();
   }
@@ -278,7 +367,17 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
     w.Key("ph").String(ph);
     w.Key("ts").UInt(e.wall_us);
     w.Key("pid").Int(1);
-    w.Key("tid").Int(1);
+    // Request-scoped events land on their serving worker's track, so a
+    // multi-worker server renders as parallel per-worker timelines.
+    w.Key("tid").Int(e.ctx.trace_id != 0
+                         ? static_cast<int64_t>(e.ctx.worker) + 1
+                         : 1);
+  };
+  // args entries shared by every context-stamped event.
+  const auto context_args = [&w](const TraceEvent& e) {
+    if (e.ctx.trace_id == 0) return;
+    w.Key("trace").String(TraceIdHex(e.ctx.trace_id));
+    w.Key("request").UInt(e.ctx.request_id);
   };
   for (const TraceEvent& e : events_) {
     switch (e.kind) {
@@ -296,6 +395,7 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         if (e.access_type == AccessType::kRandom) {
           w.Key("object").UInt(e.object);
         }
+        context_args(e);
         w.EndObject();
         w.EndObject();
         break;
@@ -331,6 +431,7 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         w.Key("epsilon").Number(e.epsilon);
         w.Key("excluded_ceiling").Number(e.threshold);
         w.Key("cost_clock").Number(e.cost_clock);
+        context_args(e);
         w.EndObject();
         w.EndObject();
         break;
@@ -342,6 +443,7 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         w.Key("replica").UInt(e.replica);
         w.Key("replica_to").UInt(e.replica_to);
         w.Key("cost_clock").Number(e.cost_clock);
+        context_args(e);
         w.EndObject();
         w.EndObject();
         break;
@@ -353,6 +455,16 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         w.Key("predicted").Number(e.predicted);
         w.Key("actual").Number(e.actual);
         w.Key("cost_clock").Number(e.cost_clock);
+        context_args(e);
+        w.EndObject();
+        w.EndObject();
+        break;
+      case TraceEventKind::kSpan:
+        // A complete ("X") slice: begin + duration in one event.
+        common(e, e.phase, "X");
+        w.Key("dur").UInt(e.duration_us);
+        w.Key("args").BeginObject();
+        context_args(e);
         w.EndObject();
         w.EndObject();
         break;

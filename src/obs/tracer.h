@@ -28,15 +28,27 @@
 // counter tracks, so a run opens directly in chrome://tracing or
 // Perfetto).
 //
-// Timestamps: wall-clock microseconds from a monotonic clock anchored at
-// construction. Tests (and any embedder that wants deterministic output)
-// may install a manual clock with set_clock_for_testing.
+// Timestamps: wall_us is microseconds from a monotonic clock anchored at
+// construction (set_epoch_ns lets an embedder share one anchor across
+// many tracers, so multi-worker timelines are comparable); unix_us is the
+// system_clock epoch time of the same instant, for aligning traces across
+// processes and restarts. Tests (and any embedder that wants
+// deterministic output) may install a manual clock with
+// set_clock_for_testing, which zeroes unix_us for reproducibility.
+//
+// Request-scoped tracing: a server mints a TraceContext per admitted
+// request and installs it with set_context; every event recorded until
+// clear_context carries the trace/request/worker ids, so JSONL lines from
+// many workers stitch back into per-request timelines. RecordSpan emits
+// explicit duration spans (queue-wait, serve) that Chrome trace renders
+// as complete ("X") slices on the worker's track.
 
 #ifndef NC_OBS_TRACER_H_
 #define NC_OBS_TRACER_H_
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -45,6 +57,42 @@
 #include "common/score.h"
 
 namespace nc::obs {
+
+// Monotonic (steady_clock) nanoseconds; the tracers' shared timebase.
+uint64_t MonotonicTimeNs();
+
+// system_clock microseconds since the unix epoch.
+uint64_t UnixTimeUs();
+
+// Identity of one server request, stamped onto every event recorded
+// while it is installed. trace_id == 0 means "no context" (events from
+// plain single-query embedders stay exactly as before).
+struct TraceContext {
+  uint64_t trace_id = 0;    // Random 64-bit id; 0 = unset.
+  uint64_t request_id = 0;  // Admission sequence number.
+  uint32_t worker = 0;      // Serving worker index.
+};
+
+// A synchronized line sink for streaming JSONL from many tracers into
+// one stream: each WriteLine appends exactly one complete line and
+// flushes under a mutex, so concurrent workers never interleave or tear
+// lines. The stream must outlive the sink.
+class JsonlSink {
+ public:
+  explicit JsonlSink(std::ostream* out);
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  // `line` must be one complete JSON object without the trailing '\n'.
+  void WriteLine(const std::string& line);
+
+  size_t lines_written() const;
+
+ private:
+  std::ostream* out_;
+  mutable std::mutex mu_;
+  size_t lines_ = 0;
+};
 
 enum class TraceEventKind {
   kAccess,         // A performed (successful) access.
@@ -55,6 +103,7 @@ enum class TraceEventKind {
   kCertificate,    // An early-terminated run emitted a certified answer.
   kReplica,        // A replica-fleet event: failover, hedge, death, ...
   kTelemetry,      // A cross-query telemetry datum: cost-audit rows, ...
+  kSpan,           // An explicit duration span (queue-wait, serve, ...).
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -72,8 +121,16 @@ const char* AccessOutcomeName(AccessOutcome outcome);
 
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kAccess;
-  // Microseconds since the tracer's epoch.
+  // Microseconds since the tracer's (monotonic) epoch.
   uint64_t wall_us = 0;
+  // system_clock microseconds since the unix epoch at the same instant;
+  // 0 under a test clock (and omitted from JSONL then), so deterministic
+  // goldens stay deterministic while real runs can be aligned across
+  // processes and restarts.
+  uint64_t unix_us = 0;
+  // The request identity stamped by set_context; ctx.trace_id == 0 for
+  // events recorded outside any request scope.
+  TraceContext ctx;
   // The emitting SourceSet's accrued cost after the event (the paper's
   // cost clock); iterations snapshot it too, so convergence can be
   // plotted against cost rather than wall time.
@@ -118,6 +175,10 @@ struct TraceEvent {
   // `phase`, the subject predicate in `predicate`.
   double predicted = 0.0;
   double actual = 0.0;
+
+  // kSpan: the span's length; its name rides in `phase` and its start in
+  // `wall_us`.
+  uint64_t duration_us = 0;
 };
 
 class QueryTracer {
@@ -161,6 +222,27 @@ class QueryTracer {
   // "cost_audit"); predicted/actual are the audited pair.
   void RecordTelemetry(const char* what, PredicateId predicate,
                        double predicted, double actual, double cost_clock);
+  // An explicit duration span: `name` must be a literal; begin_us/end_us
+  // are wall_us instants on this tracer's clock (begin_us <= end_us).
+  // Unlike phase pairs, a span is one event, so a queue-wait measured by
+  // the admission thread can be emitted whole by the serving worker.
+  void RecordSpan(const char* name, uint64_t begin_us, uint64_t end_us);
+
+  // --- Request scoping -------------------------------------------------
+  // Stamps `ctx` onto every subsequently recorded event until
+  // clear_context(). ctx.trace_id must be nonzero.
+  void set_context(const TraceContext& ctx);
+  void clear_context() { ctx_ = TraceContext{}; }
+  const TraceContext& context() const { return ctx_; }
+
+  // Replaces the monotonic anchor (MonotonicTimeNs() units). A server
+  // hands every worker's tracer the same epoch so wall_us timestamps
+  // from different workers are directly comparable.
+  void set_epoch_ns(uint64_t epoch_ns) { epoch_ns_ = epoch_ns; }
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+  // wall_us "now" on this tracer's clock (test clock honored).
+  uint64_t now_us() const { return Now(); }
 
   // --- Streaming sink --------------------------------------------------
   // Mirrors every subsequently recorded event to *out immediately as one
@@ -170,6 +252,13 @@ class QueryTracer {
   // buffering exporters below are unaffected. The stream must outlive
   // the tracer (or be detached first).
   void set_streaming_jsonl(std::ostream* out) { stream_ = out; }
+
+  // As set_streaming_jsonl, but through a synchronized JsonlSink shared
+  // by many tracers (the server's per-worker tracers all streaming into
+  // one file): each event becomes one atomic WriteLine, so concurrent
+  // workers cannot interleave characters. nullptr detaches. Both sinks
+  // may be attached; each event then goes to both.
+  void set_streaming_sink(JsonlSink* sink) { sink_ = sink; }
 
   // --- Exporters -------------------------------------------------------
   // One JSON object per event per line.
@@ -183,6 +272,10 @@ class QueryTracer {
 
  private:
   uint64_t Now() const;
+  // unix_us for the event being recorded: 0 under a test clock.
+  uint64_t NowUnix() const;
+  // Stamps the clocks and context shared by every event kind.
+  void Stamp(TraceEvent* e) const;
   // Buffers the event and, with a streaming sink attached, writes and
   // flushes its JSONL line immediately.
   void Emit(const TraceEvent& e);
@@ -193,6 +286,8 @@ class QueryTracer {
   std::vector<TraceEvent> events_;
   std::function<uint64_t()> clock_;
   std::ostream* stream_ = nullptr;
+  JsonlSink* sink_ = nullptr;
+  TraceContext ctx_;
   // Monotonic anchor for the default clock.
   uint64_t epoch_ns_ = 0;
 };

@@ -1,0 +1,232 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nc::obs {
+
+namespace {
+
+// Both sides must be positive finite for a ratio to mean anything: a
+// zero or NaN baseline (empty sketch, unseeded EWMA) can never be
+// "regressed from".
+bool RatioExceeds(double live, double baseline, double bar, double* ratio) {
+  if (!std::isfinite(live) || !std::isfinite(baseline)) return false;
+  if (baseline <= 0.0 || live <= 0.0) return false;
+  *ratio = live / baseline;
+  return *ratio > bar;
+}
+
+std::string PredicateLabel(PredicateId i) { return std::to_string(i); }
+
+}  // namespace
+
+Status WatchdogOptions::Validate() const {
+  if (!(interval_ms > 0.0)) {
+    return Status::InvalidArgument("watchdog interval_ms must be > 0");
+  }
+  if (!(latency_ratio > 1.0)) {
+    return Status::InvalidArgument("watchdog latency_ratio must be > 1");
+  }
+  if (!(cost_ratio > 1.0)) {
+    return Status::InvalidArgument("watchdog cost_ratio must be > 1");
+  }
+  return Status::OK();
+}
+
+AnomalyWatchdog::AnomalyWatchdog(const TelemetryHub* live,
+                                 const TelemetryHub* baseline,
+                                 WatchdogOptions options,
+                                 MetricsRegistry* metrics,
+                                 JsonlSink* trace_sink)
+    : live_(live),
+      baseline_(baseline),
+      options_(options),
+      metrics_(metrics) {
+  NC_CHECK(live_ != nullptr);
+  NC_CHECK(baseline_ != nullptr);
+  if (trace_sink != nullptr) {
+    tracer_.set_streaming_sink(trace_sink);
+  } else {
+    tracer_.Disable();
+  }
+}
+
+AnomalyWatchdog::~AnomalyWatchdog() { Stop(); }
+
+std::vector<Anomaly> AnomalyWatchdog::CheckNow() {
+  const HubSnapshot live = live_->Snapshot();
+  const HubSnapshot base = baseline_->Snapshot();
+  std::vector<Anomaly> found;
+
+  // Per-(predicate, replica) service latency p90 vs baseline. Slots the
+  // baseline never saw (new replicas) have nothing to regress from and
+  // are skipped, as are slots either side has too few samples for.
+  for (const SlotQuantiles& b : base.service) {
+    if (b.count < options_.min_samples) continue;
+    for (const SlotQuantiles& l : live.service) {
+      if (l.predicate != b.predicate || l.replica != b.replica) continue;
+      if (l.count < options_.min_samples) break;
+      double ratio = 0.0;
+      if (RatioExceeds(l.p90, b.p90, options_.latency_ratio, &ratio)) {
+        Anomaly a;
+        a.kind = "service_latency";
+        a.predicate = b.predicate;
+        a.replica = b.replica;
+        a.baseline = b.p90;
+        a.live = l.p90;
+        a.ratio = ratio;
+        found.push_back(a);
+      }
+      break;
+    }
+  }
+
+  // Per-predicate completion latency p90.
+  for (const SlotQuantiles& b : base.completion) {
+    if (b.count < options_.min_samples) continue;
+    for (const SlotQuantiles& l : live.completion) {
+      if (l.predicate != b.predicate) continue;
+      if (l.count < options_.min_samples) break;
+      double ratio = 0.0;
+      if (RatioExceeds(l.p90, b.p90, options_.latency_ratio, &ratio)) {
+        Anomaly a;
+        a.kind = "completion_latency";
+        a.predicate = b.predicate;
+        a.baseline = b.p90;
+        a.live = l.p90;
+        a.ratio = ratio;
+        found.push_back(a);
+      }
+      break;
+    }
+  }
+
+  // Per-(predicate, access type) cost EWMA drift: the paper's Eq. 1
+  // plans on cs_i / cr_i, so a drifted charge means the optimizer's
+  // plan no longer matches what the source actually bills.
+  for (const CostCell& b : base.cost) {
+    for (const CostCell& l : live.cost) {
+      if (l.predicate != b.predicate || l.type != b.type) continue;
+      double ratio = 0.0;
+      if (RatioExceeds(l.ewma, b.ewma, options_.cost_ratio, &ratio)) {
+        Anomaly a;
+        a.kind = "access_cost";
+        a.predicate = b.predicate;
+        a.type = b.type;
+        a.baseline = b.ewma;
+        a.live = l.ewma;
+        a.ratio = ratio;
+        found.push_back(a);
+      }
+      break;
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("nc_anomaly_checks_total").Increment();
+    for (const Anomaly& a : found) {
+      if (a.kind == std::string_view("service_latency")) {
+        metrics_
+            ->counter("nc_anomaly_service_latency_total",
+                      {{"predicate", PredicateLabel(a.predicate)},
+                       {"replica", std::to_string(a.replica)}})
+            .Increment();
+      } else if (a.kind == std::string_view("completion_latency")) {
+        metrics_
+            ->counter("nc_anomaly_completion_latency_total",
+                      {{"predicate", PredicateLabel(a.predicate)}})
+            .Increment();
+      } else {
+        metrics_
+            ->counter("nc_anomaly_access_cost_total",
+                      {{"predicate", PredicateLabel(a.predicate)},
+                       {"type", a.type == AccessType::kRandom ? "random"
+                                                              : "sorted"}})
+            .Increment();
+      }
+    }
+  }
+  if (ShouldTrace(&tracer_)) {
+    for (const Anomaly& a : found) {
+      // The finding as a telemetry event: predicted = baseline,
+      // actual = live, the ratio in cost_clock's slot.
+      const char* what = "anomaly";
+      if (a.kind == std::string_view("service_latency")) {
+        what = "anomaly_service_latency";
+      } else if (a.kind == std::string_view("completion_latency")) {
+        what = "anomaly_completion_latency";
+      } else if (a.kind == std::string_view("access_cost")) {
+        what = "anomaly_access_cost";
+      }
+      tracer_.RecordTelemetry(what, a.predicate, a.baseline, a.live, a.ratio);
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    last_ = found;
+    ++checks_;
+  }
+  return found;
+}
+
+Status AnomalyWatchdog::Start() {
+  NC_RETURN_IF_ERROR(options_.Validate());
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("watchdog is already running");
+    }
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::OK();
+}
+
+void AnomalyWatchdog::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool AnomalyWatchdog::running() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::vector<Anomaly> AnomalyWatchdog::last_anomalies() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+size_t AnomalyWatchdog::checks_run() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return checks_;
+}
+
+void AnomalyWatchdog::ThreadMain() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    }
+    CheckNow();
+  }
+}
+
+}  // namespace nc::obs

@@ -1,0 +1,127 @@
+// Anomaly watchdog: live telemetry diffed against a persisted baseline.
+//
+// A server that persists its TelemetryHub ("nchub 1", obs/telemetry.h)
+// owns something more useful than warm-start state: a baseline of what
+// its sources *normally* cost and how fast they normally answer. The
+// AnomalyWatchdog periodically compares the live hub against such a
+// baseline and surfaces regressions - a replica whose windowed latency
+// quantile blew past its historical p90, a predicate whose per-access
+// cost EWMA drifted far above what the optimizer's Eq. 1 plan assumed -
+// through three channels at once:
+//
+//   * metrics: nc_anomaly_checks_total plus one
+//     nc_anomaly_<kind>_total{predicate,...} increment per finding,
+//   * tracer events: one kTelemetry record per finding (what =
+//     "anomaly_<kind>", predicted = baseline, actual = live) streamed to
+//     the shared JsonlSink, so anomalies land in the same per-request
+//     JSONL timeline operators already tail,
+//   * last_anomalies(): the most recent check's findings, rendered by
+//     the server's /varz endpoint.
+//
+// Both hubs are internally synchronized, so checks run concurrently with
+// serving. The background thread is optional: embedders may call
+// CheckNow() themselves (tests do), but must not do so while the thread
+// is running - the tracer and finding buffer are confined to whichever
+// thread drives the checks.
+
+#ifndef NC_OBS_WATCHDOG_H_
+#define NC_OBS_WATCHDOG_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "access/access.h"
+#include "common/score.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
+
+namespace nc::obs {
+
+struct WatchdogOptions {
+  // Background check period, milliseconds. > 0.
+  double interval_ms = 200.0;
+  // A live service/completion p90 above ratio x baseline is an anomaly.
+  // > 1 (a ratio of 1 would flag ordinary jitter).
+  double latency_ratio = 2.0;
+  // A live cost EWMA above ratio x baseline is an anomaly. > 1.
+  double cost_ratio = 2.0;
+  // Both sides of a latency comparison need this many observations
+  // before the quantiles are trusted (mirrors kTelemetryMinSamples).
+  size_t min_samples = kTelemetryMinSamples;
+
+  Status Validate() const;
+};
+
+// One finding: the live value, the baseline it violated, and their
+// ratio. `kind` is a static string ("service_latency",
+// "completion_latency", "access_cost"); replica/type are meaningful for
+// the kinds that have them.
+struct Anomaly {
+  const char* kind = "";
+  PredicateId predicate = 0;
+  size_t replica = 0;
+  AccessType type = AccessType::kSorted;
+  double baseline = 0.0;
+  double live = 0.0;
+  double ratio = 0.0;
+};
+
+class AnomalyWatchdog {
+ public:
+  // `live` and `baseline` must outlive the watchdog; `metrics` and
+  // `trace_sink` are optional channels (nullptr disables each).
+  AnomalyWatchdog(const TelemetryHub* live, const TelemetryHub* baseline,
+                  WatchdogOptions options, MetricsRegistry* metrics,
+                  JsonlSink* trace_sink);
+
+  // Stops the background thread if running.
+  ~AnomalyWatchdog();
+
+  AnomalyWatchdog(const AnomalyWatchdog&) = delete;
+  AnomalyWatchdog& operator=(const AnomalyWatchdog&) = delete;
+
+  // Runs one comparison pass, publishes the findings to every attached
+  // channel, and returns them. Called by the background thread; callers
+  // may invoke it directly only while the thread is not running.
+  std::vector<Anomaly> CheckNow();
+
+  // Spawns the periodic background thread. FailedPrecondition when
+  // already running; validates the options.
+  Status Start();
+  // Stops and joins the thread; idempotent.
+  void Stop();
+  bool running() const;
+
+  // Findings of the most recent check (thread-safe copy) and the number
+  // of checks run so far.
+  std::vector<Anomaly> last_anomalies() const;
+  size_t checks_run() const;
+
+ private:
+  void ThreadMain();
+
+  const TelemetryHub* live_;
+  const TelemetryHub* baseline_;
+  const WatchdogOptions options_;
+  MetricsRegistry* metrics_;
+  // Confined to the checking thread; streams findings into the shared
+  // sink (the sink itself is synchronized).
+  QueryTracer tracer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::vector<Anomaly> last_;
+  size_t checks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_WATCHDOG_H_

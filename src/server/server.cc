@@ -1,12 +1,15 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "common/check.h"
 #include "core/checkpoint.h"
 #include "core/engine.h"
+#include "obs/json.h"
 
 namespace nc::server {
 
@@ -22,6 +25,24 @@ QueryBudget DrainClamp(QueryBudget original) {
   return original;
 }
 
+// SplitMix64: mints well-mixed trace ids from (nonce ^ request id).
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x = x ^ (x >> 31);
+  return x != 0 ? x : 1;  // 0 means "no context" on the wire.
+}
+
+// Shared latency bucket ladder (microseconds) for the queue-wait and
+// service histograms.
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double> kBuckets = {
+      100.0, 500.0, 1000.0, 5000.0, 10000.0, 50000.0, 100000.0, 500000.0,
+      1e6,   5e6};
+  return kBuckets;
+}
+
 }  // namespace
 
 Status ServerConfig::Validate() const {
@@ -30,6 +51,12 @@ Status ServerConfig::Validate() const {
   }
   if (queue_capacity == 0) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (stats_port > 65535) {
+    return Status::InvalidArgument("stats_port must be <= 65535");
+  }
+  if (watchdog) {
+    NC_RETURN_IF_ERROR(watchdog_options.Validate());
   }
   return Status::OK();
 }
@@ -67,12 +94,106 @@ Status QueryServer::Start() {
     if (running_) {
       return Status::FailedPrecondition("server is already running");
     }
+  }
+
+  // Warm start: load what the previous process learned about the fleet.
+  // A missing file is an ordinary cold start; a corrupt one fails Start
+  // loudly - silently discarding the operational history the snapshot
+  // exists to preserve would mask exactly the regressions the watchdog
+  // is meant to catch.
+  bool warm = false;
+  if (!config_.hub_snapshot_path.empty()) {
+    const std::ifstream probe(config_.hub_snapshot_path);
+    if (probe.good()) {
+      NC_RETURN_IF_ERROR(hub_.LoadFromFile(config_.hub_snapshot_path));
+      // The baseline keeps the loaded snapshot verbatim (the round-trip
+      // is byte-exact); hub_ itself keeps learning and would drift.
+      NC_RETURN_IF_ERROR(baseline_hub_.Deserialize(hub_.Serialize()));
+      warm = true;
+    }
+  }
+  std::unique_ptr<obs::AnomalyWatchdog> watchdog;
+  if (config_.watchdog && warm) {
+    watchdog = std::make_unique<obs::AnomalyWatchdog>(
+        &hub_, &baseline_hub_, config_.watchdog_options, &metrics_,
+        config_.trace_sink);
+  }
+
+  epoch_ns_.store(obs::MonotonicTimeNs(), std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
     accepting_ = true;
     stopping_ = false;
     finish_queued_ = true;
+    warm_started_ = warm;
+    trace_nonce_ = MixTraceId(obs::UnixTimeUs());
+    meters_.clear();
+    for (size_t i = 0; i < config_.num_workers; ++i) {
+      meters_.push_back(std::make_unique<WorkerMeter>());
+    }
+    watchdog_ = std::move(watchdog);
   }
   draining_.store(false, std::memory_order_release);
+
+  // The introspection endpoint comes up before the workers so a
+  // supervisor can probe /readyz from the first instant.
+  if (config_.stats_port >= 0) {
+    stats_server_.Handle("/metrics", [this] {
+      HttpResponse response;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      std::ostringstream text;
+      metrics_.WritePrometheusText(&text);
+      response.body = text.str();
+      return response;
+    });
+    stats_server_.Handle("/healthz", [this] {
+      HttpResponse response;
+      if (running()) {
+        response.body = "ok\n";
+      } else {
+        response.status = 503;
+        response.body = "stopped\n";
+      }
+      return response;
+    });
+    stats_server_.Handle("/readyz", [this] {
+      HttpResponse response;
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (running_ && accepting_) {
+        response.body = "ready\n";
+      } else {
+        response.status = 503;
+        response.body = stopping_ ? "draining\n" : "not accepting\n";
+      }
+      return response;
+    });
+    stats_server_.Handle("/varz", [this] {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = VarzJson();
+      return response;
+    });
+    const Status status =
+        stats_server_.Start(static_cast<uint16_t>(config_.stats_port));
+    if (!status.ok()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      running_ = false;
+      accepting_ = false;
+      return status;
+    }
+  }
+  if (watchdog_ != nullptr) {
+    const Status status = watchdog_->Start();
+    if (!status.ok()) {
+      stats_server_.Stop();
+      const std::lock_guard<std::mutex> lock(mu_);
+      running_ = false;
+      accepting_ = false;
+      return status;
+    }
+  }
+
   workers_.reserve(config_.num_workers);
   for (size_t i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerMain(i); });
@@ -100,7 +221,16 @@ Status QueryServer::Submit(QueryRequest request,
           "admission queue is full (capacity " +
           std::to_string(config_.queue_capacity) + ")");
     }
-    queue_.push_back(Pending{std::move(request), std::move(promise)});
+    Pending pending;
+    pending.request = std::move(request);
+    pending.promise = std::move(promise);
+    // Trace identity minted at admission: the request id is the
+    // admission sequence number, the trace id mixes in the per-Start
+    // nonce so ids from different server runs do not collide.
+    pending.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    pending.trace_id = MixTraceId(trace_nonce_ ^ pending.request_id);
+    pending.admit_us = EpochNowUs();
+    queue_.push_back(std::move(pending));
     submitted_.fetch_add(1, std::memory_order_relaxed);
     if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
   }
@@ -141,6 +271,17 @@ void QueryServer::Shutdown(bool finish_queued) {
     pending.promise.set_value(Rejected(
         Status::Unavailable("server shut down before the query started")));
   }
+  // The watchdog stops before the final snapshot so no check races the
+  // save; the stats server stops last so /metrics stays scrapeable
+  // through the drain itself.
+  if (watchdog_ != nullptr) watchdog_->Stop();
+  if (!config_.hub_snapshot_path.empty()) {
+    const Status saved = hub_.SaveToFile(config_.hub_snapshot_path);
+    if (!saved.ok()) {
+      metrics_.counter("nc_server_hub_snapshot_errors_total").Increment();
+    }
+  }
+  stats_server_.Stop();
 }
 
 bool QueryServer::running() const {
@@ -176,7 +317,19 @@ void QueryServer::WorkerMain(size_t index) {
   // shared hub (handed to the session) crosses threads.
   std::unique_ptr<WorkerStack> stack = factory_(index);
   NC_CHECK(stack != nullptr);
+  // The worker's confined tracer shares the server's monotonic epoch (so
+  // wall_us from different workers is directly comparable) and streams
+  // through the shared synchronized sink; without a sink it is disabled
+  // and the stack runs untraced, paying only the ShouldTrace test.
+  obs::QueryTracer tracer;
+  tracer.set_epoch_ns(epoch_ns_.load(std::memory_order_acquire));
   QuerySession session(scoring_, config_.planner, &hub_);
+  if (config_.trace_sink != nullptr) {
+    tracer.set_streaming_sink(config_.trace_sink);
+    session.set_tracer(&tracer);
+  } else {
+    tracer.Disable();
+  }
   for (;;) {
     Pending pending;
     {
@@ -188,12 +341,27 @@ void QueryServer::WorkerMain(size_t index) {
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
-    Serve(index, session, stack->sources(), std::move(pending));
+    Serve(index, session, stack->sources(), tracer, std::move(pending));
   }
 }
 
 void QueryServer::Serve(size_t index, QuerySession& session,
-                        SourceSet& sources, Pending pending) {
+                        SourceSet& sources, obs::QueryTracer& tracer,
+                        Pending pending) {
+  const uint64_t start_us = EpochNowUs();
+  const bool tracing = obs::ShouldTrace(&tracer);
+  if (tracing) {
+    obs::TraceContext ctx;
+    ctx.trace_id = pending.trace_id;
+    ctx.request_id = pending.request_id;
+    ctx.worker = static_cast<uint32_t>(index);
+    tracer.set_context(ctx);
+    // The queue wait was measured by the admission thread; the span is
+    // emitted whole by the serving worker, already under the request's
+    // context.
+    tracer.RecordSpan("queue_wait", pending.admit_us, start_us);
+  }
+
   QueryResponse response;
   response.worker = index;
 
@@ -203,8 +371,15 @@ void QueryServer::Serve(size_t index, QuerySession& session,
   const Status budget_status = sources.set_budget(pending.request.budget);
   if (!budget_status.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.counter("nc_server_queries_total", {{"outcome", "rejected"}})
+        .Increment();
     response.status = budget_status;
     response.outcome = ServeOutcome::kRejected;
+    if (tracing) {
+      tracer.RecordSpan("serve", start_us, EpochNowUs());
+      tracer.clear_context();
+      tracer.Clear();
+    }
     pending.promise.set_value(std::move(response));
     return;
   }
@@ -250,7 +425,189 @@ void QueryServer::Serve(size_t index, QuerySession& session,
     response.outcome = ServeOutcome::kError;
     errors_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  const uint64_t end_us = EpochNowUs();
+  if (tracing) {
+    tracer.RecordSpan("serve", start_us, end_us);
+    tracer.clear_context();
+    // Every event already streamed through the sink; dropping the
+    // buffered copies bounds the long-lived worker tracer's memory.
+    tracer.Clear();
+  }
+
+  // The /metrics mirror of this query: outcome, latency split into queue
+  // wait and service, the per-predicate access series, and (when the run
+  // produced one) the Eq. 1 cost audit.
+  metrics_
+      .counter("nc_server_queries_total",
+               {{"outcome", ServeOutcomeName(response.outcome)}})
+      .Increment();
+  metrics_.histogram("nc_server_queue_wait_us", LatencyBucketsUs())
+      .Observe(static_cast<double>(start_us - pending.admit_us));
+  metrics_.histogram("nc_server_service_us", LatencyBucketsUs())
+      .Observe(response.wall_micros);
+  obs::RecordSourceMetrics(&metrics_, "server", sources);
+  const obs::CostAudit& audit = session.last_cost_audit();
+  if (audit.valid) {
+    obs::RecordCostAuditMetrics(&metrics_, "server", audit);
+    const std::lock_guard<std::mutex> lock(audit_mu_);
+    last_audit_ = audit;
+    last_audit_request_ = pending.request_id;
+  }
+  WorkerMeter& meter = *meters_[index];
+  meter.busy_us.fetch_add(end_us - start_us, std::memory_order_relaxed);
+  meter.queries.fetch_add(1, std::memory_order_relaxed);
+
   pending.promise.set_value(std::move(response));
+}
+
+uint64_t QueryServer::EpochNowUs() const {
+  const uint64_t epoch = epoch_ns_.load(std::memory_order_acquire);
+  const uint64_t now = obs::MonotonicTimeNs();
+  return now > epoch ? (now - epoch) / 1000 : 0;
+}
+
+uint16_t QueryServer::stats_port() const {
+  return stats_server_.running() ? stats_server_.port() : 0;
+}
+
+bool QueryServer::warm_started() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return warm_started_;
+}
+
+std::string QueryServer::VarzJson() const {
+  const ServerStats totals = stats();
+  std::ostringstream out;
+  obs::JsonWriter w(&out);
+  w.BeginObject();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t uptime_us = running_ ? EpochNowUs() : 0;
+    w.Key("server").BeginObject();
+    w.Key("running").Bool(running_);
+    w.Key("accepting").Bool(accepting_);
+    w.Key("draining").Bool(draining_.load(std::memory_order_acquire));
+    w.Key("warm_started").Bool(warm_started_);
+    w.Key("num_workers").UInt(config_.num_workers);
+    w.Key("queue_depth").UInt(queue_.size());
+    w.Key("queue_capacity").UInt(config_.queue_capacity);
+    w.Key("peak_queue_depth").UInt(totals.peak_queue_depth);
+    w.Key("uptime_us").UInt(uptime_us);
+    w.EndObject();
+
+    w.Key("stats").BeginObject();
+    w.Key("submitted").UInt(totals.submitted);
+    w.Key("rejected").UInt(totals.rejected);
+    w.Key("completed").UInt(totals.completed);
+    w.Key("drained").UInt(totals.drained);
+    w.Key("errors").UInt(totals.errors);
+    w.Key("flushed").UInt(totals.flushed);
+    w.EndObject();
+
+    w.Key("workers").BeginArray();
+    for (size_t i = 0; i < meters_.size(); ++i) {
+      const WorkerMeter& meter = *meters_[i];
+      const uint64_t busy = meter.busy_us.load(std::memory_order_relaxed);
+      w.BeginObject();
+      w.Key("worker").UInt(i);
+      w.Key("queries").UInt(meter.queries.load(std::memory_order_relaxed));
+      w.Key("busy_us").UInt(busy);
+      w.Key("utilization")
+          .Number(uptime_us > 0
+                      ? static_cast<double>(busy) /
+                            static_cast<double>(uptime_us)
+                      : 0.0);
+      w.EndObject();
+    }
+    w.EndArray();
+
+    w.Key("watchdog").BeginObject();
+    w.Key("enabled").Bool(watchdog_ != nullptr);
+    if (watchdog_ != nullptr) {
+      w.Key("checks_run").UInt(watchdog_->checks_run());
+      w.Key("anomalies").BeginArray();
+      for (const obs::Anomaly& a : watchdog_->last_anomalies()) {
+        w.BeginObject();
+        w.Key("kind").String(a.kind);
+        w.Key("predicate").UInt(a.predicate);
+        w.Key("replica").UInt(a.replica);
+        w.Key("type").String(a.type == AccessType::kRandom ? "random"
+                                                           : "sorted");
+        w.Key("baseline").Number(a.baseline);
+        w.Key("live").Number(a.live);
+        w.Key("ratio").Number(a.ratio);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+
+  const obs::HubSnapshot snap = hub_.Snapshot();
+  w.Key("hub").BeginObject();
+  w.Key("queries_observed").UInt(snap.queries_observed);
+  const auto quantile_rows = [&w](const char* key,
+                                  const std::vector<obs::SlotQuantiles>& rows,
+                                  bool with_replica) {
+    w.Key(key).BeginArray();
+    for (const obs::SlotQuantiles& row : rows) {
+      w.BeginObject();
+      w.Key("predicate").UInt(row.predicate);
+      if (with_replica) w.Key("replica").UInt(row.replica);
+      w.Key("count").UInt(row.count);
+      w.Key("p50").Number(row.p50);
+      w.Key("p90").Number(row.p90);
+      w.Key("p95").Number(row.p95);
+      w.Key("p99").Number(row.p99);
+      w.EndObject();
+    }
+    w.EndArray();
+  };
+  quantile_rows("service", snap.service, /*with_replica=*/true);
+  quantile_rows("completion", snap.completion, /*with_replica=*/false);
+  quantile_rows("prediction_error", snap.prediction_error,
+                /*with_replica=*/false);
+  w.Key("cost").BeginArray();
+  for (const obs::CostCell& cell : snap.cost) {
+    w.BeginObject();
+    w.Key("predicate").UInt(cell.predicate);
+    w.Key("type").String(cell.type == AccessType::kRandom ? "random"
+                                                          : "sorted");
+    w.Key("ewma").Number(cell.ewma);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("fleet_health").BeginArray();
+  for (const obs::ReplicaHealth& slot : snap.health) {
+    w.BeginObject();
+    w.Key("predicate").UInt(slot.predicate);
+    w.Key("replica").UInt(slot.replica);
+    w.Key("dead").Bool(slot.dead);
+    w.Key("breaker_open").Bool(slot.breaker_open);
+    w.Key("cooldown_remaining").Number(slot.cooldown_remaining);
+    w.Key("breaker_consecutive").UInt(slot.breaker_consecutive);
+    if (slot.has_ewma) w.Key("ewma_latency").Number(slot.ewma_latency);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  {
+    const std::lock_guard<std::mutex> lock(audit_mu_);
+    w.Key("cost_audit").BeginObject();
+    w.Key("valid").Bool(last_audit_.valid);
+    if (last_audit_.valid) {
+      w.Key("request").UInt(last_audit_request_);
+      w.Key("predicted_total").Number(last_audit_.predicted_total);
+      w.Key("actual_total").Number(last_audit_.actual_total);
+      w.Key("total_error").Number(last_audit_.total_error);
+      w.Key("total_relative_error").Number(last_audit_.total_relative_error);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return out.str();
 }
 
 }  // namespace nc::server

@@ -59,8 +59,13 @@
 #include "core/planner.h"
 #include "core/result.h"
 #include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "obs/telemetry.h"
+#include "obs/tracer.h"
+#include "obs/watchdog.h"
 #include "scoring/scoring_function.h"
+#include "server/stats_server.h"
 
 namespace nc::server {
 
@@ -108,6 +113,37 @@ struct ServerConfig {
   // real sources. 0 (the default) disables it. Answers are identical
   // either way - the stall never touches the cost clock.
   size_t simulated_access_stall_us = 0;
+
+  // --- Observability plane ---------------------------------------------
+
+  // Live introspection endpoint (server/stats_server.h): /metrics
+  // (Prometheus text), /healthz, /readyz, /varz (JSON). -1 (the default)
+  // disables it; 0 binds an ephemeral loopback port (read it back with
+  // stats_port()); anything else binds that port.
+  int stats_port = -1;
+
+  // Persistent warm-start telemetry. When set, Start() loads a
+  // TelemetryHub snapshot ("nchub 1", obs/telemetry.h) from this path if
+  // the file exists - so the restarted server routes, hedges, and
+  // breaker-guards from everything the previous process learned, from
+  // its very first access - and Shutdown() (both drain modes) writes the
+  // hub back. A missing file is a cold start, not an error; a corrupt
+  // one fails Start() loudly.
+  std::string hub_snapshot_path;
+
+  // Request-scoped tracing: with a sink attached, every worker streams
+  // its trace events - each stamped with the request's TraceContext
+  // (trace/request/worker ids) plus explicit queue-wait and serve spans
+  // - as JSONL lines through this synchronized sink. The sink must
+  // outlive the server. nullptr disables tracing.
+  obs::JsonlSink* trace_sink = nullptr;
+
+  // Anomaly watchdog: with watchdog = true AND a baseline loaded from
+  // hub_snapshot_path, a background thread periodically diffs the live
+  // hub against the loaded baseline (obs/watchdog.h) and surfaces
+  // regressions as nc_anomaly_* metrics, tracer events, and /varz rows.
+  bool watchdog = false;
+  obs::WatchdogOptions watchdog_options;
 
   Status Validate() const;
 };
@@ -218,6 +254,31 @@ class QueryServer {
   obs::TelemetryHub& hub() { return hub_; }
   const obs::TelemetryHub& hub() const { return hub_; }
 
+  // The server-wide metrics registry (internally synchronized): per-query
+  // outcome counters, queue-wait/service histograms, per-predicate access
+  // and cost-audit series, and the watchdog's nc_anomaly_* counters.
+  // /metrics exposes it; it accumulates across Start/Shutdown cycles.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Port of the live introspection endpoint; 0 when disabled or not
+  // running. With config.stats_port == 0 this is the ephemeral port the
+  // OS picked.
+  uint16_t stats_port() const;
+
+  // The /varz document: a JSON snapshot of queue depth, per-worker
+  // utilization, server stats, hub quantiles/cost/fleet health, the
+  // latest cost audit, and watchdog findings. Callable any time.
+  std::string VarzJson() const;
+
+  // The anomaly watchdog; nullptr unless config.watchdog was set and a
+  // baseline snapshot was loaded at Start.
+  obs::AnomalyWatchdog* watchdog() { return watchdog_.get(); }
+
+  // True when Start() warm-loaded a hub snapshot from
+  // config.hub_snapshot_path.
+  bool warm_started() const;
+
   ServerStats stats() const;
 
   size_t num_workers() const { return config_.num_workers; }
@@ -226,14 +287,30 @@ class QueryServer {
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    // Trace identity minted at admission.
+    uint64_t request_id = 0;
+    uint64_t trace_id = 0;
+    // Admission instant on the server's shared monotonic epoch, for the
+    // queue-wait span.
+    uint64_t admit_us = 0;
+  };
+
+  // Per-worker utilization meter, read lock-free by /varz.
+  struct WorkerMeter {
+    std::atomic<uint64_t> busy_us{0};
+    std::atomic<uint64_t> queries{0};
   };
 
   void WorkerMain(size_t index);
 
   // Serves one accepted query on this worker's session + sources,
-  // fulfilling its promise exactly once.
+  // fulfilling its promise exactly once. `tracer` is the worker's
+  // confined tracer (context installed per request).
   void Serve(size_t index, QuerySession& session, SourceSet& sources,
-             Pending pending);
+             obs::QueryTracer& tracer, Pending pending);
+
+  // Microseconds since the server's shared monotonic epoch.
+  uint64_t EpochNowUs() const;
 
   static QueryResponse Rejected(Status status);
 
@@ -242,6 +319,29 @@ class QueryServer {
   WorkerStackFactory factory_;
   // Declared before any worker can exist; outlives them all.
   obs::TelemetryHub hub_;
+  // The loaded "nchub 1" snapshot, kept verbatim as the watchdog's
+  // baseline (hub_ itself keeps learning and would drift).
+  obs::TelemetryHub baseline_hub_;
+  obs::MetricsRegistry metrics_;
+  StatsServer stats_server_;
+  // Assigned under mu_ by Start (replacing any stopped predecessor) so
+  // /varz can read the pointer under mu_ concurrently.
+  std::unique_ptr<obs::AnomalyWatchdog> watchdog_;
+  bool warm_started_ = false;  // Guarded by mu_.
+
+  // Shared monotonic anchor handed to every worker's tracer, so wall_us
+  // from different workers is directly comparable. Set at Start.
+  std::atomic<uint64_t> epoch_ns_{0};
+  // Mixes into minted trace ids so two server runs do not collide.
+  uint64_t trace_nonce_ = 0;  // Guarded by mu_.
+  std::atomic<uint64_t> next_request_id_{0};
+  // One meter per worker; rebuilt by Start (workers hold raw pointers).
+  std::vector<std::unique_ptr<WorkerMeter>> meters_;
+
+  // The most recent query's cost audit, mirrored for /varz.
+  mutable std::mutex audit_mu_;
+  obs::CostAudit last_audit_;
+  uint64_t last_audit_request_ = 0;
 
   // Serializes Start/Shutdown against each other (worker threads joined
   // outside mu_ so workers can finish queries that need it).

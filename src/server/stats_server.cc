@@ -1,0 +1,205 @@
+#include "server/stats_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nc::server {
+
+namespace {
+
+// A request head larger than this is not something /metrics needs to
+// understand.
+constexpr size_t kMaxRequestBytes = 4096;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "OK";
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // Peer gone; a scrape retry is the recovery.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  SendAll(fd, out);
+}
+
+}  // namespace
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Handle(std::string path, HttpHandler handler) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  NC_CHECK(!running_);  // The handler table is read lock-free while running.
+  NC_CHECK(handler != nullptr);
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status StatsServer::Start(uint16_t port) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("stats server is already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket(): ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // Operator-only endpoint.
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("bind(127.0.0.1:" + std::to_string(port) +
+                               "): " + why);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("listen(): " + why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("getsockname(): " + why);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_.store(true, std::memory_order_release);
+  }
+  thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+bool StatsServer::running() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint16_t StatsServer::port() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return port_;
+}
+
+void StatsServer::AcceptLoop() {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    // A short poll timeout bounds how long a Stop() waits; the socket is
+    // only closed after the join, so accept never races a close.
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void StatsServer::ServeConnection(int fd) {
+  // Read until the end of the request head (or the size cap). The
+  // request line is all we use.
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find('\n');
+  if (line_end == std::string::npos) return;  // No request line at all.
+
+  HttpResponse response;
+  const size_t method_end = request.find(' ');
+  if (method_end == std::string::npos || method_end >= line_end) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+    SendResponse(fd, response);
+    return;
+  }
+  const std::string method = request.substr(0, method_end);
+  const size_t path_end = request.find(' ', method_end + 1);
+  std::string path =
+      request.substr(method_end + 1,
+                     (path_end == std::string::npos || path_end > line_end
+                          ? line_end
+                          : path_end) -
+                         method_end - 1);
+  // Strip any query string and a trailing CR: exact-path matching only.
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  while (!path.empty() && (path.back() == '\r' || path.back() == '\n')) {
+    path.pop_back();
+  }
+
+  if (method != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+    SendResponse(fd, response);
+    return;
+  }
+  const auto it = handlers_.find(path);
+  if (it == handlers_.end()) {
+    response.status = 404;
+    response.body = "no handler for " + path + "\n";
+    SendResponse(fd, response);
+    return;
+  }
+  SendResponse(fd, it->second());
+}
+
+}  // namespace nc::server

@@ -1,0 +1,85 @@
+// A minimal embedded HTTP/1.0 introspection endpoint.
+//
+// The QueryServer's live state - Prometheus metrics, health/readiness,
+// the /varz JSON snapshot - has to be reachable while the server is
+// under load, without adding a web framework to a middleware library.
+// StatsServer is the smallest thing that works: one blocking socket
+// thread on 127.0.0.1, GET-only HTTP/1.0 with Connection: close, exact
+// path match against a handler table registered before Start. No
+// keep-alive, no TLS, no request bodies; a scrape is one connect, one
+// GET line, one response.
+//
+// Handlers run on the accept thread, so they must be fast and
+// thread-safe against the state they read (the QueryServer's handlers
+// read atomics, mutex-guarded snapshots, and the internally-synchronized
+// MetricsRegistry/TelemetryHub). Binding is loopback-only by design:
+// this is an operator endpoint, not a public API.
+//
+// The accept loop polls with a short timeout and re-checks a stop flag,
+// so Stop() joins promptly without racing a close() under accept().
+
+#ifndef NC_SERVER_STATS_SERVER_H_
+#define NC_SERVER_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace nc::server {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Invoked per matching GET, on the accept thread.
+using HttpHandler = std::function<HttpResponse()>;
+
+class StatsServer {
+ public:
+  StatsServer() = default;
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Registers `handler` for exact-match GETs of `path` (e.g. "/metrics").
+  // Must be called before Start.
+  void Handle(std::string path, HttpHandler handler);
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port - read it back
+  // with port()) and spawns the accept thread. FailedPrecondition when
+  // already running, Unavailable when the bind fails.
+  Status Start(uint16_t port);
+
+  // Stops the accept thread and closes the socket; idempotent.
+  void Stop();
+
+  bool running() const;
+
+  // The bound port; 0 before a successful Start.
+  uint16_t port() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  mutable std::mutex mu_;
+  bool running_ = false;
+};
+
+}  // namespace nc::server
+
+#endif  // NC_SERVER_STATS_SERVER_H_

@@ -83,6 +83,38 @@ TEST(MetricsRegistryTest, PrometheusTextGolden) {
             "nc_width_count{algorithm=\"NC\"} 3\n");
 }
 
+TEST(MetricsTest, PrometheusQuoteEscapesExactlyTheExpositionSet) {
+  // The exposition format allows exactly \\ , \" and \n inside a quoted
+  // label value; everything else - including raw UTF-8 - passes through.
+  // (JsonQuote would emit \uXXXX escapes, which are invalid exposition
+  // syntax - the bug this function exists to fix.)
+  EXPECT_EQ(PrometheusQuote("plain"), "\"plain\"");
+  EXPECT_EQ(PrometheusQuote("a\\b\"c\nd"), "\"a\\\\b\\\"c\\nd\"");
+  EXPECT_EQ(PrometheusQuote("caf\xC3\xA9 \xE2\x82\xAC"),
+            "\"caf\xC3\xA9 \xE2\x82\xAC\"");
+  EXPECT_EQ(PrometheusQuote(""), "\"\"");
+  // A tab is NOT in the escape set: raw passthrough.
+  EXPECT_EQ(PrometheusQuote("a\tb"), "\"a\tb\"");
+}
+
+TEST(MetricsTest, FormatLabelsUsesExpositionEscapes) {
+  const std::string labels = FormatLabels(
+      {{"msg", "line1\nline2"}, {"name", "caf\xC3\xA9"}, {"path", "C:\\tmp"}});
+  EXPECT_EQ(labels,
+            "{msg=\"line1\\nline2\",name=\"caf\xC3\xA9\","
+            "path=\"C:\\\\tmp\"}");
+}
+
+TEST(MetricsRegistryTest, ExpositionStaysOneLinePerSeriesUnderHostileLabels) {
+  MetricsRegistry registry;
+  registry.counter("nc_files_total", {{"path", "a\nb\\c\"d"}}).Increment();
+  std::ostringstream os;
+  registry.WritePrometheusText(&os);
+  EXPECT_EQ(os.str(),
+            "# TYPE nc_files_total counter\n"
+            "nc_files_total{path=\"a\\nb\\\\c\\\"d\"} 1\n");
+}
+
 TEST(MetricsRegistryTest, ClearDropsEverySeries) {
   MetricsRegistry registry;
   registry.counter("nc_x_total").Increment();

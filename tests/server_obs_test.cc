@@ -1,0 +1,549 @@
+// The server observability plane, end to end: request-scoped tracing
+// stitched across workers, the live introspection endpoint scraped over
+// real HTTP, the persistent hub snapshot closing the warm-start loop,
+// and the anomaly watchdog riding the same baseline.
+//
+// Run under the tsan preset, this file is also the data-race proof for
+// the StatsServer and watchdog threads against serving workers.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/reference.h"
+#include "data/generator.h"
+#include "obs/tracer.h"
+#include "obs/watchdog.h"
+#include "replica/replica.h"
+#include "server/server.h"
+
+namespace nc {
+namespace {
+
+using server::QueryRequest;
+using server::QueryResponse;
+using server::QueryServer;
+using server::ServeOutcome;
+using server::ServerConfig;
+using server::WorkerStack;
+
+Dataset MakeData(uint64_t seed, size_t n = 600) {
+  GeneratorOptions g;
+  g.num_objects = n;
+  g.num_predicates = 2;
+  g.seed = seed;
+  return GenerateDataset(g);
+}
+
+PlannerOptions SmallPlanner() {
+  PlannerOptions options;
+  options.sample_size = 100;
+  return options;
+}
+
+class PlainStack : public WorkerStack {
+ public:
+  PlainStack(const Dataset* data, CostModel cost)
+      : sources_(data, std::move(cost)) {}
+  SourceSet& sources() override { return sources_; }
+
+ private:
+  SourceSet sources_;
+};
+
+// A two-replica fleet per predicate. With `scripted_death`, predicate
+// 0's primary dies on its second routed attempt - the health event the
+// hub snapshot must carry across the restart.
+class TwoReplicaStack : public WorkerStack {
+ public:
+  TwoReplicaStack(const Dataset* data, CostModel cost, uint64_t seed,
+                  bool scripted_death)
+      : fleet_(seed), sources_(data, std::move(cost)) {
+    ReplicaEndpoint primary;
+    primary.name = "primary";
+    ReplicaEndpoint mirror;
+    mirror.name = "mirror";
+    mirror.cost_multiplier = 1.0;
+    for (PredicateId i = 0; i < 2; ++i) {
+      ReplicaSetConfig config;
+      config.replicas = {primary, mirror};
+      if (scripted_death && i == 0) {
+        config.replicas[0].faults.die_after_attempts = 1;
+      }
+      NC_CHECK(fleet_.Configure(i, config).ok());
+    }
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    sources_.set_retry_policy(retry, /*jitter_seed=*/seed);
+    NC_CHECK(sources_.set_replica_fleet(&fleet_).ok());
+  }
+  SourceSet& sources() override { return sources_; }
+
+ private:
+  ReplicaFleet fleet_;
+  SourceSet sources_;
+};
+
+// --- Minimal HTTP client (loopback GET) -----------------------------------
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+// Extracts `"key":<uint>` from one JSONL line; false when absent.
+bool FindUInt(const std::string& line, const std::string& key,
+              uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
+  return true;
+}
+
+bool FindString(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t begin = at + needle.size();
+  const size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+// --- Request-scoped tracing ------------------------------------------------
+
+// THE stitching test: 4 workers stream concurrently into one sink; the
+// per-request timelines must reconstruct from the JSONL alone - every
+// worker event carries a valid trace/request/worker triple, each request
+// has exactly one queue_wait and one serve span, spans nest sanely, and
+// no line is torn or interleaved.
+TEST(ServerObsTest, MultiWorkerStreamingTracesStitchPerRequest) {
+  const Dataset data = MakeData(71);
+  const AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 2.0);
+  std::ostringstream trace_out;
+  obs::JsonlSink sink(&trace_out);
+
+  ServerConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 16;
+  config.planner = SmallPlanner();
+  config.trace_sink = &sink;
+  QueryServer server(&avg, config, [&](size_t) {
+    return std::make_unique<PlainStack>(&data, cost);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kQueries = 12;
+  std::vector<std::future<QueryResponse>> responses(kQueries);
+  for (size_t j = 0; j < kQueries; ++j) {
+    QueryRequest request;
+    request.k = 1 + j % 7;
+    ASSERT_TRUE(server.Submit(request, &responses[j]).ok());
+  }
+  for (auto& response : responses) {
+    EXPECT_EQ(response.get().outcome, ServeOutcome::kCompleted);
+  }
+  server.Shutdown(/*finish_queued=*/true);
+
+  struct PerRequest {
+    std::set<std::string> traces;
+    std::set<uint64_t> workers;
+    size_t queue_wait_spans = 0;
+    size_t serve_spans = 0;
+    size_t accesses = 0;
+    uint64_t queue_wait_start = 0;
+    uint64_t serve_start = 0;
+  };
+  std::map<uint64_t, PerRequest> requests;
+
+  std::istringstream in(trace_out.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    // No torn or interleaved lines: each is one complete JSON object.
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    ASSERT_NE(line.find("\"kind\":\""), std::string::npos) << line;
+
+    // Every worker event rides inside a request scope (the server
+    // installs the context before Reset and clears it after the serve
+    // span), so every line carries the full triple.
+    uint64_t request_id = 0;
+    ASSERT_TRUE(FindUInt(line, "request", &request_id)) << line;
+    std::string trace;
+    ASSERT_TRUE(FindString(line, "trace", &trace)) << line;
+    ASSERT_EQ(trace.size(), 16u) << line;  // 64-bit lowercase hex.
+    ASSERT_EQ(trace.find_first_not_of("0123456789abcdef"),
+              std::string::npos)
+        << line;
+    uint64_t worker = 0;
+    ASSERT_TRUE(FindUInt(line, "worker", &worker)) << line;
+    ASSERT_LT(worker, 4u) << line;
+
+    PerRequest& per = requests[request_id];
+    per.traces.insert(trace);
+    per.workers.insert(worker);
+    std::string name;
+    if (line.find("\"kind\":\"span\"") != std::string::npos) {
+      ASSERT_TRUE(FindString(line, "name", &name));
+      uint64_t start = 0;
+      ASSERT_TRUE(FindUInt(line, "wall_us", &start));
+      if (name == "queue_wait") {
+        ++per.queue_wait_spans;
+        per.queue_wait_start = start;
+      } else if (name == "serve") {
+        ++per.serve_spans;
+        per.serve_start = start;
+      }
+    } else if (line.find("\"kind\":\"access\"") != std::string::npos) {
+      ++per.accesses;
+    }
+  }
+  EXPECT_EQ(sink.lines_written(), lines);
+  ASSERT_EQ(requests.size(), kQueries);
+
+  std::set<std::string> all_traces;
+  for (uint64_t id = 1; id <= kQueries; ++id) {
+    ASSERT_TRUE(requests.count(id)) << "request " << id;
+    const PerRequest& per = requests[id];
+    // One trace id and one worker per request: the timeline stitches.
+    EXPECT_EQ(per.traces.size(), 1u);
+    EXPECT_EQ(per.workers.size(), 1u);
+    all_traces.insert(*per.traces.begin());
+    // Well-formed sequence: admitted once, served once, did real work.
+    EXPECT_EQ(per.queue_wait_spans, 1u) << "request " << id;
+    EXPECT_EQ(per.serve_spans, 1u) << "request " << id;
+    EXPECT_GT(per.accesses, 0u) << "request " << id;
+    // The queue wait precedes the serve span on the shared epoch.
+    EXPECT_LE(per.queue_wait_start, per.serve_start);
+  }
+  // Trace ids are distinct across requests.
+  EXPECT_EQ(all_traces.size(), kQueries);
+}
+
+// --- The live introspection endpoint ---------------------------------------
+
+TEST(ServerObsTest, ScrapeEndpointsServeLiveState) {
+  const Dataset data = MakeData(81);
+  const AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 2.0);
+  ServerConfig config;
+  config.num_workers = 2;
+  config.planner = SmallPlanner();
+  config.stats_port = 0;  // Ephemeral.
+  QueryServer server(&avg, config, [&](size_t) {
+    return std::make_unique<PlainStack>(&data, cost);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.stats_port();
+  ASSERT_GT(port, 0);
+
+  // Liveness and readiness answer before any query.
+  EXPECT_NE(HttpGet(port, "/healthz").find("200 OK"), std::string::npos);
+  EXPECT_NE(HttpGet(port, "/readyz").find("ready"), std::string::npos);
+
+  constexpr size_t kQueries = 6;
+  for (size_t j = 0; j < kQueries; ++j) {
+    QueryRequest request;
+    request.k = 5;
+    std::future<QueryResponse> response;
+    ASSERT_TRUE(server.Submit(request, &response).ok());
+    EXPECT_EQ(response.get().outcome, ServeOutcome::kCompleted);
+  }
+
+  // /metrics: the Prometheus mirror of what was just served, and basic
+  // exposition grammar (every sample line is "name{labels} value").
+  const std::string metrics = Body(HttpGet(port, "/metrics"));
+  EXPECT_NE(metrics.find("nc_server_queries_total{outcome=\"completed\"} 6"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("nc_server_service_us_count"), std::string::npos);
+  EXPECT_NE(metrics.find("nc_accesses_total{algorithm=\"server\""),
+            std::string::npos);
+  std::istringstream grammar(metrics);
+  std::string line;
+  while (std::getline(grammar, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    // The value parses as a number.
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + space + 1, &end);
+    ASSERT_EQ(*end, '\0') << line;
+  }
+
+  // /varz: the JSON snapshot agrees with the server's own accessors.
+  const std::string varz_response = HttpGet(port, "/varz");
+  EXPECT_NE(varz_response.find("Content-Type: application/json"),
+            std::string::npos);
+  const std::string varz = Body(varz_response);
+  EXPECT_EQ(varz.rfind("{", 0), 0u);
+  EXPECT_NE(varz.find("\"running\":true"), std::string::npos);
+  EXPECT_NE(varz.find("\"accepting\":true"), std::string::npos);
+  EXPECT_NE(varz.find("\"num_workers\":2"), std::string::npos);
+  EXPECT_NE(varz.find("\"submitted\":6"), std::string::npos);
+  EXPECT_NE(varz.find("\"completed\":6"), std::string::npos);
+  EXPECT_NE(varz.find("\"queries_observed\":6"), std::string::npos);
+  EXPECT_NE(varz.find("\"workers\":["), std::string::npos);
+  EXPECT_NE(varz.find("\"cost_audit\":"), std::string::npos);
+  // Both workers may not have served, but every meter row renders.
+  EXPECT_NE(varz.find("\"worker\":0"), std::string::npos);
+  EXPECT_NE(varz.find("\"worker\":1"), std::string::npos);
+  // The direct accessor returns the same document shape.
+  EXPECT_EQ(server.VarzJson().rfind("{", 0), 0u);
+
+  EXPECT_NE(HttpGet(port, "/nope").find("404"), std::string::npos);
+
+  server.Shutdown(/*finish_queued=*/true);
+  EXPECT_EQ(server.stats_port(), 0);  // Endpoint stopped with the server.
+}
+
+TEST(ServerObsTest, StatsPortValidationAndDisabledByDefault) {
+  ServerConfig config;
+  config.stats_port = 70000;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.stats_port = -1;
+  EXPECT_TRUE(config.Validate().ok());
+
+  const Dataset data = MakeData(82, 200);
+  const AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 2.0);
+  QueryServer server(&avg, config, [&](size_t) {
+    return std::make_unique<PlainStack>(&data, cost);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.stats_port(), 0);  // Disabled: nothing bound.
+  server.Shutdown(true);
+}
+
+// --- Persistent warm-start telemetry ---------------------------------------
+
+// THE warm-start loop: process A learns a replica death the hard way and
+// snapshots its hub at drain; process B (a fresh server, fresh stacks,
+// same snapshot path) must route around that replica from its very
+// first access - no failover, no rediscovery - while answering
+// bit-identically to a cold run.
+TEST(ServerObsTest, HubSnapshotWarmStartsRestartedServerRouting) {
+  const std::string path =
+      ::testing::TempDir() + "/nc_server_obs_warmstart.nchub";
+  std::remove(path.c_str());
+  const Dataset data = MakeData(91, 500);
+  const AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 2.0);
+  const TopKResult expected = BruteForceTopK(data, avg, 8);
+
+  // --- Process A: cold start, scripted death, snapshot at shutdown. ---
+  {
+    ServerConfig config;
+    config.num_workers = 1;
+    config.planner = SmallPlanner();
+    config.hub_snapshot_path = path;
+    QueryServer server(&avg, config, [&](size_t) {
+      return std::make_unique<TwoReplicaStack>(&data, cost, /*seed=*/7,
+                                               /*scripted_death=*/true);
+    });
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_FALSE(server.warm_started());  // No snapshot yet: cold.
+    for (int j = 0; j < 3; ++j) {
+      QueryRequest request;
+      request.k = 8;
+      std::future<QueryResponse> response;
+      ASSERT_TRUE(server.Submit(request, &response).ok());
+      const QueryResponse served = response.get();
+      ASSERT_TRUE(served.status.ok()) << served.status;
+      EXPECT_EQ(served.result, expected);  // Failover, not wrong answers.
+    }
+    // The death was observed and captured.
+    const std::vector<obs::ReplicaHealth> health = server.hub().fleet_health();
+    bool primary_dead = false;
+    for (const obs::ReplicaHealth& slot : health) {
+      if (slot.predicate == 0 && slot.replica == 0) {
+        primary_dead = slot.dead;
+      }
+    }
+    ASSERT_TRUE(primary_dead);
+    server.Shutdown(/*finish_queued=*/true);
+  }
+  {
+    std::ifstream snapshot(path);
+    ASSERT_TRUE(snapshot.good());  // Shutdown wrote the hub back.
+  }
+
+  // --- Process B: fresh server, HEALTHY stacks, warm from the file. ---
+  {
+    ServerConfig config;
+    config.num_workers = 1;
+    config.planner = SmallPlanner();
+    config.hub_snapshot_path = path;
+    QueryServer server(&avg, config, [&](size_t) {
+      return std::make_unique<TwoReplicaStack>(&data, cost, /*seed=*/7,
+                                               /*scripted_death=*/false);
+    });
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_TRUE(server.warm_started());
+
+    // The loaded hub already knows the death - before any query runs.
+    const uint64_t primary_samples_before =
+        server.hub().replica_service_count(0, 0);
+    QueryRequest request;
+    request.k = 8;
+    std::future<QueryResponse> response;
+    ASSERT_TRUE(server.Submit(request, &response).ok());
+    const QueryResponse served = response.get();
+    ASSERT_TRUE(served.status.ok()) << served.status;
+    // Bit-identical to the cold answer: the hub only moves traffic,
+    // never changes results.
+    EXPECT_EQ(served.result, expected);
+
+    // The first query routed around the dead primary from its first
+    // access: the primary's sample count never grew, the mirror's did,
+    // and - the sharpest signal - there was nothing to fail over FROM.
+    EXPECT_EQ(server.hub().replica_service_count(0, 0),
+              primary_samples_before);
+    EXPECT_GT(server.hub().replica_service_count(0, 1), 0u);
+    EXPECT_DOUBLE_EQ(
+        server.metrics().CounterSum("nc_replica_failovers_total"), 0.0);
+    server.Shutdown(/*finish_queued=*/true);
+  }
+
+  // --- Corrupt snapshots fail Start loudly, not silently cold. ---
+  {
+    std::ofstream corrupt(path, std::ios::trunc);
+    corrupt << "nchub 1\ngarbage record\nend\n";
+  }
+  {
+    ServerConfig config;
+    config.num_workers = 1;
+    config.planner = SmallPlanner();
+    config.hub_snapshot_path = path;
+    QueryServer server(&avg, config, [&](size_t) {
+      return std::make_unique<PlainStack>(&data, cost);
+    });
+    EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(server.running());
+  }
+  std::remove(path.c_str());
+}
+
+// --- The anomaly watchdog, wired into the server ---------------------------
+
+TEST(ServerObsTest, WatchdogRunsAgainstLoadedBaseline) {
+  const std::string path =
+      ::testing::TempDir() + "/nc_server_obs_watchdog.nchub";
+  std::remove(path.c_str());
+  const Dataset data = MakeData(93, 300);
+  const AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 2.0);
+
+  // A baseline snapshot claiming accesses used to be dramatically
+  // cheaper than this cost model charges: the watchdog must notice.
+  {
+    obs::TelemetryHub seed_hub;
+    seed_hub.ObserveAccessCost(0, AccessType::kSorted, 1e-3);
+    seed_hub.ObserveAccessCost(1, AccessType::kSorted, 1e-3);
+    ASSERT_TRUE(seed_hub.SaveToFile(path).ok());
+  }
+
+  ServerConfig config;
+  config.num_workers = 1;
+  config.planner = SmallPlanner();
+  config.hub_snapshot_path = path;
+  config.watchdog = true;
+  config.watchdog_options.interval_ms = 5.0;
+  QueryServer server(&avg, config, [&](size_t) {
+    return std::make_unique<PlainStack>(&data, cost);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.watchdog(), nullptr);
+  EXPECT_TRUE(server.watchdog()->running());
+
+  QueryRequest request;
+  request.k = 5;
+  std::future<QueryResponse> response;
+  ASSERT_TRUE(server.Submit(request, &response).ok());
+  EXPECT_EQ(response.get().outcome, ServeOutcome::kCompleted);
+
+  // Wait for a check that sees the live cost EWMA (fed by the query).
+  for (int spin = 0; spin < 400; ++spin) {
+    if (server.metrics().CounterSum("nc_anomaly_access_cost_total") > 0.0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(server.metrics().CounterSum("nc_anomaly_access_cost_total"), 0.0);
+  EXPECT_FALSE(server.watchdog()->last_anomalies().empty());
+  // The findings render into /varz.
+  EXPECT_NE(server.VarzJson().find("\"kind\":\"access_cost\""),
+            std::string::npos);
+
+  server.Shutdown(/*finish_queued=*/true);
+  EXPECT_FALSE(server.watchdog()->running());
+  std::remove(path.c_str());
+}
+
+// Without a snapshot there is no baseline: watchdog=true stays inert
+// rather than diffing against emptiness.
+TEST(ServerObsTest, WatchdogNeedsABaselineToStart) {
+  const Dataset data = MakeData(94, 200);
+  const AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 2.0);
+  ServerConfig config;
+  config.num_workers = 1;
+  config.planner = SmallPlanner();
+  config.watchdog = true;  // But no hub_snapshot_path.
+  QueryServer server(&avg, config, [&](size_t) {
+    return std::make_unique<PlainStack>(&data, cost);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.watchdog(), nullptr);
+  server.Shutdown(true);
+}
+
+}  // namespace
+}  // namespace nc

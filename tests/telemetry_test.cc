@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -354,6 +356,181 @@ TEST(TelemetryHubTest, ConcurrentFeedsAndReadsAreSafe) {
   for (size_t r = 0; r < 4; ++r) {
     EXPECT_EQ(hub.replica_service_count(0, r), 500u);
   }
+}
+
+// --- Persistence ("nchub 1") ----------------------------------------------
+
+// Fills a hub with pseudo-random state across every record kind the
+// format carries: sketches on several slots, cost EWMAs, hedge windows
+// (both partially filled and wrapped rings), and captured fleet health.
+void FeedRandomly(TelemetryHub* hub, uint64_t seed) {
+  Rng rng(seed);
+  const size_t slots = 1 + rng.UniformInt(4);
+  for (size_t s = 0; s < slots; ++s) {
+    const PredicateId i = static_cast<PredicateId>(rng.UniformInt(3));
+    const size_t r = rng.UniformInt(3);
+    const size_t n = 1 + rng.UniformInt(150);  // May wrap the hedge ring.
+    for (size_t v = 0; v < n; ++v) {
+      hub->ObserveReplicaService(i, r, rng.Uniform01() * 50.0);
+    }
+    for (size_t v = 0; v < 1 + rng.UniformInt(30); ++v) {
+      hub->ObserveCompletion(i, rng.Uniform01() * 20.0);
+      hub->ObservePredictionError(i, rng.Uniform01());
+    }
+    hub->ObserveAccessCost(i, AccessType::kSorted, rng.Uniform01() * 3.0);
+    hub->ObserveAccessCost(i, AccessType::kRandom, rng.Uniform01() * 8.0);
+    hub->NoteQuery();
+  }
+  ReplicaFleet fleet = TwoByTwoFleet(seed);
+  fleet.runtime(0, 0).dead = rng.Uniform01() < 0.5;
+  fleet.runtime(1, 1).breaker_open = true;
+  fleet.runtime(1, 1).breaker_open_until = 4.0 + rng.Uniform01();
+  fleet.runtime(1, 1).breaker_consecutive = 1 + rng.UniformInt(5);
+  fleet.runtime(0, 1).has_ewma = true;
+  fleet.runtime(0, 1).ewma_latency = rng.Uniform01() * 7.0;
+  hub->CaptureFleetHealth(fleet, /*now=*/rng.Uniform01());
+}
+
+// THE property test the header contract names: Deserialize(Serialize())
+// reproduces the document byte-for-byte, across many random hub states.
+// Byte-exact re-serialization implies bit-exact state (every double
+// rides as a hexfloat), so a restored hub continues estimating exactly
+// where the saved one stopped.
+TEST(TelemetryHubPersistTest, SerializeRoundTripsByteExact) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    TelemetryHub hub;
+    FeedRandomly(&hub, seed);
+    const std::string doc = hub.Serialize();
+    ASSERT_EQ(doc.rfind("nchub 1\n", 0), 0u) << "seed " << seed;
+
+    TelemetryHub restored;
+    ASSERT_TRUE(restored.Deserialize(doc).ok()) << "seed " << seed;
+    EXPECT_EQ(restored.Serialize(), doc) << "seed " << seed;
+
+    // Spot-check live behavior, not just bytes: the estimators answer
+    // identically.
+    EXPECT_EQ(restored.queries_observed(), hub.queries_observed());
+    for (PredicateId i = 0; i < 3; ++i) {
+      for (size_t r = 0; r < 3; ++r) {
+        const double a = hub.AdaptiveHedgeDelay(i, r);
+        const double b = restored.AdaptiveHedgeDelay(i, r);
+        EXPECT_TRUE((std::isnan(a) && std::isnan(b)) || a == b);
+        const double qa = hub.ReplicaServiceQuantile(i, r, 0.9);
+        const double qb = restored.ReplicaServiceQuantile(i, r, 0.9);
+        EXPECT_TRUE((std::isnan(qa) && std::isnan(qb)) || qa == qb);
+      }
+    }
+  }
+}
+
+TEST(TelemetryHubPersistTest, EmptyHubRoundTrips) {
+  TelemetryHub hub;
+  const std::string doc = hub.Serialize();
+  EXPECT_EQ(doc, "nchub 1\nqueries 0\nend\n");
+  TelemetryHub restored;
+  ASSERT_TRUE(restored.Deserialize(doc).ok());
+  EXPECT_EQ(restored.Serialize(), doc);
+}
+
+TEST(TelemetryHubPersistTest, RestoredSketchKeepsEstimatingNotJustReporting) {
+  // The format carries the full P2 marker vectors, so feeding MORE
+  // samples after a restore matches feeding them without the round trip.
+  TelemetryHub hub;
+  Rng rng(77);
+  std::vector<double> tail;
+  for (int n = 0; n < 300; ++n) hub.ObserveCompletion(0, rng.Uniform01());
+  for (int n = 0; n < 300; ++n) tail.push_back(rng.Uniform01());
+
+  TelemetryHub restored;
+  ASSERT_TRUE(restored.Deserialize(hub.Serialize()).ok());
+  for (const double v : tail) {
+    hub.ObserveCompletion(0, v);
+    restored.ObserveCompletion(0, v);
+  }
+  EXPECT_EQ(restored.CompletionQuantile(0, 0.5), hub.CompletionQuantile(0, 0.5));
+  EXPECT_EQ(restored.CompletionQuantile(0, 0.99),
+            hub.CompletionQuantile(0, 0.99));
+}
+
+TEST(TelemetryHubPersistTest, ParseErrorsNameTheLineAndLeaveHubUntouched) {
+  TelemetryHub hub;
+  FeedRandomly(&hub, 3);
+  const std::string before = hub.Serialize();
+
+  const char* corrupt[] = {
+      "",                                     // No header.
+      "nchub 2\nend\n",                       // Wrong version.
+      "nchub 1\nqueries 0\n",                 // Missing end.
+      "nchub 1\nqueries 0\nend\ntrailing\n",  // Records after end.
+      "nchub 1\nqueries 0\nwhat 1 2\nend\n",  // Unknown record.
+      "nchub 1\nqueries zero\nend\n",         // Non-numeric token.
+      "nchub 1\nqueries 0 0\nend\n",          // Trailing token.
+      "nchub 1\ncost 0 2 0x1p+0\nend\n",      // Access type out of range.
+  };
+  for (const char* doc : corrupt) {
+    const Status status = hub.Deserialize(doc);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << doc;
+    EXPECT_EQ(hub.Serialize(), before) << doc;  // State unchanged.
+  }
+}
+
+TEST(TelemetryHubPersistTest, SaveAndLoadFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/nchub_roundtrip_test.nchub";
+  TelemetryHub hub;
+  FeedRandomly(&hub, 9);
+  ASSERT_TRUE(hub.SaveToFile(path).ok());
+
+  TelemetryHub loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.Serialize(), hub.Serialize());
+
+  // A missing file is kUnavailable (the caller decides whether that is a
+  // cold start or an error), not a crash.
+  TelemetryHub missing;
+  EXPECT_EQ(missing.LoadFromFile(path + ".does-not-exist").code(),
+            StatusCode::kUnavailable);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryHubPersistTest, LoadedHealthWarmsAFreshFleet) {
+  // The warm-start story end to end at the hub level: health captured in
+  // process A (replica (0,0) dead) survives the text round trip and
+  // re-applies onto process B's brand-new fleet.
+  TelemetryHub hub;
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(0, 0).dead = true;
+  hub.CaptureFleetHealth(fleet, 0.0);
+
+  TelemetryHub loaded;
+  ASSERT_TRUE(loaded.Deserialize(hub.Serialize()).ok());
+  ReplicaFleet fresh = TwoByTwoFleet(/*seed=*/99);
+  ASSERT_FALSE(fresh.runtime(0, 0).dead);
+  loaded.WarmFleet(&fresh);
+  EXPECT_TRUE(fresh.runtime(0, 0).dead);
+  EXPECT_FALSE(fresh.runtime(0, 1).dead);
+}
+
+TEST(TelemetryHubPersistTest, SnapshotDecodesAndSortsEverything) {
+  TelemetryHub hub;
+  hub.ObserveReplicaService(1, 0, 2.0);
+  hub.ObserveReplicaService(0, 1, 3.0);
+  hub.ObserveCompletion(0, 1.0);
+  hub.ObserveAccessCost(0, AccessType::kRandom, 4.0);
+  hub.NoteQuery();
+  const obs::HubSnapshot snap = hub.Snapshot();
+  EXPECT_EQ(snap.queries_observed, 1u);
+  ASSERT_EQ(snap.service.size(), 2u);
+  EXPECT_EQ(snap.service[0].predicate, 0u);
+  EXPECT_EQ(snap.service[0].replica, 1u);
+  EXPECT_EQ(snap.service[1].predicate, 1u);
+  EXPECT_EQ(snap.service[1].replica, 0u);
+  EXPECT_DOUBLE_EQ(snap.service[1].p50, 2.0);
+  ASSERT_EQ(snap.completion.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.completion[0].p50, 1.0);
+  ASSERT_EQ(snap.cost.size(), 1u);
+  EXPECT_EQ(snap.cost[0].type, AccessType::kRandom);
+  EXPECT_DOUBLE_EQ(snap.cost[0].ewma, 4.0);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/srg_policy.h"
@@ -248,6 +250,132 @@ TEST(QueryTracerTest, StreamingJsonlSurvivesMidQueryKill) {
   // 40 clock reads = 40 recorded events, each flushed before the kill.
   EXPECT_EQ(lines, 40u);
   std::remove(path);
+}
+
+// --- Request scoping, spans, and the shared sink -------------------------
+
+TEST(QueryTracerTest, ContextStampsEventsUntilCleared) {
+  QueryTracer tracer;
+  InstallTickClock(&tracer);
+  TraceContext ctx;
+  ctx.trace_id = 0xabcdef0123456789ull;
+  ctx.request_id = 7;
+  ctx.worker = 2;
+  tracer.set_context(ctx);
+  tracer.RecordAccess(AccessType::kSorted, 0, 0, 1.0, 1.0);
+  tracer.clear_context();
+  tracer.RecordAccess(AccessType::kSorted, 0, 0, 1.0, 2.0);
+
+  std::ostringstream os;
+  tracer.ExportJsonl(&os);
+  EXPECT_EQ(os.str(),
+            "{\"kind\":\"access\",\"wall_us\":0,"
+            "\"trace\":\"abcdef0123456789\",\"request\":7,\"worker\":2,"
+            "\"cost_clock\":1,\"type\":\"sorted\",\"predicate\":0,"
+            "\"outcome\":\"ok\",\"charged\":1}\n"
+            "{\"kind\":\"access\",\"wall_us\":10,\"cost_clock\":2,"
+            "\"type\":\"sorted\",\"predicate\":0,\"outcome\":\"ok\","
+            "\"charged\":1}\n");
+}
+
+TEST(QueryTracerTest, SpanGoldenJsonlAndChrome) {
+  QueryTracer tracer;
+  InstallTickClock(&tracer);
+  TraceContext ctx;
+  ctx.trace_id = 0x1;
+  ctx.request_id = 3;
+  ctx.worker = 1;
+  tracer.set_context(ctx);
+  tracer.RecordSpan("queue_wait", 100, 250);
+  tracer.RecordSpan("serve", 250, 900);
+
+  std::ostringstream jsonl;
+  tracer.ExportJsonl(&jsonl);
+  EXPECT_EQ(jsonl.str(),
+            "{\"kind\":\"span\",\"wall_us\":100,"
+            "\"trace\":\"0000000000000001\",\"request\":3,\"worker\":1,"
+            "\"name\":\"queue_wait\",\"duration_us\":150}\n"
+            "{\"kind\":\"span\",\"wall_us\":250,"
+            "\"trace\":\"0000000000000001\",\"request\":3,\"worker\":1,"
+            "\"name\":\"serve\",\"duration_us\":650}\n");
+
+  // Chrome: complete "X" slices on the worker's track (tid = worker + 1),
+  // carrying the request identity in args.
+  std::ostringstream chrome;
+  tracer.ExportChromeTrace(&chrome);
+  EXPECT_NE(chrome.str().find("\"name\":\"queue_wait\",\"ph\":\"X\","
+                              "\"ts\":100,\"pid\":1,\"tid\":2,\"dur\":150"),
+            std::string::npos);
+  EXPECT_NE(chrome.str().find("\"request\":3"), std::string::npos);
+}
+
+TEST(QueryTracerTest, RealClockEmitsUnixTimeTestClockDoesNot) {
+  QueryTracer real;
+  real.set_epoch_ns(MonotonicTimeNs());
+  real.BeginPhase("probe");
+  std::ostringstream with_unix;
+  real.ExportJsonl(&with_unix);
+  EXPECT_NE(with_unix.str().find("\"unix_us\":"), std::string::npos);
+
+  QueryTracer fake;
+  InstallTickClock(&fake);
+  fake.BeginPhase("probe");
+  std::ostringstream without_unix;
+  fake.ExportJsonl(&without_unix);
+  EXPECT_EQ(without_unix.str().find("\"unix_us\":"), std::string::npos);
+}
+
+TEST(JsonlSinkTest, ConcurrentWritersNeverTearLines) {
+  std::ostringstream out;
+  JsonlSink sink(&out);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, t] {
+      for (int n = 0; n < kLines; ++n) {
+        // Distinct, self-checking payloads: a torn or interleaved write
+        // would break the begin/end markers.
+        sink.WriteLine("{\"writer\":" + std::to_string(t) +
+                       ",\"seq\":" + std::to_string(n) + ",\"end\":\"ok\"}");
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(sink.lines_written(), size_t{kThreads * kLines});
+
+  std::istringstream in(out.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_EQ(line.rfind("{\"writer\":", 0), 0u) << line;
+    ASSERT_NE(line.find(",\"end\":\"ok\"}"), std::string::npos) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_EQ(lines, size_t{kThreads * kLines});
+}
+
+TEST(QueryTracerTest, SinkReceivesEachEventAsOneLine) {
+  std::ostringstream out;
+  JsonlSink sink(&out);
+  QueryTracer tracer;
+  InstallTickClock(&tracer);
+  tracer.set_streaming_sink(&sink);
+  tracer.BeginPhase("probe");
+  tracer.RecordSpan("serve", 0, 5);
+  tracer.EndPhase("probe");
+  EXPECT_EQ(sink.lines_written(), 3u);
+  // The streamed lines match the buffering exporter's exactly.
+  std::ostringstream expected;
+  tracer.ExportJsonl(&expected);
+  EXPECT_EQ(out.str(), expected.str());
+}
+
+TEST(QueryTracerDeathTest, ZeroTraceIdContextIsRefused) {
+  QueryTracer tracer;
+  TraceContext ctx;  // trace_id == 0 means "no context": not installable.
+  EXPECT_DEATH(tracer.set_context(ctx), "trace_id");
 }
 
 }  // namespace

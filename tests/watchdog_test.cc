@@ -1,0 +1,171 @@
+// AnomalyWatchdog: live hub vs persisted baseline, three output channels.
+
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
+
+namespace nc::obs {
+namespace {
+
+// Feeds `n` copies of `value` into one service slot.
+void FeedService(TelemetryHub* hub, PredicateId i, size_t r, double value,
+                 size_t n = kTelemetryMinSamples) {
+  for (size_t v = 0; v < n; ++v) hub->ObserveReplicaService(i, r, value);
+}
+
+void FeedCompletion(TelemetryHub* hub, PredicateId i, double value,
+                    size_t n = kTelemetryMinSamples) {
+  for (size_t v = 0; v < n; ++v) hub->ObserveCompletion(i, value);
+}
+
+TEST(WatchdogOptionsTest, Validates) {
+  WatchdogOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.interval_ms = 0.0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.interval_ms = 50.0;
+  options.latency_ratio = 1.0;  // Would flag ordinary jitter.
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.latency_ratio = 2.0;
+  options.cost_ratio = 0.5;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WatchdogTest, QuietWhenLiveMatchesBaseline) {
+  TelemetryHub baseline, live;
+  FeedService(&baseline, 0, 0, 1.0);
+  FeedService(&live, 0, 0, 1.1);  // Within any sane ratio.
+  baseline.ObserveAccessCost(0, AccessType::kSorted, 2.0);
+  live.ObserveAccessCost(0, AccessType::kSorted, 2.2);
+
+  AnomalyWatchdog watchdog(&live, &baseline, WatchdogOptions{}, nullptr,
+                           nullptr);
+  EXPECT_TRUE(watchdog.CheckNow().empty());
+  EXPECT_EQ(watchdog.checks_run(), 1u);
+  EXPECT_TRUE(watchdog.last_anomalies().empty());
+}
+
+TEST(WatchdogTest, FlagsServiceLatencyRegressionPerSlot) {
+  TelemetryHub baseline, live;
+  FeedService(&baseline, 0, 0, 1.0);
+  FeedService(&baseline, 0, 1, 1.0);
+  FeedService(&live, 0, 0, 5.0);  // Replica 0 regressed 5x.
+  FeedService(&live, 0, 1, 1.0);  // Replica 1 is fine.
+
+  MetricsRegistry metrics;
+  AnomalyWatchdog watchdog(&live, &baseline, WatchdogOptions{}, &metrics,
+                           nullptr);
+  const std::vector<Anomaly> found = watchdog.CheckNow();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_STREQ(found[0].kind, "service_latency");
+  EXPECT_EQ(found[0].predicate, 0u);
+  EXPECT_EQ(found[0].replica, 0u);
+  EXPECT_DOUBLE_EQ(found[0].baseline, 1.0);
+  EXPECT_DOUBLE_EQ(found[0].live, 5.0);
+  EXPECT_DOUBLE_EQ(found[0].ratio, 5.0);
+
+  // The metrics channel: one check, one finding on the regressed slot.
+  EXPECT_DOUBLE_EQ(metrics.CounterValue("nc_anomaly_checks_total"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.CounterValue("nc_anomaly_service_latency_total",
+                           {{"predicate", "0"}, {"replica", "0"}}),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.CounterValue("nc_anomaly_service_latency_total",
+                           {{"predicate", "0"}, {"replica", "1"}}),
+      0.0);
+}
+
+TEST(WatchdogTest, FlagsCompletionLatencyAndAccessCostDrift) {
+  TelemetryHub baseline, live;
+  FeedCompletion(&baseline, 1, 2.0);
+  FeedCompletion(&live, 1, 9.0);
+  baseline.ObserveAccessCost(1, AccessType::kRandom, 4.0);
+  live.ObserveAccessCost(1, AccessType::kRandom, 40.0);
+
+  AnomalyWatchdog watchdog(&live, &baseline, WatchdogOptions{}, nullptr,
+                           nullptr);
+  const std::vector<Anomaly> found = watchdog.CheckNow();
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_STREQ(found[0].kind, "completion_latency");
+  EXPECT_EQ(found[0].predicate, 1u);
+  EXPECT_STREQ(found[1].kind, "access_cost");
+  EXPECT_EQ(found[1].type, AccessType::kRandom);
+  EXPECT_DOUBLE_EQ(found[1].ratio, 10.0);
+}
+
+TEST(WatchdogTest, ColdSlotsAndNewSlotsAreNotAnomalies) {
+  TelemetryHub baseline, live;
+  // Under min_samples on either side: not trusted, not flagged.
+  FeedService(&baseline, 0, 0, 1.0, kTelemetryMinSamples - 1);
+  FeedService(&live, 0, 0, 50.0, kTelemetryMinSamples - 1);
+  // A slot the baseline never saw: no reference, no finding.
+  FeedService(&live, 2, 0, 50.0);
+
+  AnomalyWatchdog watchdog(&live, &baseline, WatchdogOptions{}, nullptr,
+                           nullptr);
+  EXPECT_TRUE(watchdog.CheckNow().empty());
+}
+
+TEST(WatchdogTest, FindingsStreamToTheTraceSink) {
+  std::ostringstream out;
+  JsonlSink sink(&out);
+  TelemetryHub baseline, live;
+  FeedService(&baseline, 0, 0, 1.0);
+  FeedService(&live, 0, 0, 8.0);
+
+  AnomalyWatchdog watchdog(&live, &baseline, WatchdogOptions{}, nullptr,
+                           &sink);
+  ASSERT_EQ(watchdog.CheckNow().size(), 1u);
+  EXPECT_EQ(sink.lines_written(), 1u);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"kind\":\"telemetry\""), std::string::npos);
+  EXPECT_NE(line.find("anomaly_service_latency"), std::string::npos);
+}
+
+TEST(WatchdogTest, BackgroundThreadChecksPeriodicaly) {
+  TelemetryHub baseline, live;
+  FeedService(&baseline, 0, 0, 1.0);
+  FeedService(&live, 0, 0, 6.0);
+  MetricsRegistry metrics;
+  WatchdogOptions options;
+  options.interval_ms = 5.0;
+  AnomalyWatchdog watchdog(&live, &baseline, options, &metrics, nullptr);
+  ASSERT_TRUE(watchdog.Start().ok());
+  EXPECT_TRUE(watchdog.running());
+  EXPECT_EQ(watchdog.Start().code(), StatusCode::kFailedPrecondition);
+
+  // Wait (generously) for at least two periodic checks.
+  for (int spin = 0; spin < 400 && watchdog.checks_run() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  watchdog.Stop();
+  EXPECT_FALSE(watchdog.running());
+  const size_t checks = watchdog.checks_run();
+  EXPECT_GE(checks, 2u);
+  EXPECT_FALSE(watchdog.last_anomalies().empty());
+  EXPECT_GE(metrics.CounterValue("nc_anomaly_checks_total"), 2.0);
+  watchdog.Stop();  // Idempotent.
+  // No checks run after Stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(watchdog.checks_run(), checks);
+
+  // An invalid configuration refuses to start.
+  WatchdogOptions bad;
+  bad.interval_ms = -1.0;
+  AnomalyWatchdog invalid(&live, &baseline, bad, nullptr, nullptr);
+  EXPECT_EQ(invalid.Start().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace nc::obs
