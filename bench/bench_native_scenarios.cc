@@ -3,82 +3,46 @@
 // designed for*. One block per native scenario; within each block, the
 // native algorithm(s), the cost-based NC plan, and the NC/native cost
 // ratio. Ratios at or below 1.0 reproduce the paper's conclusion.
+//
+// The blocks come from the shared scenario catalog (playbook/catalog.h),
+// each paired with the baselines designed for its cell.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "data/generator.h"
+#include "playbook/catalog.h"
 
 int main() {
   using namespace nc;
   using namespace nc::bench;
 
-  constexpr size_t kObjects = 10000;
-  constexpr size_t kK = 10;
-
-  struct Block {
-    const char* scenario;
-    double cs;
-    double cr;
-    std::vector<const char*> natives;
-  };
-  const std::vector<Block> blocks = {
-      {"uniform costs (cs=cr=1): TA / FA / TAz / Quick-Combine", 1.0, 1.0,
-       {"TA", "FA", "TAz", "Quick-Combine"}},
-      {"expensive random (cr=50cs): CA", 1.0, 50.0, {"CA", "TA"}},
-      {"no random access: NRA / Stream-Combine", 1.0, kImpossibleCost,
-       {"NRA-exact", "NRA", "Stream-Combine"}},
-      {"no sorted access: MPro / Upper", kImpossibleCost, 1.0,
-       {"MPro", "Upper"}},
-      {"cheap random (cr=cs/10): the paper's '?' cell", 10.0, 1.0,
-       {"TA", "CA"}},
-  };
+  playbook::ScenarioSpec base = playbook::CatalogBase();
+  base.data_seed = 99;
+  const Dataset data = base.MakeDataset();
 
   for (const ScoringKind kind : {ScoringKind::kAverage, ScoringKind::kMin}) {
-    const auto scoring = MakeScoringFunction(kind, 2);
+    base.scoring = kind;
+    const auto scoring = base.MakeScoring();
     PrintHeader("Native-scenario comparison, F=" + scoring->name() +
                 ", uniform scores, n=10000, k=10");
-    for (const Block& block : blocks) {
-      GeneratorOptions g;
-      g.num_objects = kObjects;
-      g.num_predicates = 2;
-      g.seed = 99;
-      const Dataset data = GenerateDataset(g);
-      const CostModel cost = CostModel::Uniform(2, block.cs, block.cr);
+    for (const playbook::NativeBlock& block : playbook::NativeBlocks(base)) {
+      const CostModel cost = block.spec.MakeCostModel();
 
-      std::printf("\nscenario: %s\n", block.scenario);
-      const RunStats nc_stats = RunOptimized(data, cost, *scoring, kK);
+      std::printf("\nscenario: %s\n", block.title.c_str());
+      const RunStats nc_stats =
+          RunOptimized(data, cost, *scoring, block.spec.k);
       std::printf("  %-16s cost=%10.0f  %s\n", "NC (cost-based)",
                   nc_stats.cost, nc_stats.plan.c_str());
-      for (const char* name : block.natives) {
+      for (const std::string& name : block.natives) {
         const AlgorithmInfo* info = FindBaseline(name);
         bool ran = false;
         const RunStats stats =
-            RunBaseline(*info, data, cost, *scoring, kK, &ran);
+            RunBaseline(*info, data, cost, *scoring, block.spec.k, &ran);
         if (!ran) continue;
-        std::printf("  %-16s cost=%10.0f  NC/native=%.2f%s\n", name,
+        std::printf("  %-16s cost=%10.0f  NC/native=%.2f%s\n", name.c_str(),
                     stats.cost, nc_stats.cost / stats.cost,
                     info->exact_scores ? "" : "  [set-only semantics]");
       }
-    }
-
-    // Mixed per-predicate capabilities: p0 sorted + random, p1 random
-    // only (TAz's cell - no other baseline runs here).
-    {
-      GeneratorOptions g;
-      g.num_objects = kObjects;
-      g.num_predicates = 2;
-      g.seed = 99;
-      const Dataset data = GenerateDataset(g);
-      const CostModel cost({1.0, kImpossibleCost}, {1.0, 1.0});
-      std::printf("\nscenario: mixed capabilities (p1 random-only): TAz\n");
-      const RunStats nc_stats = RunOptimized(data, cost, *scoring, kK);
-      std::printf("  %-16s cost=%10.0f  %s\n", "NC (cost-based)",
-                  nc_stats.cost, nc_stats.plan.c_str());
-      const AlgorithmInfo* taz = FindBaseline("TAz");
-      const RunStats stats = RunBaseline(*taz, data, cost, *scoring, kK);
-      std::printf("  %-16s cost=%10.0f  NC/native=%.2f\n", "TAz",
-                  stats.cost, nc_stats.cost / stats.cost);
     }
   }
   nc::bench::WriteBenchJson("native_scenarios");

@@ -1,0 +1,98 @@
+// Playbook soak bench: run a seeded chaos-variant fleet under the
+// invariant oracles and publish the per-variant cost fingerprints.
+//
+// Two jobs in one binary:
+//   * Prove the health headline - a seeded soak (faults, budgets,
+//     replicas, kills, server variants included) with zero oracle
+//     violations, plus a same-seed regeneration check (determinism_ok).
+//   * Record the baseline map BENCH_PLAYBOOK.json carries: each
+//     variant's (cost, accesses) fingerprint, which ncplaybook soak
+//     --baseline and the nightly CI soak diff against to catch silent
+//     cost drift that no correctness oracle would flag.
+//
+// --quick runs the smoke-sized fleet for CI; the default is the full
+// soak. Exit is non-zero when any variant is flagged, so CI fails loudly.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "playbook/runner.h"
+#include "playbook/variant.h"
+
+namespace nc::playbook {
+namespace {
+
+constexpr uint64_t kSoakSeed = 20260809;
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const size_t count = quick ? 60 : 250;
+
+  // Same seed => byte-identical variant list; regenerate and compare so
+  // the repro contract is re-proven on every bench run.
+  VariantGenerator generator(VariantAxes::ChaosDefaults(), kSoakSeed);
+  const std::vector<ScenarioSpec> variants = generator.Generate(count);
+  bool determinism_ok = true;
+  {
+    std::string first_bytes, second_bytes;
+    for (const ScenarioSpec& spec : variants) first_bytes += spec.Serialize();
+    VariantGenerator again(VariantAxes::ChaosDefaults(), kSoakSeed);
+    for (const ScenarioSpec& spec : again.Generate(count)) {
+      second_bytes += spec.Serialize();
+    }
+    determinism_ok = first_bytes == second_bytes;
+  }
+
+  RunnerOptions options;
+  options.repro_prefix =
+      "ncplaybook soak --seed " + std::to_string(kSoakSeed) + " --count " +
+      std::to_string(count);
+  PlaybookRunner runner(std::move(options));
+  const PlaybookReport report = runner.Run(variants);
+
+  std::printf("%s", report.ToText().c_str());
+  std::printf("determinism_ok=%s\n", determinism_ok ? "true" : "false");
+
+  bench::WriteBenchJsonDoc("playbook", "playbook", [&](obs::JsonWriter& w) {
+    w.Key("seed").UInt(kSoakSeed);
+    w.Key("count").UInt(count);
+    w.Key("determinism_ok").Bool(determinism_ok);
+    w.Key("executed").UInt(report.executed);
+    w.Key("failed").UInt(report.flagged);
+    w.Key("violations").UInt(report.violations);
+    w.Key("rows").BeginArray();
+    for (const VariantVerdict& verdict : report.verdicts) {
+      w.BeginObject();
+      w.Key("name").String(verdict.spec.name);
+      w.Key("signature").String(verdict.spec.Signature());
+      w.Key("executed").Bool(verdict.executed);
+      w.Key("flagged").Bool(verdict.flagged());
+      w.Key("cost").Number(verdict.accrued_cost);
+      w.Key("accesses").UInt(verdict.accesses);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("baseline").BeginObject();
+    for (const VariantVerdict& verdict : report.verdicts) {
+      if (!verdict.executed || verdict.flagged()) continue;
+      w.Key(verdict.spec.name).BeginObject();
+      w.Key("cost").Number(verdict.accrued_cost);
+      w.Key("accesses").UInt(verdict.accesses);
+      w.EndObject();
+    }
+    w.EndObject();
+  });
+
+  return (report.flagged == 0 && determinism_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nc::playbook
+
+int main(int argc, char** argv) { return nc::playbook::Main(argc, argv); }

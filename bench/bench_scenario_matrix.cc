@@ -5,70 +5,49 @@
 // cost-based NC plan in every cell, demonstrating the unification claim:
 // one optimizer covers the whole matrix, including the "?" cell (random
 // cheaper than sorted) that no published algorithm targets.
+//
+// The cells themselves come from the shared scenario catalog
+// (playbook/catalog.h) - the same grid the chaos playbook's variant
+// generator seeds from.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "data/generator.h"
-
-namespace {
-
-constexpr double kCheap = 1.0;
-constexpr double kExpensive = 10.0;
-
-struct Regime {
-  const char* name;
-  double cost;
-};
-
-constexpr Regime kRegimes[] = {
-    {"cheap", kCheap},
-    {"expensive", kExpensive},
-    {"impossible", nc::kImpossibleCost},
-};
-
-}  // namespace
+#include "playbook/catalog.h"
 
 int main() {
   using namespace nc;
   using namespace nc::bench;
 
-  constexpr size_t kObjects = 10000;
-  constexpr size_t kK = 10;
-  GeneratorOptions g;
-  g.num_objects = kObjects;
-  g.num_predicates = 2;
-  g.seed = 22;
-  const Dataset data = GenerateDataset(g);
-  const AverageFunction avg(2);
+  playbook::ScenarioSpec base = playbook::CatalogBase();
+  base.data_seed = 22;
+  const Dataset data = base.MakeDataset();
+  const auto scoring = base.MakeScoring();
 
   PrintHeader(
       "Figure 2 matrix - every algorithm in every supported cell "
       "(F=avg, uniform, n=10000, k=10; total access cost)");
 
-  for (const Regime& sorted : kRegimes) {
-    for (const Regime& random : kRegimes) {
-      if (sorted.cost == kImpossibleCost && random.cost == kImpossibleCost) {
-        continue;  // Unanswerable cell.
-      }
-      const CostModel cost = CostModel::Uniform(2, sorted.cost, random.cost);
-      std::printf("\ncell: sorted=%s, random=%s  %s\n", sorted.name,
-                  random.name, cost.ToString().c_str());
+  for (const playbook::Figure2Cell& cell : playbook::Figure2Matrix(base)) {
+    const CostModel cost = cell.spec.MakeCostModel();
+    std::printf("\ncell: sorted=%s, random=%s  %s\n",
+                cell.sorted_regime.c_str(), cell.random_regime.c_str(),
+                cost.ToString().c_str());
 
-      const RunStats nc_stats = RunOptimized(data, cost, avg, kK);
-      std::printf("  %-16s cost=%10.0f  (sa=%zu ra=%zu correct=%d) %s\n",
-                  "NC (cost-based)", nc_stats.cost, nc_stats.sorted,
-                  nc_stats.random, nc_stats.correct, nc_stats.plan.c_str());
+    const RunStats nc_stats =
+        RunOptimized(data, cost, *scoring, cell.spec.k);
+    std::printf("  %-16s cost=%10.0f  (sa=%zu ra=%zu correct=%d) %s\n",
+                "NC (cost-based)", nc_stats.cost, nc_stats.sorted,
+                nc_stats.random, nc_stats.correct, nc_stats.plan.c_str());
 
-      for (const AlgorithmInfo& info : AllBaselines()) {
-        bool ran = false;
-        const RunStats stats =
-            RunBaseline(info, data, cost, avg, kK, &ran);
-        if (!ran) continue;
-        std::printf("  %-16s cost=%10.0f  (sa=%zu ra=%zu correct=%d)\n",
-                    info.name.c_str(), stats.cost, stats.sorted,
-                    stats.random, stats.correct);
-      }
+    for (const AlgorithmInfo& info : AllBaselines()) {
+      bool ran = false;
+      const RunStats stats =
+          RunBaseline(info, data, cost, *scoring, cell.spec.k, &ran);
+      if (!ran) continue;
+      std::printf("  %-16s cost=%10.0f  (sa=%zu ra=%zu correct=%d)\n",
+                  info.name.c_str(), stats.cost, stats.sorted,
+                  stats.random, stats.correct);
     }
   }
   nc::bench::WriteBenchJson("scenario_matrix");

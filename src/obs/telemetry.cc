@@ -296,6 +296,25 @@ void TelemetryHub::WarmFleet(ReplicaFleet* fleet) const {
       rt.ewma_latency = h.ewma_latency;
     }
   }
+  // Hub-informed routing: slots the captured health left cold (no
+  // routing EWMA yet - e.g. a fresh stack warming from a persisted or
+  // server-shared hub) seed their kLeastLatency estimate from the
+  // cross-query service sketch's median, once it has enough samples to
+  // beat noise. Health-carried EWMAs above stay authoritative; this only
+  // fills gaps, so re-warming is idempotent and fault-free answers are
+  // untouched (routing changes WHERE an access is served, never what it
+  // returns - pinned by the differential test in telemetry_test.cc).
+  for (const auto& [key, sketch] : service_) {
+    if (sketch.count < kTelemetryMinSamples) continue;
+    const auto predicate = static_cast<PredicateId>(key >> 32);
+    const auto replica = static_cast<size_t>(key & 0xFFFFFFFFu);
+    if (!fleet->configured(predicate)) continue;
+    if (replica >= fleet->num_replicas(predicate)) continue;
+    ReplicaRuntime& rt = fleet->runtime(predicate, replica);
+    if (rt.has_ewma) continue;
+    rt.has_ewma = true;
+    rt.ewma_latency = sketch.At(0.5);
+  }
 }
 
 bool TelemetryHub::has_fleet_health() const {

@@ -201,8 +201,12 @@ class TelemetryHub {
 
   // Re-applies the captured health onto a freshly reset fleet: deaths
   // are sticky, open breakers resume their remaining cooldown on the new
-  // query's clock, routing EWMAs carry over. Slots the fleet no longer
-  // has are skipped. Idempotent on an untouched fleet.
+  // query's clock, routing EWMAs carry over. Slots still cold after that
+  // seed their kLeastLatency EWMA from the cross-query service sketch's
+  // median once it has kTelemetryMinSamples (hub-informed routing; the
+  // answer is provably unaffected - routing changes where an access is
+  // served, never what it returns). Slots the fleet no longer has are
+  // skipped. Idempotent on an untouched fleet.
   void WarmFleet(ReplicaFleet* fleet) const;
 
   bool has_fleet_health() const;

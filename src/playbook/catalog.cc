@@ -1,0 +1,100 @@
+#include "playbook/catalog.h"
+
+#include <utility>
+
+#include "common/score.h"
+
+namespace nc::playbook {
+namespace {
+
+constexpr double kCheap = 1.0;
+constexpr double kExpensive = 10.0;
+
+struct Regime {
+  const char* name;
+  double cost;
+};
+
+constexpr Regime kRegimes[] = {
+    {"cheap", kCheap},
+    {"expensive", kExpensive},
+    {"impossible", kImpossibleCost},
+};
+
+ScenarioSpec WithUniformCost(const ScenarioSpec& base, double cs, double cr) {
+  ScenarioSpec spec = base;
+  spec.sorted_cost.assign(spec.num_predicates, cs);
+  spec.random_cost.assign(spec.num_predicates, cr);
+  return spec;
+}
+
+}  // namespace
+
+ScenarioSpec CatalogBase() {
+  ScenarioSpec base;
+  base.name = "catalog";
+  base.num_objects = 10000;
+  base.num_predicates = 2;
+  base.distribution = ScoreDistribution::kUniform;
+  base.scoring = ScoringKind::kAverage;
+  base.k = 10;
+  base.sorted_cost.assign(2, 1.0);
+  base.random_cost.assign(2, 1.0);
+  return base;
+}
+
+std::vector<Figure2Cell> Figure2Matrix(const ScenarioSpec& base) {
+  std::vector<Figure2Cell> cells;
+  for (const Regime& sorted : kRegimes) {
+    for (const Regime& random : kRegimes) {
+      if (sorted.cost == kImpossibleCost && random.cost == kImpossibleCost) {
+        continue;  // Unanswerable cell.
+      }
+      Figure2Cell cell;
+      cell.sorted_regime = sorted.name;
+      cell.random_regime = random.name;
+      cell.spec = WithUniformCost(base, sorted.cost, random.cost);
+      cell.spec.name =
+          "fig2-" + cell.sorted_regime + "-" + cell.random_regime;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::vector<NativeBlock> NativeBlocks(const ScenarioSpec& base) {
+  std::vector<NativeBlock> blocks;
+  auto add = [&](const char* name, const char* title, double cs, double cr,
+                 std::vector<std::string> natives) {
+    NativeBlock block;
+    block.title = title;
+    block.natives = std::move(natives);
+    block.spec = WithUniformCost(base, cs, cr);
+    block.spec.name = name;
+    blocks.push_back(std::move(block));
+  };
+  add("native-uniform", "uniform costs (cs=cr=1): TA / FA / TAz / Quick-Combine",
+      1.0, 1.0, {"TA", "FA", "TAz", "Quick-Combine"});
+  add("native-expensive-random", "expensive random (cr=50cs): CA", 1.0, 50.0,
+      {"CA", "TA"});
+  add("native-no-random", "no random access: NRA / Stream-Combine", 1.0,
+      kImpossibleCost, {"NRA-exact", "NRA", "Stream-Combine"});
+  add("native-no-sorted", "no sorted access: MPro / Upper", kImpossibleCost,
+      1.0, {"MPro", "Upper"});
+  add("native-cheap-random", "cheap random (cr=cs/10): the paper's '?' cell",
+      10.0, 1.0, {"TA", "CA"});
+
+  // Mixed per-predicate capabilities: p0 sorted + random, p1 random only
+  // (TAz's cell - no other baseline runs here).
+  NativeBlock mixed;
+  mixed.title = "mixed capabilities (p1 random-only): TAz";
+  mixed.natives = {"TAz"};
+  mixed.spec = base;
+  mixed.spec.name = "native-mixed-taz";
+  mixed.spec.sorted_cost = {1.0, kImpossibleCost};
+  mixed.spec.random_cost = {1.0, 1.0};
+  blocks.push_back(std::move(mixed));
+  return blocks;
+}
+
+}  // namespace nc::playbook

@@ -1,0 +1,55 @@
+// The named scenario catalogs the benches and the playbook share.
+//
+// Before the playbook existed, bench_scenario_matrix.cc and
+// bench_native_scenarios.cc each hand-rolled the paper's Section-6/9
+// experiment grids as local structs. Those grids are exactly the seed
+// axis sets the variant generator expands, so they live here once, as
+// ScenarioSpecs: Figure 2's access-scenario matrix (sorted x random
+// regime in {cheap, expensive, impossible}) and Section 9's
+// native-algorithm blocks (each paired with the baselines designed for
+// its cell). Benches iterate these; VariantAxes::ChaosDefaults() starts
+// from the same regimes.
+
+#ifndef NC_PLAYBOOK_CATALOG_H_
+#define NC_PLAYBOOK_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "playbook/scenario.h"
+
+namespace nc::playbook {
+
+// The shared base shape of the paper's experiments: n=10000, m=2,
+// uniform scores, F=avg, k=10. Callers override fields (seed, scoring)
+// before expanding a catalog from it.
+ScenarioSpec CatalogBase();
+
+// One cell of Figure 2's capability matrix.
+struct Figure2Cell {
+  std::string sorted_regime;  // "cheap" / "expensive" / "impossible"
+  std::string random_regime;
+  ScenarioSpec spec;
+};
+
+// The 8 answerable cells (impossible x impossible is skipped), in row
+// order, with cheap = 1.0 and expensive = 10.0 unit costs. Spec names
+// are "fig2-<sorted>-<random>".
+std::vector<Figure2Cell> Figure2Matrix(const ScenarioSpec& base);
+
+// One Section-9 block: a scenario plus the native baselines designed
+// for it (names resolvable via bench FindBaseline / AllBaselines).
+struct NativeBlock {
+  std::string title;
+  std::vector<std::string> natives;
+  ScenarioSpec spec;
+};
+
+// The five uniform-cost blocks (TA/FA/TAz/Quick-Combine, CA, NRA /
+// Stream-Combine, MPro/Upper, the "?" cell) plus the mixed-capability
+// TAz cell (p0 sorted+random, p1 random-only).
+std::vector<NativeBlock> NativeBlocks(const ScenarioSpec& base);
+
+}  // namespace nc::playbook
+
+#endif  // NC_PLAYBOOK_CATALOG_H_

@@ -1,0 +1,847 @@
+#include "playbook/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "access/source.h"
+#include "access/trace_format.h"
+#include "common/check.h"
+#include "common/numeric.h"
+#include "core/checkpoint.h"
+#include "core/engine.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/telemetry.h"
+#include "replica/replica.h"
+#include "server/server.h"
+
+namespace nc::playbook {
+namespace {
+
+constexpr const char* kMetricsAlgorithm = "playbook";
+
+// a == b within a relative tolerance anchored at 1 (costs near zero
+// compare absolutely).
+bool NearlyEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <=
+         tol * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+Score TrueScore(const Dataset& data, const ScoringFunction& scoring,
+                ObjectId u) {
+  std::vector<Score> row(data.num_predicates());
+  for (PredicateId i = 0; i < data.num_predicates(); ++i) {
+    row[i] = data.score(u, i);
+  }
+  return scoring.Evaluate(row);
+}
+
+// One scenario's fully configured source stack, engine and server mode
+// alike: the injector / fleet / hub a SourceSet needs, owned in
+// construction order so `sources` may reference all of them. Identical
+// specs build identical stacks - the resume oracle and the server's
+// interchangeable-workers contract both stand on that.
+struct SpecStack {
+  FaultInjector injector;
+  ReplicaFleet fleet;
+  obs::TelemetryHub hub;
+  SourceSet sources;
+
+  SpecStack(const ScenarioSpec& spec, const Dataset* data)
+      : injector(spec.fault_seed),
+        fleet(spec.fleet_seed),
+        sources(data, spec.MakeCostModel()) {
+    sources.EnableTrace();
+    if (spec.has_fleet()) {
+      NC_CHECK(spec.ConfigureFleet(&fleet).ok());
+      NC_CHECK(sources.set_replica_fleet(&fleet).ok());
+    } else {
+      // Fleet specs carry their faults on the replicas; the default
+      // profile is only meaningful on the plain single-source path.
+      injector.set_default_profile(spec.fault);
+      sources.set_fault_injector(&injector);
+    }
+    if (spec.adaptive_hedge) sources.set_telemetry_hub(&hub);
+    sources.set_retry_policy(RetryPolicy{}, spec.jitter_seed);
+  }
+};
+
+// The worker-confined stack a server variant's workers build. The
+// request carries the budget, so the stack itself stays budget-free.
+class SpecWorkerStack : public server::WorkerStack {
+ public:
+  SpecWorkerStack(const ScenarioSpec& spec, const Dataset* data)
+      : stack_(spec, data) {}
+  SourceSet& sources() override { return stack_.sources; }
+
+ private:
+  SpecStack stack_;
+};
+
+// Worst-case single-access factors for budget tightness under a fleet:
+// every request may be served by the priciest replica, and a hedged
+// access bills two requests.
+double FleetCostFactor(const ScenarioSpec& spec) {
+  double factor = 1.0;
+  for (const ReplicaSpec& replica : spec.replicas) {
+    factor = std::max(factor, replica.cost_multiplier);
+  }
+  if (spec.adaptive_hedge || spec.hedge_delay > 0.0) factor *= 2.0;
+  return factor;
+}
+
+// Worst-case latency stretch of one request: slowest replica at maximal
+// jitter landing in its tail.
+double FleetLatencyFactor(const ScenarioSpec& spec) {
+  double factor = 1.0;
+  for (const ReplicaSpec& replica : spec.replicas) {
+    factor = std::max(factor, replica.latency.multiplier *
+                                  (1.0 + replica.latency.jitter) *
+                                  replica.latency.tail_multiplier);
+  }
+  return factor;
+}
+
+void AddViolation(VariantVerdict* verdict, Oracle oracle,
+                  std::string detail) {
+  verdict->violations.push_back(Violation{oracle, std::move(detail)});
+}
+
+// --- The oracles ------------------------------------------------------
+
+// Fault-free + unlimited budget: the answer IS the brute-force answer.
+// Scores compare exactly (both sides evaluate F on the same rows);
+// object identity is left to the score comparison because equal-score
+// ties may legitimately rank either way.
+void CheckDifferential(const Dataset& data, const ScoringFunction& scoring,
+                       const ScenarioSpec& spec, const TopKResult& result,
+                       bool exact, VariantVerdict* verdict) {
+  if (!spec.fault_free() || !spec.budget.unlimited()) return;
+  if (!exact) {
+    AddViolation(verdict, Oracle::kDifferential,
+                 "fault-free unlimited run not reported exact");
+    return;
+  }
+  const TopKResult oracle = BruteForceTopK(data, scoring, spec.k);
+  if (result.entries.size() != oracle.entries.size()) {
+    AddViolation(verdict, Oracle::kDifferential,
+                 "result size " + std::to_string(result.entries.size()) +
+                     " != oracle size " +
+                     std::to_string(oracle.entries.size()));
+    return;
+  }
+  for (size_t r = 0; r < result.entries.size(); ++r) {
+    if (result.entries[r].score != oracle.entries[r].score) {
+      AddViolation(verdict, Oracle::kDifferential,
+                   "rank " + std::to_string(r) + " score " +
+                       FormatDouble(result.entries[r].score) +
+                       " != oracle " +
+                       FormatDouble(oracle.entries[r].score));
+    }
+  }
+}
+
+// A certificate's promises hold against ground truth: intervals contain
+// the true scores, the excluded ceiling dominates every non-returned
+// object, and epsilon bounds the rank error.
+void CheckCertificate(const Dataset& data, const ScoringFunction& scoring,
+                      const TopKResult& result, double tol,
+                      VariantVerdict* verdict) {
+  if (!result.certificate.has_value()) return;
+  const AnytimeCertificate& cert = *result.certificate;
+  if (cert.intervals.size() != result.entries.size()) {
+    AddViolation(verdict, Oracle::kCertificate,
+                 std::to_string(cert.intervals.size()) +
+                     " intervals for " +
+                     std::to_string(result.entries.size()) + " entries");
+    return;
+  }
+  std::unordered_set<ObjectId> returned;
+  Score min_true_returned = kMaxScore;
+  for (size_t r = 0; r < result.entries.size(); ++r) {
+    const ObjectId u = result.entries[r].object;
+    const Score truth = TrueScore(data, scoring, u);
+    if (!(cert.intervals[r].lower <= truth + tol) ||
+        !(cert.intervals[r].upper + tol >= truth)) {
+      AddViolation(verdict, Oracle::kCertificate,
+                   "object " + std::to_string(u) + " truth " +
+                       FormatDouble(truth) + " outside interval [" +
+                       FormatDouble(cert.intervals[r].lower) + ", " +
+                       FormatDouble(cert.intervals[r].upper) + "]");
+    }
+    min_true_returned = std::min(min_true_returned, truth);
+    returned.insert(u);
+  }
+  for (ObjectId u = 0; u < data.num_objects(); ++u) {
+    if (returned.count(u) != 0) continue;
+    const Score truth = TrueScore(data, scoring, u);
+    if (!(truth <= cert.excluded_ceiling + tol)) {
+      AddViolation(verdict, Oracle::kCertificate,
+                   "excluded object " + std::to_string(u) + " truth " +
+                       FormatDouble(truth) + " above ceiling " +
+                       FormatDouble(cert.excluded_ceiling));
+    }
+    if (!result.entries.empty() && std::isfinite(cert.epsilon) &&
+        !(truth <= (1.0 + cert.epsilon) * min_true_returned + tol)) {
+      AddViolation(verdict, Oracle::kCertificate,
+                   "excluded object " + std::to_string(u) +
+                       " breaks the epsilon bound: truth " +
+                       FormatDouble(truth) + " vs (1+" +
+                       FormatDouble(cert.epsilon) + ")*" +
+                       FormatDouble(min_true_returned));
+    }
+  }
+}
+
+// Eq. 1 conservation: the per-predicate stats cells sum to the accrued
+// cost, and re-aggregating through RecordSourceMetrics reproduces the
+// same totals in a fresh registry.
+void CheckBilling(const SourceSet& sources, double tol,
+                  VariantVerdict* verdict) {
+  const AccessStats& stats = sources.stats();
+  double cells = 0.0;
+  for (PredicateId i = 0; i < sources.num_predicates(); ++i) {
+    cells += stats.sorted_cost_accrued[i] + stats.random_cost_accrued[i];
+  }
+  if (!NearlyEqual(cells, sources.accrued_cost(), tol)) {
+    AddViolation(verdict, Oracle::kBilling,
+                 "stats cost cells sum " + FormatDouble(cells) +
+                     " != accrued_cost " +
+                     FormatDouble(sources.accrued_cost()));
+  }
+  obs::MetricsRegistry registry;
+  obs::RecordSourceMetrics(&registry, kMetricsAlgorithm, sources);
+  const double metric_cost = registry.CounterSum(
+      "nc_access_cost_total", {{"algorithm", kMetricsAlgorithm}});
+  if (!NearlyEqual(metric_cost, sources.accrued_cost(), tol)) {
+    AddViolation(verdict, Oracle::kBilling,
+                 "nc_access_cost_total " + FormatDouble(metric_cost) +
+                     " != accrued_cost " +
+                     FormatDouble(sources.accrued_cost()));
+  }
+  const double metric_accesses = registry.CounterSum(
+      "nc_accesses_total", {{"algorithm", kMetricsAlgorithm}});
+  const double stat_accesses =
+      static_cast<double>(stats.TotalSorted() + stats.TotalRandom());
+  if (metric_accesses != stat_accesses) {
+    AddViolation(verdict, Oracle::kBilling,
+                 "nc_accesses_total " + FormatDouble(metric_accesses) +
+                     " != stats total " + FormatDouble(stat_accesses));
+  }
+}
+
+// Budget tightness: never more than one worst-case access past a cap,
+// with the fleet's cost/latency stretch priced in; quotas are exact.
+void CheckBudget(const ScenarioSpec& spec, const CostModel& cost,
+                 double accrued, double elapsed,
+                 const AccessStats* stats, double tol,
+                 VariantVerdict* verdict) {
+  if (spec.budget.unlimited()) return;
+  const RetryPolicy retry;  // Stock policy, matching the stacks above.
+  const double cost_factor = FleetCostFactor(spec);
+  if (spec.budget.max_cost > 0.0) {
+    const double bound = spec.budget.max_cost +
+                         WorstAccessBilling(cost, retry) * cost_factor + tol;
+    if (accrued > bound) {
+      AddViolation(verdict, Oracle::kBudget,
+                   "accrued cost " + FormatDouble(accrued) +
+                       " overshoots cap " +
+                       FormatDouble(spec.budget.max_cost) + " past " +
+                       FormatDouble(bound));
+    }
+  }
+  // Deadline and quota read the source-side clock and counters, which a
+  // server response does not expose; engine mode passes stats, server
+  // mode checks the cost cap only.
+  if (stats == nullptr) return;
+  if (spec.budget.deadline > 0.0) {
+    const double bound =
+        spec.budget.deadline +
+        WorstElapsedIncrement(cost, retry) * cost_factor *
+            FleetLatencyFactor(spec) +
+        std::max(0.0, spec.hedge_delay) + tol;
+    if (elapsed > bound) {
+      AddViolation(verdict, Oracle::kBudget,
+                   "elapsed time " + FormatDouble(elapsed) +
+                       " overshoots deadline " +
+                       FormatDouble(spec.budget.deadline) + " past " +
+                       FormatDouble(bound));
+    }
+  }
+  for (PredicateId i = 0; i < spec.budget.predicate_quota.size(); ++i) {
+    const size_t quota = spec.budget.predicate_quota[i];
+    if (quota == 0) continue;
+    const size_t used = stats->sorted_count[i] + stats->random_count[i];
+    if (used > quota) {
+      AddViolation(verdict, Oracle::kBudget,
+                   "predicate " + std::to_string(i) + " used " +
+                       std::to_string(used) + " accesses over quota " +
+                       std::to_string(quota));
+    }
+  }
+}
+
+}  // namespace
+
+const char* OracleName(Oracle oracle) {
+  switch (oracle) {
+    case Oracle::kDifferential:
+      return "Differential";
+    case Oracle::kCertificate:
+      return "Certificate";
+    case Oracle::kBilling:
+      return "Billing";
+    case Oracle::kBudget:
+      return "Budget";
+    case Oracle::kResume:
+      return "Resume";
+  }
+  return "?";
+}
+
+double WorstAccessBilling(const CostModel& cost, const RetryPolicy& retry) {
+  double unit = 0.0;
+  for (PredicateId i = 0; i < cost.num_predicates(); ++i) {
+    if (cost.has_sorted(i)) unit = std::max(unit, cost.sorted_cost[i]);
+    if (cost.has_random(i)) unit = std::max(unit, cost.random_cost[i]);
+  }
+  const double failures = static_cast<double>(retry.max_attempts - 1);
+  return unit * (failures * retry.retry_cost_factor +
+                 std::max(1.0, retry.retry_cost_factor));
+}
+
+double WorstElapsedIncrement(const CostModel& cost,
+                             const RetryPolicy& retry) {
+  double unit = 0.0;
+  for (PredicateId i = 0; i < cost.num_predicates(); ++i) {
+    if (cost.has_sorted(i)) unit = std::max(unit, cost.sorted_cost[i]);
+    if (cost.has_random(i)) unit = std::max(unit, cost.random_cost[i]);
+  }
+  double backoff = 0.0;
+  double delay = retry.backoff_base;
+  for (size_t a = 1; a < retry.max_attempts; ++a) {
+    backoff += delay * (1.0 + retry.backoff_jitter);
+    delay *= retry.backoff_multiplier;
+  }
+  return WorstAccessBilling(cost, retry) +
+         static_cast<double>(retry.max_attempts) *
+             retry.timeout_latency_factor * unit +
+         backoff;
+}
+
+PlaybookRunner::PlaybookRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
+
+VariantVerdict PlaybookRunner::RunEngineVariant(
+    const ScenarioSpec& spec) const {
+  VariantVerdict verdict;
+  verdict.spec = spec;
+  verdict.executed = true;
+
+  const Dataset data = spec.MakeDataset();
+  const CostModel cost = spec.MakeCostModel();
+  const std::unique_ptr<ScoringFunction> scoring = spec.MakeScoring();
+  const SRGConfig config = spec.MakeSRGConfig();
+
+  SpecStack stack(spec, &data);
+  verdict.run_status = stack.sources.set_budget(spec.budget);
+  if (!verdict.run_status.ok()) return verdict;
+
+  SRGPolicy policy(config);
+  EngineOptions options;
+  options.k = spec.k;
+  std::optional<EngineCheckpoint> checkpoint;
+  NCEngine* engine_ptr = nullptr;
+  if (spec.kill_at_access > 0) {
+    const size_t kill = spec.kill_at_access;
+    options.access_callback = [&checkpoint, &engine_ptr, kill](size_t count) {
+      if (count == kill) checkpoint = engine_ptr->Checkpoint();
+    };
+  }
+  NCEngine engine(&stack.sources, scoring.get(), &policy, options);
+  engine_ptr = &engine;
+  TopKResult result;
+  verdict.run_status = engine.Run(&result);
+  if (!verdict.run_status.ok()) return verdict;
+
+  verdict.accrued_cost = stack.sources.accrued_cost();
+  verdict.elapsed_time = stack.sources.elapsed_time();
+  verdict.accesses = engine.accesses_performed();
+  verdict.result_size = result.entries.size();
+  verdict.exact = engine.last_run_exact();
+  verdict.certified = result.certificate.has_value();
+
+  // Crash-safety first, against the pristine result: resume the mid-run
+  // snapshot (through the text format) on a freshly built identical
+  // stack and demand a bit-identical continuation.
+  if (checkpoint.has_value()) {
+    const std::string text = SerializeCheckpoint(*checkpoint);
+    EngineCheckpoint parsed;
+    const Status parse_status = ParseCheckpoint(text, &parsed);
+    if (!parse_status.ok()) {
+      AddViolation(&verdict, Oracle::kResume,
+                   "checkpoint failed to round-trip: " +
+                       parse_status.ToString());
+    } else {
+      SpecStack resume_stack(spec, &data);
+      const Status budget_status =
+          resume_stack.sources.set_budget(spec.budget);
+      NC_CHECK(budget_status.ok());
+      SRGPolicy resume_policy(config);
+      EngineOptions resume_options;
+      resume_options.k = spec.k;
+      NCEngine resume_engine(&resume_stack.sources, scoring.get(),
+                             &resume_policy, resume_options);
+      TopKResult resumed;
+      const Status resume_status = resume_engine.Resume(parsed, &resumed);
+      if (!resume_status.ok()) {
+        AddViolation(&verdict, Oracle::kResume,
+                     "resume failed: " + resume_status.ToString());
+      } else {
+        if (resumed.entries.size() != result.entries.size()) {
+          AddViolation(&verdict, Oracle::kResume,
+                       "resumed size " +
+                           std::to_string(resumed.entries.size()) +
+                           " != original " +
+                           std::to_string(result.entries.size()));
+        } else {
+          for (size_t r = 0; r < resumed.entries.size(); ++r) {
+            if (resumed.entries[r].object != result.entries[r].object ||
+                resumed.entries[r].score != result.entries[r].score) {
+              AddViolation(&verdict, Oracle::kResume,
+                           "rank " + std::to_string(r) +
+                               " diverged after resume");
+            }
+          }
+        }
+        if (resumed.certificate.has_value() !=
+            result.certificate.has_value()) {
+          AddViolation(&verdict, Oracle::kResume,
+                       "certificate presence diverged after resume");
+        }
+        if (resume_stack.sources.accrued_cost() !=
+            stack.sources.accrued_cost()) {
+          AddViolation(
+              &verdict, Oracle::kResume,
+              "accrued cost diverged: " +
+                  FormatDouble(resume_stack.sources.accrued_cost()) +
+                  " != " + FormatDouble(stack.sources.accrued_cost()));
+        }
+        if (resume_stack.sources.elapsed_time() !=
+            stack.sources.elapsed_time()) {
+          AddViolation(&verdict, Oracle::kResume,
+                       "elapsed time diverged after resume");
+        }
+        if (resume_engine.accesses_performed() !=
+            engine.accesses_performed()) {
+          AddViolation(&verdict, Oracle::kResume,
+                       "access count diverged after resume");
+        }
+        if (SerializeAttemptTrace(resume_stack.sources.attempt_trace()) !=
+            SerializeAttemptTrace(stack.sources.attempt_trace())) {
+          AddViolation(&verdict, Oracle::kResume,
+                       "attempt trace diverged after resume");
+        }
+      }
+    }
+  }
+
+  if (options_.tamper) options_.tamper(spec, &result);
+
+  CheckDifferential(data, *scoring, spec, result, verdict.exact, &verdict);
+  CheckCertificate(data, *scoring, result, options_.tolerance, &verdict);
+  CheckBilling(stack.sources, options_.tolerance, &verdict);
+  CheckBudget(spec, cost, verdict.accrued_cost, verdict.elapsed_time,
+              &stack.sources.stats(), options_.tolerance, &verdict);
+  return verdict;
+}
+
+VariantVerdict PlaybookRunner::RunServerVariant(
+    const ScenarioSpec& spec) const {
+  VariantVerdict verdict;
+  verdict.spec = spec;
+  verdict.executed = true;
+
+  const Dataset data = spec.MakeDataset();
+  const CostModel cost = spec.MakeCostModel();
+  const std::unique_ptr<ScoringFunction> scoring = spec.MakeScoring();
+
+  server::ServerConfig config;
+  config.num_workers = spec.workers;
+  config.queue_capacity = 4;
+  server::QueryServer server(
+      scoring.get(), config,
+      [&spec, &data](size_t) {
+        return std::make_unique<SpecWorkerStack>(spec, &data);
+      });
+  verdict.run_status = server.Start();
+  if (!verdict.run_status.ok()) return verdict;
+
+  server::QueryRequest request;
+  request.k = spec.k;
+  request.budget = spec.budget;
+  std::future<server::QueryResponse> future;
+  verdict.run_status = server.Submit(std::move(request), &future);
+  if (!verdict.run_status.ok()) {
+    server.Shutdown(true);
+    return verdict;
+  }
+  server::QueryResponse response = future.get();
+  server.Shutdown(true);
+
+  verdict.run_status = response.status;
+  if (!verdict.run_status.ok()) return verdict;
+  if (response.outcome != server::ServeOutcome::kCompleted) {
+    verdict.run_status = Status::Internal(
+        std::string("server outcome ") +
+        server::ServeOutcomeName(response.outcome));
+    return verdict;
+  }
+
+  verdict.accrued_cost = response.accrued_cost;
+  verdict.accesses = response.accesses;
+  verdict.result_size = response.result.entries.size();
+  verdict.exact = response.query_outcome == QueryOutcome::kExact;
+  verdict.certified = response.result.certificate.has_value();
+
+  if (options_.tamper) options_.tamper(spec, &response.result);
+
+  CheckDifferential(data, *scoring, spec, response.result, verdict.exact,
+                    &verdict);
+  CheckCertificate(data, *scoring, response.result, options_.tolerance,
+                   &verdict);
+  // Eq. 1 conservation through the server's registry: the query's
+  // recorded per-series costs must sum back to what the response billed.
+  const double metric_cost = server.metrics().CounterSum(
+      "nc_access_cost_total", {{"algorithm", "server"}});
+  if (!NearlyEqual(metric_cost, response.accrued_cost,
+                   options_.tolerance)) {
+    AddViolation(&verdict, Oracle::kBilling,
+                 "server nc_access_cost_total " + FormatDouble(metric_cost) +
+                     " != response accrued_cost " +
+                     FormatDouble(response.accrued_cost));
+  }
+  CheckBudget(spec, cost, verdict.accrued_cost, 0.0, nullptr,
+              options_.tolerance, &verdict);
+  return verdict;
+}
+
+VariantVerdict PlaybookRunner::RunOne(const ScenarioSpec& spec) const {
+  const auto start = std::chrono::steady_clock::now();
+  VariantVerdict verdict;
+  const Status valid = spec.Validate();
+  if (!valid.ok()) {
+    verdict.spec = spec;
+    verdict.run_status = valid;
+  } else if (spec.workers == 0) {
+    verdict = RunEngineVariant(spec);
+  } else {
+    verdict = RunServerVariant(spec);
+  }
+  if (verdict.executed && !options_.baseline.empty()) {
+    const auto it = options_.baseline.find(spec.name);
+    if (it != options_.baseline.end()) {
+      const BaselineEntry& expected = it->second;
+      if (!NearlyEqual(verdict.accrued_cost, expected.cost,
+                       options_.tolerance) ||
+          verdict.accesses != expected.accesses) {
+        verdict.anomaly =
+            "cost " + FormatDouble(verdict.accrued_cost) + " accesses " +
+            std::to_string(verdict.accesses) + " vs baseline cost " +
+            FormatDouble(expected.cost) + " accesses " +
+            std::to_string(expected.accesses);
+      }
+    }
+  }
+  verdict.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return verdict;
+}
+
+PlaybookReport PlaybookRunner::Run(
+    const std::vector<ScenarioSpec>& variants) const {
+  const auto start = std::chrono::steady_clock::now();
+  PlaybookReport report;
+  report.total = variants.size();
+  report.repro_prefix = options_.repro_prefix;
+  const StopConditions& stop = options_.stop;
+  for (const ScenarioSpec& spec : variants) {
+    if (report.stopped_early) {
+      VariantVerdict skipped;
+      skipped.spec = spec;
+      report.verdicts.push_back(std::move(skipped));
+      ++report.skipped;
+      continue;
+    }
+    if (stop.max_wall_seconds > 0.0) {
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (elapsed >= stop.max_wall_seconds) {
+        report.stopped_early = true;
+        report.stop_reason = "wall-clock cap reached";
+        VariantVerdict skipped;
+        skipped.spec = spec;
+        report.verdicts.push_back(std::move(skipped));
+        ++report.skipped;
+        continue;
+      }
+    }
+    VariantVerdict verdict = RunOne(spec);
+    ++report.executed;
+    if (verdict.flagged()) {
+      ++report.flagged;
+      report.violations += verdict.violations.size();
+      if (!verdict.anomaly.empty()) ++report.anomalies;
+    } else {
+      ++report.passed;
+    }
+    const bool over_failures =
+        stop.max_failures > 0 && report.flagged >= stop.max_failures;
+    const bool first_anomaly =
+        stop.stop_on_first_anomaly && report.flagged > 0;
+    report.verdicts.push_back(std::move(verdict));
+    if (over_failures || first_anomaly) {
+      report.stopped_early = true;
+      report.stop_reason = first_anomaly && !over_failures
+                               ? "first anomaly"
+                               : "max failures reached";
+    }
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+std::string PlaybookReport::ReproCommand(
+    const VariantVerdict& verdict) const {
+  if (repro_prefix.empty()) return verdict.spec.name;
+  return repro_prefix + " --only " + verdict.spec.name;
+}
+
+std::string PlaybookReport::ToText() const {
+  std::string out = "playbook: total=" + std::to_string(total) +
+                    " executed=" + std::to_string(executed) +
+                    " passed=" + std::to_string(passed) +
+                    " flagged=" + std::to_string(flagged) +
+                    " skipped=" + std::to_string(skipped) +
+                    " violations=" + std::to_string(violations) +
+                    " anomalies=" + std::to_string(anomalies) + " wall=" +
+                    FormatDouble(wall_seconds) + "s\n";
+  if (stopped_early) out += "stopped early: " + stop_reason + "\n";
+  for (const VariantVerdict& verdict : verdicts) {
+    if (!verdict.executed || !verdict.flagged()) continue;
+    out += "--- " + verdict.spec.name + " ---\n";
+    out += "  spec: " + verdict.spec.Signature() + "\n";
+    if (!verdict.run_status.ok()) {
+      out += "  status: " + verdict.run_status.ToString() + "\n";
+    }
+    for (const Violation& violation : verdict.violations) {
+      out += std::string("  violation[") + OracleName(violation.oracle) +
+             "]: " + violation.detail + "\n";
+    }
+    if (!verdict.anomaly.empty()) {
+      out += "  anomaly: " + verdict.anomaly + "\n";
+    }
+    out += "  repro: " + ReproCommand(verdict) + "\n";
+  }
+  return out;
+}
+
+std::string PlaybookReport::ToJson() const {
+  std::ostringstream os;
+  obs::JsonWriter json(&os);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Int(1);
+  json.Key("summary");
+  json.BeginObject();
+  json.Key("total");
+  json.UInt(total);
+  json.Key("executed");
+  json.UInt(executed);
+  json.Key("passed");
+  json.UInt(passed);
+  json.Key("flagged");
+  json.UInt(flagged);
+  json.Key("skipped");
+  json.UInt(skipped);
+  json.Key("violations");
+  json.UInt(violations);
+  json.Key("anomalies");
+  json.UInt(anomalies);
+  json.Key("stopped_early");
+  json.Bool(stopped_early);
+  json.Key("stop_reason");
+  json.String(stop_reason);
+  json.Key("wall_seconds");
+  json.Number(wall_seconds);
+  json.EndObject();
+  json.Key("flagged_variants");
+  json.BeginArray();
+  for (const VariantVerdict& verdict : verdicts) {
+    if (!verdict.executed || !verdict.flagged()) continue;
+    json.BeginObject();
+    json.Key("name");
+    json.String(verdict.spec.name);
+    json.Key("signature");
+    json.String(verdict.spec.Signature());
+    json.Key("repro");
+    json.String(ReproCommand(verdict));
+    json.Key("status");
+    json.String(verdict.run_status.ToString());
+    json.Key("violations");
+    json.BeginArray();
+    for (const Violation& violation : verdict.violations) {
+      json.BeginObject();
+      json.Key("oracle");
+      json.String(OracleName(violation.oracle));
+      json.Key("detail");
+      json.String(violation.detail);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("anomaly");
+    json.String(verdict.anomaly);
+    json.Key("cost");
+    json.Number(verdict.accrued_cost);
+    json.Key("accesses");
+    json.UInt(verdict.accesses);
+    json.Key("spec");
+    json.String(verdict.spec.Serialize());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  os << "\n";
+  return os.str();
+}
+
+namespace {
+
+// Minimal cursor over the JSON subset bench_playbook emits.
+struct JsonCursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\n' || text[pos] == '\t' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  // Parses a quoted string (escapes rejected - names are plain tokens).
+  bool TakeString(std::string* out) {
+    if (!Expect('"')) return false;
+    const size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') return false;
+      ++pos;
+    }
+    if (pos >= text.size()) return false;
+    *out = std::string(text.substr(start, pos - start));
+    ++pos;
+    return true;
+  }
+
+  bool TakeNumber(double* out) {
+    SkipSpace();
+    const size_t start = pos;
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           text[pos] != ']' && text[pos] != ' ' && text[pos] != '\n') {
+      ++pos;
+    }
+    return ParseDouble(text.substr(start, pos - start), out);
+  }
+};
+
+}  // namespace
+
+Status LoadBaseline(const std::string& json,
+                    std::map<std::string, BaselineEntry>* out) {
+  const size_t key = json.find("\"baseline\"");
+  if (key == std::string::npos) {
+    return Status::InvalidArgument("no \"baseline\" object in document");
+  }
+  JsonCursor cur{json, key + std::string("\"baseline\"").size()};
+  if (!cur.Expect(':') || !cur.Expect('{')) {
+    return Status::InvalidArgument("malformed baseline object");
+  }
+  std::map<std::string, BaselineEntry> baseline;
+  if (!cur.Peek('}')) {
+    while (true) {
+      std::string name;
+      if (!cur.TakeString(&name) || !cur.Expect(':') || !cur.Expect('{')) {
+        return Status::InvalidArgument("malformed baseline entry");
+      }
+      BaselineEntry entry;
+      bool saw_cost = false, saw_accesses = false;
+      while (true) {
+        std::string field;
+        double value = 0.0;
+        if (!cur.TakeString(&field) || !cur.Expect(':') ||
+            !cur.TakeNumber(&value)) {
+          return Status::InvalidArgument("malformed baseline field for \"" +
+                                         name + "\"");
+        }
+        if (field == "cost") {
+          entry.cost = value;
+          saw_cost = true;
+        } else if (field == "accesses") {
+          entry.accesses = static_cast<size_t>(value);
+          saw_accesses = true;
+        } else {
+          return Status::InvalidArgument("unknown baseline field \"" +
+                                         field + "\"");
+        }
+        if (cur.Peek('}')) break;
+        if (!cur.Expect(',')) {
+          return Status::InvalidArgument("malformed baseline entry for \"" +
+                                         name + "\"");
+        }
+      }
+      cur.Expect('}');
+      if (!saw_cost || !saw_accesses) {
+        return Status::InvalidArgument("baseline entry \"" + name +
+                                       "\" missing cost or accesses");
+      }
+      baseline[name] = entry;
+      if (cur.Peek('}')) break;
+      if (!cur.Expect(',')) {
+        return Status::InvalidArgument("malformed baseline object");
+      }
+    }
+  }
+  cur.Expect('}');
+  *out = std::move(baseline);
+  return Status::OK();
+}
+
+}  // namespace nc::playbook

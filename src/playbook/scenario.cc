@@ -1,0 +1,709 @@
+#include "playbook/scenario.h"
+
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/numeric.h"
+
+namespace nc::playbook {
+namespace {
+
+// --- Token helpers, in the nchub house style --------------------------
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+// Walks one record's tokens; every Take* reports failure by setting
+// `failed` (sticky), so callers can chain reads and check once.
+struct TokenCursor {
+  const std::vector<std::string_view>& tokens;
+  size_t next = 1;  // Token 0 is the record key.
+  bool failed = false;
+
+  bool Done() const { return failed || next == tokens.size(); }
+
+  std::string_view TakeToken() {
+    if (failed || next >= tokens.size()) {
+      failed = true;
+      return {};
+    }
+    return tokens[next++];
+  }
+
+  uint64_t TakeUInt() {
+    uint64_t v = 0;
+    std::string_view tok = TakeToken();
+    if (failed || !ParseUInt64(tok, &v)) failed = true;
+    return v;
+  }
+
+  double TakeDouble() {
+    double v = 0.0;
+    std::string_view tok = TakeToken();
+    if (failed || !ParseDouble(tok, &v)) failed = true;
+    return v;
+  }
+
+  bool TakeBool() {
+    uint64_t v = TakeUInt();
+    if (v > 1) failed = true;
+    return v == 1;
+  }
+};
+
+bool ValidNameToken(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+              c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void AppendHex(std::string* out, double v) {
+  out->push_back(' ');
+  out->append(FormatHexDouble(v));
+}
+
+void AppendUInt(std::string* out, uint64_t v) {
+  out->push_back(' ');
+  out->append(std::to_string(v));
+}
+
+bool ZeroProfile(const FaultProfile& p) {
+  return p.transient_rate == 0.0 && p.timeout_rate == 0.0 &&
+         p.death_rate == 0.0 && p.die_after_attempts == 0;
+}
+
+}  // namespace
+
+const char* ScoringKindName(ScoringKind kind) {
+  switch (kind) {
+    case ScoringKind::kMin:
+      return "min";
+    case ScoringKind::kMax:
+      return "max";
+    case ScoringKind::kAverage:
+      return "avg";
+    case ScoringKind::kProduct:
+      return "product";
+    case ScoringKind::kGeometricMean:
+      return "geomean";
+  }
+  return "?";
+}
+
+bool ScoringKindFromName(std::string_view name, ScoringKind* out) {
+  for (ScoringKind kind :
+       {ScoringKind::kMin, ScoringKind::kMax, ScoringKind::kAverage,
+        ScoringKind::kProduct, ScoringKind::kGeometricMean}) {
+    if (name == ScoringKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ScoreDistributionFromName(std::string_view name, ScoreDistribution* out) {
+  for (ScoreDistribution dist :
+       {ScoreDistribution::kUniform, ScoreDistribution::kGaussian,
+        ScoreDistribution::kZipf}) {
+    if (name == ScoreDistributionName(dist)) {
+      *out = dist;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RoutingPolicyFromName(std::string_view name, RoutingPolicy* out) {
+  for (RoutingPolicy policy :
+       {RoutingPolicy::kPrimaryOnly, RoutingPolicy::kRoundRobin,
+        RoutingPolicy::kLeastLatency, RoutingPolicy::kCheapestHealthy}) {
+    if (name == RoutingPolicyName(policy)) {
+      *out = policy;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ReplicaSpec::Validate() const {
+  if (!std::isfinite(cost_multiplier) || cost_multiplier <= 0.0) {
+    return Status::InvalidArgument("replica cost_multiplier must be > 0");
+  }
+  NC_RETURN_IF_ERROR(latency.Validate());
+  NC_RETURN_IF_ERROR(faults.Validate());
+  return Status::OK();
+}
+
+Status ScenarioSpec::Validate() const {
+  if (!ValidNameToken(name)) {
+    return Status::InvalidArgument(
+        "scenario name must be one token of [A-Za-z0-9_.:-]+");
+  }
+  if (num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be > 0");
+  }
+  if (num_predicates == 0) {
+    return Status::InvalidArgument("num_predicates must be > 0");
+  }
+  if (!(correlation >= -1.0 && correlation <= 1.0)) {
+    return Status::InvalidArgument("correlation must be in [-1, 1]");
+  }
+  if (!std::isfinite(gaussian_mean) || !std::isfinite(gaussian_stddev) ||
+      gaussian_stddev <= 0.0) {
+    return Status::InvalidArgument("gaussian parameters malformed");
+  }
+  if (!std::isfinite(zipf_skew) || zipf_skew <= 0.0) {
+    return Status::InvalidArgument("zipf_skew must be finite and > 0");
+  }
+  if (k == 0 || k > num_objects) {
+    return Status::InvalidArgument("k must be in [1, num_objects]");
+  }
+  if (sorted_cost.size() != num_predicates ||
+      random_cost.size() != num_predicates) {
+    return Status::InvalidArgument(
+        "cost vectors must cover every predicate");
+  }
+  CostModel cost = MakeCostModel();
+  NC_RETURN_IF_ERROR(cost.Validate());
+  NC_RETURN_IF_ERROR(fault.Validate());
+  for (const ReplicaSpec& replica : replicas) {
+    NC_RETURN_IF_ERROR(replica.Validate());
+  }
+  if (has_fleet()) {
+    if (!std::isfinite(hedge_delay) || hedge_delay < 0.0) {
+      return Status::InvalidArgument("hedge_delay must be finite and >= 0");
+    }
+  } else if (hedge_delay != 0.0 || adaptive_hedge ||
+             routing != RoutingPolicy::kPrimaryOnly) {
+    return Status::InvalidArgument(
+        "routing/hedge settings require a replica topology");
+  }
+  NC_RETURN_IF_ERROR(budget.Validate(num_predicates));
+  if (srg_depths.empty() != srg_schedule.empty()) {
+    return Status::InvalidArgument(
+        "srg depths and schedule must be set together");
+  }
+  if (!srg_depths.empty()) {
+    NC_RETURN_IF_ERROR(MakeSRGConfig().Validate(num_predicates));
+  }
+  if (kill_at_access > 0 && workers > 0) {
+    return Status::InvalidArgument(
+        "kill_at_access requires engine mode (workers == 0)");
+  }
+  // Adaptive hedge timing reads the telemetry hub, whose mid-run state a
+  // checkpoint deliberately excludes (checkpoints re-warm from the live
+  // hub), so a killed adaptive run cannot promise bit-identical resume.
+  if (kill_at_access > 0 && adaptive_hedge) {
+    return Status::InvalidArgument(
+        "kill_at_access cannot be combined with adaptive hedging");
+  }
+  return Status::OK();
+}
+
+bool ScenarioSpec::fault_free() const {
+  if (!ZeroProfile(fault)) return false;
+  for (const ReplicaSpec& replica : replicas) {
+    if (!ZeroProfile(replica.faults)) return false;
+  }
+  return true;
+}
+
+Dataset ScenarioSpec::MakeDataset() const {
+  GeneratorOptions options;
+  options.num_objects = num_objects;
+  options.num_predicates = num_predicates;
+  options.distribution = distribution;
+  options.correlation = correlation;
+  options.gaussian_mean = gaussian_mean;
+  options.gaussian_stddev = gaussian_stddev;
+  options.zipf_skew = zipf_skew;
+  options.seed = data_seed;
+  return GenerateDataset(options);
+}
+
+CostModel ScenarioSpec::MakeCostModel() const {
+  CostModel cost(sorted_cost, random_cost);
+  cost.sorted_page_size = sorted_page_size;
+  cost.attribute_groups = attribute_groups;
+  return cost;
+}
+
+std::unique_ptr<ScoringFunction> ScenarioSpec::MakeScoring() const {
+  return MakeScoringFunction(scoring, num_predicates);
+}
+
+SRGConfig ScenarioSpec::MakeSRGConfig() const {
+  if (srg_depths.empty()) return SRGConfig::Default(num_predicates);
+  SRGConfig config;
+  config.depths = srg_depths;
+  config.schedule = srg_schedule;
+  return config;
+}
+
+Status ScenarioSpec::ConfigureFleet(ReplicaFleet* fleet) const {
+  if (!has_fleet()) return Status::OK();
+  ReplicaSetConfig config;
+  for (const ReplicaSpec& replica : replicas) {
+    ReplicaEndpoint endpoint;
+    endpoint.cost_multiplier = replica.cost_multiplier;
+    endpoint.latency = replica.latency;
+    endpoint.faults = replica.faults;
+    config.replicas.push_back(std::move(endpoint));
+  }
+  config.routing = routing;
+  config.hedge.delay = hedge_delay;
+  config.hedge.adaptive = adaptive_hedge;
+  for (PredicateId i = 0; i < num_predicates; ++i) {
+    NC_RETURN_IF_ERROR(fleet->Configure(i, config));
+  }
+  return Status::OK();
+}
+
+std::string ScenarioSpec::Signature() const {
+  std::string out = name;
+  out += " n=" + std::to_string(num_objects);
+  out += " m=" + std::to_string(num_predicates);
+  out += " k=" + std::to_string(k);
+  out += " F=";
+  out += ScoringKindName(scoring);
+  out += " dist=";
+  out += ScoreDistributionName(distribution);
+  out += " cost=" + MakeCostModel().ToString();
+  if (!ZeroProfile(fault)) {
+    out += " fault=(t=" + FormatDouble(fault.transient_rate) +
+           ",o=" + FormatDouble(fault.timeout_rate) +
+           ",d=" + FormatDouble(fault.death_rate) +
+           ",die@" + std::to_string(fault.die_after_attempts) + ")";
+  }
+  if (has_fleet()) {
+    out += " replicas=" + std::to_string(replicas.size());
+    out += "/";
+    out += RoutingPolicyName(routing);
+    if (adaptive_hedge) {
+      out += "/hedge=adaptive";
+    } else if (hedge_delay > 0.0) {
+      out += "/hedge=" + FormatDouble(hedge_delay);
+    }
+  }
+  if (!budget.unlimited()) out += " budget=[" + budget.ToString() + "]";
+  if (workers > 0) out += " workers=" + std::to_string(workers);
+  if (kill_at_access > 0) {
+    out += " kill@" + std::to_string(kill_at_access);
+  }
+  return out;
+}
+
+std::string ScenarioSpec::Serialize() const {
+  // Records in sorted key order; optional records (groups/pages/quota/
+  // replica/srg) are omitted when empty so the canonical form is minimal
+  // and parse(serialize(s)) == s holds byte for byte.
+  std::string out = "ncplay 1\n";
+
+  out += "budget";
+  AppendHex(&out, budget.max_cost);
+  AppendHex(&out, budget.deadline);
+  out += "\n";
+
+  out += "cost";
+  AppendUInt(&out, num_predicates);
+  for (size_t i = 0; i < num_predicates; ++i) {
+    AppendHex(&out, sorted_cost[i]);
+    AppendHex(&out, random_cost[i]);
+  }
+  out += "\n";
+
+  out += "data";
+  AppendUInt(&out, num_objects);
+  AppendUInt(&out, num_predicates);
+  out.push_back(' ');
+  out += ScoreDistributionName(distribution);
+  AppendHex(&out, correlation);
+  AppendUInt(&out, data_seed);
+  out += "\n";
+
+  out += "dist";
+  AppendHex(&out, gaussian_mean);
+  AppendHex(&out, gaussian_stddev);
+  AppendHex(&out, zipf_skew);
+  out += "\n";
+
+  out += "fault";
+  AppendHex(&out, fault.transient_rate);
+  AppendHex(&out, fault.timeout_rate);
+  AppendHex(&out, fault.death_rate);
+  AppendUInt(&out, fault.die_after_attempts);
+  out += "\n";
+
+  if (!attribute_groups.empty()) {
+    out += "groups";
+    AppendUInt(&out, attribute_groups.size());
+    for (int g : attribute_groups) {
+      AppendUInt(&out, static_cast<uint64_t>(g));
+    }
+    out += "\n";
+  }
+
+  out += "hedge";
+  AppendHex(&out, hedge_delay);
+  AppendUInt(&out, adaptive_hedge ? 1 : 0);
+  out += "\n";
+
+  out += "kill";
+  AppendUInt(&out, kill_at_access);
+  out += "\n";
+
+  out += "name ";
+  out += name;
+  out += "\n";
+
+  if (!sorted_page_size.empty()) {
+    out += "pages";
+    AppendUInt(&out, sorted_page_size.size());
+    for (size_t b : sorted_page_size) AppendUInt(&out, b);
+    out += "\n";
+  }
+
+  out += "query ";
+  out += ScoringKindName(scoring);
+  AppendUInt(&out, k);
+  out += "\n";
+
+  if (!budget.predicate_quota.empty()) {
+    out += "quota";
+    AppendUInt(&out, budget.predicate_quota.size());
+    for (size_t q : budget.predicate_quota) AppendUInt(&out, q);
+    out += "\n";
+  }
+
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    const ReplicaSpec& replica = replicas[r];
+    out += "replica";
+    AppendUInt(&out, r);
+    AppendHex(&out, replica.cost_multiplier);
+    AppendHex(&out, replica.latency.multiplier);
+    AppendHex(&out, replica.latency.jitter);
+    AppendHex(&out, replica.latency.tail_probability);
+    AppendHex(&out, replica.latency.tail_multiplier);
+    AppendHex(&out, replica.faults.transient_rate);
+    AppendHex(&out, replica.faults.timeout_rate);
+    AppendHex(&out, replica.faults.death_rate);
+    AppendUInt(&out, replica.faults.die_after_attempts);
+    out += "\n";
+  }
+
+  out += "routing ";
+  out += RoutingPolicyName(routing);
+  out += "\n";
+
+  out += "seeds";
+  AppendUInt(&out, fault_seed);
+  AppendUInt(&out, jitter_seed);
+  AppendUInt(&out, fleet_seed);
+  out += "\n";
+
+  if (!srg_depths.empty()) {
+    out += "srg";
+    AppendUInt(&out, srg_depths.size());
+    for (double d : srg_depths) AppendHex(&out, d);
+    for (PredicateId i : srg_schedule) AppendUInt(&out, i);
+    out += "\n";
+  }
+
+  out += "workers";
+  AppendUInt(&out, workers);
+  out += "\n";
+
+  out += "end\n";
+  return out;
+}
+
+Status ParseScenario(const std::string& text, ScenarioSpec* out) {
+  // Parse into a fresh temporary; *out is only assigned after the whole
+  // document, its footer, and semantic validation all succeed.
+  ScenarioSpec spec;
+  spec.name.clear();
+
+  auto fail = [](size_t line_no, const std::string& why) {
+    return Status::InvalidArgument("ncplay line " + std::to_string(line_no) +
+                                   ": " + why);
+  };
+
+  bool saw_header = false;
+  bool saw_end = false;
+  bool saw_budget = false, saw_cost = false, saw_data = false;
+  bool saw_dist = false, saw_fault = false, saw_groups = false;
+  bool saw_hedge = false, saw_kill = false, saw_name = false;
+  bool saw_pages = false, saw_query = false, saw_quota = false;
+  bool saw_routing = false, saw_seeds = false, saw_srg = false;
+  bool saw_workers = false;
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      if (pos == text.size()) break;
+      return fail(line_no + 1, "missing trailing newline");
+    }
+    std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    if (!saw_header) {
+      if (line != "ncplay 1") {
+        return fail(line_no, "expected header \"ncplay 1\"");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (saw_end) return fail(line_no, "content after \"end\"");
+    if (line == "end") {
+      saw_end = true;
+      continue;
+    }
+
+    std::vector<std::string_view> tokens = SplitTokens(line);
+    if (tokens.empty()) return fail(line_no, "empty record");
+    std::string_view key = tokens[0];
+    TokenCursor cur{tokens};
+
+    auto duplicate = [&](bool seen) { return seen; };
+
+    if (key == "budget") {
+      if (duplicate(saw_budget)) return fail(line_no, "duplicate budget");
+      saw_budget = true;
+      double max_cost = cur.TakeDouble();
+      double deadline = cur.TakeDouble();
+      if (!cur.Done()) return fail(line_no, "malformed budget record");
+      spec.budget.max_cost = max_cost;
+      spec.budget.deadline = deadline;
+    } else if (key == "cost") {
+      if (duplicate(saw_cost)) return fail(line_no, "duplicate cost");
+      saw_cost = true;
+      uint64_t m = cur.TakeUInt();
+      if (cur.failed || m == 0 || m > 1u << 20) {
+        return fail(line_no, "malformed cost arity");
+      }
+      std::vector<double> sorted(m), random(m);
+      for (uint64_t i = 0; i < m; ++i) {
+        sorted[i] = cur.TakeDouble();
+        random[i] = cur.TakeDouble();
+      }
+      if (!cur.Done()) return fail(line_no, "malformed cost record");
+      spec.sorted_cost = std::move(sorted);
+      spec.random_cost = std::move(random);
+    } else if (key == "data") {
+      if (duplicate(saw_data)) return fail(line_no, "duplicate data");
+      saw_data = true;
+      uint64_t objects = cur.TakeUInt();
+      uint64_t predicates = cur.TakeUInt();
+      std::string_view dist_name = cur.TakeToken();
+      ScoreDistribution dist = ScoreDistribution::kUniform;
+      if (cur.failed || !ScoreDistributionFromName(dist_name, &dist)) {
+        return fail(line_no, "unknown score distribution");
+      }
+      double correlation = cur.TakeDouble();
+      uint64_t seed = cur.TakeUInt();
+      if (!cur.Done()) return fail(line_no, "malformed data record");
+      spec.num_objects = objects;
+      spec.num_predicates = predicates;
+      spec.distribution = dist;
+      spec.correlation = correlation;
+      spec.data_seed = seed;
+    } else if (key == "dist") {
+      if (duplicate(saw_dist)) return fail(line_no, "duplicate dist");
+      saw_dist = true;
+      double mean = cur.TakeDouble();
+      double stddev = cur.TakeDouble();
+      double skew = cur.TakeDouble();
+      if (!cur.Done()) return fail(line_no, "malformed dist record");
+      spec.gaussian_mean = mean;
+      spec.gaussian_stddev = stddev;
+      spec.zipf_skew = skew;
+    } else if (key == "fault") {
+      if (duplicate(saw_fault)) return fail(line_no, "duplicate fault");
+      saw_fault = true;
+      FaultProfile profile;
+      profile.transient_rate = cur.TakeDouble();
+      profile.timeout_rate = cur.TakeDouble();
+      profile.death_rate = cur.TakeDouble();
+      profile.die_after_attempts = static_cast<size_t>(cur.TakeUInt());
+      if (!cur.Done()) return fail(line_no, "malformed fault record");
+      spec.fault = profile;
+    } else if (key == "groups") {
+      if (duplicate(saw_groups)) return fail(line_no, "duplicate groups");
+      saw_groups = true;
+      uint64_t m = cur.TakeUInt();
+      if (cur.failed || m == 0 || m > 1u << 20) {
+        return fail(line_no, "malformed groups arity");
+      }
+      std::vector<int> groups(m);
+      for (uint64_t i = 0; i < m; ++i) {
+        groups[i] = static_cast<int>(cur.TakeUInt());
+      }
+      if (!cur.Done()) return fail(line_no, "malformed groups record");
+      spec.attribute_groups = std::move(groups);
+    } else if (key == "hedge") {
+      if (duplicate(saw_hedge)) return fail(line_no, "duplicate hedge");
+      saw_hedge = true;
+      double delay = cur.TakeDouble();
+      bool adaptive = cur.TakeBool();
+      if (!cur.Done()) return fail(line_no, "malformed hedge record");
+      spec.hedge_delay = delay;
+      spec.adaptive_hedge = adaptive;
+    } else if (key == "kill") {
+      if (duplicate(saw_kill)) return fail(line_no, "duplicate kill");
+      saw_kill = true;
+      uint64_t at = cur.TakeUInt();
+      if (!cur.Done()) return fail(line_no, "malformed kill record");
+      spec.kill_at_access = static_cast<size_t>(at);
+    } else if (key == "name") {
+      if (duplicate(saw_name)) return fail(line_no, "duplicate name");
+      saw_name = true;
+      std::string_view name = cur.TakeToken();
+      if (cur.failed || !cur.Done() || !ValidNameToken(name)) {
+        return fail(line_no, "malformed name record");
+      }
+      spec.name = std::string(name);
+    } else if (key == "pages") {
+      if (duplicate(saw_pages)) return fail(line_no, "duplicate pages");
+      saw_pages = true;
+      uint64_t m = cur.TakeUInt();
+      if (cur.failed || m == 0 || m > 1u << 20) {
+        return fail(line_no, "malformed pages arity");
+      }
+      std::vector<size_t> pages(m);
+      for (uint64_t i = 0; i < m; ++i) {
+        pages[i] = static_cast<size_t>(cur.TakeUInt());
+      }
+      if (!cur.Done()) return fail(line_no, "malformed pages record");
+      spec.sorted_page_size = std::move(pages);
+    } else if (key == "query") {
+      if (duplicate(saw_query)) return fail(line_no, "duplicate query");
+      saw_query = true;
+      std::string_view kind_name = cur.TakeToken();
+      ScoringKind kind = ScoringKind::kAverage;
+      if (cur.failed || !ScoringKindFromName(kind_name, &kind)) {
+        return fail(line_no, "unknown scoring function");
+      }
+      uint64_t k = cur.TakeUInt();
+      if (!cur.Done()) return fail(line_no, "malformed query record");
+      spec.scoring = kind;
+      spec.k = static_cast<size_t>(k);
+    } else if (key == "quota") {
+      if (duplicate(saw_quota)) return fail(line_no, "duplicate quota");
+      saw_quota = true;
+      uint64_t m = cur.TakeUInt();
+      if (cur.failed || m == 0 || m > 1u << 20) {
+        return fail(line_no, "malformed quota arity");
+      }
+      std::vector<size_t> quota(m);
+      for (uint64_t i = 0; i < m; ++i) {
+        quota[i] = static_cast<size_t>(cur.TakeUInt());
+      }
+      if (!cur.Done()) return fail(line_no, "malformed quota record");
+      spec.budget.predicate_quota = std::move(quota);
+    } else if (key == "replica") {
+      // Replica records must arrive in index order 0, 1, 2, ... so the
+      // canonical document admits exactly one serialization.
+      uint64_t index = cur.TakeUInt();
+      if (cur.failed || index != spec.replicas.size()) {
+        return fail(line_no, "replica records must be sequential from 0");
+      }
+      ReplicaSpec replica;
+      replica.cost_multiplier = cur.TakeDouble();
+      replica.latency.multiplier = cur.TakeDouble();
+      replica.latency.jitter = cur.TakeDouble();
+      replica.latency.tail_probability = cur.TakeDouble();
+      replica.latency.tail_multiplier = cur.TakeDouble();
+      replica.faults.transient_rate = cur.TakeDouble();
+      replica.faults.timeout_rate = cur.TakeDouble();
+      replica.faults.death_rate = cur.TakeDouble();
+      replica.faults.die_after_attempts = static_cast<size_t>(cur.TakeUInt());
+      if (!cur.Done()) return fail(line_no, "malformed replica record");
+      spec.replicas.push_back(std::move(replica));
+    } else if (key == "routing") {
+      if (duplicate(saw_routing)) return fail(line_no, "duplicate routing");
+      saw_routing = true;
+      std::string_view policy_name = cur.TakeToken();
+      RoutingPolicy policy = RoutingPolicy::kPrimaryOnly;
+      if (cur.failed || !cur.Done() ||
+          !RoutingPolicyFromName(policy_name, &policy)) {
+        return fail(line_no, "unknown routing policy");
+      }
+      spec.routing = policy;
+    } else if (key == "seeds") {
+      if (duplicate(saw_seeds)) return fail(line_no, "duplicate seeds");
+      saw_seeds = true;
+      uint64_t fault_seed = cur.TakeUInt();
+      uint64_t jitter_seed = cur.TakeUInt();
+      uint64_t fleet_seed = cur.TakeUInt();
+      if (!cur.Done()) return fail(line_no, "malformed seeds record");
+      spec.fault_seed = fault_seed;
+      spec.jitter_seed = jitter_seed;
+      spec.fleet_seed = fleet_seed;
+    } else if (key == "srg") {
+      if (duplicate(saw_srg)) return fail(line_no, "duplicate srg");
+      saw_srg = true;
+      uint64_t m = cur.TakeUInt();
+      if (cur.failed || m == 0 || m > 1u << 20) {
+        return fail(line_no, "malformed srg arity");
+      }
+      std::vector<double> depths(m);
+      std::vector<PredicateId> schedule(m);
+      for (uint64_t i = 0; i < m; ++i) depths[i] = cur.TakeDouble();
+      for (uint64_t i = 0; i < m; ++i) {
+        schedule[i] = static_cast<PredicateId>(cur.TakeUInt());
+      }
+      if (!cur.Done()) return fail(line_no, "malformed srg record");
+      spec.srg_depths = std::move(depths);
+      spec.srg_schedule = std::move(schedule);
+    } else if (key == "workers") {
+      if (duplicate(saw_workers)) return fail(line_no, "duplicate workers");
+      saw_workers = true;
+      uint64_t workers = cur.TakeUInt();
+      if (!cur.Done()) return fail(line_no, "malformed workers record");
+      spec.workers = static_cast<size_t>(workers);
+    } else {
+      return fail(line_no, "unknown record \"" + std::string(key) + "\"");
+    }
+  }
+
+  if (!saw_header) return fail(1, "expected header \"ncplay 1\"");
+  if (!saw_end) return fail(line_no + 1, "missing \"end\"");
+  const std::pair<bool, const char*> required[] = {
+      {saw_budget, "budget"}, {saw_cost, "cost"},       {saw_data, "data"},
+      {saw_dist, "dist"},     {saw_fault, "fault"},     {saw_hedge, "hedge"},
+      {saw_kill, "kill"},     {saw_name, "name"},       {saw_query, "query"},
+      {saw_routing, "routing"}, {saw_seeds, "seeds"},   {saw_workers,
+                                                         "workers"}};
+  for (const auto& [seen, what] : required) {
+    if (!seen) {
+      return fail(line_no + 1, "missing record \"" + std::string(what) + "\"");
+    }
+  }
+
+  NC_RETURN_IF_ERROR(spec.Validate());
+  *out = std::move(spec);
+  return Status::OK();
+}
+
+}  // namespace nc::playbook

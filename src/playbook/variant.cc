@@ -1,0 +1,240 @@
+#include "playbook/variant.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/score.h"
+
+namespace nc::playbook {
+namespace {
+
+std::string IndexedName(const std::string& prefix, size_t index) {
+  std::string digits = std::to_string(index);
+  while (digits.size() < 4) digits.insert(digits.begin(), '0');
+  return prefix + "-" + digits;
+}
+
+}  // namespace
+
+VariantAxes VariantAxes::ChaosDefaults() {
+  VariantAxes axes;
+  axes.prefix = "chaos";
+  axes.object_counts = {40, 120, 260};
+  axes.predicate_counts = {1, 2, 3, 4};
+  axes.distributions = {ScoreDistribution::kUniform,
+                        ScoreDistribution::kGaussian, ScoreDistribution::kZipf};
+  axes.scorings = {ScoringKind::kMin, ScoringKind::kMax, ScoringKind::kAverage,
+                   ScoringKind::kProduct, ScoringKind::kGeometricMean};
+  // Figure 2's answerable uniform regimes plus CA's expensive-random cell.
+  axes.cost_regimes = {{1.0, 1.0},           {1.0, 10.0},
+                       {10.0, 1.0},          {1.0, 50.0},
+                       {1.0, kImpossibleCost}, {kImpossibleCost, 1.0}};
+  axes.fault_intensities = {0.0, 0.06, 0.12};
+  // No-fleet variants weighted double: the single-source path is the one
+  // the paper's algorithms actually live on.
+  axes.replica_counts = {0, 0, 2, 3};
+  axes.routings = {RoutingPolicy::kPrimaryOnly, RoutingPolicy::kRoundRobin,
+                   RoutingPolicy::kLeastLatency,
+                   RoutingPolicy::kCheapestHealthy};
+  axes.hedge_delays = {0.0, 2.0, -1.0};
+  axes.budget_shapes = {0, 1, 2, 4, 3};
+  axes.worker_counts = {0, 0, 0, 2};
+  axes.kill_choices = {false, false, true};
+  return axes;
+}
+
+Status VariantAxes::Validate() const {
+  const struct {
+    bool empty;
+    const char* what;
+  } axis_checks[] = {
+      {object_counts.empty(), "object_counts"},
+      {predicate_counts.empty(), "predicate_counts"},
+      {distributions.empty(), "distributions"},
+      {scorings.empty(), "scorings"},
+      {cost_regimes.empty(), "cost_regimes"},
+      {fault_intensities.empty(), "fault_intensities"},
+      {replica_counts.empty(), "replica_counts"},
+      {routings.empty(), "routings"},
+      {hedge_delays.empty(), "hedge_delays"},
+      {budget_shapes.empty(), "budget_shapes"},
+      {worker_counts.empty(), "worker_counts"},
+      {kill_choices.empty(), "kill_choices"},
+  };
+  for (const auto& check : axis_checks) {
+    if (check.empty) {
+      return Status::InvalidArgument(std::string("empty axis: ") + check.what);
+    }
+  }
+  for (size_t n : object_counts) {
+    if (n < 2) return Status::InvalidArgument("object_counts entries must be >= 2");
+  }
+  for (size_t m : predicate_counts) {
+    if (m == 0) return Status::InvalidArgument("predicate_counts entries must be >= 1");
+  }
+  for (const auto& [cs, cr] : cost_regimes) {
+    if (cs == kImpossibleCost && cr == kImpossibleCost) {
+      return Status::InvalidArgument("cost regime with no access type at all");
+    }
+  }
+  for (double f : fault_intensities) {
+    if (!(f >= 0.0 && f <= 0.5)) {
+      return Status::InvalidArgument("fault_intensities must be in [0, 0.5]");
+    }
+  }
+  if (!(correlation_span >= 0.0 && correlation_span <= 1.0)) {
+    return Status::InvalidArgument("correlation_span must be in [0, 1]");
+  }
+  if (!(cost_log10_span >= 0.0) || !(timeout_fraction >= 0.0) ||
+      !(death_probability >= 0.0 && death_probability <= 1.0)) {
+    return Status::InvalidArgument("perturbation bounds malformed");
+  }
+  return Status::OK();
+}
+
+VariantGenerator::VariantGenerator(VariantAxes axes, uint64_t seed)
+    : axes_(std::move(axes)), rng_(seed * 0x9e3779b97f4a7c15ULL + 1) {
+  NC_CHECK(axes_.Validate().ok());
+}
+
+ScenarioSpec VariantGenerator::Draw() {
+  ScenarioSpec spec;
+  spec.name = IndexedName(axes_.prefix, drawn_++);
+
+  // Dataset shape.
+  spec.num_objects = Pick(axes_.object_counts);
+  spec.num_predicates = Pick(axes_.predicate_counts);
+  const size_t m = spec.num_predicates;
+  spec.distribution = Pick(axes_.distributions);
+  spec.correlation =
+      axes_.correlation_span == 0.0
+          ? 0.0
+          : rng_.Uniform(-axes_.correlation_span, axes_.correlation_span);
+  spec.data_seed = rng_.UniformInt(1u << 30);
+
+  // Query.
+  spec.scoring = Pick(axes_.scorings);
+  spec.k = 1 + static_cast<size_t>(
+                   rng_.UniformInt(std::max<size_t>(1, spec.num_objects / 2)));
+
+  // Cost regime with bounded per-predicate wobble on finite cells.
+  const auto [cs, cr] = Pick(axes_.cost_regimes);
+  spec.sorted_cost.assign(m, cs);
+  spec.random_cost.assign(m, cr);
+  for (size_t i = 0; i < m; ++i) {
+    if (std::isfinite(cs) && axes_.cost_log10_span > 0.0) {
+      spec.sorted_cost[i] =
+          cs * std::pow(10.0, rng_.Uniform(-axes_.cost_log10_span,
+                                           axes_.cost_log10_span));
+    }
+    if (std::isfinite(cr) && axes_.cost_log10_span > 0.0) {
+      spec.random_cost[i] =
+          cr * std::pow(10.0, rng_.Uniform(-axes_.cost_log10_span,
+                                           axes_.cost_log10_span));
+    }
+  }
+  if (rng_.UniformInt(3) == 0) {
+    spec.sorted_page_size.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      spec.sorted_page_size[i] = 1 + static_cast<size_t>(rng_.UniformInt(20));
+    }
+  }
+  if (m > 1 && rng_.UniformInt(3) == 0) {
+    spec.attribute_groups.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      spec.attribute_groups[i] = static_cast<int>(rng_.UniformInt(2));
+    }
+  }
+
+  // Execution plan: random SR/G depths and a shuffled probe schedule,
+  // mirroring the fuzz suite's plan coverage.
+  spec.srg_depths.resize(m);
+  spec.srg_schedule.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    spec.srg_depths[i] = 0.1 * static_cast<double>(rng_.UniformInt(11));
+    spec.srg_schedule[i] = static_cast<PredicateId>(i);
+  }
+  rng_.Shuffle(&spec.srg_schedule);
+
+  // Faults.
+  const double intensity = Pick(axes_.fault_intensities);
+  if (intensity > 0.0) {
+    spec.fault.transient_rate = rng_.Uniform(0.0, intensity);
+    spec.fault.timeout_rate =
+        rng_.Uniform(0.0, intensity * axes_.timeout_fraction);
+    if (rng_.Uniform01() < axes_.death_probability) {
+      spec.fault.die_after_attempts = 1 + static_cast<size_t>(
+                                              rng_.UniformInt(60));
+    }
+  }
+  spec.fault_seed = 1 + rng_.UniformInt(1u << 30);
+  spec.jitter_seed = rng_.UniformInt(1u << 20);
+
+  // Replica topology. Fleet variants carry their faults on the replicas
+  // (the default profile would be dead weight and would misreport
+  // fault_free()), so the default draw above is discarded here.
+  const size_t replica_count = Pick(axes_.replica_counts);
+  if (replica_count > 0) {
+    spec.fault = FaultProfile{};
+    for (size_t r = 0; r < replica_count; ++r) {
+      ReplicaSpec replica;
+      replica.cost_multiplier = std::pow(10.0, rng_.Uniform(-0.3, 0.3));
+      replica.latency.multiplier = rng_.Uniform(0.5, 2.0);
+      replica.latency.jitter = rng_.Uniform(0.0, 0.5);
+      replica.latency.tail_probability = rng_.Uniform(0.0, 0.1);
+      replica.latency.tail_multiplier = 1.0 + rng_.Uniform(0.0, 19.0);
+      if (intensity > 0.0) {
+        replica.faults.transient_rate = rng_.Uniform(0.0, intensity);
+        replica.faults.timeout_rate =
+            rng_.Uniform(0.0, intensity * axes_.timeout_fraction);
+        if (rng_.UniformInt(5) == 0) {
+          // One replica dying mid-run is the failover case worth soaking.
+          replica.faults.die_after_attempts =
+              1 + static_cast<size_t>(rng_.UniformInt(40));
+        }
+      }
+      spec.replicas.push_back(std::move(replica));
+    }
+    spec.routing = Pick(axes_.routings);
+    const double hedge = Pick(axes_.hedge_delays);
+    if (hedge < 0.0) {
+      spec.adaptive_hedge = true;
+    } else {
+      spec.hedge_delay = hedge;
+    }
+    spec.fleet_seed = rng_.UniformInt(1u << 30);
+  }
+
+  // Budget.
+  const int shape = Pick(axes_.budget_shapes);
+  if ((shape & 1) != 0) spec.budget.max_cost = rng_.Uniform(5.0, 250.0);
+  if ((shape & 2) != 0) spec.budget.deadline = rng_.Uniform(10.0, 400.0);
+  if ((shape & 4) != 0) {
+    spec.budget.predicate_quota.assign(m, 0);
+    spec.budget.predicate_quota[rng_.UniformInt(m)] =
+        1 + static_cast<size_t>(rng_.UniformInt(40));
+  }
+
+  // Execution mode + kill switch.
+  spec.workers = Pick(axes_.worker_counts);
+  const bool kill = Pick(axes_.kill_choices);
+  if (kill) {
+    const size_t kill_at = 1 + static_cast<size_t>(rng_.UniformInt(40));
+    if (spec.workers == 0 && !spec.adaptive_hedge) {
+      spec.kill_at_access = kill_at;
+    }
+  }
+
+  NC_CHECK(spec.Validate().ok());
+  return spec;
+}
+
+std::vector<ScenarioSpec> VariantGenerator::Generate(size_t count) {
+  std::vector<ScenarioSpec> variants;
+  variants.reserve(count);
+  for (size_t i = 0; i < count; ++i) variants.push_back(Draw());
+  return variants;
+}
+
+}  // namespace nc::playbook

@@ -1,0 +1,103 @@
+// Seeded variant generation: axis matrices + bounded perturbations.
+//
+// A playbook run does not enumerate hand-picked scenarios; it *generates*
+// them. VariantAxes declares the discrete choices (cost regimes, scoring
+// kinds, fault intensities, replica counts, routing policies, budget
+// shapes, worker counts, kill switches) and the bounds of the continuous
+// perturbations (correlation span, per-predicate cost wobble). The
+// generator draws one value per axis plus the perturbations from a single
+// seeded Rng stream, so the same (axes, seed, count) triple always yields
+// the byte-identical variant list - the property the nightly soak's repro
+// commands and the determinism tests stand on. Every drawn spec passes
+// ScenarioSpec::Validate() by construction.
+
+#ifndef NC_PLAYBOOK_VARIANT_H_
+#define NC_PLAYBOOK_VARIANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "playbook/scenario.h"
+
+namespace nc::playbook {
+
+struct VariantAxes {
+  // Name prefix: variants are "<prefix>-0000", "<prefix>-0001", ...
+  std::string prefix = "variant";
+
+  // --- Discrete axes (one entry drawn per variant; never empty) --------
+  std::vector<size_t> object_counts;
+  std::vector<size_t> predicate_counts;
+  std::vector<ScoreDistribution> distributions;
+  std::vector<ScoringKind> scorings;
+  // Uniform (cs, cr) regimes; kImpossibleCost marks a capability hole.
+  // Per-predicate wobble is applied on top (cost_log10_span).
+  std::vector<std::pair<double, double>> cost_regimes;
+  // Ceilings for the drawn transient/timeout rates; 0 = fault-free.
+  std::vector<double> fault_intensities;
+  // 0 = plain single-source predicates.
+  std::vector<size_t> replica_counts;
+  std::vector<RoutingPolicy> routings;
+  // Fixed hedge trigger in cost units; < 0 selects adaptive hedging.
+  // Only consulted when the drawn replica count is > 0.
+  std::vector<double> hedge_delays;
+  // Bitmask of budget dimensions: 1 = cost cap, 2 = deadline,
+  // 4 = single-predicate quota. 0 = unlimited.
+  std::vector<int> budget_shapes;
+  // 0 = in-process engine; >= 1 = QueryServer with that many workers.
+  std::vector<size_t> worker_counts;
+  // true = checkpoint/kill mid-run. Only honored when the same draw
+  // selected engine mode without adaptive hedging (the two combinations
+  // ScenarioSpec::Validate forbids); conflicting draws keep kill off.
+  std::vector<bool> kill_choices;
+
+  // --- Bounded perturbations -------------------------------------------
+  // correlation ~ U(-span, span).
+  double correlation_span = 0.9;
+  // Each finite unit cost is scaled by 10^U(-span, span).
+  double cost_log10_span = 0.5;
+  // Timeout ceiling as a fraction of the drawn transient ceiling.
+  double timeout_fraction = 0.4;
+  // Probability that a faulty variant arms die-after-N on the default
+  // profile (N ~ 1 + U(60)), exercising graceful degradation.
+  double death_probability = 0.25;
+
+  // The chaos matrix the nightly soak explores: every scoring kind and
+  // distribution, the Figure 2 regimes plus CA's (1, 50) cell, fault
+  // intensities up to the fuzz suite's 12% ceiling, fleets up to 3
+  // replicas under every routing policy, all budget shapes, server
+  // variants, and mid-run kills.
+  static VariantAxes ChaosDefaults();
+
+  Status Validate() const;
+};
+
+// Expands axes into scenario variants. Same (axes, seed) => the same
+// draw stream => byte-identical specs, independent of how many variants
+// earlier Generate calls consumed.
+class VariantGenerator {
+ public:
+  VariantGenerator(VariantAxes axes, uint64_t seed);
+
+  // Draws the next variant (named "<prefix>-<index>", 4-digit index).
+  ScenarioSpec Draw();
+
+  // Draws `count` variants in sequence.
+  std::vector<ScenarioSpec> Generate(size_t count);
+
+ private:
+  template <typename T>
+  T Pick(const std::vector<T>& axis) {
+    return axis[static_cast<size_t>(rng_.UniformInt(axis.size()))];
+  }
+
+  VariantAxes axes_;
+  Rng rng_;
+  size_t drawn_ = 0;
+};
+
+}  // namespace nc::playbook
+
+#endif  // NC_PLAYBOOK_VARIANT_H_

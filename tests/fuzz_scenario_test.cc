@@ -6,20 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
-#include <optional>
 #include <string>
-#include <unordered_set>
 
-#include "access/budget.h"
 #include "access/fault.h"
-#include "access/trace_format.h"
-#include "core/checkpoint.h"
 #include "core/engine.h"
 #include "core/random_policy.h"
 #include "core/reference.h"
 #include "core/srg_policy.h"
 #include "core/tg.h"
 #include "data/generator.h"
+#include "playbook/runner.h"
+#include "playbook/variant.h"
 
 namespace nc {
 namespace {
@@ -234,221 +231,35 @@ size_t ChaosRounds() {
   return 3;
 }
 
-Score ChaosTrueScore(const Dataset& data, const ScoringFunction& scoring,
-                     ObjectId u) {
-  std::vector<Score> row(data.num_predicates());
-  for (PredicateId i = 0; i < data.num_predicates(); ++i) {
-    row[i] = data.score(u, i);
-  }
-  return scoring.Evaluate(row);
-}
-
-// A certified answer's promises hold against ground truth no matter which
-// chaos stopped the run: intervals contain the true scores, the excluded
-// ceiling dominates every non-returned object, and epsilon bounds the
-// rank error in the (1 + epsilon) * score(y) >= score(z) sense.
-void CheckChaosCertificate(const Dataset& data,
-                           const ScoringFunction& scoring,
-                           const TopKResult& result,
-                           const std::string& label) {
-  constexpr double kTol = 1e-9;
-  ASSERT_TRUE(result.certificate.has_value()) << label;
-  const AnytimeCertificate& cert = *result.certificate;
-  ASSERT_EQ(cert.intervals.size(), result.entries.size()) << label;
-  std::unordered_set<ObjectId> returned;
-  Score min_true_returned = kMaxScore;
-  for (size_t r = 0; r < result.entries.size(); ++r) {
-    const ObjectId u = result.entries[r].object;
-    const Score truth = ChaosTrueScore(data, scoring, u);
-    EXPECT_LE(cert.intervals[r].lower, truth + kTol) << label << " obj " << u;
-    EXPECT_GE(cert.intervals[r].upper + kTol, truth) << label << " obj " << u;
-    min_true_returned = std::min(min_true_returned, truth);
-    returned.insert(u);
-  }
-  for (ObjectId u = 0; u < data.num_objects(); ++u) {
-    if (returned.count(u) != 0) continue;
-    const Score truth = ChaosTrueScore(data, scoring, u);
-    EXPECT_LE(truth, cert.excluded_ceiling + kTol) << label << " excl " << u;
-    if (!result.entries.empty() && std::isfinite(cert.epsilon)) {
-      EXPECT_LE(truth, (1.0 + cert.epsilon) * min_true_returned + kTol)
-          << label << " excl " << u;
-    }
-  }
-}
-
-// The worst a single access can bill: the priciest live unit cost, with
-// every preceding attempt failed and charged at the retry factor.
-double WorstAccessBilling(const CostModel& cost, const RetryPolicy& retry) {
-  double unit = 0.0;
-  for (PredicateId i = 0; i < cost.num_predicates(); ++i) {
-    if (cost.has_sorted(i)) unit = std::max(unit, cost.sorted_cost[i]);
-    if (cost.has_random(i)) unit = std::max(unit, cost.random_cost[i]);
-  }
-  const double failures = static_cast<double>(retry.max_attempts - 1);
-  return unit * (failures * retry.retry_cost_factor +
-                 std::max(1.0, retry.retry_cost_factor));
-}
-
-// The worst a single access can advance the deadline clock: the billing
-// above plus every attempt timing out plus maximal jittered backoff.
-double WorstElapsedIncrement(const CostModel& cost,
-                             const RetryPolicy& retry) {
-  double unit = 0.0;
-  for (PredicateId i = 0; i < cost.num_predicates(); ++i) {
-    if (cost.has_sorted(i)) unit = std::max(unit, cost.sorted_cost[i]);
-    if (cost.has_random(i)) unit = std::max(unit, cost.random_cost[i]);
-  }
-  double backoff = 0.0;
-  double delay = retry.backoff_base;
-  for (size_t a = 1; a < retry.max_attempts; ++a) {
-    backoff += delay * (1.0 + retry.backoff_jitter);
-    delay *= retry.backoff_multiplier;
-  }
-  return WorstAccessBilling(cost, retry) +
-         static_cast<double>(retry.max_attempts) *
-             retry.timeout_latency_factor * unit +
-         backoff;
-}
-
-// Chaos soak: random scenarios with transient/timeout faults, a random
-// budget, and a mid-run checkpoint/kill, all at once. Every round must
-// return OK; a certificate is checked against ground truth (epsilon never
-// violated), budgets hold to within one worst-case access, and resuming
-// the captured checkpoint replays to the identical answer and cost with
-// zero re-issued accesses (no double-charging across the kill).
-// Failures reproduce from the logged label. NC_CHAOS_ITERS scales the
-// rounds for the scheduled CI soak.
+// Chaos soak: generated playbook variants - faults, budgets, replica
+// fleets, hedging, and mid-run checkpoint/kills, all at once - run under
+// the playbook's invariant oracles (playbook/runner.h): differential
+// bit-identity on fault-free variants, certificate soundness against
+// ground truth, Eq. 1 billing conservation, budget overshoot bounded by
+// one worst-case access, and bit-identical checkpoint resume. Flagged
+// variants reproduce from the reported repro command (the generator is
+// seed-deterministic). NC_CHAOS_ITERS scales the variant count for the
+// scheduled CI soak.
 TEST_P(ScenarioFuzzTest, ChaosSoakFaultsBudgetsAndCheckpoints) {
-  constexpr double kTol = 1e-9;
-  Rng rng(GetParam() * 514229 + 3);
-  const size_t rounds = ChaosRounds();
-  for (size_t round = 0; round < rounds; ++round) {
-    const FuzzScenario s = DrawScenario(&rng);
-    const size_t m = s.data.num_predicates();
+  playbook::VariantAxes axes = playbook::VariantAxes::ChaosDefaults();
+  axes.prefix = "fuzz" + std::to_string(GetParam());
+  // Keep the sanitizer soak single-threaded: server variants have their
+  // own differential coverage in server_test.cc, and the engine path is
+  // where every oracle bites.
+  axes.worker_counts = {0};
+  playbook::VariantGenerator generator(std::move(axes),
+                                       GetParam() * 514229 + 3);
+  const std::vector<playbook::ScenarioSpec> variants =
+      generator.Generate(ChaosRounds());
 
-    const uint64_t injector_seed = rng.UniformInt(1 << 30);
-    const uint64_t jitter_seed = rng.UniformInt(1 << 20);
-    FaultProfile profile;
-    profile.transient_rate = rng.Uniform(0.0, 0.12);
-    profile.timeout_rate = rng.Uniform(0.0, 0.05);
-    QueryBudget budget;
-    if (rng.UniformInt(2) == 0) budget.max_cost = rng.Uniform(5.0, 250.0);
-    if (rng.UniformInt(3) == 0) budget.deadline = rng.Uniform(10.0, 400.0);
-    if (rng.UniformInt(3) == 0) {
-      budget.predicate_quota.assign(m, 0);
-      budget.predicate_quota[rng.UniformInt(m)] =
-          1 + static_cast<size_t>(rng.UniformInt(40));
-    }
-    const size_t kill = 1 + static_cast<size_t>(rng.UniformInt(40));
-    const RetryPolicy retry;  // stock policy; the bounds mirror its fields
-
-    const std::string label =
-        s.description + " | faults seed=" + std::to_string(injector_seed) +
-        " jitter=" + std::to_string(jitter_seed) +
-        " budget=" + budget.ToString() + " kill=" + std::to_string(kill) +
-        " round=" + std::to_string(round);
-
-    const auto configure = [&](SourceSet* sources, FaultInjector* injector) {
-      sources->EnableTrace();
-      sources->set_fault_injector(injector);
-      sources->set_retry_policy(retry, jitter_seed);
-      ASSERT_TRUE(sources->set_budget(budget).ok()) << label;
-    };
-
-    FaultInjector injector(injector_seed);
-    injector.set_default_profile(profile);
-    SourceSet sources(&s.data, s.cost);
-    configure(&sources, &injector);
-    SRGPolicy policy(s.config);
-    EngineOptions options;
-    options.k = s.k;
-    std::optional<EngineCheckpoint> checkpoint;
-    NCEngine* engine_ptr = nullptr;
-    options.access_callback = [&checkpoint, &engine_ptr,
-                               kill](size_t count) {
-      if (count == kill) checkpoint = engine_ptr->Checkpoint();
-    };
-    NCEngine engine(&sources, s.scoring.get(), &policy, options);
-    engine_ptr = &engine;
-    TopKResult result;
-    const Status status = engine.Run(&result);
-    ASSERT_TRUE(status.ok()) << status << "\n" << label;
-
-    // Budget tightness: never more than one worst-case access past a cap.
-    if (budget.max_cost > 0.0) {
-      EXPECT_LE(sources.accrued_cost(),
-                budget.max_cost + WorstAccessBilling(s.cost, retry) + kTol)
-          << label;
-    }
-    if (budget.deadline > 0.0) {
-      EXPECT_LE(sources.elapsed_time(),
-                budget.deadline + WorstElapsedIncrement(s.cost, retry) + kTol)
-          << label;
-    }
-    if (!budget.predicate_quota.empty()) {
-      for (PredicateId i = 0; i < m; ++i) {
-        if (budget.predicate_quota[i] == 0) continue;
-        EXPECT_LE(sources.stats().sorted_count[i] +
-                      sources.stats().random_count[i],
-                  budget.predicate_quota[i])
-            << label << " p" << i;
-      }
-    }
-
-    if (result.certificate.has_value()) {
-      CheckChaosCertificate(s.data, *s.scoring, result, label);
-    } else if (engine.last_run_exact()) {
-      const TopKResult oracle = BruteForceTopK(s.data, *s.scoring, s.k);
-      ASSERT_EQ(result.entries.size(), oracle.entries.size()) << label;
-      for (size_t r = 0; r < result.entries.size(); ++r) {
-        EXPECT_DOUBLE_EQ(result.entries[r].score, oracle.entries[r].score)
-            << label << " rank " << r;
-      }
-    }
-
-    // Crash-safety: resume the mid-run snapshot (through the text format)
-    // on fresh state and demand a bit-identical continuation.
-    if (checkpoint.has_value()) {
-      const std::string text = SerializeCheckpoint(*checkpoint);
-      EngineCheckpoint parsed;
-      ASSERT_TRUE(ParseCheckpoint(text, &parsed).ok()) << label;
-
-      FaultInjector resume_injector(injector_seed);
-      resume_injector.set_default_profile(profile);
-      SourceSet resume_sources(&s.data, s.cost);
-      configure(&resume_sources, &resume_injector);
-      SRGPolicy resume_policy(s.config);
-      EngineOptions resume_options;
-      resume_options.k = s.k;
-      NCEngine resume_engine(&resume_sources, s.scoring.get(),
-                             &resume_policy, resume_options);
-      TopKResult resumed;
-      ASSERT_TRUE(resume_engine.Resume(parsed, &resumed).ok()) << label;
-
-      ASSERT_EQ(resumed.entries.size(), result.entries.size()) << label;
-      for (size_t r = 0; r < resumed.entries.size(); ++r) {
-        EXPECT_EQ(resumed.entries[r].object, result.entries[r].object)
-            << label << " rank " << r;
-        EXPECT_DOUBLE_EQ(resumed.entries[r].score, result.entries[r].score)
-            << label << " rank " << r;
-      }
-      EXPECT_EQ(resumed.certificate.has_value(),
-                result.certificate.has_value())
-          << label;
-      // No double-charged cost and zero re-issued accesses: the restored
-      // prefix plus the continuation is the uninterrupted run, exactly.
-      EXPECT_DOUBLE_EQ(resume_sources.accrued_cost(), sources.accrued_cost())
-          << label;
-      EXPECT_DOUBLE_EQ(resume_sources.elapsed_time(), sources.elapsed_time())
-          << label;
-      EXPECT_EQ(resume_engine.accesses_performed(),
-                engine.accesses_performed())
-          << label;
-      EXPECT_EQ(SerializeAttemptTrace(resume_sources.attempt_trace()),
-                SerializeAttemptTrace(sources.attempt_trace()))
-          << label;
-    }
-  }
+  playbook::RunnerOptions options;
+  options.repro_prefix = "ncplaybook soak --engine-only --seed " +
+                         std::to_string(GetParam() * 514229 + 3) +
+                         " --count " + std::to_string(variants.size());
+  playbook::PlaybookRunner runner(std::move(options));
+  const playbook::PlaybookReport report = runner.Run(variants);
+  EXPECT_EQ(report.executed, variants.size());
+  EXPECT_EQ(report.flagged, 0u) << report.ToText();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzzTest,

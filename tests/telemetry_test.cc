@@ -10,6 +10,9 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/reference.h"
+#include "core/srg_policy.h"
+#include "data/generator.h"
 #include "replica/replica.h"
 
 namespace nc {
@@ -224,6 +227,98 @@ TEST(TelemetryHubTest, WarmSkipsSlotsTheFleetNoLongerHas) {
   ASSERT_TRUE(fleet.Configure(1, single).ok());
   hub.WarmFleet(&fleet);
   EXPECT_FALSE(fleet.runtime(1, 0).dead);
+}
+
+// Hub-informed routing: WarmFleet seeds a cold slot's kLeastLatency EWMA
+// from the cross-query service sketch's median - but only once the
+// sketch has kTelemetryMinSamples, and never over a health-carried EWMA.
+TEST(TelemetryHubTest, WarmFleetSeedsColdRoutingEwmasFromServiceSketch) {
+  TelemetryHub hub;
+  ReplicaFleet fleet = TwoByTwoFleet();
+  for (size_t n = 0; n < obs::kTelemetryMinSamples + 4; ++n) {
+    hub.ObserveReplicaService(0, 1, 2.0 + 0.01 * static_cast<double>(n));
+  }
+  for (size_t n = 0; n < obs::kTelemetryMinSamples / 2; ++n) {
+    hub.ObserveReplicaService(1, 0, 9.0);  // below threshold: stays cold
+  }
+  hub.WarmFleet(&fleet);
+  EXPECT_TRUE(fleet.runtime(0, 1).has_ewma);
+  EXPECT_DOUBLE_EQ(fleet.runtime(0, 1).ewma_latency,
+                   hub.ReplicaServiceQuantile(0, 1, 0.5));
+  EXPECT_FALSE(fleet.runtime(1, 0).has_ewma);
+  EXPECT_FALSE(fleet.runtime(0, 0).has_ewma);  // no samples at all
+
+  // Re-warming is idempotent: the seeded value does not drift.
+  const double seeded = fleet.runtime(0, 1).ewma_latency;
+  hub.WarmFleet(&fleet);
+  EXPECT_DOUBLE_EQ(fleet.runtime(0, 1).ewma_latency, seeded);
+}
+
+TEST(TelemetryHubTest, HealthCarriedEwmaBeatsServiceSeed) {
+  ReplicaFleet fleet = TwoByTwoFleet();
+  fleet.runtime(0, 1).has_ewma = true;
+  fleet.runtime(0, 1).ewma_latency = 1.25;
+  TelemetryHub hub;
+  hub.CaptureFleetHealth(fleet, /*now=*/0.0);
+  for (size_t n = 0; n < 2 * obs::kTelemetryMinSamples; ++n) {
+    hub.ObserveReplicaService(0, 1, 50.0);
+  }
+  fleet.ResetRuntime();
+  hub.WarmFleet(&fleet);
+  // The live health capture is authoritative; the sketch only fills gaps.
+  EXPECT_TRUE(fleet.runtime(0, 1).has_ewma);
+  EXPECT_DOUBLE_EQ(fleet.runtime(0, 1).ewma_latency, 1.25);
+}
+
+// Differential guarantee for hub-informed routing: seeding EWMAs changes
+// WHERE an access is served, never what it returns. A fault-free
+// kLeastLatency run with a service-seeded hub attached answers
+// bit-identically to the hub-less run and to brute force.
+TEST(TelemetryHubTest, ServiceSeededRoutingDoesNotPerturbAnswers) {
+  GeneratorOptions g;
+  g.num_objects = 300;
+  g.num_predicates = 2;
+  g.seed = 1234;
+  const Dataset data = GenerateDataset(g);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+
+  ReplicaSetConfig config;
+  config.replicas.resize(2);
+  config.replicas[1].latency.multiplier = 3.0;
+  config.routing = RoutingPolicy::kLeastLatency;
+
+  const auto run = [&](TelemetryHub* hub, TopKResult* result) {
+    ReplicaFleet fleet(9);
+    for (PredicateId i = 0; i < 2; ++i) {
+      ASSERT_TRUE(fleet.Configure(i, config).ok());
+    }
+    SourceSet sources(&data, cost);
+    ASSERT_TRUE(sources.set_replica_fleet(&fleet).ok());
+    if (hub != nullptr) {
+      sources.set_telemetry_hub(hub);
+      // The seed really landed before the query ran.
+      EXPECT_TRUE(fleet.runtime(0, 1).has_ewma);
+    }
+    SRGPolicy policy(SRGConfig::Default(2));
+    EngineOptions options;
+    options.k = 5;
+    ASSERT_TRUE(RunNC(&sources, &avg, &policy, options, result).ok());
+  };
+
+  // A hub that has watched replica 1 answer fast: the seed steers
+  // kLeastLatency toward it from the first access.
+  TelemetryHub hub;
+  for (size_t n = 0; n < 2 * obs::kTelemetryMinSamples; ++n) {
+    hub.ObserveReplicaService(0, 1, 0.25);
+    hub.ObserveReplicaService(1, 1, 0.25);
+  }
+
+  TopKResult without_hub, with_hub;
+  run(nullptr, &without_hub);
+  run(&hub, &with_hub);
+  EXPECT_EQ(with_hub, without_hub);
+  EXPECT_EQ(with_hub, BruteForceTopK(data, avg, 5));
 }
 
 TEST(TelemetryHubTest, DisabledHubIsInert) {
