@@ -1,0 +1,216 @@
+// Cross-query cache effectiveness: effective per-query Eq. 1 cost with
+// and without the shared access cache (cache/cache.h).
+//
+//   $ ./build/bench/bench_cache [--quick]
+//
+// A 4-worker QueryServer serves two workloads over one dataset:
+// "high-overlap" (a handful of query shapes, repeated - the web-source
+// regime the cache exists for) and "low-overlap" (every query distinct).
+// Each workload runs cache-off then cache-on, and the answers of the two
+// runs are compared entry by entry: cache hits replay the exact bytes a
+// real access would have produced, so the runs must match bit for bit.
+// Emits BENCH_CACHE.json with per-run cost/QPS/hit-rate rows plus the
+// top-level `hit_rate`, `differential_bit_identical`, and
+// `cost_reduction_high_overlap` keys the CI smoke asserts on. The
+// headline number - cost_reduction_high_overlap - must be >= 2x: that
+// is the acceptance bar for the cache paying its way at 4 workers.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cache/cache.h"
+#include "data/generator.h"
+#include "server/server.h"
+
+namespace nc {
+namespace {
+
+constexpr size_t kNumObjects = 4000;
+constexpr size_t kNumPredicates = 2;
+constexpr size_t kWorkers = 4;
+constexpr size_t kStallMicros = 20;
+
+class BenchStack : public server::WorkerStack {
+ public:
+  BenchStack(const Dataset* data, CostModel cost)
+      : sources_(data, std::move(cost)) {}
+  SourceSet& sources() override { return sources_; }
+
+ private:
+  SourceSet sources_;
+};
+
+struct WorkloadRun {
+  std::string workload;
+  bool cache = false;
+  size_t queries = 0;
+  double total_seconds = 0.0;
+  double qps = 0.0;
+  double total_cost = 0.0;  // Sum of per-query Eq. 1 accrued cost.
+  double mean_cost = 0.0;
+  double hit_rate = 0.0;
+  cache::CacheStatsSnapshot snapshot;
+  std::vector<server::QueryResponse> responses;
+};
+
+WorkloadRun RunWorkload(const Dataset& data, const ScoringFunction& scoring,
+                        const std::string& workload,
+                        const std::vector<size_t>& ks, bool enable_cache) {
+  const CostModel cost = CostModel::Uniform(kNumPredicates, 1.0, 2.0);
+  server::ServerConfig config;
+  config.num_workers = kWorkers;
+  config.queue_capacity = ks.size();
+  config.planner.sample_size = 100;
+  config.simulated_access_stall_us = kStallMicros;
+  config.enable_cache = enable_cache;
+  server::QueryServer server(&scoring, config, [&](size_t) {
+    return std::make_unique<BenchStack>(&data, cost);
+  });
+  NC_CHECK(server.Start().ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<server::QueryResponse>> futures(ks.size());
+  for (size_t j = 0; j < ks.size(); ++j) {
+    server::QueryRequest request;
+    request.k = ks[j];
+    NC_CHECK(server.Submit(std::move(request), &futures[j]).ok());
+  }
+  WorkloadRun run;
+  run.workload = workload;
+  run.cache = enable_cache;
+  run.queries = ks.size();
+  run.responses.reserve(ks.size());
+  for (auto& future : futures) {
+    run.responses.push_back(future.get());
+    NC_CHECK(run.responses.back().status.ok());
+    run.total_cost += run.responses.back().accrued_cost;
+  }
+  run.total_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  if (server.access_cache() != nullptr) {
+    run.snapshot = server.access_cache()->Snapshot();
+    run.hit_rate = run.snapshot.hit_rate();
+  }
+  server.Shutdown(/*finish_queued=*/true);
+
+  run.qps = static_cast<double>(run.queries) / run.total_seconds;
+  run.mean_cost = run.total_cost / static_cast<double>(run.queries);
+  return run;
+}
+
+// Entry-for-entry, bit-for-bit comparison of two runs' answers
+// (TopKEntry::operator== compares the double scores exactly).
+bool BitIdentical(const WorkloadRun& a, const WorkloadRun& b) {
+  if (a.responses.size() != b.responses.size()) return false;
+  for (size_t j = 0; j < a.responses.size(); ++j) {
+    const TopKResult& x = a.responses[j].result;
+    const TopKResult& y = b.responses[j].result;
+    if (x.entries.size() != y.entries.size()) return false;
+    for (size_t r = 0; r < x.entries.size(); ++r) {
+      if (!(x.entries[r] == y.entries[r])) return false;
+    }
+    if (x.certificate.has_value() != y.certificate.has_value()) return false;
+  }
+  return true;
+}
+
+void PrintRow(const WorkloadRun& run) {
+  std::printf("%-12s %5s %8zu %11.1f %11.2f %9.1f %8zu %8zu\n",
+              run.workload.c_str(), run.cache ? "on" : "off", run.queries,
+              run.qps, run.mean_cost, 100.0 * run.hit_rate,
+              run.snapshot.hits(), run.snapshot.evictions);
+}
+
+int Main(bool quick) {
+  GeneratorOptions g;
+  g.num_objects = kNumObjects;
+  g.num_predicates = kNumPredicates;
+  g.seed = 91;
+  const Dataset data = GenerateDataset(g);
+  const AverageFunction avg(kNumPredicates);
+  const size_t queries = quick ? 16 : 64;
+
+  // High overlap: four query shapes, repeated - consecutive queries walk
+  // the same sorted prefixes and probe the same objects.
+  std::vector<size_t> high;
+  high.reserve(queries);
+  const size_t shapes[] = {5, 8, 3, 10};
+  for (size_t j = 0; j < queries; ++j) high.push_back(shapes[j % 4]);
+  // Low overlap: every query a different depth.
+  std::vector<size_t> low;
+  low.reserve(queries);
+  for (size_t j = 0; j < queries; ++j) low.push_back(2 + (j * 7) % 50);
+
+  std::printf("Access cache at %zu workers: %zu objects, %zu queries per "
+              "run%s\n",
+              kWorkers, kNumObjects, queries, quick ? " (quick)" : "");
+  std::printf("%-12s %5s %8s %11s %11s %9s %8s %8s\n", "workload", "cache",
+              "queries", "qps", "cost/query", "hit %", "hits", "evicted");
+
+  std::vector<WorkloadRun> runs;
+  runs.push_back(RunWorkload(data, avg, "high-overlap", high, false));
+  runs.push_back(RunWorkload(data, avg, "high-overlap", high, true));
+  runs.push_back(RunWorkload(data, avg, "low-overlap", low, false));
+  runs.push_back(RunWorkload(data, avg, "low-overlap", low, true));
+  for (const WorkloadRun& run : runs) PrintRow(run);
+
+  const bool identical =
+      BitIdentical(runs[0], runs[1]) && BitIdentical(runs[2], runs[3]);
+  const double reduction = runs[0].total_cost / runs[1].total_cost;
+  const double hit_rate = runs[1].hit_rate;
+  std::printf("high-overlap Eq. 1 cost reduction: %.1fx, bit-identical: %s\n",
+              reduction, identical ? "yes" : "no");
+
+  // The acceptance bar: answers must not change, hits must actually
+  // happen, and the cache must at least halve the effective cost on the
+  // overlapping workload. All deterministic (cost is simulated).
+  NC_CHECK(identical);
+  NC_CHECK(hit_rate > 0.0);
+  NC_CHECK(reduction >= 2.0);
+
+  bench::WriteBenchJsonDoc("cache", "cache", [&](obs::JsonWriter& w) {
+    w.Key("num_objects").Int(static_cast<int64_t>(kNumObjects));
+    w.Key("num_predicates").Int(static_cast<int64_t>(kNumPredicates));
+    w.Key("workers").Int(static_cast<int64_t>(kWorkers));
+    w.Key("queries_per_run").Int(static_cast<int64_t>(queries));
+    w.Key("quick").Bool(quick);
+    w.Key("hit_rate").Number(hit_rate);
+    w.Key("differential_bit_identical").Bool(identical);
+    w.Key("cost_reduction_high_overlap").Number(reduction);
+    w.Key("rows").BeginArray();
+    for (const WorkloadRun& run : runs) {
+      w.BeginObject();
+      w.Key("workload").String(run.workload);
+      w.Key("cache").Bool(run.cache);
+      w.Key("queries").Int(static_cast<int64_t>(run.queries));
+      w.Key("total_seconds").Number(run.total_seconds);
+      w.Key("qps").Number(run.qps);
+      w.Key("total_cost").Number(run.total_cost);
+      w.Key("mean_cost_per_query").Number(run.mean_cost);
+      w.Key("hit_rate").Number(run.hit_rate);
+      w.Key("hits").Int(static_cast<int64_t>(run.snapshot.hits()));
+      w.Key("misses").Int(static_cast<int64_t>(run.snapshot.misses()));
+      w.Key("inflight_merges")
+          .Int(static_cast<int64_t>(run.snapshot.inflight_merges));
+      w.Key("evictions").Int(static_cast<int64_t>(run.snapshot.evictions));
+      w.EndObject();
+    }
+    w.EndArray();
+  });
+  return 0;
+}
+
+}  // namespace
+}  // namespace nc
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  return nc::Main(quick);
+}

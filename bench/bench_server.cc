@@ -232,6 +232,9 @@ int ServeForScrape(uint16_t port, int seconds) {
   config.num_workers = 2;
   config.planner.sample_size = 100;
   config.stats_port = port;
+  // Cache on, so the scraper sees the /varz cache section populated by
+  // real cross-query hits (the repeated k=5 queries below overlap fully).
+  config.enable_cache = true;
   server::QueryServer server(&avg, config, [&](size_t) {
     return std::make_unique<BenchStack>(&data, cost);
   });

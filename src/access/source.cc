@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "cache/cache.h"
 #include "common/check.h"
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
@@ -447,6 +449,14 @@ void SourceSet::MarkSourceDown(PredicateId i) {
     }
   }
   if (changed) NC_CHECK(set_cost_model(std::move(downgraded)).ok());
+  // A death invalidates the shared cache for the whole attribute group:
+  // conservative (cached scores are still exact), but a dead source's
+  // entries should not keep serving other queries.
+  if (access_cache_ != nullptr) {
+    for (PredicateId j = 0; j < num_predicates(); ++j) {
+      if (cost_.same_group(i, j)) access_cache_->InvalidatePredicate(j);
+    }
+  }
 }
 
 std::optional<SortedHit> SourceSet::SortedAccess(PredicateId i) {
@@ -477,7 +487,32 @@ Status SourceSet::TrySortedAccess(PredicateId i,
     return Status::ResourceExhausted("sa on p" + std::to_string(i) +
                                      ": budget exhausted");
   }
-  NC_RETURN_IF_ERROR(AttemptAccess(Access::Sorted(i), cost_.sorted_cost[i]));
+  // Cross-query cache fast path: a position inside the shared stream's
+  // prefix is served without touching the source; the stream head claims
+  // the single-flight slot and publishes the real access below.
+  bool cache_owner = false;
+  uint64_t cache_ticket = 0;
+  uint64_t cache_topology = 0;
+  const size_t cache_pos = positions_[i];
+  if (access_cache_ != nullptr) {
+    cache_topology = StreamTopology(i);
+    cache::CachedSortedEntry cached;
+    bool merged = false;
+    const cache::SortedLookup lookup = access_cache_->AcquireSorted(
+        i, cache_topology, cache_pos, &cached, &merged, &cache_ticket);
+    if (lookup == cache::SortedLookup::kHit) {
+      return ServeSortedFromCache(i, cached, merged, out);
+    }
+    cache_owner = lookup == cache::SortedLookup::kOwner;
+  }
+  const Status attempted =
+      AttemptAccess(Access::Sorted(i), cost_.sorted_cost[i]);
+  if (!attempted.ok()) {
+    if (cache_owner) {
+      access_cache_->AbortSorted(i, cache_topology, cache_pos, cache_ticket);
+    }
+    return attempted;
+  }
   ++stats_.sorted_count[i];
   // With a page model, the charge lands on the first entry of each page
   // (one request fetches the whole page). A replica fleet prices the
@@ -529,6 +564,14 @@ Status SourceSet::TrySortedAccess(PredicateId i,
       }
     }
   }
+  if (cache_owner) {
+    cache::CachedSortedEntry published;
+    published.object = hit.object;
+    published.score = hit.score;
+    published.bundled = hit.bundled;
+    access_cache_->PublishSorted(i, cache_topology, cache_pos, cache_ticket,
+                                 std::move(published));
+  }
   // Side effect: every unseen object on this list is now bounded by the
   // returned score; an exhausted list leaves no unseen objects, so the
   // bound collapses to 0.
@@ -559,8 +602,27 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
     return Status::ResourceExhausted("ra on p" + std::to_string(i) +
                                      ": budget exhausted");
   }
-  NC_RETURN_IF_ERROR(
-      AttemptAccess(Access::Random(i, u), cost_.random_cost[i]));
+  // Cross-query cache fast path: a cached (predicate, object) score is
+  // served without touching the source; a miss claims the single-flight
+  // slot so concurrent duplicates issue one underlying access.
+  bool cache_owner = false;
+  uint64_t cache_ticket = 0;
+  if (access_cache_ != nullptr) {
+    Score cached = 0.0;
+    bool merged = false;
+    const cache::RandomLookup lookup =
+        access_cache_->AcquireRandom(i, u, &cached, &merged, &cache_ticket);
+    if (lookup == cache::RandomLookup::kHit) {
+      return ServeRandomFromCache(i, u, cached, merged, out);
+    }
+    cache_owner = true;
+  }
+  const Status attempted =
+      AttemptAccess(Access::Random(i, u), cost_.random_cost[i]);
+  if (!attempted.ok()) {
+    if (cache_owner) access_cache_->AbortRandom(i, u, cache_ticket);
+    return attempted;
+  }
   ++stats_.random_count[i];
   const double ra_charged =
       cost_.random_cost[i] *
@@ -595,7 +657,117 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
   if ((mask & bit) != 0) ++stats_.duplicate_random_count;
   mask |= bit;
   *out = provider_->ScoreOf(i, u);
+  if (cache_owner) access_cache_->PublishRandom(i, u, *out, cache_ticket);
   return Status::OK();
+}
+
+Status SourceSet::ServeSortedFromCache(PredicateId i,
+                                       const cache::CachedSortedEntry& entry,
+                                       bool merged,
+                                       std::optional<SortedHit>* out) {
+  // Replicate every engine-visible effect of the real access - counts,
+  // cursor, bound, trace - except the bill: the source was already paid
+  // by whichever query materialized the entry, so only the configured
+  // hit cost accrues, into the same Eq. 1 cells (billing conservation
+  // holds). The injector, fleet, and telemetry hub are deliberately
+  // untouched: no source was contacted, no fault could have been drawn.
+  ++stats_.sorted_count[i];
+  const double charged = access_cache_->config().hit_cost;
+  accrued_cost_ += charged;
+  stats_.sorted_cost_accrued[i] += charged;
+  fleet_serve_ = FleetServe{};
+  if (trace_enabled_) {
+    trace_.push_back(Access::Sorted(i));
+    attempt_trace_.push_back(
+        AccessAttempt{Access::Sorted(i), FaultKind::kNone, false});
+  }
+  if (obs::ShouldTrace(tracer_)) {
+    tracer_->RecordAccess(AccessType::kSorted, i, 0, charged, accrued_cost_);
+    tracer_->RecordCacheEvent(merged ? "sorted_merge" : "sorted_hit", i,
+                              entry.object, charged, accrued_cost_);
+  }
+  ++positions_[i];
+  SortedHit hit;
+  hit.object = entry.object;
+  hit.score = entry.score;
+  hit.bundled = entry.bundled;
+  last_seen_[i] = exhausted(i) ? kMinScore : hit.score;
+  ++cache_hits_.sorted_hits;
+  if (merged) ++cache_hits_.inflight_merges;
+  cache_hits_.hit_cost_accrued += charged;
+  *out = std::move(hit);
+  return Status::OK();
+}
+
+Status SourceSet::ServeRandomFromCache(PredicateId i, ObjectId u, Score score,
+                                       bool merged, Score* out) {
+  ++stats_.random_count[i];
+  const double charged = access_cache_->config().hit_cost;
+  accrued_cost_ += charged;
+  stats_.random_cost_accrued[i] += charged;
+  fleet_serve_ = FleetServe{};
+  if (trace_enabled_) {
+    trace_.push_back(Access::Random(i, u));
+    attempt_trace_.push_back(
+        AccessAttempt{Access::Random(i, u), FaultKind::kNone, false});
+  }
+  if (obs::ShouldTrace(tracer_)) {
+    tracer_->RecordAccess(AccessType::kRandom, i, u, charged, accrued_cost_);
+    tracer_->RecordCacheEvent(merged ? "random_merge" : "random_hit", i, u,
+                              charged, accrued_cost_);
+  }
+  uint64_t& mask = probed_[u];
+  const uint64_t bit = uint64_t{1} << i;
+  if ((mask & bit) != 0) ++stats_.duplicate_random_count;
+  mask |= bit;
+  ++cache_hits_.random_hits;
+  if (merged) ++cache_hits_.inflight_merges;
+  cache_hits_.hit_cost_accrued += charged;
+  *out = score;
+  return Status::OK();
+}
+
+void SourceSet::set_access_cache(cache::AccessCache* cache) {
+  access_cache_ = cache;
+  cache_hits_ = QueryCacheHits{};
+  if (access_cache_ != nullptr) {
+    access_cache_->BindOrInvalidate(DatasetFingerprint());
+  }
+}
+
+uint64_t SourceSet::DatasetFingerprint() const {
+  // Content-derived identity: shape plus sampled scores, FNV-1a mixed.
+  // Provider reads have no billing side effects, so probing is free. A
+  // stale serve would need two datasets agreeing on shape and on every
+  // sampled score bit pattern.
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  const size_t n = num_objects();
+  const size_t m = num_predicates();
+  mix(n);
+  mix(m);
+  if (n == 0) return h;
+  const ObjectId samples[] = {0, static_cast<ObjectId>(n / 2),
+                              static_cast<ObjectId>(n - 1)};
+  for (PredicateId i = 0; i < m; ++i) {
+    for (const ObjectId u : samples) {
+      const double s = provider_->ScoreOf(i, u);
+      uint64_t bits = 0;
+      std::memcpy(&bits, &s, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+uint64_t SourceSet::StreamTopology(PredicateId i) const {
+  if (fleet_ != nullptr && fleet_->configured(i)) {
+    return fleet_->TopologyToken(i);
+  }
+  return 0;
 }
 
 Status SourceSet::set_cost_model(CostModel cost) {
@@ -743,6 +915,13 @@ void SourceSet::Reset() {
     if (obs::ShouldSample(hub_)) hub_->WarmFleet(fleet_);
   }
   fleet_serve_ = FleetServe{};
+  // Cross-query cache: re-bind against the (possibly changed) backing
+  // data. Same data => shared entries survive into the next query;
+  // changed data => everything is dropped, never served stale.
+  if (access_cache_ != nullptr) {
+    access_cache_->BindOrInvalidate(DatasetFingerprint());
+  }
+  cache_hits_ = QueryCacheHits{};
 }
 
 SourceCheckpoint SourceSet::Checkpoint() const {

@@ -73,6 +73,11 @@ class QueryTracer;
 class TelemetryHub;
 }  // namespace nc::obs
 
+namespace nc::cache {
+class AccessCache;
+struct CachedSortedEntry;
+}  // namespace nc::cache
+
 namespace nc {
 
 // Result of one sorted access: the next-ranked object and its exact score
@@ -438,6 +443,34 @@ class SourceSet {
   void set_telemetry_hub(obs::TelemetryHub* hub);
   obs::TelemetryHub* telemetry_hub() const { return hub_; }
 
+  // --- Cross-query access cache ----------------------------------------
+  // Attaches a shared AccessCache (nullptr detaches; must outlive the
+  // SourceSet; typically one cache serves every worker of a
+  // QueryServer). Sorted accesses whose position lies inside the shared
+  // stream's materialized prefix, and random accesses whose (predicate,
+  // object) is cached, are served from the cache: every engine-visible
+  // effect (cursor, bound, counts, trace) matches the real access, but
+  // only CacheConfig::hit_cost is billed - into the same Eq. 1 cells,
+  // so billing conservation holds. Misses at the stream head claim a
+  // single-flight slot, perform the real access, and publish it for
+  // concurrent queries. Attaching (and every Reset()) binds the cache
+  // to this provider's content fingerprint: a cache reused across
+  // datasets is wiped instead of ever serving stale scores. Checkpoints
+  // deliberately exclude cache state (a restored cursor past the shared
+  // prefix simply bypasses the cache; see docs/CACHE.md).
+  void set_access_cache(cache::AccessCache* cache);
+  cache::AccessCache* access_cache() const { return access_cache_; }
+
+  // Per-query cache tallies (zeroed by Reset(); kept outside
+  // AccessStats so the checkpoint format is unchanged).
+  struct QueryCacheHits {
+    size_t sorted_hits = 0;
+    size_t random_hits = 0;
+    size_t inflight_merges = 0;
+    double hit_cost_accrued = 0.0;
+  };
+  const QueryCacheHits& cache_hits() const { return cache_hits_; }
+
   // --- Latency model (used by the parallel executor) ------------------
   // Each access's simulated latency is unit_cost * (1 + jitter * U) with
   // U uniform in [0, 1). jitter = 0 (the default) makes latency equal the
@@ -502,6 +535,23 @@ class SourceSet {
   // removal-only guard.
   void MarkSourceDown(PredicateId i);
 
+  // Serves one access from the attached cache, replicating every
+  // engine-visible effect of the real access except the bill (only the
+  // configured hit cost accrues). `merged` marks an in-flight merge.
+  Status ServeSortedFromCache(PredicateId i,
+                              const cache::CachedSortedEntry& entry,
+                              bool merged, std::optional<SortedHit>* out);
+  Status ServeRandomFromCache(PredicateId i, ObjectId u, Score score,
+                              bool merged, Score* out);
+
+  // Content-derived identity of the backing provider (shape + sampled
+  // scores), used to bind the attached cache to this dataset.
+  uint64_t DatasetFingerprint() const;
+
+  // Shared-stream topology component of the cache key: the fleet's
+  // topology token for fleet-served predicates, 0 for the plain path.
+  uint64_t StreamTopology(PredicateId i) const;
+
   ScoreProvider* provider_;
   std::unique_ptr<DatasetScoreProvider> owned_provider_;
   // Non-null only for Dataset-backed sources.
@@ -546,6 +596,8 @@ class SourceSet {
   std::vector<AccessAttempt> attempt_trace_;
   obs::QueryTracer* tracer_ = nullptr;
   obs::TelemetryHub* hub_ = nullptr;
+  cache::AccessCache* access_cache_ = nullptr;
+  QueryCacheHits cache_hits_;
 };
 
 }  // namespace nc

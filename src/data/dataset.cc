@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
@@ -18,6 +19,44 @@ Dataset::Dataset(size_t num_objects, size_t num_predicates)
     name.insert(name.begin(), 'p');
     predicate_names_[i] = std::move(name);
   }
+}
+
+Dataset::Dataset(const Dataset& other)
+    : num_objects_(other.num_objects_),
+      columns_(other.columns_),
+      predicate_names_(other.predicate_names_),
+      object_names_(other.object_names_),
+      sorted_orders_(other.sorted_orders_.size()) {
+  for (size_t i = 0; i < sorted_orders_.size(); ++i) {
+    if (other.sorted_orders_[i].ready.load(std::memory_order_acquire)) {
+      sorted_orders_[i].order = other.sorted_orders_[i].order;
+      sorted_orders_[i].ready.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  Dataset copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : num_objects_(other.num_objects_),
+      columns_(std::move(other.columns_)),
+      predicate_names_(std::move(other.predicate_names_)),
+      object_names_(std::move(other.object_names_)),
+      sorted_orders_(std::move(other.sorted_orders_)) {}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  num_objects_ = other.num_objects_;
+  columns_ = std::move(other.columns_);
+  predicate_names_ = std::move(other.predicate_names_);
+  object_names_ = std::move(other.object_names_);
+  sorted_orders_ = std::move(other.sorted_orders_);
+  return *this;
 }
 
 Status Dataset::FromRows(const std::vector<std::vector<Score>>& rows,
@@ -55,24 +94,38 @@ void Dataset::SetScore(ObjectId u, PredicateId i, Score s) {
   NC_CHECK(u < num_objects_);
   NC_CHECK(IsValidScore(s));
   columns_[i][u] = s;
-  sorted_orders_[i].clear();
+  const std::lock_guard<std::mutex> lock(sorted_mu_);
+  sorted_orders_[i].order.clear();
+  sorted_orders_[i].ready.store(false, std::memory_order_release);
 }
 
 const std::vector<ObjectId>& Dataset::SortedOrder(PredicateId i) const {
   NC_CHECK(i < columns_.size());
-  std::vector<ObjectId>& order = sorted_orders_[i];
-  if (order.empty() && num_objects_ > 0) {
-    order.resize(num_objects_);
-    for (size_t u = 0; u < num_objects_; ++u) {
-      order[u] = static_cast<ObjectId>(u);
+  SortedColumn& cache = sorted_orders_[i];
+  // Double-checked build: a QueryServer's workers share one dataset, so
+  // the first touches of a predicate can race. Builders serialize on the
+  // mutex and sort into a local, publishing only the finished order —
+  // past the acquire load no reader can observe a half-sorted
+  // permutation (which used to scramble the stream's (object, score)
+  // pairing under load).
+  if (!cache.ready.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(sorted_mu_);
+    if (!cache.ready.load(std::memory_order_relaxed)) {
+      std::vector<ObjectId> order(num_objects_);
+      for (size_t u = 0; u < num_objects_; ++u) {
+        order[u] = static_cast<ObjectId>(u);
+      }
+      const std::vector<Score>& column = columns_[i];
+      std::sort(order.begin(), order.end(),
+                [&column](ObjectId a, ObjectId b) {
+                  if (column[a] != column[b]) return column[a] > column[b];
+                  return a > b;
+                });
+      cache.order = std::move(order);
+      cache.ready.store(true, std::memory_order_release);
     }
-    const std::vector<Score>& column = columns_[i];
-    std::sort(order.begin(), order.end(), [&column](ObjectId a, ObjectId b) {
-      if (column[a] != column[b]) return column[a] > column[b];
-      return a > b;
-    });
   }
-  return order;
+  return cache.order;
 }
 
 void Dataset::SetPredicateName(PredicateId i, std::string name) {

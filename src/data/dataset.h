@@ -10,7 +10,9 @@
 #ifndef NC_DATA_DATASET_H_
 #define NC_DATA_DATASET_H_
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,13 @@ class Dataset {
   // Creates an n-by-m dataset with all scores 0. Builders fill it with
   // SetScore before first use of SortedOrder.
   Dataset(size_t num_objects, size_t num_predicates);
+
+  // Copies/moves carry any already-built sorted orders along. Neither is
+  // safe concurrently with SetScore or SortedOrder on the source.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
 
   // Builds a dataset from row-major scores: rows[u][i] = p_i[u].
   // Returns InvalidArgument if rows are ragged or scores fall outside
@@ -49,7 +58,8 @@ class Dataset {
 
   // Objects in descending p_i order; ties broken by descending ObjectId
   // (the paper's deterministic tie-breaker, Example 9). Computed lazily
-  // and cached.
+  // and cached; safe to call from concurrent readers (server workers
+  // share one dataset), but not concurrently with SetScore.
   const std::vector<ObjectId>& SortedOrder(PredicateId i) const;
 
   // Optional human-readable names for benchmarks and examples.
@@ -60,12 +70,22 @@ class Dataset {
   std::string object_name(ObjectId u) const;
 
  private:
+  // One predicate's lazily built descending order. `ready` flips to true
+  // (release) only after `order` is fully built, and readers acquire it
+  // before touching `order`, so concurrent first accesses from several
+  // worker threads are safe: builders serialize on `sorted_mu_`, and no
+  // thread ever observes a half-sorted permutation.
+  struct SortedColumn {
+    std::atomic<bool> ready{false};
+    std::vector<ObjectId> order;
+  };
+
   size_t num_objects_;
   std::vector<std::vector<Score>> columns_;
   std::vector<std::string> predicate_names_;
   std::vector<std::string> object_names_;
-  // Lazily filled per predicate; empty vector means "not yet computed".
-  mutable std::vector<std::vector<ObjectId>> sorted_orders_;
+  mutable std::mutex sorted_mu_;
+  mutable std::vector<SortedColumn> sorted_orders_;
 };
 
 }  // namespace nc

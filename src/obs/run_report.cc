@@ -86,6 +86,11 @@ RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
   report.breaker_trips = stats.TotalBreakerTrips();
   report.breaker_fast_failures = stats.breaker_fast_failures;
   report.budget_refusals = stats.budget_refusals;
+  const SourceSet::QueryCacheHits& cache = sources.cache_hits();
+  report.cache_sorted_hits = cache.sorted_hits;
+  report.cache_random_hits = cache.random_hits;
+  report.cache_inflight_merges = cache.inflight_merges;
+  report.cache_hit_cost = cache.hit_cost_accrued;
 
   report.predicates.reserve(m);
   for (PredicateId i = 0; i < m; ++i) {
@@ -322,6 +327,12 @@ std::string RunReport::ToText() const {
        << breaker_fast_failures << " fast-failed, " << budget_refusals
        << " budget-refused\n";
   }
+  if (cache_sorted_hits != 0 || cache_random_hits != 0) {
+    os << "cache: " << cache_sorted_hits << " sorted + " << cache_random_hits
+       << " random hits (" << cache_inflight_merges
+       << " in-flight merges), hit cost " << FormatCost(cache_hit_cost)
+       << "\n";
+  }
   if (!replicas.empty()) {
     os << "replicas: " << replica_failovers << " failovers, "
        << hedges_issued << " hedges (" << hedge_wins << " won)\n";
@@ -428,6 +439,14 @@ std::string RunReport::ToJson() const {
     w.Key("breaker_trips").UInt(breaker_trips);
     w.Key("breaker_fast_failures").UInt(breaker_fast_failures);
     w.Key("budget_refusals").UInt(budget_refusals);
+    w.EndObject();
+  }
+  if (cache_sorted_hits != 0 || cache_random_hits != 0) {
+    w.Key("cache").BeginObject();
+    w.Key("sorted_hits").UInt(cache_sorted_hits);
+    w.Key("random_hits").UInt(cache_random_hits);
+    w.Key("inflight_merges").UInt(cache_inflight_merges);
+    w.Key("hit_cost").Number(cache_hit_cost);
     w.EndObject();
   }
   if (!replicas.empty()) {

@@ -124,6 +124,16 @@ struct RunReport {
   size_t breaker_fast_failures = 0;
   size_t budget_refusals = 0;
 
+  // Cross-query cache (all zero without an AccessCache attached):
+  // accesses served from the shared cache instead of the source, and the
+  // hit cost they accrued. The gap between this query's total_cost and
+  // what the same accesses would have cost uncached is the sharing win
+  // the CostAudit's predicted-vs-actual error also surfaces.
+  size_t cache_sorted_hits = 0;
+  size_t cache_random_hits = 0;
+  size_t cache_inflight_merges = 0;
+  double cache_hit_cost = 0.0;
+
   // Replica fleet (empty / zero without one attached).
   size_t replica_failovers = 0;
   size_t hedges_issued = 0;

@@ -72,6 +72,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "telemetry";
     case TraceEventKind::kSpan:
       return "span";
+    case TraceEventKind::kCache:
+      return "cache";
   }
   return "unknown";
 }
@@ -221,6 +223,22 @@ void QueryTracer::RecordReplicaEvent(const char* what, PredicateId predicate,
   Emit(e);
 }
 
+void QueryTracer::RecordCacheEvent(const char* what, PredicateId predicate,
+                                   ObjectId object, double charged,
+                                   double cost_clock) {
+  if (!enabled_) return;
+  NC_CHECK(what != nullptr);
+  TraceEvent e;
+  e.kind = TraceEventKind::kCache;
+  Stamp(&e);
+  e.cost_clock = cost_clock;
+  e.predicate = predicate;
+  e.object = object;
+  e.charged = charged;
+  e.phase = what;
+  Emit(e);
+}
+
 void QueryTracer::RecordTelemetry(const char* what, PredicateId predicate,
                                   double predicted, double actual,
                                   double cost_clock) {
@@ -349,6 +367,13 @@ void QueryTracer::WriteJsonlEvent(const TraceEvent& e,
         w.Key("name").String(e.phase);
         w.Key("duration_us").UInt(e.duration_us);
         break;
+      case TraceEventKind::kCache:
+        w.Key("cost_clock").Number(e.cost_clock);
+        w.Key("event").String(e.phase);
+        w.Key("predicate").UInt(e.predicate);
+        w.Key("object").UInt(e.object);
+        w.Key("charged").Number(e.charged);
+        break;
     }
     w.EndObject();
   }
@@ -464,6 +489,18 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         common(e, e.phase, "X");
         w.Key("dur").UInt(e.duration_us);
         w.Key("args").BeginObject();
+        context_args(e);
+        w.EndObject();
+        w.EndObject();
+        break;
+      case TraceEventKind::kCache:
+        common(e, e.phase, "i");
+        w.Key("s").String("t");
+        w.Key("args").BeginObject();
+        w.Key("predicate").UInt(e.predicate);
+        w.Key("object").UInt(e.object);
+        w.Key("charged").Number(e.charged);
+        w.Key("cost_clock").Number(e.cost_clock);
         context_args(e);
         w.EndObject();
         w.EndObject();

@@ -104,6 +104,7 @@ enum class TraceEventKind {
   kReplica,        // A replica-fleet event: failover, hedge, death, ...
   kTelemetry,      // A cross-query telemetry datum: cost-audit rows, ...
   kSpan,           // An explicit duration span (queue-wait, serve, ...).
+  kCache,          // A cross-query cache event: hit, merge, ...
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -218,6 +219,11 @@ class QueryTracer {
   // a single replica (deaths, restores).
   void RecordReplicaEvent(const char* what, PredicateId predicate,
                           uint32_t from, uint32_t to, double cost_clock);
+  // A cross-query cache event: `what` must be a literal ("sorted_hit",
+  // "sorted_merge", "random_hit", "random_merge"); `charged` is the
+  // cache-hit cost billed for the served access.
+  void RecordCacheEvent(const char* what, PredicateId predicate,
+                        ObjectId object, double charged, double cost_clock);
   // A cross-query telemetry datum: `what` must be a literal (e.g.
   // "cost_audit"); predicted/actual are the audited pair.
   void RecordTelemetry(const char* what, PredicateId predicate,

@@ -12,6 +12,7 @@
 
 #include "access/source.h"
 #include "access/trace_format.h"
+#include "cache/cache.h"
 #include "common/check.h"
 #include "common/numeric.h"
 #include "core/checkpoint.h"
@@ -56,6 +57,10 @@ struct SpecStack {
   FaultInjector injector;
   ReplicaFleet fleet;
   obs::TelemetryHub hub;
+  // Engine-mode cache variants own a private AccessCache (server-mode
+  // variants share the QueryServer's instead); within one run it still
+  // exercises the full hit path on duplicate accesses.
+  std::unique_ptr<cache::AccessCache> cache;
   SourceSet sources;
 
   SpecStack(const ScenarioSpec& spec, const Dataset* data)
@@ -74,6 +79,12 @@ struct SpecStack {
     }
     if (spec.adaptive_hedge) sources.set_telemetry_hub(&hub);
     sources.set_retry_policy(RetryPolicy{}, spec.jitter_seed);
+    if (spec.cache_enabled) {
+      cache::CacheConfig cache_config;
+      cache_config.hit_cost = spec.cache_hit_cost;
+      cache = std::make_unique<cache::AccessCache>(cache_config);
+      sources.set_access_cache(cache.get());
+    }
   }
 };
 
@@ -480,6 +491,10 @@ VariantVerdict PlaybookRunner::RunServerVariant(
   server::ServerConfig config;
   config.num_workers = spec.workers;
   config.queue_capacity = 4;
+  // Server-mode cache variants go through the QueryServer's shared
+  // cache, so this path exercises the real cross-worker wiring.
+  config.enable_cache = spec.cache_enabled;
+  config.cache.hit_cost = spec.cache_hit_cost;
   server::QueryServer server(
       scoring.get(), config,
       [&spec, &data](size_t) {

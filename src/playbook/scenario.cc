@@ -215,6 +215,22 @@ Status ScenarioSpec::Validate() const {
     return Status::InvalidArgument(
         "kill_at_access cannot be combined with adaptive hedging");
   }
+  // Cache state is shared across queries and deliberately excluded from
+  // checkpoints, so a killed cached run cannot promise bit-identical
+  // resumed accrued cost: the resumed run's hits would depend on what
+  // else touched the cache meanwhile.
+  if (kill_at_access > 0 && cache_enabled) {
+    return Status::InvalidArgument(
+        "kill_at_access cannot be combined with the access cache");
+  }
+  if (!std::isfinite(cache_hit_cost) || cache_hit_cost < 0.0) {
+    return Status::InvalidArgument("cache_hit_cost must be finite and >= 0");
+  }
+  if (!cache_enabled && cache_hit_cost != 0.0) {
+    return Status::InvalidArgument(
+        "cache_hit_cost requires cache_enabled (the canonical document "
+        "drops it otherwise)");
+  }
   return Status::OK();
 }
 
@@ -308,6 +324,10 @@ std::string ScenarioSpec::Signature() const {
   if (kill_at_access > 0) {
     out += " kill@" + std::to_string(kill_at_access);
   }
+  if (cache_enabled) {
+    out += " cache";
+    if (cache_hit_cost > 0.0) out += "=" + FormatDouble(cache_hit_cost);
+  }
   return out;
 }
 
@@ -321,6 +341,13 @@ std::string ScenarioSpec::Serialize() const {
   AppendHex(&out, budget.max_cost);
   AppendHex(&out, budget.deadline);
   out += "\n";
+
+  if (cache_enabled) {
+    out += "cache";
+    AppendUInt(&out, 1);
+    AppendHex(&out, cache_hit_cost);
+    out += "\n";
+  }
 
   out += "cost";
   AppendUInt(&out, num_predicates);
@@ -448,7 +475,8 @@ Status ParseScenario(const std::string& text, ScenarioSpec* out) {
 
   bool saw_header = false;
   bool saw_end = false;
-  bool saw_budget = false, saw_cost = false, saw_data = false;
+  bool saw_budget = false, saw_cache = false;
+  bool saw_cost = false, saw_data = false;
   bool saw_dist = false, saw_fault = false, saw_groups = false;
   bool saw_hedge = false, saw_kill = false, saw_name = false;
   bool saw_pages = false, saw_query = false, saw_quota = false;
@@ -495,6 +523,14 @@ Status ParseScenario(const std::string& text, ScenarioSpec* out) {
       if (!cur.Done()) return fail(line_no, "malformed budget record");
       spec.budget.max_cost = max_cost;
       spec.budget.deadline = deadline;
+    } else if (key == "cache") {
+      if (duplicate(saw_cache)) return fail(line_no, "duplicate cache");
+      saw_cache = true;
+      bool enabled = cur.TakeBool();
+      double hit_cost = cur.TakeDouble();
+      if (!cur.Done()) return fail(line_no, "malformed cache record");
+      spec.cache_enabled = enabled;
+      spec.cache_hit_cost = hit_cost;
     } else if (key == "cost") {
       if (duplicate(saw_cost)) return fail(line_no, "duplicate cost");
       saw_cost = true;

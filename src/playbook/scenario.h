@@ -97,6 +97,15 @@ struct ScenarioSpec {
   // --- Budget -----------------------------------------------------------
   QueryBudget budget;
 
+  // --- Cross-query cache (cache/cache.h) --------------------------------
+  // Attach a shared AccessCache to the variant's stack: engine-mode
+  // variants own a private one, server-mode variants enable the
+  // QueryServer's shared one. cache_hit_cost is what a cache-served
+  // access bills the query (Eq. 1 units; 0 = free hits). Excluded from
+  // checkpoints, so kill_at_access rejects it at Validate time.
+  bool cache_enabled = false;
+  double cache_hit_cost = 0.0;
+
   // --- Execution plan ---------------------------------------------------
   // Empty = SRGConfig::Default(num_predicates); otherwise explicit depths
   // (in [0, 1]) and a schedule permutation, both sized num_predicates.

@@ -41,6 +41,7 @@ VariantAxes VariantAxes::ChaosDefaults() {
   axes.budget_shapes = {0, 1, 2, 4, 3};
   axes.worker_counts = {0, 0, 0, 2};
   axes.kill_choices = {false, false, true};
+  axes.cache_choices = {false, true};
   return axes;
 }
 
@@ -61,6 +62,7 @@ Status VariantAxes::Validate() const {
       {budget_shapes.empty(), "budget_shapes"},
       {worker_counts.empty(), "worker_counts"},
       {kill_choices.empty(), "kill_choices"},
+      {cache_choices.empty(), "cache_choices"},
   };
   for (const auto& check : axis_checks) {
     if (check.empty) {
@@ -224,6 +226,18 @@ ScenarioSpec VariantGenerator::Draw() {
     if (spec.workers == 0 && !spec.adaptive_hedge) {
       spec.kill_at_access = kill_at;
     }
+  }
+
+  // Cross-query cache. Draws only when the axis offers a real choice, so
+  // the default {false} leaves pre-cache draw streams untouched. A kill
+  // draw wins over cache (Validate forbids the combination).
+  if (axes_.cache_choices.size() > 1) {
+    const bool cache = Pick(axes_.cache_choices);
+    if (cache && spec.kill_at_access == 0) {
+      spec.cache_enabled = true;
+    }
+  } else {
+    spec.cache_enabled = axes_.cache_choices[0] && spec.kill_at_access == 0;
   }
 
   NC_CHECK(spec.Validate().ok());

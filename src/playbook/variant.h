@@ -52,6 +52,13 @@ struct VariantAxes {
   // selected engine mode without adaptive hedging (the two combinations
   // ScenarioSpec::Validate forbids); conflicting draws keep kill off.
   std::vector<bool> kill_choices;
+  // true = attach the cross-query access cache (cache/cache.h). Only
+  // honored when the same draw left kill off (Validate forbids the
+  // combination - cache state is excluded from checkpoints); a kill draw
+  // wins and keeps the cache off. The draw stream consumes a value only
+  // when this axis offers a real choice (size > 1), so axes pinned to
+  // the default {false} reproduce pre-cache variant streams exactly.
+  std::vector<bool> cache_choices = {false};
 
   // --- Bounded perturbations -------------------------------------------
   // correlation ~ U(-span, span).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -139,6 +140,29 @@ const ReplicaSetConfig& ReplicaFleet::config(PredicateId i) const {
 
 size_t ReplicaFleet::num_replicas(PredicateId i) const {
   return fleet_for(i).slots.size();
+}
+
+uint64_t ReplicaFleet::TopologyToken(PredicateId i) const {
+  if (!configured(i)) return 0;
+  const ReplicaSetConfig& cfg = config(i);
+  // FNV-1a over the fields that shape what a served stream costs and how
+  // it routes. Never 0 for a configured predicate (the seed constant
+  // survives the mixing), so "unconfigured" stays unambiguous.
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(cfg.replicas.size());
+  mix(static_cast<uint64_t>(cfg.routing));
+  for (const ReplicaEndpoint& endpoint : cfg.replicas) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(endpoint.cost_multiplier),
+                  "cost multipliers hash by bit pattern");
+    std::memcpy(&bits, &endpoint.cost_multiplier, sizeof(bits));
+    mix(bits);
+  }
+  return h == 0 ? 1 : h;
 }
 
 std::string ReplicaFleet::replica_name(PredicateId i, size_t r) const {

@@ -201,6 +201,12 @@ class ReplicaFleet {
   // The endpoint's display name ("r<index>" default).
   std::string replica_name(PredicateId i, size_t r) const;
 
+  // A stable hash of predicate i's configured topology (replica count,
+  // routing policy, cost multipliers); 0 when i is unconfigured. The
+  // cross-query cache keys its shared sorted streams by this token, so
+  // queries only share a stream with queries over the same topology.
+  uint64_t TopologyToken(PredicateId i) const;
+
   // Prepends scripted outcomes for replica r of predicate i (the
   // deterministic-test hook, mirroring FaultInjector::Script).
   void ScriptFaults(PredicateId i, size_t r, std::vector<FaultKind> outcomes);

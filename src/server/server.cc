@@ -58,6 +58,9 @@ Status ServerConfig::Validate() const {
   if (watchdog) {
     NC_RETURN_IF_ERROR(watchdog_options.Validate());
   }
+  if (enable_cache) {
+    NC_RETURN_IF_ERROR(cache.Validate());
+  }
   return Status::OK();
 }
 
@@ -135,6 +138,14 @@ Status QueryServer::Start() {
     watchdog_ = std::move(watchdog);
   }
   draining_.store(false, std::memory_order_release);
+
+  // The shared cross-query cache is created once, before the stats
+  // endpoint can serve /varz, and kept across Start/Shutdown cycles so a
+  // restarted server keeps its warm streams.
+  if (config_.enable_cache && cache_ == nullptr) {
+    cache_ = std::make_unique<cache::AccessCache>(config_.cache);
+    cache_->AttachMetrics(&metrics_);
+  }
 
   // The introspection endpoint comes up before the workers so a
   // supervisor can probe /readyz from the first instant.
@@ -317,6 +328,12 @@ void QueryServer::WorkerMain(size_t index) {
   // shared hub (handed to the session) crosses threads.
   std::unique_ptr<WorkerStack> stack = factory_(index);
   NC_CHECK(stack != nullptr);
+  // The ONE exception to confinement on the access path: the shared
+  // cache (internally synchronized; see cache/cache.h for why sharing
+  // is sound and how cache-served accesses are billed).
+  if (cache_ != nullptr) {
+    stack->sources().set_access_cache(cache_.get());
+  }
   // The worker's confined tracer shares the server's monotonic epoch (so
   // wall_us from different workers is directly comparable) and streams
   // through the shared synchronized sink; without a sink it is disabled
@@ -591,6 +608,33 @@ std::string QueryServer::VarzJson() const {
     w.EndObject();
   }
   w.EndArray();
+  w.EndObject();
+
+  w.Key("cache").BeginObject();
+  w.Key("enabled").Bool(cache_ != nullptr);
+  if (cache_ != nullptr) {
+    const cache::CacheStatsSnapshot cs = cache_->Snapshot();
+    w.Key("generation").UInt(cache_->generation());
+    w.Key("entries").UInt(cs.random_entries + cs.stream_entries);
+    w.Key("random_entries").UInt(cs.random_entries);
+    w.Key("stream_entries").UInt(cs.stream_entries);
+    w.Key("bytes").UInt(cs.bytes);
+    w.Key("hits").UInt(cs.hits());
+    w.Key("misses").UInt(cs.misses());
+    w.Key("hit_rate").Number(cs.hit_rate());
+    w.Key("inflight_merges").UInt(cs.inflight_merges);
+    w.Key("evictions").UInt(cs.evictions);
+    w.Key("expirations").UInt(cs.expirations);
+    w.Key("invalidations").UInt(cs.invalidations);
+    w.Key("streams").BeginArray();
+    for (const auto& depth : cs.stream_depths) {
+      w.BeginObject();
+      w.Key("predicate").UInt(depth.first);
+      w.Key("depth").UInt(depth.second);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   w.EndObject();
 
   {

@@ -55,6 +55,7 @@
 
 #include "access/budget.h"
 #include "access/source.h"
+#include "cache/cache.h"
 #include "common/status.h"
 #include "core/planner.h"
 #include "core/result.h"
@@ -144,6 +145,16 @@ struct ServerConfig {
   // regressions as nc_anomaly_* metrics, tracer events, and /varz rows.
   bool watchdog = false;
   obs::WatchdogOptions watchdog_options;
+
+  // Cross-query access cache (cache/cache.h): ONE internally-synchronized
+  // AccessCache shared by every worker's SourceSet, so worker 3 reuses
+  // the sorted prefix and random scores worker 1 already paid for.
+  // Billing stays honest: the source is billed once (by the worker that
+  // performed the access); cache-served accesses charge cache.hit_cost
+  // (default 0) to the served query. Disabled by default - the confined
+  // stack then runs with no shared state on the access path at all.
+  bool enable_cache = false;
+  cache::CacheConfig cache;
 
   Status Validate() const;
 };
@@ -275,6 +286,12 @@ class QueryServer {
   // baseline snapshot was loaded at Start.
   obs::AnomalyWatchdog* watchdog() { return watchdog_.get(); }
 
+  // The shared cross-query access cache; nullptr unless
+  // config.enable_cache. Created at the first Start() and kept across
+  // Start/Shutdown cycles so a restarted server keeps its warm streams.
+  cache::AccessCache* access_cache() { return cache_.get(); }
+  const cache::AccessCache* access_cache() const { return cache_.get(); }
+
   // True when Start() warm-loaded a hub snapshot from
   // config.hub_snapshot_path.
   bool warm_started() const;
@@ -327,6 +344,10 @@ class QueryServer {
   // Assigned under mu_ by Start (replacing any stopped predecessor) so
   // /varz can read the pointer under mu_ concurrently.
   std::unique_ptr<obs::AnomalyWatchdog> watchdog_;
+  // The shared cross-query cache (internally synchronized). Created once
+  // at the first Start() - before the stats endpoint comes up, so /varz
+  // never races the assignment - and never replaced thereafter.
+  std::unique_ptr<cache::AccessCache> cache_;
   bool warm_started_ = false;  // Guarded by mu_.
 
   // Shared monotonic anchor handed to every worker's tracer, so wall_us
