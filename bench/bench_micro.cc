@@ -7,7 +7,10 @@
 // vs. disabled tracer vs. enabled tracer+metrics on the same query) and
 // writes it to BENCH_OBSERVABILITY.json in the working directory; the
 // disabled-tracer configuration is required to stay within a few percent
-// of the untraced engine (see docs/OBSERVABILITY.md).
+// of the untraced engine (see docs/OBSERVABILITY.md). A second paired
+// section does the same for the hot-path profiler over the planned query
+// path and writes BENCH_PROFILER.json - its disabled-profiler state is
+// the artifact CI's < 1% overhead gate reads.
 
 #include <benchmark/benchmark.h>
 
@@ -24,12 +27,14 @@
 #include "core/candidate.h"
 #include "core/engine.h"
 #include "core/estimator.h"
+#include "core/planner.h"
 #include "core/reference.h"
 #include "core/srg_policy.h"
 #include "data/generator.h"
 #include "data/sampling.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace nc {
@@ -307,6 +312,150 @@ void WriteObservabilityReport() {
       pct(traced_ns));
 }
 
+// --- Profiler overhead report -----------------------------------------
+// The same interleaved-minimum methodology over the *planned* query path
+// (RunOptimizedNC re-plans every call, so the optimizer's simulate and
+// hill-climb cost centers fire alongside the access seam). Three states
+// per repetition: no profiler attached, a disabled profiler attached
+// (the cost of the ShouldProfile guards alone - CI holds this under 1%),
+// and an enabled profiler whose final report supplies the per-center
+// self-time shares. The last repetition's profiled and unprofiled
+// answers must match bit for bit - entries and certificate intervals.
+
+double TimeOnePlannedRunNs(const Dataset& data, const CostModel& cost,
+                           const ScoringFunction& scoring,
+                           obs::Profiler* profiler, TopKResult* out) {
+  if (profiler != nullptr) profiler->Clear();
+  SourceSet sources(&data, cost);
+  if (profiler != nullptr) sources.set_profiler(profiler);
+  const PlannerOptions plan_options;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status =
+      RunOptimizedNC(&sources, scoring, 10, plan_options, out, nullptr);
+  const auto stop = std::chrono::steady_clock::now();
+  NC_CHECK(status.ok());
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
+
+bool SameAnswer(const TopKResult& a, const TopKResult& b) {
+  if (a.entries != b.entries) return false;
+  if (a.certificate.has_value() != b.certificate.has_value()) return false;
+  if (!a.certificate.has_value()) return true;
+  const AnytimeCertificate& ca = *a.certificate;
+  const AnytimeCertificate& cb = *b.certificate;
+  if (ca.reason != cb.reason || ca.epsilon != cb.epsilon ||
+      ca.excluded_ceiling != cb.excluded_ceiling ||
+      ca.intervals.size() != cb.intervals.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ca.intervals.size(); ++i) {
+    if (ca.intervals[i].lower != cb.intervals[i].lower ||
+        ca.intervals[i].upper != cb.intervals[i].upper) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteProfilerReport() {
+  constexpr int kReps = 31;
+  const Dataset data = BenchData(10000, 2);
+  AverageFunction avg(2);
+  const CostModel cost = CostModel::Uniform(2, 1.0, 1.0);
+
+  obs::Profiler disabled_profiler;
+  disabled_profiler.Disable();
+  obs::Profiler enabled_profiler;
+
+  TopKResult plain_result, disabled_result, profiled_result;
+  std::vector<double> unprofiled, disabled, enabled;
+  for (int r = -3; r < kReps; ++r) {
+    const double a =
+        TimeOnePlannedRunNs(data, cost, avg, nullptr, &plain_result);
+    const double b = TimeOnePlannedRunNs(data, cost, avg, &disabled_profiler,
+                                         &disabled_result);
+    const double c = TimeOnePlannedRunNs(data, cost, avg, &enabled_profiler,
+                                         &profiled_result);
+    if (r < 0) continue;  // Warm-up rounds.
+    unprofiled.push_back(a);
+    disabled.push_back(b);
+    enabled.push_back(c);
+  }
+  const auto min_of = [](const std::vector<double>& xs) {
+    return *std::min_element(xs.begin(), xs.end());
+  };
+  const double unprofiled_ns = min_of(unprofiled);
+  const double disabled_ns = min_of(disabled);
+  const double enabled_ns = min_of(enabled);
+  const auto pct = [&](double ns) {
+    return 100.0 * (ns - unprofiled_ns) / unprofiled_ns;
+  };
+
+  // The enabled profiler still holds the last repetition's tree.
+  const obs::ProfileReport report = enabled_profiler.Report();
+  NC_CHECK(!report.empty());
+  const double self_total = static_cast<double>(report.SelfNs());
+  const bool identical = SameAnswer(plain_result, profiled_result) &&
+                         SameAnswer(plain_result, disabled_result);
+
+  double share_sum = 0.0;
+  bench::WriteBenchJsonDoc(
+      "profiler", "profiler_overhead", [&](obs::JsonWriter& w) {
+        w.Key("query").BeginObject();
+        w.Key("objects").UInt(10000);
+        w.Key("predicates").UInt(2);
+        w.Key("k").UInt(10);
+        w.Key("planned").Bool(true);
+        w.EndObject();
+        w.Key("repetitions").Int(kReps);
+        w.Key("alloc_accounting").Bool(report.alloc_accounting);
+        w.Key("differential_bit_identical").Bool(identical);
+        w.Key("min_ns").BeginObject();
+        w.Key("unprofiled").Number(unprofiled_ns);
+        w.Key("profiler_disabled").Number(disabled_ns);
+        w.Key("profiler_enabled").Number(enabled_ns);
+        w.EndObject();
+        w.Key("median_ns").BeginObject();
+        w.Key("unprofiled").Number(Median(unprofiled));
+        w.Key("profiler_disabled").Number(Median(disabled));
+        w.Key("profiler_enabled").Number(Median(enabled));
+        w.EndObject();
+        w.Key("overhead_pct_vs_unprofiled").BeginObject();
+        w.Key("profiler_disabled").Number(pct(disabled_ns));
+        w.Key("profiler_enabled").Number(pct(enabled_ns));
+        w.EndObject();
+        // Convenience copy for the CI envelope check.
+        w.Key("disabled_overhead_pct").Number(pct(disabled_ns));
+        w.Key("centers").BeginObject();
+        for (const obs::ProfileReport::FlatRow& row : report.flat) {
+          const double share =
+              self_total > 0.0
+                  ? static_cast<double>(row.self_ns) / self_total
+                  : 0.0;
+          share_sum += share;
+          w.Key(obs::CostCenterName(row.center)).BeginObject();
+          w.Key("count").UInt(row.count);
+          w.Key("total_ns").UInt(row.total_ns);
+          w.Key("self_ns").UInt(row.self_ns);
+          w.Key("share").Number(share);
+          w.EndObject();
+        }
+        w.EndObject();
+        w.Key("share_sum").Number(share_sum);
+      });
+  std::printf(
+      "profiler overhead (min of %d interleaved planned runs, n=10000 "
+      "query):\n"
+      "  unprofiled        %12.0f ns\n"
+      "  profiler disabled %12.0f ns  (%+.2f%%)\n"
+      "  profiler enabled  %12.0f ns  (%+.2f%%)\n"
+      "  differential bit-identical: %s\n",
+      kReps, unprofiled_ns, disabled_ns, pct(disabled_ns), enabled_ns,
+      pct(enabled_ns), identical ? "yes" : "no");
+}
+
 // Console output as usual, but every per-iteration result is also
 // captured so the run lands in BENCH_MICRO.json alongside the other
 // committed bench artifacts (the perf trajectory across PRs).
@@ -365,5 +514,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   nc::WriteMicroReport(reporter.rows());
   nc::WriteObservabilityReport();
+  nc::WriteProfilerReport();
   return 0;
 }

@@ -235,6 +235,9 @@ int ServeForScrape(uint16_t port, int seconds) {
   // Cache on, so the scraper sees the /varz cache section populated by
   // real cross-query hits (the repeated k=5 queries below overlap fully).
   config.enable_cache = true;
+  // Profiler on, so /profilez serves a real last-request tree and
+  // cross-query per-center quantiles instead of {"enabled":false}.
+  config.enable_profiler = true;
   server::QueryServer server(&avg, config, [&](size_t) {
     return std::make_unique<BenchStack>(&data, cost);
   });

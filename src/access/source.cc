@@ -6,6 +6,7 @@
 
 #include "cache/cache.h"
 #include "common/check.h"
+#include "obs/profiler.h"
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
 
@@ -209,8 +210,17 @@ Status SourceSet::AttemptFleetAccess(const Access& access, double unit_cost) {
         probing ? size_t{1} : retry_policy_.max_attempts;
     const bool is_last = idx + 1 == order.size();
     bool died = false;
-    const Status status =
-        AttemptOnReplica(access, unit_cost, i, r, attempt_cap, is_last, &died);
+    Status status;
+    {
+      // Re-routed attempts (idx > 0) are failover work: the time the
+      // fleet spends recovering from a replica that already failed.
+      obs::ProfileScope failover_scope(
+          idx > 0 ? profiler_ : nullptr,
+          obs::CostCenter::kReplicaFailover);
+      status =
+          AttemptOnReplica(access, unit_cost, i, r, attempt_cap, is_last,
+                           &died);
+    }
     if (status.ok()) {
       rt.breaker_open = false;
       rt.breaker_consecutive = 0;
@@ -363,6 +373,7 @@ void SourceSet::CompleteFleetRequest(const Access& access, double unit_cost,
       break;
     }
     if (found) {
+      NC_PROFILE_SCOPE(profiler_, kHedgeWait);
       fleet_serve_.hedged = true;
       ++stats_.hedges_issued;
       ReplicaRuntime& hrt = fleet.runtime(i, hedge);
@@ -470,6 +481,7 @@ Status SourceSet::TrySortedAccess(PredicateId i,
                                   std::optional<SortedHit>* out) {
   NC_CHECK(out != nullptr);
   NC_CHECK(i < num_predicates());
+  NC_PROFILE_SCOPE(profiler_, kSortedAccess);
   out->reset();
   last_access_penalty_ = 0.0;
   if (!cost_.has_sorted(i)) {
@@ -498,8 +510,12 @@ Status SourceSet::TrySortedAccess(PredicateId i,
     cache_topology = StreamTopology(i);
     cache::CachedSortedEntry cached;
     bool merged = false;
-    const cache::SortedLookup lookup = access_cache_->AcquireSorted(
-        i, cache_topology, cache_pos, &cached, &merged, &cache_ticket);
+    cache::SortedLookup lookup;
+    {
+      NC_PROFILE_SCOPE(profiler_, kCacheProbe);
+      lookup = access_cache_->AcquireSorted(i, cache_topology, cache_pos,
+                                            &cached, &merged, &cache_ticket);
+    }
     if (lookup == cache::SortedLookup::kHit) {
       return ServeSortedFromCache(i, cached, merged, out);
     }
@@ -565,6 +581,7 @@ Status SourceSet::TrySortedAccess(PredicateId i,
     }
   }
   if (cache_owner) {
+    NC_PROFILE_SCOPE(profiler_, kCacheFill);
     cache::CachedSortedEntry published;
     published.object = hit.object;
     published.score = hit.score;
@@ -591,6 +608,7 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
   NC_CHECK(out != nullptr);
   NC_CHECK(i < num_predicates());
   NC_CHECK(u < num_objects());
+  NC_PROFILE_SCOPE(profiler_, kRandomAccess);
   last_access_penalty_ = 0.0;
   if (!cost_.has_random(i)) {
     NC_CHECK(initial_cost_.has_random(i));
@@ -610,8 +628,12 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
   if (access_cache_ != nullptr) {
     Score cached = 0.0;
     bool merged = false;
-    const cache::RandomLookup lookup =
-        access_cache_->AcquireRandom(i, u, &cached, &merged, &cache_ticket);
+    cache::RandomLookup lookup;
+    {
+      NC_PROFILE_SCOPE(profiler_, kCacheProbe);
+      lookup =
+          access_cache_->AcquireRandom(i, u, &cached, &merged, &cache_ticket);
+    }
     if (lookup == cache::RandomLookup::kHit) {
       return ServeRandomFromCache(i, u, cached, merged, out);
     }
@@ -657,7 +679,10 @@ Status SourceSet::TryRandomAccess(PredicateId i, ObjectId u, Score* out) {
   if ((mask & bit) != 0) ++stats_.duplicate_random_count;
   mask |= bit;
   *out = provider_->ScoreOf(i, u);
-  if (cache_owner) access_cache_->PublishRandom(i, u, *out, cache_ticket);
+  if (cache_owner) {
+    NC_PROFILE_SCOPE(profiler_, kCacheFill);
+    access_cache_->PublishRandom(i, u, *out, cache_ticket);
+  }
   return Status::OK();
 }
 

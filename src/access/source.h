@@ -71,6 +71,7 @@
 namespace nc::obs {
 class QueryTracer;
 class TelemetryHub;
+class Profiler;
 }  // namespace nc::obs
 
 namespace nc::cache {
@@ -427,6 +428,15 @@ class SourceSet {
   void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
   obs::QueryTracer* tracer() const { return tracer_; }
 
+  // Attaches a profiler (nullptr detaches; must outlive the SourceSet).
+  // The access seam then times the sorted/random paths, cache
+  // probe/fill, replica failover re-routes, and hedge issuance as
+  // nested cost-center scopes (obs/profiler.h). A detached or disabled
+  // profiler costs one branch per access; answers are bit-identical
+  // either way (profiling never changes control flow).
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
   // --- Cross-query telemetry -------------------------------------------
   // Attaches a TelemetryHub (nullptr detaches; must outlive the
   // SourceSet). The hub is fed the per-replica service latencies,
@@ -595,6 +605,7 @@ class SourceSet {
   std::vector<Access> trace_;
   std::vector<AccessAttempt> attempt_trace_;
   obs::QueryTracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::TelemetryHub* hub_ = nullptr;
   cache::AccessCache* access_cache_ = nullptr;
   QueryCacheHits cache_hits_;

@@ -1,0 +1,31 @@
+#include "common/build_info.h"
+
+namespace nc {
+
+const char* BuildVersion() {
+#if defined(NC_BUILD_GIT_VERSION)
+  return NC_BUILD_GIT_VERSION;
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildFlavor() {
+#if defined(NC_SANITIZE_BUILD)
+  return "Sanitize";
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+bool BuildSanitized() {
+#if defined(NC_SANITIZE_BUILD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace nc

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "core/checkpoint.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace nc {
@@ -125,6 +126,7 @@ Status NCEngine::Perform(const Access& access) {
 }
 
 void NCEngine::EmitCertified(TerminationReason reason, TopKResult* out) {
+  NC_PROFILE_SCOPE(options_.profiler, kCertificateBuild);
   // Certified anytime answer: the current top-k by maximal-possible
   // score, each entry carrying its proven [lower, upper] interval, plus
   // the epsilon those intervals imply against everything excluded.
@@ -442,7 +444,10 @@ Status NCEngine::Loop(TopKResult* out) {
                                          {{"algorithm", "NC"}});
 
   while (true) {
-    heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+    {
+      NC_PROFILE_SCOPE(options_.profiler, kCandidateHeap);
+      heap_.PopTopK(options_.k, bound_fn, &topk_scratch_);
+    }
     const double kth_bound =
         topk_scratch_.empty() ? 0.0 : topk_scratch_.back().bound;
     // Theorem 1: the first incomplete member of K_P (rank order)
@@ -566,7 +571,10 @@ Status NCEngine::Loop(TopKResult* out) {
     NC_CHECK(offered);  // Policies must pick among the necessary choices.
 
     const Status performed = Perform(access);
-    heap_.Reinsert(topk_scratch_);
+    {
+      NC_PROFILE_SCOPE(options_.profiler, kCandidateHeap);
+      heap_.Reinsert(topk_scratch_);
+    }
     if (performed.code() == StatusCode::kResourceExhausted) {
       // The access layer refused to start the access: the budget or a
       // quota ran out under the engine (defensive - the loop-top check

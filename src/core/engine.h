@@ -39,6 +39,7 @@
 namespace nc::obs {
 class Histogram;
 class MetricsRegistry;
+class Profiler;
 class QueryTracer;
 }  // namespace nc::obs
 
@@ -146,6 +147,13 @@ struct EngineOptions {
   // Optional metrics registry (must outlive the engine): run/access
   // totals and the choice-width histogram, labeled {algorithm="NC"}.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Optional profiler (must outlive the engine; obs/profiler.h). The
+  // engine bills candidate-heap maintenance and certificate construction
+  // to their cost centers; access-level centers come from the SourceSet's
+  // profiler - attach the same profiler to both for a complete breakdown.
+  // nullptr (the default) costs one branch per scope.
+  obs::Profiler* profiler = nullptr;
 };
 
 class NCEngine {

@@ -5,6 +5,7 @@
 #include "access/source.h"
 #include "common/check.h"
 #include "core/engine.h"
+#include "obs/profiler.h"
 
 namespace nc {
 
@@ -68,6 +69,10 @@ double SimulationCostEstimator::EstimateCost(const SRGConfig& config) {
     return inf;
   }
 
+  // Only live simulations are billed; memoized repeats return above
+  // without touching the profiler. The inner engines run unprofiled so
+  // simulation work never pollutes the access-level cost centers.
+  NC_PROFILE_SCOPE(profiler_, kOptimizerSimulate);
   double total = 0.0;
   for (const Dataset& sample : samples_) {
     SourceSet sources(&sample, cost_);

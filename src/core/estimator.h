@@ -19,6 +19,10 @@
 #include "core/srg_policy.h"
 #include "scoring/scoring_function.h"
 
+namespace nc::obs {
+class Profiler;
+}  // namespace nc::obs
+
 namespace nc {
 
 // Full-scale prediction of one plan's access footprint: what the
@@ -54,6 +58,16 @@ class CostEstimator {
   // Number of plan evaluations that actually ran (optimization overhead;
   // memoized repeats excluded).
   virtual size_t simulations() const = 0;
+
+  // Optional profiler (obs/profiler.h; must outlive the estimator).
+  // Implementations bill non-memoized plan simulations to
+  // kOptimizerSimulate; the optimizer bills each hill-climbing sweep to
+  // kHillClimbStep through the same handle.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
+ protected:
+  obs::Profiler* profiler_ = nullptr;
 };
 
 // Estimates by executing NC+SR/G over one or more sample datasets.

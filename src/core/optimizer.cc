@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/profiler.h"
 
 namespace nc {
 
@@ -177,6 +178,10 @@ Status HClimbOptimizer::Optimize(CostEstimator* estimator,
 
     bool improved = true;
     while (improved) {
+      // One sweep over the 2m lattice neighbors; the simulations it
+      // triggers nest as kOptimizerSimulate children, so the step's self
+      // time is the pure search overhead.
+      NC_PROFILE_SCOPE(estimator->profiler(), kHillClimbStep);
       improved = false;
       std::vector<size_t> best_neighbor = index;
       double best_neighbor_cost = current_cost;

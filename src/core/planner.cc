@@ -63,6 +63,9 @@ Status CostBasedPlanner::Plan(const SourceSet& sources, size_t k,
 
   SimulationCostEstimator estimator(std::move(samples), sources.cost_model(),
                                     scoring_, k_prime);
+  // Planning work (simulations, hill-climb sweeps) bills to the query's
+  // profiler when one is attached to the sources.
+  estimator.set_profiler(sources.profiler());
 
   std::unique_ptr<DepthOptimizer> optimizer;
   switch (options_.scheme) {
@@ -149,6 +152,7 @@ Status RunOptimizedNC(SourceSet* sources, const ScoringFunction& scoring,
   SRGPolicy policy(plan.config);
   EngineOptions engine_options;
   engine_options.k = k;
+  engine_options.profiler = sources->profiler();
   return RunNC(sources, &scoring, &policy, engine_options, out);
 }
 

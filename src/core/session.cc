@@ -66,6 +66,9 @@ Status QuerySession::Query(SourceSet* sources, size_t k,
   // spans. Detached (nullptr), the caller's own sources tracer (if any)
   // is left in place.
   if (tracer_ != nullptr) sources->set_tracer(tracer_);
+  // Same contract for a session-attached profiler: attached before
+  // planning so optimizer simulations bill to the query it plans for.
+  if (profiler_ != nullptr) sources->set_profiler(profiler_);
   const std::string key = PlanKey(sources->cost_model(), k);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -83,6 +86,7 @@ Status QuerySession::Query(SourceSet* sources, size_t k,
   EngineOptions engine_options;
   engine_options.k = k;
   if (tracer_ != nullptr) engine_options.tracer = tracer_;
+  if (profiler_ != nullptr) engine_options.profiler = profiler_;
   // The hook closes over a pointer filled right after construction: the
   // engine cannot invoke the callback before Run().
   NCEngine* engine_ptr = nullptr;

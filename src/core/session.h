@@ -107,6 +107,16 @@ class QuerySession {
   void set_tracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
   obs::QueryTracer* tracer() const { return tracer_; }
 
+  // Attaches a profiler (obs/profiler.h) that every subsequent Query
+  // hands to the sources and the engine, exactly as set_tracer does for
+  // tracers. The session only *attaches* it: the owner decides when to
+  // Clear(), add external cost centers (e.g. queue wait), and build the
+  // per-query ProfileReport — the session never resets or reads it.
+  // Must outlive the session (or be detached with nullptr first); used
+  // from the querying thread only.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
   // Predicted-vs-actual Eq. 1 audit of the most recent Query (invalid
   // before the first one or when the run errored out pre-execution).
   const obs::CostAudit& last_cost_audit() const { return last_cost_audit_; }
@@ -145,6 +155,7 @@ class QuerySession {
   // constructed with.
   obs::TelemetryHub* active_hub_ = nullptr;
   obs::QueryTracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::CostAudit last_cost_audit_;
   size_t plans_computed_ = 0;
   size_t cache_hits_ = 0;

@@ -1,0 +1,203 @@
+#include "obs/bench_gate.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/numeric.h"
+
+namespace nc::obs {
+
+namespace {
+
+// Matches bench/bench_util.h's kBenchJsonSchemaVersion.
+constexpr double kExpectedSchemaVersion = 2.0;
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Gated when the key itself carries a time unit.
+bool TimingKey(std::string_view key) {
+  return EndsWith(key, "_ns") || EndsWith(key, "_us");
+}
+
+void AddIssue(const std::string& file, const std::string& path,
+              std::string what, BenchGateResult* out) {
+  out->issues.push_back(BenchIssue{file, path, std::move(what)});
+}
+
+struct DiffWalker {
+  const std::string& file;
+  const BenchGateOptions& options;
+  BenchGateResult* out;
+
+  // `gated` is inherited: once any ancestor key carried a time unit,
+  // every numeric leaf below it is held to the envelope.
+  void Walk(const std::string& path, const JsonValue& baseline,
+            const JsonValue& current, bool gated) {
+    if (baseline.is_number() && current.is_number()) {
+      CompareLeaf(path, baseline.number, current.number, gated);
+      return;
+    }
+    if (baseline.is_object() && current.is_object()) {
+      for (const auto& member : baseline.object) {
+        const JsonValue* other = current.Find(member.first);
+        if (other == nullptr) continue;  // Envelope checks own presence.
+        Walk(path.empty() ? member.first : path + "." + member.first,
+             member.second, *other, gated || TimingKey(member.first));
+      }
+      return;
+    }
+    if (baseline.is_array() && current.is_array()) {
+      WalkArray(path, baseline, current, gated);
+      return;
+    }
+    // Kind changed (e.g. a number became a string): only worth flagging
+    // on a gated path - elsewhere the schema is allowed to evolve.
+    if (gated && baseline.kind != current.kind) {
+      AddIssue(file, path, "value kind changed against the baseline", out);
+    }
+  }
+
+  void WalkArray(const std::string& path, const JsonValue& baseline,
+                 const JsonValue& current, bool gated) {
+    // Arrays of named objects (bench rows) match by name so reordering
+    // or appending rows never misaligns the diff.
+    std::string name;
+    const bool named = !baseline.array.empty() &&
+                       baseline.array.front().GetString("name", &name);
+    if (named) {
+      for (const JsonValue& row : baseline.array) {
+        if (!row.GetString("name", &name)) continue;
+        const JsonValue* match = nullptr;
+        for (const JsonValue& candidate : current.array) {
+          std::string other;
+          if (candidate.GetString("name", &other) && other == name) {
+            match = &candidate;
+            break;
+          }
+        }
+        const std::string row_path = path + "[" + name + "]";
+        if (match == nullptr) {
+          AddIssue(file, row_path, "row missing from the current artifact",
+                   out);
+          continue;
+        }
+        Walk(row_path, row, *match, gated);
+      }
+      return;
+    }
+    const size_t n = std::min(baseline.array.size(), current.array.size());
+    for (size_t i = 0; i < n; ++i) {
+      Walk(path + "[" + std::to_string(i) + "]", baseline.array[i],
+           current.array[i], gated);
+    }
+  }
+
+  void CompareLeaf(const std::string& path, double baseline, double current,
+                   bool gated) {
+    if (!gated) return;
+    ++out->values_compared;
+    if (!std::isfinite(baseline) || !std::isfinite(current)) return;
+    if (baseline <= options.noise_floor) return;
+    const double limit = baseline * (1.0 + options.tolerance);
+    if (current > limit) {
+      AddIssue(file, path,
+               "regressed: baseline " + FormatDouble(baseline) +
+                   " -> current " + FormatDouble(current) + " (limit " +
+                   FormatDouble(limit) + ")",
+               out);
+    }
+  }
+};
+
+}  // namespace
+
+Status BenchGateOptions::Validate() const {
+  if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+    return Status::InvalidArgument("tolerance must be finite and >= 0");
+  }
+  if (!(noise_floor >= 0.0) || !std::isfinite(noise_floor)) {
+    return Status::InvalidArgument("noise_floor must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+std::string BenchGateResult::ToText() const {
+  std::ostringstream os;
+  for (const BenchIssue& issue : issues) {
+    os << issue.file;
+    if (!issue.path.empty()) os << ": " << issue.path;
+    os << ": " << issue.what << "\n";
+  }
+  os << (ok() ? "OK" : "FAIL") << ": " << files_checked << " file(s), "
+     << values_compared << " gated value(s), " << issues.size()
+     << " issue(s)\n";
+  return os.str();
+}
+
+Status ReadBenchFile(const std::string& path, JsonValue* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::Unavailable("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read failed for " + path);
+  }
+  const Status parsed = ParseJson(buffer.str(), out);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " + parsed.message());
+  }
+  return Status::OK();
+}
+
+void CheckBenchDoc(const std::string& file, const JsonValue& doc,
+                   BenchGateResult* out) {
+  ++out->files_checked;
+  if (!doc.is_object()) {
+    AddIssue(file, "", "document is not a JSON object", out);
+    return;
+  }
+  for (const char* key : {"bench", "timestamp", "build_type"}) {
+    const JsonValue* v = doc.Find(key);
+    if (v == nullptr || !v->is_string() || v->string.empty()) {
+      AddIssue(file, key, "missing or empty envelope key", out);
+    }
+  }
+  double version = 0.0;
+  if (!doc.GetNumber("schema_version", &version)) {
+    AddIssue(file, "schema_version", "missing envelope key", out);
+  } else if (version != kExpectedSchemaVersion) {
+    AddIssue(file, "schema_version",
+             "expected " + FormatDouble(kExpectedSchemaVersion) + ", got " +
+                 FormatDouble(version),
+             out);
+  }
+  const JsonValue* rows = doc.Find("rows");
+  if (rows != nullptr && rows->is_array() && rows->array.empty()) {
+    AddIssue(file, "rows", "no rows", out);
+  }
+}
+
+void DiffBenchDocs(const std::string& file, const JsonValue& baseline,
+                   const JsonValue& current, const BenchGateOptions& options,
+                   BenchGateResult* out) {
+  ++out->files_checked;
+  std::string old_bench;
+  std::string new_bench;
+  if (baseline.GetString("bench", &old_bench) &&
+      current.GetString("bench", &new_bench) && old_bench != new_bench) {
+    AddIssue(file, "bench",
+             "artifacts disagree: '" + old_bench + "' vs '" + new_bench + "'",
+             out);
+    return;
+  }
+  DiffWalker walker{file, options, out};
+  walker.Walk("", baseline, current, /*gated=*/false);
+}
+
+}  // namespace nc::obs

@@ -1,0 +1,84 @@
+// The bench regression gate: machine checks over BENCH_*.json envelopes.
+//
+// Every bench binary emits a BENCH_<NAME>.json document through
+// bench/bench_util.h's envelope (bench, schema_version, timestamp,
+// build_type, payload). Those artifacts are committed, which makes the
+// repo's own history the performance baseline - but until now nothing
+// could *compare* two of them mechanically. This header is the library
+// behind tools/bench_diff: envelope contract checks (does the artifact
+// still honor the schema) and a numeric diff with regression envelopes
+// (did a timing leaf move beyond tolerance against the committed
+// baseline). CI runs both; a regression fails the build with the exact
+// JSON path that moved.
+//
+// Gating rule: a numeric leaf is *gated* when its own key or any
+// ancestor key ends in "_ns" or "_us" (real_ns, cpu_ns, min_ns.*,
+// varz_scrape_p50_us, ...). Gated leaves flag only regressions -
+// current > baseline * (1 + tolerance) - so improvements always pass.
+// Leaves below the noise floor and everything else (counts, flags,
+// timestamps, build metadata) are informational, never gated.
+
+#ifndef NC_OBS_BENCH_GATE_H_
+#define NC_OBS_BENCH_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json_parse.h"
+
+namespace nc::obs {
+
+struct BenchGateOptions {
+  // Relative regression envelope for gated leaves: current beyond
+  // baseline * (1 + tolerance) is a violation. Micro-bench noise across
+  // machines is real; the default catches step changes, not jitter.
+  double tolerance = 0.25;
+
+  // Noise floor in the leaf's own unit (ns for *_ns, us for *_us):
+  // baselines at or below it are too small to gate meaningfully and are
+  // skipped. Measured against the *baseline* value.
+  double noise_floor = 100.0;
+
+  Status Validate() const;
+};
+
+// One violation, addressed by file and JSON path ("rows[BM_X/8].cpu_ns").
+struct BenchIssue {
+  std::string file;
+  std::string path;
+  std::string what;
+};
+
+struct BenchGateResult {
+  std::vector<BenchIssue> issues;
+  size_t files_checked = 0;
+  size_t values_compared = 0;
+
+  bool ok() const { return issues.empty(); }
+  // One line per issue plus a summary line; locale-safe.
+  std::string ToText() const;
+};
+
+// Reads and parses one artifact. IO and parse failures surface as the
+// returned status, not as issues.
+Status ReadBenchFile(const std::string& path, JsonValue* out);
+
+// Envelope contract for one parsed artifact: bench / schema_version /
+// timestamp / build_type present, schema_version == 2, "rows" (when
+// present) non-empty. Violations append to *out.
+void CheckBenchDoc(const std::string& file, const JsonValue& doc,
+                   BenchGateResult* out);
+
+// Numeric diff: walks baseline and current in parallel and holds every
+// gated leaf to the envelope. Arrays of objects are matched by their
+// "name" member when both sides carry one (order-insensitive; a baseline
+// row missing from current is a violation, extra current rows pass);
+// other arrays are matched by index. Non-numeric leaves are ignored.
+void DiffBenchDocs(const std::string& file, const JsonValue& baseline,
+                   const JsonValue& current, const BenchGateOptions& options,
+                   BenchGateResult* out);
+
+}  // namespace nc::obs
+
+#endif  // NC_OBS_BENCH_GATE_H_

@@ -1,0 +1,332 @@
+#include "obs/json_parse.h"
+
+#include <cstdint>
+
+#include "common/numeric.h"
+
+namespace nc::obs {
+
+namespace {
+
+// Deep enough for every artifact the repo writes, shallow enough that a
+// hostile "[[[[..." document cannot blow the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    SkipWhitespace();
+    NC_RETURN_IF_ERROR(ParseValue(out, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (AtEnd() || Peek() != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("expected '" + std::string(literal) + "'");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        NC_RETURN_IF_ERROR(ConsumeLiteral("true"));
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Status::OK();
+      case 'f':
+        NC_RETURN_IF_ERROR(ConsumeLiteral("false"));
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Status::OK();
+      case 'n':
+        NC_RETURN_IF_ERROR(ConsumeLiteral("null"));
+        out->kind = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected a member key");
+      std::string key;
+      NC_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after a member key");
+      SkipWhitespace();
+      JsonValue value;
+      NC_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      // Last occurrence wins: overwrite an earlier duplicate in place so
+      // Find (first match) honors RFC 8259's common behavior.
+      bool replaced = false;
+      for (auto& member : out->object) {
+        if (member.first == key) {
+          member.second = std::move(value);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in an object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      NC_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in an array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in a string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          NC_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pair: a high surrogate must be followed by an
+          // escaped low surrogate; unpaired surrogates are rejected.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!Consume('\\') || !Consume('u')) {
+              return Error("unpaired high surrogate");
+            }
+            uint32_t low = 0;
+            NC_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    while (!AtEnd()) {
+      const char c = Peek();
+      const bool numeric = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                           c == 'E' || c == '+' || c == '-';
+      if (!numeric) break;
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) return Error("expected a value");
+    // RFC 8259 grammar check beyond what ParseDouble accepts: no leading
+    // '+', no bare '-', no leading zeros like "01", no "1." / ".5", and
+    // none of the non-finite spellings ParseDouble tolerates.
+    double value = 0.0;
+    if (!ValidJsonNumber(token) || !ParseDouble(token, &value)) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  static bool ValidJsonNumber(std::string_view token) {
+    size_t i = 0;
+    if (i < token.size() && token[i] == '-') ++i;
+    // Integer part: "0" or [1-9][0-9]*.
+    if (i >= token.size() || token[i] < '0' || token[i] > '9') return false;
+    if (token[i] == '0') {
+      ++i;
+    } else {
+      while (i < token.size() && token[i] >= '0' && token[i] <= '9') ++i;
+    }
+    if (i < token.size() && token[i] == '.') {
+      ++i;
+      if (i >= token.size() || token[i] < '0' || token[i] > '9') return false;
+      while (i < token.size() && token[i] >= '0' && token[i] <= '9') ++i;
+    }
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+      ++i;
+      if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+      if (i >= token.size() || token[i] < '0' || token[i] > '9') return false;
+      while (i < token.size() && token[i] >= '0' && token[i] <= '9') ++i;
+    }
+    return i == token.size();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& member : object) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+bool JsonValue::GetNumber(std::string_view key, double* out) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->number;
+  return true;
+}
+
+bool JsonValue::GetString(std::string_view key, std::string* out) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  *out = v->string;
+  return true;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool* out) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_bool()) return false;
+  *out = v->boolean;
+  return true;
+}
+
+Status ParseJson(std::string_view text, JsonValue* out) {
+  Parser parser(text);
+  JsonValue value;
+  NC_RETURN_IF_ERROR(parser.Parse(&value));
+  *out = std::move(value);
+  return Status::OK();
+}
+
+}  // namespace nc::obs

@@ -67,7 +67,8 @@ CostAudit BuildCostAudit(const CostPrediction& prediction,
 
 RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
                          std::string algorithm, size_t k,
-                         const CostPrediction* prediction) {
+                         const CostPrediction* prediction,
+                         const Profiler* profiler) {
   RunReport report;
   report.algorithm = std::move(algorithm);
   report.k = k;
@@ -133,6 +134,10 @@ RunReport BuildRunReport(const SourceSet& sources, const QueryTracer* tracer,
 
   if (prediction != nullptr) {
     report.cost_audit = BuildCostAudit(*prediction, sources);
+  }
+
+  if (profiler != nullptr) {
+    report.profile = profiler->Report();
   }
 
   if (tracer != nullptr) {
@@ -393,6 +398,9 @@ std::string RunReport::ToText() const {
        << ", k-th bound " << FormatCost(last.kth_bound) << " at cost "
        << FormatCost(last.cost) << "\n";
   }
+  if (!profile.empty()) {
+    os << "profile:\n" << profile.ToText();
+  }
   if (wall_ms > 0.0) {
     os << "wall: " << FormatCost(wall_ms) << " ms\n";
   }
@@ -519,6 +527,10 @@ std::string RunReport::ToJson() const {
       w.EndObject();
     }
     w.EndArray();
+  }
+  if (!profile.empty()) {
+    // The profile section is itself a JSON object; splice it in raw.
+    w.Key("profile").Raw(profile.ToJson());
   }
   if (wall_ms > 0.0) w.Key("wall_ms").Number(wall_ms);
   w.EndObject();

@@ -23,6 +23,7 @@
 
 #include "access/source.h"
 #include "core/estimator.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace nc::obs {
@@ -153,6 +154,10 @@ struct RunReport {
   // From tracer iteration events; empty without a tracer.
   std::vector<ConvergencePoint> convergence;
 
+  // Per-cost-center time/allocation breakdown (obs/profiler.h); empty
+  // without a profiler.
+  ProfileReport profile;
+
   double wall_ms = 0.0;
 
   // Aligned multi-line text rendering.
@@ -164,11 +169,13 @@ struct RunReport {
 // Snapshots `sources` (and, when given, the tracer's iteration events)
 // into a report. Call after the run, before Reset(). With a
 // `prediction` (the executed plan's CostPrediction), the report also
-// carries the cost audit.
+// carries the cost audit. With a `profiler` (the one attached for the
+// run), the report carries its per-cost-center breakdown.
 RunReport BuildRunReport(const SourceSet& sources,
                          const QueryTracer* tracer = nullptr,
                          std::string algorithm = "", size_t k = 0,
-                         const CostPrediction* prediction = nullptr);
+                         const CostPrediction* prediction = nullptr,
+                         const Profiler* profiler = nullptr);
 
 class MetricsRegistry;
 

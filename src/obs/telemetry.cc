@@ -149,6 +149,7 @@ void TelemetryHub::Clear() {
   cost_.clear();
   prediction_error_.clear();
   health_.clear();
+  profile_.clear();
 }
 
 void TelemetryHub::ObserveReplicaService(PredicateId i, size_t r,
@@ -184,6 +185,17 @@ void TelemetryHub::ObservePredictionError(PredicateId i,
   if (!enabled()) return;
   const std::lock_guard<std::mutex> lock(mu_);
   prediction_error_[i].Add(relative_error);
+}
+
+void TelemetryHub::ObserveProfile(const ProfileReport& report) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const ProfileReport::FlatRow& row : report.flat) {
+    // Self time in microseconds: the same unit as the latency sketches,
+    // and small enough that P2's double arithmetic stays well-scaled.
+    profile_[static_cast<uint32_t>(row.center)].Add(
+        static_cast<double>(row.self_ns) / 1000.0);
+  }
 }
 
 size_t TelemetryHub::replica_service_count(PredicateId i, size_t r) const {
@@ -227,6 +239,19 @@ size_t TelemetryHub::prediction_error_count(PredicateId i) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = prediction_error_.find(i);
   return it == prediction_error_.end() ? 0 : it->second.count;
+}
+
+double TelemetryHub::ProfileQuantile(CostCenter center, double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = profile_.find(static_cast<uint32_t>(center));
+  if (it == profile_.end()) return QuietNaN();
+  return it->second.At(q);
+}
+
+size_t TelemetryHub::profile_sample_count(CostCenter center) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = profile_.find(static_cast<uint32_t>(center));
+  return it == profile_.end() ? 0 : it->second.count;
 }
 
 double TelemetryHub::AdaptiveHedgeDelay(PredicateId i, size_t r) const {
@@ -366,6 +391,16 @@ HubSnapshot TelemetryHub::Snapshot() const {
       (void)key;
       snap.health.push_back(h);
     }
+    for (const auto& [center, sketch] : profile_) {
+      ProfileQuantiles p;
+      p.center = static_cast<CostCenter>(center);
+      p.count = sketch.count;
+      p.p50 = sketch.At(0.5);
+      p.p90 = sketch.At(0.9);
+      p.p95 = sketch.At(0.95);
+      p.p99 = sketch.At(0.99);
+      snap.profile.push_back(p);
+    }
   }
   const auto by_slot = [](const SlotQuantiles& a, const SlotQuantiles& b) {
     if (a.predicate != b.predicate) return a.predicate < b.predicate;
@@ -385,12 +420,17 @@ HubSnapshot TelemetryHub::Snapshot() const {
               if (a.predicate != b.predicate) return a.predicate < b.predicate;
               return a.replica < b.replica;
             });
+  std::sort(snap.profile.begin(), snap.profile.end(),
+            [](const ProfileQuantiles& a, const ProfileQuantiles& b) {
+              return a.center < b.center;
+            });
   return snap;
 }
 
 std::string TelemetryHub::Serialize() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "nchub 1\n";
+  // Version 2 added the "profile" record; readers accept 1 and 2.
+  std::string out = "nchub 2\n";
   out += "queries";
   AppendUInt(&out, queries_observed_.load(std::memory_order_relaxed));
   out += '\n';
@@ -450,6 +490,17 @@ std::string TelemetryHub::Serialize() const {
     AppendHex(&out, cell.value);
     out += '\n';
   }
+  for (const uint32_t key : SortedKeys(profile_)) {
+    const ServiceSketch& s = profile_.at(key);
+    out += "profile";
+    AppendUInt(&out, key);
+    AppendUInt(&out, s.count);
+    AppendP2(&out, s.p50);
+    AppendP2(&out, s.p90);
+    AppendP2(&out, s.p95);
+    AppendP2(&out, s.p99);
+    out += '\n';
+  }
   for (const uint64_t key : SortedKeys(health_)) {
     const ReplicaHealth& h = health_.at(key);
     out += "health";
@@ -477,6 +528,7 @@ Status TelemetryHub::Deserialize(const std::string& text) {
   std::unordered_map<uint64_t, CostEwma> cost;
   std::unordered_map<uint32_t, ServiceSketch> prediction_error;
   std::unordered_map<uint64_t, ReplicaHealth> health;
+  std::unordered_map<uint32_t, ServiceSketch> profile;
 
   const auto fail = [](size_t line_no, const std::string& why) {
     return Status::InvalidArgument("nchub line " + std::to_string(line_no) +
@@ -505,8 +557,11 @@ Status TelemetryHub::Deserialize(const std::string& text) {
     const std::vector<std::string_view> tokens = SplitTokens(line);
     if (tokens.empty()) continue;
     if (!saw_header) {
-      if (tokens.size() != 2 || tokens[0] != "nchub" || tokens[1] != "1") {
-        return fail(line_no, "expected header \"nchub 1\"");
+      // Version 1 documents simply have no "profile" records; every
+      // record they do have parses identically, so both versions load.
+      if (tokens.size() != 2 || tokens[0] != "nchub" ||
+          (tokens[1] != "1" && tokens[1] != "2")) {
+        return fail(line_no, "expected header \"nchub 1\" or \"nchub 2\"");
       }
       saw_header = true;
       continue;
@@ -546,6 +601,16 @@ Status TelemetryHub::Deserialize(const std::string& text) {
       } else {
         prediction_error.emplace(static_cast<uint32_t>(predicate), sketch);
       }
+    } else if (kind == "profile") {
+      uint64_t center = 0;
+      if (!cursor.TakeUInt(&center) || center >= kNumCostCenters) {
+        return fail(line_no, "malformed \"profile\" key");
+      }
+      ServiceSketch sketch;
+      if (!parse_sketch(&cursor, &sketch) || !cursor.Done()) {
+        return fail(line_no, "malformed \"profile\" body");
+      }
+      profile.emplace(static_cast<uint32_t>(center), sketch);
     } else if (kind == "hedge") {
       uint64_t predicate = 0;
       uint64_t replica = 0;
@@ -613,6 +678,7 @@ Status TelemetryHub::Deserialize(const std::string& text) {
   cost_ = std::move(cost);
   prediction_error_ = std::move(prediction_error);
   health_ = std::move(health);
+  profile_ = std::move(profile);
   return Status::OK();
 }
 

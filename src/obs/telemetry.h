@@ -72,6 +72,7 @@
 #include "common/score.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "obs/profiler.h"
 #include "replica/replica.h"
 
 namespace nc::obs {
@@ -121,6 +122,17 @@ struct CostCell {
   double ewma = 0.0;
 };
 
+// One cost center's cross-query profile rollup: quantiles (microseconds)
+// of the per-query SELF time spent in that center.
+struct ProfileQuantiles {
+  CostCenter center = CostCenter::kSortedAccess;
+  size_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 // A point-in-time, lock-free-to-consume copy of everything the hub has
 // learned, sorted by (predicate, replica) throughout: what /varz renders
 // and what the anomaly watchdog diffs against a baseline.
@@ -131,6 +143,7 @@ struct HubSnapshot {
   std::vector<SlotQuantiles> prediction_error;  // per predicate
   std::vector<CostCell> cost;                   // per (predicate, type)
   std::vector<ReplicaHealth> health;            // per (predicate, replica)
+  std::vector<ProfileQuantiles> profile;        // per cost center
 };
 
 class TelemetryHub {
@@ -157,6 +170,11 @@ class TelemetryHub {
   // QuerySession feeds this once per predicate per query, so the sketch
   // tracks how the optimizer's Eq. 1 prediction quality drifts.
   void ObservePredictionError(PredicateId i, double relative_error);
+  // One query's finished profile (obs/profiler.h): each flat row's self
+  // time feeds that cost center's cross-query P2 sketch, in
+  // microseconds. Fed by the query server per served request (or any
+  // embedder that owns a Profiler's lifecycle).
+  void ObserveProfile(const ProfileReport& report);
   // One finished query (QuerySession calls this once per Query).
   void NoteQuery() {
     if (enabled()) queries_observed_.fetch_add(1, std::memory_order_relaxed);
@@ -180,6 +198,10 @@ class TelemetryHub {
   // (same tracked q values). NaN with no audited queries.
   double PredictionErrorQuantile(PredicateId i, double q) const;
   size_t prediction_error_count(PredicateId i) const;
+  // Quantile (microseconds) of the per-query self time in one cost
+  // center (same tracked q values). NaN with no observed profiles.
+  double ProfileQuantile(CostCenter center, double q) const;
+  size_t profile_sample_count(CostCenter center) const;
 
   // The adaptive hedge signal: the exact p90 of replica r's last
   // kTelemetryHedgeWindow service latencies (see the header comment for
@@ -216,12 +238,13 @@ class TelemetryHub {
   // Everything at once (one lock hold), for /varz and the watchdog.
   HubSnapshot Snapshot() const;
 
-  // --- Persistence ("nchub 1") ------------------------------------------
+  // --- Persistence ("nchub 2") ------------------------------------------
   // The hub is what a server *learns* about its sources - routing EWMAs,
   // deaths, latency sketches, cost EWMAs - and relearning it from zero on
   // every restart costs real queries. Serialize captures the complete
   // hub state as a versioned, line-based, locale-safe text document
-  // ("nchub 1"): every double rides as a C-hexfloat (common/numeric.h),
+  // ("nchub 2"; version-1 documents without profile records still load):
+  // every double rides as a C-hexfloat (common/numeric.h),
   // so Deserialize(Serialize()) reconstructs the state bit-for-bit and
   // Serialize is deterministic (keys sorted) - the round-trip is
   // byte-exact, which the property test in telemetry_test.cc pins.
@@ -299,6 +322,7 @@ class TelemetryHub {
   std::unordered_map<uint64_t, CostEwma> cost_;  // (i, 0=sorted / 1=random)
   std::unordered_map<uint32_t, ServiceSketch> prediction_error_;  // i
   std::unordered_map<uint64_t, ReplicaHealth> health_;            // (i, r)
+  std::unordered_map<uint32_t, ServiceSketch> profile_;  // cost center
 };
 
 // The hot-path guard every feeding layer uses (mirrors ShouldTrace).

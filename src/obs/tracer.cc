@@ -44,12 +44,24 @@ void JsonlSink::WriteLine(const std::string& line) {
   const std::lock_guard<std::mutex> lock(mu_);
   (*out_) << line << '\n';
   out_->flush();
-  ++lines_;
+  if (out_->good()) {
+    ++lines_;
+  } else {
+    // The line may be partially on disk; count it lost either way and
+    // clear the stream so the next line gets a fresh attempt.
+    ++dropped_;
+    out_->clear();
+  }
 }
 
 size_t JsonlSink::lines_written() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return lines_;
+}
+
+size_t JsonlSink::lines_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 const char* TraceEventKindName(TraceEventKind kind) {
@@ -74,6 +86,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "span";
     case TraceEventKind::kCache:
       return "cache";
+    case TraceEventKind::kProfile:
+      return "profile";
   }
   return "unknown";
 }
@@ -269,6 +283,20 @@ void QueryTracer::RecordSpan(const char* name, uint64_t begin_us,
   Emit(e);
 }
 
+void QueryTracer::RecordProfile(const char* center, uint64_t begin_us,
+                                uint64_t end_us) {
+  if (!enabled_) return;
+  NC_CHECK(center != nullptr);
+  NC_CHECK(begin_us <= end_us);
+  TraceEvent e;
+  e.kind = TraceEventKind::kProfile;
+  Stamp(&e);
+  e.wall_us = begin_us;
+  e.phase = center;
+  e.duration_us = end_us - begin_us;
+  Emit(e);
+}
+
 void QueryTracer::Emit(const TraceEvent& e) {
   events_.push_back(e);
   if (stream_ != nullptr) {
@@ -365,6 +393,10 @@ void QueryTracer::WriteJsonlEvent(const TraceEvent& e,
         break;
       case TraceEventKind::kSpan:
         w.Key("name").String(e.phase);
+        w.Key("duration_us").UInt(e.duration_us);
+        break;
+      case TraceEventKind::kProfile:
+        w.Key("center").String(e.phase);
         w.Key("duration_us").UInt(e.duration_us);
         break;
       case TraceEventKind::kCache:
@@ -486,6 +518,16 @@ void QueryTracer::ExportChromeTrace(std::ostream* out) const {
         break;
       case TraceEventKind::kSpan:
         // A complete ("X") slice: begin + duration in one event.
+        common(e, e.phase, "X");
+        w.Key("dur").UInt(e.duration_us);
+        w.Key("args").BeginObject();
+        context_args(e);
+        w.EndObject();
+        w.EndObject();
+        break;
+      case TraceEventKind::kProfile:
+        // Profiler scopes nest by stack discipline, so their "X" slices
+        // render as a flame graph under the serve span.
         common(e, e.phase, "X");
         w.Key("dur").UInt(e.duration_us);
         w.Key("args").BeginObject();

@@ -88,10 +88,18 @@ class JsonlSink {
 
   size_t lines_written() const;
 
+  // Lines whose write or flush left the stream in a failed state (disk
+  // full, closed pipe, ...). A streaming trace is best-effort by design;
+  // this makes the loss visible (nc_tracer_dropped_lines, /varz) instead
+  // of silent. The stream's error state is cleared after counting so one
+  // bad write does not condemn every later line.
+  size_t lines_dropped() const;
+
  private:
   std::ostream* out_;
   mutable std::mutex mu_;
   size_t lines_ = 0;
+  size_t dropped_ = 0;
 };
 
 enum class TraceEventKind {
@@ -105,6 +113,7 @@ enum class TraceEventKind {
   kTelemetry,      // A cross-query telemetry datum: cost-audit rows, ...
   kSpan,           // An explicit duration span (queue-wait, serve, ...).
   kCache,          // A cross-query cache event: hit, merge, ...
+  kProfile,        // A closed profiler scope (obs/profiler.h).
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -233,6 +242,10 @@ class QueryTracer {
   // Unlike phase pairs, a span is one event, so a queue-wait measured by
   // the admission thread can be emitted whole by the serving worker.
   void RecordSpan(const char* name, uint64_t begin_us, uint64_t end_us);
+  // A closed profiler scope: `center` must be a literal (a
+  // CostCenterName string); begin_us/end_us as in RecordSpan. Scopes
+  // nest by construction, so the Chrome exporter's slices stack.
+  void RecordProfile(const char* center, uint64_t begin_us, uint64_t end_us);
 
   // --- Request scoping -------------------------------------------------
   // Stamps `ctx` onto every subsequently recorded event until

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/build_info.h"
 #include "common/check.h"
 #include "core/checkpoint.h"
 #include "core/engine.h"
@@ -14,6 +15,22 @@
 namespace nc::server {
 
 namespace {
+
+// The build section shared by /healthz and /varz: which binary is this,
+// and since when has it been up.
+void WriteBuildSection(obs::JsonWriter* w, uint64_t start_unix_us) {
+  w->Key("build").BeginObject();
+  w->Key("version").String(BuildVersion());
+  w->Key("flavor").String(BuildFlavor());
+  w->Key("sanitized").Bool(BuildSanitized());
+  if (start_unix_us > 0) {
+    w->Key("start_unix_s").UInt(start_unix_us / 1000000);
+    const uint64_t now = obs::UnixTimeUs();
+    w->Key("uptime_s")
+        .UInt(now > start_unix_us ? (now - start_unix_us) / 1000000 : 0);
+  }
+  w->EndObject();
+}
 
 // The drain clamp: a budget that refuses the next access the moment any
 // cost at all has accrued. denorm_min (not 0, which means "unlimited")
@@ -123,6 +140,7 @@ Status QueryServer::Start() {
   }
 
   epoch_ns_.store(obs::MonotonicTimeNs(), std::memory_order_release);
+  start_unix_us_.store(obs::UnixTimeUs(), std::memory_order_release);
   {
     const std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
@@ -160,12 +178,18 @@ Status QueryServer::Start() {
     });
     stats_server_.Handle("/healthz", [this] {
       HttpResponse response;
-      if (running()) {
-        response.body = "ok\n";
-      } else {
-        response.status = 503;
-        response.body = "stopped\n";
-      }
+      response.content_type = "application/json";
+      const bool up = running();
+      if (!up) response.status = 503;
+      std::ostringstream out;
+      obs::JsonWriter w(&out);
+      w.BeginObject();
+      w.Key("status").String(up ? "ok" : "stopped");
+      WriteBuildSection(&w,
+                        start_unix_us_.load(std::memory_order_acquire));
+      w.EndObject();
+      response.body = out.str();
+      response.body += "\n";
       return response;
     });
     stats_server_.Handle("/readyz", [this] {
@@ -183,6 +207,12 @@ Status QueryServer::Start() {
       HttpResponse response;
       response.content_type = "application/json";
       response.body = VarzJson();
+      return response;
+    });
+    stats_server_.Handle("/profilez", [this] {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = ProfilezJson();
       return response;
     });
     const Status status =
@@ -286,6 +316,7 @@ void QueryServer::Shutdown(bool finish_queued) {
   // save; the stats server stops last so /metrics stays scrapeable
   // through the drain itself.
   if (watchdog_ != nullptr) watchdog_->Stop();
+  SyncTracerDropMetric();
   if (!config_.hub_snapshot_path.empty()) {
     const Status saved = hub_.SaveToFile(config_.hub_snapshot_path);
     if (!saved.ok()) {
@@ -347,6 +378,15 @@ void QueryServer::WorkerMain(size_t index) {
   } else {
     tracer.Disable();
   }
+  // The worker's confined profiler, attached exactly like the tracer.
+  // Serve owns its per-request lifecycle (Clear, externals, report).
+  obs::Profiler profiler;
+  if (config_.enable_profiler) {
+    if (config_.trace_sink != nullptr) profiler.set_tracer(&tracer);
+    session.set_profiler(&profiler);
+  } else {
+    profiler.Disable();
+  }
   for (;;) {
     Pending pending;
     {
@@ -358,13 +398,15 @@ void QueryServer::WorkerMain(size_t index) {
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
-    Serve(index, session, stack->sources(), tracer, std::move(pending));
+    Serve(index, session, stack->sources(), tracer,
+          config_.enable_profiler ? &profiler : nullptr,
+          std::move(pending));
   }
 }
 
 void QueryServer::Serve(size_t index, QuerySession& session,
                         SourceSet& sources, obs::QueryTracer& tracer,
-                        Pending pending) {
+                        obs::Profiler* profiler, Pending pending) {
   const uint64_t start_us = EpochNowUs();
   const bool tracing = obs::ShouldTrace(&tracer);
   if (tracing) {
@@ -406,14 +448,20 @@ void QueryServer::Serve(size_t index, QuerySession& session,
   const std::chrono::microseconds stall(config_.simulated_access_stall_us);
   QueryHooks hooks;
   hooks.on_access = [this, &drained, &accesses_seen, &response, &sources,
-                     &pending, stall](NCEngine& engine, size_t accesses) {
+                     &pending, profiler, stall](NCEngine& engine,
+                                                size_t accesses) {
     accesses_seen = accesses;
     if (stall.count() > 0) std::this_thread::sleep_for(stall);
     if (!drained && draining_.load(std::memory_order_acquire)) {
-      // Checkpoint BEFORE clamping: the snapshot must describe the run
-      // under its original budget, so resuming it on an identically
-      // configured stack replays the uninterrupted query bit-for-bit.
-      response.drain_checkpoint = SerializeCheckpoint(engine.Checkpoint());
+      NC_PROFILE_SCOPE(profiler, kServerDrain);
+      {
+        NC_PROFILE_SCOPE(profiler, kCheckpointSerialize);
+        // Checkpoint BEFORE clamping: the snapshot must describe the run
+        // under its original budget, so resuming it on an identically
+        // configured stack replays the uninterrupted query bit-for-bit.
+        response.drain_checkpoint =
+            SerializeCheckpoint(engine.Checkpoint());
+      }
       // Same thread as the engine loop, between accesses - the one
       // place mutating the budget mid-run is legal. The engine answers
       // the refused next access with a certified anytime answer.
@@ -421,6 +469,10 @@ void QueryServer::Serve(size_t index, QuerySession& session,
       drained = true;
     }
   };
+
+  // The profiler's lifecycle is per request: the session only attaches
+  // it, the server resets it here and reads it back after the run.
+  if (profiler != nullptr) profiler->Clear();
 
   const auto start = std::chrono::steady_clock::now();
   response.status = session.Query(&sources, pending.request.k, hooks,
@@ -471,11 +523,39 @@ void QueryServer::Serve(size_t index, QuerySession& session,
     last_audit_ = audit;
     last_audit_request_ = pending.request_id;
   }
+  if (profiler != nullptr) {
+    // Queue wait is off-thread time the scoped timers never saw: fold it
+    // in as an external center so the report covers admission to answer.
+    profiler->AddExternal(obs::CostCenter::kServerQueue,
+                          (start_us - pending.admit_us) * 1000);
+    const obs::ProfileReport report = profiler->Report();
+    obs::RecordProfileMetrics(report, &metrics_);
+    hub_.ObserveProfile(report);
+    const std::lock_guard<std::mutex> lock(profile_mu_);
+    last_profile_ = report;
+    last_profile_request_ = pending.request_id;
+  }
+  SyncTracerDropMetric();
   WorkerMeter& meter = *meters_[index];
   meter.busy_us.fetch_add(end_us - start_us, std::memory_order_relaxed);
   meter.queries.fetch_add(1, std::memory_order_relaxed);
 
   pending.promise.set_value(std::move(response));
+}
+
+void QueryServer::SyncTracerDropMetric() {
+  if (config_.trace_sink == nullptr) return;
+  // The sink's drop count is cumulative; counters are monotonic, so fold
+  // in only the delta since the last sync. Racing syncs may both read
+  // the same count, but the exchange ensures each drop is billed once.
+  const uint64_t now =
+      static_cast<uint64_t>(config_.trace_sink->lines_dropped());
+  const uint64_t prev =
+      tracer_drops_synced_.exchange(now, std::memory_order_acq_rel);
+  if (now > prev) {
+    metrics_.counter("nc_tracer_dropped_lines")
+        .Increment(static_cast<double>(now - prev));
+  }
 }
 
 uint64_t QueryServer::EpochNowUs() const {
@@ -498,6 +578,7 @@ std::string QueryServer::VarzJson() const {
   std::ostringstream out;
   obs::JsonWriter w(&out);
   w.BeginObject();
+  WriteBuildSection(&w, start_unix_us_.load(std::memory_order_acquire));
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const uint64_t uptime_us = running_ ? EpochNowUs() : 0;
@@ -650,6 +731,49 @@ std::string QueryServer::VarzJson() const {
     }
     w.EndObject();
   }
+
+  w.Key("tracer").BeginObject();
+  w.Key("enabled").Bool(config_.trace_sink != nullptr);
+  if (config_.trace_sink != nullptr) {
+    w.Key("lines_written").UInt(config_.trace_sink->lines_written());
+    w.Key("lines_dropped").UInt(config_.trace_sink->lines_dropped());
+  }
+  w.EndObject();
+  w.EndObject();
+  return out.str();
+}
+
+std::string QueryServer::ProfilezJson() const {
+  std::ostringstream out;
+  obs::JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("enabled").Bool(config_.enable_profiler);
+  w.Key("alloc_accounting").Bool(obs::AllocAccountingActive());
+  {
+    const std::lock_guard<std::mutex> lock(profile_mu_);
+    w.Key("last").BeginObject();
+    w.Key("valid").Bool(!last_profile_.empty());
+    if (!last_profile_.empty()) {
+      w.Key("request").UInt(last_profile_request_);
+      w.Key("report").Raw(last_profile_.ToJson());
+    }
+    w.EndObject();
+  }
+  // Cross-query per-center self-time quantiles (microseconds), from the
+  // hub's P2 sketches.
+  const obs::HubSnapshot snap = hub_.Snapshot();
+  w.Key("cross_query").BeginArray();
+  for (const obs::ProfileQuantiles& row : snap.profile) {
+    w.BeginObject();
+    w.Key("center").String(obs::CostCenterName(row.center));
+    w.Key("count").UInt(row.count);
+    w.Key("p50_us").Number(row.p50);
+    w.Key("p90_us").Number(row.p90);
+    w.Key("p95_us").Number(row.p95);
+    w.Key("p99_us").Number(row.p99);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return out.str();
 }

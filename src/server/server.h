@@ -132,6 +132,16 @@ struct ServerConfig {
   // one fails Start() loudly.
   std::string hub_snapshot_path;
 
+  // Hierarchical per-query profiling (obs/profiler.h): each worker owns
+  // a confined Profiler attached to its session; every served query's
+  // per-cost-center breakdown feeds nc_profile_* metrics, the hub's
+  // cross-query sketches, and the /profilez endpoint (which also
+  // reports queue wait as the kServerQueue external center and drain
+  // interceptions as kServerDrain / kCheckpointSerialize). Off by
+  // default: the access path then pays one ShouldProfile branch per
+  // scope and answers stay bit-identical either way.
+  bool enable_profiler = false;
+
   // Request-scoped tracing: with a sink attached, every worker streams
   // its trace events - each stamped with the request's TraceContext
   // (trace/request/worker ids) plus explicit queue-wait and serve spans
@@ -279,8 +289,14 @@ class QueryServer {
 
   // The /varz document: a JSON snapshot of queue depth, per-worker
   // utilization, server stats, hub quantiles/cost/fleet health, the
-  // latest cost audit, and watchdog findings. Callable any time.
+  // latest cost audit, build provenance, tracer sink health, and
+  // watchdog findings. Callable any time.
   std::string VarzJson() const;
+
+  // The /profilez document: whether profiling is on, the most recent
+  // query's full ProfileReport, and the hub's cross-query per-center
+  // self-time quantiles. Callable any time.
+  std::string ProfilezJson() const;
 
   // The anomaly watchdog; nullptr unless config.watchdog was set and a
   // baseline snapshot was loaded at Start.
@@ -322,9 +338,15 @@ class QueryServer {
 
   // Serves one accepted query on this worker's session + sources,
   // fulfilling its promise exactly once. `tracer` is the worker's
-  // confined tracer (context installed per request).
+  // confined tracer (context installed per request); `profiler` the
+  // worker's confined profiler, nullptr when profiling is off.
   void Serve(size_t index, QuerySession& session, SourceSet& sources,
-             obs::QueryTracer& tracer, Pending pending);
+             obs::QueryTracer& tracer, obs::Profiler* profiler,
+             Pending pending);
+
+  // Folds the trace sink's cumulative drop count into the
+  // nc_tracer_dropped_lines counter (monotonic delta sync).
+  void SyncTracerDropMetric();
 
   // Microseconds since the server's shared monotonic epoch.
   uint64_t EpochNowUs() const;
@@ -363,6 +385,18 @@ class QueryServer {
   mutable std::mutex audit_mu_;
   obs::CostAudit last_audit_;
   uint64_t last_audit_request_ = 0;
+
+  // The most recent query's profile, mirrored for /profilez.
+  mutable std::mutex profile_mu_;
+  obs::ProfileReport last_profile_;
+  uint64_t last_profile_request_ = 0;
+
+  // Last sink drop count already folded into nc_tracer_dropped_lines.
+  std::atomic<uint64_t> tracer_drops_synced_{0};
+
+  // Wall-clock instant of the last successful Start, for /healthz and
+  // /varz build sections.
+  std::atomic<uint64_t> start_unix_us_{0};
 
   // Serializes Start/Shutdown against each other (worker threads joined
   // outside mu_ so workers can finish queries that need it).

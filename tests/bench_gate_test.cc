@@ -1,0 +1,320 @@
+// The bench regression gate (obs/bench_gate.h) and the strict JSON
+// parser underneath it (obs/json_parse.h): CI's defense against a bench
+// artifact silently dropping its envelope or a timing leaf regressing
+// past tolerance. The injected-regression cases here mirror the fixture
+// the workflow builds - the gate must FLAG a slowed _ns leaf and PASS an
+// improvement.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/bench_gate.h"
+#include "obs/json_parse.h"
+
+namespace nc {
+namespace {
+
+using obs::BenchGateOptions;
+using obs::BenchGateResult;
+using obs::JsonValue;
+using obs::ParseJson;
+
+// --- The JSON parser --------------------------------------------------
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue doc;
+  const Status status = ParseJson(text, &doc);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return doc;
+}
+
+TEST(JsonParseTest, ScalarsObjectsAndArrays) {
+  JsonValue doc = MustParse(
+      " {\"a\": 1.5, \"b\": [true, false, null, -2e3], "
+      "\"c\": {\"nested\": \"x\"}, \"d\": 0} ");
+  ASSERT_TRUE(doc.is_object());
+  double num = 0.0;
+  ASSERT_TRUE(doc.GetNumber("a", &num));
+  EXPECT_EQ(num, 1.5);
+  const JsonValue* b = doc.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 4u);
+  EXPECT_TRUE(b->array[0].is_bool());
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_TRUE(b->array[2].is_null());
+  EXPECT_EQ(b->array[3].number, -2000.0);
+  const JsonValue* c = doc.Find("c");
+  ASSERT_NE(c, nullptr);
+  std::string s;
+  ASSERT_TRUE(c->GetString("nested", &s));
+  EXPECT_EQ(s, "x");
+  ASSERT_TRUE(doc.GetNumber("d", &num));
+  EXPECT_EQ(num, 0.0);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapesIncludingSurrogatePairs) {
+  JsonValue doc = MustParse(
+      "{\"s\": \"a\\\"b\\\\c\\/\\n\\t\\u00e9\\ud83d\\ude00\"}");
+  std::string s;
+  ASSERT_TRUE(doc.GetString("s", &s));
+  // \u00e9 is U+00E9 (2 UTF-8 bytes); the surrogate pair is U+1F600
+  // (4 bytes).
+  EXPECT_EQ(s, std::string("a\"b\\c/\n\t\xc3\xa9\xf0\x9f\x98\x80"));
+}
+
+TEST(JsonParseTest, DuplicateKeysLastOneWins) {
+  JsonValue doc = MustParse("{\"k\": 1, \"k\": 2}");
+  ASSERT_EQ(doc.object.size(), 1u);
+  double num = 0.0;
+  ASSERT_TRUE(doc.GetNumber("k", &num));
+  EXPECT_EQ(num, 2.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                      // Empty.
+      "{",                     // Unterminated object.
+      "[1, 2",                 // Unterminated array.
+      "{\"a\": }",             // Missing value.
+      "{\"a\" 1}",             // Missing colon.
+      "{'a': 1}",              // Wrong quotes.
+      "[1,]",                  // Trailing comma.
+      "01",                    // Leading zero.
+      "1.",                    // Bare decimal point.
+      ".5",                    // Missing integer part.
+      "+1",                    // Leading plus.
+      "-",                     // Bare minus.
+      "1e",                    // Empty exponent.
+      "NaN",                   // Non-finite spellings are not JSON.
+      "Infinity",              //
+      "0x10",                  // Hex is not JSON (ParseDouble allows it).
+      "\"\\ud800\"",           // Unpaired high surrogate.
+      "\"\\udc00\"",           // Unpaired low surrogate.
+      "\"a\nb\"",              // Raw control character in a string.
+      "\"unterminated",        //
+      "{\"a\": 1} trailing",   // Garbage after the document.
+      "true false",            //
+  };
+  for (const char* text : bad) {
+    JsonValue doc;
+    const Status status = ParseJson(text, &doc);
+    EXPECT_FALSE(status.ok()) << "accepted: " << text;
+    // Errors carry a byte offset for debuggability.
+    EXPECT_NE(status.message().find("byte"), std::string::npos) << text;
+  }
+}
+
+TEST(JsonParseTest, DepthCapStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  JsonValue doc;
+  EXPECT_FALSE(ParseJson(deep, &doc).ok());
+  // 32 levels is comfortably inside the cap.
+  std::string ok = "1";
+  for (int i = 0; i < 32; ++i) ok = "[" + ok + "]";
+  EXPECT_TRUE(ParseJson(ok, &doc).ok());
+}
+
+// --- The envelope check -----------------------------------------------
+
+// A minimal well-formed artifact in bench_util.h's envelope.
+std::string Artifact(const std::string& payload,
+                     const std::string& bench = "micro") {
+  return "{\"bench\": \"" + bench +
+         "\", \"schema_version\": 2, \"timestamp\": \"2026-01-01\", "
+         "\"build_type\": \"Release\", " +
+         payload + "}";
+}
+
+TEST(BenchGateTest, EnvelopeAcceptsAWellFormedArtifact) {
+  BenchGateResult result;
+  obs::CheckBenchDoc("BENCH_X.json", MustParse(Artifact("\"extra\": 1")),
+                     &result);
+  EXPECT_TRUE(result.ok()) << result.ToText();
+  EXPECT_EQ(result.files_checked, 1u);
+}
+
+TEST(BenchGateTest, EnvelopeFlagsMissingKeysWrongVersionAndEmptyRows) {
+  struct Case {
+    const char* doc;
+    const char* expect_path;
+  } cases[] = {
+      {"{\"schema_version\": 2, \"timestamp\": \"t\", \"build_type\": "
+       "\"R\"}",
+       "bench"},
+      {"{\"bench\": \"m\", \"timestamp\": \"t\", \"build_type\": \"R\"}",
+       "schema_version"},
+      {"{\"bench\": \"m\", \"schema_version\": 1, \"timestamp\": \"t\", "
+       "\"build_type\": \"R\"}",
+       "schema_version"},
+      {"{\"bench\": \"\", \"schema_version\": 2, \"timestamp\": \"t\", "
+       "\"build_type\": \"R\"}",
+       "bench"},
+      {"{\"bench\": \"m\", \"schema_version\": 2, \"timestamp\": \"t\", "
+       "\"build_type\": \"R\", \"rows\": []}",
+       "rows"},
+      {"[1, 2]", ""},
+  };
+  for (const Case& c : cases) {
+    BenchGateResult result;
+    obs::CheckBenchDoc("f.json", MustParse(c.doc), &result);
+    ASSERT_FALSE(result.ok()) << c.doc;
+    EXPECT_EQ(result.issues.front().path, c.expect_path) << c.doc;
+  }
+}
+
+// --- The numeric diff -------------------------------------------------
+
+void Diff(const std::string& baseline, const std::string& current,
+          BenchGateResult* result, double tolerance = 0.25) {
+  BenchGateOptions options;
+  options.tolerance = tolerance;
+  obs::DiffBenchDocs("f.json", MustParse(baseline), MustParse(current),
+                     options, result);
+}
+
+TEST(BenchGateTest, IdenticalDocumentsPass) {
+  const std::string doc = Artifact("\"wall_ns\": 5000, \"count\": 3");
+  BenchGateResult result;
+  Diff(doc, doc, &result);
+  EXPECT_TRUE(result.ok()) << result.ToText();
+  EXPECT_EQ(result.values_compared, 1u);  // Only the gated leaf.
+}
+
+TEST(BenchGateTest, InjectedRegressionOnATimingLeafIsFlagged) {
+  BenchGateResult result;
+  Diff(Artifact("\"setup_ns\": 1000"), Artifact("\"setup_ns\": 1300"),
+       &result);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues[0].path, "setup_ns");
+  EXPECT_NE(result.issues[0].what.find("regressed"), std::string::npos);
+
+  // Exactly at the limit passes; improvements always pass.
+  BenchGateResult at_limit;
+  Diff(Artifact("\"setup_ns\": 1000"), Artifact("\"setup_ns\": 1250"),
+       &at_limit);
+  EXPECT_TRUE(at_limit.ok()) << at_limit.ToText();
+  BenchGateResult improved;
+  Diff(Artifact("\"setup_ns\": 1000"), Artifact("\"setup_ns\": 200"),
+       &improved);
+  EXPECT_TRUE(improved.ok());
+}
+
+TEST(BenchGateTest, GatingInheritsFromAncestorTimingKeys) {
+  // "min_ns" gates everything below it even though the leaf keys carry
+  // no unit; "counts" does not.
+  BenchGateResult result;
+  Diff(Artifact("\"min_ns\": {\"untraced\": 1000}, \"counts\": "
+                "{\"untraced\": 1000}"),
+       Artifact("\"min_ns\": {\"untraced\": 9000}, \"counts\": "
+                "{\"untraced\": 9000}"),
+       &result);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues[0].path, "min_ns.untraced");
+}
+
+TEST(BenchGateTest, NoiseFloorAndUngatedLeavesAreNeverFlagged) {
+  BenchGateResult result;
+  // Baseline 50 ns is under the default 100.0 floor: a 10x move passes.
+  Diff(Artifact("\"tiny_ns\": 50, \"ratio\": 1.0"),
+       Artifact("\"tiny_ns\": 500, \"ratio\": 99.0"), &result);
+  EXPECT_TRUE(result.ok()) << result.ToText();
+}
+
+TEST(BenchGateTest, NamedRowsMatchByNameAndMissingRowsAreViolations) {
+  const std::string baseline = Artifact(
+      "\"rows\": [{\"name\": \"BM_A\", \"cpu_ns\": 1000}, "
+      "{\"name\": \"BM_B\", \"cpu_ns\": 2000}]");
+  // Reordered plus an extra row: passes. BM_B regressed in the second
+  // diff; in the third it vanished entirely.
+  BenchGateResult reordered;
+  Diff(baseline,
+       Artifact("\"rows\": [{\"name\": \"BM_NEW\", \"cpu_ns\": 1}, "
+                "{\"name\": \"BM_B\", \"cpu_ns\": 2000}, "
+                "{\"name\": \"BM_A\", \"cpu_ns\": 1000}]"),
+       &reordered);
+  EXPECT_TRUE(reordered.ok()) << reordered.ToText();
+
+  BenchGateResult regressed;
+  Diff(baseline,
+       Artifact("\"rows\": [{\"name\": \"BM_A\", \"cpu_ns\": 1000}, "
+                "{\"name\": \"BM_B\", \"cpu_ns\": 9000}]"),
+       &regressed);
+  ASSERT_EQ(regressed.issues.size(), 1u);
+  EXPECT_EQ(regressed.issues[0].path, "rows[BM_B].cpu_ns");
+
+  BenchGateResult missing;
+  Diff(baseline,
+       Artifact("\"rows\": [{\"name\": \"BM_A\", \"cpu_ns\": 1000}]"),
+       &missing);
+  ASSERT_EQ(missing.issues.size(), 1u);
+  EXPECT_EQ(missing.issues[0].path, "rows[BM_B]");
+}
+
+TEST(BenchGateTest, MismatchedBenchNamesShortCircuit) {
+  BenchGateResult result;
+  Diff(Artifact("\"x_ns\": 1000", "micro"),
+       Artifact("\"x_ns\": 9000", "server"), &result);
+  ASSERT_EQ(result.issues.size(), 1u);
+  EXPECT_EQ(result.issues[0].path, "bench");
+}
+
+TEST(BenchGateTest, KindChangeOnAGatedPathIsFlagged) {
+  BenchGateResult gated;
+  Diff(Artifact("\"wall_ns\": 1000"), Artifact("\"wall_ns\": \"fast\""),
+       &gated);
+  ASSERT_EQ(gated.issues.size(), 1u);
+  EXPECT_NE(gated.issues[0].what.find("kind"), std::string::npos);
+  // Elsewhere the schema may evolve freely.
+  BenchGateResult ungated;
+  Diff(Artifact("\"note\": 7"), Artifact("\"note\": \"seven\""), &ungated);
+  EXPECT_TRUE(ungated.ok());
+}
+
+TEST(BenchGateTest, OptionsValidateAndToTextSummarizes) {
+  BenchGateOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.tolerance = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.tolerance = 0.25;
+  options.noise_floor = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  BenchGateResult result;
+  Diff(Artifact("\"a_ns\": 1000"), Artifact("\"a_ns\": 5000"), &result);
+  const std::string text = result.ToText();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("a_ns"), std::string::npos);
+  EXPECT_EQ(BenchGateResult{}.ToText().find("OK"), 0u);
+}
+
+TEST(BenchGateTest, ReadBenchFileSurfacesIoAndParseFailures) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good_path = dir + "/nc_bench_gate_good.json";
+  const std::string bad_path = dir + "/nc_bench_gate_bad.json";
+  {
+    std::ofstream good(good_path);
+    good << Artifact("\"wall_ns\": 1");
+    std::ofstream bad(bad_path);
+    bad << "{not json";
+  }
+  JsonValue doc;
+  EXPECT_TRUE(obs::ReadBenchFile(good_path, &doc).ok());
+  EXPECT_TRUE(doc.is_object());
+  const Status parse = obs::ReadBenchFile(bad_path, &doc);
+  EXPECT_EQ(parse.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parse.message().find(bad_path), std::string::npos);
+  EXPECT_EQ(
+      obs::ReadBenchFile(dir + "/nc_bench_gate_missing.json", &doc).code(),
+      StatusCode::kUnavailable);
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+}  // namespace
+}  // namespace nc

@@ -453,7 +453,7 @@ TEST(TelemetryHubTest, ConcurrentFeedsAndReadsAreSafe) {
   }
 }
 
-// --- Persistence ("nchub 1") ----------------------------------------------
+// --- Persistence ("nchub 2") ----------------------------------------------
 
 // Fills a hub with pseudo-random state across every record kind the
 // format carries: sketches on several slots, cost EWMAs, hedge windows
@@ -496,7 +496,7 @@ TEST(TelemetryHubPersistTest, SerializeRoundTripsByteExact) {
     TelemetryHub hub;
     FeedRandomly(&hub, seed);
     const std::string doc = hub.Serialize();
-    ASSERT_EQ(doc.rfind("nchub 1\n", 0), 0u) << "seed " << seed;
+    ASSERT_EQ(doc.rfind("nchub 2\n", 0), 0u) << "seed " << seed;
 
     TelemetryHub restored;
     ASSERT_TRUE(restored.Deserialize(doc).ok()) << "seed " << seed;
@@ -521,10 +521,19 @@ TEST(TelemetryHubPersistTest, SerializeRoundTripsByteExact) {
 TEST(TelemetryHubPersistTest, EmptyHubRoundTrips) {
   TelemetryHub hub;
   const std::string doc = hub.Serialize();
-  EXPECT_EQ(doc, "nchub 1\nqueries 0\nend\n");
+  EXPECT_EQ(doc, "nchub 2\nqueries 0\nend\n");
   TelemetryHub restored;
   ASSERT_TRUE(restored.Deserialize(doc).ok());
   EXPECT_EQ(restored.Serialize(), doc);
+}
+
+TEST(TelemetryHubPersistTest, VersionOneDocumentStillLoads) {
+  // Version 2 added the "profile" record; hubs saved by older builds
+  // must keep loading, and re-serializing upgrades the header.
+  TelemetryHub hub;
+  ASSERT_TRUE(hub.Deserialize("nchub 1\nqueries 7\nend\n").ok());
+  EXPECT_EQ(hub.queries_observed(), 7u);
+  EXPECT_EQ(hub.Serialize().rfind("nchub 2\n", 0), 0u);
 }
 
 TEST(TelemetryHubPersistTest, RestoredSketchKeepsEstimatingNotJustReporting) {
@@ -554,7 +563,7 @@ TEST(TelemetryHubPersistTest, ParseErrorsNameTheLineAndLeaveHubUntouched) {
 
   const char* corrupt[] = {
       "",                                     // No header.
-      "nchub 2\nend\n",                       // Wrong version.
+      "nchub 3\nend\n",                       // Future version.
       "nchub 1\nqueries 0\n",                 // Missing end.
       "nchub 1\nqueries 0\nend\ntrailing\n",  // Records after end.
       "nchub 1\nqueries 0\nwhat 1 2\nend\n",  // Unknown record.

@@ -1,0 +1,171 @@
+// bench_diff: the CLI face of the bench regression gate
+// (obs/bench_gate.h).
+//
+//   bench_diff check PATH...
+//     Envelope contract over each artifact; a PATH that is a directory
+//     expands to its BENCH_*.json files.
+//
+//   bench_diff diff [--tolerance=R] [--noise-floor=N] OLD NEW
+//     Numeric regression diff. OLD and NEW are either two files or two
+//     directories (matched by file name; a baseline artifact missing
+//     from NEW is a violation).
+//
+// Exit status: 0 all checks passed, 1 violations found, 2 usage or I/O
+// error. CI runs `check` over the committed artifact set on every push
+// and `diff` against the previous commit's artifacts where available.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/numeric.h"
+#include "obs/bench_gate.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using nc::Status;
+using nc::obs::BenchGateOptions;
+using nc::obs::BenchGateResult;
+using nc::obs::BenchIssue;
+using nc::obs::JsonValue;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff check PATH...\n"
+               "       bench_diff diff [--tolerance=R] [--noise-floor=N] "
+               "OLD NEW\n");
+  return 2;
+}
+
+// A file path passes through; a directory expands to its BENCH_*.json
+// children, sorted for stable output.
+std::vector<std::string> ExpandPath(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) return {path};
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(path, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int Finish(const BenchGateResult& result) {
+  std::fputs(result.ToText().c_str(), stdout);
+  return result.ok() ? 0 : 1;
+}
+
+int RunCheck(const std::vector<std::string>& paths) {
+  if (paths.empty()) return Usage();
+  BenchGateResult result;
+  for (const std::string& arg : paths) {
+    const std::vector<std::string> files = ExpandPath(arg);
+    if (files.empty()) {
+      std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                   arg.c_str());
+      return 2;
+    }
+    for (const std::string& file : files) {
+      JsonValue doc;
+      const Status status = nc::obs::ReadBenchFile(file, &doc);
+      if (!status.ok()) {
+        result.issues.push_back(
+            BenchIssue{file, "", status.message()});
+        ++result.files_checked;
+        continue;
+      }
+      nc::obs::CheckBenchDoc(file, doc, &result);
+    }
+  }
+  return Finish(result);
+}
+
+int RunDiff(const BenchGateOptions& options, const std::string& old_path,
+            const std::string& new_path) {
+  std::error_code ec;
+  const bool dirs = fs::is_directory(old_path, ec);
+  if (dirs != fs::is_directory(new_path, ec)) {
+    std::fprintf(stderr,
+                 "bench_diff: OLD and NEW must both be files or both be "
+                 "directories\n");
+    return 2;
+  }
+  BenchGateResult result;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (dirs) {
+    for (const std::string& old_file : ExpandPath(old_path)) {
+      const std::string name = fs::path(old_file).filename().string();
+      pairs.emplace_back(old_file, (fs::path(new_path) / name).string());
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                   old_path.c_str());
+      return 2;
+    }
+  } else {
+    pairs.emplace_back(old_path, new_path);
+  }
+  for (const auto& [old_file, new_file] : pairs) {
+    JsonValue baseline;
+    Status status = nc::obs::ReadBenchFile(old_file, &baseline);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_diff: %s\n", status.message().c_str());
+      return 2;
+    }
+    JsonValue current;
+    status = nc::obs::ReadBenchFile(new_file, &current);
+    if (!status.ok()) {
+      // A baseline artifact that vanished is a gate violation, not an
+      // I/O accident: a bench silently stopping to emit its envelope is
+      // exactly what the gate exists to catch.
+      result.issues.push_back(BenchIssue{
+          fs::path(old_file).filename().string(), "", status.message()});
+      ++result.files_checked;
+      continue;
+    }
+    nc::obs::DiffBenchDocs(fs::path(old_file).filename().string(), baseline,
+                           current, options, &result);
+  }
+  return Finish(result);
+}
+
+bool ParseFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  return nc::ParseDouble(arg + len + 1, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "check") {
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) paths.emplace_back(argv[i]);
+    return RunCheck(paths);
+  }
+  if (mode == "diff") {
+    BenchGateOptions options;
+    std::vector<std::string> positional;
+    for (int i = 2; i < argc; ++i) {
+      if (ParseFlag(argv[i], "--tolerance", &options.tolerance) ||
+          ParseFlag(argv[i], "--noise-floor", &options.noise_floor)) {
+        continue;
+      }
+      if (std::strncmp(argv[i], "--", 2) == 0) return Usage();
+      positional.emplace_back(argv[i]);
+    }
+    if (positional.size() != 2 || !options.Validate().ok()) return Usage();
+    return RunDiff(options, positional[0], positional[1]);
+  }
+  return Usage();
+}
